@@ -1,0 +1,96 @@
+//! Criterion companion to E1 (Figure 1): real wall-clock cost of one
+//! pipeline round, MR/DFS baseline vs Liquid job chain, at 3 stages.
+//! (The simulated-latency sweep across stage counts is in
+//! `src/bin/exp_e1.rs`; this measures the actual execution cost of the
+//! two code paths on identical data.)
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use liquid_dfs::{Dfs, DfsConfig};
+use liquid_messaging::{AckLevel, Cluster, ClusterConfig, Message, TopicConfig, TopicPartition};
+use liquid_mr::{identity_map, identity_reduce, MrJobConfig, MrPipeline};
+use liquid_processing::{FnTask, Job, JobConfig, Pipeline, TaskContext};
+use liquid_sim::clock::SimClock;
+
+const EVENTS: usize = 2_000;
+const STAGES: usize = 3;
+
+fn bench_mr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_three_stage_pipeline");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    group.bench_function("mr_dfs_baseline", |b| {
+        b.iter_batched(
+            || {
+                let dfs = Dfs::new(DfsConfig {
+                    replication: 1,
+                    datanodes: 1,
+                    ..DfsConfig::default()
+                });
+                let content: String = (0..EVENTS).map(|i| format!("k{i}\te{i}\n")).collect();
+                dfs.write("/stage0/in", content.as_bytes()).unwrap();
+                dfs
+            },
+            |dfs| {
+                let mut p = MrPipeline::new(&dfs);
+                for s in 0..STAGES {
+                    p.add_stage(
+                        MrJobConfig::new(
+                            &format!("s{s}"),
+                            &format!("/stage{s}/"),
+                            &format!("/stage{}", s + 1),
+                        )
+                        .reducers(1)
+                        .task_startup_ns(0), // wall-clock only
+                    );
+                }
+                p.run(&identity_map, &identity_reduce).unwrap()
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    group.bench_function("liquid_jobs", |b| {
+        b.iter_batched(
+            || {
+                let cluster =
+                    Cluster::new(ClusterConfig::with_brokers(1), SimClock::new(0).shared());
+                for s in 0..=STAGES {
+                    cluster
+                        .create_topic(&format!("s{s}"), TopicConfig::with_partitions(1))
+                        .unwrap();
+                }
+                let tp = TopicPartition::new("s0", 0);
+                for i in 0..EVENTS {
+                    cluster
+                        .produce_to(&tp, None, Bytes::from(format!("e{i}")), AckLevel::Leader)
+                        .unwrap();
+                }
+                let mut pipeline = Pipeline::new();
+                for s in 0..STAGES {
+                    let out = format!("s{}", s + 1);
+                    let job = Job::new(
+                        &cluster,
+                        JobConfig::new(&format!("j{s}"), &[&format!("s{s}")]).stateless(),
+                        move |_| {
+                            let out = out.clone();
+                            Box::new(FnTask(move |m: &Message, ctx: &mut TaskContext<'_>| {
+                                ctx.send(&out, None, m.value.clone())?;
+                                Ok(())
+                            }))
+                        },
+                    )
+                    .unwrap();
+                    pipeline.add_stage(&format!("j{s}"), job);
+                }
+                pipeline
+            },
+            |mut pipeline| pipeline.run_until_idle(20).unwrap(),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mr);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion microbenchmarks for the embedded LSM store (the RocksDB
+//! stand-in holding task state, §4.4): write/read paths, bloom-filter
+//! effect on misses, and snapshot cost.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use liquid_kv::{LsmConfig, LsmStore};
+
+fn filled(n: u64) -> LsmStore {
+    let mut s = LsmStore::open(LsmConfig {
+        memtable_bytes: 256 * 1024,
+        ..LsmConfig::default()
+    })
+    .unwrap();
+    for i in 0..n {
+        s.put(format!("key-{i:012}"), format!("value-{i:040}"))
+            .unwrap();
+    }
+    s
+}
+
+fn writes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lsm_write");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("put", |b| {
+        let mut s = LsmStore::in_memory();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            s.put(format!("key-{i:012}"), format!("value-{i:040}"))
+                .unwrap()
+        });
+    });
+    group.bench_function("overwrite_hot_keys", |b| {
+        let mut s = LsmStore::in_memory();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            s.put(format!("key-{:04}", i % 100), format!("value-{i}"))
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lsm_read");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("get_present", |b| {
+        let mut s = filled(100_000);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i * 31 + 7) % 100_000;
+            s.get(format!("key-{i:012}").as_bytes())
+        });
+    });
+    group.bench_function("get_absent_bloom_skips", |b| {
+        let mut s = filled(100_000);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            s.get(format!("missing-{i}").as_bytes())
+        });
+    });
+    group.bench_function("range_scan_100", |b| {
+        let s = filled(100_000);
+        b.iter(|| {
+            s.range(Some(b"key-000000050000"), Some(b"key-000000050100"))
+                .len()
+        });
+    });
+    group.finish();
+}
+
+fn snapshots(c: &mut Criterion) {
+    c.bench_function("lsm_snapshot_create_and_read", |b| {
+        let s = filled(50_000);
+        b.iter(|| {
+            let snap = s.snapshot();
+            snap.get(b"key-000000025000")
+        });
+    });
+}
+
+criterion_group!(benches, writes, reads, snapshots);
+criterion_main!(benches);

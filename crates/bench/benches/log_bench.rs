@@ -1,0 +1,118 @@
+//! Criterion microbenchmarks for the commit log: the E2 throughput
+//! claim plus the sparse-index granularity ablation from DESIGN.md §5.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use liquid_log::{Log, LogConfig};
+use liquid_sim::clock::SimClock;
+
+fn filled_log(n: u64, index_interval: u64) -> Log {
+    let mut log = Log::open(
+        LogConfig {
+            segment_bytes: 4 << 20,
+            index_interval_bytes: index_interval,
+            ..LogConfig::default()
+        },
+        SimClock::new(0).shared(),
+    )
+    .unwrap();
+    for i in 0..n {
+        log.append(None, Bytes::from(format!("payload-{i:060}")))
+            .unwrap();
+    }
+    log
+}
+
+/// E2: append throughput must not depend on existing log size.
+fn append_vs_log_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_append_vs_log_size");
+    group.sample_size(30);
+    for size in [0u64, 100_000, 400_000] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let mut log = filled_log(size, 4096);
+            b.iter(|| {
+                log.append(None, Bytes::from_static(b"bench-payload-0123456789"))
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// E2: tail reads must not depend on log size.
+fn tail_read_vs_log_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_tail_read_vs_log_size");
+    group.sample_size(30);
+    for size in [10_000u64, 100_000, 400_000] {
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let log = filled_log(size, 4096);
+            let tail = log.next_offset() - 100;
+            b.iter(|| log.read(tail, u64::MAX).unwrap().records.len());
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: sparse-index granularity vs random-offset read latency.
+fn indexed_seek_vs_interval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_index_interval");
+    group.sample_size(30);
+    for interval in [512u64, 4_096, 65_536] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(interval),
+            &interval,
+            |b, &interval| {
+                let log = filled_log(50_000, interval);
+                let mut offset = 7;
+                b.iter(|| {
+                    offset = (offset * 31 + 17) % 50_000;
+                    log.read(offset, 1).unwrap().records.len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// E4 companion: compaction pass cost on skewed keyed data.
+fn compaction_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_compaction");
+    group.sample_size(10);
+    group.bench_function("pass_30k_updates_100_keys", |b| {
+        b.iter_batched(
+            || {
+                let mut log = Log::open(
+                    LogConfig {
+                        segment_bytes: 256 * 1024,
+                        cleanup: liquid_log::CleanupPolicy::Compact,
+                        ..LogConfig::default()
+                    },
+                    SimClock::new(0).shared(),
+                )
+                .unwrap();
+                for i in 0..30_000u64 {
+                    log.append(
+                        Some(Bytes::from(format!("k{}", i % 100))),
+                        Bytes::from(format!("v{i:040}")),
+                    )
+                    .unwrap();
+                }
+                log
+            },
+            |mut log| log.compact().unwrap(),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    append_vs_log_size,
+    tail_read_vs_log_size,
+    indexed_seek_vs_interval,
+    compaction_pass
+);
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! Criterion microbenchmarks for the messaging layer: the E6 ack-level
+//! trade-off on the produce path and fetch/consume costs (E9 companion).
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use liquid_messaging::consumer::StartPosition;
+use liquid_messaging::{
+    AckLevel, AssignmentStrategy, Cluster, ClusterConfig, Consumer, TopicConfig, TopicPartition,
+};
+use liquid_sim::clock::SimClock;
+
+fn cluster(brokers: u32, replication: u32) -> Cluster {
+    let c = Cluster::new(
+        ClusterConfig::with_brokers(brokers),
+        SimClock::new(0).shared(),
+    );
+    c.create_topic(
+        "t",
+        TopicConfig::with_partitions(4).replication(replication),
+    )
+    .unwrap();
+    c
+}
+
+/// E6: produce cost per ack level (RF=3).
+fn produce_by_ack_level(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_produce_by_ack_level");
+    group.throughput(Throughput::Elements(1));
+    for (acks, name) in [
+        (AckLevel::None, "acks_none"),
+        (AckLevel::Leader, "acks_leader"),
+        (AckLevel::All, "acks_all"),
+    ] {
+        group.bench_function(name, |b| {
+            let cluster = cluster(3, 3);
+            let tp = TopicPartition::new("t", 0);
+            b.iter(|| {
+                cluster
+                    .produce_to(&tp, None, Bytes::from_static(b"payload-0123456789"), acks)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Fetch cost vs batch size.
+fn fetch_batches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fetch_batch_bytes");
+    group.sample_size(20);
+    for max_bytes in [1_024u64, 65_536, 1 << 20] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(max_bytes),
+            &max_bytes,
+            |b, &max_bytes| {
+                let cluster = cluster(1, 1);
+                let tp = TopicPartition::new("t", 0);
+                for i in 0..50_000u64 {
+                    cluster
+                        .produce_to(
+                            &tp,
+                            None,
+                            Bytes::from(format!("m{i:050}")),
+                            AckLevel::Leader,
+                        )
+                        .unwrap();
+                }
+                let mut offset = 0;
+                b.iter(|| {
+                    let msgs = cluster.fetch(&tp, offset, max_bytes).unwrap();
+                    offset = msgs.last().map(|m| m.offset + 1).unwrap_or(0);
+                    msgs.len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// E9 companion: group-consumer poll cost as members share partitions.
+fn group_poll(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_group_poll");
+    group.sample_size(20);
+    for members in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(members),
+            &members,
+            |b, &members| {
+                let cluster = cluster(1, 1);
+                for p in 0..4u32 {
+                    let tp = TopicPartition::new("t", p);
+                    for i in 0..10_000u64 {
+                        cluster
+                            .produce_to(&tp, None, Bytes::from(format!("m{i}")), AckLevel::Leader)
+                            .unwrap();
+                    }
+                }
+                let consumers: Vec<Consumer> = (0..members)
+                    .map(|m| Consumer::in_group(&cluster, "g", &format!("m{m}")))
+                    .collect();
+                for consumer in &consumers {
+                    consumer
+                        .subscribe(&["t"], AssignmentStrategy::Range, StartPosition::Earliest)
+                        .unwrap();
+                }
+                let mut i = 0;
+                b.iter(|| {
+                    let consumer = &consumers[i % consumers.len()];
+                    i += 1;
+                    // Re-seek so the poll always has data.
+                    for tp in consumer.assignment() {
+                        consumer.seek(&tp, 0);
+                    }
+                    consumer.poll().unwrap().len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Offset-manager commit+fetch cost (§4.2 metadata path).
+fn offset_manager_ops(c: &mut Criterion) {
+    c.bench_function("offset_manager_commit_fetch", |b| {
+        let cluster = cluster(1, 1);
+        let tp = TopicPartition::new("t", 0);
+        let mut meta = std::collections::BTreeMap::new();
+        meta.insert("version".to_string(), "v1".to_string());
+        let mut offset = 0u64;
+        b.iter(|| {
+            offset += 1;
+            cluster.offsets().commit("g", &tp, offset, meta.clone());
+            cluster.offsets().fetch_offset("g", &tp)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    produce_by_ack_level,
+    fetch_batches,
+    group_poll,
+    offset_manager_ops
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+use bytes::Bytes;
+use liquid_messaging::{AckLevel, Cluster, ClusterConfig, Message, TopicConfig, TopicPartition};
+use liquid_processing::{FnTask, Job, JobConfig, TaskContext};
+use liquid_sim::clock::SimClock;
+use std::time::Instant;
+
+fn main() {
+    let history = 500_000u64;
+    let clock = SimClock::new(0);
+    let cluster = Cluster::new(ClusterConfig::with_brokers(1), clock.shared());
+    cluster
+        .create_topic("events", TopicConfig::with_partitions(1))
+        .unwrap();
+    let tp = TopicPartition::new("events", 0);
+    let factory = || {
+        |_: u32| -> Box<dyn liquid_processing::StreamTask> {
+            Box::new(FnTask(|m: &Message, ctx: &mut TaskContext<'_>| {
+                let key = m.key.clone().unwrap_or_default();
+                ctx.store().add_counter(&key, 1)?;
+                Ok(())
+            }))
+        }
+    };
+    let t = Instant::now();
+    for i in 0..history {
+        cluster
+            .produce_to(
+                &tp,
+                Some(Bytes::from(format!("k{}", i % 50))),
+                Bytes::from(format!("h{i}")),
+                AckLevel::Leader,
+            )
+            .unwrap();
+    }
+    println!("produce: {:?}", t.elapsed());
+    let t = Instant::now();
+    {
+        let mut job = Job::new(&cluster, JobConfig::new("stats", &["events"]), factory()).unwrap();
+        job.run_until_idle(500).unwrap();
+        job.checkpoint();
+    }
+    println!("history job: {:?}", t.elapsed());
+    for i in 0..5000u64 {
+        cluster
+            .produce_to(
+                &tp,
+                Some(Bytes::from(format!("k{}", i % 50))),
+                Bytes::from(format!("d{i}")),
+                AckLevel::Leader,
+            )
+            .unwrap();
+    }
+    let t = Instant::now();
+    cluster.compact_topic("__stats-state").unwrap();
+    println!("compact: {:?}", t.elapsed());
+    let t = Instant::now();
+    let mut inc = Job::new(&cluster, JobConfig::new("stats", &["events"]), factory()).unwrap();
+    println!(
+        "Job::new (restore {} records): {:?}",
+        inc.restored_records(),
+        t.elapsed()
+    );
+    let t = Instant::now();
+    let n = inc.run_until_idle(500).unwrap();
+    println!("process {n}: {:?}", t.elapsed());
+    let t = Instant::now();
+    inc.checkpoint();
+    println!("checkpoint: {:?}", t.elapsed());
+}

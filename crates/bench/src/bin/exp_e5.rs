@@ -1,0 +1,120 @@
+//! E5 — §4.2: incremental processing. "Reading all data each time that
+//! it changes would be infeasible — the required time would increase
+//! linearly with data size. Instead, the processing layer … reads only
+//! the new data, appending new results to its state."
+//!
+//! Maintains per-key statistics over a growing history. After each
+//! refresh, 1% new data arrives. We compare the cost (messages
+//! processed and wall time) of a full recompute against the incremental
+//! path (restore checkpoint, process only the delta).
+
+use std::time::Instant;
+
+use bytes::Bytes;
+use liquid_bench::report::{fmt_ns, table_header, table_row};
+use liquid_messaging::{AckLevel, Cluster, ClusterConfig, Message, TopicConfig, TopicPartition};
+use liquid_processing::{FnTask, Job, JobConfig, JobStart, TaskContext};
+use liquid_sim::clock::SimClock;
+
+fn counting_factory() -> impl FnMut(u32) -> Box<dyn liquid_processing::StreamTask> {
+    |_| {
+        Box::new(FnTask(|m: &Message, ctx: &mut TaskContext<'_>| {
+            let key = m.key.clone().unwrap_or_default();
+            ctx.store().add_counter(&key, 1)?;
+            Ok(())
+        }))
+    }
+}
+
+fn run(history: u64) -> (u64, u64, u64, u64) {
+    let clock = SimClock::new(0);
+    let cluster = Cluster::new(ClusterConfig::with_brokers(1), clock.shared());
+    cluster
+        .create_topic("events", TopicConfig::with_partitions(1))
+        .unwrap();
+    let tp = TopicPartition::new("events", 0);
+    let produce = |n: u64, tag: &str| {
+        for i in 0..n {
+            cluster
+                .produce_to(
+                    &tp,
+                    Some(Bytes::from(format!("k{}", i % 50))),
+                    Bytes::from(format!("{tag}{i}")),
+                    AckLevel::Leader,
+                )
+                .unwrap();
+        }
+    };
+    produce(history, "h");
+    // Steady job processes history once and checkpoints.
+    {
+        let mut job = Job::new(
+            &cluster,
+            JobConfig::new("stats", &["events"]),
+            counting_factory(),
+        )
+        .unwrap();
+        job.run_until_idle(500).unwrap();
+        job.checkpoint();
+    }
+    let delta = (history / 100).max(1);
+    produce(delta, "d");
+    // Background compaction keeps the changelog near one record per
+    // live key (§4.1), so the restore below is cheap.
+    cluster.compact_topic("__stats-state").unwrap();
+
+    // Incremental refresh: new instance restores + reads only the delta.
+    let t = Instant::now();
+    let mut inc = Job::new(
+        &cluster,
+        JobConfig::new("stats", &["events"]),
+        counting_factory(),
+    )
+    .unwrap();
+    let inc_msgs = inc.run_until_idle(500).unwrap();
+    inc.checkpoint();
+    let inc_ns = t.elapsed().as_nanos() as u64;
+
+    // Full recompute: fresh job name, start from the beginning.
+    let t = Instant::now();
+    let mut full = Job::new(
+        &cluster,
+        JobConfig::new("stats-full", &["events"])
+            .start_from(JobStart::Earliest)
+            .stateless(),
+        counting_factory(),
+    )
+    .unwrap();
+    let full_msgs = full.run_until_idle(1000).unwrap();
+    let full_ns = t.elapsed().as_nanos() as u64;
+    (inc_msgs, inc_ns, full_msgs, full_ns)
+}
+
+fn main() {
+    println!("# E5: incremental refresh vs full recompute (delta = 1% of history)");
+    table_header(&[
+        "history (msgs)",
+        "incremental msgs",
+        "incremental time",
+        "full msgs",
+        "full time",
+        "work ratio",
+    ]);
+    for history in [10_000u64, 50_000, 200_000, 500_000] {
+        let (im, it, fm, ft) = run(history);
+        table_row(&[
+            history.to_string(),
+            im.to_string(),
+            fmt_ns(it),
+            fm.to_string(),
+            fmt_ns(ft),
+            format!("{:.0}x", fm as f64 / im.max(1) as f64),
+        ]);
+    }
+    println!();
+    println!(
+        "paper claim: full recompute grows linearly with history; the\n\
+         incremental path (checkpointed offsets + maintained state) costs only\n\
+         the delta, a constant ~100x saving at 1% change rate."
+    );
+}

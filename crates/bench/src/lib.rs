@@ -1,0 +1,7 @@
+//! Benchmark harness for the Liquid reproduction.
+//!
+//! See `src/bin/` for the experiment binaries (one per figure/claim,
+//! E1–E10) and `benches/` for the Criterion microbenchmarks. Shared
+//! helpers live in [`report`].
+
+pub mod report;

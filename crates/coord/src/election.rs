@@ -1,0 +1,163 @@
+//! Leader election recipe.
+//!
+//! The standard ZooKeeper recipe: each candidate creates an ephemeral
+//! sequential node under an election path; the candidate owning the
+//! lowest sequence is the leader. When a leader's session expires its
+//! node disappears and the next-lowest candidate takes over. The
+//! messaging layer runs one election per partition to pick the lead
+//! broker (paper §4.3).
+
+use crate::session::Session;
+use crate::tree::{CoordService, CreateMode};
+
+/// A participant in a leader election.
+pub struct LeaderElection {
+    service: CoordService,
+    session: Session,
+    election_path: String,
+    my_node: String,
+}
+
+impl LeaderElection {
+    /// Joins the election at `election_path` (created if missing),
+    /// advertising `data` (e.g. a broker id) on the candidate node.
+    pub fn join(
+        service: &CoordService,
+        session: &Session,
+        election_path: &str,
+        data: &[u8],
+    ) -> crate::Result<Self> {
+        service.ensure_path(election_path)?;
+        let my_node = service.create(
+            &format!("{election_path}/candidate-"),
+            data,
+            CreateMode::EphemeralSequential,
+            Some(session.id()),
+        )?;
+        Ok(LeaderElection {
+            service: service.clone(),
+            session: session.clone(),
+            election_path: election_path.to_string(),
+            my_node,
+        })
+    }
+
+    /// Path of this participant's candidate node.
+    pub fn candidate_path(&self) -> &str {
+        &self.my_node
+    }
+
+    /// The session this candidacy is bound to.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Whether this participant currently leads.
+    pub fn is_leader(&self) -> crate::Result<bool> {
+        Ok(self.leader_node()? == Some(self.my_node.clone()))
+    }
+
+    /// The full path of the current leader's node, if any candidate
+    /// remains.
+    pub fn leader_node(&self) -> crate::Result<Option<String>> {
+        let children = self.service.get_children(&self.election_path, None)?;
+        Ok(children
+            .into_iter()
+            .min()
+            .map(|name| format!("{}/{name}", self.election_path)))
+    }
+
+    /// The advertised data of the current leader, if any.
+    pub fn leader_data(&self) -> crate::Result<Option<Vec<u8>>> {
+        match self.leader_node()? {
+            Some(path) => Ok(Some(self.service.get_data(&path)?.0)),
+            None => Ok(None),
+        }
+    }
+
+    /// Withdraws from the election.
+    pub fn resign(self) -> crate::Result<()> {
+        self.service.delete(&self.my_node, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::CoordService;
+    use liquid_sim::clock::SimClock;
+
+    fn setup() -> CoordService {
+        CoordService::new(SimClock::new(0).shared())
+    }
+
+    #[test]
+    fn first_joiner_leads() {
+        let s = setup();
+        let sess = s.create_session(1000);
+        let e = LeaderElection::join(&s, &sess, "/election/p0", b"broker-1").unwrap();
+        assert!(e.is_leader().unwrap());
+        assert_eq!(e.leader_data().unwrap().unwrap(), b"broker-1");
+    }
+
+    #[test]
+    fn second_joiner_waits() {
+        let s = setup();
+        let s1 = s.create_session(1000);
+        let s2 = s.create_session(1000);
+        let e1 = LeaderElection::join(&s, &s1, "/el", b"b1").unwrap();
+        let e2 = LeaderElection::join(&s, &s2, "/el", b"b2").unwrap();
+        assert!(e1.is_leader().unwrap());
+        assert!(!e2.is_leader().unwrap());
+    }
+
+    #[test]
+    fn leadership_hands_over_on_session_expiry() {
+        let s = setup();
+        let s1 = s.create_session(1000);
+        let s2 = s.create_session(1000);
+        let _e1 = LeaderElection::join(&s, &s1, "/el", b"b1").unwrap();
+        let e2 = LeaderElection::join(&s, &s2, "/el", b"b2").unwrap();
+        s.expire_session(s1.id());
+        assert!(e2.is_leader().unwrap());
+        assert_eq!(e2.leader_data().unwrap().unwrap(), b"b2");
+    }
+
+    #[test]
+    fn resign_hands_over() {
+        let s = setup();
+        let s1 = s.create_session(1000);
+        let s2 = s.create_session(1000);
+        let e1 = LeaderElection::join(&s, &s1, "/el", b"b1").unwrap();
+        let e2 = LeaderElection::join(&s, &s2, "/el", b"b2").unwrap();
+        e1.resign().unwrap();
+        assert!(e2.is_leader().unwrap());
+    }
+
+    #[test]
+    fn no_candidates_no_leader() {
+        let s = setup();
+        let s1 = s.create_session(1000);
+        let e1 = LeaderElection::join(&s, &s1, "/el", b"b1").unwrap();
+        let probe = LeaderElection::join(&s, &s1, "/el", b"probe").unwrap();
+        e1.resign().unwrap();
+        probe.resign().unwrap();
+        // Fresh observer sees an empty election.
+        let s2 = s.create_session(1000);
+        let e = LeaderElection::join(&s, &s2, "/el", b"x").unwrap();
+        e.resign().unwrap();
+        let remaining = s.get_children("/el", None).unwrap();
+        assert!(remaining.is_empty());
+    }
+
+    #[test]
+    fn elections_are_independent_per_path() {
+        let s = setup();
+        let sess = s.create_session(1000);
+        let e1 = LeaderElection::join(&s, &sess, "/el/p0", b"b1").unwrap();
+        let s2 = s.create_session(1000);
+        let e2 = LeaderElection::join(&s, &s2, "/el/p1", b"b2").unwrap();
+        assert!(e1.is_leader().unwrap());
+        assert!(e2.is_leader().unwrap());
+    }
+}

@@ -1,0 +1,26 @@
+//! ZooKeeper-like coordination service.
+//!
+//! Liquid's messaging layer uses a coordination service for broker
+//! membership, in-sync-replica (ISR) tracking and leader election
+//! (paper §4.3). This crate provides the same wait-free primitives as
+//! Apache ZooKeeper, in process:
+//!
+//! * a hierarchical namespace of **znodes** holding small byte payloads
+//!   with per-node versions ([`tree`]);
+//! * **ephemeral** nodes bound to client sessions, removed when the
+//!   session expires ([`session`]);
+//! * **sequential** nodes with monotonically increasing suffixes;
+//! * one-shot **watches** on data changes, deletions and child lists;
+//! * the standard **leader election** recipe built from ephemeral
+//!   sequential nodes ([`election`]).
+
+pub mod election;
+pub mod session;
+pub mod tree;
+
+pub use election::LeaderElection;
+pub use session::{Session, SessionId};
+pub use tree::{CoordError, CoordService, CreateMode, Stat, WatchEvent, WatchKind};
+
+/// Result alias for coordination operations.
+pub type Result<T> = std::result::Result<T, CoordError>;

@@ -1,0 +1,95 @@
+//! Client sessions.
+//!
+//! A session owns ephemeral znodes; when it expires (explicitly, or
+//! because heartbeats stop arriving within the timeout) those nodes are
+//! deleted and watches fire. Brokers and processing tasks each hold a
+//! session, so "kill the broker" in an experiment is simply "expire its
+//! session".
+
+use crate::tree::CoordService;
+
+/// Opaque session identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub(crate) u64);
+
+impl SessionId {
+    /// Raw numeric id (for logging).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// A live session handle.
+///
+/// Dropping the handle does **not** expire the session (mirroring a
+/// client crash, where the server notices only via missed heartbeats);
+/// call [`Session::close`] for a clean shutdown.
+#[derive(Clone)]
+pub struct Session {
+    id: SessionId,
+    service: CoordService,
+}
+
+impl Session {
+    pub(crate) fn new(id: SessionId, service: CoordService) -> Self {
+        Session { id, service }
+    }
+
+    /// This session's id.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// Sends a heartbeat, keeping the session alive.
+    pub fn heartbeat(&self) -> crate::Result<()> {
+        self.service.heartbeat(self.id)
+    }
+
+    /// Whether the server still considers this session live.
+    pub fn is_alive(&self) -> bool {
+        self.service.session_alive(self.id)
+    }
+
+    /// Cleanly closes the session, removing its ephemeral nodes.
+    pub fn close(self) {
+        self.service.expire_session(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tree::{CoordService, CreateMode};
+    use liquid_sim::clock::SimClock;
+
+    #[test]
+    fn close_removes_ephemerals() {
+        let s = CoordService::new(SimClock::new(0).shared());
+        let sess = s.create_session(1000);
+        s.create("/e", b"", CreateMode::Ephemeral, Some(sess.id()))
+            .unwrap();
+        assert!(sess.is_alive());
+        sess.close();
+        assert!(!s.exists("/e", None).unwrap());
+    }
+
+    #[test]
+    fn drop_does_not_expire() {
+        let s = CoordService::new(SimClock::new(0).shared());
+        let sess = s.create_session(1000);
+        let id = sess.id();
+        s.create("/e", b"", CreateMode::Ephemeral, Some(id))
+            .unwrap();
+        drop(sess);
+        assert!(s.session_alive(id));
+        assert!(s.exists("/e", None).unwrap());
+    }
+
+    #[test]
+    fn heartbeat_on_expired_session_errors() {
+        let s = CoordService::new(SimClock::new(0).shared());
+        let sess = s.create_session(1000);
+        s.expire_session(sess.id());
+        assert!(sess.heartbeat().is_err());
+        assert!(!sess.is_alive());
+    }
+}

@@ -1,0 +1,788 @@
+//! The znode tree: hierarchical namespace, versions, watches.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
+
+use liquid_sim::clock::{SharedClock, Ts};
+use parking_lot::Mutex;
+
+use crate::session::SessionId;
+
+/// How a znode is created.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CreateMode {
+    /// Survives session expiry.
+    Persistent,
+    /// Deleted when the owning session expires.
+    Ephemeral,
+    /// Persistent, with a monotonically increasing suffix appended.
+    PersistentSequential,
+    /// Ephemeral and sequential.
+    EphemeralSequential,
+}
+
+impl CreateMode {
+    fn is_ephemeral(self) -> bool {
+        matches!(
+            self,
+            CreateMode::Ephemeral | CreateMode::EphemeralSequential
+        )
+    }
+
+    fn is_sequential(self) -> bool {
+        matches!(
+            self,
+            CreateMode::PersistentSequential | CreateMode::EphemeralSequential
+        )
+    }
+}
+
+/// Metadata returned with reads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stat {
+    /// Data version, bumped on every `set_data`.
+    pub version: u64,
+    /// Transaction id that created the node.
+    pub czxid: u64,
+    /// Transaction id of the last modification.
+    pub mzxid: u64,
+    /// Owning session for ephemeral nodes.
+    pub ephemeral_owner: Option<SessionId>,
+    /// Number of direct children.
+    pub num_children: usize,
+}
+
+/// Errors from coordination operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordError {
+    /// Path does not exist.
+    NoNode(String),
+    /// Path already exists.
+    NodeExists(String),
+    /// Conditional update failed.
+    BadVersion {
+        /// The path being updated.
+        path: String,
+        /// Version the caller expected.
+        expected: u64,
+        /// Version actually present.
+        actual: u64,
+    },
+    /// Delete of a node that still has children.
+    NotEmpty(String),
+    /// Operation used an expired or unknown session.
+    SessionExpired(SessionId),
+    /// Malformed path.
+    InvalidPath(String),
+    /// Ephemeral nodes may not have children.
+    NoChildrenForEphemerals(String),
+}
+
+impl std::fmt::Display for CoordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoordError::NoNode(p) => write!(f, "no node: {p}"),
+            CoordError::NodeExists(p) => write!(f, "node exists: {p}"),
+            CoordError::BadVersion {
+                path,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "bad version on {path}: expected {expected}, actual {actual}"
+            ),
+            CoordError::NotEmpty(p) => write!(f, "node not empty: {p}"),
+            CoordError::SessionExpired(s) => write!(f, "session expired: {s:?}"),
+            CoordError::InvalidPath(p) => write!(f, "invalid path: {p}"),
+            CoordError::NoChildrenForEphemerals(p) => {
+                write!(f, "ephemeral nodes cannot have children: {p}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoordError {}
+
+/// What a watch observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchEvent {
+    /// Path the event concerns.
+    pub path: String,
+    /// Kind of change.
+    pub kind: WatchKind,
+}
+
+/// Kinds of watch events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchKind {
+    /// Node was created (fires for watches set on a then-missing path).
+    Created,
+    /// Node data changed.
+    DataChanged,
+    /// Node was deleted.
+    Deleted,
+    /// The node's child list changed.
+    ChildrenChanged,
+}
+
+#[derive(Debug)]
+struct Znode {
+    data: Vec<u8>,
+    version: u64,
+    czxid: u64,
+    mzxid: u64,
+    ephemeral_owner: Option<SessionId>,
+    children: BTreeSet<String>,
+    seq_counter: u64,
+}
+
+#[derive(Debug, Default)]
+struct SessionState {
+    last_heartbeat: Ts,
+    timeout_ms: u64,
+    ephemerals: BTreeSet<String>,
+}
+
+struct State {
+    nodes: HashMap<String, Znode>,
+    next_zxid: u64,
+    next_session: u64,
+    sessions: HashMap<SessionId, SessionState>,
+    data_watches: HashMap<String, Vec<Sender<WatchEvent>>>,
+    child_watches: HashMap<String, Vec<Sender<WatchEvent>>>,
+}
+
+/// The coordination service. Cheap to clone; clones share state.
+#[derive(Clone)]
+pub struct CoordService {
+    state: Arc<Mutex<State>>,
+    clock: SharedClock,
+}
+
+impl CoordService {
+    /// Creates a service with a root node `/`.
+    pub fn new(clock: SharedClock) -> Self {
+        let mut nodes = HashMap::new();
+        nodes.insert(
+            "/".to_string(),
+            Znode {
+                data: Vec::new(),
+                version: 0,
+                czxid: 0,
+                mzxid: 0,
+                ephemeral_owner: None,
+                children: BTreeSet::new(),
+                seq_counter: 0,
+            },
+        );
+        CoordService {
+            state: Arc::new(Mutex::new(State {
+                nodes,
+                next_zxid: 1,
+                next_session: 1,
+                sessions: HashMap::new(),
+                data_watches: HashMap::new(),
+                child_watches: HashMap::new(),
+            })),
+            clock,
+        }
+    }
+
+    /// Opens a new session with the given timeout.
+    pub fn create_session(&self, timeout_ms: u64) -> crate::Session {
+        let id = {
+            let mut st = self.state.lock();
+            let id = SessionId(st.next_session);
+            st.next_session += 1;
+            st.sessions.insert(
+                id,
+                SessionState {
+                    last_heartbeat: self.clock.now(),
+                    timeout_ms,
+                    ephemerals: BTreeSet::new(),
+                },
+            );
+            id
+        };
+        crate::Session::new(id, self.clone())
+    }
+
+    /// Records a heartbeat for `session`.
+    pub fn heartbeat(&self, session: SessionId) -> crate::Result<()> {
+        let mut st = self.state.lock();
+        let now = self.clock.now();
+        match st.sessions.get_mut(&session) {
+            Some(s) => {
+                s.last_heartbeat = now;
+                Ok(())
+            }
+            None => Err(CoordError::SessionExpired(session)),
+        }
+    }
+
+    /// Whether `session` is still live.
+    pub fn session_alive(&self, session: SessionId) -> bool {
+        self.state.lock().sessions.contains_key(&session)
+    }
+
+    /// Forcibly expires a session, deleting its ephemeral nodes and firing
+    /// the corresponding watches. Used for failure injection and by
+    /// [`expire_stale_sessions`](Self::expire_stale_sessions).
+    pub fn expire_session(&self, session: SessionId) {
+        let mut st = self.state.lock();
+        let Some(sess) = st.sessions.remove(&session) else {
+            return;
+        };
+        // Delete deepest-first so parents are empty by the time we reach
+        // them (ephemerals cannot have children, but be defensive).
+        let mut paths: Vec<String> = sess.ephemerals.into_iter().collect();
+        paths.sort_by_key(|p| std::cmp::Reverse(p.len()));
+        for path in paths {
+            Self::delete_locked(&mut st, &path, None).ok();
+        }
+    }
+
+    /// Expires every session whose heartbeat is older than its timeout;
+    /// returns the expired session ids.
+    pub fn expire_stale_sessions(&self) -> Vec<SessionId> {
+        let now = self.clock.now();
+        let stale: Vec<SessionId> = {
+            let st = self.state.lock();
+            st.sessions
+                .iter()
+                .filter(|(_, s)| s.last_heartbeat + s.timeout_ms <= now)
+                .map(|(&id, _)| id)
+                .collect()
+        };
+        for id in &stale {
+            self.expire_session(*id);
+        }
+        stale
+    }
+
+    /// Creates a znode. For sequential modes the actual path (with the
+    /// appended 10-digit suffix) is returned.
+    pub fn create(
+        &self,
+        path: &str,
+        data: &[u8],
+        mode: CreateMode,
+        session: Option<SessionId>,
+    ) -> crate::Result<String> {
+        validate_path(path)?;
+        if path == "/" {
+            return Err(CoordError::NodeExists("/".into()));
+        }
+        let mut st = self.state.lock();
+        if mode.is_ephemeral() {
+            let sid = session.ok_or(CoordError::InvalidPath(
+                "ephemeral create requires a session".into(),
+            ))?;
+            if !st.sessions.contains_key(&sid) {
+                return Err(CoordError::SessionExpired(sid));
+            }
+        }
+        let parent = parent_path(path);
+        let name = node_name(path);
+        let actual_name;
+        {
+            let parent_node = st
+                .nodes
+                .get_mut(&parent)
+                .ok_or_else(|| CoordError::NoNode(parent.clone()))?;
+            if parent_node.ephemeral_owner.is_some() {
+                return Err(CoordError::NoChildrenForEphemerals(parent.clone()));
+            }
+            actual_name = if mode.is_sequential() {
+                let n = parent_node.seq_counter;
+                parent_node.seq_counter += 1;
+                format!("{name}{n:010}")
+            } else {
+                name.to_string()
+            };
+            if parent_node.children.contains(&actual_name) {
+                return Err(CoordError::NodeExists(join(&parent, &actual_name)));
+            }
+            parent_node.children.insert(actual_name.clone());
+        }
+        let actual_path = join(&parent, &actual_name);
+        let zxid = st.next_zxid;
+        st.next_zxid += 1;
+        st.nodes.insert(
+            actual_path.clone(),
+            Znode {
+                data: data.to_vec(),
+                version: 0,
+                czxid: zxid,
+                mzxid: zxid,
+                ephemeral_owner: if mode.is_ephemeral() { session } else { None },
+                children: BTreeSet::new(),
+                seq_counter: 0,
+            },
+        );
+        if mode.is_ephemeral() {
+            if let Some(sid) = session {
+                if let Some(s) = st.sessions.get_mut(&sid) {
+                    s.ephemerals.insert(actual_path.clone());
+                }
+            }
+        }
+        fire(&mut st.data_watches, &actual_path, WatchKind::Created);
+        fire(&mut st.child_watches, &parent, WatchKind::ChildrenChanged);
+        Ok(actual_path)
+    }
+
+    /// Reads a znode's data and stat.
+    pub fn get_data(&self, path: &str) -> crate::Result<(Vec<u8>, Stat)> {
+        validate_path(path)?;
+        let st = self.state.lock();
+        let node = st
+            .nodes
+            .get(path)
+            .ok_or_else(|| CoordError::NoNode(path.into()))?;
+        Ok((node.data.clone(), stat_of(node)))
+    }
+
+    /// Updates a znode's data. `expected_version` of `None` is an
+    /// unconditional write; `Some(v)` fails with
+    /// [`CoordError::BadVersion`] unless the current version is `v`.
+    /// Returns the new stat.
+    pub fn set_data(
+        &self,
+        path: &str,
+        data: &[u8],
+        expected_version: Option<u64>,
+    ) -> crate::Result<Stat> {
+        validate_path(path)?;
+        let mut st = self.state.lock();
+        let zxid = st.next_zxid;
+        let node = st
+            .nodes
+            .get_mut(path)
+            .ok_or_else(|| CoordError::NoNode(path.into()))?;
+        if let Some(v) = expected_version {
+            if node.version != v {
+                return Err(CoordError::BadVersion {
+                    path: path.into(),
+                    expected: v,
+                    actual: node.version,
+                });
+            }
+        }
+        st.next_zxid += 1;
+        let node = st.nodes.get_mut(path).expect("checked above");
+        node.data = data.to_vec();
+        node.version += 1;
+        node.mzxid = zxid;
+        let stat = stat_of(node);
+        fire(&mut st.data_watches, path, WatchKind::DataChanged);
+        Ok(stat)
+    }
+
+    /// Deletes a childless znode, with optional version check.
+    pub fn delete(&self, path: &str, expected_version: Option<u64>) -> crate::Result<()> {
+        validate_path(path)?;
+        if path == "/" {
+            return Err(CoordError::InvalidPath("cannot delete root".into()));
+        }
+        let mut st = self.state.lock();
+        Self::delete_locked(&mut st, path, expected_version)
+    }
+
+    fn delete_locked(
+        st: &mut State,
+        path: &str,
+        expected_version: Option<u64>,
+    ) -> crate::Result<()> {
+        let node = st
+            .nodes
+            .get(path)
+            .ok_or_else(|| CoordError::NoNode(path.into()))?;
+        if !node.children.is_empty() {
+            return Err(CoordError::NotEmpty(path.into()));
+        }
+        if let Some(v) = expected_version {
+            if node.version != v {
+                return Err(CoordError::BadVersion {
+                    path: path.into(),
+                    expected: v,
+                    actual: node.version,
+                });
+            }
+        }
+        let owner = node.ephemeral_owner;
+        st.nodes.remove(path);
+        let parent = parent_path(path);
+        if let Some(p) = st.nodes.get_mut(&parent) {
+            p.children.remove(node_name(path));
+        }
+        if let Some(sid) = owner {
+            if let Some(s) = st.sessions.get_mut(&sid) {
+                s.ephemerals.remove(path);
+            }
+        }
+        fire(&mut st.data_watches, path, WatchKind::Deleted);
+        fire(&mut st.child_watches, &parent, WatchKind::ChildrenChanged);
+        Ok(())
+    }
+
+    /// Whether a node exists; optionally registers a one-shot watch that
+    /// fires on creation, data change or deletion of `path`.
+    pub fn exists(&self, path: &str, watch: Option<Sender<WatchEvent>>) -> crate::Result<bool> {
+        validate_path(path)?;
+        let mut st = self.state.lock();
+        let present = st.nodes.contains_key(path);
+        if let Some(w) = watch {
+            st.data_watches.entry(path.into()).or_default().push(w);
+        }
+        Ok(present)
+    }
+
+    /// Lists a node's children (names, sorted); optionally registers a
+    /// one-shot watch on the child list.
+    pub fn get_children(
+        &self,
+        path: &str,
+        watch: Option<Sender<WatchEvent>>,
+    ) -> crate::Result<Vec<String>> {
+        validate_path(path)?;
+        let mut st = self.state.lock();
+        let node = st
+            .nodes
+            .get(path)
+            .ok_or_else(|| CoordError::NoNode(path.into()))?;
+        let children: Vec<String> = node.children.iter().cloned().collect();
+        if let Some(w) = watch {
+            st.child_watches.entry(path.into()).or_default().push(w);
+        }
+        Ok(children)
+    }
+
+    /// Registers a one-shot data watch without reading.
+    pub fn watch_data(&self, path: &str, watch: Sender<WatchEvent>) -> crate::Result<()> {
+        validate_path(path)?;
+        self.state
+            .lock()
+            .data_watches
+            .entry(path.into())
+            .or_default()
+            .push(watch);
+        Ok(())
+    }
+
+    /// Creates all missing ancestors of `path` (persistent, empty data),
+    /// then `path` itself if missing. Returns whether `path` was created.
+    pub fn ensure_path(&self, path: &str) -> crate::Result<bool> {
+        validate_path(path)?;
+        if path == "/" {
+            return Ok(false);
+        }
+        let mut prefix = String::new();
+        let mut created = false;
+        for part in path.trim_start_matches('/').split('/') {
+            prefix.push('/');
+            prefix.push_str(part);
+            match self.create(&prefix, &[], CreateMode::Persistent, None) {
+                Ok(_) => created = true,
+                Err(CoordError::NodeExists(_)) => created = false,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(created)
+    }
+
+    /// Number of znodes (including the root).
+    pub fn node_count(&self) -> usize {
+        self.state.lock().nodes.len()
+    }
+}
+
+fn stat_of(node: &Znode) -> Stat {
+    Stat {
+        version: node.version,
+        czxid: node.czxid,
+        mzxid: node.mzxid,
+        ephemeral_owner: node.ephemeral_owner,
+        num_children: node.children.len(),
+    }
+}
+
+fn fire(watches: &mut HashMap<String, Vec<Sender<WatchEvent>>>, path: &str, kind: WatchKind) {
+    if let Some(list) = watches.remove(path) {
+        for w in list {
+            // Receiver may be gone; that watcher simply misses the event.
+            let _ = w.send(WatchEvent {
+                path: path.to_string(),
+                kind,
+            });
+        }
+    }
+}
+
+fn validate_path(path: &str) -> crate::Result<()> {
+    if path.is_empty() || !path.starts_with('/') {
+        return Err(CoordError::InvalidPath(path.into()));
+    }
+    if path != "/" && path.ends_with('/') {
+        return Err(CoordError::InvalidPath(path.into()));
+    }
+    if path.contains("//") {
+        return Err(CoordError::InvalidPath(path.into()));
+    }
+    Ok(())
+}
+
+fn parent_path(path: &str) -> String {
+    match path.rfind('/') {
+        Some(0) => "/".to_string(),
+        Some(i) => path[..i].to_string(),
+        None => "/".to_string(),
+    }
+}
+
+fn node_name(path: &str) -> &str {
+    path.rsplit('/').next().unwrap_or(path)
+}
+
+fn join(parent: &str, name: &str) -> String {
+    if parent == "/" {
+        format!("/{name}")
+    } else {
+        format!("{parent}/{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liquid_sim::clock::SimClock;
+    use std::sync::mpsc::channel;
+
+    fn svc() -> (CoordService, SimClock) {
+        let clock = SimClock::new(0);
+        (CoordService::new(clock.shared()), clock)
+    }
+
+    #[test]
+    fn create_and_read() {
+        let (s, _) = svc();
+        s.create("/a", b"hello", CreateMode::Persistent, None)
+            .unwrap();
+        let (data, stat) = s.get_data("/a").unwrap();
+        assert_eq!(data, b"hello");
+        assert_eq!(stat.version, 0);
+        assert_eq!(stat.num_children, 0);
+    }
+
+    #[test]
+    fn create_duplicate_fails() {
+        let (s, _) = svc();
+        s.create("/a", b"", CreateMode::Persistent, None).unwrap();
+        assert!(matches!(
+            s.create("/a", b"", CreateMode::Persistent, None),
+            Err(CoordError::NodeExists(_))
+        ));
+    }
+
+    #[test]
+    fn create_without_parent_fails() {
+        let (s, _) = svc();
+        assert!(matches!(
+            s.create("/a/b", b"", CreateMode::Persistent, None),
+            Err(CoordError::NoNode(_))
+        ));
+    }
+
+    #[test]
+    fn nested_create_and_children() {
+        let (s, _) = svc();
+        s.create("/a", b"", CreateMode::Persistent, None).unwrap();
+        s.create("/a/x", b"", CreateMode::Persistent, None).unwrap();
+        s.create("/a/y", b"", CreateMode::Persistent, None).unwrap();
+        assert_eq!(s.get_children("/a", None).unwrap(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn set_data_bumps_version() {
+        let (s, _) = svc();
+        s.create("/a", b"1", CreateMode::Persistent, None).unwrap();
+        let stat = s.set_data("/a", b"2", None).unwrap();
+        assert_eq!(stat.version, 1);
+        assert_eq!(s.get_data("/a").unwrap().0, b"2");
+    }
+
+    #[test]
+    fn conditional_set_enforces_version() {
+        let (s, _) = svc();
+        s.create("/a", b"1", CreateMode::Persistent, None).unwrap();
+        s.set_data("/a", b"2", Some(0)).unwrap();
+        let err = s.set_data("/a", b"3", Some(0)).unwrap_err();
+        assert!(matches!(err, CoordError::BadVersion { actual: 1, .. }));
+    }
+
+    #[test]
+    fn delete_requires_empty() {
+        let (s, _) = svc();
+        s.create("/a", b"", CreateMode::Persistent, None).unwrap();
+        s.create("/a/b", b"", CreateMode::Persistent, None).unwrap();
+        assert!(matches!(s.delete("/a", None), Err(CoordError::NotEmpty(_))));
+        s.delete("/a/b", None).unwrap();
+        s.delete("/a", None).unwrap();
+        assert!(!s.exists("/a", None).unwrap());
+    }
+
+    #[test]
+    fn sequential_names_increase() {
+        let (s, _) = svc();
+        s.create("/q", b"", CreateMode::Persistent, None).unwrap();
+        let a = s
+            .create("/q/n-", b"", CreateMode::PersistentSequential, None)
+            .unwrap();
+        let b = s
+            .create("/q/n-", b"", CreateMode::PersistentSequential, None)
+            .unwrap();
+        assert_eq!(a, "/q/n-0000000000");
+        assert_eq!(b, "/q/n-0000000001");
+        assert!(a < b);
+    }
+
+    #[test]
+    fn ephemeral_requires_session_and_dies_with_it() {
+        let (s, _) = svc();
+        let sess = s.create_session(1000);
+        s.create("/e", b"", CreateMode::Ephemeral, Some(sess.id()))
+            .unwrap();
+        assert!(s.exists("/e", None).unwrap());
+        s.expire_session(sess.id());
+        assert!(!s.exists("/e", None).unwrap());
+    }
+
+    #[test]
+    fn ephemeral_without_session_rejected() {
+        let (s, _) = svc();
+        assert!(s.create("/e", b"", CreateMode::Ephemeral, None).is_err());
+    }
+
+    #[test]
+    fn ephemeral_cannot_have_children() {
+        let (s, _) = svc();
+        let sess = s.create_session(1000);
+        s.create("/e", b"", CreateMode::Ephemeral, Some(sess.id()))
+            .unwrap();
+        assert!(matches!(
+            s.create("/e/c", b"", CreateMode::Persistent, None),
+            Err(CoordError::NoChildrenForEphemerals(_))
+        ));
+    }
+
+    #[test]
+    fn stale_sessions_expire_on_timeout() {
+        let (s, clock) = svc();
+        let sess = s.create_session(100);
+        s.create("/e", b"", CreateMode::Ephemeral, Some(sess.id()))
+            .unwrap();
+        clock.advance(50);
+        s.heartbeat(sess.id()).unwrap();
+        clock.advance(99);
+        assert!(s.expire_stale_sessions().is_empty());
+        clock.advance(1);
+        assert_eq!(s.expire_stale_sessions(), vec![sess.id()]);
+        assert!(!s.exists("/e", None).unwrap());
+    }
+
+    #[test]
+    fn data_watch_fires_once_on_change() {
+        let (s, _) = svc();
+        s.create("/w", b"", CreateMode::Persistent, None).unwrap();
+        let (tx, rx) = channel();
+        s.watch_data("/w", tx).unwrap();
+        s.set_data("/w", b"x", None).unwrap();
+        let ev = rx.try_recv().unwrap();
+        assert_eq!(ev.kind, WatchKind::DataChanged);
+        // One-shot: second change does not fire.
+        s.set_data("/w", b"y", None).unwrap();
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn exists_watch_fires_on_creation() {
+        let (s, _) = svc();
+        let (tx, rx) = channel();
+        assert!(!s.exists("/later", Some(tx)).unwrap());
+        s.create("/later", b"", CreateMode::Persistent, None)
+            .unwrap();
+        assert_eq!(rx.try_recv().unwrap().kind, WatchKind::Created);
+    }
+
+    #[test]
+    fn child_watch_fires_on_create_and_delete() {
+        let (s, _) = svc();
+        s.create("/p", b"", CreateMode::Persistent, None).unwrap();
+        let (tx, rx) = channel();
+        s.get_children("/p", Some(tx)).unwrap();
+        s.create("/p/c", b"", CreateMode::Persistent, None).unwrap();
+        assert_eq!(rx.try_recv().unwrap().kind, WatchKind::ChildrenChanged);
+        // Re-register and delete.
+        let (tx2, rx2) = channel();
+        s.get_children("/p", Some(tx2)).unwrap();
+        s.delete("/p/c", None).unwrap();
+        assert_eq!(rx2.try_recv().unwrap().kind, WatchKind::ChildrenChanged);
+    }
+
+    #[test]
+    fn delete_fires_data_watch() {
+        let (s, _) = svc();
+        s.create("/d", b"", CreateMode::Persistent, None).unwrap();
+        let (tx, rx) = channel();
+        s.watch_data("/d", tx).unwrap();
+        s.delete("/d", None).unwrap();
+        assert_eq!(rx.try_recv().unwrap().kind, WatchKind::Deleted);
+    }
+
+    #[test]
+    fn ensure_path_creates_chain() {
+        let (s, _) = svc();
+        assert!(s.ensure_path("/a/b/c").unwrap());
+        assert!(s.exists("/a/b/c", None).unwrap());
+        assert!(!s.ensure_path("/a/b/c").unwrap());
+    }
+
+    #[test]
+    fn invalid_paths_rejected() {
+        let (s, _) = svc();
+        for bad in ["", "a", "/a/", "//a", "/a//b"] {
+            assert!(
+                matches!(
+                    s.create(bad, b"", CreateMode::Persistent, None),
+                    Err(CoordError::InvalidPath(_)) | Err(CoordError::NodeExists(_))
+                ),
+                "path {bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn session_expiry_affects_only_own_ephemerals() {
+        let (s, _) = svc();
+        let s1 = s.create_session(1000);
+        let s2 = s.create_session(1000);
+        s.create("/e1", b"", CreateMode::Ephemeral, Some(s1.id()))
+            .unwrap();
+        s.create("/e2", b"", CreateMode::Ephemeral, Some(s2.id()))
+            .unwrap();
+        s.expire_session(s1.id());
+        assert!(!s.exists("/e1", None).unwrap());
+        assert!(s.exists("/e2", None).unwrap());
+    }
+
+    #[test]
+    fn node_count_tracks_tree() {
+        let (s, _) = svc();
+        assert_eq!(s.node_count(), 1);
+        s.create("/a", b"", CreateMode::Persistent, None).unwrap();
+        assert_eq!(s.node_count(), 2);
+        s.delete("/a", None).unwrap();
+        assert_eq!(s.node_count(), 1);
+    }
+}

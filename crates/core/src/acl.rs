@@ -1,0 +1,173 @@
+//! Access control for feeds (paper §2.1).
+//!
+//! "Access control is necessary to ensure that no faulty or
+//! misconfigured back-end systems can compromise the data of other
+//! applications." The stack tracks per-principal grants per feed;
+//! principal-scoped producer/consumer constructors on
+//! [`Liquid`](crate::stack::Liquid) refuse handles the principal is not
+//! entitled to. Feeds with no grants at all remain open (opt-in
+//! governance, matching how organizations roll ACLs out).
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+/// What a principal may do with a feed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Consume only.
+    Read,
+    /// Produce only.
+    Write,
+    /// Produce and consume.
+    ReadWrite,
+}
+
+impl Access {
+    fn allows_read(self) -> bool {
+        matches!(self, Access::Read | Access::ReadWrite)
+    }
+
+    fn allows_write(self) -> bool {
+        matches!(self, Access::Write | Access::ReadWrite)
+    }
+}
+
+/// Per-feed access-control lists.
+#[derive(Default)]
+pub struct AclRegistry {
+    /// feed → (principal → access)
+    grants: RwLock<HashMap<String, HashMap<String, Access>>>,
+}
+
+impl AclRegistry {
+    /// Creates an empty registry (everything open).
+    pub fn new() -> Self {
+        AclRegistry::default()
+    }
+
+    /// Grants `principal` the given access to `feed`. The first grant
+    /// on a feed closes it to everyone else.
+    pub fn grant(&self, principal: &str, feed: &str, access: Access) {
+        self.grants
+            .write()
+            .entry(feed.to_string())
+            .or_default()
+            .insert(principal.to_string(), access);
+    }
+
+    /// Revokes a principal's access to a feed.
+    pub fn revoke(&self, principal: &str, feed: &str) {
+        if let Some(feed_grants) = self.grants.write().get_mut(feed) {
+            feed_grants.remove(principal);
+        }
+    }
+
+    /// Whether `feed` is governed (has at least one grant).
+    pub fn is_governed(&self, feed: &str) -> bool {
+        self.grants.read().get(feed).is_some_and(|g| !g.is_empty())
+    }
+
+    /// Whether `principal` may read `feed`.
+    pub fn can_read(&self, principal: &str, feed: &str) -> bool {
+        let grants = self.grants.read();
+        match grants.get(feed).filter(|g| !g.is_empty()) {
+            None => true, // ungoverned feeds are open
+            Some(g) => g.get(principal).is_some_and(|a| a.allows_read()),
+        }
+    }
+
+    /// Whether `principal` may write `feed`.
+    pub fn can_write(&self, principal: &str, feed: &str) -> bool {
+        let grants = self.grants.read();
+        match grants.get(feed).filter(|g| !g.is_empty()) {
+            None => true,
+            Some(g) => g.get(principal).is_some_and(|a| a.allows_write()),
+        }
+    }
+
+    /// All grants for a feed, sorted by principal.
+    pub fn grants_for(&self, feed: &str) -> Vec<(String, Access)> {
+        let mut v: Vec<(String, Access)> = self
+            .grants
+            .read()
+            .get(feed)
+            .map(|g| g.iter().map(|(p, &a)| (p.clone(), a)).collect())
+            .unwrap_or_default();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ungoverned_feeds_are_open() {
+        let acl = AclRegistry::new();
+        assert!(acl.can_read("anyone", "events"));
+        assert!(acl.can_write("anyone", "events"));
+        assert!(!acl.is_governed("events"));
+    }
+
+    #[test]
+    fn first_grant_closes_the_feed() {
+        let acl = AclRegistry::new();
+        acl.grant("team-a", "events", Access::ReadWrite);
+        assert!(acl.is_governed("events"));
+        assert!(acl.can_read("team-a", "events"));
+        assert!(acl.can_write("team-a", "events"));
+        assert!(!acl.can_read("team-b", "events"));
+        assert!(!acl.can_write("team-b", "events"));
+    }
+
+    #[test]
+    fn read_and_write_are_separate() {
+        let acl = AclRegistry::new();
+        acl.grant("producer-svc", "events", Access::Write);
+        acl.grant("dashboards", "events", Access::Read);
+        assert!(acl.can_write("producer-svc", "events"));
+        assert!(!acl.can_read("producer-svc", "events"));
+        assert!(acl.can_read("dashboards", "events"));
+        assert!(!acl.can_write("dashboards", "events"));
+    }
+
+    #[test]
+    fn revoke_removes_access() {
+        let acl = AclRegistry::new();
+        acl.grant("a", "f", Access::ReadWrite);
+        acl.grant("b", "f", Access::Read);
+        acl.revoke("b", "f");
+        assert!(!acl.can_read("b", "f"));
+        assert!(acl.can_read("a", "f"), "other grants unaffected");
+    }
+
+    #[test]
+    fn revoking_all_reopens() {
+        let acl = AclRegistry::new();
+        acl.grant("a", "f", Access::ReadWrite);
+        acl.revoke("a", "f");
+        assert!(!acl.is_governed("f"));
+        assert!(acl.can_read("anyone", "f"));
+    }
+
+    #[test]
+    fn grants_listing_sorted() {
+        let acl = AclRegistry::new();
+        acl.grant("zeta", "f", Access::Read);
+        acl.grant("alpha", "f", Access::Write);
+        let g = acl.grants_for("f");
+        assert_eq!(g.len(), 2);
+        assert_eq!(g[0].0, "alpha");
+        assert_eq!(acl.grants_for("other"), vec![]);
+    }
+
+    #[test]
+    fn feeds_are_independent() {
+        let acl = AclRegistry::new();
+        acl.grant("a", "governed", Access::Read);
+        assert!(acl.can_write("b", "open"));
+        assert!(!acl.can_write("b", "governed"));
+    }
+}

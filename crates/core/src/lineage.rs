@@ -1,0 +1,167 @@
+//! Data lineage for derived feeds (paper §3).
+//!
+//! "Derived feeds contain lineage information, i.e. annotations about
+//! how the data was computed, which are stored by the messaging layer."
+//! Lineage records live in the coordination service under
+//! `/liquid/lineage/<feed>` so that any consumer can trace a derived
+//! feed back through the jobs that produced it to the source-of-truth
+//! feeds.
+
+use liquid_coord::CoordService;
+
+/// How a derived feed was computed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lineage {
+    /// Job that produces the feed.
+    pub job: String,
+    /// Software version of that job.
+    pub version: String,
+    /// Input feeds the job consumes.
+    pub inputs: Vec<String>,
+}
+
+impl Lineage {
+    /// Creates a lineage record.
+    pub fn new(job: &str, version: &str, inputs: &[&str]) -> Self {
+        Lineage {
+            job: job.to_string(),
+            version: version.to_string(),
+            inputs: inputs.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        format!("{}|{}|{}", self.job, self.version, self.inputs.join(",")).into_bytes()
+    }
+
+    fn decode(data: &[u8]) -> Option<Lineage> {
+        let s = std::str::from_utf8(data).ok()?;
+        let mut it = s.splitn(3, '|');
+        let job = it.next()?.to_string();
+        let version = it.next()?.to_string();
+        let inputs_raw = it.next()?;
+        let inputs = if inputs_raw.is_empty() {
+            Vec::new()
+        } else {
+            inputs_raw.split(',').map(str::to_string).collect()
+        };
+        Some(Lineage {
+            job,
+            version,
+            inputs,
+        })
+    }
+}
+
+/// Registry of lineage records, stored in the coordination service.
+pub struct LineageRegistry {
+    coord: CoordService,
+}
+
+impl LineageRegistry {
+    /// Creates the registry over the given coordination service.
+    pub fn new(coord: CoordService) -> Self {
+        coord.ensure_path("/liquid/lineage").ok();
+        LineageRegistry { coord }
+    }
+
+    /// Records the lineage of a derived feed (overwrites any previous
+    /// record — e.g. after a reprocessing run with a new version).
+    pub fn record(&self, feed: &str, lineage: &Lineage) -> crate::Result<()> {
+        let path = format!("/liquid/lineage/{feed}");
+        self.coord.ensure_path(&path)?;
+        self.coord.set_data(&path, &lineage.encode(), None)?;
+        Ok(())
+    }
+
+    /// Lineage of one feed, if it is derived.
+    pub fn get(&self, feed: &str) -> Option<Lineage> {
+        let (data, _) = self
+            .coord
+            .get_data(&format!("/liquid/lineage/{feed}"))
+            .ok()?;
+        Lineage::decode(&data)
+    }
+
+    /// Full provenance chain: the feed's lineage, then its inputs'
+    /// lineages, transitively, in breadth-first order. Source-of-truth
+    /// feeds (no lineage) terminate branches.
+    pub fn provenance(&self, feed: &str) -> Vec<(String, Lineage)> {
+        let mut out = Vec::new();
+        let mut queue = std::collections::VecDeque::from([feed.to_string()]);
+        let mut seen = std::collections::HashSet::new();
+        while let Some(f) = queue.pop_front() {
+            if !seen.insert(f.clone()) {
+                continue;
+            }
+            if let Some(l) = self.get(&f) {
+                for input in &l.inputs {
+                    queue.push_back(input.clone());
+                }
+                out.push((f, l));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liquid_sim::clock::SimClock;
+
+    fn registry() -> LineageRegistry {
+        LineageRegistry::new(CoordService::new(SimClock::new(0).shared()))
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let l = Lineage::new("cleaner", "v2", &["raw", "profiles"]);
+        assert_eq!(Lineage::decode(&l.encode()), Some(l));
+        let no_inputs = Lineage::new("gen", "v1", &[]);
+        assert_eq!(Lineage::decode(&no_inputs.encode()), Some(no_inputs));
+    }
+
+    #[test]
+    fn record_and_get() {
+        let r = registry();
+        let l = Lineage::new("job", "v1", &["src"]);
+        r.record("derived", &l).unwrap();
+        assert_eq!(r.get("derived"), Some(l));
+        assert_eq!(r.get("src"), None, "source feeds have no lineage");
+    }
+
+    #[test]
+    fn record_overwrites_on_reprocess() {
+        let r = registry();
+        r.record("d", &Lineage::new("job", "v1", &["src"])).unwrap();
+        r.record("d", &Lineage::new("job", "v2", &["src"])).unwrap();
+        assert_eq!(r.get("d").unwrap().version, "v2");
+    }
+
+    #[test]
+    fn provenance_walks_the_chain() {
+        let r = registry();
+        r.record("gold", &Lineage::new("aggregate", "v1", &["silver"]))
+            .unwrap();
+        r.record(
+            "silver",
+            &Lineage::new("clean", "v3", &["bronze", "profiles"]),
+        )
+        .unwrap();
+        let chain = r.provenance("gold");
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain[0].0, "gold");
+        assert_eq!(chain[1].0, "silver");
+        assert_eq!(chain[1].1.inputs, vec!["bronze", "profiles"]);
+    }
+
+    #[test]
+    fn provenance_handles_cycles() {
+        let r = registry();
+        r.record("a", &Lineage::new("j1", "v1", &["b"])).unwrap();
+        r.record("b", &Lineage::new("j2", "v1", &["a"])).unwrap();
+        let chain = r.provenance("a");
+        assert_eq!(chain.len(), 2, "cycle terminates");
+    }
+}

@@ -1,0 +1,487 @@
+//! Mini distributed file system (the baseline substrate of Figure 1).
+//!
+//! The paper's argument starts from the legacy MR/DFS integration
+//! stack: a GFS/HDFS-style file system storing data in large replicated
+//! blocks, offering *coarse-grained* reads and writes. To measure that
+//! baseline rather than assert it, this crate implements the substrate:
+//!
+//! * a **namenode** holding the namespace (path → block list);
+//! * **datanodes** holding block replicas, placed round-robin;
+//! * whole-file writes and reads (HDFS semantics: no random update);
+//! * datanode failure and re-replication;
+//! * a **simulated cost model**: every operation is charged namenode
+//!   RPC latency plus per-block disk seek/transfer costs from
+//!   [`liquid_sim::disk::DiskModel`], so experiment E1 can compare
+//!   MR/DFS pipeline latency against Liquid's log-based path in the
+//!   same currency (simulated nanoseconds).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use liquid_sim::disk::DiskModel;
+use parking_lot::Mutex;
+
+/// Errors from the DFS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfsError {
+    /// Path does not exist.
+    NotFound(String),
+    /// Path already exists (files are immutable once written).
+    AlreadyExists(String),
+    /// All replicas of a block are on dead datanodes.
+    BlockLost {
+        /// File the block belongs to.
+        path: String,
+        /// Index of the lost block.
+        block: usize,
+    },
+    /// Unknown datanode.
+    UnknownDatanode(u32),
+}
+
+impl std::fmt::Display for DfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DfsError::NotFound(p) => write!(f, "not found: {p}"),
+            DfsError::AlreadyExists(p) => write!(f, "already exists: {p}"),
+            DfsError::BlockLost { path, block } => {
+                write!(f, "block {block} of {path} lost (all replicas dead)")
+            }
+            DfsError::UnknownDatanode(d) => write!(f, "unknown datanode {d}"),
+        }
+    }
+}
+
+impl std::error::Error for DfsError {}
+
+/// Result alias for DFS operations.
+pub type Result<T> = std::result::Result<T, DfsError>;
+
+/// DFS configuration.
+#[derive(Debug, Clone)]
+pub struct DfsConfig {
+    /// Bytes per block.
+    pub block_size: usize,
+    /// Replicas per block.
+    pub replication: u32,
+    /// Number of datanodes.
+    pub datanodes: u32,
+    /// Simulated namenode RPC latency per operation (ns).
+    pub namenode_rpc_ns: u64,
+    /// Disk model for block I/O.
+    pub disk: DiskModel,
+}
+
+impl Default for DfsConfig {
+    fn default() -> Self {
+        DfsConfig {
+            block_size: 64 * 1024,
+            replication: 3,
+            datanodes: 3,
+            namenode_rpc_ns: 300_000, // ~0.3 ms per metadata RPC
+            disk: DiskModel::default(),
+        }
+    }
+}
+
+type BlockId = u64;
+
+struct FileMeta {
+    blocks: Vec<BlockId>,
+    len: u64,
+}
+
+/// Replica locations + data per block.
+struct BlockMeta {
+    replicas: Vec<u32>,
+}
+
+struct State {
+    files: HashMap<String, FileMeta>,
+    blocks: HashMap<BlockId, BlockMeta>,
+    /// Block payloads per datanode.
+    datanodes: Vec<HashMap<BlockId, Bytes>>,
+    alive: Vec<bool>,
+    next_block: BlockId,
+    placement_cursor: usize,
+}
+
+/// Counters + simulated cost accumulated by the DFS.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DfsStats {
+    /// Whole-file writes.
+    pub writes: u64,
+    /// Whole-file reads.
+    pub reads: u64,
+    /// Bytes written (before replication).
+    pub bytes_written: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Total simulated cost charged (ns).
+    pub simulated_ns: u64,
+}
+
+/// The file system handle. Cheap to clone.
+#[derive(Clone)]
+pub struct Dfs {
+    config: DfsConfig,
+    state: Arc<Mutex<State>>,
+    stats: Arc<Mutex<DfsStats>>,
+}
+
+impl Dfs {
+    /// Creates a DFS with `config.datanodes` empty datanodes.
+    pub fn new(config: DfsConfig) -> Self {
+        assert!(config.block_size > 0, "block size must be positive");
+        assert!(
+            config.replication >= 1 && config.replication <= config.datanodes,
+            "replication {} out of range 1..={}",
+            config.replication,
+            config.datanodes
+        );
+        let state = State {
+            files: HashMap::new(),
+            blocks: HashMap::new(),
+            datanodes: (0..config.datanodes).map(|_| HashMap::new()).collect(),
+            alive: vec![true; config.datanodes as usize],
+            next_block: 1,
+            placement_cursor: 0,
+        };
+        Dfs {
+            config,
+            state: Arc::new(Mutex::new(state)),
+            stats: Arc::new(Mutex::new(DfsStats::default())),
+        }
+    }
+
+    /// Writes an immutable file; charges namenode RPC + per-block
+    /// sequential writes on every replica. Returns the simulated cost.
+    pub fn write(&self, path: &str, data: &[u8]) -> Result<u64> {
+        let mut st = self.state.lock();
+        if st.files.contains_key(path) {
+            return Err(DfsError::AlreadyExists(path.to_string()));
+        }
+        let mut cost = self.config.namenode_rpc_ns;
+        let mut blocks = Vec::new();
+        for chunk in data.chunks(self.config.block_size.max(1)) {
+            let id = st.next_block;
+            st.next_block += 1;
+            let mut replicas = Vec::new();
+            let n = st.datanodes.len();
+            let mut placed = 0;
+            let mut probe = 0;
+            while placed < self.config.replication as usize && probe < n {
+                let dn = (st.placement_cursor + probe) % n;
+                probe += 1;
+                if !st.alive[dn] {
+                    continue;
+                }
+                st.datanodes[dn].insert(id, Bytes::copy_from_slice(chunk));
+                replicas.push(dn as u32);
+                placed += 1;
+                cost += self.config.disk.sequential_read_ns(chunk.len() as u64);
+            }
+            st.placement_cursor = (st.placement_cursor + 1) % n;
+            st.blocks.insert(id, BlockMeta { replicas });
+            blocks.push(id);
+        }
+        st.files.insert(
+            path.to_string(),
+            FileMeta {
+                blocks,
+                len: data.len() as u64,
+            },
+        );
+        let mut stats = self.stats.lock();
+        stats.writes += 1;
+        stats.bytes_written += data.len() as u64;
+        stats.simulated_ns += cost;
+        Ok(cost)
+    }
+
+    /// Reads a whole file; charges namenode RPC + per-block random read
+    /// (first block) and sequential reads (rest). Returns data and cost.
+    pub fn read(&self, path: &str) -> Result<(Bytes, u64)> {
+        let st = self.state.lock();
+        let meta = st
+            .files
+            .get(path)
+            .ok_or_else(|| DfsError::NotFound(path.to_string()))?;
+        let mut cost = self.config.namenode_rpc_ns;
+        let mut out = Vec::with_capacity(meta.len as usize);
+        for (i, block) in meta.blocks.iter().enumerate() {
+            let bm = st
+                .blocks
+                .get(block)
+                .ok_or_else(|| DfsError::NotFound(path.to_string()))?;
+            let dn =
+                bm.replicas
+                    .iter()
+                    .find(|&&d| st.alive[d as usize])
+                    .ok_or(DfsError::BlockLost {
+                        path: path.to_string(),
+                        block: i,
+                    })?;
+            let data = st.datanodes[*dn as usize]
+                .get(block)
+                .ok_or(DfsError::BlockLost {
+                    path: path.to_string(),
+                    block: i,
+                })?;
+            cost += if i == 0 {
+                self.config.disk.random_read_ns(data.len() as u64)
+            } else {
+                self.config.disk.sequential_read_ns(data.len() as u64)
+            };
+            out.extend_from_slice(data);
+        }
+        let len = out.len() as u64;
+        drop(st);
+        let mut stats = self.stats.lock();
+        stats.reads += 1;
+        stats.bytes_read += len;
+        stats.simulated_ns += cost;
+        Ok((Bytes::from(out), cost))
+    }
+
+    /// Whether a path exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.state.lock().files.contains_key(path)
+    }
+
+    /// File length.
+    pub fn len(&self, path: &str) -> Result<u64> {
+        self.state
+            .lock()
+            .files
+            .get(path)
+            .map(|f| f.len)
+            .ok_or_else(|| DfsError::NotFound(path.to_string()))
+    }
+
+    /// Paths with the given prefix, sorted.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        let st = self.state.lock();
+        let mut v: Vec<String> = st
+            .files
+            .keys()
+            .filter(|p| p.starts_with(prefix))
+            .cloned()
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Deletes a file (blocks are garbage collected immediately).
+    pub fn delete(&self, path: &str) -> Result<()> {
+        let mut st = self.state.lock();
+        let meta = st
+            .files
+            .remove(path)
+            .ok_or_else(|| DfsError::NotFound(path.to_string()))?;
+        for block in meta.blocks {
+            if let Some(bm) = st.blocks.remove(&block) {
+                for dn in bm.replicas {
+                    st.datanodes[dn as usize].remove(&block);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Marks a datanode dead; its replicas become unavailable.
+    pub fn kill_datanode(&self, dn: u32) -> Result<()> {
+        let mut st = self.state.lock();
+        let slot = st
+            .alive
+            .get_mut(dn as usize)
+            .ok_or(DfsError::UnknownDatanode(dn))?;
+        *slot = false;
+        Ok(())
+    }
+
+    /// Revives a datanode (its old replicas are still on disk).
+    pub fn restart_datanode(&self, dn: u32) -> Result<()> {
+        let mut st = self.state.lock();
+        let slot = st
+            .alive
+            .get_mut(dn as usize)
+            .ok_or(DfsError::UnknownDatanode(dn))?;
+        *slot = true;
+        Ok(())
+    }
+
+    /// Re-replicates under-replicated blocks onto live datanodes;
+    /// returns how many new replicas were created.
+    pub fn replicate_missing(&self) -> usize {
+        let mut st = self.state.lock();
+        let target = self.config.replication as usize;
+        let block_ids: Vec<BlockId> = st.blocks.keys().copied().collect();
+        let mut created = 0;
+        for id in block_ids {
+            let live: Vec<u32> = st.blocks[&id]
+                .replicas
+                .iter()
+                .copied()
+                .filter(|&d| st.alive[d as usize])
+                .collect();
+            if live.is_empty() || live.len() >= target {
+                continue;
+            }
+            let data = st.datanodes[live[0] as usize][&id].clone();
+            let mut live_count = live.len();
+            for dn in 0..st.datanodes.len() {
+                if live_count >= target {
+                    break;
+                }
+                if st.alive[dn] && !st.blocks[&id].replicas.contains(&(dn as u32)) {
+                    st.datanodes[dn].insert(id, data.clone());
+                    st.blocks
+                        .get_mut(&id)
+                        .expect("exists")
+                        .replicas
+                        .push(dn as u32);
+                    created += 1;
+                    live_count += 1;
+                }
+            }
+        }
+        created
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> DfsStats {
+        *self.stats.lock()
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DfsConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dfs() -> Dfs {
+        Dfs::new(DfsConfig {
+            block_size: 16,
+            replication: 2,
+            datanodes: 3,
+            ..DfsConfig::default()
+        })
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let d = dfs();
+        let data = b"hello distributed file system".repeat(3);
+        d.write("/data/f1", &data).unwrap();
+        let (back, cost) = d.read("/data/f1").unwrap();
+        assert_eq!(back, Bytes::from(data));
+        assert!(cost > 0);
+    }
+
+    #[test]
+    fn files_are_immutable() {
+        let d = dfs();
+        d.write("/f", b"v1").unwrap();
+        assert!(matches!(
+            d.write("/f", b"v2"),
+            Err(DfsError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let d = dfs();
+        assert!(matches!(d.read("/ghost"), Err(DfsError::NotFound(_))));
+        assert!(d.len("/ghost").is_err());
+        assert!(d.delete("/ghost").is_err());
+    }
+
+    #[test]
+    fn list_by_prefix() {
+        let d = dfs();
+        d.write("/a/1", b"x").unwrap();
+        d.write("/a/2", b"x").unwrap();
+        d.write("/b/1", b"x").unwrap();
+        assert_eq!(d.list("/a/"), vec!["/a/1", "/a/2"]);
+        assert_eq!(d.list("/").len(), 3);
+    }
+
+    #[test]
+    fn delete_frees_blocks() {
+        let d = dfs();
+        d.write("/f", &[0u8; 64]).unwrap();
+        d.delete("/f").unwrap();
+        assert!(!d.exists("/f"));
+        assert!(d.read("/f").is_err());
+    }
+
+    #[test]
+    fn survives_one_datanode_failure() {
+        let d = dfs();
+        d.write("/f", &[7u8; 64]).unwrap();
+        d.kill_datanode(0).unwrap();
+        let (back, _) = d.read("/f").unwrap();
+        assert_eq!(back.len(), 64);
+    }
+
+    #[test]
+    fn blocks_lost_when_all_replicas_dead() {
+        let d = Dfs::new(DfsConfig {
+            block_size: 16,
+            replication: 1,
+            datanodes: 2,
+            ..DfsConfig::default()
+        });
+        d.write("/f", &[1u8; 16]).unwrap();
+        d.kill_datanode(0).unwrap();
+        d.kill_datanode(1).unwrap();
+        assert!(matches!(d.read("/f"), Err(DfsError::BlockLost { .. })));
+        d.restart_datanode(0).unwrap();
+        d.restart_datanode(1).unwrap();
+        assert!(d.read("/f").is_ok(), "replicas return with the node");
+    }
+
+    #[test]
+    fn rereplication_restores_redundancy() {
+        let d = dfs();
+        d.write("/f", &[2u8; 32]).unwrap();
+        d.kill_datanode(0).unwrap();
+        let created = d.replicate_missing();
+        // Any block that had a replica on node 0 gets a fresh copy.
+        d.kill_datanode(1).unwrap();
+        assert!(d.read("/f").is_ok(), "created {created} new replicas");
+    }
+
+    #[test]
+    fn stats_accumulate_costs() {
+        let d = dfs();
+        d.write("/f", &[0u8; 100]).unwrap();
+        d.read("/f").unwrap();
+        let s = d.stats();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.bytes_written, 100);
+        assert_eq!(s.bytes_read, 100);
+        assert!(s.simulated_ns > 2 * d.config().namenode_rpc_ns);
+    }
+
+    #[test]
+    fn coarse_grained_reads_cost_more_than_fine() {
+        // The §2.1 claim in miniature: reading a whole file to get one
+        // record costs the whole file's transfer.
+        let d = dfs();
+        let big = vec![0u8; 64 * 1024];
+        d.write("/big", &big).unwrap();
+        let (_, cost_big) = d.read("/big").unwrap();
+        let d2 = dfs();
+        d2.write("/small", &[0u8; 64]).unwrap();
+        let (_, cost_small) = d2.read("/small").unwrap();
+        assert!(cost_big > cost_small);
+    }
+}

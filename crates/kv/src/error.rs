@@ -1,0 +1,48 @@
+//! Error type for store operations.
+
+use std::io;
+
+/// Errors surfaced by the LSM store.
+#[derive(Debug)]
+pub enum KvError {
+    /// Underlying file I/O failed.
+    Io(io::Error),
+    /// WAL or SSTable bytes failed validation.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::Io(e) => write!(f, "kv I/O error: {e}"),
+            KvError::Corrupt(msg) => write!(f, "corrupt kv data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KvError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for KvError {
+    fn from(e: io::Error) -> Self {
+        KvError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(KvError::Corrupt("x".into()).to_string().contains('x'));
+        let e: KvError = io::Error::other("y").into();
+        assert!(e.to_string().contains('y'));
+    }
+}

@@ -1,0 +1,32 @@
+//! Embedded LSM-tree key-value store.
+//!
+//! The paper's processing layer keeps task state *off-heap* in RocksDB
+//! (§4.4) so stateful jobs are not throttled by garbage collection and
+//! can hold state larger than memory. This crate is the workspace's
+//! RocksDB stand-in: a log-structured merge tree with
+//!
+//! * an in-memory **memtable** ([`memtable`]) absorbing writes;
+//! * a **write-ahead log** ([`wal`]) making those writes durable before
+//!   they are acknowledged;
+//! * immutable sorted **SSTables** ([`sstable`]) produced when the
+//!   memtable fills, each guarded by a **bloom filter** ([`bloom`]);
+//! * size-tiered **compaction** merging tables level by level;
+//! * point reads, ordered range scans and consistent **snapshots**
+//!   ([`store`]).
+//!
+//! The store is deliberately API-compatible with what the processing
+//! layer needs from RocksDB: `get`/`put`/`delete`/`range`, plus
+//! `flush` and restart recovery.
+
+pub mod bloom;
+pub mod error;
+pub mod memtable;
+pub mod sstable;
+pub mod store;
+pub mod wal;
+
+pub use error::KvError;
+pub use store::{LsmConfig, LsmStore, Snapshot};
+
+/// Result alias for store operations.
+pub type Result<T> = std::result::Result<T, KvError>;

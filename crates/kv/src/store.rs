@@ -1,0 +1,581 @@
+//! The LSM store: memtable + WAL + leveled SSTables.
+//!
+//! Write path: WAL append → memtable insert; when the memtable exceeds
+//! its budget it is flushed to a level-0 SSTable and the WAL truncated.
+//! Read path: memtable, then level 0 newest-first, then deeper levels.
+//! Compaction is size-tiered: when a level accumulates more than
+//! `level_limit` tables they are merged into a single table one level
+//! down (tombstones are dropped when merging into the bottom level).
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::memtable::Memtable;
+use crate::sstable::SsTable;
+use crate::wal::{Wal, WalOp};
+
+/// Store configuration.
+#[derive(Debug, Clone)]
+pub struct LsmConfig {
+    /// Flush the memtable after it exceeds this many bytes.
+    pub memtable_bytes: usize,
+    /// Merge a level once it holds more than this many tables.
+    pub level_limit: usize,
+    /// Number of levels (the last is the bottom; tombstones dropped
+    /// when compacting into it).
+    pub max_levels: usize,
+    /// Bloom filter bits per key.
+    pub bits_per_key: usize,
+    /// Directory for WAL + SSTables; `None` = fully in-memory.
+    pub dir: Option<PathBuf>,
+}
+
+impl Default for LsmConfig {
+    fn default() -> Self {
+        LsmConfig {
+            memtable_bytes: 1 << 20,
+            level_limit: 4,
+            max_levels: 5,
+            bits_per_key: 10,
+            dir: None,
+        }
+    }
+}
+
+/// Counters for observability and the state-store benchmarks.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StoreStats {
+    /// Memtable flushes performed.
+    pub flushes: u64,
+    /// Compactions performed.
+    pub compactions: u64,
+    /// Point lookups answered from the memtable.
+    pub memtable_hits: u64,
+    /// Point lookups answered from an SSTable.
+    pub sstable_hits: u64,
+    /// SSTables skipped thanks to bloom filters.
+    pub bloom_skips: u64,
+}
+
+/// An embedded LSM key-value store.
+pub struct LsmStore {
+    config: LsmConfig,
+    memtable: Memtable,
+    wal: Wal,
+    /// `levels[0]` is newest-first; deeper levels hold at most
+    /// `level_limit` tables each.
+    levels: Vec<Vec<Arc<SsTable>>>,
+    next_table_id: u64,
+    stats: StoreStats,
+}
+
+impl LsmStore {
+    /// Opens a store. With a directory configured, recovers the WAL and
+    /// loads existing SSTables; otherwise starts empty.
+    pub fn open(config: LsmConfig) -> crate::Result<Self> {
+        let mut levels = vec![Vec::new(); config.max_levels];
+        let mut next_table_id = 1;
+        let (wal, replayed) = match &config.dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                // Load SSTables: files named L{level}-{id}.sst.
+                let mut found: Vec<(usize, u64, PathBuf)> = Vec::new();
+                for entry in std::fs::read_dir(dir)? {
+                    let entry = entry?;
+                    let name = entry.file_name();
+                    let name = name.to_string_lossy();
+                    if let Some(rest) = name.strip_prefix('L') {
+                        if let Some(stem) = rest.strip_suffix(".sst") {
+                            if let Some((lvl, id)) = stem.split_once('-') {
+                                if let (Ok(lvl), Ok(id)) = (lvl.parse::<usize>(), id.parse::<u64>())
+                                {
+                                    found.push((lvl, id, entry.path()));
+                                }
+                            }
+                        }
+                    }
+                }
+                // Newest (highest id) first within each level.
+                found.sort_by_key(|&(lvl, id, _)| (lvl, std::cmp::Reverse(id)));
+                for (lvl, id, path) in found {
+                    if lvl < levels.len() {
+                        levels[lvl].push(Arc::new(SsTable::read_from(&path)?));
+                        next_table_id = next_table_id.max(id + 1);
+                    }
+                }
+                Wal::open(&dir.join("wal.log"))?
+            }
+            None => (Wal::memory(), Vec::new()),
+        };
+        let mut memtable = Memtable::new();
+        for op in replayed {
+            match op {
+                WalOp::Put(k, v) => memtable.put(k, v),
+                WalOp::Delete(k) => memtable.delete(k),
+            }
+        }
+        Ok(LsmStore {
+            config,
+            memtable,
+            wal,
+            levels,
+            next_table_id,
+            stats: StoreStats::default(),
+        })
+    }
+
+    /// Fully in-memory store with default tuning.
+    pub fn in_memory() -> Self {
+        LsmStore::open(LsmConfig::default()).expect("in-memory open cannot fail")
+    }
+
+    /// Inserts or overwrites a key.
+    pub fn put(&mut self, key: impl Into<Bytes>, value: impl Into<Bytes>) -> crate::Result<()> {
+        let (key, value) = (key.into(), value.into());
+        self.wal.append(&WalOp::Put(key.clone(), value.clone()))?;
+        self.memtable.put(key, value);
+        self.maybe_flush()
+    }
+
+    /// Deletes a key (writes a tombstone).
+    pub fn delete(&mut self, key: impl Into<Bytes>) -> crate::Result<()> {
+        let key = key.into();
+        self.wal.append(&WalOp::Delete(key.clone()))?;
+        self.memtable.delete(key);
+        self.maybe_flush()
+    }
+
+    /// Point lookup.
+    pub fn get(&mut self, key: &[u8]) -> Option<Bytes> {
+        if let Some(hit) = self.memtable.get(key) {
+            self.stats.memtable_hits += 1;
+            return hit;
+        }
+        for level in &self.levels {
+            for table in level {
+                if !table.bloom_may_contain(key) {
+                    self.stats.bloom_skips += 1;
+                    continue;
+                }
+                if let Some(hit) = table.get(key) {
+                    self.stats.sstable_hits += 1;
+                    return hit;
+                }
+            }
+        }
+        None
+    }
+
+    /// Ordered scan of live entries with `start <= key < end`
+    /// (`None` bound = open).
+    pub fn range(&self, start: Option<&[u8]>, end: Option<&[u8]>) -> Vec<(Bytes, Bytes)> {
+        self.merged_view(start, end)
+            .into_iter()
+            .filter_map(|(k, v)| v.map(|v| (k, v)))
+            .collect()
+    }
+
+    /// All live entries in key order.
+    pub fn scan_all(&self) -> Vec<(Bytes, Bytes)> {
+        self.range(None, None)
+    }
+
+    /// Number of live entries (scans; intended for tests and state
+    /// restore verification, not hot paths).
+    pub fn len(&self) -> usize {
+        self.scan_all().len()
+    }
+
+    /// Whether the store holds no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A consistent point-in-time view: later writes to the store do not
+    /// affect it.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            memtable: self.memtable.clone(),
+            levels: self.levels.clone(),
+        }
+    }
+
+    /// Forces the memtable to an SSTable regardless of size.
+    pub fn flush(&mut self) -> crate::Result<()> {
+        if self.memtable.is_empty() {
+            return Ok(());
+        }
+        let entries = std::mem::take(&mut self.memtable).into_entries();
+        let id = self.next_table_id;
+        self.next_table_id += 1;
+        let table = SsTable::build(id, entries, self.config.bits_per_key);
+        if let Some(dir) = &self.config.dir {
+            table.write_to(&dir.join(format!("L0-{id}.sst")))?;
+        }
+        self.levels[0].insert(0, Arc::new(table));
+        self.wal.truncate()?;
+        self.stats.flushes += 1;
+        self.maybe_compact()?;
+        Ok(())
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Number of SSTables per level (for tests/benches).
+    pub fn level_sizes(&self) -> Vec<usize> {
+        self.levels.iter().map(|l| l.len()).collect()
+    }
+
+    /// Approximate bytes across memtable and tables.
+    pub fn approx_bytes(&self) -> usize {
+        self.memtable.approx_bytes()
+            + self
+                .levels
+                .iter()
+                .flatten()
+                .map(|t| t.size_bytes())
+                .sum::<usize>()
+    }
+
+    fn maybe_flush(&mut self) -> crate::Result<()> {
+        if self.memtable.approx_bytes() >= self.config.memtable_bytes {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    fn maybe_compact(&mut self) -> crate::Result<()> {
+        for level in 0..self.levels.len() {
+            if self.levels[level].len() <= self.config.level_limit {
+                continue;
+            }
+            let target = (level + 1).min(self.levels.len() - 1);
+            let bottom = target == self.levels.len() - 1;
+            // Merge everything in this level (newest-first order) plus —
+            // when merging within the bottom level — the bottom's tables.
+            let mut inputs = std::mem::take(&mut self.levels[level]);
+            if target == level {
+                // Already at the bottom: inputs are the level itself.
+            } else if bottom {
+                inputs.extend(std::mem::take(&mut self.levels[target]));
+            }
+            let merged = SsTable::merge(&inputs, bottom);
+            let id = self.next_table_id;
+            self.next_table_id += 1;
+            let table = SsTable::build(id, merged, self.config.bits_per_key);
+            if let Some(dir) = &self.config.dir {
+                table.write_to(&dir.join(format!("L{target}-{id}.sst")))?;
+                for old in &inputs {
+                    for lvl in 0..self.levels.len().max(target + 1) {
+                        let path = dir.join(format!("L{lvl}-{}.sst", old.id()));
+                        if path.exists() {
+                            std::fs::remove_file(path)?;
+                        }
+                    }
+                }
+            }
+            if target == level {
+                self.levels[level] = vec![Arc::new(table)];
+            } else {
+                self.levels[target].insert(0, Arc::new(table));
+            }
+            self.stats.compactions += 1;
+        }
+        Ok(())
+    }
+
+    fn merged_view(
+        &self,
+        start: Option<&[u8]>,
+        end: Option<&[u8]>,
+    ) -> BTreeMap<Bytes, Option<Bytes>> {
+        merged_view(&self.memtable, &self.levels, start, end)
+    }
+}
+
+fn merged_view(
+    memtable: &Memtable,
+    levels: &[Vec<Arc<SsTable>>],
+    start: Option<&[u8]>,
+    end: Option<&[u8]>,
+) -> BTreeMap<Bytes, Option<Bytes>> {
+    let mut map = BTreeMap::new();
+    // Oldest first: deepest level, oldest table; newer data overwrites.
+    for level in levels.iter().rev() {
+        for table in level.iter().rev() {
+            for (k, v) in table.range(start, end) {
+                map.insert(k.clone(), v.clone());
+            }
+        }
+    }
+    let lo = match start {
+        Some(s) => std::ops::Bound::Included(s),
+        None => std::ops::Bound::Unbounded,
+    };
+    let hi = match end {
+        Some(e) => std::ops::Bound::Excluded(e),
+        None => std::ops::Bound::Unbounded,
+    };
+    for (k, v) in memtable.range(lo, hi) {
+        map.insert(k.clone(), v.clone());
+    }
+    map
+}
+
+/// A consistent point-in-time view of the store.
+pub struct Snapshot {
+    memtable: Memtable,
+    levels: Vec<Vec<Arc<SsTable>>>,
+}
+
+impl Snapshot {
+    /// Point lookup within the snapshot.
+    pub fn get(&self, key: &[u8]) -> Option<Bytes> {
+        if let Some(hit) = self.memtable.get(key) {
+            return hit;
+        }
+        for level in &self.levels {
+            for table in level {
+                if let Some(hit) = table.get(key) {
+                    return hit;
+                }
+            }
+        }
+        None
+    }
+
+    /// Ordered scan of live entries within the snapshot.
+    pub fn range(&self, start: Option<&[u8]>, end: Option<&[u8]>) -> Vec<(Bytes, Bytes)> {
+        merged_view(&self.memtable, &self.levels, start, end)
+            .into_iter()
+            .filter_map(|(k, v)| v.map(|v| (k, v)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::from(s.to_string())
+    }
+
+    fn small_store() -> LsmStore {
+        LsmStore::open(LsmConfig {
+            memtable_bytes: 512,
+            level_limit: 2,
+            max_levels: 3,
+            ..LsmConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let mut s = LsmStore::in_memory();
+        s.put("a", "1").unwrap();
+        assert_eq!(s.get(b"a"), Some(b("1")));
+        s.delete("a").unwrap();
+        assert_eq!(s.get(b"a"), None);
+        assert_eq!(s.get(b"missing"), None);
+    }
+
+    #[test]
+    fn overwrite_visible_across_flush() {
+        let mut s = small_store();
+        s.put("k", "old").unwrap();
+        s.flush().unwrap();
+        s.put("k", "new").unwrap();
+        assert_eq!(s.get(b"k"), Some(b("new")));
+        s.flush().unwrap();
+        assert_eq!(s.get(b"k"), Some(b("new")));
+    }
+
+    #[test]
+    fn delete_shadows_older_sstable_value() {
+        let mut s = small_store();
+        s.put("k", "v").unwrap();
+        s.flush().unwrap();
+        s.delete("k").unwrap();
+        s.flush().unwrap();
+        assert_eq!(s.get(b"k"), None);
+    }
+
+    #[test]
+    fn many_writes_trigger_flush_and_compaction() {
+        let mut s = small_store();
+        for i in 0..500 {
+            s.put(format!("key-{i:05}"), format!("value-{i}")).unwrap();
+        }
+        assert!(s.stats().flushes > 0, "should have flushed");
+        assert!(s.stats().compactions > 0, "should have compacted");
+        // Every key still readable.
+        for i in (0..500).step_by(37) {
+            assert_eq!(
+                s.get(format!("key-{i:05}").as_bytes()),
+                Some(b(&format!("value-{i}"))),
+                "key-{i:05}"
+            );
+        }
+    }
+
+    #[test]
+    fn range_scan_merges_all_layers() {
+        let mut s = small_store();
+        for i in 0..100 {
+            s.put(format!("k{i:03}"), format!("v{i}")).unwrap();
+        }
+        s.delete("k050").unwrap();
+        let out = s.range(Some(b"k045"), Some(b"k055"));
+        let keys: Vec<String> = out
+            .iter()
+            .map(|(k, _)| String::from_utf8(k.to_vec()).unwrap())
+            .collect();
+        assert_eq!(
+            keys,
+            vec!["k045", "k046", "k047", "k048", "k049", "k051", "k052", "k053", "k054"]
+        );
+    }
+
+    #[test]
+    fn scan_all_excludes_tombstones() {
+        let mut s = small_store();
+        for i in 0..50 {
+            s.put(format!("k{i}"), "v").unwrap();
+        }
+        for i in 0..25 {
+            s.delete(format!("k{i}")).unwrap();
+        }
+        assert_eq!(s.len(), 25);
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_writes() {
+        let mut s = small_store();
+        s.put("a", "1").unwrap();
+        s.put("b", "2").unwrap();
+        let snap = s.snapshot();
+        s.put("a", "changed").unwrap();
+        s.delete("b").unwrap();
+        s.put("c", "3").unwrap();
+        assert_eq!(snap.get(b"a"), Some(b("1")));
+        assert_eq!(snap.get(b"b"), Some(b("2")));
+        assert_eq!(snap.get(b"c"), None);
+        assert_eq!(snap.range(None, None).len(), 2);
+        // Store sees the new state.
+        assert_eq!(s.get(b"a"), Some(b("changed")));
+    }
+
+    #[test]
+    fn bloom_filters_skip_tables() {
+        let mut s = small_store();
+        for i in 0..200 {
+            s.put(format!("present-{i}"), "v").unwrap();
+        }
+        s.flush().unwrap();
+        for i in 0..200 {
+            s.get(format!("absent-{i}").as_bytes());
+        }
+        assert!(s.stats().bloom_skips > 100, "bloom should skip most");
+    }
+
+    #[test]
+    fn persistent_store_recovers_memtable_from_wal() {
+        let dir = std::env::temp_dir().join(format!(
+            "liquid-kv-store-wal-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let cfg = LsmConfig {
+            dir: Some(dir.clone()),
+            ..LsmConfig::default()
+        };
+        {
+            let mut s = LsmStore::open(cfg.clone()).unwrap();
+            s.put("durable", "yes").unwrap();
+            s.delete("gone").unwrap();
+            // No flush: data only in WAL + memtable.
+        }
+        let mut s = LsmStore::open(cfg).unwrap();
+        assert_eq!(s.get(b"durable"), Some(b("yes")));
+        assert_eq!(s.get(b"gone"), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn persistent_store_recovers_sstables() {
+        let dir = std::env::temp_dir().join(format!(
+            "liquid-kv-store-sst-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let cfg = LsmConfig {
+            memtable_bytes: 256,
+            level_limit: 2,
+            dir: Some(dir.clone()),
+            ..LsmConfig::default()
+        };
+        {
+            let mut s = LsmStore::open(cfg.clone()).unwrap();
+            for i in 0..100 {
+                s.put(format!("k{i:03}"), format!("v{i}")).unwrap();
+            }
+            s.flush().unwrap();
+        }
+        let mut s = LsmStore::open(cfg).unwrap();
+        for i in (0..100).step_by(13) {
+            assert_eq!(
+                s.get(format!("k{i:03}").as_bytes()),
+                Some(b(&format!("v{i}")))
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tombstones_dropped_at_bottom_level() {
+        let mut s = LsmStore::open(LsmConfig {
+            memtable_bytes: 128,
+            level_limit: 1,
+            max_levels: 2,
+            ..LsmConfig::default()
+        })
+        .unwrap();
+        s.put("doomed", "v").unwrap();
+        s.flush().unwrap();
+        s.delete("doomed").unwrap();
+        s.flush().unwrap();
+        // Force compaction cascades into the bottom.
+        for i in 0..50 {
+            s.put(format!("fill-{i}"), "x").unwrap();
+        }
+        s.flush().unwrap();
+        assert_eq!(s.get(b"doomed"), None);
+        // The bottom level should hold exactly one table with no
+        // tombstone for "doomed".
+        let bottom = s.levels.last().unwrap();
+        for t in bottom {
+            assert_eq!(t.get(b"doomed"), None, "tombstone must be purged");
+        }
+    }
+
+    #[test]
+    fn empty_flush_is_noop() {
+        let mut s = LsmStore::in_memory();
+        s.flush().unwrap();
+        assert_eq!(s.stats().flushes, 0);
+    }
+}

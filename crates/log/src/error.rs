@@ -1,0 +1,75 @@
+//! Error type for log operations.
+
+use std::io;
+
+/// Errors surfaced by the commit log.
+#[derive(Debug)]
+pub enum LogError {
+    /// Underlying storage failed.
+    Io(io::Error),
+    /// A read requested an offset outside `[start, end)`.
+    OffsetOutOfRange {
+        /// The offset the caller asked for.
+        requested: u64,
+        /// First offset still present (retention may have advanced it).
+        start: u64,
+        /// The log-end offset (next offset to be assigned).
+        end: u64,
+    },
+    /// A record failed its CRC or was structurally invalid.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for LogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogError::Io(e) => write!(f, "log I/O error: {e}"),
+            LogError::OffsetOutOfRange {
+                requested,
+                start,
+                end,
+            } => write!(f, "offset {requested} out of range [{start}, {end})"),
+            LogError::Corrupt(msg) => write!(f, "corrupt log data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LogError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for LogError {
+    fn from(e: io::Error) -> Self {
+        LogError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = LogError::OffsetOutOfRange {
+            requested: 5,
+            start: 10,
+            end: 20,
+        };
+        assert_eq!(e.to_string(), "offset 5 out of range [10, 20)");
+        assert!(LogError::Corrupt("bad crc".into())
+            .to_string()
+            .contains("bad crc"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let e: LogError = io::Error::other("boom").into();
+        assert!(matches!(e, LogError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,42 @@
+//! Segmented append-only commit log (paper §3.1, §4.1).
+//!
+//! Each topic-partition in Liquid's messaging layer is one of these logs:
+//! an ordered, immutable sequence of records identified by a dense
+//! `u64` **offset**. The implementation mirrors the design the paper
+//! attributes to Kafka:
+//!
+//! * records are appended to the **active segment**; when it exceeds the
+//!   configured size the segment is *sealed* and a new one starts
+//!   ([`segment`]);
+//! * every segment keeps a **sparse offset index** (one entry per
+//!   `index_interval_bytes`) and a **time index**, so reads at an
+//!   arbitrary offset or timestamp locate the right byte position
+//!   without scanning;
+//! * storage is pluggable ([`storage`]): in-memory for deterministic
+//!   tests, file-backed for durability, both optionally charged through
+//!   the [`liquid_sim::pagecache`] model to reproduce the anti-caching
+//!   experiments;
+//! * **retention** deletes whole sealed segments by age or total size
+//!   ([`Log::enforce_retention`]);
+//! * **compaction** de-duplicates keyed records, keeping only the most
+//!   recent value per key ([`compaction`]) — the mechanism changelogs
+//!   rely on for bounded size and fast recovery (§4.1).
+//!
+//! Records carry a wire format with a CRC so corruption is detected on
+//! read ([`record`]).
+
+pub mod compaction;
+pub mod error;
+pub mod log;
+pub mod record;
+pub mod segment;
+pub mod storage;
+
+pub use compaction::CompactionStats;
+pub use error::LogError;
+pub use log::{CleanupPolicy, Log, LogConfig, ReadOutcome, RetentionPolicy};
+pub use record::Record;
+pub use storage::{FileStorage, MemStorage, SegmentStorage, StorageKind};
+
+/// Result alias for log operations.
+pub type Result<T> = std::result::Result<T, LogError>;

@@ -1,0 +1,725 @@
+//! The multi-segment log: rolling, retention, timestamp lookup, and the
+//! page-cache hook used by the anti-caching experiments.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use liquid_sim::clock::{SharedClock, Ts};
+use liquid_sim::pagecache::PageCache;
+use parking_lot::Mutex;
+
+use crate::error::LogError;
+use crate::record::Record;
+use crate::segment::Segment;
+use crate::storage::StorageKind;
+
+/// How old data is reclaimed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CleanupPolicy {
+    /// Delete whole segments past retention (default for event topics).
+    Delete,
+    /// Keep the latest record per key (changelog topics, §4.1).
+    Compact,
+}
+
+/// Bounds on how much data is retained (paper: "one month worth of
+/// data", or a maximum size "for operational reasons").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetentionPolicy {
+    /// Delete sealed segments whose newest record is older than this.
+    pub max_age_ms: Option<u64>,
+    /// Delete oldest sealed segments while the log exceeds this size.
+    pub max_bytes: Option<u64>,
+}
+
+impl RetentionPolicy {
+    /// Retention that never deletes anything.
+    pub fn keep_forever() -> Self {
+        RetentionPolicy::default()
+    }
+}
+
+/// Log configuration.
+#[derive(Debug, Clone)]
+pub struct LogConfig {
+    /// Roll the active segment after it exceeds this many bytes.
+    pub segment_bytes: u64,
+    /// Sparse-index granularity (bytes between index entries).
+    pub index_interval_bytes: u64,
+    /// Retention bounds.
+    pub retention: RetentionPolicy,
+    /// Cleanup policy.
+    pub cleanup: CleanupPolicy,
+    /// Segment storage backend.
+    pub storage: StorageKind,
+}
+
+impl Default for LogConfig {
+    fn default() -> Self {
+        LogConfig {
+            segment_bytes: 1024 * 1024,
+            index_interval_bytes: 4096,
+            retention: RetentionPolicy::keep_forever(),
+            cleanup: CleanupPolicy::Delete,
+            storage: StorageKind::Memory,
+        }
+    }
+}
+
+/// Result of a read, including the simulated I/O cost when a page-cache
+/// model is attached (0 otherwise).
+#[derive(Debug)]
+pub struct ReadOutcome {
+    /// Records starting at the requested offset.
+    pub records: Vec<Record>,
+    /// Simulated nanoseconds charged by the page-cache model.
+    pub simulated_cost_ns: u64,
+}
+
+/// A partition's commit log.
+pub struct Log {
+    config: LogConfig,
+    clock: SharedClock,
+    /// Sealed + active segments, keyed by base offset. Never empty.
+    segments: BTreeMap<u64, Segment>,
+    /// First offset still readable (advanced by retention).
+    start_offset: u64,
+    /// Optional page-cache model; `log_id` namespaces file ids.
+    cache: Option<(Arc<Mutex<PageCache>>, u64)>,
+    /// Number of completed compaction passes (tombstone lifecycle).
+    compaction_generation: u64,
+}
+
+impl Log {
+    /// Opens (or creates) a log. For file storage, existing segments are
+    /// recovered from disk.
+    pub fn open(config: LogConfig, clock: SharedClock) -> crate::Result<Self> {
+        let mut segments = BTreeMap::new();
+        let bases = config.storage.existing_segments()?;
+        for &base in &bases {
+            let storage = config.storage.open(base)?;
+            let mut seg = Segment::recover(base, storage, config.index_interval_bytes)?;
+            seg.seal();
+            segments.insert(base, seg);
+        }
+        let mut log = Log {
+            start_offset: segments
+                .values()
+                .next()
+                .map(|s| s.base_offset())
+                .unwrap_or(0),
+            config,
+            clock,
+            segments,
+            cache: None,
+            compaction_generation: 0,
+        };
+        // The newest recovered segment becomes active again; if none,
+        // start fresh at offset 0.
+        if let Some((&base, _)) = log.segments.iter().next_back() {
+            let next = log.segments[&base].next_offset();
+            log.roll_new_segment(next)?;
+        } else {
+            log.roll_new_segment(0)?;
+        }
+        Ok(log)
+    }
+
+    /// Convenience: in-memory log with default config.
+    pub fn in_memory(clock: SharedClock) -> Self {
+        Log::open(LogConfig::default(), clock).expect("memory log cannot fail")
+    }
+
+    /// Attaches a page-cache model; all subsequent reads/writes are
+    /// charged through it. `log_id` must be unique per cache.
+    pub fn attach_cache(&mut self, cache: Arc<Mutex<PageCache>>, log_id: u64) {
+        self.cache = Some((cache, log_id));
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &LogConfig {
+        &self.config
+    }
+
+    /// Offset the next appended record will receive (log-end offset).
+    pub fn next_offset(&self) -> u64 {
+        self.active().next_offset()
+    }
+
+    /// First readable offset (0 until retention deletes data).
+    pub fn start_offset(&self) -> u64 {
+        self.start_offset
+    }
+
+    /// Total bytes across all segments.
+    pub fn size_bytes(&self) -> u64 {
+        self.segments.values().map(|s| s.size_bytes()).sum()
+    }
+
+    /// Total records across all segments.
+    pub fn record_count(&self) -> u64 {
+        self.segments.values().map(|s| s.record_count()).sum()
+    }
+
+    /// Number of segments (including the active one).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Appends with the current clock time as the record timestamp.
+    pub fn append(&mut self, key: Option<Bytes>, value: Bytes) -> crate::Result<u64> {
+        let now = self.clock.now();
+        self.append_with_timestamp(key, value, now)
+    }
+
+    /// Appends a record with an explicit timestamp; returns its offset.
+    pub fn append_with_timestamp(
+        &mut self,
+        key: Option<Bytes>,
+        value: Bytes,
+        timestamp: Ts,
+    ) -> crate::Result<u64> {
+        let offset = self.next_offset();
+        let record = Record {
+            offset,
+            timestamp,
+            key,
+            value,
+        };
+        self.maybe_roll()?;
+        let (base, file_id) = {
+            let base = self.active_base();
+            (base, self.file_id(base))
+        };
+        let seg = self.segments.get_mut(&base).expect("active exists");
+        let (pos, len) = seg.append(&record)?;
+        if let Some((cache, _)) = &self.cache {
+            cache.lock().write(file_id, pos, len as usize);
+        }
+        Ok(offset)
+    }
+
+    /// Appends a batch, returning the offset of the first record.
+    pub fn append_batch(&mut self, batch: Vec<(Option<Bytes>, Bytes)>) -> crate::Result<u64> {
+        let first = self.next_offset();
+        for (k, v) in batch {
+            self.append(k, v)?;
+        }
+        Ok(first)
+    }
+
+    /// Reads up to `max_bytes` of records starting at `offset`,
+    /// continuing across segment boundaries. `offset == next_offset()`
+    /// yields an empty read (the caller is tailing the log).
+    pub fn read(&self, offset: u64, max_bytes: u64) -> crate::Result<ReadOutcome> {
+        let end = self.next_offset();
+        if offset < self.start_offset || offset > end {
+            return Err(LogError::OffsetOutOfRange {
+                requested: offset,
+                start: self.start_offset,
+                end,
+            });
+        }
+        let mut records = Vec::new();
+        let mut cost = 0u64;
+        let mut budget = max_bytes;
+        let mut cursor = offset;
+        // Candidate segments: the one containing `cursor` and everything
+        // after it.
+        let start_base = self
+            .segments
+            .range(..=cursor)
+            .next_back()
+            .map(|(&b, _)| b)
+            .unwrap_or_else(|| *self.segments.keys().next().expect("non-empty"));
+        for (&base, seg) in self.segments.range(start_base..) {
+            if budget == 0 {
+                break;
+            }
+            let from = cursor.max(seg.base_offset());
+            if from >= seg.next_offset() {
+                continue;
+            }
+            let read = seg.read_from(from, budget)?;
+            if let Some((cache, _)) = &self.cache {
+                let file_id = self.file_id(base);
+                cost += cache
+                    .lock()
+                    .read(file_id, read.start_pos, read.bytes_scanned as usize)
+                    .cost_ns;
+            }
+            let bytes: u64 = read.records.iter().map(|r| r.wire_size() as u64).sum();
+            budget = budget.saturating_sub(bytes);
+            if let Some(last) = read.records.last() {
+                cursor = last.offset + 1;
+            }
+            records.extend(read.records);
+        }
+        Ok(ReadOutcome {
+            records,
+            simulated_cost_ns: cost,
+        })
+    }
+
+    /// First offset whose record timestamp is `>= ts` (rewind by time).
+    pub fn offset_for_timestamp(&self, ts: Ts) -> crate::Result<Option<u64>> {
+        for seg in self.segments.values() {
+            if seg.max_timestamp() >= ts {
+                if let Some(off) = seg.offset_for_timestamp(ts)? {
+                    return Ok(Some(off));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Applies the retention policy, deleting sealed segments by age and
+    /// size. Returns the base offsets of deleted segments.
+    pub fn enforce_retention(&mut self) -> crate::Result<Vec<u64>> {
+        let now = self.clock.now();
+        let mut deleted = Vec::new();
+        if let Some(max_age) = self.config.retention.max_age_ms {
+            loop {
+                let victim = self
+                    .sealed_bases()
+                    .first()
+                    .copied()
+                    .filter(|b| self.segments[b].max_timestamp() + max_age <= now);
+                match victim {
+                    Some(base) => {
+                        self.drop_segment(base)?;
+                        deleted.push(base);
+                    }
+                    None => break,
+                }
+            }
+        }
+        if let Some(max_bytes) = self.config.retention.max_bytes {
+            while self.size_bytes() > max_bytes {
+                let Some(base) = self.sealed_bases().first().copied() else {
+                    break;
+                };
+                self.drop_segment(base)?;
+                deleted.push(base);
+            }
+        }
+        Ok(deleted)
+    }
+
+    /// Discards all records with offsets `>= offset` (replica divergence
+    /// repair, §4.3). Returns how many records were dropped.
+    pub fn truncate_to(&mut self, offset: u64) -> crate::Result<u64> {
+        let before = self.record_count();
+        // Remove whole segments past the cut.
+        let doomed: Vec<u64> = self
+            .segments
+            .keys()
+            .copied()
+            .filter(|&b| b >= offset)
+            .collect();
+        for base in doomed {
+            self.drop_segment_keep_start(base)?;
+        }
+        // Rebuild the boundary segment without the suffix.
+        if let Some((&base, seg)) = self.segments.iter().next_back() {
+            if seg.next_offset() > offset {
+                let keep = seg.read_from(seg.base_offset(), u64::MAX)?;
+                self.drop_segment_keep_start(base)?;
+                let storage = self.config.storage.create(base)?;
+                let mut rebuilt = Segment::new(base, storage, self.config.index_interval_bytes);
+                for rec in keep.records.into_iter().filter(|r| r.offset < offset) {
+                    rebuilt.append(&rec)?;
+                }
+                self.segments.insert(base, rebuilt);
+            }
+        }
+        if self.segments.is_empty() {
+            self.roll_new_segment(offset)?;
+            self.start_offset = self.start_offset.min(offset);
+        } else {
+            // Reactivate the last remaining segment for appends by
+            // rolling a fresh active segment after it.
+            let next = self
+                .segments
+                .values()
+                .next_back()
+                .expect("non-empty")
+                .next_offset();
+            if self
+                .segments
+                .values()
+                .next_back()
+                .map(|s| s.is_sealed())
+                .unwrap_or(true)
+            {
+                self.roll_new_segment(next)?;
+            }
+        }
+        Ok(before - self.record_count())
+    }
+
+    /// Flushes the active segment.
+    pub fn flush(&mut self) -> crate::Result<()> {
+        let base = self.active_base();
+        self.segments.get_mut(&base).expect("active exists").flush()
+    }
+
+    /// Iterates over sealed segments' `(base, record_count, size_bytes)`
+    /// (used by compaction and tests).
+    pub fn sealed_segment_info(&self) -> Vec<(u64, u64, u64)> {
+        self.segments
+            .values()
+            .filter(|s| s.is_sealed())
+            .map(|s| (s.base_offset(), s.record_count(), s.size_bytes()))
+            .collect()
+    }
+
+    pub(crate) fn active(&self) -> &Segment {
+        self.segments.values().next_back().expect("log non-empty")
+    }
+
+    pub(crate) fn active_base(&self) -> u64 {
+        *self.segments.keys().next_back().expect("log non-empty")
+    }
+
+    pub(crate) fn sealed_bases(&self) -> Vec<u64> {
+        self.segments
+            .iter()
+            .filter(|(_, s)| s.is_sealed())
+            .map(|(&b, _)| b)
+            .collect()
+    }
+
+    pub(crate) fn segments_mut(&mut self) -> &mut BTreeMap<u64, Segment> {
+        &mut self.segments
+    }
+
+    pub(crate) fn segments(&self) -> &BTreeMap<u64, Segment> {
+        &self.segments
+    }
+
+    pub(crate) fn storage_kind(&self) -> &StorageKind {
+        &self.config.storage
+    }
+
+    pub(crate) fn index_interval(&self) -> u64 {
+        self.config.index_interval_bytes
+    }
+
+    /// Completed compaction passes over this log.
+    pub fn compaction_generation(&self) -> u64 {
+        self.compaction_generation
+    }
+
+    pub(crate) fn bump_compaction_generation(&mut self) {
+        self.compaction_generation += 1;
+    }
+
+    fn file_id(&self, base: u64) -> u64 {
+        match &self.cache {
+            Some((_, log_id)) => (log_id << 40) | (base & 0xFF_FFFF_FFFF),
+            None => base,
+        }
+    }
+
+    fn maybe_roll(&mut self) -> crate::Result<()> {
+        let (size, next) = {
+            let a = self.active();
+            (a.size_bytes(), a.next_offset())
+        };
+        if size >= self.config.segment_bytes {
+            let base = self.active_base();
+            self.segments.get_mut(&base).expect("active exists").seal();
+            self.roll_new_segment(next)?;
+        }
+        Ok(())
+    }
+
+    fn roll_new_segment(&mut self, base: u64) -> crate::Result<()> {
+        let storage = self.config.storage.create(base)?;
+        self.segments.insert(
+            base,
+            Segment::new(base, storage, self.config.index_interval_bytes),
+        );
+        Ok(())
+    }
+
+    fn drop_segment(&mut self, base: u64) -> crate::Result<()> {
+        self.drop_segment_keep_start(base)?;
+        // Retention advances the start offset to the oldest remaining
+        // segment (deletion always removes the oldest first).
+        if let Some(first) = self.segments.values().next() {
+            self.start_offset = self.start_offset.max(first.base_offset());
+        }
+        Ok(())
+    }
+
+    fn drop_segment_keep_start(&mut self, base: u64) -> crate::Result<()> {
+        self.segments.remove(&base);
+        self.config.storage.destroy(base)?;
+        if let Some((cache, _)) = &self.cache {
+            let fid = self.file_id(base);
+            cache.lock().evict_file(fid);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liquid_sim::clock::SimClock;
+    use liquid_sim::pagecache::{PageCache, PageCacheConfig};
+
+    fn log_with(segment_bytes: u64) -> (Log, SimClock) {
+        let clock = SimClock::new(0);
+        let cfg = LogConfig {
+            segment_bytes,
+            index_interval_bytes: 256,
+            ..LogConfig::default()
+        };
+        (Log::open(cfg, clock.shared()).unwrap(), clock)
+    }
+
+    fn b(s: &str) -> Bytes {
+        Bytes::from(s.to_string())
+    }
+
+    #[test]
+    fn append_read_roundtrip() {
+        let (mut log, _) = log_with(1 << 20);
+        for i in 0..100 {
+            let off = log
+                .append(Some(b(&format!("k{i}"))), b(&format!("v{i}")))
+                .unwrap();
+            assert_eq!(off, i);
+        }
+        let out = log.read(0, u64::MAX).unwrap();
+        assert_eq!(out.records.len(), 100);
+        assert_eq!(out.records[37].value, b("v37"));
+        let mid = log.read(50, u64::MAX).unwrap();
+        assert_eq!(mid.records.len(), 50);
+        assert_eq!(mid.records[0].offset, 50);
+    }
+
+    #[test]
+    fn rolls_segments_at_threshold() {
+        let (mut log, _) = log_with(256);
+        for i in 0..100 {
+            log.append(None, b(&format!("value-{i:04}"))).unwrap();
+        }
+        assert!(log.segment_count() > 1, "should have rolled");
+        // Reads spanning segments still return everything.
+        let out = log.read(0, u64::MAX).unwrap();
+        assert_eq!(out.records.len(), 100);
+    }
+
+    #[test]
+    fn tail_read_is_empty_not_error() {
+        let (mut log, _) = log_with(1 << 20);
+        log.append(None, b("x")).unwrap();
+        let out = log.read(1, u64::MAX).unwrap();
+        assert!(out.records.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_read_errors() {
+        let (mut log, _) = log_with(1 << 20);
+        log.append(None, b("x")).unwrap();
+        assert!(matches!(
+            log.read(5, 1),
+            Err(LogError::OffsetOutOfRange { end: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn timestamps_support_rewind_by_time() {
+        let (mut log, clock) = log_with(512);
+        for i in 0..50 {
+            clock.set(i * 100);
+            log.append(None, b(&format!("v{i}"))).unwrap();
+        }
+        assert_eq!(log.offset_for_timestamp(0).unwrap(), Some(0));
+        assert_eq!(log.offset_for_timestamp(2_000).unwrap(), Some(20));
+        assert_eq!(log.offset_for_timestamp(2_050).unwrap(), Some(21));
+        assert_eq!(log.offset_for_timestamp(1_000_000).unwrap(), None);
+    }
+
+    #[test]
+    fn retention_by_age_deletes_old_segments() {
+        let clock = SimClock::new(0);
+        let cfg = LogConfig {
+            segment_bytes: 256,
+            retention: RetentionPolicy {
+                max_age_ms: Some(1_000),
+                max_bytes: None,
+            },
+            ..LogConfig::default()
+        };
+        let mut log = Log::open(cfg, clock.shared()).unwrap();
+        for i in 0..50 {
+            log.append(None, b(&format!("value-{i:05}"))).unwrap();
+        }
+        let before = log.segment_count();
+        assert!(before > 2);
+        clock.advance(10_000);
+        // New appends after the gap: old segments now out of window.
+        for i in 0..10 {
+            log.append(None, b(&format!("new-{i}"))).unwrap();
+        }
+        let deleted = log.enforce_retention().unwrap();
+        assert!(!deleted.is_empty());
+        assert!(log.start_offset() > 0);
+        // Reading from before the start offset now fails.
+        assert!(log.read(0, 1).is_err());
+        // Reading from the start offset works.
+        assert!(log.read(log.start_offset(), u64::MAX).is_ok());
+    }
+
+    #[test]
+    fn retention_by_size_bounds_log() {
+        let clock = SimClock::new(0);
+        let cfg = LogConfig {
+            segment_bytes: 512,
+            retention: RetentionPolicy {
+                max_age_ms: None,
+                max_bytes: Some(2_048),
+            },
+            ..LogConfig::default()
+        };
+        let mut log = Log::open(cfg, clock.shared()).unwrap();
+        for i in 0..500 {
+            log.append(None, b(&format!("value-{i:06}"))).unwrap();
+        }
+        log.enforce_retention().unwrap();
+        assert!(
+            log.size_bytes() <= 2_048 + 512,
+            "size {} should be bounded",
+            log.size_bytes()
+        );
+        assert!(log.start_offset() > 0);
+    }
+
+    #[test]
+    fn retention_never_deletes_active_segment() {
+        let clock = SimClock::new(0);
+        let cfg = LogConfig {
+            segment_bytes: 1 << 20, // everything fits in the active segment
+            retention: RetentionPolicy {
+                max_age_ms: Some(1),
+                max_bytes: Some(1),
+            },
+            ..LogConfig::default()
+        };
+        let mut log = Log::open(cfg, clock.shared()).unwrap();
+        for _ in 0..10 {
+            log.append(None, b("x")).unwrap();
+        }
+        clock.advance(1_000_000);
+        let deleted = log.enforce_retention().unwrap();
+        assert!(deleted.is_empty());
+        assert_eq!(log.read(0, u64::MAX).unwrap().records.len(), 10);
+    }
+
+    #[test]
+    fn truncate_to_discards_suffix() {
+        let (mut log, _) = log_with(256);
+        for i in 0..50 {
+            log.append(None, b(&format!("value-{i:04}"))).unwrap();
+        }
+        let dropped = log.truncate_to(20).unwrap();
+        assert_eq!(dropped, 30);
+        assert_eq!(log.next_offset(), 20);
+        assert_eq!(log.read(0, u64::MAX).unwrap().records.len(), 20);
+        // Appends continue from the truncation point.
+        let off = log.append(None, b("after")).unwrap();
+        assert_eq!(off, 20);
+    }
+
+    #[test]
+    fn file_backed_log_recovers_after_reopen() {
+        let dir = std::env::temp_dir().join(format!(
+            "liquid-log-recover-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let cfg = LogConfig {
+            segment_bytes: 256,
+            storage: StorageKind::Files(dir.clone()),
+            ..LogConfig::default()
+        };
+        let clock = SimClock::new(0);
+        {
+            let mut log = Log::open(cfg.clone(), clock.shared()).unwrap();
+            for i in 0..30 {
+                log.append(Some(b(&format!("k{i}"))), b(&format!("v{i}")))
+                    .unwrap();
+            }
+            log.flush().unwrap();
+        }
+        let log = Log::open(cfg, clock.shared()).unwrap();
+        assert_eq!(log.next_offset(), 30);
+        let out = log.read(0, u64::MAX).unwrap();
+        assert_eq!(out.records.len(), 30);
+        assert_eq!(out.records[29].value, b("v29"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn page_cache_charging_hot_vs_cold() {
+        let clock = SimClock::new(0);
+        let cache = Arc::new(Mutex::new(PageCache::new(
+            PageCacheConfig {
+                capacity_pages: 8,
+                prefetch_pages: 0,
+                ..PageCacheConfig::default()
+            },
+            clock.shared(),
+        )));
+        let cfg = LogConfig {
+            segment_bytes: 4096,
+            ..LogConfig::default()
+        };
+        let mut log = Log::open(cfg, clock.shared()).unwrap();
+        log.attach_cache(cache, 1);
+        let payload = "p".repeat(1024);
+        for _ in 0..200 {
+            log.append(None, b(&payload)).unwrap();
+        }
+        // Tail read (hot) vs rewind read (cold).
+        let tail = log.read(log.next_offset() - 2, u64::MAX).unwrap();
+        let cold = log.read(0, 2048).unwrap();
+        assert!(
+            cold.simulated_cost_ns > tail.simulated_cost_ns,
+            "cold {} should exceed hot {}",
+            cold.simulated_cost_ns,
+            tail.simulated_cost_ns
+        );
+    }
+
+    #[test]
+    fn batch_append_returns_first_offset() {
+        let (mut log, _) = log_with(1 << 20);
+        log.append(None, b("pre")).unwrap();
+        let first = log
+            .append_batch(vec![(None, b("a")), (None, b("b")), (None, b("c"))])
+            .unwrap();
+        assert_eq!(first, 1);
+        assert_eq!(log.next_offset(), 4);
+    }
+
+    #[test]
+    fn record_count_and_sizes() {
+        let (mut log, _) = log_with(128);
+        for i in 0..20 {
+            log.append(None, b(&format!("v{i}"))).unwrap();
+        }
+        assert_eq!(log.record_count(), 20);
+        assert!(log.size_bytes() > 0);
+        assert!(!log.sealed_segment_info().is_empty());
+    }
+}

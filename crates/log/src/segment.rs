@@ -1,0 +1,454 @@
+//! Log segments.
+//!
+//! A segment stores a contiguous run of records beginning at its *base
+//! offset*. The active (last) segment accepts appends; older segments are
+//! sealed and immutable, which is what makes whole-segment deletion
+//! (retention) and rewriting (compaction) safe and cheap.
+//!
+//! Each segment maintains:
+//! * a **sparse offset index** — `(offset, byte position)` entries added
+//!   every `index_interval_bytes` of appended data, so a read seeks near
+//!   the requested offset and scans at most one interval;
+//! * a **time index** — `(timestamp, offset)` entries with monotonically
+//!   increasing timestamps, supporting offset-for-timestamp queries
+//!   (rewindability, §3.1).
+
+use liquid_sim::clock::Ts;
+
+use crate::error::LogError;
+use crate::record::Record;
+use crate::storage::SegmentStorage;
+
+/// Result of a ranged read, carrying enough information for the caller
+/// to charge a page-cache model.
+#[derive(Debug)]
+pub struct SegmentRead {
+    /// Decoded records, starting at the requested offset.
+    pub records: Vec<Record>,
+    /// Byte position in the segment where scanning started.
+    pub start_pos: u64,
+    /// Bytes scanned (index seek + record decode).
+    pub bytes_scanned: u64,
+}
+
+/// One segment of the log.
+pub struct Segment {
+    base_offset: u64,
+    next_offset: u64,
+    storage: Box<dyn SegmentStorage>,
+    /// Sparse `(offset, position)` pairs; always contains `(base, 0)`
+    /// once the first record is appended.
+    index: Vec<(u64, u64)>,
+    /// `(timestamp, offset)` pairs with strictly increasing timestamps.
+    time_index: Vec<(Ts, u64)>,
+    bytes_since_index: u64,
+    index_interval_bytes: u64,
+    max_timestamp: Ts,
+    records: u64,
+    sealed: bool,
+}
+
+impl Segment {
+    /// Creates an empty segment starting at `base_offset`.
+    pub fn new(
+        base_offset: u64,
+        storage: Box<dyn SegmentStorage>,
+        index_interval_bytes: u64,
+    ) -> Self {
+        Segment {
+            base_offset,
+            next_offset: base_offset,
+            storage,
+            index: Vec::new(),
+            time_index: Vec::new(),
+            bytes_since_index: 0,
+            index_interval_bytes: index_interval_bytes.max(1),
+            max_timestamp: 0,
+            records: 0,
+            sealed: false,
+        }
+    }
+
+    /// Rebuilds a segment by scanning existing storage from byte 0
+    /// (restart recovery). Stops at the first corrupt/truncated record,
+    /// truncating storage there (torn final write).
+    pub fn recover(
+        base_offset: u64,
+        storage: Box<dyn SegmentStorage>,
+        index_interval_bytes: u64,
+    ) -> crate::Result<Self> {
+        let mut seg = Segment::new(base_offset, storage, index_interval_bytes);
+        let total = seg.storage.len();
+        let mut pos = 0u64;
+        while pos < total {
+            let remaining = (total - pos) as usize;
+            let chunk = seg.storage.read_at(pos, remaining)?;
+            match Record::decode(&chunk) {
+                Ok((rec, used)) => {
+                    seg.note_appended(&rec, pos, used as u64);
+                    pos += used as u64;
+                }
+                Err(_) => {
+                    // Torn tail: discard everything from here.
+                    seg.storage.truncate(pos)?;
+                    break;
+                }
+            }
+        }
+        Ok(seg)
+    }
+
+    /// First offset in this segment.
+    pub fn base_offset(&self) -> u64 {
+        self.base_offset
+    }
+
+    /// Offset the next appended record will receive.
+    pub fn next_offset(&self) -> u64 {
+        self.next_offset
+    }
+
+    /// Number of records in the segment. After compaction offsets are
+    /// sparse, so this is tracked explicitly rather than derived from the
+    /// offset range.
+    pub fn record_count(&self) -> u64 {
+        self.records
+    }
+
+    /// Size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.storage.len()
+    }
+
+    /// Largest record timestamp seen (0 if empty). Retention uses this:
+    /// a segment is deletable once its newest record is out of window.
+    pub fn max_timestamp(&self) -> Ts {
+        self.max_timestamp
+    }
+
+    /// Whether the segment has been sealed against appends.
+    pub fn is_sealed(&self) -> bool {
+        self.sealed
+    }
+
+    /// Seals the segment; subsequent appends panic.
+    pub fn seal(&mut self) {
+        self.sealed = true;
+    }
+
+    /// Number of sparse-index entries (exposed for the index-granularity
+    /// ablation).
+    pub fn index_entries(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Appends a record whose `offset` must equal [`next_offset`]
+    /// (offsets are assigned by the owning [`Log`](crate::Log)).
+    /// Returns `(byte position, encoded length)`.
+    ///
+    /// [`next_offset`]: Self::next_offset
+    pub fn append(&mut self, record: &Record) -> crate::Result<(u64, u64)> {
+        assert!(!self.sealed, "append to sealed segment");
+        assert!(
+            record.offset >= self.next_offset,
+            "segment offsets must increase: {} < {}",
+            record.offset,
+            self.next_offset
+        );
+        let mut buf = Vec::with_capacity(record.wire_size());
+        record.encode(&mut buf);
+        let pos = self.storage.append(&buf)?;
+        self.note_appended(record, pos, buf.len() as u64);
+        Ok((pos, buf.len() as u64))
+    }
+
+    fn note_appended(&mut self, record: &Record, pos: u64, len: u64) {
+        if self.index.is_empty() || self.bytes_since_index >= self.index_interval_bytes {
+            self.index.push((record.offset, pos));
+            self.bytes_since_index = 0;
+        }
+        self.bytes_since_index += len;
+        if record.timestamp > self.max_timestamp {
+            self.max_timestamp = record.timestamp;
+            match self.time_index.last() {
+                Some(&(last_ts, _)) if record.timestamp <= last_ts => {}
+                _ => self.time_index.push((record.timestamp, record.offset)),
+            }
+        }
+        self.next_offset = record.offset + 1;
+        self.records += 1;
+    }
+
+    /// Byte position where a scan for `offset` should begin, via the
+    /// sparse index.
+    pub fn seek_position(&self, offset: u64) -> u64 {
+        match self.index.binary_search_by_key(&offset, |&(o, _)| o) {
+            Ok(i) => self.index[i].1,
+            Err(0) => 0,
+            Err(i) => self.index[i - 1].1,
+        }
+    }
+
+    /// Reads records starting at `offset` until `max_bytes` of encoded
+    /// data have been returned (at least one record if any remain).
+    pub fn read_from(&self, offset: u64, max_bytes: u64) -> crate::Result<SegmentRead> {
+        if offset < self.base_offset || offset > self.next_offset {
+            return Err(LogError::OffsetOutOfRange {
+                requested: offset,
+                start: self.base_offset,
+                end: self.next_offset,
+            });
+        }
+        let start_pos = self.seek_position(offset);
+        let total = self.storage.len();
+        let mut pos = start_pos;
+        let mut out = Vec::new();
+        let mut returned_bytes = 0u64;
+        while pos < total {
+            let remaining = (total - pos) as usize;
+            let chunk = self.storage.read_at(pos, remaining.min(64 * 1024))?;
+            let (rec, used) = match Record::decode(&chunk) {
+                Ok(ok) => ok,
+                Err(LogError::Corrupt(_)) if chunk.len() < remaining => {
+                    // Record longer than our probe window: read it fully.
+                    let chunk = self.storage.read_at(pos, remaining)?;
+                    Record::decode(&chunk)?
+                }
+                Err(e) => return Err(e),
+            };
+            if rec.offset >= offset {
+                returned_bytes += used as u64;
+                out.push(rec);
+                if returned_bytes >= max_bytes {
+                    pos += used as u64;
+                    break;
+                }
+            }
+            pos += used as u64;
+        }
+        Ok(SegmentRead {
+            records: out,
+            start_pos,
+            bytes_scanned: pos - start_pos,
+        })
+    }
+
+    /// First offset whose record timestamp is `>= ts`, if any.
+    pub fn offset_for_timestamp(&self, ts: Ts) -> crate::Result<Option<u64>> {
+        // Find the latest time-index entry strictly before ts to bound
+        // the scan, then walk records.
+        let start_offset = match self.time_index.binary_search_by_key(&ts, |&(t, _)| t) {
+            Ok(i) => return Ok(Some(self.time_index[i].1)),
+            Err(0) => self.base_offset,
+            Err(i) => self.time_index[i - 1].1,
+        };
+        let mut offset = start_offset;
+        while offset < self.next_offset {
+            let read = self.read_from(offset, 1)?;
+            match read.records.first() {
+                Some(rec) if rec.timestamp >= ts => return Ok(Some(rec.offset)),
+                Some(rec) => offset = rec.offset + 1,
+                None => break,
+            }
+        }
+        Ok(None)
+    }
+
+    /// Flushes the underlying storage.
+    pub fn flush(&mut self) -> crate::Result<()> {
+        self.storage.flush()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+    use bytes::Bytes;
+
+    fn seg(interval: u64) -> Segment {
+        Segment::new(100, Box::new(MemStorage::new()), interval)
+    }
+
+    fn rec(offset: u64, ts: Ts, val: &str) -> Record {
+        Record {
+            offset,
+            timestamp: ts,
+            key: Some(Bytes::from(format!("k{offset}"))),
+            value: Bytes::from(val.to_string()),
+        }
+    }
+
+    #[test]
+    fn append_assigns_dense_offsets() {
+        let mut s = seg(1024);
+        for i in 0..10 {
+            s.append(&rec(100 + i, i, "v")).unwrap();
+        }
+        assert_eq!(s.base_offset(), 100);
+        assert_eq!(s.next_offset(), 110);
+        assert_eq!(s.record_count(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "must increase")]
+    fn append_rejects_regressing_offset() {
+        let mut s = seg(1024);
+        s.append(&rec(105, 0, "v")).unwrap();
+        s.append(&rec(100, 0, "v")).unwrap();
+    }
+
+    #[test]
+    fn append_allows_offset_gaps_for_compaction() {
+        let mut s = seg(1024);
+        s.append(&rec(100, 0, "a")).unwrap();
+        s.append(&rec(107, 1, "b")).unwrap();
+        assert_eq!(s.record_count(), 2);
+        assert_eq!(s.next_offset(), 108);
+        // Reading from inside the gap yields the next present record.
+        let r = s.read_from(103, u64::MAX).unwrap();
+        assert_eq!(r.records.len(), 1);
+        assert_eq!(r.records[0].offset, 107);
+    }
+
+    #[test]
+    fn read_from_start_and_middle() {
+        let mut s = seg(64);
+        for i in 0..20 {
+            s.append(&rec(100 + i, i, &format!("value-{i}"))).unwrap();
+        }
+        let all = s.read_from(100, u64::MAX).unwrap();
+        assert_eq!(all.records.len(), 20);
+        let mid = s.read_from(110, u64::MAX).unwrap();
+        assert_eq!(mid.records.len(), 10);
+        assert_eq!(mid.records[0].offset, 110);
+    }
+
+    #[test]
+    fn read_respects_max_bytes() {
+        let mut s = seg(1024);
+        for i in 0..10 {
+            s.append(&rec(100 + i, i, "0123456789")).unwrap();
+        }
+        let one = s.read_from(100, 1).unwrap();
+        assert_eq!(one.records.len(), 1, "must return at least one record");
+        let some = s.read_from(100, 100).unwrap();
+        assert!(some.records.len() < 10 && !some.records.is_empty());
+    }
+
+    #[test]
+    fn read_at_log_end_is_empty() {
+        let mut s = seg(1024);
+        s.append(&rec(100, 0, "v")).unwrap();
+        let r = s.read_from(101, u64::MAX).unwrap();
+        assert!(r.records.is_empty());
+    }
+
+    #[test]
+    fn read_out_of_range_errors() {
+        let s = seg(1024);
+        assert!(matches!(
+            s.read_from(99, 1),
+            Err(LogError::OffsetOutOfRange { .. })
+        ));
+        assert!(matches!(
+            s.read_from(101, 1),
+            Err(LogError::OffsetOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn sparse_index_bounds_scan() {
+        let mut s = seg(64);
+        for i in 0..100 {
+            s.append(&rec(100 + i, i, "xxxxxxxxxxxxxxxx")).unwrap();
+        }
+        assert!(s.index_entries() > 1, "interval should create entries");
+        assert!(s.index_entries() < 100, "index must stay sparse");
+        // Seek position for a late offset should be well past byte 0.
+        assert!(s.seek_position(190) > 0);
+        let r = s.read_from(190, u64::MAX).unwrap();
+        assert_eq!(r.records[0].offset, 190);
+        // The scan should not have started at position zero.
+        assert!(r.start_pos > 0);
+    }
+
+    #[test]
+    fn offset_for_timestamp_finds_first_at_or_after() {
+        let mut s = seg(64);
+        for i in 0..50 {
+            s.append(&rec(100 + i, i * 10, "v")).unwrap();
+        }
+        assert_eq!(s.offset_for_timestamp(0).unwrap(), Some(100));
+        assert_eq!(s.offset_for_timestamp(100).unwrap(), Some(110));
+        assert_eq!(s.offset_for_timestamp(101).unwrap(), Some(111));
+        assert_eq!(s.offset_for_timestamp(495).unwrap(), None);
+    }
+
+    #[test]
+    fn max_timestamp_tracks_largest() {
+        let mut s = seg(1024);
+        s.append(&rec(100, 50, "v")).unwrap();
+        s.append(&rec(101, 20, "v")).unwrap(); // out of order
+        s.append(&rec(102, 80, "v")).unwrap();
+        assert_eq!(s.max_timestamp(), 80);
+    }
+
+    #[test]
+    fn seal_blocks_appends() {
+        let mut s = seg(1024);
+        s.append(&rec(100, 0, "v")).unwrap();
+        s.seal();
+        assert!(s.is_sealed());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.append(&rec(101, 0, "v")).ok();
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn recover_rebuilds_from_bytes() {
+        let mut storage = MemStorage::new();
+        let mut buf = Vec::new();
+        for i in 0..5u64 {
+            rec(200 + i, i, "val").encode(&mut buf);
+        }
+        storage.append(&buf).unwrap();
+        let s = Segment::recover(200, Box::new(storage), 64).unwrap();
+        assert_eq!(s.next_offset(), 205);
+        let r = s.read_from(202, u64::MAX).unwrap();
+        assert_eq!(r.records.len(), 3);
+    }
+
+    #[test]
+    fn recover_truncates_torn_tail() {
+        let mut storage = MemStorage::new();
+        let mut buf = Vec::new();
+        for i in 0..3u64 {
+            rec(i, i, "val").encode(&mut buf);
+        }
+        // Simulate a torn write: half a record at the end.
+        let mut torn = Vec::new();
+        rec(3, 3, "val").encode(&mut torn);
+        buf.extend_from_slice(&torn[..torn.len() / 2]);
+        storage.append(&buf).unwrap();
+        let s = Segment::recover(0, Box::new(storage), 64).unwrap();
+        assert_eq!(s.next_offset(), 3, "torn record must be dropped");
+    }
+
+    #[test]
+    fn large_record_spanning_probe_window() {
+        let mut s = seg(1024);
+        let big = "x".repeat(200 * 1024); // bigger than the 64 KiB probe
+        s.append(&Record {
+            offset: 100,
+            timestamp: 1,
+            key: None,
+            value: Bytes::from(big.clone()),
+        })
+        .unwrap();
+        let r = s.read_from(100, u64::MAX).unwrap();
+        assert_eq!(r.records[0].value.len(), big.len());
+    }
+}

@@ -1,0 +1,1324 @@
+//! The broker cluster: partitioned, replicated topics.
+//!
+//! Replication follows the paper's §4.3 design: every partition has one
+//! **leader** and N−1 **followers**; followers replicate by reading from
+//! the leader and appending to their local logs. A coordination service
+//! tracks the **in-sync replicas** (ISR) — followers within a
+//! configurable lag of the leader. On leader failure a new leader is
+//! elected from the ISR, so the partition tolerates N−1 failures with N
+//! in-sync replicas. The acknowledgement level chosen by producers
+//! ([`AckLevel`]) trades durability for latency: `All` waits for every
+//! ISR member, `Leader` for the leader alone, `None` for nobody.
+//!
+//! Consumers only see records up to the **high watermark** — the offset
+//! replicated to every ISR member — so an elected leader never exposes
+//! records that could be lost.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use liquid_coord::{CoordService, Session};
+use liquid_log::{Log, LogError};
+use liquid_sim::clock::SharedClock;
+use parking_lot::RwLock;
+
+use crate::config::{AckLevel, TopicConfig};
+use crate::error::MessagingError;
+use crate::ids::{BrokerId, Message, TopicPartition};
+use crate::offsets::OffsetManager;
+
+/// Cluster-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of brokers.
+    pub brokers: u32,
+    /// A follower may lag the leader by at most this many records and
+    /// remain in the ISR.
+    pub replica_lag_max: u64,
+    /// Coordination session timeout for brokers.
+    pub session_timeout_ms: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            brokers: 1,
+            replica_lag_max: 0,
+            session_timeout_ms: 10_000,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A cluster with `n` brokers and default tuning.
+    pub fn with_brokers(n: u32) -> Self {
+        ClusterConfig {
+            brokers: n,
+            ..ClusterConfig::default()
+        }
+    }
+}
+
+/// Monotonic counters exposed for the deployment-profile experiment
+/// (E10) and general observability.
+#[derive(Debug, Default)]
+pub struct ClusterStats {
+    /// Messages accepted from producers.
+    pub messages_in: AtomicU64,
+    /// Producer payload bytes accepted.
+    pub bytes_in: AtomicU64,
+    /// Messages served to consumers.
+    pub messages_out: AtomicU64,
+    /// Bytes served to consumers.
+    pub bytes_out: AtomicU64,
+    /// Messages copied leader → follower.
+    pub replicated_messages: AtomicU64,
+    /// Bytes copied leader → follower.
+    pub replicated_bytes: AtomicU64,
+    /// Leader elections performed.
+    pub elections: AtomicU64,
+    /// Produce calls rejected (no leader).
+    pub produce_failures: AtomicU64,
+    /// Idempotent producer ids handed out.
+    pub producer_ids: AtomicU64,
+}
+
+/// A plain-value snapshot of [`ClusterStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Messages accepted from producers.
+    pub messages_in: u64,
+    /// Producer payload bytes accepted.
+    pub bytes_in: u64,
+    /// Messages served to consumers.
+    pub messages_out: u64,
+    /// Bytes served to consumers.
+    pub bytes_out: u64,
+    /// Messages copied leader → follower.
+    pub replicated_messages: u64,
+    /// Bytes copied leader → follower.
+    pub replicated_bytes: u64,
+    /// Leader elections performed.
+    pub elections: u64,
+    /// Produce calls rejected (no leader).
+    pub produce_failures: u64,
+}
+
+struct BrokerState {
+    online: bool,
+    session: Session,
+}
+
+struct PartitionState {
+    /// Brokers assigned to host replicas (first = preferred leader).
+    assignment: Vec<BrokerId>,
+    /// Current leader, if any live ISR member exists.
+    leader: Option<BrokerId>,
+    /// In-sync replicas (always includes the leader when one exists).
+    isr: Vec<BrokerId>,
+    /// One log per assigned broker.
+    replicas: HashMap<BrokerId, Log>,
+    /// High watermark: first offset *not* known to be on every ISR
+    /// member. Consumers read strictly below this.
+    high_watermark: u64,
+    /// Highest sequence number accepted per idempotent producer id
+    /// (duplicate suppression; the exactly-once groundwork §4.3 calls
+    /// "an ongoing effort").
+    producer_seqs: HashMap<u64, u64>,
+}
+
+impl PartitionState {
+    fn log_end(&self, broker: BrokerId) -> u64 {
+        self.replicas
+            .get(&broker)
+            .map(|l| l.next_offset())
+            .unwrap_or(0)
+    }
+}
+
+struct TopicState {
+    config: TopicConfig,
+    partitions: Vec<PartitionState>,
+}
+
+struct State {
+    brokers: BTreeMap<BrokerId, BrokerState>,
+    topics: HashMap<String, TopicState>,
+}
+
+/// Handle to the messaging cluster. Cheap to clone; all clones share the
+/// same cluster.
+#[derive(Clone)]
+pub struct Cluster {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    config: ClusterConfig,
+    clock: SharedClock,
+    coord: CoordService,
+    state: RwLock<State>,
+    stats: ClusterStats,
+    offsets: OffsetManager,
+    groups: crate::group::GroupRegistry,
+    quotas: crate::quotas::QuotaManager,
+}
+
+impl Cluster {
+    /// Starts a cluster of `config.brokers` brokers, registering each in
+    /// the coordination service under `/liquid/brokers/<id>`.
+    pub fn new(config: ClusterConfig, clock: SharedClock) -> Self {
+        let coord = CoordService::new(clock.clone());
+        coord.ensure_path("/liquid/brokers").expect("static path");
+        coord.ensure_path("/liquid/topics").expect("static path");
+        let mut brokers = BTreeMap::new();
+        for id in 0..config.brokers {
+            let session = coord.create_session(config.session_timeout_ms);
+            coord
+                .create(
+                    &format!("/liquid/brokers/{id}"),
+                    id.to_string().as_bytes(),
+                    liquid_coord::CreateMode::Ephemeral,
+                    Some(session.id()),
+                )
+                .expect("fresh broker path");
+            brokers.insert(
+                id,
+                BrokerState {
+                    online: true,
+                    session,
+                },
+            );
+        }
+        Cluster {
+            inner: Arc::new(Inner {
+                config,
+                clock: clock.clone(),
+                coord,
+                state: RwLock::new(State {
+                    brokers,
+                    topics: HashMap::new(),
+                }),
+                stats: ClusterStats::default(),
+                offsets: OffsetManager::new(clock.clone()),
+                groups: crate::group::GroupRegistry::default(),
+                quotas: crate::quotas::QuotaManager::new(clock),
+            }),
+        }
+    }
+
+    /// Single-broker in-memory cluster (quickstart / tests).
+    pub fn single_node(clock: SharedClock) -> Self {
+        Cluster::new(ClusterConfig::default(), clock)
+    }
+
+    /// The coordination service (for observability and recipes).
+    pub fn coord(&self) -> &CoordService {
+        &self.inner.coord
+    }
+
+    /// The offset manager (consumer checkpoints + metadata annotations).
+    pub fn offsets(&self) -> &OffsetManager {
+        &self.inner.offsets
+    }
+
+    /// Per-client produce quotas (§3.1: identifying misbehaving
+    /// applications).
+    pub fn quotas(&self) -> &crate::quotas::QuotaManager {
+        &self.inner.quotas
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &SharedClock {
+        &self.inner.clock
+    }
+
+    /// Creates a topic; partitions are assigned to brokers round-robin
+    /// and replicas to the following brokers.
+    pub fn create_topic(&self, name: &str, config: TopicConfig) -> crate::Result<()> {
+        if config.partitions == 0 {
+            return Err(MessagingError::InvalidConfig(
+                "partitions must be > 0".into(),
+            ));
+        }
+        let mut st = self.inner.state.write();
+        let broker_count = st.brokers.len() as u32;
+        if config.replication == 0 || config.replication > broker_count {
+            return Err(MessagingError::InvalidConfig(format!(
+                "replication {} out of range 1..={broker_count}",
+                config.replication
+            )));
+        }
+        if st.topics.contains_key(name) {
+            return Err(MessagingError::TopicExists(name.to_string()));
+        }
+        let broker_ids: Vec<BrokerId> = st.brokers.keys().copied().collect();
+        let mut partitions = Vec::with_capacity(config.partitions as usize);
+        for p in 0..config.partitions {
+            let assignment: Vec<BrokerId> = (0..config.replication)
+                .map(|r| broker_ids[((p + r) % broker_count) as usize])
+                .collect();
+            let mut replicas = HashMap::new();
+            for &b in &assignment {
+                let log_config = per_replica_log_config(&config, name, p, b);
+                let log = Log::open(log_config, self.inner.clock.clone())?;
+                replicas.insert(b, log);
+            }
+            let leader = assignment.iter().copied().find(|b| st.brokers[b].online);
+            partitions.push(PartitionState {
+                isr: assignment.clone(),
+                assignment,
+                leader,
+                replicas,
+                high_watermark: 0,
+                producer_seqs: HashMap::new(),
+            });
+        }
+        self.inner
+            .coord
+            .ensure_path(&format!("/liquid/topics/{name}"))
+            .ok();
+        st.topics
+            .insert(name.to_string(), TopicState { config, partitions });
+        drop(st);
+        self.publish_partition_states(name);
+        Ok(())
+    }
+
+    /// Names of topics with the compacted cleanup policy, sorted.
+    pub fn compacted_topics(&self) -> Vec<String> {
+        let st = self.inner.state.read();
+        let mut names: Vec<String> = st
+            .topics
+            .iter()
+            .filter(|(_, t)| t.config.log.cleanup == liquid_log::CleanupPolicy::Compact)
+            .map(|(n, _)| n.clone())
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Topic names, sorted.
+    pub fn topic_names(&self) -> Vec<String> {
+        let st = self.inner.state.read();
+        let mut names: Vec<String> = st.topics.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of partitions of a topic.
+    pub fn partition_count(&self, topic: &str) -> crate::Result<u32> {
+        let st = self.inner.state.read();
+        st.topics
+            .get(topic)
+            .map(|t| t.config.partitions)
+            .ok_or_else(|| MessagingError::UnknownTopic(topic.to_string()))
+    }
+
+    /// Produces one message to a specific partition. Returns its offset.
+    pub fn produce_to(
+        &self,
+        tp: &TopicPartition,
+        key: Option<Bytes>,
+        value: Bytes,
+        acks: AckLevel,
+    ) -> crate::Result<u64> {
+        self.produce_idempotent(tp, key, value, acks, None)
+    }
+
+    /// Registers an idempotent producer session; the returned id is
+    /// passed with every send so brokers can de-duplicate retries.
+    pub fn register_producer(&self) -> u64 {
+        self.inner
+            .stats
+            .producer_ids
+            .fetch_add(1, Ordering::Relaxed)
+            + 1
+    }
+
+    /// Produce with optional `(producer_id, sequence)` for duplicate
+    /// suppression: a sequence at or below the highest accepted one for
+    /// that producer is dropped and the produce reports the current
+    /// log-end offset without appending (at-most-once per sequence, so
+    /// retries become exactly-once on the partition).
+    pub fn produce_idempotent(
+        &self,
+        tp: &TopicPartition,
+        key: Option<Bytes>,
+        value: Bytes,
+        acks: AckLevel,
+        dedup: Option<(u64, u64)>,
+    ) -> crate::Result<u64> {
+        let mut st = self.inner.state.write();
+        let now = self.inner.clock.now();
+        let value_len = value.len() as u64;
+        let brokers_online: HashMap<BrokerId, bool> =
+            st.brokers.iter().map(|(&id, b)| (id, b.online)).collect();
+        let ps = partition_mut(&mut st, tp)?;
+        let leader = match ps.leader.filter(|b| brokers_online[b]) {
+            Some(l) => l,
+            None => {
+                self.inner
+                    .stats
+                    .produce_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(MessagingError::PartitionUnavailable(tp.clone()));
+            }
+        };
+        if let Some((producer_id, sequence)) = dedup {
+            let last = ps.producer_seqs.get(&producer_id).copied();
+            if last.is_some_and(|l| sequence <= l) {
+                // Duplicate retry: already appended.
+                return Ok(ps.log_end(leader).saturating_sub(1));
+            }
+            ps.producer_seqs.insert(producer_id, sequence);
+        }
+        let leader_log = ps.replicas.get_mut(&leader).expect("leader has replica");
+        let offset = leader_log.append_with_timestamp(key.clone(), value.clone(), now)?;
+        match acks {
+            AckLevel::All => {
+                // Synchronously bring every live ISR follower fully up to
+                // date, then advance the high watermark.
+                let isr = ps.isr.clone();
+                let mut synced_ends = vec![offset + 1];
+                for b in isr {
+                    if b == leader || !brokers_online[&b] {
+                        continue;
+                    }
+                    let copied = catch_up(ps, leader, b)?;
+                    self.note_replicated(copied);
+                    synced_ends.push(ps.log_end(b));
+                }
+                let min_end = synced_ends.iter().copied().min().unwrap_or(offset + 1);
+                ps.high_watermark = ps.high_watermark.max(min_end);
+            }
+            AckLevel::Leader | AckLevel::None => {
+                // Followers catch up on the next replication tick; the
+                // high watermark advances then. With a single replica the
+                // leader *is* the full ISR, so advance immediately.
+                if ps.isr == [leader] {
+                    ps.high_watermark = offset + 1;
+                }
+            }
+        }
+        self.inner.stats.messages_in.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stats
+            .bytes_in
+            .fetch_add(value_len, Ordering::Relaxed);
+        Ok(offset)
+    }
+
+    /// Fetches up to `max_bytes` of committed messages from `offset`.
+    /// Fetching at the high watermark returns an empty batch (the
+    /// consumer is tailing).
+    pub fn fetch(
+        &self,
+        tp: &TopicPartition,
+        offset: u64,
+        max_bytes: u64,
+    ) -> crate::Result<Vec<Message>> {
+        let st = self.inner.state.read();
+        let ps = partition_ref(&st, tp)?;
+        let leader = ps
+            .leader
+            .filter(|b| st.brokers[b].online)
+            .ok_or_else(|| MessagingError::PartitionUnavailable(tp.clone()))?;
+        let log = &ps.replicas[&leader];
+        if offset >= ps.high_watermark {
+            // Tail fetch — but reject offsets beyond the log end as a
+            // consumer bug.
+            if offset > log.next_offset() {
+                return Err(MessagingError::Log(LogError::OffsetOutOfRange {
+                    requested: offset,
+                    start: log.start_offset(),
+                    end: log.next_offset(),
+                }));
+            }
+            return Ok(Vec::new());
+        }
+        let out = log.read(offset, max_bytes)?;
+        let mut bytes = 0u64;
+        let messages: Vec<Message> = out
+            .records
+            .into_iter()
+            .filter(|r| r.offset < ps.high_watermark)
+            .map(|r| {
+                bytes += r.value.len() as u64;
+                Message::from(r)
+            })
+            .collect();
+        self.inner
+            .stats
+            .messages_out
+            .fetch_add(messages.len() as u64, Ordering::Relaxed);
+        self.inner
+            .stats
+            .bytes_out
+            .fetch_add(bytes, Ordering::Relaxed);
+        Ok(messages)
+    }
+
+    /// First retained offset.
+    pub fn earliest_offset(&self, tp: &TopicPartition) -> crate::Result<u64> {
+        let st = self.inner.state.read();
+        let ps = partition_ref(&st, tp)?;
+        let leader = ps
+            .leader
+            .ok_or_else(|| MessagingError::PartitionUnavailable(tp.clone()))?;
+        Ok(ps.replicas[&leader].start_offset())
+    }
+
+    /// High watermark (first offset a consumer cannot yet read).
+    pub fn latest_offset(&self, tp: &TopicPartition) -> crate::Result<u64> {
+        let st = self.inner.state.read();
+        Ok(partition_ref(&st, tp)?.high_watermark)
+    }
+
+    /// Leader's log-end offset (may exceed the high watermark when
+    /// followers lag).
+    pub fn log_end_offset(&self, tp: &TopicPartition) -> crate::Result<u64> {
+        let st = self.inner.state.read();
+        let ps = partition_ref(&st, tp)?;
+        let leader = ps
+            .leader
+            .ok_or_else(|| MessagingError::PartitionUnavailable(tp.clone()))?;
+        Ok(ps.replicas[&leader].next_offset())
+    }
+
+    /// First offset whose record timestamp is `>= ts` (rewind by time).
+    pub fn offset_for_timestamp(
+        &self,
+        tp: &TopicPartition,
+        ts: liquid_sim::clock::Ts,
+    ) -> crate::Result<Option<u64>> {
+        let st = self.inner.state.read();
+        let ps = partition_ref(&st, tp)?;
+        let leader = ps
+            .leader
+            .ok_or_else(|| MessagingError::PartitionUnavailable(tp.clone()))?;
+        Ok(ps.replicas[&leader].offset_for_timestamp(ts)?)
+    }
+
+    /// Current leader of a partition.
+    pub fn leader(&self, tp: &TopicPartition) -> crate::Result<Option<BrokerId>> {
+        let st = self.inner.state.read();
+        Ok(partition_ref(&st, tp)?.leader)
+    }
+
+    /// Current ISR of a partition.
+    pub fn isr(&self, tp: &TopicPartition) -> crate::Result<Vec<BrokerId>> {
+        let st = self.inner.state.read();
+        Ok(partition_ref(&st, tp)?.isr.clone())
+    }
+
+    /// Runs one replication round: every live follower copies what it is
+    /// missing from its leader; ISR membership and high watermarks are
+    /// recomputed; broker sessions heartbeat. Returns messages copied.
+    pub fn replicate_tick(&self) -> crate::Result<u64> {
+        let mut st = self.inner.state.write();
+        // Heartbeat live brokers so their coordination sessions survive.
+        for b in st.brokers.values() {
+            if b.online {
+                b.session.heartbeat().ok();
+            }
+        }
+        let online: HashMap<BrokerId, bool> =
+            st.brokers.iter().map(|(&id, b)| (id, b.online)).collect();
+        let lag_max = self.inner.config.replica_lag_max;
+        let mut total = 0u64;
+        let topics: Vec<String> = st.topics.keys().cloned().collect();
+        for topic in &topics {
+            let nparts = st.topics[topic].partitions.len();
+            for p in 0..nparts {
+                let ps = &mut st.topics.get_mut(topic).expect("topic exists").partitions[p];
+                let Some(leader) = ps.leader.filter(|b| online[b]) else {
+                    // Try to recover leadership if a replica came back.
+                    if elect_leader(ps, &online) {
+                        self.inner.stats.elections.fetch_add(1, Ordering::Relaxed);
+                    }
+                    continue;
+                };
+                let followers: Vec<BrokerId> = ps
+                    .assignment
+                    .iter()
+                    .copied()
+                    .filter(|&b| b != leader && online[&b])
+                    .collect();
+                for b in followers {
+                    let copied = catch_up(ps, leader, b)?;
+                    self.note_replicated(copied);
+                    total += copied.0;
+                }
+                // Recompute ISR: leader plus followers within lag_max.
+                let leader_end = ps.log_end(leader);
+                let mut isr = vec![leader];
+                for &b in &ps.assignment {
+                    if b != leader && online[&b] && leader_end - ps.log_end(b) <= lag_max {
+                        isr.push(b);
+                    }
+                }
+                isr.sort_unstable();
+                ps.isr = isr;
+                // High watermark: minimum log end across the ISR.
+                let min_end = ps
+                    .isr
+                    .iter()
+                    .map(|&b| ps.log_end(b))
+                    .min()
+                    .unwrap_or(ps.high_watermark);
+                ps.high_watermark = ps.high_watermark.max(min_end);
+            }
+        }
+        drop(st);
+        for topic in &topics {
+            self.publish_partition_states(topic);
+        }
+        Ok(total)
+    }
+
+    /// Crashes a broker: its coordination session expires, it leaves
+    /// every ISR, and partitions it led elect a new leader from the
+    /// remaining ISR. Unreplicated records on the old leader are lost —
+    /// this is the `acks` durability trade-off of §4.3.
+    pub fn kill_broker(&self, id: BrokerId) -> crate::Result<()> {
+        let mut st = self.inner.state.write();
+        let broker = st
+            .brokers
+            .get_mut(&id)
+            .ok_or(MessagingError::UnknownBroker(id))?;
+        if !broker.online {
+            return Ok(());
+        }
+        broker.online = false;
+        let session_id = broker.session.id();
+        self.inner.coord.expire_session(session_id);
+        let online: HashMap<BrokerId, bool> =
+            st.brokers.iter().map(|(&bid, b)| (bid, b.online)).collect();
+        let topics: Vec<String> = st.topics.keys().cloned().collect();
+        for topic in &topics {
+            for ps in &mut st.topics.get_mut(topic).expect("topic exists").partitions {
+                // The dead broker stays in the ISR: the ISR is the set of
+                // replicas known to hold all committed data, and it is
+                // the candidate set for future elections — removing the
+                // last member would make the partition unrecoverable
+                // even after the broker returns. Live leaders shrink the
+                // ISR on the next replication tick instead.
+                if ps.leader == Some(id) {
+                    ps.leader = None;
+                    if elect_leader(ps, &online) {
+                        self.inner.stats.elections.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        drop(st);
+        for topic in &topics {
+            self.publish_partition_states(topic);
+        }
+        Ok(())
+    }
+
+    /// Restarts a crashed broker. Its replicas truncate any divergent
+    /// suffix (records past the current leader's log end) and rejoin the
+    /// ISR once they catch up via [`replicate_tick`](Self::replicate_tick).
+    pub fn restart_broker(&self, id: BrokerId) -> crate::Result<()> {
+        let mut st = self.inner.state.write();
+        if !st.brokers.contains_key(&id) {
+            return Err(MessagingError::UnknownBroker(id));
+        }
+        if st.brokers[&id].online {
+            return Ok(());
+        }
+        let session = self
+            .inner
+            .coord
+            .create_session(self.inner.config.session_timeout_ms);
+        self.inner
+            .coord
+            .create(
+                &format!("/liquid/brokers/{id}"),
+                id.to_string().as_bytes(),
+                liquid_coord::CreateMode::Ephemeral,
+                Some(session.id()),
+            )
+            .ok();
+        if let Some(b) = st.brokers.get_mut(&id) {
+            b.online = true;
+            b.session = session;
+        }
+        // Divergence repair: drop any suffix the current leader lacks.
+        let topics: Vec<String> = st.topics.keys().cloned().collect();
+        for topic in &topics {
+            for ps in &mut st.topics.get_mut(topic).expect("topic exists").partitions {
+                if !ps.assignment.contains(&id) {
+                    continue;
+                }
+                if let Some(leader) = ps.leader {
+                    if leader != id {
+                        let leader_end = ps.log_end(leader);
+                        let own_end = ps.log_end(id);
+                        if own_end > leader_end {
+                            ps.replicas
+                                .get_mut(&id)
+                                .expect("assigned replica")
+                                .truncate_to(leader_end)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// All broker ids, sorted.
+    pub fn broker_ids(&self) -> Vec<BrokerId> {
+        self.inner.state.read().brokers.keys().copied().collect()
+    }
+
+    /// Whether a broker is currently online.
+    pub fn broker_online(&self, id: BrokerId) -> bool {
+        self.inner
+            .state
+            .read()
+            .brokers
+            .get(&id)
+            .map(|b| b.online)
+            .unwrap_or(false)
+    }
+
+    /// Preferred-leader election: partitions whose current leader is not
+    /// the first live ISR member of their assignment move leadership
+    /// back. Run after broker restarts to undo the leadership skew that
+    /// failovers cause (load balancing across brokers, §4.4). Returns
+    /// the number of partitions whose leader moved.
+    pub fn rebalance_leadership(&self) -> crate::Result<usize> {
+        let mut st = self.inner.state.write();
+        let online: HashMap<BrokerId, bool> =
+            st.brokers.iter().map(|(&id, b)| (id, b.online)).collect();
+        let mut moved = 0;
+        let topics: Vec<String> = st.topics.keys().cloned().collect();
+        for topic in &topics {
+            for ps in &mut st.topics.get_mut(topic).expect("topic exists").partitions {
+                let preferred = ps
+                    .assignment
+                    .iter()
+                    .copied()
+                    .find(|b| ps.isr.contains(b) && online.get(b).copied().unwrap_or(false));
+                if let Some(p) = preferred {
+                    if ps.leader != Some(p) && ps.leader.is_some() {
+                        // Only safe when the preferred replica is fully
+                        // caught up with the current leader.
+                        let current = ps.leader.expect("checked above");
+                        if ps.log_end(p) == ps.log_end(current) {
+                            ps.leader = Some(p);
+                            moved += 1;
+                        }
+                    }
+                }
+            }
+        }
+        drop(st);
+        for topic in &topics {
+            self.publish_partition_states(topic);
+        }
+        if moved > 0 {
+            self.inner
+                .stats
+                .elections
+                .fetch_add(moved as u64, Ordering::Relaxed);
+        }
+        Ok(moved)
+    }
+
+    /// Applies retention to every partition log; returns segments
+    /// deleted.
+    pub fn enforce_retention(&self) -> crate::Result<usize> {
+        let mut st = self.inner.state.write();
+        let mut deleted = 0;
+        for topic in st.topics.values_mut() {
+            for ps in &mut topic.partitions {
+                for log in ps.replicas.values_mut() {
+                    deleted += log.enforce_retention()?.len();
+                }
+            }
+        }
+        Ok(deleted)
+    }
+
+    /// Runs a compaction pass over every partition of a topic; returns
+    /// the summed stats.
+    pub fn compact_topic(&self, topic: &str) -> crate::Result<liquid_log::CompactionStats> {
+        let mut st = self.inner.state.write();
+        let t = st
+            .topics
+            .get_mut(topic)
+            .ok_or_else(|| MessagingError::UnknownTopic(topic.to_string()))?;
+        let mut total = liquid_log::CompactionStats::default();
+        for ps in &mut t.partitions {
+            for log in ps.replicas.values_mut() {
+                let s = log.compact()?;
+                total.records_before += s.records_before;
+                total.records_after += s.records_after;
+                total.bytes_before += s.bytes_before;
+                total.bytes_after += s.bytes_after;
+                total.tombstones_removed += s.tombstones_removed;
+            }
+        }
+        Ok(total)
+    }
+
+    /// Total log bytes across all replicas of a topic (includes
+    /// replication — the paper's §5 in/out amplification).
+    pub fn topic_size_bytes(&self, topic: &str) -> crate::Result<u64> {
+        let st = self.inner.state.read();
+        let t = st
+            .topics
+            .get(topic)
+            .ok_or_else(|| MessagingError::UnknownTopic(topic.to_string()))?;
+        Ok(t.partitions
+            .iter()
+            .flat_map(|ps| ps.replicas.values())
+            .map(|l| l.size_bytes())
+            .sum())
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        let s = &self.inner.stats;
+        StatsSnapshot {
+            messages_in: s.messages_in.load(Ordering::Relaxed),
+            bytes_in: s.bytes_in.load(Ordering::Relaxed),
+            messages_out: s.messages_out.load(Ordering::Relaxed),
+            bytes_out: s.bytes_out.load(Ordering::Relaxed),
+            replicated_messages: s.replicated_messages.load(Ordering::Relaxed),
+            replicated_bytes: s.replicated_bytes.load(Ordering::Relaxed),
+            elections: s.elections.load(Ordering::Relaxed),
+            produce_failures: s.produce_failures.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn group_registry(&self) -> &crate::group::GroupRegistry {
+        &self.inner.groups
+    }
+
+    fn note_replicated(&self, copied: (u64, u64)) {
+        self.inner
+            .stats
+            .replicated_messages
+            .fetch_add(copied.0, Ordering::Relaxed);
+        self.inner
+            .stats
+            .replicated_bytes
+            .fetch_add(copied.1, Ordering::Relaxed);
+    }
+
+    /// Records per-partition leader/ISR into the coordination service
+    /// for observability (`/liquid/topics/<t>/<p>` → `leader|isr...`).
+    fn publish_partition_states(&self, topic: &str) {
+        let entries: Vec<(u32, String)> = {
+            let st = self.inner.state.read();
+            let Some(t) = st.topics.get(topic) else {
+                return;
+            };
+            t.partitions
+                .iter()
+                .enumerate()
+                .map(|(p, ps)| {
+                    let isr: Vec<String> = ps.isr.iter().map(|b| b.to_string()).collect();
+                    let leader = ps
+                        .leader
+                        .map(|l| l.to_string())
+                        .unwrap_or_else(|| "-".to_string());
+                    (p as u32, format!("{leader}|{}", isr.join(",")))
+                })
+                .collect()
+        };
+        for (p, data) in entries {
+            let path = format!("/liquid/topics/{topic}/{p}");
+            self.inner.coord.ensure_path(&path).ok();
+            self.inner.coord.set_data(&path, data.as_bytes(), None).ok();
+        }
+    }
+}
+
+/// Copies missing records leader → follower; returns `(messages, bytes)`.
+fn catch_up(
+    ps: &mut PartitionState,
+    leader: BrokerId,
+    follower: BrokerId,
+) -> crate::Result<(u64, u64)> {
+    let from = ps.log_end(follower);
+    let to = ps.log_end(leader);
+    if from >= to {
+        return Ok((0, 0));
+    }
+    let records = {
+        let leader_log = ps.replicas.get(&leader).expect("leader replica");
+        leader_log
+            .read(from.max(leader_log.start_offset()), u64::MAX)?
+            .records
+    };
+    let mut messages = 0u64;
+    let mut bytes = 0u64;
+    let flog = ps.replicas.get_mut(&follower).expect("follower replica");
+    for rec in records {
+        if rec.offset < from {
+            continue;
+        }
+        bytes += rec.value.len() as u64;
+        messages += 1;
+        flog.append_with_timestamp(rec.key, rec.value, rec.timestamp)?;
+    }
+    Ok((messages, bytes))
+}
+
+/// Elects a leader from the live ISR (preferring assignment order);
+/// returns whether a leader was (re-)established. Live replicas truncate
+/// divergent suffixes past the new leader's log end.
+fn elect_leader(ps: &mut PartitionState, online: &HashMap<BrokerId, bool>) -> bool {
+    let candidate = ps
+        .assignment
+        .iter()
+        .copied()
+        .find(|b| ps.isr.contains(b) && online.get(b).copied().unwrap_or(false));
+    match candidate {
+        Some(new_leader) => {
+            ps.leader = Some(new_leader);
+            let leader_end = ps.log_end(new_leader);
+            for &b in &ps.assignment.clone() {
+                if b != new_leader && online.get(&b).copied().unwrap_or(false) {
+                    let end = ps.log_end(b);
+                    if end > leader_end {
+                        if let Some(log) = ps.replicas.get_mut(&b) {
+                            log.truncate_to(leader_end).ok();
+                        }
+                    }
+                }
+            }
+            // The new leader may not have everything the old one
+            // committed past the replicated prefix; clamp the HW.
+            ps.high_watermark = ps.high_watermark.min(leader_end);
+            true
+        }
+        None => false,
+    }
+}
+
+fn per_replica_log_config(
+    config: &TopicConfig,
+    topic: &str,
+    partition: u32,
+    broker: BrokerId,
+) -> liquid_log::LogConfig {
+    let mut lc = config.log.clone();
+    if let liquid_log::StorageKind::Files(dir) = &lc.storage {
+        lc.storage = liquid_log::StorageKind::Files(
+            dir.join(format!("broker-{broker}"))
+                .join(format!("{topic}-{partition}")),
+        );
+    }
+    lc
+}
+
+fn partition_ref<'a>(st: &'a State, tp: &TopicPartition) -> crate::Result<&'a PartitionState> {
+    st.topics
+        .get(&tp.topic)
+        .ok_or_else(|| MessagingError::UnknownTopic(tp.topic.clone()))?
+        .partitions
+        .get(tp.partition as usize)
+        .ok_or_else(|| MessagingError::UnknownPartition(tp.clone()))
+}
+
+fn partition_mut<'a>(
+    st: &'a mut State,
+    tp: &TopicPartition,
+) -> crate::Result<&'a mut PartitionState> {
+    st.topics
+        .get_mut(&tp.topic)
+        .ok_or_else(|| MessagingError::UnknownTopic(tp.topic.clone()))?
+        .partitions
+        .get_mut(tp.partition as usize)
+        .ok_or_else(|| MessagingError::UnknownPartition(tp.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liquid_sim::clock::SimClock;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::from(s.to_string())
+    }
+
+    fn cluster(brokers: u32) -> (Cluster, SimClock) {
+        let clock = SimClock::new(0);
+        (
+            Cluster::new(ClusterConfig::with_brokers(brokers), clock.shared()),
+            clock,
+        )
+    }
+
+    #[test]
+    fn cluster_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Cluster>();
+    }
+
+    #[test]
+    fn create_topic_and_produce_fetch() {
+        let (c, _) = cluster(1);
+        c.create_topic("events", TopicConfig::with_partitions(2))
+            .unwrap();
+        let tp = TopicPartition::new("events", 0);
+        let off = c
+            .produce_to(&tp, None, b("hello"), AckLevel::Leader)
+            .unwrap();
+        assert_eq!(off, 0);
+        let msgs = c.fetch(&tp, 0, u64::MAX).unwrap();
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].value, b("hello"));
+    }
+
+    #[test]
+    fn duplicate_topic_rejected() {
+        let (c, _) = cluster(1);
+        c.create_topic("t", TopicConfig::default()).unwrap();
+        assert!(matches!(
+            c.create_topic("t", TopicConfig::default()),
+            Err(MessagingError::TopicExists(_))
+        ));
+    }
+
+    #[test]
+    fn replication_factor_validated() {
+        let (c, _) = cluster(2);
+        assert!(c
+            .create_topic("t", TopicConfig::default().replication(3))
+            .is_err());
+        assert!(c
+            .create_topic("t2", TopicConfig::with_partitions(0))
+            .is_err());
+    }
+
+    #[test]
+    fn unknown_topic_and_partition_errors() {
+        let (c, _) = cluster(1);
+        c.create_topic("t", TopicConfig::with_partitions(1))
+            .unwrap();
+        assert!(matches!(
+            c.fetch(&TopicPartition::new("nope", 0), 0, 1),
+            Err(MessagingError::UnknownTopic(_))
+        ));
+        assert!(matches!(
+            c.fetch(&TopicPartition::new("t", 9), 0, 1),
+            Err(MessagingError::UnknownPartition(_))
+        ));
+    }
+
+    #[test]
+    fn partitions_are_assigned_across_brokers() {
+        let (c, _) = cluster(3);
+        c.create_topic("t", TopicConfig::with_partitions(3))
+            .unwrap();
+        let leaders: Vec<_> = (0..3)
+            .map(|p| c.leader(&TopicPartition::new("t", p)).unwrap().unwrap())
+            .collect();
+        // Round-robin assignment: three distinct leaders.
+        let mut unique = leaders.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 3, "leaders {leaders:?} should be distinct");
+    }
+
+    #[test]
+    fn acks_all_replicates_synchronously() {
+        let (c, _) = cluster(3);
+        c.create_topic("t", TopicConfig::with_partitions(1).replication(3))
+            .unwrap();
+        let tp = TopicPartition::new("t", 0);
+        c.produce_to(&tp, None, b("x"), AckLevel::All).unwrap();
+        assert_eq!(c.latest_offset(&tp).unwrap(), 1);
+        assert_eq!(c.stats().replicated_messages, 2);
+    }
+
+    #[test]
+    fn acks_leader_needs_tick_before_visible() {
+        let (c, _) = cluster(3);
+        c.create_topic("t", TopicConfig::with_partitions(1).replication(3))
+            .unwrap();
+        let tp = TopicPartition::new("t", 0);
+        c.produce_to(&tp, None, b("x"), AckLevel::Leader).unwrap();
+        // Followers lag: HW has not advanced, consumers see nothing.
+        assert_eq!(c.latest_offset(&tp).unwrap(), 0);
+        assert!(c.fetch(&tp, 0, u64::MAX).unwrap().is_empty());
+        c.replicate_tick().unwrap();
+        assert_eq!(c.latest_offset(&tp).unwrap(), 1);
+        assert_eq!(c.fetch(&tp, 0, u64::MAX).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn leader_failure_elects_isr_member() {
+        let (c, _) = cluster(3);
+        c.create_topic("t", TopicConfig::with_partitions(1).replication(3))
+            .unwrap();
+        let tp = TopicPartition::new("t", 0);
+        for i in 0..10 {
+            c.produce_to(&tp, None, b(&format!("m{i}")), AckLevel::All)
+                .unwrap();
+        }
+        let old_leader = c.leader(&tp).unwrap().unwrap();
+        c.kill_broker(old_leader).unwrap();
+        let new_leader = c.leader(&tp).unwrap().unwrap();
+        assert_ne!(new_leader, old_leader);
+        // All 10 messages survive (they were fully replicated).
+        let msgs = c.fetch(&tp, 0, u64::MAX).unwrap();
+        assert_eq!(msgs.len(), 10);
+        assert_eq!(c.stats().elections, 1);
+    }
+
+    #[test]
+    fn unreplicated_messages_lost_with_acks_leader() {
+        let (c, _) = cluster(3);
+        c.create_topic("t", TopicConfig::with_partitions(1).replication(3))
+            .unwrap();
+        let tp = TopicPartition::new("t", 0);
+        // Fully replicate 5 messages.
+        for i in 0..5 {
+            c.produce_to(&tp, None, b(&format!("safe{i}")), AckLevel::All)
+                .unwrap();
+        }
+        // 5 more with acks=Leader, never replicated.
+        for i in 0..5 {
+            c.produce_to(&tp, None, b(&format!("risky{i}")), AckLevel::Leader)
+                .unwrap();
+        }
+        let leader = c.leader(&tp).unwrap().unwrap();
+        assert_eq!(c.log_end_offset(&tp).unwrap(), 10);
+        c.kill_broker(leader).unwrap();
+        // The new leader only has the replicated prefix.
+        assert_eq!(c.log_end_offset(&tp).unwrap(), 5);
+        let msgs = c.fetch(&tp, 0, u64::MAX).unwrap();
+        assert_eq!(msgs.len(), 5);
+        assert!(msgs.iter().all(|m| m.value.starts_with(b"safe")));
+    }
+
+    #[test]
+    fn tolerates_n_minus_1_failures() {
+        let (c, _) = cluster(3);
+        c.create_topic("t", TopicConfig::with_partitions(1).replication(3))
+            .unwrap();
+        let tp = TopicPartition::new("t", 0);
+        c.produce_to(&tp, None, b("m"), AckLevel::All).unwrap();
+        let l1 = c.leader(&tp).unwrap().unwrap();
+        c.kill_broker(l1).unwrap();
+        c.produce_to(&tp, None, b("m2"), AckLevel::All).unwrap();
+        let l2 = c.leader(&tp).unwrap().unwrap();
+        c.kill_broker(l2).unwrap();
+        // One replica left: still serving.
+        let msgs = c.fetch(&tp, 0, u64::MAX).unwrap();
+        assert_eq!(msgs.len(), 2);
+        // Kill the last: unavailable.
+        let l3 = c.leader(&tp).unwrap().unwrap();
+        c.kill_broker(l3).unwrap();
+        assert!(matches!(
+            c.produce_to(&tp, None, b("m3"), AckLevel::All),
+            Err(MessagingError::PartitionUnavailable(_))
+        ));
+        assert!(matches!(
+            c.fetch(&tp, 0, 1),
+            Err(MessagingError::PartitionUnavailable(_))
+        ));
+    }
+
+    #[test]
+    fn restarted_broker_truncates_divergence_and_rejoins() {
+        let (c, _) = cluster(2);
+        c.create_topic("t", TopicConfig::with_partitions(1).replication(2))
+            .unwrap();
+        let tp = TopicPartition::new("t", 0);
+        for i in 0..4 {
+            c.produce_to(&tp, None, b(&format!("a{i}")), AckLevel::All)
+                .unwrap();
+        }
+        // Leader-only writes, then the leader dies: divergence.
+        for i in 0..3 {
+            c.produce_to(&tp, None, b(&format!("lost{i}")), AckLevel::Leader)
+                .unwrap();
+        }
+        let old = c.leader(&tp).unwrap().unwrap();
+        c.kill_broker(old).unwrap();
+        assert_eq!(c.log_end_offset(&tp).unwrap(), 4);
+        // New leader takes writes.
+        for i in 0..2 {
+            c.produce_to(&tp, None, b(&format!("new{i}")), AckLevel::All)
+                .unwrap();
+        }
+        // Old leader comes back: must truncate its 3 divergent records.
+        c.restart_broker(old).unwrap();
+        c.replicate_tick().unwrap();
+        assert!(c.isr(&tp).unwrap().contains(&old), "rejoined ISR");
+        let msgs = c.fetch(&tp, 0, u64::MAX).unwrap();
+        assert_eq!(msgs.len(), 6);
+        assert!(msgs.iter().all(|m| !m.value.starts_with(b"lost")));
+    }
+
+    #[test]
+    fn coord_tracks_broker_liveness() {
+        let (c, _) = cluster(2);
+        assert!(c.coord().exists("/liquid/brokers/0", None).unwrap());
+        c.kill_broker(0).unwrap();
+        assert!(!c.coord().exists("/liquid/brokers/0", None).unwrap());
+        c.restart_broker(0).unwrap();
+        assert!(c.coord().exists("/liquid/brokers/0", None).unwrap());
+    }
+
+    #[test]
+    fn coord_publishes_partition_state() {
+        let (c, _) = cluster(2);
+        c.create_topic("t", TopicConfig::with_partitions(1).replication(2))
+            .unwrap();
+        let (data, _) = c.coord().get_data("/liquid/topics/t/0").unwrap();
+        let s = String::from_utf8(data).unwrap();
+        assert!(s.contains('|'), "state format leader|isr: {s}");
+    }
+
+    #[test]
+    fn preferred_leader_restored_after_failover() {
+        let (c, _) = cluster(3);
+        c.create_topic("t", TopicConfig::with_partitions(1).replication(3))
+            .unwrap();
+        let tp = TopicPartition::new("t", 0);
+        for i in 0..5 {
+            c.produce_to(&tp, None, b(&format!("m{i}")), AckLevel::All)
+                .unwrap();
+        }
+        let preferred = c.leader(&tp).unwrap().unwrap();
+        c.kill_broker(preferred).unwrap();
+        let interim = c.leader(&tp).unwrap().unwrap();
+        assert_ne!(interim, preferred);
+        // Preferred broker returns, catches up, and a rebalance pass
+        // moves leadership back.
+        c.restart_broker(preferred).unwrap();
+        c.replicate_tick().unwrap();
+        assert_eq!(c.rebalance_leadership().unwrap(), 1);
+        assert_eq!(c.leader(&tp).unwrap(), Some(preferred));
+        // Idempotent: second pass moves nothing.
+        assert_eq!(c.rebalance_leadership().unwrap(), 0);
+        // Data intact.
+        assert_eq!(c.fetch(&tp, 0, u64::MAX).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn rebalance_waits_for_catch_up() {
+        let (c, _) = cluster(2);
+        c.create_topic("t", TopicConfig::with_partitions(1).replication(2))
+            .unwrap();
+        let tp = TopicPartition::new("t", 0);
+        c.produce_to(&tp, None, b("a"), AckLevel::All).unwrap();
+        let preferred = c.leader(&tp).unwrap().unwrap();
+        c.kill_broker(preferred).unwrap();
+        // New writes the preferred replica does not have yet.
+        c.produce_to(&tp, None, b("b"), AckLevel::Leader).unwrap();
+        c.restart_broker(preferred).unwrap();
+        // Not caught up: leadership must NOT move.
+        assert_eq!(c.rebalance_leadership().unwrap(), 0);
+        c.replicate_tick().unwrap();
+        assert_eq!(c.rebalance_leadership().unwrap(), 1);
+    }
+
+    #[test]
+    fn rewind_by_timestamp() {
+        let (c, clock) = cluster(1);
+        c.create_topic("t", TopicConfig::default()).unwrap();
+        let tp = TopicPartition::new("t", 0);
+        for i in 0..10 {
+            clock.set(i * 1000);
+            c.produce_to(&tp, None, b(&format!("m{i}")), AckLevel::Leader)
+                .unwrap();
+        }
+        assert_eq!(c.offset_for_timestamp(&tp, 5_000).unwrap(), Some(5));
+        assert_eq!(c.offset_for_timestamp(&tp, 0).unwrap(), Some(0));
+    }
+
+    #[test]
+    fn stats_track_in_and_out() {
+        let (c, _) = cluster(1);
+        c.create_topic("t", TopicConfig::default()).unwrap();
+        let tp = TopicPartition::new("t", 0);
+        c.produce_to(&tp, None, b("12345"), AckLevel::Leader)
+            .unwrap();
+        c.fetch(&tp, 0, u64::MAX).unwrap();
+        c.fetch(&tp, 0, u64::MAX).unwrap();
+        let s = c.stats();
+        assert_eq!(s.messages_in, 1);
+        assert_eq!(s.bytes_in, 5);
+        assert_eq!(s.messages_out, 2);
+        assert_eq!(s.bytes_out, 10);
+    }
+
+    #[test]
+    fn fetch_beyond_log_end_is_error() {
+        let (c, _) = cluster(1);
+        c.create_topic("t", TopicConfig::default()).unwrap();
+        let tp = TopicPartition::new("t", 0);
+        c.produce_to(&tp, None, b("x"), AckLevel::Leader).unwrap();
+        assert!(c.fetch(&tp, 99, 1).is_err());
+        assert!(c.fetch(&tp, 1, 1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn compacted_topic_dedupes() {
+        let (c, _) = cluster(1);
+        c.create_topic(
+            "changelog",
+            TopicConfig::with_partitions(1)
+                .compacted()
+                .segment_bytes(512),
+        )
+        .unwrap();
+        let tp = TopicPartition::new("changelog", 0);
+        for i in 0..200 {
+            c.produce_to(
+                &tp,
+                Some(b(&format!("k{}", i % 5))),
+                b(&format!("v{i}")),
+                AckLevel::Leader,
+            )
+            .unwrap();
+        }
+        let stats = c.compact_topic("changelog").unwrap();
+        assert!(stats.dedup_ratio() > 0.8, "ratio {}", stats.dedup_ratio());
+        // All messages still fetchable from the earliest retained offset.
+        let msgs = c
+            .fetch(&tp, c.earliest_offset(&tp).unwrap(), u64::MAX)
+            .unwrap();
+        // Last value per key survives.
+        assert!(msgs.iter().any(|m| m.value == b("v199")));
+    }
+
+    #[test]
+    fn retention_applies_across_cluster() {
+        let (c, clock) = cluster(1);
+        c.create_topic(
+            "short",
+            TopicConfig::with_partitions(1)
+                .retention_ms(1_000)
+                .segment_bytes(256),
+        )
+        .unwrap();
+        let tp = TopicPartition::new("short", 0);
+        for i in 0..50 {
+            c.produce_to(&tp, None, b(&format!("old-{i:04}")), AckLevel::Leader)
+                .unwrap();
+        }
+        clock.advance(10_000);
+        c.produce_to(&tp, None, b("fresh"), AckLevel::Leader)
+            .unwrap();
+        let deleted = c.enforce_retention().unwrap();
+        assert!(deleted > 0);
+        assert!(c.earliest_offset(&tp).unwrap() > 0);
+    }
+}

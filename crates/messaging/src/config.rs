@@ -1,0 +1,115 @@
+//! Topic and durability configuration.
+
+use liquid_log::{CleanupPolicy, LogConfig, RetentionPolicy};
+
+/// How many acknowledgements a produce waits for (paper §4.3: the
+/// durability/latency trade-off).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckLevel {
+    /// Fire and forget: the producer does not wait at all. Highest
+    /// throughput; messages are lost if the leader dies before
+    /// replication.
+    None,
+    /// Acknowledged once the leader has appended. Messages not yet
+    /// replicated are lost on leader failure.
+    Leader,
+    /// Acknowledged only after every in-sync replica has appended —
+    /// maximum durability: tolerates N−1 failures with N ISRs.
+    All,
+}
+
+/// Per-topic configuration.
+#[derive(Debug, Clone)]
+pub struct TopicConfig {
+    /// Number of partitions.
+    pub partitions: u32,
+    /// Replication factor (1 = leader only).
+    pub replication: u32,
+    /// Log tuning (segment size, retention, cleanup policy).
+    pub log: LogConfig,
+}
+
+impl Default for TopicConfig {
+    fn default() -> Self {
+        TopicConfig {
+            partitions: 1,
+            replication: 1,
+            log: LogConfig::default(),
+        }
+    }
+}
+
+impl TopicConfig {
+    /// `partitions` partitions, replication factor 1, default log.
+    pub fn with_partitions(partitions: u32) -> Self {
+        TopicConfig {
+            partitions,
+            ..TopicConfig::default()
+        }
+    }
+
+    /// Sets the replication factor.
+    pub fn replication(mut self, replication: u32) -> Self {
+        self.replication = replication;
+        self
+    }
+
+    /// Marks the topic compacted (changelog topics, §4.1).
+    pub fn compacted(mut self) -> Self {
+        self.log.cleanup = CleanupPolicy::Compact;
+        self
+    }
+
+    /// Sets time-based retention.
+    pub fn retention_ms(mut self, ms: u64) -> Self {
+        self.log.retention = RetentionPolicy {
+            max_age_ms: Some(ms),
+            ..self.log.retention
+        };
+        self
+    }
+
+    /// Sets size-based retention.
+    pub fn retention_bytes(mut self, bytes: u64) -> Self {
+        self.log.retention = RetentionPolicy {
+            max_bytes: Some(bytes),
+            ..self.log.retention
+        };
+        self
+    }
+
+    /// Sets the segment roll size.
+    pub fn segment_bytes(mut self, bytes: u64) -> Self {
+        self.log.segment_bytes = bytes;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let c = TopicConfig::with_partitions(8)
+            .replication(3)
+            .compacted()
+            .retention_ms(1000)
+            .retention_bytes(2048)
+            .segment_bytes(512);
+        assert_eq!(c.partitions, 8);
+        assert_eq!(c.replication, 3);
+        assert_eq!(c.log.cleanup, CleanupPolicy::Compact);
+        assert_eq!(c.log.retention.max_age_ms, Some(1000));
+        assert_eq!(c.log.retention.max_bytes, Some(2048));
+        assert_eq!(c.log.segment_bytes, 512);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = TopicConfig::default();
+        assert_eq!(c.partitions, 1);
+        assert_eq!(c.replication, 1);
+        assert_eq!(c.log.cleanup, CleanupPolicy::Delete);
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for the messaging layer.
+
+use crate::ids::{BrokerId, TopicPartition};
+
+/// Errors surfaced by the messaging layer.
+#[derive(Debug)]
+pub enum MessagingError {
+    /// Topic does not exist.
+    UnknownTopic(String),
+    /// Topic exists but the partition index is out of range.
+    UnknownPartition(TopicPartition),
+    /// Topic already exists.
+    TopicExists(String),
+    /// Broker id is not part of the cluster.
+    UnknownBroker(BrokerId),
+    /// No in-sync replica is available to lead the partition; produces
+    /// and fetches fail until a replica returns.
+    PartitionUnavailable(TopicPartition),
+    /// The underlying log failed.
+    Log(liquid_log::LogError),
+    /// Consumer group / membership error.
+    Group(String),
+    /// Invalid configuration.
+    InvalidConfig(String),
+    /// A client exceeded its produce quota.
+    Throttled {
+        /// The offending client id.
+        client: String,
+        /// Suggested back-off before retrying (ms).
+        retry_after_ms: u64,
+    },
+}
+
+impl std::fmt::Display for MessagingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MessagingError::UnknownTopic(t) => write!(f, "unknown topic: {t}"),
+            MessagingError::UnknownPartition(tp) => write!(f, "unknown partition: {tp}"),
+            MessagingError::TopicExists(t) => write!(f, "topic exists: {t}"),
+            MessagingError::UnknownBroker(b) => write!(f, "unknown broker: {b}"),
+            MessagingError::PartitionUnavailable(tp) => {
+                write!(f, "partition unavailable (no live ISR): {tp}")
+            }
+            MessagingError::Log(e) => write!(f, "log error: {e}"),
+            MessagingError::Group(msg) => write!(f, "consumer group error: {msg}"),
+            MessagingError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            MessagingError::Throttled {
+                client,
+                retry_after_ms,
+            } => write!(f, "client {client} throttled; retry in {retry_after_ms}ms"),
+        }
+    }
+}
+
+impl std::error::Error for MessagingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MessagingError::Log(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<liquid_log::LogError> for MessagingError {
+    fn from(e: liquid_log::LogError) -> Self {
+        MessagingError::Log(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let tp = TopicPartition::new("t", 0);
+        assert!(MessagingError::PartitionUnavailable(tp)
+            .to_string()
+            .contains("t-0"));
+        assert!(MessagingError::UnknownTopic("x".into())
+            .to_string()
+            .contains('x'));
+    }
+}

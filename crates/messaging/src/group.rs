@@ -1,0 +1,439 @@
+//! Consumer groups (paper §3.1, Figure 3).
+//!
+//! Within a group the messaging layer behaves as a **queue**: each
+//! partition is assigned to exactly one member, so a given message is
+//! processed by one consumer of the group. Across groups it behaves as
+//! **publish/subscribe**: every subscribed group sees every message.
+//!
+//! Joining or leaving triggers a **rebalance**: partitions of the
+//! subscribed topics are redistributed over the members and the group
+//! generation is bumped; consumers detect the bump and refresh their
+//! assignments.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use liquid_sim::clock::Ts;
+use parking_lot::Mutex;
+
+use crate::cluster::Cluster;
+use crate::error::MessagingError;
+use crate::ids::TopicPartition;
+
+/// Partition assignment strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AssignmentStrategy {
+    /// Contiguous ranges of each topic's partitions per member.
+    #[default]
+    Range,
+    /// All partitions dealt round-robin across members.
+    RoundRobin,
+}
+
+/// The partitions a member owns in a given group generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupAssignment {
+    /// Rebalance generation this assignment belongs to.
+    pub generation: u64,
+    /// Partitions owned by the member.
+    pub partitions: Vec<TopicPartition>,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct GroupState {
+    members: BTreeSet<String>,
+    topics: BTreeSet<String>,
+    strategy: AssignmentStrategy,
+    generation: u64,
+    assignments: BTreeMap<String, Vec<TopicPartition>>,
+    /// Last heartbeat per member (ms); members silent past the session
+    /// timeout are evicted by [`Cluster::expire_stale_members`].
+    heartbeats: BTreeMap<String, Ts>,
+}
+
+/// Group-coordination state, owned by the [`Cluster`].
+#[derive(Default)]
+pub struct GroupRegistry {
+    pub(crate) groups: Mutex<HashMap<String, GroupState>>,
+}
+
+impl Cluster {
+    /// Joins `member` to `group`, subscribing it to `topics`. Triggers a
+    /// rebalance; returns the member's new assignment.
+    pub fn join_group(
+        &self,
+        group: &str,
+        member: &str,
+        topics: &[&str],
+        strategy: AssignmentStrategy,
+    ) -> crate::Result<GroupAssignment> {
+        // Validate topics exist before touching group state.
+        let mut partition_counts = BTreeMap::new();
+        for t in topics {
+            partition_counts.insert(t.to_string(), self.partition_count(t)?);
+        }
+        let registry = self.group_registry();
+        let mut groups = registry.groups.lock();
+        let state = groups.entry(group.to_string()).or_default();
+        state.members.insert(member.to_string());
+        state.heartbeats.insert(member.to_string(), self.now_ms());
+        for t in topics {
+            state.topics.insert(t.to_string());
+        }
+        state.strategy = strategy;
+        // Refresh counts for all subscribed topics (earlier joiners may
+        // have subscribed to others).
+        for t in state.topics.clone() {
+            partition_counts
+                .entry(t.clone())
+                .or_insert(self.partition_count(&t)?);
+        }
+        rebalance(state, &partition_counts);
+        Ok(GroupAssignment {
+            generation: state.generation,
+            partitions: state.assignments.get(member).cloned().unwrap_or_default(),
+        })
+    }
+
+    /// Removes `member` from `group`, rebalancing the remainder.
+    pub fn leave_group(&self, group: &str, member: &str) -> crate::Result<()> {
+        let registry = self.group_registry();
+        let mut groups = registry.groups.lock();
+        let state = groups
+            .get_mut(group)
+            .ok_or_else(|| MessagingError::Group(format!("unknown group {group}")))?;
+        if !state.members.remove(member) {
+            return Err(MessagingError::Group(format!(
+                "member {member} not in group {group}"
+            )));
+        }
+        state.heartbeats.remove(member);
+        let mut counts = BTreeMap::new();
+        for t in state.topics.clone() {
+            counts.insert(t.clone(), self.partition_count(&t)?);
+        }
+        rebalance(state, &counts);
+        Ok(())
+    }
+
+    /// Current assignment for a member, if the group and member exist.
+    pub fn group_assignment(&self, group: &str, member: &str) -> Option<GroupAssignment> {
+        let registry = self.group_registry();
+        let groups = registry.groups.lock();
+        let state = groups.get(group)?;
+        state.assignments.get(member).map(|parts| GroupAssignment {
+            generation: state.generation,
+            partitions: parts.clone(),
+        })
+    }
+
+    /// Current generation of a group (bumped on each rebalance).
+    pub fn group_generation(&self, group: &str) -> Option<u64> {
+        let registry = self.group_registry();
+        let groups = registry.groups.lock();
+        groups.get(group).map(|s| s.generation)
+    }
+
+    /// Records a liveness heartbeat for a group member. Consumers call
+    /// this implicitly on every poll.
+    pub fn heartbeat_group(&self, group: &str, member: &str) -> crate::Result<()> {
+        let registry = self.group_registry();
+        let mut groups = registry.groups.lock();
+        let state = groups
+            .get_mut(group)
+            .ok_or_else(|| MessagingError::Group(format!("unknown group {group}")))?;
+        if !state.members.contains(member) {
+            return Err(MessagingError::Group(format!(
+                "member {member} not in group {group}"
+            )));
+        }
+        state.heartbeats.insert(member.to_string(), self.now_ms());
+        Ok(())
+    }
+
+    /// Evicts group members whose last heartbeat is older than
+    /// `session_timeout_ms`, rebalancing affected groups — how the
+    /// coordinator detects crashed consumers (their partitions move to
+    /// surviving members; uncommitted work is reprocessed, §4.3).
+    /// Returns `(group, member)` pairs evicted.
+    pub fn expire_stale_members(
+        &self,
+        session_timeout_ms: u64,
+    ) -> crate::Result<Vec<(String, String)>> {
+        let now = self.now_ms();
+        let registry = self.group_registry();
+        let mut groups = registry.groups.lock();
+        let mut evicted = Vec::new();
+        let mut dirty_groups = Vec::new();
+        for (gname, state) in groups.iter_mut() {
+            let stale: Vec<String> = state
+                .members
+                .iter()
+                .filter(|m| {
+                    state
+                        .heartbeats
+                        .get(*m)
+                        .is_none_or(|&hb| hb + session_timeout_ms <= now)
+                })
+                .cloned()
+                .collect();
+            for m in stale {
+                state.members.remove(&m);
+                state.heartbeats.remove(&m);
+                evicted.push((gname.clone(), m));
+                if !dirty_groups.contains(gname) {
+                    dirty_groups.push(gname.clone());
+                }
+            }
+        }
+        // Rebalance groups that lost members.
+        for gname in dirty_groups {
+            let state = groups.get_mut(&gname).expect("group exists");
+            let mut counts = BTreeMap::new();
+            for t in state.topics.clone() {
+                counts.insert(t.clone(), self.partition_count(&t)?);
+            }
+            rebalance(state, &counts);
+        }
+        Ok(evicted)
+    }
+
+    fn now_ms(&self) -> Ts {
+        self.clock().now()
+    }
+
+    /// Members of a group, sorted.
+    pub fn group_members(&self, group: &str) -> Vec<String> {
+        let registry = self.group_registry();
+        let groups = registry.groups.lock();
+        groups
+            .get(group)
+            .map(|s| s.members.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+}
+
+fn rebalance(state: &mut GroupState, partition_counts: &BTreeMap<String, u32>) {
+    state.generation += 1;
+    state.assignments.clear();
+    let members: Vec<&String> = state.members.iter().collect();
+    if members.is_empty() {
+        return;
+    }
+    for m in &members {
+        state.assignments.insert((*m).clone(), Vec::new());
+    }
+    match state.strategy {
+        AssignmentStrategy::Range => {
+            // Per topic: contiguous chunks, earlier members get the
+            // remainder.
+            for (topic, &count) in partition_counts {
+                if !state.topics.contains(topic) {
+                    continue;
+                }
+                let n = members.len() as u32;
+                let per = count / n;
+                let extra = count % n;
+                let mut next = 0u32;
+                for (i, m) in members.iter().enumerate() {
+                    let take = per + u32::from((i as u32) < extra);
+                    for p in next..next + take {
+                        state
+                            .assignments
+                            .get_mut(*m)
+                            .expect("member inserted")
+                            .push(TopicPartition::new(topic.clone(), p));
+                    }
+                    next += take;
+                }
+            }
+        }
+        AssignmentStrategy::RoundRobin => {
+            let mut all: Vec<TopicPartition> = Vec::new();
+            for (topic, &count) in partition_counts {
+                if !state.topics.contains(topic) {
+                    continue;
+                }
+                for p in 0..count {
+                    all.push(TopicPartition::new(topic.clone(), p));
+                }
+            }
+            for (i, tp) in all.into_iter().enumerate() {
+                let m = members[i % members.len()];
+                state
+                    .assignments
+                    .get_mut(m)
+                    .expect("member inserted")
+                    .push(tp);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use crate::config::TopicConfig;
+    use liquid_sim::clock::SimClock;
+
+    fn setup() -> Cluster {
+        let c = Cluster::new(ClusterConfig::with_brokers(1), SimClock::new(0).shared());
+        c.create_topic("a", TopicConfig::with_partitions(4))
+            .unwrap();
+        c.create_topic("b", TopicConfig::with_partitions(3))
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn single_member_owns_everything() {
+        let c = setup();
+        let a = c
+            .join_group("g", "m1", &["a", "b"], AssignmentStrategy::Range)
+            .unwrap();
+        assert_eq!(a.partitions.len(), 7);
+        assert_eq!(a.generation, 1);
+    }
+
+    #[test]
+    fn partitions_split_without_overlap() {
+        let c = setup();
+        c.join_group("g", "m1", &["a"], AssignmentStrategy::Range)
+            .unwrap();
+        c.join_group("g", "m2", &["a"], AssignmentStrategy::Range)
+            .unwrap();
+        let a1 = c.group_assignment("g", "m1").unwrap();
+        let a2 = c.group_assignment("g", "m2").unwrap();
+        assert_eq!(a1.partitions.len() + a2.partitions.len(), 4);
+        for tp in &a1.partitions {
+            assert!(!a2.partitions.contains(tp), "overlap on {tp}");
+        }
+    }
+
+    #[test]
+    fn join_bumps_generation_and_rebalances() {
+        let c = setup();
+        let a1 = c
+            .join_group("g", "m1", &["a"], AssignmentStrategy::Range)
+            .unwrap();
+        assert_eq!(a1.partitions.len(), 4);
+        c.join_group("g", "m2", &["a"], AssignmentStrategy::Range)
+            .unwrap();
+        let refreshed = c.group_assignment("g", "m1").unwrap();
+        assert_eq!(refreshed.generation, 2);
+        assert_eq!(refreshed.partitions.len(), 2);
+    }
+
+    #[test]
+    fn leave_redistributes() {
+        let c = setup();
+        c.join_group("g", "m1", &["a"], AssignmentStrategy::Range)
+            .unwrap();
+        c.join_group("g", "m2", &["a"], AssignmentStrategy::Range)
+            .unwrap();
+        c.leave_group("g", "m2").unwrap();
+        let a = c.group_assignment("g", "m1").unwrap();
+        assert_eq!(a.partitions.len(), 4);
+        assert_eq!(c.group_members("g"), vec!["m1"]);
+    }
+
+    #[test]
+    fn round_robin_interleaves_topics() {
+        let c = setup();
+        c.join_group("g", "m1", &["a", "b"], AssignmentStrategy::RoundRobin)
+            .unwrap();
+        c.join_group("g", "m2", &["a", "b"], AssignmentStrategy::RoundRobin)
+            .unwrap();
+        let a1 = c.group_assignment("g", "m1").unwrap().partitions;
+        let a2 = c.group_assignment("g", "m2").unwrap().partitions;
+        assert_eq!(a1.len() + a2.len(), 7);
+        assert!((a1.len() as i64 - a2.len() as i64).abs() <= 1, "balanced");
+    }
+
+    #[test]
+    fn more_members_than_partitions_leaves_idle_members() {
+        let c = setup();
+        for m in ["m1", "m2", "m3", "m4", "m5"] {
+            c.join_group("g", m, &["b"], AssignmentStrategy::Range)
+                .unwrap();
+        }
+        let total: usize = (1..=5)
+            .map(|i| {
+                c.group_assignment("g", &format!("m{i}"))
+                    .unwrap()
+                    .partitions
+                    .len()
+            })
+            .sum();
+        assert_eq!(total, 3);
+        let idle = (1..=5)
+            .filter(|i| {
+                c.group_assignment("g", &format!("m{i}"))
+                    .unwrap()
+                    .partitions
+                    .is_empty()
+            })
+            .count();
+        assert_eq!(idle, 2);
+    }
+
+    #[test]
+    fn groups_are_independent() {
+        let c = setup();
+        let a1 = c
+            .join_group("g1", "m", &["a"], AssignmentStrategy::Range)
+            .unwrap();
+        let a2 = c
+            .join_group("g2", "m", &["a"], AssignmentStrategy::Range)
+            .unwrap();
+        // Both groups see all four partitions — pub/sub across groups.
+        assert_eq!(a1.partitions.len(), 4);
+        assert_eq!(a2.partitions.len(), 4);
+    }
+
+    #[test]
+    fn unknown_topic_rejected() {
+        let c = setup();
+        assert!(c
+            .join_group("g", "m", &["nope"], AssignmentStrategy::Range)
+            .is_err());
+    }
+
+    #[test]
+    fn stale_members_evicted_and_partitions_move() {
+        use liquid_sim::clock::SimClock;
+        let clock = SimClock::new(0);
+        let c = Cluster::new(crate::cluster::ClusterConfig::with_brokers(1), clock.shared());
+        c.create_topic("t", TopicConfig::with_partitions(4)).unwrap();
+        c.join_group("g", "alive", &["t"], AssignmentStrategy::Range).unwrap();
+        c.join_group("g", "dead", &["t"], AssignmentStrategy::Range).unwrap();
+        clock.advance(5_000);
+        c.heartbeat_group("g", "alive").unwrap();
+        clock.advance(6_000);
+        // "dead" has been silent for 11s; "alive" for 6s.
+        let evicted = c.expire_stale_members(10_000).unwrap();
+        assert_eq!(evicted, vec![("g".to_string(), "dead".to_string())]);
+        assert_eq!(c.group_members("g"), vec!["alive"]);
+        let a = c.group_assignment("g", "alive").unwrap();
+        assert_eq!(a.partitions.len(), 4, "orphaned partitions reassigned");
+        assert!(c.group_assignment("g", "dead").is_none());
+    }
+
+    #[test]
+    fn heartbeat_requires_membership() {
+        let c = setup();
+        c.join_group("g", "m", &["a"], AssignmentStrategy::Range).unwrap();
+        assert!(c.heartbeat_group("g", "m").is_ok());
+        assert!(c.heartbeat_group("g", "ghost").is_err());
+        assert!(c.heartbeat_group("nope", "m").is_err());
+    }
+
+    #[test]
+    fn leave_errors() {
+        let c = setup();
+        assert!(c.leave_group("ghost", "m").is_err());
+        c.join_group("g", "m", &["a"], AssignmentStrategy::Range)
+            .unwrap();
+        assert!(c.leave_group("g", "other").is_err());
+    }
+}

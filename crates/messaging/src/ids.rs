@@ -1,0 +1,91 @@
+//! Identifiers and the message type.
+
+use std::fmt;
+
+use bytes::Bytes;
+use liquid_sim::clock::Ts;
+
+/// Identifies one broker in the cluster.
+pub type BrokerId = u32;
+
+/// A topic name plus partition number — the unit of ordering, leadership
+/// and consumption.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TopicPartition {
+    /// Topic name.
+    pub topic: String,
+    /// Partition index within the topic.
+    pub partition: u32,
+}
+
+impl TopicPartition {
+    /// Convenience constructor.
+    pub fn new(topic: impl Into<String>, partition: u32) -> Self {
+        TopicPartition {
+            topic: topic.into(),
+            partition,
+        }
+    }
+}
+
+impl fmt::Display for TopicPartition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.topic, self.partition)
+    }
+}
+
+/// A message as seen by consumers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Offset within the partition.
+    pub offset: u64,
+    /// Broker-assigned timestamp (ms).
+    pub timestamp: Ts,
+    /// Optional key.
+    pub key: Option<Bytes>,
+    /// Payload.
+    pub value: Bytes,
+}
+
+impl From<liquid_log::Record> for Message {
+    fn from(r: liquid_log::Record) -> Self {
+        Message {
+            offset: r.offset,
+            timestamp: r.timestamp,
+            key: r.key,
+            value: r.value,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let tp = TopicPartition::new("events", 3);
+        assert_eq!(tp.to_string(), "events-3");
+    }
+
+    #[test]
+    fn ordering_by_topic_then_partition() {
+        let a = TopicPartition::new("a", 9);
+        let b = TopicPartition::new("b", 0);
+        assert!(a < b);
+        assert!(TopicPartition::new("a", 1) < TopicPartition::new("a", 2));
+    }
+
+    #[test]
+    fn message_from_record() {
+        let r = liquid_log::Record {
+            offset: 7,
+            timestamp: 99,
+            key: Some(Bytes::from_static(b"k")),
+            value: Bytes::from_static(b"v"),
+        };
+        let m: Message = r.into();
+        assert_eq!(m.offset, 7);
+        assert_eq!(m.key.as_deref(), Some(b"k".as_ref()));
+    }
+}

@@ -1,0 +1,235 @@
+//! Cross-cluster mirroring.
+//!
+//! The paper's deployment (§5) spans "5 co-location centers, spanning
+//! different geographical areas" — topics produced in one data center
+//! are mirrored into the clusters of the others so every colo serves
+//! local reads. A mirror is just a consumer of the source cluster
+//! chained to a producer into the destination cluster, with its own
+//! positions; it preserves keys (and therefore semantic partitioning)
+//! and timestamps.
+
+use std::collections::HashMap;
+
+use crate::cluster::Cluster;
+use crate::config::AckLevel;
+use crate::error::MessagingError;
+use crate::ids::TopicPartition;
+
+/// Copies topics from a source cluster into a destination cluster.
+pub struct MirrorMaker {
+    source: Cluster,
+    destination: Cluster,
+    /// Topics to mirror.
+    topics: Vec<String>,
+    /// Mirror position per source partition.
+    positions: HashMap<TopicPartition, u64>,
+    /// Messages copied over the mirror's lifetime.
+    mirrored: u64,
+}
+
+impl MirrorMaker {
+    /// Creates a mirror for `topics`. Every topic must exist in the
+    /// source; missing destination topics are created with the same
+    /// partition count (replication 1 — the destination cluster's own
+    /// policy decision).
+    pub fn new(source: &Cluster, destination: &Cluster, topics: &[&str]) -> crate::Result<Self> {
+        let mut positions = HashMap::new();
+        for topic in topics {
+            let partitions = source.partition_count(topic)?;
+            match destination.create_topic(
+                topic,
+                crate::config::TopicConfig::with_partitions(partitions),
+            ) {
+                Ok(()) => {}
+                Err(MessagingError::TopicExists(_)) => {
+                    if destination.partition_count(topic)? != partitions {
+                        return Err(MessagingError::InvalidConfig(format!(
+                            "partition count mismatch for mirrored topic {topic}"
+                        )));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+            for p in 0..partitions {
+                let tp = TopicPartition::new(*topic, p);
+                let start = source.earliest_offset(&tp)?;
+                positions.insert(tp, start);
+            }
+        }
+        Ok(MirrorMaker {
+            source: source.clone(),
+            destination: destination.clone(),
+            topics: topics.iter().map(|s| s.to_string()).collect(),
+            positions,
+            mirrored: 0,
+        })
+    }
+
+    /// Topics being mirrored.
+    pub fn topics(&self) -> &[String] {
+        &self.topics
+    }
+
+    /// Copies one batch per source partition; returns messages copied.
+    pub fn run_once(&mut self) -> crate::Result<u64> {
+        let mut copied = 0;
+        let tps: Vec<TopicPartition> = self.positions.keys().cloned().collect();
+        for tp in tps {
+            let pos = self.positions[&tp];
+            let batch = self.source.fetch(&tp, pos, 1 << 20)?;
+            for msg in batch {
+                self.positions.insert(tp.clone(), msg.offset + 1);
+                // Preserve key and partition so semantic routing holds
+                // in the destination colo.
+                self.destination
+                    .produce_to(&tp, msg.key, msg.value, AckLevel::Leader)?;
+                copied += 1;
+            }
+        }
+        self.mirrored += copied;
+        Ok(copied)
+    }
+
+    /// Pumps until the mirror is fully caught up (or `max_rounds`).
+    pub fn run_until_caught_up(&mut self, max_rounds: usize) -> crate::Result<u64> {
+        let mut total = 0;
+        for _ in 0..max_rounds {
+            let n = self.run_once()?;
+            total += n;
+            if n == 0 {
+                break;
+            }
+        }
+        Ok(total)
+    }
+
+    /// Messages this mirror still has to copy.
+    pub fn lag(&self) -> crate::Result<u64> {
+        let mut lag = 0;
+        for (tp, &pos) in &self.positions {
+            lag += self.source.latest_offset(tp)?.saturating_sub(pos);
+        }
+        Ok(lag)
+    }
+
+    /// Messages copied so far.
+    pub fn mirrored(&self) -> u64 {
+        self.mirrored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use crate::config::TopicConfig;
+    use bytes::Bytes;
+    use liquid_sim::clock::SimClock;
+
+    fn colo() -> Cluster {
+        Cluster::new(ClusterConfig::with_brokers(1), SimClock::new(0).shared())
+    }
+
+    fn b(s: &str) -> Bytes {
+        Bytes::from(s.to_string())
+    }
+
+    #[test]
+    fn mirrors_existing_and_new_data() {
+        let west = colo();
+        let east = colo();
+        west.create_topic("events", TopicConfig::with_partitions(2))
+            .unwrap();
+        for p in 0..2 {
+            let tp = TopicPartition::new("events", p);
+            for i in 0..10 {
+                west.produce_to(&tp, Some(b("k")), b(&format!("w{p}-{i}")), AckLevel::Leader)
+                    .unwrap();
+            }
+        }
+        let mut mirror = MirrorMaker::new(&west, &east, &["events"]).unwrap();
+        assert_eq!(mirror.lag().unwrap(), 20);
+        assert_eq!(mirror.run_until_caught_up(10).unwrap(), 20);
+        assert_eq!(mirror.lag().unwrap(), 0);
+        // New data flows on the next pump.
+        west.produce_to(
+            &TopicPartition::new("events", 0),
+            None,
+            b("late"),
+            AckLevel::Leader,
+        )
+        .unwrap();
+        assert_eq!(mirror.run_once().unwrap(), 1);
+        assert_eq!(mirror.mirrored(), 21);
+        // Destination has everything, same partitions.
+        let got: usize = (0..2)
+            .map(|p| {
+                east.fetch(&TopicPartition::new("events", p), 0, u64::MAX)
+                    .unwrap()
+                    .len()
+            })
+            .sum();
+        assert_eq!(got, 21);
+    }
+
+    #[test]
+    fn preserves_keys_and_partition_assignment() {
+        let west = colo();
+        let east = colo();
+        west.create_topic("t", TopicConfig::with_partitions(4))
+            .unwrap();
+        let tp = TopicPartition::new("t", 3);
+        west.produce_to(&tp, Some(b("user-9")), b("v"), AckLevel::Leader)
+            .unwrap();
+        let mut mirror = MirrorMaker::new(&west, &east, &["t"]).unwrap();
+        mirror.run_until_caught_up(5).unwrap();
+        let msgs = east.fetch(&tp, 0, u64::MAX).unwrap();
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].key.as_deref(), Some(b"user-9".as_ref()));
+    }
+
+    #[test]
+    fn partition_count_mismatch_rejected() {
+        let west = colo();
+        let east = colo();
+        west.create_topic("t", TopicConfig::with_partitions(4))
+            .unwrap();
+        east.create_topic("t", TopicConfig::with_partitions(2))
+            .unwrap();
+        assert!(MirrorMaker::new(&west, &east, &["t"]).is_err());
+    }
+
+    #[test]
+    fn unknown_source_topic_rejected() {
+        let west = colo();
+        let east = colo();
+        assert!(MirrorMaker::new(&west, &east, &["ghost"]).is_err());
+    }
+
+    #[test]
+    fn five_colo_fanout() {
+        // The paper's topology in miniature: one ingest colo mirrored to
+        // four others.
+        let ingest = colo();
+        ingest
+            .create_topic("activity", TopicConfig::with_partitions(1))
+            .unwrap();
+        let tp = TopicPartition::new("activity", 0);
+        for i in 0..50 {
+            ingest
+                .produce_to(&tp, None, b(&format!("e{i}")), AckLevel::Leader)
+                .unwrap();
+        }
+        let colos: Vec<Cluster> = (0..4).map(|_| colo()).collect();
+        let mut mirrors: Vec<MirrorMaker> = colos
+            .iter()
+            .map(|c| MirrorMaker::new(&ingest, c, &["activity"]).unwrap())
+            .collect();
+        for m in &mut mirrors {
+            m.run_until_caught_up(5).unwrap();
+        }
+        for c in &colos {
+            assert_eq!(c.fetch(&tp, 0, u64::MAX).unwrap().len(), 50);
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! Producers: publish messages to topics with pluggable partitioning.
+//!
+//! The paper (§3.1): "Producers can choose to which partition to publish
+//! data in a round-robin fashion or according to a hash function for
+//! load-balancing or semantic routing."
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+
+use crate::cluster::Cluster;
+use crate::config::AckLevel;
+use crate::ids::TopicPartition;
+
+/// How a producer maps messages to partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partitioner {
+    /// Cycle through partitions (load balancing).
+    RoundRobin,
+    /// Hash the key (semantic routing: same key → same partition).
+    /// Keyless messages fall back to round-robin.
+    KeyHash,
+    /// Always use this partition.
+    Manual(u32),
+}
+
+/// A handle publishing to one topic.
+pub struct Producer {
+    cluster: Cluster,
+    topic: String,
+    partitions: u32,
+    partitioner: Partitioner,
+    acks: AckLevel,
+    rr: AtomicU64,
+    /// Idempotent-producer session: `(producer_id, next_sequence)`.
+    idempotent: Option<(u64, AtomicU64)>,
+    /// Client id for broker-side quota enforcement.
+    client_id: Option<String>,
+}
+
+impl Producer {
+    /// Creates a producer for `topic` with the default partitioner
+    /// (key hash for keyed messages, round-robin otherwise — Kafka's
+    /// semantics) and `AckLevel::Leader`.
+    pub fn new(cluster: &Cluster, topic: &str) -> crate::Result<Self> {
+        let partitions = cluster.partition_count(topic)?;
+        Ok(Producer {
+            cluster: cluster.clone(),
+            topic: topic.to_string(),
+            partitions,
+            partitioner: Partitioner::KeyHash,
+            acks: AckLevel::Leader,
+            rr: AtomicU64::new(0),
+            idempotent: None,
+            client_id: None,
+        })
+    }
+
+    /// Identifies this producer to the brokers for quota accounting
+    /// (see [`Cluster::quotas`]). Sends that exceed the client's quota
+    /// fail with a throttle error carrying a back-off hint.
+    pub fn with_client_id(mut self, client_id: &str) -> Self {
+        self.client_id = Some(client_id.to_string());
+        self
+    }
+
+    /// Enables idempotence: every send carries a producer id and a
+    /// sequence number, and brokers drop duplicate sequences — so a
+    /// client that *retries* after an ambiguous failure cannot double-
+    /// append. (The paper notes exactly-once as ongoing work in §4.3;
+    /// this is its producer half.)
+    pub fn idempotent(mut self) -> Self {
+        let id = self.cluster.register_producer();
+        self.idempotent = Some((id, AtomicU64::new(0)));
+        self
+    }
+
+    /// Re-sends with an explicit sequence (the retry path). With
+    /// idempotence enabled, re-sending a sequence already accepted is a
+    /// no-op on the broker.
+    pub fn send_with_sequence(
+        &self,
+        key: Option<Bytes>,
+        value: Bytes,
+        sequence: u64,
+    ) -> crate::Result<(u32, u64)> {
+        let Some((producer_id, _)) = &self.idempotent else {
+            return self.send(key, value);
+        };
+        let partition = self.pick_partition(key.as_deref());
+        let tp = TopicPartition::new(self.topic.clone(), partition);
+        let offset = self.cluster.produce_idempotent(
+            &tp,
+            key,
+            value,
+            self.acks,
+            Some((*producer_id, sequence)),
+        )?;
+        Ok((partition, offset))
+    }
+
+    /// Sets the partitioner.
+    pub fn with_partitioner(mut self, p: Partitioner) -> Self {
+        self.partitioner = p;
+        self
+    }
+
+    /// Sets the acknowledgement level.
+    pub fn with_acks(mut self, acks: AckLevel) -> Self {
+        self.acks = acks;
+        self
+    }
+
+    /// The topic this producer publishes to.
+    pub fn topic(&self) -> &str {
+        &self.topic
+    }
+
+    /// Publishes one message; returns `(partition, offset)`.
+    pub fn send(&self, key: Option<Bytes>, value: Bytes) -> crate::Result<(u32, u64)> {
+        if let Some(client) = &self.client_id {
+            if let crate::quotas::QuotaDecision::Throttle { retry_after_ms } =
+                self.cluster.quotas().check(client, value.len() as u64)
+            {
+                return Err(crate::MessagingError::Throttled {
+                    client: client.clone(),
+                    retry_after_ms,
+                });
+            }
+        }
+        if let Some((_, next_seq)) = &self.idempotent {
+            let seq = next_seq.fetch_add(1, Ordering::Relaxed) + 1;
+            return self.send_with_sequence(key, value, seq);
+        }
+        let partition = self.pick_partition(key.as_deref());
+        let tp = TopicPartition::new(self.topic.clone(), partition);
+        match self.cluster.produce_to(&tp, key, value, self.acks) {
+            Ok(offset) => Ok((partition, offset)),
+            Err(e) => {
+                if self.acks == AckLevel::None {
+                    // Fire-and-forget: losses are silent (paper §4.3).
+                    Ok((partition, 0))
+                } else {
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    /// Publishes a keyed message (shorthand).
+    pub fn send_keyed(
+        &self,
+        key: impl Into<Bytes>,
+        value: impl Into<Bytes>,
+    ) -> crate::Result<(u32, u64)> {
+        self.send(Some(key.into()), value.into())
+    }
+
+    /// Publishes a keyless message (shorthand).
+    pub fn send_value(&self, value: impl Into<Bytes>) -> crate::Result<(u32, u64)> {
+        self.send(None, value.into())
+    }
+
+    fn pick_partition(&self, key: Option<&[u8]>) -> u32 {
+        match self.partitioner {
+            Partitioner::Manual(p) => p.min(self.partitions - 1),
+            Partitioner::KeyHash => match key {
+                Some(k) => (hash_key(k) % self.partitions as u64) as u32,
+                None => self.next_rr(),
+            },
+            Partitioner::RoundRobin => self.next_rr(),
+        }
+    }
+
+    fn next_rr(&self) -> u32 {
+        (self.rr.fetch_add(1, Ordering::Relaxed) % self.partitions as u64) as u32
+    }
+}
+
+fn hash_key(key: &[u8]) -> u64 {
+    // FNV-1a with finalizer — stable across runs so semantic routing is
+    // reproducible.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^ (h >> 33)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use crate::config::TopicConfig;
+    use liquid_sim::clock::SimClock;
+
+    fn setup(partitions: u32) -> Cluster {
+        let c = Cluster::new(ClusterConfig::with_brokers(1), SimClock::new(0).shared());
+        c.create_topic("t", TopicConfig::with_partitions(partitions))
+            .unwrap();
+        c
+    }
+
+    fn b(s: &str) -> Bytes {
+        Bytes::from(s.to_string())
+    }
+
+    #[test]
+    fn round_robin_spreads_evenly() {
+        let c = setup(4);
+        let p = Producer::new(&c, "t").unwrap();
+        let mut counts = [0u32; 4];
+        for _ in 0..40 {
+            let (part, _) = p.send_value("x").unwrap();
+            counts[part as usize] += 1;
+        }
+        assert_eq!(counts, [10, 10, 10, 10]);
+    }
+
+    #[test]
+    fn default_partitioner_is_key_hash() {
+        let c = setup(4);
+        let p = Producer::new(&c, "t").unwrap();
+        let (a, _) = p.send_keyed("user-7", "x").unwrap();
+        let (b, _) = p.send_keyed("user-7", "y").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn key_hash_is_sticky() {
+        let c = setup(4);
+        let p = Producer::new(&c, "t")
+            .unwrap()
+            .with_partitioner(Partitioner::KeyHash);
+        let (first, _) = p.send_keyed("user-42", "a").unwrap();
+        for _ in 0..10 {
+            let (part, _) = p.send_keyed("user-42", "b").unwrap();
+            assert_eq!(part, first, "same key must always route the same way");
+        }
+    }
+
+    #[test]
+    fn key_hash_spreads_distinct_keys() {
+        let c = setup(8);
+        let p = Producer::new(&c, "t")
+            .unwrap()
+            .with_partitioner(Partitioner::KeyHash);
+        let mut used = std::collections::HashSet::new();
+        for i in 0..200 {
+            let (part, _) = p.send_keyed(format!("user-{i}"), "x").unwrap();
+            used.insert(part);
+        }
+        assert!(used.len() >= 6, "only {} partitions used", used.len());
+    }
+
+    #[test]
+    fn manual_partitioner_pins() {
+        let c = setup(4);
+        let p = Producer::new(&c, "t")
+            .unwrap()
+            .with_partitioner(Partitioner::Manual(2));
+        for _ in 0..5 {
+            let (part, _) = p.send_value("x").unwrap();
+            assert_eq!(part, 2);
+        }
+    }
+
+    #[test]
+    fn manual_partition_clamped_to_range() {
+        let c = setup(2);
+        let p = Producer::new(&c, "t")
+            .unwrap()
+            .with_partitioner(Partitioner::Manual(99));
+        let (part, _) = p.send_value("x").unwrap();
+        assert_eq!(part, 1);
+    }
+
+    #[test]
+    fn offsets_increase_per_partition() {
+        let c = setup(1);
+        let p = Producer::new(&c, "t").unwrap();
+        let (_, o1) = p.send_value("a").unwrap();
+        let (_, o2) = p.send_value("b").unwrap();
+        assert_eq!((o1, o2), (0, 1));
+    }
+
+    #[test]
+    fn unknown_topic_fails_fast() {
+        let c = setup(1);
+        assert!(Producer::new(&c, "nope").is_err());
+    }
+
+    #[test]
+    fn idempotent_producer_suppresses_duplicate_retries() {
+        let c = setup(1);
+        let p = Producer::new(&c, "t").unwrap().idempotent();
+        p.send_value("m0").unwrap();
+        let (_, off1) = p.send_value("m1").unwrap();
+        // A retry of the last send (same sequence) must not re-append.
+        let (_, off_dup) = p.send_with_sequence(None, b("m1"), 2).unwrap();
+        assert_eq!(off_dup, off1);
+        let tp = TopicPartition::new("t", 0);
+        let msgs = c.fetch(&tp, 0, u64::MAX).unwrap();
+        assert_eq!(msgs.len(), 2, "duplicate suppressed");
+        // A genuinely new send still lands.
+        p.send_value("m2").unwrap();
+        assert_eq!(c.fetch(&tp, 0, u64::MAX).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn distinct_idempotent_producers_do_not_interfere() {
+        let c = setup(1);
+        let p1 = Producer::new(&c, "t").unwrap().idempotent();
+        let p2 = Producer::new(&c, "t").unwrap().idempotent();
+        p1.send_value("a").unwrap();
+        p2.send_value("b").unwrap();
+        p1.send_value("c").unwrap();
+        let tp = TopicPartition::new("t", 0);
+        assert_eq!(c.fetch(&tp, 0, u64::MAX).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn non_idempotent_retry_duplicates() {
+        // The at-least-once contrast: without idempotence, a retry
+        // appends again (§4.3's default behaviour).
+        let c = setup(1);
+        let p = Producer::new(&c, "t").unwrap();
+        p.send_value("m").unwrap();
+        p.send_value("m").unwrap();
+        let tp = TopicPartition::new("t", 0);
+        assert_eq!(c.fetch(&tp, 0, u64::MAX).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn quota_throttles_noisy_client() {
+        let c = setup(1);
+        c.quotas().set_limit("noisy-app", 100);
+        let p = Producer::new(&c, "t").unwrap().with_client_id("noisy-app");
+        // First sends fit the 100-byte window...
+        p.send_value("0123456789").unwrap();
+        // ...then the flood hits the quota.
+        let mut throttled = false;
+        for _ in 0..20 {
+            if matches!(
+                p.send_value("0123456789012345678901234567890123456789"),
+                Err(crate::MessagingError::Throttled { .. })
+            ) {
+                throttled = true;
+                break;
+            }
+        }
+        assert!(throttled, "noisy client must be throttled");
+        assert!(c.quotas().throttle_count("noisy-app") >= 1);
+        // Unidentified clients are unaffected.
+        let free = Producer::new(&c, "t").unwrap();
+        for _ in 0..20 {
+            free.send_value("0123456789012345678901234567890123456789").unwrap();
+        }
+    }
+
+    #[test]
+    fn keyless_with_keyhash_falls_back_to_round_robin() {
+        let c = setup(2);
+        let p = Producer::new(&c, "t")
+            .unwrap()
+            .with_partitioner(Partitioner::KeyHash);
+        let parts: Vec<u32> = (0..4).map(|_| p.send(None, b("x")).unwrap().0).collect();
+        assert_eq!(parts, vec![0, 1, 0, 1]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Client quotas.
+//!
+//! Operating the messaging layer "as a service" (§3.1) means
+//! "identifying misbehaving applications": a client that floods a
+//! shared broker degrades every other team's feeds. Brokers therefore
+//! enforce per-client produce-byte quotas over a rolling window —
+//! clients that exceed theirs are throttled until the window turns
+//! over. (CPU isolation for *jobs* is the resource manager's business,
+//! §4.4; quotas protect the brokers themselves.)
+
+use std::collections::HashMap;
+
+use liquid_sim::clock::{SharedClock, Ts};
+use parking_lot::Mutex;
+
+/// Outcome of a quota check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuotaDecision {
+    /// Under quota: proceed.
+    Allow,
+    /// Over quota: the client should back off for roughly this long.
+    Throttle {
+        /// Suggested back-off (ms) until the window turns over.
+        retry_after_ms: u64,
+    },
+}
+
+struct ClientUsage {
+    window_start: Ts,
+    bytes_in_window: u64,
+}
+
+/// Per-client produce-byte quota enforcement over rolling windows.
+pub struct QuotaManager {
+    clock: SharedClock,
+    window_ms: u64,
+    /// client id → bytes allowed per window.
+    limits: Mutex<HashMap<String, u64>>,
+    usage: Mutex<HashMap<String, ClientUsage>>,
+    throttled_total: Mutex<HashMap<String, u64>>,
+}
+
+impl QuotaManager {
+    /// A manager with 1-second windows.
+    pub fn new(clock: SharedClock) -> Self {
+        QuotaManager {
+            clock,
+            window_ms: 1_000,
+            limits: Mutex::new(HashMap::new()),
+            usage: Mutex::new(HashMap::new()),
+            throttled_total: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Sets the quota window length.
+    pub fn with_window_ms(mut self, window_ms: u64) -> Self {
+        self.window_ms = window_ms.max(1);
+        self
+    }
+
+    /// Sets a client's produce quota (bytes per window). Clients
+    /// without a limit are unthrottled.
+    pub fn set_limit(&self, client: &str, bytes_per_window: u64) {
+        self.limits
+            .lock()
+            .insert(client.to_string(), bytes_per_window);
+    }
+
+    /// Removes a client's quota.
+    pub fn clear_limit(&self, client: &str) {
+        self.limits.lock().remove(client);
+    }
+
+    /// Accounts `bytes` for `client` and decides whether to throttle.
+    /// The bytes are charged even when throttled (the request already
+    /// hit the broker), matching Kafka's behaviour.
+    pub fn check(&self, client: &str, bytes: u64) -> QuotaDecision {
+        let Some(&limit) = self.limits.lock().get(client) else {
+            return QuotaDecision::Allow;
+        };
+        let now = self.clock.now();
+        let mut usage = self.usage.lock();
+        let u = usage.entry(client.to_string()).or_insert(ClientUsage {
+            window_start: now,
+            bytes_in_window: 0,
+        });
+        if now.saturating_sub(u.window_start) >= self.window_ms {
+            u.window_start = now;
+            u.bytes_in_window = 0;
+        }
+        u.bytes_in_window += bytes;
+        if u.bytes_in_window > limit {
+            *self
+                .throttled_total
+                .lock()
+                .entry(client.to_string())
+                .or_default() += 1;
+            QuotaDecision::Throttle {
+                retry_after_ms: (u.window_start + self.window_ms).saturating_sub(now).max(1),
+            }
+        } else {
+            QuotaDecision::Allow
+        }
+    }
+
+    /// How often a client has been throttled (misbehaving-application
+    /// detection, §3.1).
+    pub fn throttle_count(&self, client: &str) -> u64 {
+        self.throttled_total
+            .lock()
+            .get(client)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Clients ranked by throttle count, descending (the operator's
+    /// "who is misbehaving" view).
+    pub fn worst_offenders(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = self
+            .throttled_total
+            .lock()
+            .iter()
+            .map(|(k, &n)| (k.clone(), n))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liquid_sim::clock::SimClock;
+
+    fn mgr() -> (QuotaManager, SimClock) {
+        let clock = SimClock::new(0);
+        (QuotaManager::new(clock.shared()).with_window_ms(1_000), clock)
+    }
+
+    #[test]
+    fn unlimited_clients_always_allowed() {
+        let (q, _) = mgr();
+        for _ in 0..100 {
+            assert_eq!(q.check("free", 1 << 20), QuotaDecision::Allow);
+        }
+        assert_eq!(q.throttle_count("free"), 0);
+    }
+
+    #[test]
+    fn limit_throttles_within_window() {
+        let (q, _) = mgr();
+        q.set_limit("noisy", 1_000);
+        assert_eq!(q.check("noisy", 600), QuotaDecision::Allow);
+        assert_eq!(q.check("noisy", 300), QuotaDecision::Allow);
+        match q.check("noisy", 300) {
+            QuotaDecision::Throttle { retry_after_ms } => {
+                assert!((1..=1_000).contains(&retry_after_ms))
+            }
+            other => panic!("expected throttle, got {other:?}"),
+        }
+        assert_eq!(q.throttle_count("noisy"), 1);
+    }
+
+    #[test]
+    fn window_turnover_resets_usage() {
+        let (q, clock) = mgr();
+        q.set_limit("c", 100);
+        assert_eq!(q.check("c", 100), QuotaDecision::Allow);
+        assert!(matches!(q.check("c", 1), QuotaDecision::Throttle { .. }));
+        clock.advance(1_000);
+        assert_eq!(q.check("c", 100), QuotaDecision::Allow);
+    }
+
+    #[test]
+    fn clients_are_independent() {
+        let (q, _) = mgr();
+        q.set_limit("a", 100);
+        q.set_limit("b", 100);
+        assert!(matches!(q.check("a", 200), QuotaDecision::Throttle { .. }));
+        assert_eq!(q.check("b", 50), QuotaDecision::Allow);
+    }
+
+    #[test]
+    fn clear_limit_unthrottles() {
+        let (q, _) = mgr();
+        q.set_limit("c", 1);
+        assert!(matches!(q.check("c", 10), QuotaDecision::Throttle { .. }));
+        q.clear_limit("c");
+        assert_eq!(q.check("c", 1 << 30), QuotaDecision::Allow);
+    }
+
+    #[test]
+    fn worst_offenders_ranked() {
+        let (q, _) = mgr();
+        q.set_limit("a", 1);
+        q.set_limit("b", 1);
+        for _ in 0..3 {
+            q.check("a", 10);
+        }
+        q.check("b", 10);
+        let worst = q.worst_offenders();
+        assert_eq!(worst[0], ("a".to_string(), 3));
+        assert_eq!(worst[1], ("b".to_string(), 1));
+    }
+}

@@ -1,0 +1,469 @@
+//! MapReduce over the mini-DFS — the paper's baseline stack (Figure 1,
+//! §1–§2).
+//!
+//! The legacy data-integration architecture Liquid replaces runs
+//! "custom ETL-like MR jobs" whose **intermediate results are written
+//! to the DFS, resulting in higher latencies as job pipelines grow in
+//! length" (§1, limitation 1). This crate implements that baseline so
+//! experiment E1 measures the per-stage cost instead of asserting it:
+//!
+//! * map tasks read whole input files from [`liquid_dfs::Dfs`], emit
+//!   key/value pairs, and spill one intermediate file per reduce
+//!   partition back to the DFS;
+//! * reduce tasks pull their partitions, sort/group by key, apply the
+//!   reducer and write final output files;
+//! * every task is charged a fixed **startup cost** (scheduling +
+//!   JVM-spinup analogue) on top of the DFS's simulated I/O costs;
+//! * [`MrPipeline`] chains jobs, each stage reading the previous
+//!   stage's output *from the DFS* — exactly the high-overhead-per-stage
+//!   structure the paper criticizes.
+//!
+//! Records travel as UTF-8 lines `key\tvalue`.
+
+use std::collections::BTreeMap;
+
+use liquid_dfs::Dfs;
+
+/// Errors from MapReduce execution.
+#[derive(Debug)]
+pub enum MrError {
+    /// DFS operation failed.
+    Dfs(liquid_dfs::DfsError),
+    /// No input files matched the prefix.
+    EmptyInput(String),
+    /// Configuration invalid.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for MrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MrError::Dfs(e) => write!(f, "dfs error: {e}"),
+            MrError::EmptyInput(p) => write!(f, "no input files under {p}"),
+            MrError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MrError {}
+
+impl From<liquid_dfs::DfsError> for MrError {
+    fn from(e: liquid_dfs::DfsError) -> Self {
+        MrError::Dfs(e)
+    }
+}
+
+/// Result alias for MapReduce operations.
+pub type Result<T> = std::result::Result<T, MrError>;
+
+/// Collects key/value pairs emitted by map/reduce functions.
+#[derive(Debug, Default)]
+pub struct Emitter {
+    pairs: Vec<(String, String)>,
+}
+
+impl Emitter {
+    /// Emits one pair.
+    pub fn emit(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.pairs.push((key.into(), value.into()));
+    }
+
+    /// Pairs emitted so far.
+    pub fn pairs(&self) -> &[(String, String)] {
+        &self.pairs
+    }
+}
+
+/// Map function: `(key, value, emitter)`.
+pub trait Mapper: Send + Sync {
+    /// Processes one input record.
+    fn map(&self, key: &str, value: &str, out: &mut Emitter);
+}
+
+impl<F> Mapper for F
+where
+    F: Fn(&str, &str, &mut Emitter) + Send + Sync,
+{
+    fn map(&self, key: &str, value: &str, out: &mut Emitter) {
+        self(key, value, out)
+    }
+}
+
+/// Reduce function: `(key, values, emitter)`.
+pub trait Reducer: Send + Sync {
+    /// Processes one key group.
+    fn reduce(&self, key: &str, values: &[String], out: &mut Emitter);
+}
+
+impl<F> Reducer for F
+where
+    F: Fn(&str, &[String], &mut Emitter) + Send + Sync,
+{
+    fn reduce(&self, key: &str, values: &[String], out: &mut Emitter) {
+        self(key, values, out)
+    }
+}
+
+/// Configuration for one MapReduce job.
+#[derive(Debug, Clone)]
+pub struct MrJobConfig {
+    /// Job name (namespaces intermediate files).
+    pub name: String,
+    /// Input: every DFS file under this prefix.
+    pub input_prefix: String,
+    /// Output files written under this prefix (`part-<r>`).
+    pub output_prefix: String,
+    /// Number of reduce partitions.
+    pub reducers: usize,
+    /// Simulated startup cost per task (scheduling, process spin-up).
+    pub task_startup_ns: u64,
+}
+
+impl MrJobConfig {
+    /// A job with 2 reducers and a 1-second task startup cost (the
+    /// order of magnitude of a 2014 Hadoop task launch).
+    pub fn new(name: &str, input_prefix: &str, output_prefix: &str) -> Self {
+        MrJobConfig {
+            name: name.to_string(),
+            input_prefix: input_prefix.to_string(),
+            output_prefix: output_prefix.to_string(),
+            reducers: 2,
+            task_startup_ns: 1_000_000_000,
+        }
+    }
+
+    /// Sets the reduce parallelism.
+    pub fn reducers(mut self, n: usize) -> Self {
+        self.reducers = n;
+        self
+    }
+
+    /// Sets the simulated per-task startup cost.
+    pub fn task_startup_ns(mut self, ns: u64) -> Self {
+        self.task_startup_ns = ns;
+        self
+    }
+}
+
+/// Outcome of a job run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobStats {
+    /// Map tasks executed (one per input file).
+    pub map_tasks: u64,
+    /// Reduce tasks executed.
+    pub reduce_tasks: u64,
+    /// Input records read.
+    pub records_read: u64,
+    /// Output records written.
+    pub records_written: u64,
+    /// Total simulated cost: task startups + all DFS I/O (ns).
+    pub simulated_ns: u64,
+}
+
+/// Runs one MapReduce job to completion.
+pub fn run_job<M: Mapper, R: Reducer>(
+    dfs: &Dfs,
+    config: &MrJobConfig,
+    mapper: &M,
+    reducer: &R,
+) -> Result<JobStats> {
+    if config.reducers == 0 {
+        return Err(MrError::InvalidConfig("reducers must be > 0".into()));
+    }
+    let inputs = dfs.list(&config.input_prefix);
+    if inputs.is_empty() {
+        return Err(MrError::EmptyInput(config.input_prefix.clone()));
+    }
+    let mut stats = JobStats::default();
+    let tmp = format!("/tmp/{}", config.name);
+
+    // Map phase: one task per input file.
+    for (mi, path) in inputs.iter().enumerate() {
+        stats.map_tasks += 1;
+        stats.simulated_ns += config.task_startup_ns;
+        let (data, cost) = dfs.read(path)?;
+        stats.simulated_ns += cost;
+        let mut emitter = Emitter::default();
+        for line in std::str::from_utf8(&data).unwrap_or("").lines() {
+            let (k, v) = line.split_once('\t').unwrap_or((line, ""));
+            stats.records_read += 1;
+            mapper.map(k, v, &mut emitter);
+        }
+        // Spill: one intermediate file per reduce partition, written to
+        // the DFS (the paper's limitation 1).
+        let mut partitions: Vec<String> = vec![String::new(); config.reducers];
+        for (k, v) in emitter.pairs() {
+            let r = partition_of(k, config.reducers);
+            partitions[r].push_str(k);
+            partitions[r].push('\t');
+            partitions[r].push_str(v);
+            partitions[r].push('\n');
+        }
+        for (r, content) in partitions.iter().enumerate() {
+            let path = format!("{tmp}/map-{mi}-part-{r}");
+            stats.simulated_ns += dfs.write(&path, content.as_bytes())?;
+        }
+    }
+
+    // Reduce phase.
+    for r in 0..config.reducers {
+        stats.reduce_tasks += 1;
+        stats.simulated_ns += config.task_startup_ns;
+        let mut groups: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for mi in 0..stats.map_tasks {
+            let path = format!("{tmp}/map-{mi}-part-{r}");
+            let (data, cost) = dfs.read(&path)?;
+            stats.simulated_ns += cost;
+            for line in std::str::from_utf8(&data).unwrap_or("").lines() {
+                let (k, v) = line.split_once('\t').unwrap_or((line, ""));
+                groups.entry(k.to_string()).or_default().push(v.to_string());
+            }
+        }
+        let mut emitter = Emitter::default();
+        for (k, vs) in &groups {
+            reducer.reduce(k, vs, &mut emitter);
+        }
+        let mut out = String::new();
+        for (k, v) in emitter.pairs() {
+            stats.records_written += 1;
+            out.push_str(k);
+            out.push('\t');
+            out.push_str(v);
+            out.push('\n');
+        }
+        stats.simulated_ns += dfs.write(
+            &format!("{}/part-{r}", config.output_prefix),
+            out.as_bytes(),
+        )?;
+    }
+
+    // Garbage-collect intermediates (kept until here for fault
+    // tolerance, as in Hadoop).
+    for path in dfs.list(&tmp) {
+        dfs.delete(&path)?;
+    }
+    Ok(stats)
+}
+
+fn partition_of(key: &str, reducers: usize) -> usize {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in key.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h % reducers as u64) as usize
+}
+
+/// A chain of MapReduce jobs, each reading the previous stage's output
+/// from the DFS.
+pub struct MrPipeline<'a> {
+    dfs: &'a Dfs,
+    stages: Vec<MrJobConfig>,
+}
+
+impl<'a> MrPipeline<'a> {
+    /// An empty pipeline over `dfs`.
+    pub fn new(dfs: &'a Dfs) -> Self {
+        MrPipeline {
+            dfs,
+            stages: Vec::new(),
+        }
+    }
+
+    /// Appends a stage.
+    pub fn add_stage(&mut self, config: MrJobConfig) -> &mut Self {
+        self.stages.push(config);
+        self
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the pipeline has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Runs all stages sequentially with the same map/reduce logic per
+    /// stage (identity-style ETL chains); returns per-stage stats.
+    pub fn run<M: Mapper, R: Reducer>(&self, mapper: &M, reducer: &R) -> Result<Vec<JobStats>> {
+        let mut out = Vec::with_capacity(self.stages.len());
+        for config in &self.stages {
+            out.push(run_job(self.dfs, config, mapper, reducer)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Identity mapper: forwards records unchanged.
+pub fn identity_map(key: &str, value: &str, out: &mut Emitter) {
+    out.emit(key, value);
+}
+
+/// Identity reducer: forwards every value under its key.
+pub fn identity_reduce(key: &str, values: &[String], out: &mut Emitter) {
+    for v in values {
+        out.emit(key, v.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liquid_dfs::DfsConfig;
+
+    fn dfs() -> Dfs {
+        Dfs::new(DfsConfig {
+            block_size: 4096,
+            replication: 1,
+            datanodes: 1,
+            ..DfsConfig::default()
+        })
+    }
+
+    fn write_lines(d: &Dfs, path: &str, lines: &[(&str, &str)]) {
+        let content: String = lines.iter().map(|(k, v)| format!("{k}\t{v}\n")).collect();
+        d.write(path, content.as_bytes()).unwrap();
+    }
+
+    #[test]
+    fn word_count_end_to_end() {
+        let d = dfs();
+        write_lines(
+            &d,
+            "/in/f1",
+            &[("1", "the quick brown fox"), ("2", "the lazy dog")],
+        );
+        write_lines(&d, "/in/f2", &[("3", "the end")]);
+        let config = MrJobConfig::new("wc", "/in/", "/out").reducers(2);
+        let mapper = |_k: &str, v: &str, out: &mut Emitter| {
+            for w in v.split_whitespace() {
+                out.emit(w, "1");
+            }
+        };
+        let reducer = |k: &str, vs: &[String], out: &mut Emitter| {
+            out.emit(k, vs.len().to_string());
+        };
+        let stats = run_job(&d, &config, &mapper, &reducer).unwrap();
+        assert_eq!(stats.map_tasks, 2);
+        assert_eq!(stats.reduce_tasks, 2);
+        assert_eq!(stats.records_read, 3);
+        // Collect output and check "the" -> 3.
+        let mut all = String::new();
+        for path in d.list("/out/") {
+            let (data, _) = d.read(&path).unwrap();
+            all.push_str(std::str::from_utf8(&data).unwrap());
+        }
+        assert!(all.contains("the\t3"), "output was: {all}");
+        assert!(all.contains("fox\t1"));
+    }
+
+    #[test]
+    fn startup_cost_dominates_small_jobs() {
+        let d = dfs();
+        write_lines(&d, "/in/tiny", &[("k", "v")]);
+        let fast = run_job(
+            &d,
+            &MrJobConfig::new("fast", "/in/", "/out-fast").task_startup_ns(0),
+            &identity_map,
+            &identity_reduce,
+        )
+        .unwrap();
+        let slow = run_job(
+            &d,
+            &MrJobConfig::new("slow", "/in/", "/out-slow").task_startup_ns(1_000_000_000),
+            &identity_map,
+            &identity_reduce,
+        )
+        .unwrap();
+        assert!(slow.simulated_ns > fast.simulated_ns + 2_900_000_000);
+    }
+
+    #[test]
+    fn intermediates_are_cleaned_up() {
+        let d = dfs();
+        write_lines(&d, "/in/f", &[("a", "1")]);
+        run_job(
+            &d,
+            &MrJobConfig::new("clean", "/in/", "/out"),
+            &identity_map,
+            &identity_reduce,
+        )
+        .unwrap();
+        assert!(d.list("/tmp/clean").is_empty());
+        assert!(!d.list("/out").is_empty());
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let d = dfs();
+        assert!(matches!(
+            run_job(
+                &d,
+                &MrJobConfig::new("x", "/nowhere/", "/out"),
+                &identity_map,
+                &identity_reduce
+            ),
+            Err(MrError::EmptyInput(_))
+        ));
+    }
+
+    #[test]
+    fn zero_reducers_rejected() {
+        let d = dfs();
+        write_lines(&d, "/in/f", &[("a", "1")]);
+        assert!(run_job(
+            &d,
+            &MrJobConfig::new("x", "/in/", "/out").reducers(0),
+            &identity_map,
+            &identity_reduce
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn pipeline_cost_grows_linearly_with_stages() {
+        // The E1 shape in miniature: per-stage cost is roughly constant,
+        // so end-to-end latency grows linearly with pipeline length.
+        let d = dfs();
+        let content: String = (0..50).map(|i| format!("k{i}\tv\n")).collect();
+        d.write("/stage0/f", content.as_bytes()).unwrap();
+        let mut pipeline = MrPipeline::new(&d);
+        for s in 0..3 {
+            pipeline.add_stage(
+                MrJobConfig::new(
+                    &format!("stage{}", s + 1),
+                    &format!("/stage{s}/"),
+                    &format!("/stage{}", s + 1),
+                )
+                .reducers(1),
+            );
+        }
+        let stats = pipeline.run(&identity_map, &identity_reduce).unwrap();
+        assert_eq!(stats.len(), 3);
+        let total: u64 = stats.iter().map(|s| s.simulated_ns).sum();
+        assert!(total > 3 * stats[0].simulated_ns / 2);
+        // Each stage costs at least its startup overheads.
+        for s in &stats {
+            assert!(
+                s.simulated_ns >= 2_000_000_000,
+                "stage cost {}",
+                s.simulated_ns
+            );
+        }
+        // Records survive all stages.
+        assert_eq!(stats[2].records_written, 50);
+    }
+
+    #[test]
+    fn partitioning_is_stable() {
+        assert_eq!(partition_of("user-1", 4), partition_of("user-1", 4));
+        // Different keys spread over partitions.
+        let used: std::collections::HashSet<usize> = (0..100)
+            .map(|i| partition_of(&format!("k{i}"), 4))
+            .collect();
+        assert!(used.len() >= 3);
+    }
+}

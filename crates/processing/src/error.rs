@@ -1,0 +1,62 @@
+//! Error type for the processing layer.
+
+/// Errors surfaced by jobs and tasks.
+#[derive(Debug)]
+pub enum ProcessingError {
+    /// The messaging layer failed.
+    Messaging(liquid_messaging::MessagingError),
+    /// The state store failed.
+    State(liquid_kv::KvError),
+    /// User task code failed.
+    Task(String),
+    /// Job configuration is invalid.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for ProcessingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProcessingError::Messaging(e) => write!(f, "messaging error: {e}"),
+            ProcessingError::State(e) => write!(f, "state store error: {e}"),
+            ProcessingError::Task(msg) => write!(f, "task error: {msg}"),
+            ProcessingError::InvalidConfig(msg) => write!(f, "invalid job config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProcessingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProcessingError::Messaging(e) => Some(e),
+            ProcessingError::State(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<liquid_messaging::MessagingError> for ProcessingError {
+    fn from(e: liquid_messaging::MessagingError) -> Self {
+        ProcessingError::Messaging(e)
+    }
+}
+
+impl From<liquid_kv::KvError> for ProcessingError {
+    fn from(e: liquid_kv::KvError) -> Self {
+        ProcessingError::State(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(ProcessingError::Task("boom".into())
+            .to_string()
+            .contains("boom"));
+        assert!(ProcessingError::InvalidConfig("x".into())
+            .to_string()
+            .contains("invalid"));
+    }
+}

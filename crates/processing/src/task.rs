@@ -1,0 +1,208 @@
+//! The task abstraction: user code processing one partition.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use liquid_messaging::{AckLevel, Cluster, Message, TopicPartition};
+
+use crate::state::StateStore;
+
+/// User-supplied stream logic. One instance runs per input partition
+/// (the paper's task-per-partition parallelism, §3.2).
+pub trait StreamTask: Send {
+    /// Called once before the first message.
+    fn init(&mut self, _ctx: &mut TaskContext<'_>) -> crate::Result<()> {
+        Ok(())
+    }
+
+    /// Called for every input message.
+    fn process(&mut self, message: &Message, ctx: &mut TaskContext<'_>) -> crate::Result<()>;
+
+    /// Called on window ticks (see [`Job::tick_windows`]).
+    ///
+    /// [`Job::tick_windows`]: crate::job::Job::tick_windows
+    fn window(&mut self, _ctx: &mut TaskContext<'_>) -> crate::Result<()> {
+        Ok(())
+    }
+}
+
+/// Everything a task may touch while processing: its local state, the
+/// output streams, and identity information.
+pub struct TaskContext<'a> {
+    /// The partition this task owns (doubles as the task id).
+    pub partition: u32,
+    /// Partition the *current* message arrived on (differs from
+    /// `partition` only for merged-input jobs).
+    pub input: Option<TopicPartition>,
+    pub(crate) store: &'a mut StateStore,
+    pub(crate) outputs: &'a mut Outputs,
+}
+
+impl TaskContext<'_> {
+    /// The task's keyed state store.
+    pub fn store(&mut self) -> &mut StateStore {
+        self.store
+    }
+
+    /// Publishes a message to an output feed. Keyed messages route by
+    /// key hash (stable routing); keyless round-robin.
+    pub fn send(
+        &mut self,
+        topic: &str,
+        key: Option<Bytes>,
+        value: Bytes,
+    ) -> crate::Result<(u32, u64)> {
+        self.outputs.send(topic, key, value)
+    }
+
+    /// Messages emitted so far by this task.
+    pub fn emitted(&self) -> u64 {
+        self.outputs.emitted
+    }
+}
+
+/// Output routing shared by a task across calls (round-robin cursors
+/// per topic).
+pub(crate) struct Outputs {
+    pub(crate) cluster: Cluster,
+    pub(crate) acks: AckLevel,
+    rr: HashMap<String, u64>,
+    partition_counts: HashMap<String, u32>,
+    pub(crate) emitted: u64,
+}
+
+impl Outputs {
+    pub(crate) fn new(cluster: Cluster, acks: AckLevel) -> Self {
+        Outputs {
+            cluster,
+            acks,
+            rr: HashMap::new(),
+            partition_counts: HashMap::new(),
+            emitted: 0,
+        }
+    }
+
+    pub(crate) fn send(
+        &mut self,
+        topic: &str,
+        key: Option<Bytes>,
+        value: Bytes,
+    ) -> crate::Result<(u32, u64)> {
+        let n = match self.partition_counts.get(topic) {
+            Some(&n) => n,
+            None => {
+                let n = self.cluster.partition_count(topic)?;
+                self.partition_counts.insert(topic.to_string(), n);
+                n
+            }
+        };
+        let partition = match &key {
+            Some(k) => (hash_bytes(k) % n as u64) as u32,
+            None => {
+                let c = self.rr.entry(topic.to_string()).or_insert(0);
+                let p = (*c % n as u64) as u32;
+                *c += 1;
+                p
+            }
+        };
+        let tp = TopicPartition::new(topic.to_string(), partition);
+        let offset = self.cluster.produce_to(&tp, key, value, self.acks)?;
+        self.emitted += 1;
+        Ok((partition, offset))
+    }
+}
+
+fn hash_bytes(key: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^ (h >> 33)
+}
+
+/// A [`StreamTask`] built from a closure — handy for simple ETL stages.
+pub struct FnTask<F>(pub F);
+
+impl<F> StreamTask for FnTask<F>
+where
+    F: FnMut(&Message, &mut TaskContext<'_>) -> crate::Result<()> + Send,
+{
+    fn process(&mut self, message: &Message, ctx: &mut TaskContext<'_>) -> crate::Result<()> {
+        (self.0)(message, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liquid_messaging::{ClusterConfig, TopicConfig};
+    use liquid_sim::clock::SimClock;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::from(s.to_string())
+    }
+
+    fn setup() -> Cluster {
+        let c = Cluster::new(ClusterConfig::with_brokers(1), SimClock::new(0).shared());
+        c.create_topic("out", TopicConfig::with_partitions(4))
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn outputs_route_keyed_stably() {
+        let c = setup();
+        let mut o = Outputs::new(c.clone(), AckLevel::Leader);
+        let (p1, _) = o.send("out", Some(b("k1")), b("a")).unwrap();
+        let (p2, _) = o.send("out", Some(b("k1")), b("b")).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(o.emitted, 2);
+    }
+
+    #[test]
+    fn outputs_round_robin_keyless() {
+        let c = setup();
+        let mut o = Outputs::new(c, AckLevel::Leader);
+        let parts: Vec<u32> = (0..4)
+            .map(|_| o.send("out", None, b("x")).unwrap().0)
+            .collect();
+        assert_eq!(parts, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn outputs_unknown_topic_errors() {
+        let c = setup();
+        let mut o = Outputs::new(c, AckLevel::Leader);
+        assert!(o.send("missing", None, b("x")).is_err());
+    }
+
+    #[test]
+    fn fn_task_runs_closure() {
+        let c = setup();
+        let mut store = StateStore::ephemeral();
+        let mut outputs = Outputs::new(c.clone(), AckLevel::Leader);
+        let mut ctx = TaskContext {
+            partition: 0,
+            input: None,
+            store: &mut store,
+            outputs: &mut outputs,
+        };
+        let mut task = FnTask(|m: &Message, ctx: &mut TaskContext<'_>| {
+            ctx.store().add_counter(b"count", 1)?;
+            ctx.send("out", m.key.clone(), m.value.clone())?;
+            Ok(())
+        });
+        let msg = Message {
+            offset: 0,
+            timestamp: 0,
+            key: None,
+            value: b("hello"),
+        };
+        task.process(&msg, &mut ctx).unwrap();
+        assert_eq!(ctx.store().get_counter(b"count"), 1);
+        assert_eq!(ctx.emitted(), 1);
+    }
+}

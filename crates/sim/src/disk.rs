@@ -1,0 +1,104 @@
+//! Disk cost model.
+//!
+//! The page-cache model charges a simulated cost for every miss; this
+//! module defines where those costs come from. The defaults approximate a
+//! 2014-era data-center disk subsystem (the hardware the paper deployed
+//! on): a fixed positioning latency per random access plus a streaming
+//! transfer rate, with sequential follow-on reads paying only transfer
+//! cost.
+
+/// Cost model for a single storage device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskModel {
+    /// Latency charged for a random positioning operation, in nanoseconds.
+    pub seek_ns: u64,
+    /// Streaming throughput in bytes per microsecond (= MB/s).
+    pub bytes_per_us: u64,
+    /// Latency of serving a page from RAM, in nanoseconds.
+    pub ram_ns: u64,
+}
+
+impl Default for DiskModel {
+    fn default() -> Self {
+        // ~4ms seek, ~150 MB/s streaming, ~100ns RAM access.
+        DiskModel {
+            seek_ns: 4_000_000,
+            bytes_per_us: 150,
+            ram_ns: 100,
+        }
+    }
+}
+
+impl DiskModel {
+    /// A model resembling a data-center SSD: no mechanical seek, higher
+    /// throughput. Useful for ablations.
+    pub fn ssd() -> Self {
+        DiskModel {
+            seek_ns: 80_000,
+            bytes_per_us: 500,
+            ram_ns: 100,
+        }
+    }
+
+    /// Cost in nanoseconds of a random read of `bytes` from disk.
+    pub fn random_read_ns(&self, bytes: u64) -> u64 {
+        self.seek_ns + self.transfer_ns(bytes)
+    }
+
+    /// Cost in nanoseconds of reading `bytes` sequentially (no seek).
+    pub fn sequential_read_ns(&self, bytes: u64) -> u64 {
+        self.transfer_ns(bytes)
+    }
+
+    /// Cost in nanoseconds of serving `bytes` from RAM.
+    pub fn ram_read_ns(&self, _bytes: u64) -> u64 {
+        self.ram_ns
+    }
+
+    fn transfer_ns(&self, bytes: u64) -> u64 {
+        // bytes / (bytes/us) = us; convert to ns. Round up so tiny reads
+        // are never free.
+        let us = bytes.div_ceil(self.bytes_per_us.max(1));
+        us.max(1) * 1_000
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_read_includes_seek() {
+        let m = DiskModel::default();
+        assert!(m.random_read_ns(4096) > m.seek_ns);
+    }
+
+    #[test]
+    fn sequential_cheaper_than_random() {
+        let m = DiskModel::default();
+        assert!(m.sequential_read_ns(4096) < m.random_read_ns(4096));
+    }
+
+    #[test]
+    fn ram_cheapest() {
+        let m = DiskModel::default();
+        assert!(m.ram_read_ns(4096) < m.sequential_read_ns(4096));
+    }
+
+    #[test]
+    fn transfer_scales_with_bytes() {
+        let m = DiskModel::default();
+        assert!(m.sequential_read_ns(1 << 20) > m.sequential_read_ns(1 << 10));
+    }
+
+    #[test]
+    fn ssd_has_lower_seek() {
+        assert!(DiskModel::ssd().seek_ns < DiskModel::default().seek_ns);
+    }
+
+    #[test]
+    fn zero_byte_read_not_free() {
+        let m = DiskModel::default();
+        assert!(m.sequential_read_ns(0) >= 1_000);
+    }
+}

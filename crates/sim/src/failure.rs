@@ -1,0 +1,156 @@
+//! Failure injection.
+//!
+//! Liquid's availability story (§4.3) is exercised by killing brokers and
+//! processing tasks at controlled points. Two mechanisms are provided:
+//! a deterministic schedule (fail exactly at operation N) and a seeded
+//! probabilistic injector, both usable from tests and experiments.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::Rng;
+
+use crate::rng::seeded;
+
+/// A failure decision point. Components call [`FailureInjector::tick`]
+/// before fallible operations and abort/crash when it returns `true`.
+#[derive(Debug, Clone)]
+pub struct FailureInjector {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    ops: AtomicU64,
+    schedule: Mutex<BTreeSet<u64>>,
+    probability_millionths: AtomicU64,
+    rng: Mutex<rand::rngs::StdRng>,
+    fired: AtomicU64,
+}
+
+impl FailureInjector {
+    /// An injector that never fires.
+    pub fn disabled() -> Self {
+        Self::new(0)
+    }
+
+    /// Creates an injector with a deterministic RNG seed (used only when
+    /// a probability is configured).
+    pub fn new(seed: u64) -> Self {
+        FailureInjector {
+            inner: Arc::new(Inner {
+                ops: AtomicU64::new(0),
+                schedule: Mutex::new(BTreeSet::new()),
+                probability_millionths: AtomicU64::new(0),
+                rng: Mutex::new(seeded(seed)),
+                fired: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Schedules a failure at the `n`-th future call to [`tick`](Self::tick)
+    /// (1-based relative to the operations seen so far).
+    pub fn fail_at(&self, n: u64) {
+        let base = self.inner.ops.load(Ordering::SeqCst);
+        self.inner.schedule.lock().insert(base + n);
+    }
+
+    /// Sets the per-operation failure probability (0.0..=1.0).
+    pub fn set_probability(&self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.inner
+            .probability_millionths
+            .store((p * 1_000_000.0) as u64, Ordering::SeqCst);
+    }
+
+    /// Registers one operation; returns `true` if the component should
+    /// fail now.
+    pub fn tick(&self) -> bool {
+        let op = self.inner.ops.fetch_add(1, Ordering::SeqCst) + 1;
+        let scheduled = self.inner.schedule.lock().remove(&op);
+        let fired = scheduled || {
+            let p = self.inner.probability_millionths.load(Ordering::SeqCst);
+            p > 0 && self.inner.rng.lock().gen_range(0..1_000_000u64) < p
+        };
+        if fired {
+            self.inner.fired.fetch_add(1, Ordering::SeqCst);
+        }
+        fired
+    }
+
+    /// Operations observed so far.
+    pub fn operations(&self) -> u64 {
+        self.inner.ops.load(Ordering::SeqCst)
+    }
+
+    /// Failures fired so far.
+    pub fn failures(&self) -> u64 {
+        self.inner.fired.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_never_fires() {
+        let f = FailureInjector::disabled();
+        for _ in 0..1000 {
+            assert!(!f.tick());
+        }
+        assert_eq!(f.failures(), 0);
+    }
+
+    #[test]
+    fn fail_at_fires_exactly_once() {
+        let f = FailureInjector::new(0);
+        f.fail_at(3);
+        assert!(!f.tick());
+        assert!(!f.tick());
+        assert!(f.tick());
+        assert!(!f.tick());
+        assert_eq!(f.failures(), 1);
+    }
+
+    #[test]
+    fn fail_at_is_relative_to_current_ops() {
+        let f = FailureInjector::new(0);
+        f.tick();
+        f.tick();
+        f.fail_at(1);
+        assert!(f.tick());
+    }
+
+    #[test]
+    fn probability_fires_roughly_proportionally() {
+        let f = FailureInjector::new(42);
+        f.set_probability(0.1);
+        let mut fired = 0;
+        for _ in 0..10_000 {
+            if f.tick() {
+                fired += 1;
+            }
+        }
+        assert!(
+            (700..1300).contains(&fired),
+            "fired {fired} of 10k at p=0.1"
+        );
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let f = FailureInjector::new(0);
+        let g = f.clone();
+        f.fail_at(1);
+        assert!(g.tick());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn rejects_bad_probability() {
+        FailureInjector::new(0).set_probability(1.5);
+    }
+}

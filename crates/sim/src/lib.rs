@@ -1,0 +1,28 @@
+//! Simulation substrate for the Liquid data integration stack.
+//!
+//! Every other crate in the workspace builds on the primitives here:
+//!
+//! * [`clock`] — a [`clock::Clock`] abstraction with a real
+//!   [`clock::SystemClock`] and a manually-advanced
+//!   [`clock::SimClock`] so that time-dependent behaviour
+//!   (retention, flush timeouts, windows, session expiry) is testable
+//!   deterministically.
+//! * [`rng`] — seeded random number generation and the skewed
+//!   distributions used by workload generators.
+//! * [`pagecache`] — an explicit OS page-cache model reproducing the
+//!   "anti-caching" behaviour the paper relies on in §4.1: the head of an
+//!   append-only log stays RAM-resident, cold reads pay a simulated disk
+//!   cost, and sequential access triggers prefetching.
+//! * [`disk`] — a simple disk cost model (seek latency + transfer rate).
+//! * [`failure`] — deterministic and probabilistic failure injection.
+//! * [`stats`] — counters and log-bucketed latency histograms used by the
+//!   benchmark harness.
+
+pub mod clock;
+pub mod disk;
+pub mod failure;
+pub mod pagecache;
+pub mod rng;
+pub mod stats;
+
+pub use clock::{Clock, SharedClock, SimClock, SystemClock, Ts};

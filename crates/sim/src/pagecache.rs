@@ -1,0 +1,467 @@
+//! Explicit OS page-cache model ("anti-caching", paper §4.1).
+//!
+//! The messaging layer's performance story depends on the OS file-system
+//! cache: appends land in RAM and are flushed to disk after a timeout;
+//! because the log is append-only, the *head* of the log stays resident
+//! while cold segments age out, so tailing consumers read from memory.
+//! Rewinding consumers fault pages in from disk — the first reads are
+//! slow, then prefetching makes successive sequential reads fast.
+//!
+//! A real page cache is invisible and machine-dependent, so experiments
+//! E2/E3 use this model instead: it tracks page residency with LRU
+//! eviction, charges a [`crate::disk::DiskModel`] cost for
+//! misses, detects sequential access per file, and prefetches ahead of
+//! sequential readers.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::clock::{SharedClock, Ts};
+use crate::disk::DiskModel;
+
+/// Identifies a cached file (e.g. one log segment).
+pub type FileId = u64;
+
+/// A page within a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId {
+    /// File the page belongs to.
+    pub file: FileId,
+    /// Zero-based page number within the file.
+    pub page: u64,
+}
+
+/// Configuration for the page-cache model.
+#[derive(Debug, Clone)]
+pub struct PageCacheConfig {
+    /// Bytes per page.
+    pub page_size: usize,
+    /// Maximum resident pages before LRU eviction kicks in.
+    pub capacity_pages: usize,
+    /// Pages prefetched ahead of a sequential read miss.
+    pub prefetch_pages: usize,
+    /// Dirty pages older than this are flushed to disk (made clean);
+    /// models the configurable flush timeout of §4.1.
+    pub flush_after_ms: u64,
+    /// Cost model for misses and flushes.
+    pub disk: DiskModel,
+}
+
+impl Default for PageCacheConfig {
+    fn default() -> Self {
+        PageCacheConfig {
+            page_size: 4096,
+            capacity_pages: 16 * 1024, // 64 MiB of 4 KiB pages
+            prefetch_pages: 8,
+            flush_after_ms: 500,
+            disk: DiskModel::default(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PageMeta {
+    lru_tick: u64,
+    dirty: bool,
+    /// When the page was first dirtied (for flush-after accounting).
+    dirtied_at: Ts,
+}
+
+/// Counters exposed for experiments.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Page reads served from RAM.
+    pub hits: u64,
+    /// Page reads that had to fault from disk.
+    pub misses: u64,
+    /// Pages evicted by LRU.
+    pub evictions: u64,
+    /// Pages installed by prefetch.
+    pub prefetched: u64,
+    /// Dirty pages flushed by the timeout mechanism.
+    pub flushed: u64,
+    /// Total simulated cost charged, in nanoseconds.
+    pub total_cost_ns: u64,
+}
+
+/// Outcome of a read through the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadCost {
+    /// Simulated nanoseconds for this read.
+    pub cost_ns: u64,
+    /// Pages served from RAM.
+    pub pages_hit: u64,
+    /// Pages faulted from disk.
+    pub pages_missed: u64,
+}
+
+/// The page-cache model. Not internally synchronized; callers wrap it in
+/// a lock when shared.
+pub struct PageCache {
+    config: PageCacheConfig,
+    clock: SharedClock,
+    pages: HashMap<PageId, PageMeta>,
+    lru: BTreeMap<u64, PageId>,
+    next_tick: u64,
+    /// Last page read per file, for sequential-access detection.
+    last_read: HashMap<FileId, u64>,
+    stats: CacheStats,
+}
+
+impl PageCache {
+    /// Creates a cache with the given configuration and clock.
+    pub fn new(config: PageCacheConfig, clock: SharedClock) -> Self {
+        assert!(config.page_size > 0, "page_size must be positive");
+        assert!(config.capacity_pages > 0, "capacity must be positive");
+        PageCache {
+            config,
+            clock,
+            pages: HashMap::new(),
+            lru: BTreeMap::new(),
+            next_tick: 0,
+            last_read: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &PageCacheConfig {
+        &self.config
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of currently resident pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether a specific page is RAM-resident.
+    pub fn is_resident(&self, file: FileId, page: u64) -> bool {
+        self.pages.contains_key(&PageId { file, page })
+    }
+
+    /// Records an append of `len` bytes at byte `offset` of `file`.
+    /// Written pages become resident and dirty. Returns the simulated
+    /// cost in nanoseconds (RAM-speed: the write goes to the cache).
+    pub fn write(&mut self, file: FileId, offset: u64, len: usize) -> u64 {
+        let now = self.clock.now();
+        let mut cost = 0;
+        for page in self.page_range(offset, len) {
+            self.touch(PageId { file, page }, true, now);
+            cost += self.config.disk.ram_read_ns(self.config.page_size as u64);
+        }
+        self.stats.total_cost_ns += cost;
+        cost
+    }
+
+    /// Reads `len` bytes at byte `offset` of `file` through the cache,
+    /// returning the simulated cost. Misses charge disk costs (random for
+    /// the first faulted page of a non-sequential access, sequential
+    /// otherwise) and trigger prefetch of the following pages.
+    pub fn read(&mut self, file: FileId, offset: u64, len: usize) -> ReadCost {
+        let now = self.clock.now();
+        let page_bytes = self.config.page_size as u64;
+        let mut out = ReadCost {
+            cost_ns: 0,
+            pages_hit: 0,
+            pages_missed: 0,
+        };
+        let pages: Vec<u64> = self.page_range(offset, len).collect();
+        // Sequential if this read continues (or overlaps the tail of)
+        // the previous one — index-aligned seeks may start a page or two
+        // before the prior read's end.
+        let sequential_start = self
+            .last_read
+            .get(&file)
+            .map(|&last| {
+                pages.first().is_some_and(|&p| p <= last + 1)
+                    && pages.last().is_some_and(|&p| p + 1 >= last)
+            })
+            .unwrap_or(false);
+        let mut prev_missed = sequential_start;
+        for &page in &pages {
+            let id = PageId { file, page };
+            if self.pages.contains_key(&id) {
+                self.touch(id, false, now);
+                out.pages_hit += 1;
+                out.cost_ns += self.config.disk.ram_read_ns(page_bytes);
+                prev_missed = false;
+            } else {
+                out.pages_missed += 1;
+                // A miss directly after another faulted page continues a
+                // disk streaming read; an isolated miss pays a seek.
+                out.cost_ns += if prev_missed {
+                    self.config.disk.sequential_read_ns(page_bytes)
+                } else {
+                    self.config.disk.random_read_ns(page_bytes)
+                };
+                self.touch(id, false, now);
+                prev_missed = true;
+                // Prefetch ahead of the reader; prefetched pages arrive
+                // clean and cost nothing to this read (the disk streams
+                // them in the background).
+                for ahead in 1..=self.config.prefetch_pages as u64 {
+                    let pid = PageId {
+                        file,
+                        page: page + ahead,
+                    };
+                    if !self.pages.contains_key(&pid) {
+                        self.touch(pid, false, now);
+                        self.stats.prefetched += 1;
+                    }
+                }
+            }
+        }
+        if let Some(&last) = pages.last() {
+            // Kernel-style readahead: a sequential reader keeps the
+            // window ahead of it warm even when the current pages hit
+            // (async readahead fires at the readahead mark, not only on
+            // faults).
+            if sequential_start || out.pages_missed > 0 {
+                for ahead in 1..=self.config.prefetch_pages as u64 {
+                    let pid = PageId {
+                        file,
+                        page: last + ahead,
+                    };
+                    if !self.pages.contains_key(&pid) {
+                        self.touch(pid, false, now);
+                        self.stats.prefetched += 1;
+                    }
+                }
+            }
+            self.last_read.insert(file, last);
+        }
+        self.stats.hits += out.pages_hit;
+        self.stats.misses += out.pages_missed;
+        self.stats.total_cost_ns += out.cost_ns;
+        out
+    }
+
+    /// Drops every page of `file` (e.g. when a segment is deleted by
+    /// retention).
+    pub fn evict_file(&mut self, file: FileId) {
+        let doomed: Vec<PageId> = self
+            .pages
+            .keys()
+            .filter(|id| id.file == file)
+            .copied()
+            .collect();
+        for id in doomed {
+            if let Some(meta) = self.pages.remove(&id) {
+                self.lru.remove(&meta.lru_tick);
+                self.stats.evictions += 1;
+            }
+        }
+        self.last_read.remove(&file);
+    }
+
+    /// Flushes dirty pages older than the configured timeout; returns the
+    /// number flushed. Flushed pages stay resident but become clean.
+    pub fn maybe_flush(&mut self) -> usize {
+        let now = self.clock.now();
+        let mut flushed = 0;
+        for meta in self.pages.values_mut() {
+            if meta.dirty && meta.dirtied_at + self.config.flush_after_ms <= now {
+                meta.dirty = false;
+                flushed += 1;
+            }
+        }
+        self.stats.flushed += flushed as u64;
+        flushed
+    }
+
+    /// Number of dirty (unflushed) pages.
+    pub fn dirty_pages(&self) -> usize {
+        self.pages.values().filter(|m| m.dirty).count()
+    }
+
+    fn page_range(&self, offset: u64, len: usize) -> impl Iterator<Item = u64> {
+        let page_bytes = self.config.page_size as u64;
+        let first = offset / page_bytes;
+        let last = if len == 0 {
+            first
+        } else {
+            (offset + len as u64 - 1) / page_bytes
+        };
+        first..=last
+    }
+
+    fn touch(&mut self, id: PageId, dirty: bool, now: Ts) {
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        match self.pages.get_mut(&id) {
+            Some(meta) => {
+                self.lru.remove(&meta.lru_tick);
+                meta.lru_tick = tick;
+                if dirty && !meta.dirty {
+                    meta.dirty = true;
+                    meta.dirtied_at = now;
+                }
+            }
+            None => {
+                self.pages.insert(
+                    id,
+                    PageMeta {
+                        lru_tick: tick,
+                        dirty,
+                        dirtied_at: now,
+                    },
+                );
+            }
+        }
+        self.lru.insert(tick, id);
+        while self.pages.len() > self.config.capacity_pages {
+            let (&victim_tick, &victim) = self.lru.iter().next().expect("lru non-empty");
+            self.lru.remove(&victim_tick);
+            self.pages.remove(&victim);
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimClock;
+
+    fn cache(capacity: usize, prefetch: usize) -> (PageCache, SimClock) {
+        let clock = SimClock::new(0);
+        let cfg = PageCacheConfig {
+            page_size: 4096,
+            capacity_pages: capacity,
+            prefetch_pages: prefetch,
+            flush_after_ms: 100,
+            disk: DiskModel::default(),
+        };
+        (PageCache::new(cfg, clock.shared()), clock)
+    }
+
+    #[test]
+    fn write_then_read_hits() {
+        let (mut c, _) = cache(64, 0);
+        c.write(1, 0, 4096);
+        let r = c.read(1, 0, 4096);
+        assert_eq!(r.pages_hit, 1);
+        assert_eq!(r.pages_missed, 0);
+    }
+
+    #[test]
+    fn cold_read_misses_and_costs_more() {
+        let (mut c, _) = cache(64, 0);
+        let cold = c.read(1, 0, 4096);
+        let warm = c.read(1, 0, 4096);
+        assert_eq!(cold.pages_missed, 1);
+        assert_eq!(warm.pages_hit, 1);
+        assert!(cold.cost_ns > warm.cost_ns * 10);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_pages() {
+        let (mut c, _) = cache(4, 0);
+        for page in 0..8u64 {
+            c.write(1, page * 4096, 4096);
+        }
+        // Pages 0..4 evicted, 4..8 resident.
+        assert!(!c.is_resident(1, 0));
+        assert!(c.is_resident(1, 7));
+        assert_eq!(c.resident_pages(), 4);
+    }
+
+    #[test]
+    fn anti_caching_keeps_log_head_resident() {
+        // Appending writer: the most recent pages (the head of the log)
+        // stay in RAM, old pages age out — exactly §4.1.
+        let (mut c, _) = cache(16, 0);
+        for page in 0..100u64 {
+            c.write(1, page * 4096, 4096);
+        }
+        let tail = c.read(1, 99 * 4096, 4096);
+        assert_eq!(tail.pages_hit, 1, "head of log must be RAM-resident");
+        let old = c.read(1, 0, 4096);
+        assert_eq!(old.pages_missed, 1, "cold tail must fault from disk");
+    }
+
+    #[test]
+    fn prefetch_warms_sequential_reads() {
+        let (mut c, _) = cache(1024, 8);
+        // First read faults and prefetches 8 pages ahead.
+        let first = c.read(2, 0, 4096);
+        assert_eq!(first.pages_missed, 1);
+        for page in 1..=8u64 {
+            let r = c.read(2, page * 4096, 4096);
+            assert_eq!(r.pages_missed, 0, "page {page} should be prefetched");
+        }
+    }
+
+    #[test]
+    fn flush_after_timeout() {
+        let (mut c, clock) = cache(64, 0);
+        c.write(1, 0, 4096 * 4);
+        assert_eq!(c.dirty_pages(), 4);
+        assert_eq!(c.maybe_flush(), 0, "too early to flush");
+        clock.advance(200);
+        assert_eq!(c.maybe_flush(), 4);
+        assert_eq!(c.dirty_pages(), 0);
+    }
+
+    #[test]
+    fn evict_file_drops_all_pages() {
+        let (mut c, _) = cache(64, 0);
+        c.write(1, 0, 4096 * 4);
+        c.write(2, 0, 4096 * 2);
+        c.evict_file(1);
+        assert_eq!(c.resident_pages(), 2);
+        assert!(!c.is_resident(1, 0));
+        assert!(c.is_resident(2, 0));
+    }
+
+    #[test]
+    fn multi_page_read_accounts_all_pages() {
+        let (mut c, _) = cache(64, 0);
+        let r = c.read(3, 0, 4096 * 10);
+        assert_eq!(r.pages_missed, 10);
+        let r2 = c.read(3, 0, 4096 * 10);
+        assert_eq!(r2.pages_hit, 10);
+    }
+
+    #[test]
+    fn sequential_misses_cheaper_than_random() {
+        let (mut c1, _) = cache(1024, 0);
+        // Sequential scan of 16 pages.
+        let seq = c1.read(1, 0, 4096 * 16);
+        // Random faults: 16 isolated single-page reads on distinct files.
+        let (mut c2, _) = cache(1024, 0);
+        let mut random_cost = 0;
+        for f in 0..16u64 {
+            random_cost += c2.read(f, 0, 4096).cost_ns;
+        }
+        assert!(
+            seq.cost_ns < random_cost,
+            "{} !< {}",
+            seq.cost_ns,
+            random_cost
+        );
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (mut c, _) = cache(64, 4);
+        c.read(1, 0, 4096);
+        c.read(1, 0, 4096);
+        let s = c.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.prefetched, 4);
+        assert!(s.total_cost_ns > 0);
+    }
+
+    #[test]
+    fn zero_len_read_touches_one_page() {
+        let (mut c, _) = cache(64, 0);
+        let r = c.read(1, 8192, 0);
+        assert_eq!(r.pages_hit + r.pages_missed, 1);
+    }
+}

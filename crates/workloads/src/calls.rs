@@ -1,0 +1,264 @@
+//! REST call traces — the call-graph assembly use case (§5.1).
+//!
+//! "Dynamic web pages are built from thousands of REST calls … Liquid
+//! records each event produced by the REST calls and stores them in the
+//! messaging layer with a unique id per user call; the processing layer
+//! processes these events to assemble the call graph."
+
+use bytes::Bytes;
+use liquid_sim::clock::Ts;
+use liquid_sim::rng::seeded;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One REST call (span) within a request's call tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSpan {
+    /// Request id shared by every span of one page build.
+    pub request_id: u64,
+    /// This span's index within the request.
+    pub span_id: u32,
+    /// Parent span (`None` for the root front-end call).
+    pub parent_id: Option<u32>,
+    /// Service that handled the call.
+    pub service: String,
+    /// Start time (ms).
+    pub start_ts: Ts,
+    /// Duration (ms).
+    pub duration_ms: u64,
+    /// Total spans in this request (assigned by the front-end, which
+    /// knows how many calls it issued) — lets assemblers detect
+    /// completeness without timeouts.
+    pub total_spans: u32,
+}
+
+impl CallSpan {
+    /// Partitioning key: the request id, so one task sees a whole tree.
+    pub fn key(&self) -> Bytes {
+        Bytes::from(format!("req-{}", self.request_id))
+    }
+
+    /// Wire encoding.
+    pub fn encode(&self) -> Bytes {
+        Bytes::from(format!(
+            "{}|{}|{}|{}|{}|{}|{}",
+            self.request_id,
+            self.span_id,
+            self.parent_id.map(|p| p as i64).unwrap_or(-1),
+            self.service,
+            self.start_ts,
+            self.duration_ms,
+            self.total_spans
+        ))
+    }
+
+    /// Parses the wire encoding.
+    pub fn decode(data: &[u8]) -> Option<CallSpan> {
+        let s = std::str::from_utf8(data).ok()?;
+        let mut it = s.split('|');
+        let request_id = it.next()?.parse().ok()?;
+        let span_id = it.next()?.parse().ok()?;
+        let parent: i64 = it.next()?.parse().ok()?;
+        Some(CallSpan {
+            request_id,
+            span_id,
+            parent_id: (parent >= 0).then_some(parent as u32),
+            service: it.next()?.to_string(),
+            start_ts: it.next()?.parse().ok()?,
+            duration_ms: it.next()?.parse().ok()?,
+            total_spans: it.next()?.parse().ok()?,
+        })
+    }
+}
+
+const SERVICES: [&str; 8] = [
+    "frontend",
+    "profile",
+    "feed",
+    "search",
+    "ads",
+    "messaging",
+    "graph",
+    "media",
+];
+
+/// Generates call trees and emits their spans out of order (as they
+/// would arrive from distributed machines).
+pub struct CallTraceGen {
+    rng: StdRng,
+    next_request: u64,
+    now: Ts,
+    /// Spans per request (min, max).
+    fanout: (u32, u32),
+    /// Probability (percent) of an anomalously slow span.
+    slow_pct: u32,
+}
+
+impl CallTraceGen {
+    /// A generator producing requests of 3–12 spans with 2% slow calls.
+    pub fn new(seed: u64) -> Self {
+        CallTraceGen {
+            rng: seeded(seed),
+            next_request: 1,
+            now: 0,
+            fanout: (3, 12),
+            slow_pct: 2,
+        }
+    }
+
+    /// Sets the span count range per request.
+    pub fn with_fanout(mut self, min: u32, max: u32) -> Self {
+        assert!(min >= 1 && min <= max, "invalid fanout");
+        self.fanout = (min, max);
+        self
+    }
+
+    /// Sets the probability (percent) of anomalously slow spans.
+    pub fn with_slow_pct(mut self, pct: u32) -> Self {
+        self.slow_pct = pct.min(100);
+        self
+    }
+
+    /// Generates one request's spans, delivered out of order.
+    pub fn next_trace(&mut self) -> Vec<CallSpan> {
+        let request_id = self.next_request;
+        self.next_request += 1;
+        self.now += self.rng.gen_range(1..50);
+        let n = self.rng.gen_range(self.fanout.0..=self.fanout.1);
+        let mut spans = Vec::with_capacity(n as usize);
+        for span_id in 0..n {
+            let parent_id = if span_id == 0 {
+                None
+            } else {
+                // Attach to a random earlier span: a tree, not a chain.
+                Some(self.rng.gen_range(0..span_id))
+            };
+            let slow = self.rng.gen_range(0..100) < self.slow_pct;
+            let duration = if slow {
+                self.rng.gen_range(500..2_000)
+            } else {
+                self.rng.gen_range(1..50)
+            };
+            let service = if span_id == 0 {
+                "frontend"
+            } else {
+                SERVICES[self.rng.gen_range(1..SERVICES.len())]
+            };
+            spans.push(CallSpan {
+                request_id,
+                span_id,
+                parent_id,
+                service: service.to_string(),
+                start_ts: self.now + span_id as u64,
+                duration_ms: duration,
+                total_spans: n,
+            });
+        }
+        // Spans arrive out of order in production.
+        for i in (1..spans.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            spans.swap(i, j);
+        }
+        spans
+    }
+
+    /// Generates spans for `n` requests, interleaved across requests
+    /// (as the messaging layer would see them).
+    pub fn batch(&mut self, n: usize) -> Vec<CallSpan> {
+        let mut traces: Vec<Vec<CallSpan>> = (0..n).map(|_| self.next_trace()).collect();
+        let mut out = Vec::new();
+        // Round-robin drain to interleave requests.
+        while !traces.is_empty() {
+            traces.retain_mut(|t| {
+                if let Some(s) = t.pop() {
+                    out.push(s);
+                }
+                !t.is_empty()
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn roundtrip() {
+        let s = CallSpan {
+            request_id: 9,
+            span_id: 3,
+            parent_id: Some(1),
+            service: "feed".into(),
+            start_ts: 100,
+            duration_ms: 25,
+            total_spans: 5,
+        };
+        assert_eq!(CallSpan::decode(&s.encode()), Some(s.clone()));
+        let root = CallSpan {
+            parent_id: None,
+            ..s
+        };
+        assert_eq!(CallSpan::decode(&root.encode()), Some(root));
+    }
+
+    #[test]
+    fn trace_forms_a_tree() {
+        let mut g = CallTraceGen::new(11);
+        for _ in 0..50 {
+            let mut spans = g.next_trace();
+            spans.sort_by_key(|s| s.span_id);
+            assert_eq!(spans[0].parent_id, None, "span 0 is the root");
+            for s in &spans[1..] {
+                let p = s.parent_id.expect("non-root has a parent");
+                assert!(p < s.span_id, "parents precede children");
+            }
+            // All spans share the request id.
+            assert!(spans.iter().all(|s| s.request_id == spans[0].request_id));
+        }
+    }
+
+    #[test]
+    fn spans_arrive_out_of_order() {
+        let mut g = CallTraceGen::new(1).with_fanout(8, 12);
+        let shuffled = (0..20).any(|_| {
+            let t = g.next_trace();
+            t.windows(2).any(|w| w[0].span_id > w[1].span_id)
+        });
+        assert!(shuffled, "traces should not arrive sorted");
+    }
+
+    #[test]
+    fn batch_interleaves_requests() {
+        let mut g = CallTraceGen::new(3).with_fanout(4, 4);
+        let batch = g.batch(5);
+        assert_eq!(batch.len(), 20);
+        // The first 5 spans should come from multiple requests.
+        let heads: std::collections::HashSet<u64> =
+            batch[..5].iter().map(|s| s.request_id).collect();
+        assert!(heads.len() > 1, "requests should interleave");
+    }
+
+    #[test]
+    fn slow_pct_controls_anomalies() {
+        let mut g = CallTraceGen::new(7).with_slow_pct(0);
+        let spans = g.batch(100);
+        assert!(spans.iter().all(|s| s.duration_ms < 500));
+        let mut g2 = CallTraceGen::new(7).with_slow_pct(100);
+        let spans2 = g2.batch(20);
+        assert!(spans2.iter().all(|s| s.duration_ms >= 500));
+    }
+
+    #[test]
+    fn request_ids_unique_and_dense() {
+        let mut g = CallTraceGen::new(2);
+        let batch = g.batch(10);
+        let mut by_req: HashMap<u64, usize> = HashMap::new();
+        for s in &batch {
+            *by_req.entry(s.request_id).or_default() += 1;
+        }
+        assert_eq!(by_req.len(), 10);
+    }
+}

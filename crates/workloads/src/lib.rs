@@ -1,0 +1,32 @@
+//! Synthetic workload generators for the paper's use cases (§5.1).
+//!
+//! LinkedIn's production traffic is proprietary; these generators
+//! produce events with the same *shape* — skewed keys, realistic
+//! dimensions, injectable anomalies — so the examples and experiments
+//! drive the identical code paths:
+//!
+//! * [`activity`] — user activity (page views, clicks, searches) with
+//!   Zipf-distributed users; the "source-of-truth" feed of Figure 1;
+//! * [`rum`] — real-user-monitoring page-load events with CDN and
+//!   region dimensions plus injectable CDN slowdowns (site-speed
+//!   monitoring use case);
+//! * [`calls`] — REST call trees sharing a request id, emitted as
+//!   individual out-of-order span events (call-graph assembly);
+//! * [`profiles`] — keyed profile updates with heavy skew (data
+//!   cleaning / compaction experiments);
+//! * [`metrics`] — host operational metrics (operational analysis).
+//!
+//! Every generator is deterministic given a seed. Events encode to
+//! pipe-delimited UTF-8 so they stay greppable in logs and tests.
+
+pub mod activity;
+pub mod calls;
+pub mod metrics;
+pub mod profiles;
+pub mod rum;
+
+pub use activity::{Action, ActivityEvent, ActivityGen};
+pub use calls::{CallSpan, CallTraceGen};
+pub use metrics::{HostMetric, MetricsGen};
+pub use profiles::{ProfileUpdate, ProfileUpdateGen};
+pub use rum::{RumEvent, RumGen};

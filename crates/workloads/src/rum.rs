@@ -1,0 +1,203 @@
+//! Real-user-monitoring (RUM) events — the site-speed use case (§5.1).
+//!
+//! "When a client visits a webpage, an event is created that contains a
+//! timestamp, the page or resource loaded, the time that it took to
+//! load, the IP address location of the requesting client and the CDN
+//! used to serve the resource."
+
+use bytes::Bytes;
+use liquid_sim::clock::Ts;
+use liquid_sim::rng::{seeded, Zipf};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Content delivery networks serving resources.
+pub const CDNS: [&str; 4] = ["cdn-east", "cdn-west", "cdn-eu", "cdn-apac"];
+/// Client regions.
+pub const REGIONS: [&str; 5] = ["us", "eu", "in", "br", "jp"];
+
+/// One page-load measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RumEvent {
+    /// Event time (ms).
+    pub timestamp: Ts,
+    /// Page loaded.
+    pub page_id: u64,
+    /// Observed load time (ms).
+    pub load_time_ms: u64,
+    /// Client region.
+    pub region: String,
+    /// CDN that served the resource.
+    pub cdn: String,
+}
+
+impl RumEvent {
+    /// Grouping key used by the monitoring pipeline: the CDN.
+    pub fn key(&self) -> Bytes {
+        Bytes::from(self.cdn.clone())
+    }
+
+    /// Wire encoding.
+    pub fn encode(&self) -> Bytes {
+        Bytes::from(format!(
+            "{}|{}|{}|{}|{}",
+            self.timestamp, self.page_id, self.load_time_ms, self.region, self.cdn
+        ))
+    }
+
+    /// Parses the wire encoding.
+    pub fn decode(data: &[u8]) -> Option<RumEvent> {
+        let s = std::str::from_utf8(data).ok()?;
+        let mut it = s.split('|');
+        Some(RumEvent {
+            timestamp: it.next()?.parse().ok()?,
+            page_id: it.next()?.parse().ok()?,
+            load_time_ms: it.next()?.parse().ok()?,
+            region: it.next()?.to_string(),
+            cdn: it.next()?.to_string(),
+        })
+    }
+}
+
+/// Deterministic RUM generator with injectable CDN slowdowns.
+pub struct RumGen {
+    rng: StdRng,
+    pages: Zipf,
+    now: Ts,
+    base_load_ms: u64,
+    /// CDN index currently degraded (multiplies load times), if any.
+    degraded_cdn: Option<(usize, u64)>,
+}
+
+impl RumGen {
+    /// A generator over `pages` pages with ~`base_load_ms` typical
+    /// load times.
+    pub fn new(seed: u64, pages: usize, base_load_ms: u64) -> Self {
+        RumGen {
+            rng: seeded(seed),
+            pages: Zipf::new(pages, 0.9),
+            now: 0,
+            base_load_ms: base_load_ms.max(1),
+            degraded_cdn: None,
+        }
+    }
+
+    /// Degrades one CDN: its load times are multiplied by `factor`
+    /// until [`clear_anomaly`](Self::clear_anomaly).
+    pub fn inject_cdn_slowdown(&mut self, cdn_index: usize, factor: u64) {
+        assert!(cdn_index < CDNS.len(), "cdn index out of range");
+        self.degraded_cdn = Some((cdn_index, factor.max(1)));
+    }
+
+    /// Ends the injected anomaly.
+    pub fn clear_anomaly(&mut self) {
+        self.degraded_cdn = None;
+    }
+
+    /// Produces the next event.
+    pub fn next_event(&mut self) -> RumEvent {
+        self.now += self.rng.gen_range(1..20);
+        let cdn_index = self.rng.gen_range(0..CDNS.len());
+        let region = REGIONS[self.rng.gen_range(0..REGIONS.len())];
+        // Load time: base plus a long-ish tail.
+        let mut load = self.base_load_ms + self.rng.gen_range(0..self.base_load_ms * 2);
+        if self.rng.gen_range(0..100) < 5 {
+            load += self.base_load_ms * self.rng.gen_range(3..8); // tail
+        }
+        if let Some((slow, factor)) = self.degraded_cdn {
+            if slow == cdn_index {
+                load *= factor;
+            }
+        }
+        RumEvent {
+            timestamp: self.now,
+            page_id: self.pages.sample(&mut self.rng) as u64,
+            load_time_ms: load,
+            region: region.to_string(),
+            cdn: CDNS[cdn_index].to_string(),
+        }
+    }
+
+    /// Produces a batch.
+    pub fn batch(&mut self, n: usize) -> Vec<RumEvent> {
+        (0..n).map(|_| self.next_event()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let e = RumEvent {
+            timestamp: 99,
+            page_id: 12,
+            load_time_ms: 340,
+            region: "eu".into(),
+            cdn: "cdn-east".into(),
+        };
+        assert_eq!(RumEvent::decode(&e.encode()), Some(e.clone()));
+        assert_eq!(e.key(), Bytes::from_static(b"cdn-east"));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(RumEvent::decode(b"1|2"), None);
+        assert_eq!(RumEvent::decode(b"x|y|z|a|b"), None);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = RumGen::new(5, 100, 200).batch(10);
+        let b = RumGen::new(5, 100, 200).batch(10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn injected_slowdown_visible_in_means() {
+        let mut g = RumGen::new(9, 50, 100);
+        let normal = g.batch(2000);
+        g.inject_cdn_slowdown(0, 10);
+        let degraded = g.batch(2000);
+        let mean = |evs: &[RumEvent], cdn: &str| {
+            let xs: Vec<u64> = evs
+                .iter()
+                .filter(|e| e.cdn == cdn)
+                .map(|e| e.load_time_ms)
+                .collect();
+            xs.iter().sum::<u64>() as f64 / xs.len().max(1) as f64
+        };
+        let before = mean(&normal, CDNS[0]);
+        let after = mean(&degraded, CDNS[0]);
+        assert!(
+            after > before * 5.0,
+            "slowdown not visible: {before} -> {after}"
+        );
+        // Other CDNs unaffected (within noise).
+        let other_before = mean(&normal, CDNS[1]);
+        let other_after = mean(&degraded, CDNS[1]);
+        assert!(other_after < other_before * 2.0);
+    }
+
+    #[test]
+    fn clear_anomaly_restores() {
+        let mut g = RumGen::new(2, 10, 100);
+        g.inject_cdn_slowdown(1, 20);
+        g.clear_anomaly();
+        let evs = g.batch(1000);
+        let max = evs
+            .iter()
+            .filter(|e| e.cdn == CDNS[1])
+            .map(|e| e.load_time_ms)
+            .max()
+            .unwrap();
+        assert!(max < 100 * 20, "anomaly still active: max {max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_cdn_index_panics() {
+        RumGen::new(0, 10, 100).inject_cdn_slowdown(99, 2);
+    }
+}

@@ -1,0 +1,24 @@
+//! Resource manager simulation (paper §3.2 "ETL-as-a-service", §4.4).
+//!
+//! Liquid executes ETL jobs from many teams centrally, so it must
+//! guarantee per-job service levels: "the processing layer uses OS-level
+//! resource isolation, as realized by Linux containers in Apache YARN,
+//! thus restricting the memory and CPU resources of each job."
+//!
+//! This crate models exactly the mechanism the isolation experiment (E7)
+//! needs: a cluster of **nodes** with CPU/memory capacity, **containers**
+//! holding CPU quotas refilled each scheduler tick (a token bucket, the
+//! discrete analogue of cgroup CPU shares), **queues** with capacity
+//! fractions, and an isolation switch — with isolation *off*, containers
+//! draw from the node's shared pool first-come-first-served, letting a
+//! noisy neighbour starve its peers; with isolation *on*, each container
+//! is capped at its quota.
+
+pub mod manager;
+pub mod queue;
+
+pub use manager::{ContainerId, ContainerRequest, NodeId, ResourceManager, YarnError};
+pub use queue::QueueConfig;
+
+/// Result alias for resource-manager operations.
+pub type Result<T> = std::result::Result<T, YarnError>;

@@ -1,0 +1,497 @@
+//! Nodes, containers, placement and CPU accounting.
+
+use std::collections::{HashMap, VecDeque};
+
+use parking_lot::Mutex;
+
+/// Identifies a node in the cluster.
+pub type NodeId = u32;
+
+/// Identifies a container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContainerId(pub u64);
+
+/// Resources a container asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContainerRequest {
+    /// CPU work units granted per scheduler tick (cgroup share
+    /// analogue).
+    pub cpu_per_tick: u64,
+    /// Memory reservation in MB (placement constraint).
+    pub memory_mb: u64,
+}
+
+/// Errors from the resource manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum YarnError {
+    /// No node can ever satisfy the request.
+    Unsatisfiable(String),
+    /// Unknown container id.
+    UnknownContainer(ContainerId),
+    /// Unknown queue name.
+    UnknownQueue(String),
+    /// Queue capacity would be exceeded.
+    QueueFull {
+        /// The queue that is full.
+        queue: String,
+        /// CPU the queue may use in total.
+        queue_cpu_capacity: u64,
+    },
+}
+
+impl std::fmt::Display for YarnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            YarnError::Unsatisfiable(msg) => write!(f, "unsatisfiable request: {msg}"),
+            YarnError::UnknownContainer(id) => write!(f, "unknown container {id:?}"),
+            YarnError::UnknownQueue(q) => write!(f, "unknown queue {q}"),
+            YarnError::QueueFull {
+                queue,
+                queue_cpu_capacity,
+            } => write!(f, "queue {queue} full (cpu capacity {queue_cpu_capacity})"),
+        }
+    }
+}
+
+impl std::error::Error for YarnError {}
+
+#[derive(Debug)]
+struct Node {
+    cpu_per_tick: u64,
+    memory_mb: u64,
+    /// Memory reserved by placed containers.
+    memory_reserved: u64,
+    /// CPU left in the shared pool this tick.
+    cpu_pool: u64,
+}
+
+#[derive(Debug)]
+struct Container {
+    app: String,
+    queue: String,
+    node: NodeId,
+    request: ContainerRequest,
+    /// Quota remaining this tick (isolation on).
+    budget: u64,
+    /// Lifetime CPU actually consumed.
+    consumed_total: u64,
+}
+
+#[derive(Debug)]
+struct Pending {
+    app: String,
+    queue: String,
+    request: ContainerRequest,
+    id: u64,
+}
+
+struct State {
+    nodes: Vec<Node>,
+    containers: HashMap<ContainerId, Container>,
+    pending: VecDeque<Pending>,
+    queues: HashMap<String, crate::queue::QueueConfig>,
+    next_container: u64,
+    isolation: bool,
+}
+
+/// The resource manager. Internally synchronized.
+pub struct ResourceManager {
+    state: Mutex<State>,
+}
+
+impl Default for ResourceManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ResourceManager {
+    /// An empty cluster with isolation enabled and a `default` queue
+    /// owning all capacity.
+    pub fn new() -> Self {
+        let mut queues = HashMap::new();
+        queues.insert(
+            "default".to_string(),
+            crate::queue::QueueConfig {
+                name: "default".to_string(),
+                capacity_fraction: 1.0,
+            },
+        );
+        ResourceManager {
+            state: Mutex::new(State {
+                nodes: Vec::new(),
+                containers: HashMap::new(),
+                pending: VecDeque::new(),
+                queues,
+                next_container: 1,
+                isolation: true,
+            }),
+        }
+    }
+
+    /// Adds a node; returns its id.
+    pub fn add_node(&self, cpu_per_tick: u64, memory_mb: u64) -> NodeId {
+        let mut st = self.state.lock();
+        st.nodes.push(Node {
+            cpu_per_tick,
+            memory_mb,
+            memory_reserved: 0,
+            cpu_pool: cpu_per_tick,
+        });
+        (st.nodes.len() - 1) as NodeId
+    }
+
+    /// Registers a queue with a fraction of cluster CPU capacity.
+    pub fn add_queue(&self, config: crate::queue::QueueConfig) {
+        self.state.lock().queues.insert(config.name.clone(), config);
+    }
+
+    /// Enables/disables isolation enforcement (the E7 ablation switch).
+    pub fn set_isolation(&self, on: bool) {
+        self.state.lock().isolation = on;
+    }
+
+    /// Whether isolation is enforced.
+    pub fn isolation(&self) -> bool {
+        self.state.lock().isolation
+    }
+
+    /// Submits a container request to the `default` queue.
+    pub fn submit(&self, app: &str, request: ContainerRequest) -> crate::Result<ContainerId> {
+        self.submit_to_queue(app, "default", request)
+    }
+
+    /// Submits a container request to a queue. Placement is immediate if
+    /// a node fits; otherwise the request waits in the pending queue and
+    /// is retried on every [`tick`](Self::tick).
+    pub fn submit_to_queue(
+        &self,
+        app: &str,
+        queue: &str,
+        request: ContainerRequest,
+    ) -> crate::Result<ContainerId> {
+        let mut st = self.state.lock();
+        let qcfg = st
+            .queues
+            .get(queue)
+            .ok_or_else(|| YarnError::UnknownQueue(queue.to_string()))?
+            .clone();
+        // Queue capacity check: total quota of the queue's containers.
+        let cluster_cpu: u64 = st.nodes.iter().map(|n| n.cpu_per_tick).sum();
+        let queue_cap = (cluster_cpu as f64 * qcfg.capacity_fraction) as u64;
+        let queue_used: u64 = st
+            .containers
+            .values()
+            .filter(|c| c.queue == queue)
+            .map(|c| c.request.cpu_per_tick)
+            .sum();
+        if queue_used + request.cpu_per_tick > queue_cap {
+            return Err(YarnError::QueueFull {
+                queue: queue.to_string(),
+                queue_cpu_capacity: queue_cap,
+            });
+        }
+        // Any node big enough in principle?
+        if !st
+            .nodes
+            .iter()
+            .any(|n| n.memory_mb >= request.memory_mb && n.cpu_per_tick >= request.cpu_per_tick)
+        {
+            return Err(YarnError::Unsatisfiable(format!(
+                "no node can host cpu={} mem={}",
+                request.cpu_per_tick, request.memory_mb
+            )));
+        }
+        let id = st.next_container;
+        st.next_container += 1;
+        match place(&mut st, &request) {
+            Some(node) => {
+                st.containers.insert(
+                    ContainerId(id),
+                    Container {
+                        app: app.to_string(),
+                        queue: queue.to_string(),
+                        node,
+                        request,
+                        budget: request.cpu_per_tick,
+                        consumed_total: 0,
+                    },
+                );
+                Ok(ContainerId(id))
+            }
+            None => {
+                st.pending.push_back(Pending {
+                    app: app.to_string(),
+                    queue: queue.to_string(),
+                    request,
+                    id,
+                });
+                Ok(ContainerId(id))
+            }
+        }
+    }
+
+    /// Whether a container is running (placed on a node).
+    pub fn is_running(&self, id: ContainerId) -> bool {
+        self.state.lock().containers.contains_key(&id)
+    }
+
+    /// Releases a container, freeing its memory reservation and trying
+    /// pending placements.
+    pub fn release(&self, id: ContainerId) -> crate::Result<()> {
+        let mut st = self.state.lock();
+        let c = st
+            .containers
+            .remove(&id)
+            .ok_or(YarnError::UnknownContainer(id))?;
+        st.nodes[c.node as usize].memory_reserved -= c.request.memory_mb;
+        try_place_pending(&mut st);
+        Ok(())
+    }
+
+    /// Advances one scheduler tick: refills every node's shared CPU pool
+    /// and every container's quota, then retries pending placements.
+    pub fn tick(&self) {
+        let mut st = self.state.lock();
+        for n in &mut st.nodes {
+            n.cpu_pool = n.cpu_per_tick;
+        }
+        let ids: Vec<ContainerId> = st.containers.keys().copied().collect();
+        for id in ids {
+            let quota = st.containers[&id].request.cpu_per_tick;
+            st.containers.get_mut(&id).expect("exists").budget = quota;
+        }
+        try_place_pending(&mut st);
+    }
+
+    /// A container asks to burn `want` CPU units; returns how much it
+    /// was granted this tick.
+    ///
+    /// * isolation **on**: bounded by the container's remaining quota
+    ///   *and* the node's pool — a greedy container cannot exceed its
+    ///   share;
+    /// * isolation **off**: bounded only by the node pool — first come,
+    ///   first served (the misbehaving-job failure mode of §2.1/§4.4).
+    pub fn try_consume(&self, id: ContainerId, want: u64) -> crate::Result<u64> {
+        let mut st = self.state.lock();
+        let isolation = st.isolation;
+        let c = st
+            .containers
+            .get(&id)
+            .ok_or(YarnError::UnknownContainer(id))?;
+        let node = c.node as usize;
+        let cap = if isolation {
+            c.budget.min(st.nodes[node].cpu_pool)
+        } else {
+            st.nodes[node].cpu_pool
+        };
+        let granted = want.min(cap);
+        st.nodes[node].cpu_pool -= granted;
+        let c = st.containers.get_mut(&id).expect("checked above");
+        c.budget = c.budget.saturating_sub(granted);
+        c.consumed_total += granted;
+        Ok(granted)
+    }
+
+    /// Lifetime CPU consumed by a container.
+    pub fn consumed(&self, id: ContainerId) -> crate::Result<u64> {
+        let st = self.state.lock();
+        st.containers
+            .get(&id)
+            .map(|c| c.consumed_total)
+            .ok_or(YarnError::UnknownContainer(id))
+    }
+
+    /// Containers currently placed per application.
+    pub fn containers_of(&self, app: &str) -> Vec<ContainerId> {
+        let st = self.state.lock();
+        let mut v: Vec<ContainerId> = st
+            .containers
+            .iter()
+            .filter(|(_, c)| c.app == app)
+            .map(|(&id, _)| id)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Requests waiting for capacity.
+    pub fn pending_count(&self) -> usize {
+        self.state.lock().pending.len()
+    }
+
+    /// `(reserved, total)` memory on a node.
+    pub fn node_memory(&self, node: NodeId) -> (u64, u64) {
+        let st = self.state.lock();
+        let n = &st.nodes[node as usize];
+        (n.memory_reserved, n.memory_mb)
+    }
+}
+
+fn place(st: &mut State, request: &ContainerRequest) -> Option<NodeId> {
+    // Best-fit by remaining memory.
+    let mut best: Option<(usize, u64)> = None;
+    for (i, n) in st.nodes.iter().enumerate() {
+        let free = n.memory_mb.saturating_sub(n.memory_reserved);
+        if free >= request.memory_mb {
+            let leftover = free - request.memory_mb;
+            if best.is_none_or(|(_, b)| leftover < b) {
+                best = Some((i, leftover));
+            }
+        }
+    }
+    let (node, _) = best?;
+    st.nodes[node].memory_reserved += request.memory_mb;
+    Some(node as NodeId)
+}
+
+fn try_place_pending(st: &mut State) {
+    let mut remaining = VecDeque::new();
+    while let Some(p) = st.pending.pop_front() {
+        match place(st, &p.request) {
+            Some(node) => {
+                st.containers.insert(
+                    ContainerId(p.id),
+                    Container {
+                        app: p.app,
+                        queue: p.queue,
+                        node,
+                        request: p.request,
+                        budget: p.request.cpu_per_tick,
+                        consumed_total: 0,
+                    },
+                );
+            }
+            None => remaining.push_back(p),
+        }
+    }
+    st.pending = remaining;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(cpu: u64, mem: u64) -> ContainerRequest {
+        ContainerRequest {
+            cpu_per_tick: cpu,
+            memory_mb: mem,
+        }
+    }
+
+    #[test]
+    fn submit_places_on_node() {
+        let rm = ResourceManager::new();
+        rm.add_node(1000, 4096);
+        let c = rm.submit("app", req(500, 1024)).unwrap();
+        assert!(rm.is_running(c));
+        assert_eq!(rm.node_memory(0), (1024, 4096));
+    }
+
+    #[test]
+    fn unsatisfiable_rejected() {
+        let rm = ResourceManager::new();
+        rm.add_node(1000, 1024);
+        assert!(matches!(
+            rm.submit("app", req(500, 9999)),
+            Err(YarnError::Unsatisfiable(_))
+        ));
+    }
+
+    #[test]
+    fn oversubscribed_memory_queues_until_release() {
+        let rm = ResourceManager::new();
+        rm.add_node(1000, 1024);
+        let a = rm.submit("a", req(100, 800)).unwrap();
+        let b = rm.submit("b", req(100, 800)).unwrap();
+        assert!(rm.is_running(a));
+        assert!(!rm.is_running(b), "b must wait for memory");
+        assert_eq!(rm.pending_count(), 1);
+        rm.release(a).unwrap();
+        assert!(rm.is_running(b), "released memory lets b place");
+        assert_eq!(rm.pending_count(), 0);
+    }
+
+    #[test]
+    fn isolation_caps_greedy_container() {
+        let rm = ResourceManager::new();
+        rm.add_node(1000, 4096);
+        let greedy = rm.submit("noisy", req(500, 100)).unwrap();
+        let polite = rm.submit("polite", req(500, 100)).unwrap();
+        rm.tick();
+        // Greedy asks for 4x its quota but gets only its share.
+        assert_eq!(rm.try_consume(greedy, 2000).unwrap(), 500);
+        assert_eq!(rm.try_consume(polite, 500).unwrap(), 500);
+    }
+
+    #[test]
+    fn no_isolation_lets_noisy_starve_polite() {
+        let rm = ResourceManager::new();
+        rm.add_node(1000, 4096);
+        rm.set_isolation(false);
+        let greedy = rm.submit("noisy", req(500, 100)).unwrap();
+        let polite = rm.submit("polite", req(500, 100)).unwrap();
+        rm.tick();
+        assert_eq!(rm.try_consume(greedy, 2000).unwrap(), 1000, "took the node");
+        assert_eq!(rm.try_consume(polite, 500).unwrap(), 0, "starved");
+    }
+
+    #[test]
+    fn tick_refills_budgets() {
+        let rm = ResourceManager::new();
+        rm.add_node(1000, 4096);
+        let c = rm.submit("a", req(300, 100)).unwrap();
+        rm.tick();
+        assert_eq!(rm.try_consume(c, 300).unwrap(), 300);
+        assert_eq!(rm.try_consume(c, 300).unwrap(), 0, "budget exhausted");
+        rm.tick();
+        assert_eq!(rm.try_consume(c, 300).unwrap(), 300, "refilled");
+        assert_eq!(rm.consumed(c).unwrap(), 600);
+    }
+
+    #[test]
+    fn queue_capacity_enforced() {
+        let rm = ResourceManager::new();
+        rm.add_node(1000, 8192);
+        rm.add_queue(crate::queue::QueueConfig {
+            name: "analytics".to_string(),
+            capacity_fraction: 0.3,
+        });
+        let ok = rm.submit_to_queue("a", "analytics", req(300, 100));
+        assert!(ok.is_ok());
+        let too_much = rm.submit_to_queue("b", "analytics", req(100, 100));
+        assert!(matches!(too_much, Err(YarnError::QueueFull { .. })));
+        assert!(matches!(
+            rm.submit_to_queue("c", "ghost", req(1, 1)),
+            Err(YarnError::UnknownQueue(_))
+        ));
+    }
+
+    #[test]
+    fn containers_tracked_per_app() {
+        let rm = ResourceManager::new();
+        rm.add_node(1000, 8192);
+        let a1 = rm.submit("job-a", req(100, 100)).unwrap();
+        let _b = rm.submit("job-b", req(100, 100)).unwrap();
+        let a2 = rm.submit("job-a", req(100, 100)).unwrap();
+        assert_eq!(rm.containers_of("job-a"), vec![a1, a2]);
+    }
+
+    #[test]
+    fn best_fit_prefers_tighter_node() {
+        let rm = ResourceManager::new();
+        rm.add_node(1000, 10_000);
+        rm.add_node(1000, 1_000);
+        // Fits both; best-fit should pick the small node.
+        rm.submit("a", req(100, 900)).unwrap();
+        assert_eq!(rm.node_memory(1), (900, 1000));
+        assert_eq!(rm.node_memory(0), (0, 10_000));
+    }
+
+    #[test]
+    fn release_unknown_errors() {
+        let rm = ResourceManager::new();
+        assert!(rm.release(ContainerId(77)).is_err());
+        assert!(rm.try_consume(ContainerId(77), 1).is_err());
+    }
+}

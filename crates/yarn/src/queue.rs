@@ -1,0 +1,57 @@
+//! Capacity queues.
+//!
+//! Multi-tenancy (§4.5): independent teams share the cluster, each
+//! submitting to a queue owning a fraction of the total CPU. The
+//! manager rejects submissions that would push a queue past its
+//! capacity, retaining quality-of-service per application while keeping
+//! utilization high.
+
+/// A named queue owning a fraction of cluster CPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueConfig {
+    /// Queue name (teams submit to queues).
+    pub name: String,
+    /// Fraction of total cluster CPU this queue may hold (0.0–1.0].
+    pub capacity_fraction: f64,
+}
+
+impl QueueConfig {
+    /// Creates a queue config.
+    ///
+    /// # Panics
+    /// Panics if the fraction is not within (0.0, 1.0].
+    pub fn new(name: &str, capacity_fraction: f64) -> Self {
+        assert!(
+            capacity_fraction > 0.0 && capacity_fraction <= 1.0,
+            "capacity fraction out of range: {capacity_fraction}"
+        );
+        QueueConfig {
+            name: name.to_string(),
+            capacity_fraction,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_fractions_accepted() {
+        let q = QueueConfig::new("q", 0.5);
+        assert_eq!(q.capacity_fraction, 0.5);
+        QueueConfig::new("all", 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_fraction_rejected() {
+        QueueConfig::new("q", 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn over_one_rejected() {
+        QueueConfig::new("q", 1.5);
+    }
+}

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Regenerates every experiment output in results/ (E1-E10).
+# Run on an otherwise idle machine: E2/E5/E6/E9 report wall-clock numbers.
+set -euo pipefail
+cd "$(dirname "$0")"
+cargo build --release -p liquid-bench --bins
+mkdir -p results
+for e in 1 2 3 4 5 6 7 8 9 10; do
+  echo "=== E$e ==="
+  ./target/release/exp_e$e | tee "results/e$e.txt"
+done
+echo "done: results/e1.txt .. results/e10.txt"

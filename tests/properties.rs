@@ -1,0 +1,262 @@
+//! Property-based tests over core invariants.
+//!
+//! The log, the compaction pass, the LSM store and the consumer-group
+//! assignment all have crisp invariants; proptest drives them with
+//! arbitrary operation sequences.
+
+use bytes::Bytes;
+use liquid::kv::{LsmConfig, LsmStore};
+use liquid::log::{CleanupPolicy, Log, LogConfig};
+use liquid_messaging::{AssignmentStrategy, Cluster, ClusterConfig, TopicConfig};
+use liquid_sim::clock::SimClock;
+use proptest::prelude::*;
+
+fn small_log(segment_bytes: u64, compact: bool) -> Log {
+    let cfg = LogConfig {
+        segment_bytes,
+        index_interval_bytes: 128,
+        cleanup: if compact {
+            CleanupPolicy::Compact
+        } else {
+            CleanupPolicy::Delete
+        },
+        ..LogConfig::default()
+    };
+    Log::open(cfg, SimClock::new(0).shared()).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Appending N records yields offsets 0..N and reading from any
+    /// offset k returns exactly the records k..N in order.
+    #[test]
+    fn log_reads_are_contiguous_and_ordered(
+        values in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..200),
+        segment_bytes in 64u64..2048,
+    ) {
+        let mut log = small_log(segment_bytes, false);
+        for (i, v) in values.iter().enumerate() {
+            let off = log.append(None, Bytes::copy_from_slice(v)).unwrap();
+            prop_assert_eq!(off, i as u64);
+        }
+        let n = values.len() as u64;
+        for k in [0, n / 2, n.saturating_sub(1), n] {
+            let out = log.read(k, u64::MAX).unwrap();
+            prop_assert_eq!(out.records.len() as u64, n - k);
+            for (j, rec) in out.records.iter().enumerate() {
+                prop_assert_eq!(rec.offset, k + j as u64);
+                prop_assert_eq!(&rec.value[..], &values[(k as usize) + j][..]);
+            }
+        }
+    }
+
+    /// After compaction, (a) the latest value of every key survives,
+    /// (b) no stale duplicate of a key remains in sealed segments,
+    /// (c) the log-end offset is unchanged.
+    #[test]
+    fn compaction_preserves_latest_values(
+        ops in prop::collection::vec((0u8..8, prop::collection::vec(any::<u8>(), 1..16)), 1..300),
+    ) {
+        let mut log = small_log(256, true);
+        let mut expect = std::collections::HashMap::new();
+        for (key_id, value) in &ops {
+            let key = Bytes::from(format!("k{key_id}"));
+            log.append(Some(key.clone()), Bytes::copy_from_slice(value)).unwrap();
+            expect.insert(key, Bytes::copy_from_slice(value));
+        }
+        let end_before = log.next_offset();
+        log.compact().unwrap();
+        prop_assert_eq!(log.next_offset(), end_before);
+        let records = log.read(log.start_offset(), u64::MAX).unwrap().records;
+        // Latest value per key in the whole log equals expectation.
+        let mut latest = std::collections::HashMap::new();
+        for rec in &records {
+            if let Some(k) = &rec.key {
+                latest.insert(k.clone(), rec.value.clone());
+            }
+        }
+        for (k, v) in &expect {
+            prop_assert_eq!(latest.get(k), Some(v), "key {:?}", k);
+        }
+    }
+
+    /// The LSM store behaves exactly like a BTreeMap under an arbitrary
+    /// interleaving of puts, deletes, flushes and reopen-from-scratch
+    /// scans.
+    #[test]
+    fn lsm_store_matches_model(
+        ops in prop::collection::vec((0u8..4, 0u8..16, prop::collection::vec(any::<u8>(), 0..8)), 1..250),
+    ) {
+        let mut store = LsmStore::open(LsmConfig {
+            memtable_bytes: 256,
+            level_limit: 2,
+            max_levels: 3,
+            ..LsmConfig::default()
+        }).unwrap();
+        let mut model = std::collections::BTreeMap::new();
+        for (op, key_id, value) in &ops {
+            let key = format!("key-{key_id:02}");
+            match op {
+                0 | 1 => {
+                    store.put(key.clone(), value.clone()).unwrap();
+                    model.insert(key, value.clone());
+                }
+                2 => {
+                    store.delete(key.clone()).unwrap();
+                    model.remove(&key);
+                }
+                _ => store.flush().unwrap(),
+            }
+        }
+        // Point reads agree.
+        for key_id in 0u8..16 {
+            let key = format!("key-{key_id:02}");
+            let got = store.get(key.as_bytes()).map(|b| b.to_vec());
+            prop_assert_eq!(got, model.get(&key).cloned(), "key {}", key);
+        }
+        // Full scan agrees (order and content).
+        let scanned: Vec<(Vec<u8>, Vec<u8>)> = store
+            .scan_all()
+            .into_iter()
+            .map(|(k, v)| (k.to_vec(), v.to_vec()))
+            .collect();
+        let expected: Vec<(Vec<u8>, Vec<u8>)> = model
+            .iter()
+            .map(|(k, v)| (k.as_bytes().to_vec(), v.clone()))
+            .collect();
+        prop_assert_eq!(scanned, expected);
+    }
+
+    /// Consumer-group assignment is a partition of the partition set:
+    /// complete (every partition assigned) and disjoint (no partition
+    /// assigned twice), for any member count and strategy.
+    #[test]
+    fn group_assignment_is_a_partition(
+        partitions in 1u32..16,
+        members in 1usize..8,
+        round_robin in any::<bool>(),
+    ) {
+        let cluster = Cluster::new(ClusterConfig::with_brokers(1), SimClock::new(0).shared());
+        cluster.create_topic("t", TopicConfig::with_partitions(partitions)).unwrap();
+        let strategy = if round_robin {
+            AssignmentStrategy::RoundRobin
+        } else {
+            AssignmentStrategy::Range
+        };
+        for m in 0..members {
+            cluster.join_group("g", &format!("m{m}"), &["t"], strategy).unwrap();
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut total = 0;
+        for m in 0..members {
+            let a = cluster.group_assignment("g", &format!("m{m}")).unwrap();
+            for tp in &a.partitions {
+                prop_assert!(seen.insert(tp.clone()), "duplicate assignment {}", tp);
+                total += 1;
+            }
+        }
+        prop_assert_eq!(total, partitions);
+        // Balance: no member holds more than ceil(p/m)+... for range the
+        // imbalance is at most 1.
+        let max = (0..members)
+            .map(|m| cluster.group_assignment("g", &format!("m{m}")).unwrap().partitions.len())
+            .max()
+            .unwrap();
+        let min = (0..members)
+            .map(|m| cluster.group_assignment("g", &format!("m{m}")).unwrap().partitions.len())
+            .min()
+            .unwrap();
+        prop_assert!(max - min <= 1, "imbalanced: max {max} min {min}");
+    }
+
+    /// Offset-for-timestamp returns the first record with ts >= target
+    /// for arbitrary non-decreasing timestamp sequences.
+    #[test]
+    fn timestamp_lookup_finds_first_at_or_after(
+        gaps in prop::collection::vec(0u64..50, 1..100),
+        probe_idx in 0usize..100,
+    ) {
+        let mut log = small_log(256, false);
+        let mut ts = 0;
+        let mut stamps = Vec::new();
+        for g in &gaps {
+            ts += g;
+            stamps.push(ts);
+            log.append_with_timestamp(None, Bytes::from_static(b"v"), ts).unwrap();
+        }
+        let probe = stamps[probe_idx % stamps.len()];
+        let offset = log.offset_for_timestamp(probe).unwrap();
+        let expected = stamps.iter().position(|&s| s >= probe).map(|i| i as u64);
+        prop_assert_eq!(offset, expected);
+        // Probing past the end yields None.
+        prop_assert_eq!(log.offset_for_timestamp(ts + 1).unwrap(), None);
+    }
+}
+
+#[test]
+fn replication_invariant_followers_prefix_of_leader() {
+    // Deterministic but adversarial: after arbitrary kill/restart and
+    // tick sequences, every follower's log is a prefix of the leader's
+    // committed log.
+    let clock = SimClock::new(0);
+    let cluster = Cluster::new(ClusterConfig::with_brokers(3), clock.shared());
+    cluster
+        .create_topic("t", TopicConfig::with_partitions(1).replication(3))
+        .unwrap();
+    let tp = liquid_messaging::TopicPartition::new("t", 0);
+    let mut rng_state = 88172645463325252u64;
+    let mut rand = || {
+        rng_state ^= rng_state << 13;
+        rng_state ^= rng_state >> 7;
+        rng_state ^= rng_state << 17;
+        rng_state
+    };
+    let mut down: Vec<u32> = Vec::new();
+    for i in 0..500 {
+        match rand() % 10 {
+            0 if down.len() < 2 => {
+                let v = (rand() % 3) as u32;
+                if !down.contains(&v) {
+                    cluster.kill_broker(v).unwrap();
+                    down.push(v);
+                }
+            }
+            1 => {
+                if let Some(v) = down.pop() {
+                    cluster.restart_broker(v).unwrap();
+                }
+            }
+            2 | 3 => {
+                cluster.replicate_tick().unwrap();
+            }
+            _ => {
+                let _ = cluster.produce_to(
+                    &tp,
+                    None,
+                    Bytes::from(format!("m{i}")),
+                    liquid_messaging::AckLevel::Leader,
+                );
+            }
+        }
+        // Invariant: high watermark never exceeds the leader's log end.
+        if let Ok(Some(_)) = cluster.leader(&tp) {
+            let hw = cluster.latest_offset(&tp).unwrap();
+            let end = cluster.log_end_offset(&tp).unwrap();
+            assert!(hw <= end, "hw {hw} > log end {end} at step {i}");
+        }
+    }
+    // Drain: everyone back up, fully replicated.
+    for v in down {
+        cluster.restart_broker(v).unwrap();
+    }
+    cluster.replicate_tick().unwrap();
+    let isr = cluster.isr(&tp).unwrap();
+    assert_eq!(isr.len(), 3, "all replicas back in sync: {isr:?}");
+    // Committed data is readable from start to high watermark with
+    // contiguous offsets.
+    let msgs = cluster.fetch(&tp, 0, u64::MAX).unwrap();
+    for (i, m) in msgs.iter().enumerate() {
+        assert_eq!(m.offset, i as u64);
+    }
+}
