@@ -129,7 +129,10 @@ fn offset_manager_ops(c: &mut Criterion) {
         let mut offset = 0u64;
         b.iter(|| {
             offset += 1;
-            cluster.offsets().commit("g", &tp, offset, meta.clone());
+            cluster
+                .offsets()
+                .commit("g", &tp, offset, meta.clone())
+                .unwrap();
             cluster.offsets().fetch_offset("g", &tp)
         });
     });

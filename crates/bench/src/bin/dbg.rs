@@ -37,7 +37,7 @@ fn main() {
     {
         let mut job = Job::new(&cluster, JobConfig::new("stats", &["events"]), factory()).unwrap();
         job.run_until_idle(500).unwrap();
-        job.checkpoint();
+        job.checkpoint().unwrap();
     }
     println!("history job: {:?}", t.elapsed());
     for i in 0..5000u64 {
@@ -64,6 +64,6 @@ fn main() {
     let n = inc.run_until_idle(500).unwrap();
     println!("process {n}: {:?}", t.elapsed());
     let t = Instant::now();
-    inc.checkpoint();
+    inc.checkpoint().unwrap();
     println!("checkpoint: {:?}", t.elapsed());
 }

@@ -55,7 +55,7 @@ fn run(history: u64) -> (u64, u64, u64, u64) {
         )
         .unwrap();
         job.run_until_idle(500).unwrap();
-        job.checkpoint();
+        job.checkpoint().unwrap();
     }
     let delta = (history / 100).max(1);
     produce(delta, "d");
@@ -72,7 +72,7 @@ fn run(history: u64) -> (u64, u64, u64, u64) {
     )
     .unwrap();
     let inc_msgs = inc.run_until_idle(500).unwrap();
-    inc.checkpoint();
+    inc.checkpoint().unwrap();
     let inc_ns = t.elapsed().as_nanos() as u64;
 
     // Full recompute: fresh job name, start from the beginning.

@@ -189,7 +189,7 @@ pub fn run_liquid(history: u64, delta: u64, keys: u64) -> ArchReport {
     {
         let mut job = counting_job(&cluster, "liquid-counts", "v1", JobStart::Committed);
         job.run_until_idle(200).unwrap();
-        job.checkpoint();
+        job.checkpoint().unwrap();
     }
     // New delta arrives; a fresh instance processes only the delta —
     // the §4.2 incremental path.
@@ -205,7 +205,7 @@ pub fn run_liquid(history: u64, delta: u64, keys: u64) -> ArchReport {
     }
     let mut job = counting_job(&cluster, "liquid-counts", "v1", JobStart::Committed);
     let steady = job.run_until_idle(200).unwrap();
-    job.checkpoint();
+    job.checkpoint().unwrap();
     // Logic change: one code path; rewind and replay (same as Kappa),
     // but the offset manager records which offsets v1 covered.
     let mut replay = counting_job(&cluster, "liquid-counts-v2", "v2", JobStart::Earliest);

@@ -7,6 +7,7 @@ use liquid_messaging::consumer::StartPosition;
 use liquid_messaging::{Cluster, ClusterConfig, Consumer, Producer, TopicConfig, TopicPartition};
 use liquid_processing::{Job, JobConfig, StreamTask};
 use liquid_sim::clock::SharedClock;
+use liquid_sim::failure::FailureInjector;
 use liquid_yarn::{ContainerRequest, ResourceManager};
 use parking_lot::Mutex;
 
@@ -24,6 +25,9 @@ pub struct LiquidConfig {
     pub replica_lag_max: u64,
     /// Processing nodes as `(cpu_per_tick, memory_mb)`.
     pub nodes: Vec<(u64, u64)>,
+    /// Fault injector for the cluster's replication / election / offset
+    /// paths (chaos testing). Disabled by default.
+    pub injector: FailureInjector,
 }
 
 impl Default for LiquidConfig {
@@ -32,6 +36,7 @@ impl Default for LiquidConfig {
             brokers: 1,
             replica_lag_max: 0,
             nodes: vec![(1_000_000, 16_384)],
+            injector: FailureInjector::disabled(),
         }
     }
 }
@@ -61,6 +66,8 @@ pub struct FeedConfig {
     pub retention_bytes: Option<u64>,
     /// Segment roll size.
     pub segment_bytes: u64,
+    /// Fault injector threaded into every replica log of the feed.
+    pub log_injector: FailureInjector,
 }
 
 impl Default for FeedConfig {
@@ -72,6 +79,7 @@ impl Default for FeedConfig {
             retention_ms: None,
             retention_bytes: None,
             segment_bytes: 1 << 20,
+            log_injector: FailureInjector::disabled(),
         }
     }
 }
@@ -114,6 +122,7 @@ impl FeedConfig {
         if let Some(b) = self.retention_bytes {
             tc = tc.retention_bytes(b);
         }
+        tc.log.injector = self.log_injector.clone();
         tc
     }
 }
@@ -141,6 +150,7 @@ impl Liquid {
             ClusterConfig {
                 brokers: config.brokers,
                 replica_lag_max: config.replica_lag_max,
+                injector: config.injector.clone(),
                 ..ClusterConfig::default()
             },
             clock.clone(),

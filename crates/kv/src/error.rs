@@ -9,6 +9,8 @@ pub enum KvError {
     Io(io::Error),
     /// WAL or SSTable bytes failed validation.
     Corrupt(String),
+    /// A fault injector fired at the named operation (simulated crash).
+    Injected(&'static str),
 }
 
 impl std::fmt::Display for KvError {
@@ -16,6 +18,7 @@ impl std::fmt::Display for KvError {
         match self {
             KvError::Io(e) => write!(f, "kv I/O error: {e}"),
             KvError::Corrupt(msg) => write!(f, "corrupt kv data: {msg}"),
+            KvError::Injected(op) => write!(f, "injected fault at {op}"),
         }
     }
 }

@@ -12,6 +12,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use bytes::Bytes;
+use liquid_sim::failure::FailureInjector;
 
 use crate::memtable::Memtable;
 use crate::sstable::SsTable;
@@ -31,6 +32,8 @@ pub struct LsmConfig {
     pub bits_per_key: usize,
     /// Directory for WAL + SSTables; `None` = fully in-memory.
     pub dir: Option<PathBuf>,
+    /// Fault injector for WAL / flush / compaction crash points.
+    pub injector: FailureInjector,
 }
 
 impl Default for LsmConfig {
@@ -41,6 +44,7 @@ impl Default for LsmConfig {
             max_levels: 5,
             bits_per_key: 10,
             dir: None,
+            injector: FailureInjector::disabled(),
         }
     }
 }
@@ -135,6 +139,12 @@ impl LsmStore {
     /// Inserts or overwrites a key.
     pub fn put(&mut self, key: impl Into<Bytes>, value: impl Into<Bytes>) -> crate::Result<()> {
         let (key, value) = (key.into(), value.into());
+        if self.config.injector.tick() {
+            // Crash mid-write: half the frame reaches the medium, the
+            // memtable never sees the entry. Recovery drops the torn tail.
+            self.wal.append_torn(&WalOp::Put(key, value))?;
+            return Err(crate::KvError::Injected("kv.wal-append"));
+        }
         self.wal.append(&WalOp::Put(key.clone(), value.clone()))?;
         self.memtable.put(key, value);
         self.maybe_flush()
@@ -143,6 +153,10 @@ impl LsmStore {
     /// Deletes a key (writes a tombstone).
     pub fn delete(&mut self, key: impl Into<Bytes>) -> crate::Result<()> {
         let key = key.into();
+        if self.config.injector.tick() {
+            self.wal.append_torn(&WalOp::Delete(key))?;
+            return Err(crate::KvError::Injected("kv.wal-append"));
+        }
         self.wal.append(&WalOp::Delete(key.clone()))?;
         self.memtable.delete(key);
         self.maybe_flush()
@@ -208,7 +222,23 @@ impl LsmStore {
         if self.memtable.is_empty() {
             return Ok(());
         }
+        if self.config.injector.tick() {
+            // Crash before any state moves: memtable and WAL intact.
+            return Err(crate::KvError::Injected("kv.flush"));
+        }
         let entries = std::mem::take(&mut self.memtable).into_entries();
+        if self.config.injector.tick() {
+            // Crash while writing the SSTable. The WAL still holds every
+            // entry, so a restart would replay them into the memtable —
+            // emulate that by putting the entries back.
+            for (k, v) in entries {
+                match v {
+                    Some(v) => self.memtable.put(k, v),
+                    None => self.memtable.delete(k),
+                }
+            }
+            return Err(crate::KvError::Injected("kv.sst-write"));
+        }
         let id = self.next_table_id;
         self.next_table_id += 1;
         let table = SsTable::build(id, entries, self.config.bits_per_key);
@@ -254,6 +284,10 @@ impl LsmStore {
         for level in 0..self.levels.len() {
             if self.levels[level].len() <= self.config.level_limit {
                 continue;
+            }
+            if self.config.injector.tick() {
+                // Crash before the merge moves anything.
+                return Err(crate::KvError::Injected("kv.compact"));
             }
             let target = (level + 1).min(self.levels.len() - 1);
             let bottom = target == self.levels.len() - 1;

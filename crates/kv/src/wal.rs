@@ -88,6 +88,22 @@ impl Wal {
         Ok(())
     }
 
+    /// Appends only the first half of one operation's encoding,
+    /// emulating a crash mid-write. The frame fails its CRC on replay,
+    /// so recovery truncates it away. After calling this the component
+    /// must be treated as crashed: further appends would land after
+    /// unrecoverable garbage, exactly as on real hardware.
+    pub fn append_torn(&mut self, op: &WalOp) -> crate::Result<()> {
+        let entry = encode(op);
+        let keep = entry.len() / 2;
+        match &mut self.backend {
+            Backend::Mem(v) => v.extend_from_slice(&entry[..keep]),
+            Backend::File(f) => f.write_all(&entry[..keep])?,
+        }
+        self.len += keep as u64;
+        Ok(())
+    }
+
     /// Flushes buffered bytes to the medium.
     pub fn sync(&mut self) -> crate::Result<()> {
         if let Backend::File(f) = &mut self.backend {

@@ -81,7 +81,13 @@ impl Log {
         let drop_tombstones = self.compaction_generation() > 0;
 
         // Pass 2: rewrite each sealed segment keeping only survivors.
+        // A crash here leaves some segments rewritten and the generation
+        // un-bumped — exactly the state a real mid-compaction crash leaves.
+        let injector = self.config().injector.clone();
         for &base in &sealed {
+            if injector.tick() {
+                return Err(crate::LogError::Injected("log.compact"));
+            }
             let seg = &self.segments()[&base];
             let read = seg.read_from(seg.base_offset(), u64::MAX)?;
             let survivors: Vec<_> = read

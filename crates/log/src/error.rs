@@ -18,6 +18,8 @@ pub enum LogError {
     },
     /// A record failed its CRC or was structurally invalid.
     Corrupt(String),
+    /// A fault injector fired at the named operation (simulated crash).
+    Injected(&'static str),
 }
 
 impl std::fmt::Display for LogError {
@@ -30,6 +32,7 @@ impl std::fmt::Display for LogError {
                 end,
             } => write!(f, "offset {requested} out of range [{start}, {end})"),
             LogError::Corrupt(msg) => write!(f, "corrupt log data: {msg}"),
+            LogError::Injected(op) => write!(f, "injected fault at {op}"),
         }
     }
 }

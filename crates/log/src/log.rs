@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use liquid_sim::clock::{SharedClock, Ts};
+use liquid_sim::failure::FailureInjector;
 use liquid_sim::pagecache::PageCache;
 use parking_lot::Mutex;
 
@@ -53,6 +54,9 @@ pub struct LogConfig {
     pub cleanup: CleanupPolicy,
     /// Segment storage backend.
     pub storage: StorageKind,
+    /// Fault injector for append / roll / compaction crash points.
+    /// Disabled by default; cloned logs share its schedule.
+    pub injector: FailureInjector,
 }
 
 impl Default for LogConfig {
@@ -63,6 +67,7 @@ impl Default for LogConfig {
             retention: RetentionPolicy::keep_forever(),
             cleanup: CleanupPolicy::Delete,
             storage: StorageKind::Memory,
+            injector: FailureInjector::disabled(),
         }
     }
 }
@@ -180,6 +185,9 @@ impl Log {
         value: Bytes,
         timestamp: Ts,
     ) -> crate::Result<u64> {
+        if self.config.injector.tick() {
+            return Err(LogError::Injected("log.append"));
+        }
         let offset = self.next_offset();
         let record = Record {
             offset,
@@ -429,6 +437,9 @@ impl Log {
             (a.size_bytes(), a.next_offset())
         };
         if size >= self.config.segment_bytes {
+            if self.config.injector.tick() {
+                return Err(LogError::Injected("log.roll"));
+            }
             let base = self.active_base();
             self.segments.get_mut(&base).expect("active exists").seal();
             self.roll_new_segment(next)?;

@@ -22,6 +22,7 @@ use bytes::Bytes;
 use liquid_coord::{CoordService, Session};
 use liquid_log::{Log, LogError};
 use liquid_sim::clock::SharedClock;
+use liquid_sim::failure::FailureInjector;
 use parking_lot::RwLock;
 
 use crate::config::{AckLevel, TopicConfig};
@@ -39,6 +40,9 @@ pub struct ClusterConfig {
     pub replica_lag_max: u64,
     /// Coordination session timeout for brokers.
     pub session_timeout_ms: u64,
+    /// Fault injector for replication fetches, leader elections and
+    /// offset commits. Disabled by default.
+    pub injector: FailureInjector,
 }
 
 impl Default for ClusterConfig {
@@ -47,6 +51,7 @@ impl Default for ClusterConfig {
             brokers: 1,
             replica_lag_max: 0,
             session_timeout_ms: 10_000,
+            injector: FailureInjector::disabled(),
         }
     }
 }
@@ -118,8 +123,9 @@ struct PartitionState {
     leader: Option<BrokerId>,
     /// In-sync replicas (always includes the leader when one exists).
     isr: Vec<BrokerId>,
-    /// One log per assigned broker.
-    replicas: HashMap<BrokerId, Log>,
+    /// One log per assigned broker. Ordered so iteration (and therefore
+    /// fault-injector tick order) is deterministic across runs.
+    replicas: BTreeMap<BrokerId, Log>,
     /// High watermark: first offset *not* known to be on every ISR
     /// member. Consumers read strictly below this.
     high_watermark: u64,
@@ -145,7 +151,9 @@ struct TopicState {
 
 struct State {
     brokers: BTreeMap<BrokerId, BrokerState>,
-    topics: HashMap<String, TopicState>,
+    /// Ordered so per-topic iteration is deterministic (seeded chaos
+    /// runs rely on a stable injector tick order).
+    topics: BTreeMap<String, TopicState>,
 }
 
 /// Handle to the messaging cluster. Cheap to clone; all clones share the
@@ -192,6 +200,7 @@ impl Cluster {
                 },
             );
         }
+        let injector = config.injector.clone();
         Cluster {
             inner: Arc::new(Inner {
                 config,
@@ -199,10 +208,10 @@ impl Cluster {
                 coord,
                 state: RwLock::new(State {
                     brokers,
-                    topics: HashMap::new(),
+                    topics: BTreeMap::new(),
                 }),
                 stats: ClusterStats::default(),
-                offsets: OffsetManager::new(clock.clone()),
+                offsets: OffsetManager::with_injector(clock.clone(), injector),
                 groups: crate::group::GroupRegistry::default(),
                 quotas: crate::quotas::QuotaManager::new(clock),
             }),
@@ -260,7 +269,7 @@ impl Cluster {
             let assignment: Vec<BrokerId> = (0..config.replication)
                 .map(|r| broker_ids[((p + r) % broker_count) as usize])
                 .collect();
-            let mut replicas = HashMap::new();
+            let mut replicas = BTreeMap::new();
             for &b in &assignment {
                 let log_config = per_replica_log_config(&config, name, p, b);
                 let log = Log::open(log_config, self.inner.clock.clone())?;
@@ -386,6 +395,12 @@ impl Cluster {
                 for b in isr {
                     if b == leader || !brokers_online[&b] {
                         continue;
+                    }
+                    if self.inner.config.injector.tick() {
+                        // Crash mid-replication: the leader appended but
+                        // not every ISR member confirmed. The high
+                        // watermark stays put, so the record is unacked.
+                        return Err(MessagingError::Injected("replication.fetch"));
                     }
                     let copied = catch_up(ps, leader, b)?;
                     self.note_replicated(copied);
@@ -536,6 +551,11 @@ impl Cluster {
                 let ps = &mut st.topics.get_mut(topic).expect("topic exists").partitions[p];
                 let Some(leader) = ps.leader.filter(|b| online[b]) else {
                     // Try to recover leadership if a replica came back.
+                    if self.inner.config.injector.tick() {
+                        // Controller crash before the election: the
+                        // partition stays leaderless until the next tick.
+                        return Err(MessagingError::Injected("cluster.election"));
+                    }
                     if elect_leader(ps, &online) {
                         self.inner.stats.elections.fetch_add(1, Ordering::Relaxed);
                     }
@@ -548,6 +568,9 @@ impl Cluster {
                     .filter(|&b| b != leader && online[&b])
                     .collect();
                 for b in followers {
+                    if self.inner.config.injector.tick() {
+                        return Err(MessagingError::Injected("replication.fetch"));
+                    }
                     let copied = catch_up(ps, leader, b)?;
                     self.note_replicated(copied);
                     total += copied.0;
@@ -608,6 +631,13 @@ impl Cluster {
                 // ISR on the next replication tick instead.
                 if ps.leader == Some(id) {
                     ps.leader = None;
+                    if self.inner.config.injector.tick() {
+                        // Controller crash mid-failover: the broker is
+                        // already offline and its session expired, but no
+                        // new leader was chosen. The next replicate_tick
+                        // finishes the election.
+                        return Err(MessagingError::Injected("cluster.election"));
+                    }
                     if elect_leader(ps, &online) {
                         self.inner.stats.elections.fetch_add(1, Ordering::Relaxed);
                     }
@@ -621,9 +651,11 @@ impl Cluster {
         Ok(())
     }
 
-    /// Restarts a crashed broker. Its replicas truncate any divergent
-    /// suffix (records past the current leader's log end) and rejoin the
-    /// ISR once they catch up via [`replicate_tick`](Self::replicate_tick).
+    /// Restarts a crashed broker. Its replicas truncate any uncommitted
+    /// suffix (records at or past the high watermark, which may diverge
+    /// from what the current leader holds at those offsets) and rejoin
+    /// the ISR once they catch up via
+    /// [`replicate_tick`](Self::replicate_tick).
     pub fn restart_broker(&self, id: BrokerId) -> crate::Result<()> {
         let mut st = self.inner.state.write();
         if !st.brokers.contains_key(&id) {
@@ -649,24 +681,35 @@ impl Cluster {
             b.online = true;
             b.session = session;
         }
-        // Divergence repair: drop any suffix the current leader lacks.
+        // Divergence repair: drop the uncommitted suffix. Everything at
+        // or above the high watermark was never acknowledged at
+        // `AckLevel::All`, and this broker may have appended it while
+        // briefly leading before it died — a newer leader can hold
+        // *different* records at those offsets. Comparing against the
+        // current leader's log end is not enough: a diverged suffix of
+        // equal or shorter length would survive, and `catch_up` (which
+        // resumes from the follower's log end) would skip right past it,
+        // permanently leaving wrong content below the fetch point.
+        // Truncating to the high watermark is always safe because the
+        // watermark is monotone and committed records sit below it.
         let topics: Vec<String> = st.topics.keys().cloned().collect();
         for topic in &topics {
             for ps in &mut st.topics.get_mut(topic).expect("topic exists").partitions {
                 if !ps.assignment.contains(&id) {
                     continue;
                 }
-                if let Some(leader) = ps.leader {
-                    if leader != id {
-                        let leader_end = ps.log_end(leader);
-                        let own_end = ps.log_end(id);
-                        if own_end > leader_end {
-                            ps.replicas
-                                .get_mut(&id)
-                                .expect("assigned replica")
-                                .truncate_to(leader_end)?;
-                        }
-                    }
+                if ps.leader == Some(id) {
+                    // Still the leader of record (it was never deposed):
+                    // its log defines the partition's content going
+                    // forward, so the suffix stays.
+                    continue;
+                }
+                let own_end = ps.log_end(id);
+                if own_end > ps.high_watermark {
+                    ps.replicas
+                        .get_mut(&id)
+                        .expect("assigned replica")
+                        .truncate_to(ps.high_watermark)?;
                 }
             }
         }
@@ -844,14 +887,62 @@ impl Cluster {
     }
 }
 
+/// Reads the single record at exactly `offset`, or `None` when the log
+/// does not hold it (out of range, or compacted away).
+fn record_at(log: &Log, offset: u64) -> Option<liquid_log::Record> {
+    if offset < log.start_offset() || offset >= log.next_offset() {
+        return None;
+    }
+    log.read(offset, 1)
+        .ok()?
+        .records
+        .into_iter()
+        .next()
+        .filter(|r| r.offset == offset)
+}
+
 /// Copies missing records leader → follower; returns `(messages, bytes)`.
+///
+/// Before copying, the follower's tail is reconciled against the
+/// leader's content. Log-end comparisons alone cannot detect every
+/// divergence: a broker that dies holding an unacknowledged suffix
+/// stays in the ISR, and `acks=All` produces skip offline members when
+/// advancing the high watermark — so by the time the broker returns,
+/// both its log end and the watermark can sit *past* offsets where it
+/// holds different records than the current leader. Walking back from
+/// the follower's end until both logs agree (and truncating the
+/// divergent suffix) restores the prefix property that makes resuming
+/// replication from the follower's log end sound.
 fn catch_up(
     ps: &mut PartitionState,
     leader: BrokerId,
     follower: BrokerId,
 ) -> crate::Result<(u64, u64)> {
-    let from = ps.log_end(follower);
     let to = ps.log_end(leader);
+    let mut from = ps.log_end(follower).min(to);
+    while from > 0 {
+        let off = from - 1;
+        let leader_rec = record_at(&ps.replicas[&leader], off);
+        let follower_rec = record_at(&ps.replicas[&follower], off);
+        match (leader_rec, follower_rec) {
+            (Some(l), Some(f)) => {
+                if l.key == f.key && l.value == f.value && l.timestamp == f.timestamp {
+                    break;
+                }
+                from = off;
+            }
+            // A missing record on either side is a compaction hole, not
+            // divergence: compaction rewrites every replica in the same
+            // pass and only touches committed (consistent) offsets.
+            _ => break,
+        }
+    }
+    if from < ps.log_end(follower) {
+        ps.replicas
+            .get_mut(&follower)
+            .expect("follower replica")
+            .truncate_to(from)?;
+    }
     if from >= to {
         return Ok((0, 0));
     }
@@ -879,11 +970,17 @@ fn catch_up(
 /// returns whether a leader was (re-)established. Live replicas truncate
 /// divergent suffixes past the new leader's log end.
 fn elect_leader(ps: &mut PartitionState, online: &HashMap<BrokerId, bool>) -> bool {
-    let candidate = ps
-        .assignment
-        .iter()
-        .copied()
-        .find(|b| ps.isr.contains(b) && online.get(b).copied().unwrap_or(false));
+    // A leader must hold every committed record. ISR membership alone is
+    // not enough: a broker that was offline while acks=All produces went
+    // through stays in the ISR (it remains an election candidate for
+    // when it catches up) but its log ends below the high watermark —
+    // electing it would make acknowledged records unreadable and
+    // truncate them from the other replicas. Such partitions stay
+    // leaderless until a caught-up ISR member is back online.
+    let hw = ps.high_watermark;
+    let candidate = ps.assignment.iter().copied().find(|&b| {
+        ps.isr.contains(&b) && online.get(&b).copied().unwrap_or(false) && ps.log_end(b) >= hw
+    });
     match candidate {
         Some(new_leader) => {
             ps.leader = Some(new_leader);
@@ -898,8 +995,8 @@ fn elect_leader(ps: &mut PartitionState, online: &HashMap<BrokerId, bool>) -> bo
                     }
                 }
             }
-            // The new leader may not have everything the old one
-            // committed past the replicated prefix; clamp the HW.
+            // Candidates are required to reach the high watermark, so
+            // this clamp is a no-op kept as defense in depth.
             ps.high_watermark = ps.high_watermark.min(leader_end);
             true
         }
@@ -1320,5 +1417,98 @@ mod tests {
         let deleted = c.enforce_retention().unwrap();
         assert!(deleted > 0);
         assert!(c.earliest_offset(&tp).unwrap() > 0);
+    }
+
+    #[test]
+    fn election_skips_isr_members_behind_the_high_watermark() {
+        // A broker that was offline while acks=All produces were
+        // acknowledged stays in the ISR but lags the high watermark.
+        // When the leader then dies, that stale member must not win the
+        // election — doing so would clamp the HW and silently truncate
+        // acknowledged records (found by the seeded chaos harness).
+        let (c, _clock) = cluster(3);
+        c.create_topic("t", TopicConfig::with_partitions(1).replication(3))
+            .unwrap();
+        let tp = TopicPartition::new("t", 0);
+        for i in 0..5 {
+            c.produce_to(&tp, None, b(&format!("m{i}")), AckLevel::All)
+                .unwrap();
+        }
+        let leader = c.leader(&tp).unwrap().unwrap();
+        let stale = c.broker_ids().into_iter().find(|&id| id != leader).unwrap();
+        c.kill_broker(stale).unwrap();
+        // Acked with the stale member offline: HW advances without it.
+        for i in 5..10 {
+            c.produce_to(&tp, None, b(&format!("m{i}")), AckLevel::All)
+                .unwrap();
+        }
+        // Back online but not caught up (no replication tick yet), and
+        // still an ISR member — an eligible-looking but unsafe
+        // candidate.
+        c.restart_broker(stale).unwrap();
+        c.kill_broker(leader).unwrap();
+        let new_leader = c.leader(&tp).unwrap().expect("a caught-up replica leads");
+        assert_ne!(new_leader, stale, "stale ISR member must not be elected");
+        assert_eq!(
+            c.fetch(&tp, 0, u64::MAX).unwrap().len(),
+            10,
+            "every acknowledged record still committed after failover"
+        );
+    }
+
+    #[test]
+    fn returning_replica_truncates_divergent_suffix_below_the_watermark() {
+        // A leader dies holding an unacknowledged record. The new leader
+        // then commits a *different* record at that same offset while
+        // the dead broker — still an ISR member — is offline, advancing
+        // the high watermark past the divergence point. When the old
+        // leader returns, both its log end and the watermark sit past
+        // the offset where its content disagrees with the new leader's,
+        // so no end-based comparison can see the problem: replication
+        // must reconcile content and truncate the divergent suffix, or
+        // the returning replica keeps the wrong record forever and loses
+        // the committed one if it is ever re-elected (found by the
+        // seeded chaos harness).
+        let (c, _clock) = cluster(3);
+        c.create_topic("t", TopicConfig::with_partitions(1).replication(3))
+            .unwrap();
+        let tp = TopicPartition::new("t", 0);
+        for i in 0..3 {
+            c.produce_to(&tp, None, b(&format!("m{i}")), AckLevel::All)
+                .unwrap();
+        }
+        let old_leader = c.leader(&tp).unwrap().unwrap();
+        // Unacknowledged divergent record at offset 3 on the old leader
+        // only.
+        c.produce_to(&tp, None, b("orphan"), AckLevel::None)
+            .unwrap();
+        c.kill_broker(old_leader).unwrap();
+        let new_leader = c.leader(&tp).unwrap().expect("failover");
+        assert_ne!(new_leader, old_leader);
+        // The new leader commits different content at offset 3 (and
+        // more); acks=All skips the offline ISR member, so the high
+        // watermark passes the divergence point without it.
+        for i in 0..2 {
+            c.produce_to(&tp, None, b(&format!("n{i}")), AckLevel::All)
+                .unwrap();
+        }
+        c.restart_broker(old_leader).unwrap();
+        c.replicate_tick().unwrap();
+        // Fail back to the old leader: every committed record must
+        // survive, including the one at the divergence offset.
+        c.kill_broker(new_leader).unwrap();
+        c.replicate_tick().unwrap();
+        assert_eq!(c.leader(&tp).unwrap(), Some(old_leader));
+        let values: Vec<Bytes> = c
+            .fetch(&tp, 0, u64::MAX)
+            .unwrap()
+            .into_iter()
+            .map(|m| m.value)
+            .collect();
+        assert_eq!(
+            values,
+            vec![b("m0"), b("m1"), b("m2"), b("n0"), b("n1")],
+            "returning replica must serve the committed history, not its stale suffix"
+        );
     }
 }

@@ -203,10 +203,15 @@ impl Consumer {
             crate::MessagingError::Group("commit requires a group consumer".into())
         })?;
         let st = self.state.lock();
-        for (tp, &offset) in &st.positions {
+        // Sorted so the commit order (and any injected fault) is
+        // deterministic.
+        let mut positions: Vec<(&TopicPartition, u64)> =
+            st.positions.iter().map(|(tp, &o)| (tp, o)).collect();
+        positions.sort_by(|a, b| a.0.cmp(b.0));
+        for (tp, offset) in positions {
             self.cluster
                 .offsets()
-                .commit(group, tp, offset, metadata.clone());
+                .commit(group, tp, offset, metadata.clone())?;
         }
         Ok(())
     }
@@ -362,7 +367,8 @@ mod tests {
         // resume. This is the at-least-once semantics of §4.3.
         let clock = SimClock::new(0);
         let c = Cluster::new(ClusterConfig::with_brokers(1), clock.shared());
-        c.create_topic("t", TopicConfig::with_partitions(1)).unwrap();
+        c.create_topic("t", TopicConfig::with_partitions(1))
+            .unwrap();
         let tp = TopicPartition::new("t", 0);
         fill(&c, &tp, 5);
         let mut processed = Vec::new();

@@ -29,6 +29,8 @@ pub enum MessagingError {
         /// Suggested back-off before retrying (ms).
         retry_after_ms: u64,
     },
+    /// A fault injector fired at the named operation (simulated crash).
+    Injected(&'static str),
 }
 
 impl std::fmt::Display for MessagingError {
@@ -48,6 +50,7 @@ impl std::fmt::Display for MessagingError {
                 client,
                 retry_after_ms,
             } => write!(f, "client {client} throttled; retry in {retry_after_ms}ms"),
+            MessagingError::Injected(op) => write!(f, "injected fault at {op}"),
         }
     }
 }

@@ -403,10 +403,16 @@ mod tests {
     fn stale_members_evicted_and_partitions_move() {
         use liquid_sim::clock::SimClock;
         let clock = SimClock::new(0);
-        let c = Cluster::new(crate::cluster::ClusterConfig::with_brokers(1), clock.shared());
-        c.create_topic("t", TopicConfig::with_partitions(4)).unwrap();
-        c.join_group("g", "alive", &["t"], AssignmentStrategy::Range).unwrap();
-        c.join_group("g", "dead", &["t"], AssignmentStrategy::Range).unwrap();
+        let c = Cluster::new(
+            crate::cluster::ClusterConfig::with_brokers(1),
+            clock.shared(),
+        );
+        c.create_topic("t", TopicConfig::with_partitions(4))
+            .unwrap();
+        c.join_group("g", "alive", &["t"], AssignmentStrategy::Range)
+            .unwrap();
+        c.join_group("g", "dead", &["t"], AssignmentStrategy::Range)
+            .unwrap();
         clock.advance(5_000);
         c.heartbeat_group("g", "alive").unwrap();
         clock.advance(6_000);
@@ -422,7 +428,8 @@ mod tests {
     #[test]
     fn heartbeat_requires_membership() {
         let c = setup();
-        c.join_group("g", "m", &["a"], AssignmentStrategy::Range).unwrap();
+        c.join_group("g", "m", &["a"], AssignmentStrategy::Range)
+            .unwrap();
         assert!(c.heartbeat_group("g", "m").is_ok());
         assert!(c.heartbeat_group("g", "ghost").is_err());
         assert!(c.heartbeat_group("nope", "m").is_err());

@@ -18,6 +18,7 @@ use std::collections::{BTreeMap, HashMap};
 use bytes::Bytes;
 use liquid_log::{CleanupPolicy, Log, LogConfig};
 use liquid_sim::clock::{SharedClock, Ts};
+use liquid_sim::failure::FailureInjector;
 use parking_lot::Mutex;
 
 use crate::ids::TopicPartition;
@@ -38,6 +39,7 @@ pub struct OffsetCommit {
 pub struct OffsetManager {
     inner: Mutex<Inner>,
     clock: SharedClock,
+    injector: FailureInjector,
 }
 
 struct Inner {
@@ -54,6 +56,12 @@ impl OffsetManager {
     /// Creates an offset manager with an in-memory compacted backing
     /// log.
     pub fn new(clock: SharedClock) -> Self {
+        OffsetManager::with_injector(clock, FailureInjector::disabled())
+    }
+
+    /// Like [`new`](Self::new) but with a fault injector on the commit
+    /// path (chaos testing).
+    pub fn with_injector(clock: SharedClock, injector: FailureInjector) -> Self {
         let cfg = LogConfig {
             cleanup: CleanupPolicy::Compact,
             segment_bytes: 64 * 1024,
@@ -66,6 +74,7 @@ impl OffsetManager {
                 history: HashMap::new(),
             }),
             clock,
+            injector,
         }
     }
 
@@ -76,7 +85,12 @@ impl OffsetManager {
         tp: &TopicPartition,
         offset: u64,
         metadata: BTreeMap<String, String>,
-    ) {
+    ) -> crate::Result<()> {
+        if self.injector.tick() {
+            // Crash before the commit reaches the backing log: the
+            // consumer resumes from its previous checkpoint.
+            return Err(crate::MessagingError::Injected("offsets.commit"));
+        }
         let commit = OffsetCommit {
             offset,
             committed_at: self.clock.now(),
@@ -85,10 +99,7 @@ impl OffsetManager {
         let mut inner = self.inner.lock();
         let key = commit_key(group, tp);
         let value = encode_commit(&commit);
-        inner
-            .log
-            .append(Some(key), value)
-            .expect("offset log append");
+        inner.log.append(Some(key), value)?;
         let map_key = (group.to_string(), tp.clone());
         inner
             .history
@@ -96,6 +107,7 @@ impl OffsetManager {
             .or_default()
             .push(commit.clone());
         inner.index.insert(map_key, commit);
+        Ok(())
     }
 
     /// Latest commit for `(group, tp)`, if any.
@@ -273,7 +285,7 @@ mod tests {
         let (m, _) = mgr();
         let tp = TopicPartition::new("t", 0);
         assert_eq!(m.fetch("g", &tp), None);
-        m.commit("g", &tp, 42, meta(&[("version", "v1")]));
+        m.commit("g", &tp, 42, meta(&[("version", "v1")])).unwrap();
         let c = m.fetch("g", &tp).unwrap();
         assert_eq!(c.offset, 42);
         assert_eq!(c.metadata["version"], "v1");
@@ -284,9 +296,9 @@ mod tests {
     fn latest_commit_wins() {
         let (m, clock) = mgr();
         let tp = TopicPartition::new("t", 0);
-        m.commit("g", &tp, 10, meta(&[]));
+        m.commit("g", &tp, 10, meta(&[])).unwrap();
         clock.advance(5);
-        m.commit("g", &tp, 20, meta(&[]));
+        m.commit("g", &tp, 20, meta(&[])).unwrap();
         let c = m.fetch("g", &tp).unwrap();
         assert_eq!(c.offset, 20);
         assert_eq!(c.committed_at, 5);
@@ -296,8 +308,8 @@ mod tests {
     fn groups_are_isolated() {
         let (m, _) = mgr();
         let tp = TopicPartition::new("t", 0);
-        m.commit("g1", &tp, 1, meta(&[]));
-        m.commit("g2", &tp, 2, meta(&[]));
+        m.commit("g1", &tp, 1, meta(&[])).unwrap();
+        m.commit("g2", &tp, 2, meta(&[])).unwrap();
         assert_eq!(m.fetch_offset("g1", &tp), Some(1));
         assert_eq!(m.fetch_offset("g2", &tp), Some(2));
         assert_eq!(m.groups(), vec!["g1", "g2"]);
@@ -306,8 +318,10 @@ mod tests {
     #[test]
     fn partitions_are_isolated() {
         let (m, _) = mgr();
-        m.commit("g", &TopicPartition::new("t", 0), 5, meta(&[]));
-        m.commit("g", &TopicPartition::new("t", 1), 9, meta(&[]));
+        m.commit("g", &TopicPartition::new("t", 0), 5, meta(&[]))
+            .unwrap();
+        m.commit("g", &TopicPartition::new("t", 1), 9, meta(&[]))
+            .unwrap();
         assert_eq!(m.fetch_offset("g", &TopicPartition::new("t", 0)), Some(5));
         assert_eq!(m.fetch_offset("g", &TopicPartition::new("t", 1)), Some(9));
     }
@@ -318,9 +332,9 @@ mod tests {
         // re-process from there with the new algorithm.
         let (m, _) = mgr();
         let tp = TopicPartition::new("t", 0);
-        m.commit("job", &tp, 100, meta(&[("sw", "v1")]));
-        m.commit("job", &tp, 200, meta(&[("sw", "v1")]));
-        m.commit("job", &tp, 300, meta(&[("sw", "v2")]));
+        m.commit("job", &tp, 100, meta(&[("sw", "v1")])).unwrap();
+        m.commit("job", &tp, 200, meta(&[("sw", "v1")])).unwrap();
+        m.commit("job", &tp, 300, meta(&[("sw", "v2")])).unwrap();
         let last_v1 = m.last_commit_with("job", &tp, "sw", "v1").unwrap();
         assert_eq!(last_v1.offset, 200);
         assert_eq!(m.last_commit_with("job", &tp, "sw", "v3"), None);
@@ -331,8 +345,8 @@ mod tests {
     fn index_recovers_from_backing_log() {
         let (m, _) = mgr();
         let tp = TopicPartition::new("t", 3);
-        m.commit("g", &tp, 7, meta(&[("a", "b")]));
-        m.commit("g", &tp, 8, meta(&[("a", "c")]));
+        m.commit("g", &tp, 7, meta(&[("a", "b")])).unwrap();
+        m.commit("g", &tp, 8, meta(&[("a", "c")])).unwrap();
         let n = m.recover_index_from_log();
         assert_eq!(n, 1);
         let c = m.fetch("g", &tp).unwrap();
@@ -346,7 +360,8 @@ mod tests {
         let tp = TopicPartition::new("t", 0);
         // Enough commits to roll segments (64 KiB each).
         for i in 0..5000 {
-            m.commit("g", &tp, i, meta(&[("pad", "xxxxxxxxxxxxxxxx")]));
+            m.commit("g", &tp, i, meta(&[("pad", "xxxxxxxxxxxxxxxx")]))
+                .unwrap();
         }
         let before = m.backing_log_bytes();
         let ratio = m.compact_backing_log();

@@ -357,7 +357,8 @@ mod tests {
         // Unidentified clients are unaffected.
         let free = Producer::new(&c, "t").unwrap();
         for _ in 0..20 {
-            free.send_value("0123456789012345678901234567890123456789").unwrap();
+            free.send_value("0123456789012345678901234567890123456789")
+                .unwrap();
         }
     }
 

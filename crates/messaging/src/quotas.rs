@@ -134,7 +134,10 @@ mod tests {
 
     fn mgr() -> (QuotaManager, SimClock) {
         let clock = SimClock::new(0);
-        (QuotaManager::new(clock.shared()).with_window_ms(1_000), clock)
+        (
+            QuotaManager::new(clock.shared()).with_window_ms(1_000),
+            clock,
+        )
     }
 
     #[test]

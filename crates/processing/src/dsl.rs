@@ -391,7 +391,7 @@ mod tests {
                 .into_job(&c, "durable")
                 .unwrap();
             job.run_until_idle(5).unwrap();
-            job.checkpoint();
+            job.checkpoint().unwrap();
         }
         feed(&c, "in", &[("k", "3")]);
         let mut job2 = Stream::from("in")

@@ -11,6 +11,8 @@ pub enum ProcessingError {
     Task(String),
     /// Job configuration is invalid.
     InvalidConfig(String),
+    /// A fault injector fired at the named operation (simulated crash).
+    Injected(&'static str),
 }
 
 impl std::fmt::Display for ProcessingError {
@@ -20,6 +22,7 @@ impl std::fmt::Display for ProcessingError {
             ProcessingError::State(e) => write!(f, "state store error: {e}"),
             ProcessingError::Task(msg) => write!(f, "task error: {msg}"),
             ProcessingError::InvalidConfig(msg) => write!(f, "invalid job config: {msg}"),
+            ProcessingError::Injected(op) => write!(f, "injected fault at {op}"),
         }
     }
 }

@@ -9,7 +9,9 @@
 
 use std::collections::{BTreeMap, HashMap};
 
+use liquid_kv::LsmConfig;
 use liquid_messaging::{AckLevel, Cluster, TopicConfig, TopicPartition};
+use liquid_sim::failure::FailureInjector;
 
 use crate::error::ProcessingError;
 use crate::state::StateStore;
@@ -51,6 +53,10 @@ pub struct JobConfig {
     /// any other input is touched — e.g. a table feed that must be
     /// materialized before the stream side probes it.
     pub bootstrap: Vec<String>,
+    /// Fault injector for checkpoint / changelog-restore crash points.
+    pub injector: FailureInjector,
+    /// Fault injector threaded into every task's state store.
+    pub state_injector: FailureInjector,
 }
 
 impl JobConfig {
@@ -66,6 +72,8 @@ impl JobConfig {
             start: JobStart::Committed,
             fetch_bytes: 1 << 20,
             bootstrap: Vec::new(),
+            injector: FailureInjector::disabled(),
+            state_injector: FailureInjector::disabled(),
         }
     }
 
@@ -164,14 +172,23 @@ impl Job {
         let mut restored_records = 0;
         for p in 0..partitions {
             let mut store = if config.stateful {
-                StateStore::with_changelog(
+                StateStore::with_changelog_config(
                     cluster.clone(),
                     TopicPartition::new(config.changelog_topic(), p),
+                    LsmConfig {
+                        injector: config.state_injector.clone(),
+                        ..LsmConfig::default()
+                    },
                 )
             } else {
                 StateStore::ephemeral()
             };
             if config.stateful {
+                if config.injector.tick() {
+                    // Crash before replaying the changelog: no state was
+                    // restored, the job instance never came up.
+                    return Err(ProcessingError::Injected("task.restore"));
+                }
                 restored_records += store.restore_from_changelog()?;
             }
             let mut positions = HashMap::new();
@@ -247,12 +264,10 @@ impl Job {
     pub fn run_once_limited(&mut self, max_messages_per_task: u64) -> crate::Result<u64> {
         let mut processed = 0;
         let checkpoint_every = self.config.checkpoint_every;
-        let group = self.config.checkpoint_group();
-        let version = self.config.version.clone();
         for t in &mut self.tasks {
             processed += run_task_once(&self.cluster, &self.config, t, max_messages_per_task)?;
             if checkpoint_every > 0 && t.since_checkpoint >= checkpoint_every {
-                checkpoint_task(&self.cluster, &group, &version, t);
+                checkpoint_task(&self.cluster, &self.config, t)?;
             }
         }
         self.processed_total += processed;
@@ -283,12 +298,10 @@ impl Job {
             processed += r?;
         }
         let checkpoint_every = self.config.checkpoint_every;
-        let group = self.config.checkpoint_group();
-        let version = self.config.version.clone();
         if checkpoint_every > 0 {
             for t in &mut self.tasks {
                 if t.since_checkpoint >= checkpoint_every {
-                    checkpoint_task(&self.cluster, &group, &version, t);
+                    checkpoint_task(&self.cluster, &self.config, t)?;
                 }
             }
         }
@@ -326,12 +339,11 @@ impl Job {
 
     /// Commits every task's positions to the offset manager, annotated
     /// with the job's software version.
-    pub fn checkpoint(&mut self) {
-        let group = self.config.checkpoint_group();
-        let version = self.config.version.clone();
+    pub fn checkpoint(&mut self) -> crate::Result<()> {
         for t in &mut self.tasks {
-            checkpoint_task(&self.cluster, &group, &version, t);
+            checkpoint_task(&self.cluster, &self.config, t)?;
         }
+        Ok(())
     }
 
     /// Total unprocessed messages across all tasks (consumer lag).
@@ -415,23 +427,37 @@ fn run_task_once(
             processed += 1;
         }
         if is_bootstrap {
-            bootstrap_lag += cluster
-                .latest_offset(&tp)?
-                .saturating_sub(t.positions[&tp]);
+            bootstrap_lag += cluster.latest_offset(&tp)?.saturating_sub(t.positions[&tp]);
         }
     }
     Ok(processed)
 }
 
-fn checkpoint_task(cluster: &Cluster, group: &str, version: &str, t: &mut TaskInstance) {
+fn checkpoint_task(
+    cluster: &Cluster,
+    config: &JobConfig,
+    t: &mut TaskInstance,
+) -> crate::Result<()> {
+    if config.injector.tick() {
+        // Crash before any position is committed: on restart the task
+        // re-reads from its previous checkpoint (at-least-once).
+        return Err(ProcessingError::Injected("task.checkpoint"));
+    }
+    let group = config.checkpoint_group();
     let mut metadata = BTreeMap::new();
-    metadata.insert("version".to_string(), version.to_string());
-    for (tp, &offset) in &t.positions {
+    metadata.insert("version".to_string(), config.version.clone());
+    // Sorted so a fault injected mid-checkpoint hits a deterministic
+    // partial prefix of commits (still at-least-once on restart).
+    let mut positions: Vec<(&TopicPartition, u64)> =
+        t.positions.iter().map(|(tp, &o)| (tp, o)).collect();
+    positions.sort_by(|a, b| a.0.cmp(b.0));
+    for (tp, offset) in positions {
         cluster
             .offsets()
-            .commit(group, tp, offset, metadata.clone());
+            .commit(&group, tp, offset, metadata.clone())?;
     }
     t.since_checkpoint = 0;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -515,7 +541,7 @@ mod tests {
         {
             let mut job = counting_job(&c, "stats");
             job.run_until_idle(10).unwrap();
-            job.checkpoint();
+            job.checkpoint().unwrap();
         }
         // New data arrives; a fresh instance must only process the delta.
         fill(&c, "in", 0, 7);
@@ -533,7 +559,7 @@ mod tests {
         {
             let mut job = counting_job(&c, "agg");
             job.run_until_idle(10).unwrap();
-            job.checkpoint();
+            job.checkpoint().unwrap();
             // Crash: instance dropped, local stores lost.
         }
         let mut job2 = counting_job(&c, "agg");
@@ -591,7 +617,7 @@ mod tests {
         )
         .unwrap();
         job.run_until_idle(10).unwrap();
-        job.checkpoint();
+        job.checkpoint().unwrap();
         let commit = c
             .offsets()
             .fetch("job-versioned", &TopicPartition::new("in", 0))
@@ -607,7 +633,7 @@ mod tests {
         {
             let mut job = counting_job(&c, "re");
             job.run_until_idle(10).unwrap();
-            job.checkpoint();
+            job.checkpoint().unwrap();
         }
         // Kappa-style: reprocess everything with a new version.
         let mut job2 = Job::new(

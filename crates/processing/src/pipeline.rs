@@ -81,10 +81,11 @@ impl Pipeline {
     }
 
     /// Checkpoints every stage.
-    pub fn checkpoint(&mut self) {
+    pub fn checkpoint(&mut self) -> crate::Result<()> {
         for s in &mut self.stages {
-            s.job.checkpoint();
+            s.job.checkpoint()?;
         }
+        Ok(())
     }
 
     /// Access a stage's job by name.

@@ -35,8 +35,18 @@ impl StateStore {
     /// A store mirrored to `changelog_tp`, which should belong to a
     /// compacted topic.
     pub fn with_changelog(cluster: Cluster, changelog_tp: TopicPartition) -> Self {
+        StateStore::with_changelog_config(cluster, changelog_tp, LsmConfig::default())
+    }
+
+    /// Like [`with_changelog`](Self::with_changelog) with explicit store
+    /// tuning — used by jobs to thread a fault injector into task state.
+    pub fn with_changelog_config(
+        cluster: Cluster,
+        changelog_tp: TopicPartition,
+        config: LsmConfig,
+    ) -> Self {
         StateStore {
-            store: LsmStore::open(LsmConfig::default()).expect("in-memory store"),
+            store: LsmStore::open(config).expect("in-memory store"),
             changelog: Some((cluster, changelog_tp)),
             writes: 0,
         }

@@ -153,4 +153,67 @@ mod tests {
     fn rejects_bad_probability() {
         FailureInjector::new(0).set_probability(1.5);
     }
+
+    #[test]
+    fn probability_zero_never_fires() {
+        let f = FailureInjector::new(7);
+        f.set_probability(0.0);
+        for _ in 0..1000 {
+            assert!(!f.tick());
+        }
+        assert_eq!(f.failures(), 0);
+        assert_eq!(f.operations(), 1000);
+    }
+
+    #[test]
+    fn probability_one_always_fires() {
+        let f = FailureInjector::new(7);
+        f.set_probability(1.0);
+        for _ in 0..1000 {
+            assert!(f.tick());
+        }
+        assert_eq!(f.failures(), 1000);
+    }
+
+    #[test]
+    fn fail_at_one_fires_on_next_tick() {
+        // fail_at is 1-based: fail_at(1) means "the very next tick".
+        let f = FailureInjector::new(0);
+        f.fail_at(1);
+        assert!(f.tick());
+        assert!(!f.tick());
+    }
+
+    #[test]
+    fn multiple_schedules_fire_independently() {
+        let f = FailureInjector::new(0);
+        f.fail_at(2);
+        f.fail_at(4);
+        let fired: Vec<bool> = (0..5).map(|_| f.tick()).collect();
+        assert_eq!(fired, vec![false, true, false, true, false]);
+        assert_eq!(f.failures(), 2);
+        assert_eq!(f.operations(), 5);
+    }
+
+    #[test]
+    fn fired_accounting_counts_schedule_and_probability() {
+        let f = FailureInjector::new(3);
+        f.fail_at(1);
+        assert!(f.tick());
+        f.set_probability(1.0);
+        assert!(f.tick());
+        assert_eq!(f.failures(), 2);
+    }
+
+    #[test]
+    fn same_seed_same_probabilistic_stream() {
+        let a = FailureInjector::new(99);
+        let b = FailureInjector::new(99);
+        a.set_probability(0.5);
+        b.set_probability(0.5);
+        for _ in 0..1000 {
+            assert_eq!(a.tick(), b.tick());
+        }
+        assert_eq!(a.failures(), b.failures());
+    }
 }

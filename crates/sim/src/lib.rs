@@ -15,9 +15,12 @@
 //!   cost, and sequential access triggers prefetching.
 //! * [`disk`] — a simple disk cost model (seek latency + transfer rate).
 //! * [`failure`] — deterministic and probabilistic failure injection.
+//! * [`chaos`] — seeded chaos plans: reproducible operation/fault
+//!   interleavings interpreted by the integration-level chaos harness.
 //! * [`stats`] — counters and log-bucketed latency histograms used by the
 //!   benchmark harness.
 
+pub mod chaos;
 pub mod clock;
 pub mod disk;
 pub mod failure;

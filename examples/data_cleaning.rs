@@ -73,7 +73,7 @@ fn main() -> liquid::Result<()> {
         cleaner("v1", "profiles-clean"),
     )?;
     let cleaned_v1 = liquid.run_until_idle(100)?;
-    liquid.with_job(v1, |mj| mj.job_mut().checkpoint())?;
+    liquid.with_job(v1, |mj| mj.job_mut().checkpoint().unwrap())?;
     println!("v1 cleaned {cleaned_v1} updates (nearline path)");
 
     // New content keeps arriving; v1 handles just the delta.
@@ -81,7 +81,7 @@ fn main() -> liquid::Result<()> {
         producer.send(Some(u.key()), u.encode())?;
     }
     let delta = liquid.run_until_idle(100)?;
-    liquid.with_job(v1, |mj| mj.job_mut().checkpoint())?;
+    liquid.with_job(v1, |mj| mj.job_mut().checkpoint().unwrap())?;
     println!("v1 cleaned {delta} new updates incrementally");
     assert_eq!(delta, 500);
 

@@ -100,9 +100,18 @@ fn main() -> liquid::Result<()> {
             })
             .sum()
     };
-    println!("clean feed:        {} records (garbage dropped)", count("clean"));
-    println!("actions-per-user:  {} running-count updates", count("actions-per-user"));
-    println!("page-views:        {} view-count updates", count("page-views"));
+    println!(
+        "clean feed:        {} records (garbage dropped)",
+        count("clean")
+    );
+    println!(
+        "actions-per-user:  {} running-count updates",
+        count("actions-per-user")
+    );
+    println!(
+        "page-views:        {} view-count updates",
+        count("page-views")
+    );
     assert_eq!(count("clean"), 10_000);
     assert_eq!(count("actions-per-user"), 10_000);
     assert!(count("page-views") > 0 && count("page-views") < 10_000);
@@ -114,11 +123,7 @@ fn main() -> liquid::Result<()> {
             for (k, v) in store.range(Some(b"dsl|count|"), Some(b"dsl|count~")) {
                 let key = String::from_utf8_lossy(&k[b"dsl|count|".len()..]).to_string();
                 // Counters are stored as u64 little-endian.
-                let n = v
-                    .as_ref()
-                    .try_into()
-                    .map(u64::from_le_bytes)
-                    .unwrap_or(0);
+                let n = v.as_ref().try_into().map(u64::from_le_bytes).unwrap_or(0);
                 tops.push((key, n));
             }
         }

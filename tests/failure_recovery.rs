@@ -95,7 +95,7 @@ fn failed_task_resumes_at_least_once_with_state_intact() {
         // Process 60, checkpoint, process 40 more, crash without
         // checkpointing them.
         job.run_once_limited(60).unwrap();
-        job.checkpoint();
+        job.checkpoint().unwrap();
         job.run_once_limited(40).unwrap();
         counted_after_crash = job.state(0).unwrap().get_counter(b"n");
         assert_eq!(counted_after_crash, 100);
@@ -190,7 +190,7 @@ fn changelog_compaction_speeds_recovery_after_crash() {
         })
         .unwrap();
         job.run_until_idle(20).unwrap();
-        job.checkpoint();
+        job.checkpoint().unwrap();
     }
     // Recovery without compaction replays every update.
     let job_uncompacted = Job::new(&cluster, make(), |_| {

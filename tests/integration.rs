@@ -180,7 +180,7 @@ fn windowed_aggregation_survives_job_restart() {
     {
         let mut job = Job::new(&cluster, JobConfig::new("agg", &["rum"]), |_| make_task()).unwrap();
         job.run_until_idle(50).unwrap();
-        job.checkpoint();
+        job.checkpoint().unwrap();
         assert!(job.total_state_keys() > 0);
     }
     // Second instance restores from the changelog.
@@ -298,7 +298,7 @@ fn offset_manager_annotations_drive_version_aware_resume() {
         })
         .unwrap();
         job.run_until_idle(20).unwrap();
-        job.checkpoint();
+        job.checkpoint().unwrap();
     }
     for i in 0..10 {
         producer.send_value(format!("late{i}")).unwrap();
@@ -309,7 +309,7 @@ fn offset_manager_annotations_drive_version_aware_resume() {
         })
         .unwrap();
         assert_eq!(job.run_until_idle(20).unwrap(), 10);
-        job.checkpoint();
+        job.checkpoint().unwrap();
     }
     let tp = TopicPartition::new("in", 0);
     let offsets = cluster.offsets();

@@ -81,6 +81,96 @@ proptest! {
         }
     }
 
+    /// Compaction with tombstones, for any interleaving of puts and
+    /// deletes: (a) after one pass every deleted key still shows its
+    /// tombstone as the newest record (lagging consumers observe the
+    /// deletion); (b) after two passes live keys serve exactly their
+    /// latest value and deleted keys never resurrect a stale one;
+    /// (c) offsets and the log end survive, and a third pass is a
+    /// fixed point.
+    #[test]
+    fn compaction_is_exact_latest_per_key_with_tombstones(
+        ops in prop::collection::vec(
+            (0u8..6, prop::collection::vec(any::<u8>(), 0..12)),
+            1..300,
+        ),
+    ) {
+        let mut log = small_log(128, true);
+        let mut model: std::collections::BTreeMap<Bytes, Option<Vec<u8>>> = Default::default();
+        for (key_id, value) in &ops {
+            let key = Bytes::from(format!("k{key_id}"));
+            // An empty value is a tombstone: it deletes the key.
+            log.append(Some(key.clone()), Bytes::copy_from_slice(value)).unwrap();
+            model.insert(
+                key,
+                if value.is_empty() { None } else { Some(value.clone()) },
+            );
+        }
+        let end_before = log.next_offset();
+        let offsets_before: std::collections::BTreeSet<u64> = log
+            .read(0, u64::MAX).unwrap().records.iter().map(|r| r.offset).collect();
+        // Newest readable record per key: (value, is_tombstone).
+        let latest_view = |log: &Log| {
+            let mut latest = std::collections::BTreeMap::new();
+            for rec in log.read(log.start_offset(), u64::MAX).unwrap().records {
+                if let Some(k) = rec.key.clone() {
+                    latest.insert(k, (rec.value.to_vec(), rec.is_tombstone()));
+                }
+            }
+            latest
+        };
+
+        log.compact().unwrap();
+        let after_first = latest_view(&log);
+        for (key, state) in &model {
+            match state {
+                Some(v) => {
+                    let (got, tomb) = &after_first[key];
+                    prop_assert!(!tomb, "live key {:?} shows a tombstone", key);
+                    prop_assert_eq!(got, v, "stale value for {:?} after first pass", key);
+                }
+                None => {
+                    let (_, tomb) = after_first
+                        .get(key)
+                        .unwrap_or_else(|| panic!("tombstone for {key:?} dropped too early"));
+                    prop_assert!(tomb, "deleted key {:?} resurrected after first pass", key);
+                }
+            }
+        }
+
+        log.compact().unwrap();
+        prop_assert_eq!(log.next_offset(), end_before, "log end moved");
+        let offsets_after: std::collections::BTreeSet<u64> = log
+            .read(log.start_offset(), u64::MAX).unwrap().records.iter().map(|r| r.offset).collect();
+        prop_assert!(
+            offsets_after.is_subset(&offsets_before),
+            "compaction invented offsets"
+        );
+        let after_second = latest_view(&log);
+        for (key, state) in &model {
+            match state {
+                Some(v) => {
+                    let (got, tomb) = &after_second[key];
+                    prop_assert!(!tomb);
+                    prop_assert_eq!(got, v, "stale value for {:?} after second pass", key);
+                }
+                None => {
+                    // The tombstone may linger (active segment is never
+                    // compacted) but a stale value must never resurface.
+                    if let Some((_, tomb)) = after_second.get(key) {
+                        prop_assert!(tomb, "deleted key {:?} resurrected", key);
+                    }
+                }
+            }
+        }
+
+        // Once tombstone dropping has stabilised, compaction is a
+        // fixed point.
+        let stats = log.compact().unwrap();
+        prop_assert_eq!(stats.records_before, stats.records_after);
+        prop_assert_eq!(stats.tombstones_removed, 0);
+    }
+
     /// The LSM store behaves exactly like a BTreeMap under an arbitrary
     /// interleaving of puts, deletes, flushes and reopen-from-scratch
     /// scans.

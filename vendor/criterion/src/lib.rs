@@ -1,0 +1,321 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`Throughput`], [`BenchmarkId`],
+//! [`BatchSize`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros — measuring with plain wall-clock timing and printing a
+//! one-line mean per benchmark. No statistics, plots, or comparisons:
+//! just enough for `cargo bench` to run and report.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, criterion's optimizer barrier.
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u64 = 3;
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with a fresh `setup()` input per iteration;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// How much setup data `iter_batched` keeps alive at once. The
+/// stand-in always sets up one input per iteration, so this only
+/// exists for API compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Units processed per iteration, used to report a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter (the group supplies the name).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a [`BenchmarkId`], so benches can pass plain
+/// strings where the real crate accepts them.
+pub trait IntoBenchmarkId {
+    /// Converts into an id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Accepts CLI args in the real crate; a no-op here.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Overrides the iteration count used per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&id.into_benchmark_id().id, self.sample_size, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Prints the final report in the real crate; a no-op here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the iteration count for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Sets the measurement time; accepted for API compatibility.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up time; accepted for API compatibility.
+    pub fn warm_up_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declares the units processed per iteration for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        run_one(&id, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.id);
+        run_one(&id, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    id: &str,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        iters: sample_size.max(1),
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+    let mut line = format!("bench {id:<50} {:>12.0} ns/iter", per_iter);
+    if let Some(tp) = throughput {
+        let (units, label) = match tp {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        if per_iter > 0.0 {
+            let rate = units as f64 / (per_iter / 1e9);
+            let _ = write!(line, "  {rate:>14.0} {label}");
+        }
+    }
+    println!("{line}");
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("addition", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        let mut group = c.benchmark_group("grouped");
+        group.sample_size(5);
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![3u8; 64],
+                |v| v.into_iter().map(u64::from).sum::<u64>(),
+                BatchSize::LargeInput,
+            )
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_all_shapes() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+        assert_eq!("plain".into_benchmark_id().id, "plain");
+    }
+}
