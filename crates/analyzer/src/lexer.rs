@@ -1,0 +1,548 @@
+//! A small hand-rolled token-level Rust lexer.
+//!
+//! The build environment has no network registry, so the analyzer
+//! cannot depend on `syn`/`proc-macro2`. The lints here only need a
+//! faithful token stream — identifiers, literals, punctuation — with
+//! comments and strings handled correctly (a `panic!` inside a string
+//! literal or a doc comment must not trip a lint). Parsing stays
+//! token-level; structure (items, bodies, `#[cfg(test)]` regions) is
+//! recovered by brace matching in the lint framework.
+
+/// What a token is. Text is carried alongside in [`Token::text`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `self`, …).
+    Ident,
+    /// Lifetime (`'a`, `'static`). The leading `'` is included.
+    Lifetime,
+    /// String literal of any flavour: `"…"`, `r"…"`, `r#"…"#`, `b"…"`,
+    /// `br#"…"#`. [`Token::text`] is the *unquoted* content.
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Numeric literal (integer or float, any base/suffix).
+    Number,
+    /// A single punctuation character (`.`, `!`, `#`, `(`, `{`, …).
+    /// Multi-character operators arrive as consecutive tokens.
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Token text. For [`TokenKind::Str`] this is the content between
+    /// the quotes (escapes left as written); for everything else it is
+    /// the raw source text.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+
+    /// Whether this token is the identifier/keyword `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+}
+
+/// A `// lint:allow(<lint>, reason=<free text>)` escape hatch found in
+/// a comment. It silences `<lint>` findings on its own line and on the
+/// line directly below it (so it can sit on the offending line or
+/// immediately above it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowDirective {
+    /// Lint name being allowed (e.g. `unwrap`, `lock-order`).
+    pub lint: String,
+    /// The stated reason. Directives without a reason are rejected by
+    /// the framework — an unexplained suppression is itself a finding.
+    pub reason: String,
+    /// 1-based line the comment sits on.
+    pub line: u32,
+}
+
+/// Lexer output: the token stream plus side tables the lints use.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order, comments and whitespace stripped.
+    pub tokens: Vec<Token>,
+    /// Parsed `lint:allow` directives, in source order.
+    pub allows: Vec<AllowDirective>,
+    /// Comment lines carrying `lint:allow` text that failed to parse
+    /// (missing reason, bad syntax). Reported as findings.
+    pub malformed_allows: Vec<u32>,
+}
+
+/// Lexes Rust source. The lexer never fails: unterminated constructs
+/// consume to end of input, which is good enough for lint purposes on
+/// code that `rustc` already accepts.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(),
+                'r' | 'b' if self.raw_or_byte_prefix() => {}
+                '\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c == '_' || c.is_alphanumeric() => self.ident(),
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                c if c.is_whitespace() => self.pos += 1,
+                c => {
+                    self.push(TokenKind::Punct, c.to_string());
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String) {
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line: self.line,
+        });
+    }
+
+    fn bump_counting_lines(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn line_comment(&mut self) {
+        let start_line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.pos += 1;
+        }
+        self.parse_allow(&text, start_line);
+    }
+
+    fn block_comment(&mut self) {
+        // Nested block comments, as in Rust proper.
+        let start_line = self.line;
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.pos += 2;
+                text.push_str("/*");
+                continue;
+            }
+            if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.pos += 2;
+                text.push_str("*/");
+                if depth == 0 {
+                    break;
+                }
+                continue;
+            }
+            self.bump_counting_lines();
+            text.push(c);
+        }
+        self.parse_allow(&text, start_line);
+    }
+
+    fn parse_allow(&mut self, comment: &str, line: u32) {
+        // Only recognized at the *start* of a comment, so prose that
+        // mentions the grammar ("the lint:allow(x, reason=y) escape
+        // hatch") never registers as a directive.
+        let content = comment.trim_start_matches(['/', '*', '!']).trim_start();
+        let Some(rest) = content.strip_prefix("lint:allow") else {
+            return;
+        };
+        let rest = rest.trim_start();
+        let parsed = (|| {
+            let inner = rest.strip_prefix('(')?;
+            let close = inner.find(')')?;
+            let body = &inner[..close];
+            let (lint, reason_part) = body.split_once(',')?;
+            let reason = reason_part.trim().strip_prefix("reason")?.trim_start();
+            let reason = reason.strip_prefix('=')?.trim();
+            if lint.trim().is_empty() || reason.is_empty() {
+                return None;
+            }
+            Some(AllowDirective {
+                lint: lint.trim().to_string(),
+                reason: reason.to_string(),
+                line,
+            })
+        })();
+        match parsed {
+            Some(a) => self.out.allows.push(a),
+            None => self.out.malformed_allows.push(line),
+        }
+    }
+
+    fn string(&mut self) {
+        // Ordinary "..." with escapes. The opening quote is current.
+        self.pos += 1;
+        let start_line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => {
+                    text.push(c);
+                    self.bump_counting_lines();
+                    if let Some(e) = self.bump_counting_lines() {
+                        text.push(e);
+                    }
+                }
+                '"' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => {
+                    text.push(c);
+                    self.bump_counting_lines();
+                }
+            }
+        }
+        self.out.tokens.push(Token {
+            kind: TokenKind::Str,
+            text,
+            line: start_line,
+        });
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'x'` — or returns
+    /// false when the `r`/`b` is just the start of an identifier.
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let c0 = self.peek(0).unwrap_or(' ');
+        let mut ahead = 1;
+        if c0 == 'b' && self.peek(1) == Some('r') {
+            ahead = 2;
+        }
+        // b'x' byte char literal.
+        if c0 == 'b' && self.peek(1) == Some('\'') {
+            self.pos += 1; // consume `b`; char_or_lifetime sees the quote
+            self.char_or_lifetime();
+            return true;
+        }
+        // Count raw-string hashes after the prefix.
+        let mut hashes = 0usize;
+        while self.peek(ahead + hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(ahead + hashes) != Some('"') {
+            return false; // identifier like `raw` or `bytes`
+        }
+        if ahead == 1 && c0 == 'b' && hashes == 0 {
+            // b"..." — plain byte string, escapes apply.
+            self.pos += 1;
+            self.string();
+            return true;
+        }
+        if c0 == 'b' && ahead == 1 {
+            return false; // b#… is not a literal prefix
+        }
+        // Raw string: skip prefix + hashes + opening quote.
+        self.pos += ahead + hashes + 1;
+        let start_line = self.line;
+        let mut text = String::new();
+        'outer: while let Some(c) = self.peek(0) {
+            if c == '"' {
+                // Need `hashes` trailing #'s to close.
+                for h in 0..hashes {
+                    if self.peek(1 + h) != Some('#') {
+                        text.push(c);
+                        self.bump_counting_lines();
+                        continue 'outer;
+                    }
+                }
+                self.pos += 1 + hashes;
+                break;
+            }
+            text.push(c);
+            self.bump_counting_lines();
+        }
+        self.out.tokens.push(Token {
+            kind: TokenKind::Str,
+            text,
+            line: start_line,
+        });
+        true
+    }
+
+    fn char_or_lifetime(&mut self) {
+        // Distinguish `'a'` (char) from `'a` (lifetime): after the
+        // quote, an escape always means char; an ident char followed by
+        // a closing quote means char; otherwise lifetime.
+        let next = self.peek(1);
+        let is_char = match next {
+            Some('\\') => true,
+            Some(c) if c == '_' || c.is_alphanumeric() => {
+                // `'a'` is a char, `'a` / `'abc` are lifetimes. Scan the
+                // ident run and see if a quote closes it.
+                let mut ahead = 2;
+                while matches!(self.peek(ahead), Some(c) if c == '_' || c.is_alphanumeric()) {
+                    ahead += 1;
+                }
+                self.peek(ahead) == Some('\'')
+            }
+            Some(_) => true, // '(' etc. — punctuation chars like '{'
+            None => false,
+        };
+        if !is_char {
+            // Lifetime: quote + ident run.
+            let start = self.pos;
+            self.pos += 1;
+            while matches!(self.peek(0), Some(c) if c == '_' || c.is_alphanumeric()) {
+                self.pos += 1;
+            }
+            let text: String = self.chars[start..self.pos].iter().collect();
+            self.push(TokenKind::Lifetime, text);
+            return;
+        }
+        let start_line = self.line;
+        self.pos += 1; // opening quote
+        let mut text = String::from("'");
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => {
+                    text.push(c);
+                    self.bump_counting_lines();
+                    if let Some(e) = self.bump_counting_lines() {
+                        text.push(e);
+                    }
+                }
+                '\'' => {
+                    text.push(c);
+                    self.pos += 1;
+                    break;
+                }
+                _ => {
+                    text.push(c);
+                    self.bump_counting_lines();
+                }
+            }
+        }
+        self.out.tokens.push(Token {
+            kind: TokenKind::Char,
+            text,
+            line: start_line,
+        });
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        // Digits, base prefixes, underscores, a fractional part and
+        // type suffixes all match the ident-ish character class; `.` is
+        // included only when followed by a digit (so `0..10` and
+        // `x.1.unwrap()` lex as separate tokens).
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_ascii_alphanumeric() {
+                self.pos += 1;
+            } else if c == '.' && matches!(self.peek(1), Some(d) if d.is_ascii_digit()) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.push(TokenKind::Number, text);
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while matches!(self.peek(0), Some(c) if c == '_' || c.is_alphanumeric()) {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.push(TokenKind::Ident, text);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let toks = kinds("fn main() { x.unwrap(); }");
+        assert_eq!(toks[0], (TokenKind::Ident, "fn".into()));
+        assert_eq!(toks[1], (TokenKind::Ident, "main".into()));
+        assert!(toks.contains(&(TokenKind::Ident, "unwrap".into())));
+        assert!(toks.contains(&(TokenKind::Punct, "{".into())));
+    }
+
+    #[test]
+    fn strings_do_not_leak_tokens() {
+        // `panic!` inside a string must not appear as an Ident token.
+        let toks = kinds(r#"let s = "panic!(unwrap())";"#);
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "panic"));
+        assert!(toks.contains(&(TokenKind::Str, "panic!(unwrap())".into())));
+    }
+
+    #[test]
+    fn escaped_quotes_in_strings() {
+        let toks = kinds(r#"let s = "a\"b"; x"#);
+        assert!(toks.contains(&(TokenKind::Str, r#"a\"b"#.into())));
+        assert!(toks.contains(&(TokenKind::Ident, "x".into())));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r###"let s = r#"quote " inside"#; done"###);
+        assert!(toks.contains(&(TokenKind::Str, r#"quote " inside"#.into())));
+        assert!(toks.contains(&(TokenKind::Ident, "done".into())));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r#"let a = b"bytes"; let c = b'\n';"#);
+        assert!(toks.contains(&(TokenKind::Str, "bytes".into())));
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::Char));
+        // `b` must not survive as a stray identifier.
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "b"));
+    }
+
+    #[test]
+    fn identifiers_starting_with_r_and_b_are_idents() {
+        let toks = kinds("let raw = bytes;");
+        assert!(toks.contains(&(TokenKind::Ident, "raw".into())));
+        assert!(toks.contains(&(TokenKind::Ident, "bytes".into())));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert!(toks.contains(&(TokenKind::Lifetime, "'a".into())));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Char && t == "'x'"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Char && t == "'\\n'"));
+    }
+
+    #[test]
+    fn line_comments_stripped() {
+        let toks = kinds("x // unwrap() panic! todo!\ny");
+        assert_eq!(toks.len(), 2);
+        assert!(toks.contains(&(TokenKind::Ident, "y".into())));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner unwrap() */ still comment */ z");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "a".into()),
+                (TokenKind::Ident, "z".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"multi\nline\"\n/* c\nc */ b\nc";
+        let lexed = lex(src);
+        let find = |name: &str| lexed.tokens.iter().find(|t| t.text == name).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 5);
+        assert_eq!(find("c"), 6);
+        // The multi-line string starts on line 2.
+        let s = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Str)
+            .unwrap();
+        assert_eq!(s.line, 2);
+    }
+
+    #[test]
+    fn numbers_including_ranges_and_floats() {
+        let toks = kinds("0..10 1.5 0xFF 1_000u64");
+        assert!(toks.contains(&(TokenKind::Number, "0".into())));
+        assert!(toks.contains(&(TokenKind::Number, "10".into())));
+        assert!(toks.contains(&(TokenKind::Number, "1.5".into())));
+        assert!(toks.contains(&(TokenKind::Number, "0xFF".into())));
+        assert!(toks.contains(&(TokenKind::Number, "1_000u64".into())));
+        // `0..10` keeps its two dots as punctuation.
+        assert_eq!(
+            toks.iter().filter(|(k, t)| *k == TokenKind::Punct && t == ".").count(),
+            2
+        );
+    }
+
+    #[test]
+    fn method_calls_after_float_like_fields() {
+        // Tuple-field access `x.0.lock()` must keep `lock` as an ident.
+        let toks = kinds("x.0.lock()");
+        assert!(toks.contains(&(TokenKind::Ident, "lock".into())));
+    }
+
+    #[test]
+    fn allow_directive_parses() {
+        let lexed = lex("x; // lint:allow(unwrap, reason=invariant: always set)\ny");
+        assert_eq!(lexed.allows.len(), 1);
+        let a = &lexed.allows[0];
+        assert_eq!(a.lint, "unwrap");
+        assert_eq!(a.reason, "invariant: always set");
+        assert_eq!(a.line, 1);
+        assert!(lexed.malformed_allows.is_empty());
+    }
+
+    #[test]
+    fn allow_directive_without_reason_is_malformed() {
+        let lexed = lex("// lint:allow(unwrap)\n// lint:allow(panic, reason=)\nx");
+        assert!(lexed.allows.is_empty());
+        assert_eq!(lexed.malformed_allows, vec![1, 2]);
+    }
+
+    #[test]
+    fn unterminated_string_consumes_to_eof_without_panic() {
+        let lexed = lex("let s = \"never closed\nstill string");
+        assert_eq!(lexed.tokens.len(), 4); // let, s, =, Str
+    }
+}

@@ -1,0 +1,481 @@
+#![forbid(unsafe_code)]
+//! `liquid-lint`: project-specific static analysis for the Liquid
+//! workspace.
+//!
+//! The build environment is offline (no registry), so stock clippy
+//! plugins are unavailable; the invariants that matter to this codebase
+//! are enforced by an in-repo pass instead. The analyzer lexes every
+//! `crates/*/src/**/*.rs` file with the hand-rolled lexer in
+//! [`lexer`] and runs the rules in [`rules`]:
+//!
+//! * **unwrap** — no `.unwrap()`/`.expect()`/`panic!`/`todo!` in
+//!   non-test code of the fault-injected crates (`log`, `kv`,
+//!   `messaging`, `processing`). A fault-path panic turns an injected,
+//!   recoverable error into a process abort.
+//! * **panic** — `panic!`/`todo!`/`unimplemented!` forbidden in the
+//!   remaining library crates.
+//! * **lock-order** — nested lock acquisitions must follow the rank
+//!   table declared in `sim::lockdep::RANKS` (strictly descending).
+//! * **fault-site** — every `injector.tick("site")` string must be
+//!   registered in `sim::failure::SITES`, and every registered site
+//!   must have at least one call site.
+//! * **raw-io** — `std::fs`/`File::` I/O is confined to the storage
+//!   layers that route through the failure injector.
+//! * **forbid-unsafe** — every crate's `lib.rs` carries
+//!   `#![forbid(unsafe_code)]` and no `unsafe` token appears anywhere.
+//!
+//! Findings can be suppressed with a `lint:allow` comment directive
+//! (see [`lexer::AllowDirective`]); a directive that is malformed,
+//! names an unknown lint, or suppresses nothing is itself a finding
+//! (lint **lint-allow**), so the escape hatch cannot rot silently.
+
+pub mod lexer;
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use lexer::{lex, Token, TokenKind};
+
+/// Every lint name the analyzer can emit (and that `lint:allow` may
+/// reference).
+pub const LINTS: &[&str] = &[
+    "unwrap",
+    "panic",
+    "lock-order",
+    "fault-site",
+    "raw-io",
+    "forbid-unsafe",
+    "lint-allow",
+];
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Lint name (one of [`LINTS`]).
+    pub lint: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// The fault-site registry parsed out of `crates/sim/src/failure.rs`.
+#[derive(Debug, Clone)]
+pub struct SiteRegistry {
+    /// Registered site names, in declaration order.
+    pub names: Vec<String>,
+    /// Line of the `SITES` declaration (for attributing findings).
+    pub line: u32,
+}
+
+/// The lock rank table parsed out of `crates/sim/src/lockdep.rs`.
+#[derive(Debug, Clone)]
+pub struct RankTable {
+    /// `(rank name, order)` pairs, in declaration order.
+    pub entries: Vec<(String, u32)>,
+    /// Line of the `RANKS` declaration.
+    pub line: u32,
+}
+
+/// Cross-file context the rules need: the single-source-of-truth
+/// tables live in the `sim` crate's *source* and are parsed from it
+/// with the same lexer, so the analyzer can never drift from the
+/// runtime checks without a finding.
+#[derive(Debug, Clone, Default)]
+pub struct Context {
+    /// `None` when `failure.rs` is absent (fixture trees); membership
+    /// checks are skipped then, but sites are still collected.
+    pub sites: Option<SiteRegistry>,
+    /// `None` when `lockdep.rs` is absent; the lock-order rule is
+    /// skipped then.
+    pub ranks: Option<RankTable>,
+}
+
+impl Context {
+    /// Builds the context from a workspace root. Missing files are
+    /// tolerated (fixture trees); files that exist but cannot be
+    /// parsed produce findings.
+    pub fn from_root(root: &Path) -> (Context, Vec<Finding>) {
+        let mut ctx = Context::default();
+        let mut findings = Vec::new();
+
+        let failure = root.join("crates/sim/src/failure.rs");
+        if let Ok(src) = fs::read_to_string(&failure) {
+            match parse_sites(&src) {
+                Some(reg) => ctx.sites = Some(reg),
+                None => findings.push(Finding {
+                    file: "crates/sim/src/failure.rs".to_string(),
+                    line: 1,
+                    lint: "fault-site",
+                    message: "could not parse the `SITES` registry (expected \
+                              `pub const SITES: &[&str] = &[\"...\", ...];`)"
+                        .to_string(),
+                }),
+            }
+        }
+
+        let lockdep = root.join("crates/sim/src/lockdep.rs");
+        if let Ok(src) = fs::read_to_string(&lockdep) {
+            match parse_ranks(&src) {
+                Some(table) => ctx.ranks = Some(table),
+                None => findings.push(Finding {
+                    file: "crates/sim/src/lockdep.rs".to_string(),
+                    line: 1,
+                    lint: "lock-order",
+                    message: "could not parse the `RANKS` table (expected \
+                              `pub const RANKS: &[(&str, u32)] = &[(\"name\", N), ...];`)"
+                        .to_string(),
+                }),
+            }
+        }
+
+        (ctx, findings)
+    }
+}
+
+/// Parses `const SITES: ... = &[...]` from `failure.rs` source.
+pub fn parse_sites(src: &str) -> Option<SiteRegistry> {
+    let tokens = lex(src).tokens;
+    let start = find_const(&tokens, "SITES")?;
+    let line = tokens[start].line;
+    let mut names = Vec::new();
+    for t in &tokens[start..] {
+        if t.is_punct(';') {
+            break;
+        }
+        if t.kind == TokenKind::Str {
+            names.push(t.text.clone());
+        }
+    }
+    if names.is_empty() {
+        None
+    } else {
+        Some(SiteRegistry { names, line })
+    }
+}
+
+/// Parses `const RANKS: ... = &[("name", order), ...]` from
+/// `lockdep.rs` source.
+pub fn parse_ranks(src: &str) -> Option<RankTable> {
+    let tokens = lex(src).tokens;
+    let start = find_const(&tokens, "RANKS")?;
+    let line = tokens[start].line;
+    let mut entries = Vec::new();
+    let mut pending: Option<String> = None;
+    for t in &tokens[start..] {
+        if t.is_punct(';') {
+            break;
+        }
+        match t.kind {
+            TokenKind::Str => pending = Some(t.text.clone()),
+            TokenKind::Number => {
+                if let Some(name) = pending.take() {
+                    let digits: String = t.text.chars().filter(|c| *c != '_').collect();
+                    if let Ok(order) = digits.parse::<u32>() {
+                        entries.push((name, order));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if entries.is_empty() {
+        None
+    } else {
+        Some(RankTable { entries, line })
+    }
+}
+
+fn find_const(tokens: &[Token], name: &str) -> Option<usize> {
+    (1..tokens.len()).find(|&i| tokens[i].is_ident(name) && tokens[i - 1].is_ident("const"))
+}
+
+/// `#[cfg(test)]` / `#[test]` item spans as inclusive line ranges.
+/// Recovered by brace matching: the region runs from the attribute to
+/// the end of the item it decorates (`;` or the matching `}` of the
+/// item's first block).
+pub fn test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+            i += 1;
+            continue;
+        }
+        let (is_test, mut j) = parse_attr(tokens, i + 1);
+        if !is_test {
+            i = j;
+            continue;
+        }
+        // Skip any further attributes on the same item.
+        while j + 1 < tokens.len() && tokens[j].is_punct('#') && tokens[j + 1].is_punct('[') {
+            let (_, after) = parse_attr(tokens, j + 1);
+            j = after;
+        }
+        let (end_idx, end_line) = item_end(tokens, j);
+        regions.push((tokens[i].line, end_line));
+        i = end_idx;
+    }
+    regions
+}
+
+/// Whether `line` falls inside any test region.
+pub fn in_test(regions: &[(u32, u32)], line: u32) -> bool {
+    regions.iter().any(|&(a, b)| (a..=b).contains(&line))
+}
+
+/// From the index of an attribute's `[`, returns (is-test-attribute,
+/// index just past the matching `]`). A test attribute is `#[test]` or
+/// anything containing a literal `cfg ( test )` sequence; `not(test)`
+/// does not match.
+fn parse_attr(tokens: &[Token], open: usize) -> (bool, usize) {
+    let mut depth = 0usize;
+    let mut j = open;
+    let mut close = tokens.len();
+    while j < tokens.len() {
+        if tokens[j].is_punct('[') {
+            depth += 1;
+        } else if tokens[j].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                close = j;
+                break;
+            }
+        }
+        j += 1;
+    }
+    let inner = &tokens[open + 1..close.min(tokens.len())];
+    let is_test = (inner.len() == 1 && inner[0].is_ident("test"))
+        || inner.windows(4).any(|w| {
+            w[0].is_ident("cfg") && w[1].is_punct('(') && w[2].is_ident("test") && w[3].is_punct(')')
+        });
+    (is_test, close.saturating_add(1).min(tokens.len()))
+}
+
+/// Scans forward from the first token of an item to its end: a `;` at
+/// bracket depth zero, or the matching `}` of its first brace block.
+/// Returns (index past the end, last line of the item).
+fn item_end(tokens: &[Token], start: usize) -> (usize, u32) {
+    let mut paren = 0i32;
+    let mut brack = 0i32;
+    let mut k = start;
+    while k < tokens.len() {
+        let t = &tokens[k];
+        if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren -= 1;
+        } else if t.is_punct('[') {
+            brack += 1;
+        } else if t.is_punct(']') {
+            brack -= 1;
+        } else if t.is_punct(';') && paren == 0 && brack == 0 {
+            return (k + 1, t.line);
+        } else if t.is_punct('{') && paren == 0 && brack == 0 {
+            let mut depth = 1i32;
+            k += 1;
+            while k < tokens.len() && depth > 0 {
+                if tokens[k].is_punct('{') {
+                    depth += 1;
+                } else if tokens[k].is_punct('}') {
+                    depth -= 1;
+                }
+                k += 1;
+            }
+            let line = tokens.get(k.saturating_sub(1)).map_or(0, |t| t.line);
+            return (k, line);
+        }
+        k += 1;
+    }
+    (tokens.len(), tokens.last().map_or(0, |t| t.line))
+}
+
+/// Per-file analysis output.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Findings after `lint:allow` suppression.
+    pub findings: Vec<Finding>,
+    /// `injector.tick("...")` sites seen, as `(site, line)`.
+    pub tick_sites: Vec<(String, u32)>,
+}
+
+/// Lints one file. `rel` is the workspace-relative path
+/// (`crates/<name>/src/...`), which determines which rules apply.
+pub fn analyze_file(ctx: &Context, rel: &str, src: &str) -> FileReport {
+    let lexed = lex(src);
+    let regions = test_regions(&lexed.tokens);
+    let crate_name = rel
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("");
+
+    let mut raw = Vec::new();
+    let mut tick_sites = Vec::new();
+    rules::unwrap_on_fault_path(crate_name, rel, &lexed.tokens, &regions, &mut raw);
+    rules::panic_free_lib(crate_name, rel, &lexed.tokens, &regions, &mut raw);
+    rules::lock_order(ctx, rel, &lexed.tokens, &mut raw);
+    rules::fault_sites(ctx, rel, &lexed.tokens, &mut raw, &mut tick_sites);
+    rules::raw_io(crate_name, rel, &lexed.tokens, &regions, &mut raw);
+    rules::forbid_unsafe(rel, &lexed.tokens, &mut raw);
+
+    // `lint:allow` suppression: a directive covers its own line and
+    // the line directly below it.
+    let mut used = vec![false; lexed.allows.len()];
+    raw.retain(|f| {
+        let hit = lexed
+            .allows
+            .iter()
+            .position(|a| a.lint == f.lint && (a.line == f.line || a.line + 1 == f.line));
+        match hit {
+            Some(i) => {
+                used[i] = true;
+                false
+            }
+            None => true,
+        }
+    });
+    for (i, a) in lexed.allows.iter().enumerate() {
+        if !LINTS.contains(&a.lint.as_str()) {
+            raw.push(Finding {
+                file: rel.to_string(),
+                line: a.line,
+                lint: "lint-allow",
+                message: format!("lint:allow names unknown lint \"{}\"", a.lint),
+            });
+        } else if !used[i] && !in_test(&regions, a.line) {
+            raw.push(Finding {
+                file: rel.to_string(),
+                line: a.line,
+                lint: "lint-allow",
+                message: format!(
+                    "unused lint:allow({}) — it suppresses nothing on this or the next line",
+                    a.lint
+                ),
+            });
+        }
+    }
+    for &line in &lexed.malformed_allows {
+        raw.push(Finding {
+            file: rel.to_string(),
+            line,
+            lint: "lint-allow",
+            message: "malformed lint:allow directive (expected \
+                      lint:allow(<lint>, reason=<why>))"
+                .to_string(),
+        });
+    }
+
+    FileReport {
+        findings: raw,
+        tick_sites,
+    }
+}
+
+/// Workspace-relative paths of every `crates/*/src/**/*.rs` file,
+/// sorted for deterministic output.
+pub fn workspace_files(root: &Path) -> Result<Vec<String>, String> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<_> = fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    let mut files = Vec::new();
+    for c in crate_dirs {
+        let src = c.join("src");
+        if src.is_dir() {
+            collect_rs(root, &src, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let mut entries: Vec<_> = fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs(root, &p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            let rel = p
+                .strip_prefix(root)
+                .map_err(|e| format!("path {} not under root: {e}", p.display()))?;
+            let rel: Vec<String> = rel
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect();
+            out.push(rel.join("/"));
+        }
+    }
+    Ok(())
+}
+
+/// Runs every rule over the whole workspace plus the cross-tree checks
+/// (unused registry entries, rank-table drift).
+pub fn analyze_root(root: &Path) -> Result<Vec<Finding>, String> {
+    let (ctx, mut findings) = Context::from_root(root);
+    let mut used_sites: BTreeMap<String, u32> = BTreeMap::new();
+    for rel in workspace_files(root)? {
+        let src = fs::read_to_string(root.join(&rel))
+            .map_err(|e| format!("cannot read {rel}: {e}"))?;
+        let rep = analyze_file(&ctx, &rel, &src);
+        findings.extend(rep.findings);
+        for (site, _) in rep.tick_sites {
+            *used_sites.entry(site).or_default() += 1;
+        }
+    }
+    if let Some(reg) = &ctx.sites {
+        for name in &reg.names {
+            if !used_sites.contains_key(name) {
+                findings.push(Finding {
+                    file: "crates/sim/src/failure.rs".to_string(),
+                    line: reg.line,
+                    lint: "fault-site",
+                    message: format!(
+                        "registered fault site \"{name}\" has no injector.tick(\"{name}\") call site"
+                    ),
+                });
+            }
+        }
+    }
+    if let Some(ranks) = &ctx.ranks {
+        for (file, field, rank) in rules::LOCK_FIELDS {
+            if !ranks.entries.iter().any(|(n, _)| n == rank) {
+                findings.push(Finding {
+                    file: "crates/sim/src/lockdep.rs".to_string(),
+                    line: ranks.line,
+                    lint: "lock-order",
+                    message: format!(
+                        "lock field {file}::{field} maps to rank \"{rank}\", which is not \
+                         declared in sim::lockdep::RANKS"
+                    ),
+                });
+            }
+        }
+    }
+    findings.sort();
+    findings.dedup();
+    Ok(findings)
+}

@@ -1,0 +1,93 @@
+//! CLI entry point. `cargo run -p liquid-lint` from anywhere inside
+//! the workspace lints the whole tree; `--deny` makes findings fatal
+//! (CI mode); `--root <path>` overrides workspace discovery (used by
+//! the fixture tests).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny" => deny = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("liquid-lint: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                println!(
+                    "liquid-lint — project-specific static analysis for the Liquid workspace\n\
+                     \n\
+                     USAGE: liquid-lint [--deny] [--root <workspace>]\n\
+                     \n\
+                     Walks crates/*/src/**/*.rs and enforces: unwrap (no panics on fault\n\
+                     paths), panic (panic-free library crates), lock-order (rank table from\n\
+                     sim::lockdep::RANKS), fault-site (registry in sim::failure::SITES),\n\
+                     raw-io (injectable storage only), forbid-unsafe. Suppress a finding\n\
+                     with a comment directive on or above the offending line:\n\
+                     \n\
+                     \x20   // lint:allow(<lint>, reason=<why this one is sound>)\n\
+                     \n\
+                     --deny   exit 1 when there are findings (CI mode)\n\
+                     --root   workspace root (default: nearest ancestor with a crates/ dir)"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("liquid-lint: unknown argument {other:?} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(find_root) {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "liquid-lint: could not find a workspace root (no crates/ directory here \
+                 or above); pass --root <path>"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    match liquid_lint::analyze_root(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("liquid-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("liquid-lint: {} finding(s)", findings.len());
+            if deny {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("liquid-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("crates").is_dir() && dir.join("Cargo.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! The lint rules.
+//!
+//! Each rule is a pure function over the token stream of one file; the
+//! framework in the crate root handles walking, test-region masking,
+//! `lint:allow` suppression, and the cross-tree checks.
+
+use crate::lexer::{Token, TokenKind};
+use crate::{in_test, Context, Finding};
+
+/// Crates whose code paths carry a [`FailureInjector`]; a panic there
+/// turns an injected, recoverable fault into a process abort, so the
+/// whole panic family is forbidden outside tests.
+///
+/// [`FailureInjector`]: ../../liquid_sim/failure/struct.FailureInjector.html
+pub const FAULT_CRATES: &[&str] = &["log", "kv", "messaging", "processing"];
+
+/// The storage layers allowed to touch `std::fs` directly: everything
+/// else must route I/O through them so the failure injector sees it.
+pub const RAW_IO_ALLOWED: &[&str] = &[
+    "crates/log/src/storage.rs",
+    "crates/kv/src/wal.rs",
+    "crates/kv/src/sstable.rs",
+];
+
+/// Which struct fields are ranked locks: `(file basename, field name,
+/// rank name)`. The rank *orders* live in `sim::lockdep::RANKS` (the
+/// runtime checker's table, parsed from source by the framework), so
+/// the static and dynamic checkers cannot disagree silently — a name
+/// listed here but missing there is reported as rank-table drift.
+pub const LOCK_FIELDS: &[(&str, &str, &str)] = &[
+    ("consumer.rs", "state", "consumer.state"),
+    ("group.rs", "groups", "group.groups"),
+    ("cluster.rs", "state", "cluster.state"),
+    ("offsets.rs", "inner", "offsets.inner"),
+    ("quotas.rs", "limits", "quota.limits"),
+    ("quotas.rs", "usage", "quota.usage"),
+    ("quotas.rs", "throttled_total", "quota.throttled"),
+    ("job.rs", "metrics", "job.metrics"),
+];
+
+/// Lint **unwrap**: no `.unwrap()`/`.expect()`/`panic!`/`todo!`/
+/// `unimplemented!` in non-test code of the fault-injected crates.
+pub fn unwrap_on_fault_path(
+    crate_name: &str,
+    rel: &str,
+    tokens: &[Token],
+    regions: &[(u32, u32)],
+    out: &mut Vec<Finding>,
+) {
+    if !FAULT_CRATES.contains(&crate_name) {
+        return;
+    }
+    panic_scan(rel, tokens, regions, "unwrap", true, out);
+}
+
+/// Lint **panic**: the remaining library crates must not contain
+/// `panic!`/`todo!`/`unimplemented!` outside tests either — they just
+/// get to keep `.unwrap()` for now.
+pub fn panic_free_lib(
+    crate_name: &str,
+    rel: &str,
+    tokens: &[Token],
+    regions: &[(u32, u32)],
+    out: &mut Vec<Finding>,
+) {
+    if FAULT_CRATES.contains(&crate_name) {
+        return; // covered by the stricter `unwrap` lint
+    }
+    panic_scan(rel, tokens, regions, "panic", false, out);
+}
+
+fn panic_scan(
+    rel: &str,
+    tokens: &[Token],
+    regions: &[(u32, u32)],
+    lint: &'static str,
+    include_unwrap: bool,
+    out: &mut Vec<Finding>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || in_test(regions, t.line) {
+            continue;
+        }
+        let next_is = |c| tokens.get(i + 1).is_some_and(|n: &Token| n.is_punct(c));
+        if matches!(t.text.as_str(), "panic" | "todo" | "unimplemented") && next_is('!') {
+            out.push(Finding {
+                file: rel.to_string(),
+                line: t.line,
+                lint,
+                message: format!("`{}!` in non-test library code", t.text),
+            });
+        }
+        if include_unwrap
+            && matches!(t.text.as_str(), "unwrap" | "expect")
+            && i > 0
+            && tokens[i - 1].is_punct('.')
+            && next_is('(')
+        {
+            out.push(Finding {
+                file: rel.to_string(),
+                line: t.line,
+                lint,
+                message: format!(
+                    ".{}() on a fault-injected path — return a typed error instead",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// Lint **fault-site**: `injector.tick("site")` strings must be
+/// registered in `sim::failure::SITES`. The receiver must be named
+/// `injector` (or end in `_injector`) so unrelated `tick()` methods —
+/// the resource manager's scheduler tick, the ETL job tick — are not
+/// caught; `sim/failure.rs` itself is matched on any receiver. The
+/// runtime `debug_assert!` inside `FailureInjector::tick` backstops
+/// call sites this heuristic misses.
+pub fn fault_sites(
+    ctx: &Context,
+    rel: &str,
+    tokens: &[Token],
+    out: &mut Vec<Finding>,
+    sites_out: &mut Vec<(String, u32)>,
+) {
+    let in_failure_rs = rel == "crates/sim/src/failure.rs";
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_ident("tick")
+            || i == 0
+            || !tokens[i - 1].is_punct('.')
+            || !tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            continue;
+        }
+        let recv_is_injector = i >= 2
+            && tokens[i - 2].kind == TokenKind::Ident
+            && (tokens[i - 2].text == "injector" || tokens[i - 2].text.ends_with("_injector"));
+        if !recv_is_injector && !in_failure_rs {
+            continue;
+        }
+        match tokens.get(i + 2) {
+            Some(arg) if arg.kind == TokenKind::Str => {
+                sites_out.push((arg.text.clone(), arg.line));
+                if let Some(reg) = &ctx.sites {
+                    if !reg.names.iter().any(|n| n == &arg.text) {
+                        out.push(Finding {
+                            file: rel.to_string(),
+                            line: arg.line,
+                            lint: "fault-site",
+                            message: format!(
+                                "fault site \"{}\" is not registered in sim::failure::SITES",
+                                arg.text
+                            ),
+                        });
+                    }
+                }
+            }
+            Some(arg) if arg.is_punct(')') => out.push(Finding {
+                file: rel.to_string(),
+                line: t.line,
+                lint: "fault-site",
+                message: "injector.tick() takes a site name — every decision point must be \
+                          registered in sim::failure::SITES"
+                    .to_string(),
+            }),
+            _ => out.push(Finding {
+                file: rel.to_string(),
+                line: t.line,
+                lint: "fault-site",
+                message: "injector.tick() site must be a string literal so the registry \
+                          stays statically checkable"
+                    .to_string(),
+            }),
+        }
+    }
+}
+
+/// Lint **raw-io**: in fault crates, `std::fs` / `File::` /
+/// `OpenOptions::` usage outside [`RAW_IO_ALLOWED`] bypasses the
+/// injector and makes the I/O untestable under chaos.
+pub fn raw_io(
+    crate_name: &str,
+    rel: &str,
+    tokens: &[Token],
+    regions: &[(u32, u32)],
+    out: &mut Vec<Finding>,
+) {
+    if !FAULT_CRATES.contains(&crate_name) || RAW_IO_ALLOWED.contains(&rel) {
+        return;
+    }
+    let path_sep =
+        |i: usize| tokens.get(i).is_some_and(|t: &Token| t.is_punct(':'))
+            && tokens.get(i + 1).is_some_and(|t: &Token| t.is_punct(':'));
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || in_test(regions, t.line) {
+            continue;
+        }
+        let hit = (t.text == "std"
+            && path_sep(i + 1)
+            && tokens.get(i + 3).is_some_and(|t| t.is_ident("fs")))
+            || (matches!(t.text.as_str(), "File" | "OpenOptions") && path_sep(i + 1));
+        if hit {
+            out.push(Finding {
+                file: rel.to_string(),
+                line: t.line,
+                lint: "raw-io",
+                message: "raw filesystem I/O outside the injectable storage layer — route \
+                          through log::storage or the kv WAL/SSTable instead"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Lint **forbid-unsafe**: every `crates/<c>/src/lib.rs` must carry
+/// `#![forbid(unsafe_code)]`, and no `unsafe` token may appear in any
+/// workspace file (the attribute makes rustc enforce it; the lint
+/// reports it at analysis time, before a compile).
+pub fn forbid_unsafe(rel: &str, tokens: &[Token], out: &mut Vec<Finding>) {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let is_lib = parts.len() == 4 && parts[0] == "crates" && parts[2] == "src" && parts[3] == "lib.rs";
+    if is_lib {
+        let found = tokens.windows(8).any(|w| {
+            w[0].is_punct('#')
+                && w[1].is_punct('!')
+                && w[2].is_punct('[')
+                && w[3].is_ident("forbid")
+                && w[4].is_punct('(')
+                && w[5].is_ident("unsafe_code")
+                && w[6].is_punct(')')
+                && w[7].is_punct(']')
+        });
+        if !found {
+            out.push(Finding {
+                file: rel.to_string(),
+                line: 1,
+                lint: "forbid-unsafe",
+                message: "crate root is missing #![forbid(unsafe_code)]".to_string(),
+            });
+        }
+    }
+    for t in tokens {
+        if t.is_ident("unsafe") {
+            out.push(Finding {
+                file: rel.to_string(),
+                line: t.line,
+                lint: "forbid-unsafe",
+                message: "`unsafe` is forbidden workspace-wide".to_string(),
+            });
+        }
+    }
+}
+
+struct ActiveGuard {
+    rank: &'static str,
+    order: u32,
+    name: Option<String>,
+    depth: usize,
+    line: u32,
+}
+
+/// Lint **lock-order**: within a file whose fields appear in
+/// [`LOCK_FIELDS`], a lock may only be acquired while every
+/// already-held ranked lock has a strictly *higher* order. Guard
+/// lifetimes are tracked token-wise: a `let`-bound guard lives until
+/// `drop(name)` or its block closes; an un-bound (temporary) guard
+/// lives until the `;` ending its statement. This intentionally
+/// over-approximates temporaries inside tail expressions — the cost is
+/// a conservative finding, never a miss.
+pub fn lock_order(ctx: &Context, rel: &str, tokens: &[Token], out: &mut Vec<Finding>) {
+    let Some(ranks) = &ctx.ranks else {
+        return;
+    };
+    let base = rel.rsplit('/').next().unwrap_or(rel);
+    let fields: Vec<(&str, &str)> = LOCK_FIELDS
+        .iter()
+        .filter(|(file, _, _)| *file == base)
+        .map(|(_, field, rank)| (*field, *rank))
+        .collect();
+    if fields.is_empty() {
+        return;
+    }
+    let order_of = |rank: &str| {
+        ranks
+            .entries
+            .iter()
+            .find(|(n, _)| n == rank)
+            .map(|(_, o)| *o)
+    };
+
+    let mut depth = 0usize;
+    let mut guards: Vec<ActiveGuard> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.is_punct('{') {
+            depth += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            guards.retain(|g| g.depth <= depth);
+            continue;
+        }
+        if t.is_punct(';') {
+            guards.retain(|g| !(g.name.is_none() && g.depth == depth));
+            continue;
+        }
+        if t.is_ident("drop")
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && tokens.get(i + 3).is_some_and(|t| t.is_punct(')'))
+        {
+            if let Some(name) = tokens.get(i + 2).filter(|t| t.kind == TokenKind::Ident) {
+                if let Some(pos) = guards
+                    .iter()
+                    .rposition(|g| g.name.as_deref() == Some(name.text.as_str()))
+                {
+                    guards.remove(pos);
+                }
+            }
+            continue;
+        }
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let Some(&(_, rank)) = fields.iter().find(|(f, _)| *f == t.text) else {
+            continue;
+        };
+        let is_acquire = tokens.get(i + 1).is_some_and(|t| t.is_punct('.'))
+            && tokens.get(i + 2).is_some_and(|t| {
+                t.kind == TokenKind::Ident && matches!(t.text.as_str(), "lock" | "read" | "write")
+            })
+            && tokens.get(i + 3).is_some_and(|t| t.is_punct('('))
+            && tokens.get(i + 4).is_some_and(|t| t.is_punct(')'));
+        if !is_acquire {
+            continue;
+        }
+        let Some(order) = order_of(rank) else {
+            continue; // drift is reported by the cross-tree check
+        };
+        for g in &guards {
+            if order >= g.order {
+                out.push(Finding {
+                    file: rel.to_string(),
+                    line: t.line,
+                    lint: "lock-order",
+                    message: format!(
+                        "acquires \"{rank}\" (order {order}) while holding \"{}\" (order {}, \
+                         taken on line {}) — the lock hierarchy requires strictly descending \
+                         orders",
+                        g.rank, g.order, g.line
+                    ),
+                });
+            }
+        }
+        guards.push(ActiveGuard {
+            rank,
+            order,
+            name: binding_name(tokens, i),
+            depth,
+            line: t.line,
+        });
+    }
+}
+
+/// If the statement containing token `i` is `let [mut] <name> = ...`,
+/// returns the binding name; destructuring patterns and plain
+/// expression statements yield `None` (treated as temporaries).
+fn binding_name(tokens: &[Token], i: usize) -> Option<String> {
+    let mut j = i;
+    while j > 0 {
+        let p = &tokens[j - 1];
+        if p.is_punct(';') || p.is_punct('{') || p.is_punct('}') {
+            break;
+        }
+        j -= 1;
+    }
+    if !tokens.get(j)?.is_ident("let") {
+        return None;
+    }
+    let mut k = j + 1;
+    if tokens.get(k)?.is_ident("mut") {
+        k += 1;
+    }
+    let name = tokens.get(k)?;
+    if name.kind == TokenKind::Ident && tokens.get(k + 1)?.is_punct('=') {
+        Some(name.text.clone())
+    } else {
+        None
+    }
+}

@@ -1,0 +1,354 @@
+//! End-to-end fixture tests: each lint gets a minimal workspace tree
+//! that trips it (binary exits 1 under `--deny`) and a sibling tree
+//! that is clean (exit 0). Trees are written to a per-test temp
+//! directory and linted through the real `liquid-lint` binary, so the
+//! CLI plumbing (arg parsing, root override, exit codes) is covered
+//! too, not just the library.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// All fixture crate roots carry this so the forbid-unsafe lint stays
+/// quiet in fixtures that target a different lint.
+const LIB_HEADER: &str = "#![forbid(unsafe_code)]\n";
+
+/// The real rank table, mirrored into lock-order fixtures so the
+/// cross-tree drift check (every `LOCK_FIELDS` rank must be declared)
+/// finds nothing to complain about.
+const RANKS_RS: &str = r#"
+pub const RANKS: &[(&str, u32)] = &[
+    ("consumer.state", 60),
+    ("group.groups", 50),
+    ("cluster.state", 40),
+    ("offsets.inner", 30),
+    ("quota.limits", 24),
+    ("quota.usage", 23),
+    ("quota.throttled", 21),
+    ("job.metrics", 10),
+];
+"#;
+
+/// Writes `files` (workspace-relative path, contents) under a fresh
+/// temp root and returns the root.
+fn fixture(name: &str, files: &[(&str, &str)]) -> PathBuf {
+    let root = std::env::temp_dir().join(format!(
+        "liquid-lint-fixture-{}-{name}",
+        std::process::id()
+    ));
+    if root.exists() {
+        fs::remove_dir_all(&root).unwrap();
+    }
+    for (rel, contents) in files {
+        let path = root.join(rel);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(path, contents).unwrap();
+    }
+    root
+}
+
+fn lint(root: &PathBuf) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_liquid-lint"))
+        .args(["--deny", "--root"])
+        .arg(root)
+        .output()
+        .unwrap()
+}
+
+/// Asserts the tree trips the named lint: exit 1 and at least one
+/// finding tagged `[lint]` in the output.
+fn assert_hit(root: &PathBuf, lint_name: &str) {
+    let out = lint(root);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "expected findings under --deny; stdout:\n{stdout}"
+    );
+    assert!(
+        stdout.contains(&format!("[{lint_name}]")),
+        "expected a [{lint_name}] finding; stdout:\n{stdout}"
+    );
+}
+
+/// Asserts the tree is clean: exit 0 and the "clean" banner.
+fn assert_clean(root: &PathBuf) {
+    let out = lint(root);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "expected clean; stdout:\n{stdout}");
+    assert!(stdout.contains("liquid-lint: clean"), "stdout:\n{stdout}");
+}
+
+#[test]
+fn unwrap_lint_fires_on_fault_crate_and_spares_tests() {
+    let hit = fixture(
+        "unwrap-hit",
+        &[(
+            "crates/kv/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             pub fn read(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n",
+        )],
+    );
+    assert_hit(&hit, "unwrap");
+
+    // Same call, but inside a #[test] — masked.
+    let clean = fixture(
+        "unwrap-clean",
+        &[(
+            "crates/kv/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             pub fn read(v: Option<u32>) -> Option<u32> {\n    v\n}\n\
+             #[test]\nfn t() {\n    read(Some(1)).unwrap();\n}\n",
+        )],
+    );
+    assert_clean(&clean);
+}
+
+#[test]
+fn unwrap_lint_honors_allow_directive() {
+    let clean = fixture(
+        "unwrap-allow",
+        &[(
+            "crates/kv/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             pub fn read(v: Option<u32>) -> u32 {\n\
+             \x20   // lint:allow(unwrap, reason=fixture invariant)\n\
+             \x20   v.unwrap()\n}\n",
+        )],
+    );
+    assert_clean(&clean);
+}
+
+#[test]
+fn panic_lint_fires_outside_fault_crates() {
+    let hit = fixture(
+        "panic-hit",
+        &[(
+            "crates/core/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub fn f() {\n    panic!(\"boom\");\n}\n",
+        )],
+    );
+    assert_hit(&hit, "panic");
+
+    let clean = fixture(
+        "panic-clean",
+        &[(
+            "crates/core/src/lib.rs",
+            // .unwrap() is tolerated outside the fault crates; the
+            // panic family is not.
+            "#![forbid(unsafe_code)]\npub fn f(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n",
+        )],
+    );
+    assert_clean(&clean);
+}
+
+#[test]
+fn lock_order_lint_fires_on_rank_inversion() {
+    // cluster.rs re-acquires its own ranked lock while the first guard
+    // is still live — equal order is not strictly descending.
+    let hit = fixture(
+        "lock-order-hit",
+        &[
+            ("crates/sim/src/lockdep.rs", RANKS_RS),
+            (
+                "crates/messaging/src/cluster.rs",
+                "pub fn f(state: &L) {\n\
+                 \x20   let a = state.lock();\n\
+                 \x20   let b = state.lock();\n\
+                 }\n",
+            ),
+        ],
+    );
+    assert_hit(&hit, "lock-order");
+
+    // Dropping the first guard before re-acquiring is fine.
+    let clean = fixture(
+        "lock-order-clean",
+        &[
+            ("crates/sim/src/lockdep.rs", RANKS_RS),
+            (
+                "crates/messaging/src/cluster.rs",
+                "pub fn f(state: &L) {\n\
+                 \x20   let a = state.lock();\n\
+                 \x20   drop(a);\n\
+                 \x20   let b = state.lock();\n\
+                 }\n",
+            ),
+        ],
+    );
+    assert_clean(&clean);
+}
+
+#[test]
+fn lock_order_lint_reports_rank_table_drift() {
+    // A RANKS table missing a name that LOCK_FIELDS maps to is drift:
+    // the static and runtime checkers would silently disagree.
+    let hit = fixture(
+        "lock-drift-hit",
+        &[(
+            "crates/sim/src/lockdep.rs",
+            "pub const RANKS: &[(&str, u32)] = &[(\"cluster.state\", 40)];\n",
+        )],
+    );
+    assert_hit(&hit, "lock-order");
+}
+
+#[test]
+fn fault_site_lint_checks_registry_both_ways() {
+    // An unregistered tick() string AND a registered site nobody calls.
+    let hit = fixture(
+        "fault-site-hit",
+        &[
+            (
+                "crates/sim/src/failure.rs",
+                "pub const SITES: &[&str] = &[\"log.append\"];\n",
+            ),
+            (
+                "crates/log/src/lib.rs",
+                "#![forbid(unsafe_code)]\n\
+                 pub fn f(injector: &I) {\n    injector.tick(\"log.bogus\");\n}\n",
+            ),
+        ],
+    );
+    let out = lint(&hit);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{stdout}");
+    assert!(stdout.contains("\"log.bogus\" is not registered"), "stdout:\n{stdout}");
+    assert!(stdout.contains("\"log.append\" has no injector.tick"), "stdout:\n{stdout}");
+
+    // Call the registered site and both directions are satisfied.
+    let clean = fixture(
+        "fault-site-clean",
+        &[
+            (
+                "crates/sim/src/failure.rs",
+                "pub const SITES: &[&str] = &[\"log.append\"];\n",
+            ),
+            (
+                "crates/log/src/lib.rs",
+                "#![forbid(unsafe_code)]\n\
+                 pub fn f(injector: &I) {\n    injector.tick(\"log.append\");\n}\n",
+            ),
+        ],
+    );
+    assert_clean(&clean);
+}
+
+#[test]
+fn fault_site_lint_rejects_non_literal_sites() {
+    let hit = fixture(
+        "fault-site-dynamic",
+        &[
+            (
+                "crates/sim/src/failure.rs",
+                "pub const SITES: &[&str] = &[\"log.append\"];\n",
+            ),
+            (
+                "crates/log/src/lib.rs",
+                "#![forbid(unsafe_code)]\n\
+                 pub fn f(injector: &I, site: &str) {\n\
+                 \x20   injector.tick(\"log.append\");\n\
+                 \x20   injector.tick(site);\n}\n",
+            ),
+        ],
+    );
+    assert_hit(&hit, "fault-site");
+}
+
+#[test]
+fn raw_io_lint_confines_fs_to_storage_layer() {
+    let hit = fixture(
+        "raw-io-hit",
+        &[(
+            "crates/kv/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             pub fn f() {\n    let _ = std::fs::read(\"x\");\n}\n",
+        )],
+    );
+    assert_hit(&hit, "raw-io");
+
+    // The same call in an allowed storage file passes.
+    let clean = fixture(
+        "raw-io-clean",
+        &[
+            ("crates/kv/src/lib.rs", LIB_HEADER),
+            (
+                "crates/kv/src/wal.rs",
+                "pub fn f() {\n    let _ = std::fs::read(\"x\");\n}\n",
+            ),
+        ],
+    );
+    assert_clean(&clean);
+}
+
+#[test]
+fn forbid_unsafe_lint_requires_attribute_and_bans_token() {
+    let missing_attr = fixture(
+        "unsafe-missing-attr",
+        &[("crates/core/src/lib.rs", "pub fn f() {}\n")],
+    );
+    assert_hit(&missing_attr, "forbid-unsafe");
+
+    let unsafe_token = fixture(
+        "unsafe-token",
+        &[(
+            "crates/core/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             pub fn f(p: *const u32) -> u32 {\n    unsafe { *p }\n}\n",
+        )],
+    );
+    assert_hit(&unsafe_token, "forbid-unsafe");
+
+    let clean = fixture(
+        "unsafe-clean",
+        &[("crates/core/src/lib.rs", "#![forbid(unsafe_code)]\npub fn f() {}\n")],
+    );
+    assert_clean(&clean);
+}
+
+#[test]
+fn lint_allow_lint_rejects_unused_and_unknown_directives() {
+    let unused = fixture(
+        "allow-unused",
+        &[(
+            "crates/core/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             // lint:allow(panic, reason=suppresses nothing)\n\
+             pub fn f() {}\n",
+        )],
+    );
+    assert_hit(&unused, "lint-allow");
+
+    let unknown = fixture(
+        "allow-unknown",
+        &[(
+            "crates/core/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             pub fn f() {\n\
+             \x20   // lint:allow(speling, reason=no such lint)\n\
+             \x20   panic!(\"x\");\n}\n",
+        )],
+    );
+    assert_hit(&unknown, "lint-allow");
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    // The acceptance bar: `liquid-lint --deny` exits 0 on the actual
+    // tree. CARGO_MANIFEST_DIR is crates/analyzer, so the workspace
+    // root is two levels up.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap();
+    assert_clean(&root);
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_liquid-lint"))
+        .arg("--frobnicate")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

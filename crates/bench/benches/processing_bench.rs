@@ -92,7 +92,7 @@ fn state_store_ops(c: &mut Criterion) {
         cluster
             .create_topic("cl", TopicConfig::with_partitions(1).compacted())
             .unwrap();
-        let mut store = StateStore::with_changelog(cluster, TopicPartition::new("cl", 0));
+        let mut store = StateStore::with_changelog(cluster, TopicPartition::new("cl", 0)).unwrap();
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
@@ -146,7 +146,7 @@ fn changelog_restore(c: &mut Criterion) {
                 cluster.compact_topic("cl").unwrap();
             }
             b.iter(|| {
-                let mut store = StateStore::with_changelog(cluster.clone(), tp.clone());
+                let mut store = StateStore::with_changelog(cluster.clone(), tp.clone()).unwrap();
                 store.restore_from_changelog().unwrap()
             });
         });

@@ -4,4 +4,6 @@
 //! E1–E10) and `benches/` for the Criterion microbenchmarks. Shared
 //! helpers live in [`report`].
 
+#![forbid(unsafe_code)]
+
 pub mod report;

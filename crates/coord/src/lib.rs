@@ -14,6 +14,8 @@
 //! * the standard **leader election** recipe built from ephemeral
 //!   sequential nodes ([`election`]).
 
+#![forbid(unsafe_code)]
+
 pub mod election;
 pub mod session;
 pub mod tree;

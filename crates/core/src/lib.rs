@@ -55,6 +55,8 @@
 //! # let _ = handle;
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod acl;
 pub mod architectures;
 pub mod etl;

@@ -15,6 +15,8 @@
 //!   MR/DFS pipeline latency against Liquid's log-based path in the
 //!   same currency (simulated nanoseconds).
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashMap;
 use std::sync::Arc;
 

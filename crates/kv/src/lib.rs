@@ -18,6 +18,8 @@
 //! layer needs from RocksDB: `get`/`put`/`delete`/`range`, plus
 //! `flush` and restart recovery.
 
+#![forbid(unsafe_code)]
+
 pub mod bloom;
 pub mod error;
 pub mod memtable;

@@ -165,17 +165,16 @@ impl SsTable {
             return Err(KvError::Corrupt("sstable too small".into()));
         }
         let (body, crc_bytes) = data.split_at(data.len() - 4);
-        let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
-        if crate::wal::crc32_public(body) != stored {
+        if crate::wal::crc32_public(body) != le_u32(crc_bytes)? {
             return Err(KvError::Corrupt("sstable crc mismatch".into()));
         }
-        let magic = u32::from_le_bytes(body[0..4].try_into().expect("4 bytes"));
+        let magic = le_u32(&body[0..4])?;
         if magic != MAGIC {
             return Err(KvError::Corrupt(format!("bad magic {magic:#x}")));
         }
-        let id = u64::from_le_bytes(body[4..12].try_into().expect("8 bytes"));
-        let count = u64::from_le_bytes(body[12..20].try_into().expect("8 bytes")) as usize;
-        let bloom_len = u32::from_le_bytes(body[20..24].try_into().expect("4 bytes")) as usize;
+        let id = le_u64(&body[4..12])?;
+        let count = le_u64(&body[12..20])? as usize;
+        let bloom_len = le_u32(&body[20..24])? as usize;
         if body.len() < 24 + bloom_len {
             return Err(KvError::Corrupt("bloom truncated".into()));
         }
@@ -191,7 +190,7 @@ impl SsTable {
                 }
             };
             need(4, pos)?;
-            let klen = u32::from_le_bytes(body[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let klen = le_u32(&body[pos..pos + 4])? as usize;
             pos += 4;
             need(klen + 1, pos)?;
             let key = Bytes::copy_from_slice(&body[pos..pos + klen]);
@@ -201,8 +200,7 @@ impl SsTable {
             let value = match tag {
                 0 => {
                     need(4, pos)?;
-                    let vlen = u32::from_le_bytes(body[pos..pos + 4].try_into().expect("4 bytes"))
-                        as usize;
+                    let vlen = le_u32(&body[pos..pos + 4])? as usize;
                     pos += 4;
                     need(vlen, pos)?;
                     let v = Bytes::copy_from_slice(&body[pos..pos + vlen]);
@@ -232,6 +230,23 @@ impl SsTable {
     pub fn read_from(path: &Path) -> crate::Result<SsTable> {
         let data = std::fs::read(path)?;
         SsTable::decode(&data)
+    }
+}
+
+/// Reads a little-endian u32; a short slice is a corruption error, not
+/// a panic — decode runs on bytes that crossed a fault-injected medium.
+fn le_u32(bytes: &[u8]) -> crate::Result<u32> {
+    match bytes.try_into() {
+        Ok(arr) => Ok(u32::from_le_bytes(arr)),
+        Err(_) => Err(KvError::Corrupt("truncated u32 field".into())),
+    }
+}
+
+/// Reads a little-endian u64 with the same contract as [`le_u32`].
+fn le_u64(bytes: &[u8]) -> crate::Result<u64> {
+    match bytes.try_into() {
+        Ok(arr) => Ok(u64::from_le_bytes(arr)),
+        Err(_) => Err(KvError::Corrupt("truncated u64 field".into())),
     }
 }
 

@@ -171,12 +171,19 @@ fn decode_all(data: &[u8]) -> (Vec<WalOp>, usize) {
     let mut ops = Vec::new();
     let mut pos = 0;
     while pos + 4 <= data.len() {
-        let body_len = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        // A malformed frame is treated like a torn tail: stop replaying.
+        let Ok(len_bytes) = <[u8; 4]>::try_from(&data[pos..pos + 4]) else {
+            break;
+        };
+        let body_len = u32::from_le_bytes(len_bytes) as usize;
         if body_len < 13 || pos + 4 + body_len > data.len() {
             break;
         }
         let body = &data[pos + 4..pos + 4 + body_len];
-        let stored_crc = u32::from_le_bytes(body[0..4].try_into().expect("4 bytes"));
+        let Ok(crc_bytes) = <[u8; 4]>::try_from(&body[0..4]) else {
+            break;
+        };
+        let stored_crc = u32::from_le_bytes(crc_bytes);
         if crc32(&body[4..]) != stored_crc {
             break;
         }

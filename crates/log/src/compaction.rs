@@ -85,7 +85,7 @@ impl Log {
         // un-bumped — exactly the state a real mid-compaction crash leaves.
         let injector = self.config().injector.clone();
         for &base in &sealed {
-            if injector.tick() {
+            if injector.tick("log.compact") {
                 return Err(crate::LogError::Injected("log.compact"));
             }
             let seg = &self.segments()[&base];
@@ -95,17 +95,22 @@ impl Log {
                 .into_iter()
                 .filter(|rec| match &rec.key {
                     None => true,
-                    Some(k) => {
-                        let &(newest, is_tomb) = latest.get(k).expect("key seen in pass 1");
-                        if rec.offset != newest {
-                            return false;
+                    Some(k) => match latest.get(k) {
+                        Some(&(newest, is_tomb)) => {
+                            if rec.offset != newest {
+                                return false;
+                            }
+                            if is_tomb && drop_tombstones {
+                                stats.tombstones_removed += 1;
+                                return false;
+                            }
+                            true
                         }
-                        if is_tomb && drop_tombstones {
-                            stats.tombstones_removed += 1;
-                            return false;
-                        }
-                        true
-                    }
+                        // Pass 1 indexed every keyed record in these same
+                        // segments; if an entry is somehow absent, keeping
+                        // the record is the safe direction.
+                        None => true,
+                    },
                 })
                 .collect();
             let storage = self.storage_kind().create(base)?;

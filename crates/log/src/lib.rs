@@ -25,6 +25,8 @@
 //! Records carry a wire format with a CRC so corruption is detected on
 //! read ([`record`]).
 
+#![forbid(unsafe_code)]
+
 pub mod compaction;
 pub mod error;
 pub mod log;

@@ -133,6 +133,7 @@ impl Log {
 
     /// Convenience: in-memory log with default config.
     pub fn in_memory(clock: SharedClock) -> Self {
+        // lint:allow(unwrap, reason=default config uses in-memory storage with a disabled injector; open has no fallible step on that path)
         Log::open(LogConfig::default(), clock).expect("memory log cannot fail")
     }
 
@@ -185,7 +186,7 @@ impl Log {
         value: Bytes,
         timestamp: Ts,
     ) -> crate::Result<u64> {
-        if self.config.injector.tick() {
+        if self.config.injector.tick("log.append") {
             return Err(LogError::Injected("log.append"));
         }
         let offset = self.next_offset();
@@ -196,12 +197,8 @@ impl Log {
             value,
         };
         self.maybe_roll()?;
-        let (base, file_id) = {
-            let base = self.active_base();
-            (base, self.file_id(base))
-        };
-        let seg = self.segments.get_mut(&base).expect("active exists");
-        let (pos, len) = seg.append(&record)?;
+        let file_id = self.file_id(self.active_base());
+        let (pos, len) = self.active_mut().append(&record)?;
         if let Some((cache, _)) = &self.cache {
             cache.lock().write(file_id, pos, len as usize);
         }
@@ -239,8 +236,9 @@ impl Log {
             .segments
             .range(..=cursor)
             .next_back()
+            .or_else(|| self.segments.iter().next())
             .map(|(&b, _)| b)
-            .unwrap_or_else(|| *self.segments.keys().next().expect("non-empty"));
+            .unwrap_or(cursor);
         for (&base, seg) in self.segments.range(start_base..) {
             if budget == 0 {
                 break;
@@ -345,22 +343,11 @@ impl Log {
         if self.segments.is_empty() {
             self.roll_new_segment(offset)?;
             self.start_offset = self.start_offset.min(offset);
-        } else {
+        } else if let Some(last) = self.segments.values().next_back() {
             // Reactivate the last remaining segment for appends by
             // rolling a fresh active segment after it.
-            let next = self
-                .segments
-                .values()
-                .next_back()
-                .expect("non-empty")
-                .next_offset();
-            if self
-                .segments
-                .values()
-                .next_back()
-                .map(|s| s.is_sealed())
-                .unwrap_or(true)
-            {
+            let (next, sealed) = (last.next_offset(), last.is_sealed());
+            if sealed {
                 self.roll_new_segment(next)?;
             }
         }
@@ -369,8 +356,7 @@ impl Log {
 
     /// Flushes the active segment.
     pub fn flush(&mut self) -> crate::Result<()> {
-        let base = self.active_base();
-        self.segments.get_mut(&base).expect("active exists").flush()
+        self.active_mut().flush()
     }
 
     /// Iterates over sealed segments' `(base, record_count, size_bytes)`
@@ -384,11 +370,19 @@ impl Log {
     }
 
     pub(crate) fn active(&self) -> &Segment {
+        // lint:allow(unwrap, reason=open() always rolls a segment and nothing removes the last one, so the map is never empty)
         self.segments.values().next_back().expect("log non-empty")
     }
 
     pub(crate) fn active_base(&self) -> u64 {
+        // lint:allow(unwrap, reason=open() always rolls a segment and nothing removes the last one, so the map is never empty)
         *self.segments.keys().next_back().expect("log non-empty")
+    }
+
+    fn active_mut(&mut self) -> &mut Segment {
+        let base = self.active_base();
+        // lint:allow(unwrap, reason=base came from active_base on the same map under &mut self, so the entry is present)
+        self.segments.get_mut(&base).expect("active exists")
     }
 
     pub(crate) fn sealed_bases(&self) -> Vec<u64> {
@@ -437,11 +431,10 @@ impl Log {
             (a.size_bytes(), a.next_offset())
         };
         if size >= self.config.segment_bytes {
-            if self.config.injector.tick() {
+            if self.config.injector.tick("log.roll") {
                 return Err(LogError::Injected("log.roll"));
             }
-            let base = self.active_base();
-            self.segments.get_mut(&base).expect("active exists").seal();
+            self.active_mut().seal();
             self.roll_new_segment(next)?;
         }
         Ok(())

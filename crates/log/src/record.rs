@@ -80,7 +80,7 @@ impl Record {
         if data.len() < 4 {
             return Err(LogError::Corrupt("truncated length prefix".into()));
         }
-        let body_len = u32::from_le_bytes(data[0..4].try_into().expect("4 bytes")) as usize;
+        let body_len = le_u32(&data[0..4])? as usize;
         if body_len < 4 + 8 + 8 + 4 {
             return Err(LogError::Corrupt(format!("body too small: {body_len}")));
         }
@@ -92,16 +92,16 @@ impl Record {
             )));
         }
         let body = &data[4..4 + body_len];
-        let stored_crc = u32::from_le_bytes(body[0..4].try_into().expect("4 bytes"));
+        let stored_crc = le_u32(&body[0..4])?;
         let actual_crc = crc32(&body[4..]);
         if stored_crc != actual_crc {
             return Err(LogError::Corrupt(format!(
                 "crc mismatch: stored {stored_crc:#010x} actual {actual_crc:#010x}"
             )));
         }
-        let offset = u64::from_le_bytes(body[4..12].try_into().expect("8 bytes"));
-        let timestamp = u64::from_le_bytes(body[12..20].try_into().expect("8 bytes"));
-        let klen = i32::from_le_bytes(body[20..24].try_into().expect("4 bytes"));
+        let offset = le_u64(&body[4..12])?;
+        let timestamp = le_u64(&body[12..20])?;
+        let klen = le_i32(&body[20..24])?;
         let rest = &body[24..];
         let (key, value) = if klen < 0 {
             (None, Bytes::copy_from_slice(rest))
@@ -124,6 +124,31 @@ impl Record {
             },
             4 + body_len,
         ))
+    }
+}
+
+/// Reads a little-endian u32; a short slice is a corruption error, not
+/// a panic — decode runs on bytes that crossed a fault-injected medium.
+fn le_u32(bytes: &[u8]) -> crate::Result<u32> {
+    match bytes.try_into() {
+        Ok(arr) => Ok(u32::from_le_bytes(arr)),
+        Err(_) => Err(LogError::Corrupt("truncated u32 field".into())),
+    }
+}
+
+/// Reads a little-endian u64 with the same contract as [`le_u32`].
+fn le_u64(bytes: &[u8]) -> crate::Result<u64> {
+    match bytes.try_into() {
+        Ok(arr) => Ok(u64::from_le_bytes(arr)),
+        Err(_) => Err(LogError::Corrupt("truncated u64 field".into())),
+    }
+}
+
+/// Reads a little-endian i32 with the same contract as [`le_u32`].
+fn le_i32(bytes: &[u8]) -> crate::Result<i32> {
+    match bytes.try_into() {
+        Ok(arr) => Ok(i32::from_le_bytes(arr)),
+        Err(_) => Err(LogError::Corrupt("truncated i32 field".into())),
     }
 }
 

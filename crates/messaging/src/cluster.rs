@@ -23,7 +23,7 @@ use liquid_coord::{CoordService, Session};
 use liquid_log::{Log, LogError};
 use liquid_sim::clock::SharedClock;
 use liquid_sim::failure::FailureInjector;
-use parking_lot::RwLock;
+use liquid_sim::lockdep::RwLock;
 
 use crate::config::{AckLevel, TopicConfig};
 use crate::error::MessagingError;
@@ -179,7 +179,9 @@ impl Cluster {
     /// the coordination service under `/liquid/brokers/<id>`.
     pub fn new(config: ClusterConfig, clock: SharedClock) -> Self {
         let coord = CoordService::new(clock.clone());
+        // lint:allow(unwrap, reason=the coord service was created one line up, so these static paths cannot collide or have a missing parent)
         coord.ensure_path("/liquid/brokers").expect("static path");
+        // lint:allow(unwrap, reason=the coord service was created two lines up, so these static paths cannot collide or have a missing parent)
         coord.ensure_path("/liquid/topics").expect("static path");
         let mut brokers = BTreeMap::new();
         for id in 0..config.brokers {
@@ -191,6 +193,7 @@ impl Cluster {
                     liquid_coord::CreateMode::Ephemeral,
                     Some(session.id()),
                 )
+                // lint:allow(unwrap, reason=broker ids are unique in this loop and the tree is fresh, so the ephemeral path cannot exist yet)
                 .expect("fresh broker path");
             brokers.insert(
                 id,
@@ -206,7 +209,7 @@ impl Cluster {
                 config,
                 clock: clock.clone(),
                 coord,
-                state: RwLock::new(State {
+                state: RwLock::new("cluster.state", State {
                     brokers,
                     topics: BTreeMap::new(),
                 }),
@@ -384,7 +387,10 @@ impl Cluster {
             }
             ps.producer_seqs.insert(producer_id, sequence);
         }
-        let leader_log = ps.replicas.get_mut(&leader).expect("leader has replica");
+        let leader_log = ps
+            .replicas
+            .get_mut(&leader)
+            .ok_or_else(|| MessagingError::PartitionUnavailable(tp.clone()))?;
         let offset = leader_log.append_with_timestamp(key.clone(), value.clone(), now)?;
         match acks {
             AckLevel::All => {
@@ -396,7 +402,7 @@ impl Cluster {
                     if b == leader || !brokers_online[&b] {
                         continue;
                     }
-                    if self.inner.config.injector.tick() {
+                    if self.inner.config.injector.tick("replication.fetch") {
                         // Crash mid-replication: the leader appended but
                         // not every ISR member confirmed. The high
                         // watermark stays put, so the record is unacked.
@@ -548,10 +554,13 @@ impl Cluster {
         for topic in &topics {
             let nparts = st.topics[topic].partitions.len();
             for p in 0..nparts {
-                let ps = &mut st.topics.get_mut(topic).expect("topic exists").partitions[p];
+                let Some(t) = st.topics.get_mut(topic) else {
+                    break;
+                };
+                let ps = &mut t.partitions[p];
                 let Some(leader) = ps.leader.filter(|b| online[b]) else {
                     // Try to recover leadership if a replica came back.
-                    if self.inner.config.injector.tick() {
+                    if self.inner.config.injector.tick("cluster.election") {
                         // Controller crash before the election: the
                         // partition stays leaderless until the next tick.
                         return Err(MessagingError::Injected("cluster.election"));
@@ -568,7 +577,7 @@ impl Cluster {
                     .filter(|&b| b != leader && online[&b])
                     .collect();
                 for b in followers {
-                    if self.inner.config.injector.tick() {
+                    if self.inner.config.injector.tick("replication.fetch") {
                         return Err(MessagingError::Injected("replication.fetch"));
                     }
                     let copied = catch_up(ps, leader, b)?;
@@ -622,7 +631,10 @@ impl Cluster {
             st.brokers.iter().map(|(&bid, b)| (bid, b.online)).collect();
         let topics: Vec<String> = st.topics.keys().cloned().collect();
         for topic in &topics {
-            for ps in &mut st.topics.get_mut(topic).expect("topic exists").partitions {
+            let Some(t) = st.topics.get_mut(topic) else {
+                continue;
+            };
+            for ps in &mut t.partitions {
                 // The dead broker stays in the ISR: the ISR is the set of
                 // replicas known to hold all committed data, and it is
                 // the candidate set for future elections — removing the
@@ -631,7 +643,7 @@ impl Cluster {
                 // ISR on the next replication tick instead.
                 if ps.leader == Some(id) {
                     ps.leader = None;
-                    if self.inner.config.injector.tick() {
+                    if self.inner.config.injector.tick("cluster.election") {
                         // Controller crash mid-failover: the broker is
                         // already offline and its session expired, but no
                         // new leader was chosen. The next replicate_tick
@@ -694,7 +706,10 @@ impl Cluster {
         // watermark is monotone and committed records sit below it.
         let topics: Vec<String> = st.topics.keys().cloned().collect();
         for topic in &topics {
-            for ps in &mut st.topics.get_mut(topic).expect("topic exists").partitions {
+            let Some(t) = st.topics.get_mut(topic) else {
+                continue;
+            };
+            for ps in &mut t.partitions {
                 if !ps.assignment.contains(&id) {
                     continue;
                 }
@@ -706,10 +721,9 @@ impl Cluster {
                 }
                 let own_end = ps.log_end(id);
                 if own_end > ps.high_watermark {
-                    ps.replicas
-                        .get_mut(&id)
-                        .expect("assigned replica")
-                        .truncate_to(ps.high_watermark)?;
+                    if let Some(log) = ps.replicas.get_mut(&id) {
+                        log.truncate_to(ps.high_watermark)?;
+                    }
                 }
             }
         }
@@ -744,17 +758,19 @@ impl Cluster {
         let mut moved = 0;
         let topics: Vec<String> = st.topics.keys().cloned().collect();
         for topic in &topics {
-            for ps in &mut st.topics.get_mut(topic).expect("topic exists").partitions {
+            let Some(t) = st.topics.get_mut(topic) else {
+                continue;
+            };
+            for ps in &mut t.partitions {
                 let preferred = ps
                     .assignment
                     .iter()
                     .copied()
                     .find(|b| ps.isr.contains(b) && online.get(b).copied().unwrap_or(false));
                 if let Some(p) = preferred {
-                    if ps.leader != Some(p) && ps.leader.is_some() {
+                    if let Some(current) = ps.leader.filter(|&c| c != p) {
                         // Only safe when the preferred replica is fully
                         // caught up with the current leader.
-                        let current = ps.leader.expect("checked above");
                         if ps.log_end(p) == ps.log_end(current) {
                             ps.leader = Some(p);
                             moved += 1;
@@ -940,21 +956,27 @@ fn catch_up(
     if from < ps.log_end(follower) {
         ps.replicas
             .get_mut(&follower)
-            .expect("follower replica")
+            .ok_or(MessagingError::UnknownBroker(follower))?
             .truncate_to(from)?;
     }
     if from >= to {
         return Ok((0, 0));
     }
     let records = {
-        let leader_log = ps.replicas.get(&leader).expect("leader replica");
+        let leader_log = ps
+            .replicas
+            .get(&leader)
+            .ok_or(MessagingError::UnknownBroker(leader))?;
         leader_log
             .read(from.max(leader_log.start_offset()), u64::MAX)?
             .records
     };
     let mut messages = 0u64;
     let mut bytes = 0u64;
-    let flog = ps.replicas.get_mut(&follower).expect("follower replica");
+    let flog = ps
+        .replicas
+        .get_mut(&follower)
+        .ok_or(MessagingError::UnknownBroker(follower))?;
     for rec in records {
         if rec.offset < from {
             continue;

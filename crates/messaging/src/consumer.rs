@@ -8,7 +8,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use parking_lot::Mutex;
+use liquid_sim::lockdep::Mutex;
 
 use crate::cluster::Cluster;
 use crate::group::AssignmentStrategy;
@@ -55,7 +55,7 @@ impl Consumer {
             cluster: cluster.clone(),
             member_id: member_id.to_string(),
             group: None,
-            state: Mutex::new(ConsumerState::default()),
+            state: Mutex::new("consumer.state", ConsumerState::default()),
             max_poll_bytes: u64::MAX,
         }
     }
@@ -66,7 +66,7 @@ impl Consumer {
             cluster: cluster.clone(),
             member_id: member_id.to_string(),
             group: Some(group.to_string()),
-            state: Mutex::new(ConsumerState::default()),
+            state: Mutex::new("consumer.state", ConsumerState::default()),
             max_poll_bytes: u64::MAX,
         }
     }

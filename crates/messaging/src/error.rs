@@ -29,6 +29,14 @@ pub enum MessagingError {
         /// Suggested back-off before retrying (ms).
         retry_after_ms: u64,
     },
+    /// A quota usage counter would overflow `u64` — the client has
+    /// recorded an impossible volume of traffic inside one window.
+    /// Surfaced as an error instead of wrapping silently (which would
+    /// reset the counter and let the client bypass its quota).
+    QuotaOverflow {
+        /// The offending client id.
+        client: String,
+    },
     /// A fault injector fired at the named operation (simulated crash).
     Injected(&'static str),
 }
@@ -50,6 +58,9 @@ impl std::fmt::Display for MessagingError {
                 client,
                 retry_after_ms,
             } => write!(f, "client {client} throttled; retry in {retry_after_ms}ms"),
+            MessagingError::QuotaOverflow { client } => {
+                write!(f, "quota usage counter overflow for client {client}")
+            }
             MessagingError::Injected(op) => write!(f, "injected fault at {op}"),
         }
     }

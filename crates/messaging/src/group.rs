@@ -13,7 +13,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use liquid_sim::clock::Ts;
-use parking_lot::Mutex;
+use liquid_sim::lockdep::Mutex;
 
 use crate::cluster::Cluster;
 use crate::error::MessagingError;
@@ -51,9 +51,16 @@ pub(crate) struct GroupState {
 }
 
 /// Group-coordination state, owned by the [`Cluster`].
-#[derive(Default)]
 pub struct GroupRegistry {
     pub(crate) groups: Mutex<HashMap<String, GroupState>>,
+}
+
+impl Default for GroupRegistry {
+    fn default() -> Self {
+        GroupRegistry {
+            groups: Mutex::new("group.groups", HashMap::new()),
+        }
+    }
 }
 
 impl Cluster {
@@ -187,7 +194,9 @@ impl Cluster {
         }
         // Rebalance groups that lost members.
         for gname in dirty_groups {
-            let state = groups.get_mut(&gname).expect("group exists");
+            let Some(state) = groups.get_mut(&gname) else {
+                continue;
+            };
             let mut counts = BTreeMap::new();
             for t in state.topics.clone() {
                 counts.insert(t.clone(), self.partition_count(&t)?);
@@ -236,12 +245,10 @@ fn rebalance(state: &mut GroupState, partition_counts: &BTreeMap<String, u32>) {
                 let mut next = 0u32;
                 for (i, m) in members.iter().enumerate() {
                     let take = per + u32::from((i as u32) < extra);
-                    for p in next..next + take {
-                        state
-                            .assignments
-                            .get_mut(*m)
-                            .expect("member inserted")
-                            .push(TopicPartition::new(topic.clone(), p));
+                    if let Some(assigned) = state.assignments.get_mut(*m) {
+                        for p in next..next + take {
+                            assigned.push(TopicPartition::new(topic.clone(), p));
+                        }
                     }
                     next += take;
                 }
@@ -259,11 +266,9 @@ fn rebalance(state: &mut GroupState, partition_counts: &BTreeMap<String, u32>) {
             }
             for (i, tp) in all.into_iter().enumerate() {
                 let m = members[i % members.len()];
-                state
-                    .assignments
-                    .get_mut(m)
-                    .expect("member inserted")
-                    .push(tp);
+                if let Some(assigned) = state.assignments.get_mut(m) {
+                    assigned.push(tp);
+                }
             }
         }
     }

@@ -23,6 +23,8 @@
 //! Delivery is **at-least-once**: after a failure, consumers resume from
 //! their last committed offset and may observe duplicates (§4.3).
 
+#![forbid(unsafe_code)]
+
 pub mod admin;
 pub mod cluster;
 pub mod config;

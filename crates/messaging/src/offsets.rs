@@ -19,7 +19,7 @@ use bytes::Bytes;
 use liquid_log::{CleanupPolicy, Log, LogConfig};
 use liquid_sim::clock::{SharedClock, Ts};
 use liquid_sim::failure::FailureInjector;
-use parking_lot::Mutex;
+use liquid_sim::lockdep::Mutex;
 
 use crate::ids::TopicPartition;
 
@@ -68,7 +68,8 @@ impl OffsetManager {
             ..LogConfig::default()
         };
         OffsetManager {
-            inner: Mutex::new(Inner {
+            inner: Mutex::new("offsets.inner", Inner {
+                // lint:allow(unwrap, reason=the config above uses in-memory storage with a disabled injector; open has no fallible step on that path)
                 log: Log::open(cfg, clock.clone()).expect("memory log"),
                 index: HashMap::new(),
                 history: HashMap::new(),
@@ -86,7 +87,7 @@ impl OffsetManager {
         offset: u64,
         metadata: BTreeMap<String, String>,
     ) -> crate::Result<()> {
-        if self.injector.tick() {
+        if self.injector.tick("offsets.commit") {
             // Crash before the commit reaches the backing log: the
             // consumer resumes from its previous checkpoint.
             return Err(crate::MessagingError::Injected("offsets.commit"));
@@ -176,14 +177,11 @@ impl OffsetManager {
 
     /// Rebuilds the latest-commit index purely from the backing log
     /// (recovery path: proves commits survive in the log itself).
-    pub fn recover_index_from_log(&self) -> usize {
+    /// Returns the number of `(group, partition)` entries recovered.
+    pub fn recover_index_from_log(&self) -> crate::Result<usize> {
         let mut inner = self.inner.lock();
         let start = inner.log.start_offset();
-        let records = inner
-            .log
-            .read(start, u64::MAX)
-            .expect("backing log readable")
-            .records;
+        let records = inner.log.read(start, u64::MAX)?.records;
         let mut rebuilt: HashMap<(String, TopicPartition), OffsetCommit> = HashMap::new();
         for rec in records {
             let Some(key) = &rec.key else { continue };
@@ -196,7 +194,7 @@ impl OffsetManager {
         }
         let n = rebuilt.len();
         inner.index = rebuilt;
-        n
+        Ok(n)
     }
 }
 
@@ -347,7 +345,7 @@ mod tests {
         let tp = TopicPartition::new("t", 3);
         m.commit("g", &tp, 7, meta(&[("a", "b")])).unwrap();
         m.commit("g", &tp, 8, meta(&[("a", "c")])).unwrap();
-        let n = m.recover_index_from_log();
+        let n = m.recover_index_from_log().unwrap();
         assert_eq!(n, 1);
         let c = m.fetch("g", &tp).unwrap();
         assert_eq!(c.offset, 8);
@@ -368,7 +366,7 @@ mod tests {
         assert!(ratio > 0.5, "dedup ratio {ratio}");
         assert!(m.backing_log_bytes() < before);
         // Latest commit still recoverable from the compacted log.
-        m.recover_index_from_log();
+        m.recover_index_from_log().unwrap();
         assert_eq!(m.fetch_offset("g", &tp), Some(4999));
     }
 

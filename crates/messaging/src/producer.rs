@@ -120,7 +120,7 @@ impl Producer {
     pub fn send(&self, key: Option<Bytes>, value: Bytes) -> crate::Result<(u32, u64)> {
         if let Some(client) = &self.client_id {
             if let crate::quotas::QuotaDecision::Throttle { retry_after_ms } =
-                self.cluster.quotas().check(client, value.len() as u64)
+                self.cluster.quotas().check(client, value.len() as u64)?
             {
                 return Err(crate::MessagingError::Throttled {
                     client: client.clone(),

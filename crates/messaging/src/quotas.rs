@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 
 use liquid_sim::clock::{SharedClock, Ts};
-use parking_lot::Mutex;
+use liquid_sim::lockdep::Mutex;
 
 /// Outcome of a quota check.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,9 +46,9 @@ impl QuotaManager {
         QuotaManager {
             clock,
             window_ms: 1_000,
-            limits: Mutex::new(HashMap::new()),
-            usage: Mutex::new(HashMap::new()),
-            throttled_total: Mutex::new(HashMap::new()),
+            limits: Mutex::new("quota.limits", HashMap::new()),
+            usage: Mutex::new("quota.usage", HashMap::new()),
+            throttled_total: Mutex::new("quota.throttled", HashMap::new()),
         }
     }
 
@@ -74,9 +74,15 @@ impl QuotaManager {
     /// Accounts `bytes` for `client` and decides whether to throttle.
     /// The bytes are charged even when throttled (the request already
     /// hit the broker), matching Kafka's behaviour.
-    pub fn check(&self, client: &str, bytes: u64) -> QuotaDecision {
+    ///
+    /// Errors with [`MessagingError::QuotaOverflow`] if the usage
+    /// counter would overflow — wrapping would reset the window and
+    /// hand the client a fresh quota it did not earn.
+    ///
+    /// [`MessagingError::QuotaOverflow`]: crate::MessagingError::QuotaOverflow
+    pub fn check(&self, client: &str, bytes: u64) -> crate::Result<QuotaDecision> {
         let Some(&limit) = self.limits.lock().get(client) else {
-            return QuotaDecision::Allow;
+            return Ok(QuotaDecision::Allow);
         };
         let now = self.clock.now();
         let mut usage = self.usage.lock();
@@ -88,18 +94,22 @@ impl QuotaManager {
             u.window_start = now;
             u.bytes_in_window = 0;
         }
-        u.bytes_in_window += bytes;
+        u.bytes_in_window = u.bytes_in_window.checked_add(bytes).ok_or_else(|| {
+            crate::MessagingError::QuotaOverflow {
+                client: client.to_string(),
+            }
+        })?;
         if u.bytes_in_window > limit {
             *self
                 .throttled_total
                 .lock()
                 .entry(client.to_string())
                 .or_default() += 1;
-            QuotaDecision::Throttle {
+            Ok(QuotaDecision::Throttle {
                 retry_after_ms: (u.window_start + self.window_ms).saturating_sub(now).max(1),
-            }
+            })
         } else {
-            QuotaDecision::Allow
+            Ok(QuotaDecision::Allow)
         }
     }
 
@@ -144,7 +154,7 @@ mod tests {
     fn unlimited_clients_always_allowed() {
         let (q, _) = mgr();
         for _ in 0..100 {
-            assert_eq!(q.check("free", 1 << 20), QuotaDecision::Allow);
+            assert_eq!(q.check("free", 1 << 20).unwrap(), QuotaDecision::Allow);
         }
         assert_eq!(q.throttle_count("free"), 0);
     }
@@ -153,9 +163,9 @@ mod tests {
     fn limit_throttles_within_window() {
         let (q, _) = mgr();
         q.set_limit("noisy", 1_000);
-        assert_eq!(q.check("noisy", 600), QuotaDecision::Allow);
-        assert_eq!(q.check("noisy", 300), QuotaDecision::Allow);
-        match q.check("noisy", 300) {
+        assert_eq!(q.check("noisy", 600).unwrap(), QuotaDecision::Allow);
+        assert_eq!(q.check("noisy", 300).unwrap(), QuotaDecision::Allow);
+        match q.check("noisy", 300).unwrap() {
             QuotaDecision::Throttle { retry_after_ms } => {
                 assert!((1..=1_000).contains(&retry_after_ms))
             }
@@ -168,10 +178,10 @@ mod tests {
     fn window_turnover_resets_usage() {
         let (q, clock) = mgr();
         q.set_limit("c", 100);
-        assert_eq!(q.check("c", 100), QuotaDecision::Allow);
-        assert!(matches!(q.check("c", 1), QuotaDecision::Throttle { .. }));
+        assert_eq!(q.check("c", 100).unwrap(), QuotaDecision::Allow);
+        assert!(matches!(q.check("c", 1).unwrap(), QuotaDecision::Throttle { .. }));
         clock.advance(1_000);
-        assert_eq!(q.check("c", 100), QuotaDecision::Allow);
+        assert_eq!(q.check("c", 100).unwrap(), QuotaDecision::Allow);
     }
 
     #[test]
@@ -179,17 +189,33 @@ mod tests {
         let (q, _) = mgr();
         q.set_limit("a", 100);
         q.set_limit("b", 100);
-        assert!(matches!(q.check("a", 200), QuotaDecision::Throttle { .. }));
-        assert_eq!(q.check("b", 50), QuotaDecision::Allow);
+        assert!(matches!(q.check("a", 200).unwrap(), QuotaDecision::Throttle { .. }));
+        assert_eq!(q.check("b", 50).unwrap(), QuotaDecision::Allow);
     }
 
     #[test]
     fn clear_limit_unthrottles() {
         let (q, _) = mgr();
         q.set_limit("c", 1);
-        assert!(matches!(q.check("c", 10), QuotaDecision::Throttle { .. }));
+        assert!(matches!(q.check("c", 10).unwrap(), QuotaDecision::Throttle { .. }));
         q.clear_limit("c");
-        assert_eq!(q.check("c", 1 << 30), QuotaDecision::Allow);
+        assert_eq!(q.check("c", 1 << 30).unwrap(), QuotaDecision::Allow);
+    }
+
+    #[test]
+    fn usage_overflow_is_an_error_not_a_reset() {
+        let (q, _) = mgr();
+        q.set_limit("huge", u64::MAX);
+        assert!(matches!(
+            q.check("huge", u64::MAX).unwrap(),
+            QuotaDecision::Allow
+        ));
+        // A second charge in the same window would wrap the counter —
+        // silently wrapping would grant a fresh quota mid-window.
+        assert!(matches!(
+            q.check("huge", 1),
+            Err(crate::MessagingError::QuotaOverflow { client }) if client == "huge"
+        ));
     }
 
     #[test]
@@ -198,9 +224,9 @@ mod tests {
         q.set_limit("a", 1);
         q.set_limit("b", 1);
         for _ in 0..3 {
-            q.check("a", 10);
+            q.check("a", 10).unwrap();
         }
-        q.check("b", 10);
+        q.check("b", 10).unwrap();
         let worst = q.worst_offenders();
         assert_eq!(worst[0], ("a".to_string(), 3));
         assert_eq!(worst[1], ("b".to_string(), 1));

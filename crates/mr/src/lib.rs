@@ -20,6 +20,8 @@
 //!
 //! Records travel as UTF-8 lines `key\tvalue`.
 
+#![forbid(unsafe_code)]
+
 use std::collections::BTreeMap;
 
 use liquid_dfs::Dfs;

@@ -151,23 +151,30 @@ impl<'a> RunningStats<'a> {
         Ok(v)
     }
 
-    /// Current view (empty view if absent).
+    /// Current view (empty view if absent or malformed).
     pub fn get(&self, store: &mut StateStore, key: &[u8]) -> StatsView {
-        match store.get(&self.key(key)) {
-            Some(v) if v.len() == 32 => StatsView {
-                count: u64::from_le_bytes(v[0..8].try_into().expect("8")),
-                sum: u64::from_le_bytes(v[8..16].try_into().expect("8")),
-                min: u64::from_le_bytes(v[16..24].try_into().expect("8")),
-                max: u64::from_le_bytes(v[24..32].try_into().expect("8")),
-            },
-            _ => StatsView {
+        store
+            .get(&self.key(key))
+            .as_deref()
+            .and_then(stats_view_from_bytes)
+            .unwrap_or(StatsView {
                 count: 0,
                 sum: 0,
                 min: u64::MAX,
                 max: 0,
-            },
-        }
+            })
     }
+}
+
+/// Decodes the 32-byte stats encoding; `None` on any size mismatch —
+/// a malformed value reads as the empty view rather than panicking.
+fn stats_view_from_bytes(v: &[u8]) -> Option<StatsView> {
+    Some(StatsView {
+        count: u64::from_le_bytes(v.get(0..8)?.try_into().ok()?),
+        sum: u64::from_le_bytes(v.get(8..16)?.try_into().ok()?),
+        min: u64::from_le_bytes(v.get(16..24)?.try_into().ok()?),
+        max: u64::from_le_bytes(v.get(24..32)?.try_into().ok()?),
+    })
 }
 
 #[cfg(test)]
@@ -256,11 +263,11 @@ mod tests {
             .unwrap();
         let tp = TopicPartition::new("cl", 0);
         {
-            let mut s = StateStore::with_changelog(c.clone(), tp.clone());
+            let mut s = StateStore::with_changelog(c.clone(), tp.clone()).unwrap();
             let agg = KeyedAggregate::new("n");
             agg.add(&mut s, b"k", 7).unwrap();
         }
-        let mut restored = StateStore::with_changelog(c, tp);
+        let mut restored = StateStore::with_changelog(c, tp).unwrap();
         restored.restore_from_changelog().unwrap();
         assert_eq!(KeyedAggregate::new("n").get(&mut restored, b"k"), 7);
     }

@@ -12,6 +12,7 @@ use std::collections::{BTreeMap, HashMap};
 use liquid_kv::LsmConfig;
 use liquid_messaging::{AckLevel, Cluster, TopicConfig, TopicPartition};
 use liquid_sim::failure::FailureInjector;
+use liquid_sim::lockdep::Mutex;
 
 use crate::error::ProcessingError;
 use crate::state::StateStore;
@@ -119,6 +120,25 @@ impl JobConfig {
     }
 }
 
+/// Execution counters shared by every task of a job. Tasks running on
+/// parallel threads update this through a lockdep-tracked mutex (rank
+/// `job.metrics` — a leaf: it is never held across a cluster or store
+/// call, so it may be taken while any other lock is held but must not
+/// wrap one).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Completed `run_once` / `run_once_limited` rounds.
+    pub rounds: u64,
+    /// Completed `run_once_parallel` rounds.
+    pub parallel_rounds: u64,
+    /// Messages processed across all tasks.
+    pub messages: u64,
+    /// Checkpoints committed across all tasks.
+    pub checkpoints: u64,
+    /// Largest single task batch seen in any round.
+    pub max_task_batch: u64,
+}
+
 struct TaskInstance {
     partition: u32,
     task: Box<dyn StreamTask>,
@@ -135,6 +155,7 @@ pub struct Job {
     tasks: Vec<TaskInstance>,
     processed_total: u64,
     restored_records: u64,
+    metrics: Mutex<RoundStats>,
 }
 
 impl Job {
@@ -179,12 +200,12 @@ impl Job {
                         injector: config.state_injector.clone(),
                         ..LsmConfig::default()
                     },
-                )
+                )?
             } else {
                 StateStore::ephemeral()
             };
             if config.stateful {
-                if config.injector.tick() {
+                if config.injector.tick("task.restore") {
                     // Crash before replaying the changelog: no state was
                     // restored, the job instance never came up.
                     return Err(ProcessingError::Injected("task.restore"));
@@ -230,6 +251,7 @@ impl Job {
             tasks,
             processed_total: 0,
             restored_records,
+            metrics: Mutex::new("job.metrics", RoundStats::default()),
         })
     }
 
@@ -253,6 +275,11 @@ impl Job {
         self.restored_records
     }
 
+    /// Snapshot of the job's execution counters.
+    pub fn round_stats(&self) -> RoundStats {
+        *self.metrics.lock()
+    }
+
     /// Runs one round: every task fetches one batch from each of its
     /// input partitions and processes it. Returns messages processed.
     pub fn run_once(&mut self) -> crate::Result<u64> {
@@ -265,11 +292,18 @@ impl Job {
         let mut processed = 0;
         let checkpoint_every = self.config.checkpoint_every;
         for t in &mut self.tasks {
-            processed += run_task_once(&self.cluster, &self.config, t, max_messages_per_task)?;
+            processed += run_task_once(
+                &self.cluster,
+                &self.config,
+                t,
+                max_messages_per_task,
+                &self.metrics,
+            )?;
             if checkpoint_every > 0 && t.since_checkpoint >= checkpoint_every {
-                checkpoint_task(&self.cluster, &self.config, t)?;
+                checkpoint_task(&self.cluster, &self.config, t, &self.metrics)?;
             }
         }
+        self.metrics.lock().rounds += 1;
         self.processed_total += processed;
         Ok(processed)
     }
@@ -282,15 +316,18 @@ impl Job {
     pub fn run_once_parallel(&mut self) -> crate::Result<u64> {
         let cluster = &self.cluster;
         let config = &self.config;
+        let metrics = &self.metrics;
         let results: Vec<crate::Result<u64>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .tasks
                 .iter_mut()
-                .map(|t| scope.spawn(move || run_task_once(cluster, config, t, u64::MAX)))
+                .map(|t| scope.spawn(move || run_task_once(cluster, config, t, u64::MAX, metrics)))
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("task thread panicked"))
+                // A panicking task is a bug in user task code; re-raise
+                // it with its original payload instead of masking it.
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
                 .collect()
         });
         let mut processed = 0;
@@ -301,10 +338,11 @@ impl Job {
         if checkpoint_every > 0 {
             for t in &mut self.tasks {
                 if t.since_checkpoint >= checkpoint_every {
-                    checkpoint_task(&self.cluster, &self.config, t)?;
+                    checkpoint_task(&self.cluster, &self.config, t, &self.metrics)?;
                 }
             }
         }
+        self.metrics.lock().parallel_rounds += 1;
         self.processed_total += processed;
         Ok(processed)
     }
@@ -341,7 +379,7 @@ impl Job {
     /// with the job's software version.
     pub fn checkpoint(&mut self) -> crate::Result<()> {
         for t in &mut self.tasks {
-            checkpoint_task(&self.cluster, &self.config, t)?;
+            checkpoint_task(&self.cluster, &self.config, t, &self.metrics)?;
         }
         Ok(())
     }
@@ -390,6 +428,7 @@ fn run_task_once(
     config: &JobConfig,
     t: &mut TaskInstance,
     max_messages: u64,
+    metrics: &Mutex<RoundStats>,
 ) -> crate::Result<u64> {
     let bootstrap = &config.bootstrap;
     let mut processed = 0;
@@ -430,6 +469,11 @@ fn run_task_once(
             bootstrap_lag += cluster.latest_offset(&tp)?.saturating_sub(t.positions[&tp]);
         }
     }
+    // Leaf lock, taken last and released before returning: holding
+    // `job.metrics` across a cluster call would invert the hierarchy.
+    let mut m = metrics.lock();
+    m.messages += processed;
+    m.max_task_batch = m.max_task_batch.max(processed);
     Ok(processed)
 }
 
@@ -437,8 +481,9 @@ fn checkpoint_task(
     cluster: &Cluster,
     config: &JobConfig,
     t: &mut TaskInstance,
+    metrics: &Mutex<RoundStats>,
 ) -> crate::Result<()> {
-    if config.injector.tick() {
+    if config.injector.tick("task.checkpoint") {
         // Crash before any position is committed: on restart the task
         // re-reads from its previous checkpoint (at-least-once).
         return Err(ProcessingError::Injected("task.checkpoint"));
@@ -457,6 +502,7 @@ fn checkpoint_task(
             .commit(&group, tp, offset, metadata.clone())?;
     }
     t.since_checkpoint = 0;
+    metrics.lock().checkpoints += 1;
     Ok(())
 }
 
@@ -674,6 +720,26 @@ mod tests {
         // Outputs all forwarded, lag drained.
         assert_eq!(job.lag().unwrap(), 0);
         assert_eq!(job.run_once_parallel().unwrap(), 0);
+        // Parallel tasks updated the shared (lockdep-tracked) counters.
+        let stats = job.round_stats();
+        assert_eq!(stats.parallel_rounds, 2);
+        assert_eq!(stats.messages, 1000);
+        assert_eq!(stats.max_task_batch, 250);
+    }
+
+    #[test]
+    fn round_stats_track_rounds_messages_and_checkpoints() {
+        let c = setup(1);
+        fill(&c, "in", 0, 30);
+        let mut job = counting_job(&c, "meter");
+        job.run_until_idle(10).unwrap();
+        job.checkpoint().unwrap();
+        let stats = job.round_stats();
+        assert_eq!(stats.messages, 30);
+        assert_eq!(stats.max_task_batch, 30);
+        assert!(stats.rounds >= 2, "processing round plus the idle round");
+        assert_eq!(stats.parallel_rounds, 0);
+        assert_eq!(stats.checkpoints, 1);
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //! * [`window`] and [`join`] provide the standard building blocks:
 //!   tumbling/sliding window aggregation, stream-table joins.
 
+#![forbid(unsafe_code)]
+
 pub mod aggregates;
 pub mod dsl;
 pub mod error;

@@ -229,11 +229,11 @@ mod tests {
         let tp = TopicPartition::new("cl", 0);
         let w = SessionWindow::new(1_000);
         {
-            let mut s = StateStore::with_changelog(c.clone(), tp.clone());
+            let mut s = StateStore::with_changelog(c.clone(), tp.clone()).unwrap();
             w.observe(&mut s, b"u1", 100).unwrap();
             w.observe(&mut s, b"u1", 300).unwrap();
         }
-        let mut restored = StateStore::with_changelog(c, tp);
+        let mut restored = StateStore::with_changelog(c, tp).unwrap();
         restored.restore_from_changelog().unwrap();
         // The open session continues where it left off.
         let closed = w.observe(&mut restored, b"u1", 9_000).unwrap().unwrap();

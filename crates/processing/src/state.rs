@@ -34,22 +34,23 @@ impl StateStore {
 
     /// A store mirrored to `changelog_tp`, which should belong to a
     /// compacted topic.
-    pub fn with_changelog(cluster: Cluster, changelog_tp: TopicPartition) -> Self {
+    pub fn with_changelog(cluster: Cluster, changelog_tp: TopicPartition) -> crate::Result<Self> {
         StateStore::with_changelog_config(cluster, changelog_tp, LsmConfig::default())
     }
 
     /// Like [`with_changelog`](Self::with_changelog) with explicit store
     /// tuning — used by jobs to thread a fault injector into task state.
+    /// Fallible because the config may name a directory-backed store.
     pub fn with_changelog_config(
         cluster: Cluster,
         changelog_tp: TopicPartition,
         config: LsmConfig,
-    ) -> Self {
-        StateStore {
-            store: LsmStore::open(config).expect("in-memory store"),
+    ) -> crate::Result<Self> {
+        Ok(StateStore {
+            store: LsmStore::open(config)?,
             changelog: Some((cluster, changelog_tp)),
             writes: 0,
-        }
+        })
     }
 
     /// Rebuilds state from the changelog (recovery path). Returns the
@@ -185,7 +186,7 @@ mod tests {
     #[test]
     fn changelog_mirrors_updates() {
         let (c, tp) = cluster_with_changelog();
-        let mut s = StateStore::with_changelog(c.clone(), tp.clone());
+        let mut s = StateStore::with_changelog(c.clone(), tp.clone()).unwrap();
         s.put("user", "profile-1").unwrap();
         s.put("user", "profile-2").unwrap();
         s.delete("user").unwrap();
@@ -198,14 +199,14 @@ mod tests {
     fn state_restores_after_crash() {
         let (c, tp) = cluster_with_changelog();
         {
-            let mut s = StateStore::with_changelog(c.clone(), tp.clone());
+            let mut s = StateStore::with_changelog(c.clone(), tp.clone()).unwrap();
             for i in 0..50 {
                 s.put(format!("k{i}"), format!("v{i}")).unwrap();
             }
             s.delete("k10").unwrap();
             // Crash: local store lost.
         }
-        let mut rebuilt = StateStore::with_changelog(c.clone(), tp.clone());
+        let mut rebuilt = StateStore::with_changelog(c.clone(), tp.clone()).unwrap();
         let replayed = rebuilt.restore_from_changelog().unwrap();
         assert_eq!(replayed, 51);
         assert_eq!(rebuilt.len(), 49);
@@ -219,14 +220,14 @@ mod tests {
         // "faster recovery" claim.
         let (c, tp) = cluster_with_changelog();
         {
-            let mut s = StateStore::with_changelog(c.clone(), tp.clone());
+            let mut s = StateStore::with_changelog(c.clone(), tp.clone()).unwrap();
             for i in 0..1000 {
                 s.put(format!("k{}", i % 10), format!("v{i}")).unwrap();
             }
         }
         let stats = c.compact_topic("changelog").unwrap();
         assert!(stats.dedup_ratio() > 0.8);
-        let mut rebuilt = StateStore::with_changelog(c.clone(), tp.clone());
+        let mut rebuilt = StateStore::with_changelog(c.clone(), tp.clone()).unwrap();
         let replayed = rebuilt.restore_from_changelog().unwrap();
         assert!(
             replayed < 300,

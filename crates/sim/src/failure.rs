@@ -5,7 +5,7 @@
 //! a deterministic schedule (fail exactly at operation N) and a seeded
 //! probabilistic injector, both usable from tests and experiments.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -14,8 +14,37 @@ use rand::Rng;
 
 use crate::rng::seeded;
 
+/// Every named fault-injection site in the workspace.
+///
+/// A *site* is one decision point where a component consults its
+/// injector before a fallible operation. Sites are named so that (a)
+/// chaos-run logs say *which* operation an injected fault hit, and (b)
+/// the static analyzer (`liquid-lint`, lint `fault-site`) can check
+/// the call sites and this registry against each other: a tick string
+/// missing here — or an entry here with no call site — is a build
+/// failure, so the registry cannot drift from the code.
+pub const SITES: &[&str] = &[
+    // log crate
+    "log.append",
+    "log.roll",
+    "log.compact",
+    // kv crate (task state stores)
+    "kv.wal-append",
+    "kv.flush",
+    "kv.sst-write",
+    "kv.compact",
+    // messaging crate
+    "replication.fetch",
+    "cluster.election",
+    "offsets.commit",
+    // processing crate
+    "task.checkpoint",
+    "task.restore",
+];
+
 /// A failure decision point. Components call [`FailureInjector::tick`]
-/// before fallible operations and abort/crash when it returns `true`.
+/// with their site name before fallible operations and abort/crash
+/// when it returns `true`.
 #[derive(Debug, Clone)]
 pub struct FailureInjector {
     inner: Arc<Inner>,
@@ -28,6 +57,7 @@ struct Inner {
     probability_millionths: AtomicU64,
     rng: Mutex<rand::rngs::StdRng>,
     fired: AtomicU64,
+    per_site: Mutex<BTreeMap<&'static str, (u64, u64)>>,
 }
 
 impl FailureInjector {
@@ -46,6 +76,7 @@ impl FailureInjector {
                 probability_millionths: AtomicU64::new(0),
                 rng: Mutex::new(seeded(seed)),
                 fired: AtomicU64::new(0),
+                per_site: Mutex::new(BTreeMap::new()),
             }),
         }
     }
@@ -65,9 +96,16 @@ impl FailureInjector {
             .store((p * 1_000_000.0) as u64, Ordering::SeqCst);
     }
 
-    /// Registers one operation; returns `true` if the component should
-    /// fail now.
-    pub fn tick(&self) -> bool {
+    /// Registers one operation at the named [`SITES`] entry; returns
+    /// `true` if the component should fail now. In debug builds an
+    /// unregistered site name is a programming error and aborts —
+    /// release builds skip the check (the static pass enforces it at
+    /// lint time anyway).
+    pub fn tick(&self, site: &'static str) -> bool {
+        debug_assert!(
+            SITES.contains(&site),
+            "fault site {site:?} is not registered in sim::failure::SITES"
+        );
         let op = self.inner.ops.fetch_add(1, Ordering::SeqCst) + 1;
         let scheduled = self.inner.schedule.lock().remove(&op);
         let fired = scheduled || {
@@ -77,6 +115,10 @@ impl FailureInjector {
         if fired {
             self.inner.fired.fetch_add(1, Ordering::SeqCst);
         }
+        let mut per_site = self.inner.per_site.lock();
+        let counts = per_site.entry(site).or_insert((0, 0));
+        counts.0 += 1;
+        counts.1 += u64::from(fired);
         fired
     }
 
@@ -89,6 +131,17 @@ impl FailureInjector {
     pub fn failures(&self) -> u64 {
         self.inner.fired.load(Ordering::SeqCst)
     }
+
+    /// Per-site `(operations, failures)` so far — chaos-run reports use
+    /// this to say which operation an injected fault actually hit.
+    pub fn site_counts(&self) -> Vec<(&'static str, u64, u64)> {
+        self.inner
+            .per_site
+            .lock()
+            .iter()
+            .map(|(site, &(ops, fails))| (*site, ops, fails))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -99,7 +152,7 @@ mod tests {
     fn disabled_never_fires() {
         let f = FailureInjector::disabled();
         for _ in 0..1000 {
-            assert!(!f.tick());
+            assert!(!f.tick("log.append"));
         }
         assert_eq!(f.failures(), 0);
     }
@@ -108,20 +161,20 @@ mod tests {
     fn fail_at_fires_exactly_once() {
         let f = FailureInjector::new(0);
         f.fail_at(3);
-        assert!(!f.tick());
-        assert!(!f.tick());
-        assert!(f.tick());
-        assert!(!f.tick());
+        assert!(!f.tick("log.append"));
+        assert!(!f.tick("log.append"));
+        assert!(f.tick("log.append"));
+        assert!(!f.tick("log.append"));
         assert_eq!(f.failures(), 1);
     }
 
     #[test]
     fn fail_at_is_relative_to_current_ops() {
         let f = FailureInjector::new(0);
-        f.tick();
-        f.tick();
+        f.tick("log.append");
+        f.tick("log.append");
         f.fail_at(1);
-        assert!(f.tick());
+        assert!(f.tick("log.append"));
     }
 
     #[test]
@@ -130,7 +183,7 @@ mod tests {
         f.set_probability(0.1);
         let mut fired = 0;
         for _ in 0..10_000 {
-            if f.tick() {
+            if f.tick("log.append") {
                 fired += 1;
             }
         }
@@ -145,7 +198,7 @@ mod tests {
         let f = FailureInjector::new(0);
         let g = f.clone();
         f.fail_at(1);
-        assert!(g.tick());
+        assert!(g.tick("log.append"));
     }
 
     #[test]
@@ -159,7 +212,7 @@ mod tests {
         let f = FailureInjector::new(7);
         f.set_probability(0.0);
         for _ in 0..1000 {
-            assert!(!f.tick());
+            assert!(!f.tick("log.append"));
         }
         assert_eq!(f.failures(), 0);
         assert_eq!(f.operations(), 1000);
@@ -170,9 +223,30 @@ mod tests {
         let f = FailureInjector::new(7);
         f.set_probability(1.0);
         for _ in 0..1000 {
-            assert!(f.tick());
+            assert!(f.tick("log.append"));
         }
         assert_eq!(f.failures(), 1000);
+    }
+
+    #[test]
+    fn per_site_counts_split_operations_and_failures() {
+        let f = FailureInjector::new(0);
+        f.fail_at(2);
+        f.tick("log.append");
+        f.tick("kv.flush");
+        f.tick("kv.flush");
+        let counts = f.site_counts();
+        assert_eq!(counts, vec![("kv.flush", 2, 1), ("log.append", 1, 0)]);
+        assert_eq!(f.operations(), 3);
+        assert_eq!(f.failures(), 1);
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "site check is debug-only")]
+    #[should_panic(expected = "not registered in sim::failure::SITES")]
+    fn unregistered_site_aborts_in_debug() {
+        // lint:allow(fault-site, reason=this test exists to prove unregistered names abort)
+        FailureInjector::disabled().tick("no.such.site");
     }
 
     #[test]
@@ -180,8 +254,8 @@ mod tests {
         // fail_at is 1-based: fail_at(1) means "the very next tick".
         let f = FailureInjector::new(0);
         f.fail_at(1);
-        assert!(f.tick());
-        assert!(!f.tick());
+        assert!(f.tick("log.append"));
+        assert!(!f.tick("log.append"));
     }
 
     #[test]
@@ -189,7 +263,7 @@ mod tests {
         let f = FailureInjector::new(0);
         f.fail_at(2);
         f.fail_at(4);
-        let fired: Vec<bool> = (0..5).map(|_| f.tick()).collect();
+        let fired: Vec<bool> = (0..5).map(|_| f.tick("log.append")).collect();
         assert_eq!(fired, vec![false, true, false, true, false]);
         assert_eq!(f.failures(), 2);
         assert_eq!(f.operations(), 5);
@@ -199,9 +273,9 @@ mod tests {
     fn fired_accounting_counts_schedule_and_probability() {
         let f = FailureInjector::new(3);
         f.fail_at(1);
-        assert!(f.tick());
+        assert!(f.tick("log.append"));
         f.set_probability(1.0);
-        assert!(f.tick());
+        assert!(f.tick("log.append"));
         assert_eq!(f.failures(), 2);
     }
 
@@ -212,7 +286,7 @@ mod tests {
         a.set_probability(0.5);
         b.set_probability(0.5);
         for _ in 0..1000 {
-            assert_eq!(a.tick(), b.tick());
+            assert_eq!(a.tick("log.append"), b.tick("log.append"));
         }
         assert_eq!(a.failures(), b.failures());
     }

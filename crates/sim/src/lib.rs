@@ -20,10 +20,13 @@
 //! * [`stats`] — counters and log-bucketed latency histograms used by the
 //!   benchmark harness.
 
+#![forbid(unsafe_code)]
+
 pub mod chaos;
 pub mod clock;
 pub mod disk;
 pub mod failure;
+pub mod lockdep;
 pub mod pagecache;
 pub mod rng;
 pub mod stats;

@@ -19,6 +19,8 @@
 //! Every generator is deterministic given a seed. Events encode to
 //! pipe-delimited UTF-8 so they stay greppable in logs and tests.
 
+#![forbid(unsafe_code)]
+
 pub mod activity;
 pub mod calls;
 pub mod metrics;

@@ -14,6 +14,8 @@
 //! noisy neighbour starve its peers; with isolation *on*, each container
 //! is capped at its quota.
 
+#![forbid(unsafe_code)]
+
 pub mod manager;
 pub mod queue;
 

@@ -133,7 +133,9 @@ fn probabilistic_broker_chaos_keeps_committed_data() {
     let mut acked = Vec::new();
     let mut down: Vec<u32> = Vec::new();
     for i in 0..300 {
-        if chaos.tick() {
+        // The harness charges its coin-flips to the election site: a
+        // fired tick toggles a broker, which is what forces elections.
+        if chaos.tick("cluster.election") {
             // Toggle a random-ish broker, but never kill the last one.
             let victim = (i % 3) as u32;
             if down.contains(&victim) {
