@@ -373,9 +373,10 @@ impl Lexer {
         // included only when followed by a digit (so `0..10` and
         // `x.1.unwrap()` lex as separate tokens).
         while let Some(c) = self.peek(0) {
-            if c == '_' || c.is_ascii_alphanumeric() {
-                self.pos += 1;
-            } else if c == '.' && matches!(self.peek(1), Some(d) if d.is_ascii_digit()) {
+            if c == '_'
+                || c.is_ascii_alphanumeric()
+                || (c == '.' && matches!(self.peek(1), Some(d) if d.is_ascii_digit()))
+            {
                 self.pos += 1;
             } else {
                 break;
@@ -420,7 +421,9 @@ mod tests {
     fn strings_do_not_leak_tokens() {
         // `panic!` inside a string must not appear as an Ident token.
         let toks = kinds(r#"let s = "panic!(unwrap())";"#);
-        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "panic"));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "panic"));
         assert!(toks.contains(&(TokenKind::Str, "panic!(unwrap())".into())));
     }
 
@@ -458,7 +461,9 @@ mod tests {
     fn lifetimes_vs_char_literals() {
         let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
         assert!(toks.contains(&(TokenKind::Lifetime, "'a".into())));
-        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Char && t == "'x'"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Char && t == "'x'"));
         assert!(toks
             .iter()
             .any(|(k, t)| *k == TokenKind::Char && t == "'\\n'"));
@@ -510,7 +515,9 @@ mod tests {
         assert!(toks.contains(&(TokenKind::Number, "1_000u64".into())));
         // `0..10` keeps its two dots as punctuation.
         assert_eq!(
-            toks.iter().filter(|(k, t)| *k == TokenKind::Punct && t == ".").count(),
+            toks.iter()
+                .filter(|(k, t)| *k == TokenKind::Punct && t == ".")
+                .count(),
             2
         );
     }

@@ -21,6 +21,12 @@
 //!   must have at least one call site.
 //! * **raw-io** — `std::fs`/`File::` I/O is confined to the storage
 //!   layers that route through the failure injector.
+//! * **raw-thread** — `std::thread::spawn`/`scope`/`Builder` and
+//!   `parking_lot` primitives are confined to `crates/sim`; everything
+//!   else spawns through `liquid_sim::thread` and locks through
+//!   `liquid_sim::lockdep`, so liquid-check can schedule it.
+//! * **held-io** — no fault-injection tick or raw I/O while a ranked
+//!   lock guard is live in the same function body.
 //! * **forbid-unsafe** — every crate's `lib.rs` carries
 //!   `#![forbid(unsafe_code)]` and no `unsafe` token appears anywhere.
 //!
@@ -47,6 +53,8 @@ pub const LINTS: &[&str] = &[
     "lock-order",
     "fault-site",
     "raw-io",
+    "raw-thread",
+    "held-io",
     "forbid-unsafe",
     "lint-allow",
 ];
@@ -262,7 +270,10 @@ fn parse_attr(tokens: &[Token], open: usize) -> (bool, usize) {
     let inner = &tokens[open + 1..close.min(tokens.len())];
     let is_test = (inner.len() == 1 && inner[0].is_ident("test"))
         || inner.windows(4).any(|w| {
-            w[0].is_ident("cfg") && w[1].is_punct('(') && w[2].is_ident("test") && w[3].is_punct(')')
+            w[0].is_ident("cfg")
+                && w[1].is_punct('(')
+                && w[2].is_ident("test")
+                && w[3].is_punct(')')
         });
     (is_test, close.saturating_add(1).min(tokens.len()))
 }
@@ -331,6 +342,8 @@ pub fn analyze_file(ctx: &Context, rel: &str, src: &str) -> FileReport {
     rules::lock_order(ctx, rel, &lexed.tokens, &mut raw);
     rules::fault_sites(ctx, rel, &lexed.tokens, &mut raw, &mut tick_sites);
     rules::raw_io(crate_name, rel, &lexed.tokens, &regions, &mut raw);
+    rules::raw_thread(crate_name, rel, &lexed.tokens, &regions, &mut raw);
+    rules::held_io(ctx, rel, &lexed.tokens, &regions, &mut raw);
     rules::forbid_unsafe(rel, &lexed.tokens, &mut raw);
 
     // `lint:allow` suppression: a directive covers its own line and
@@ -438,8 +451,8 @@ pub fn analyze_root(root: &Path) -> Result<Vec<Finding>, String> {
     let (ctx, mut findings) = Context::from_root(root);
     let mut used_sites: BTreeMap<String, u32> = BTreeMap::new();
     for rel in workspace_files(root)? {
-        let src = fs::read_to_string(root.join(&rel))
-            .map_err(|e| format!("cannot read {rel}: {e}"))?;
+        let src =
+            fs::read_to_string(root.join(&rel)).map_err(|e| format!("cannot read {rel}: {e}"))?;
         let rep = analyze_file(&ctx, &rel, &src);
         findings.extend(rep.findings);
         for (site, _) in rep.tick_sites {

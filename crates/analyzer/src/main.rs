@@ -8,11 +8,13 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut deny = false;
+    let mut json = false;
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--deny" => deny = true,
+            "--json" => json = true,
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => {
@@ -24,7 +26,7 @@ fn main() -> ExitCode {
                 println!(
                     "liquid-lint — project-specific static analysis for the Liquid workspace\n\
                      \n\
-                     USAGE: liquid-lint [--deny] [--root <workspace>]\n\
+                     USAGE: liquid-lint [--deny] [--json] [--root <workspace>]\n\
                      \n\
                      Walks crates/*/src/**/*.rs and enforces: unwrap (no panics on fault\n\
                      paths), panic (panic-free library crates), lock-order (rank table from\n\
@@ -35,6 +37,8 @@ fn main() -> ExitCode {
                      \x20   // lint:allow(<lint>, reason=<why this one is sound>)\n\
                      \n\
                      --deny   exit 1 when there are findings (CI mode)\n\
+                     --json   machine-readable output: {{\"findings\":[...],\"count\":N}}\n\
+                     \x20        (CI turns these into GitHub error annotations)\n\
                      --root   workspace root (default: nearest ancestor with a crates/ dir)"
                 );
                 return ExitCode::SUCCESS;
@@ -59,14 +63,23 @@ fn main() -> ExitCode {
 
     match liquid_lint::analyze_root(&root) {
         Ok(findings) if findings.is_empty() => {
-            println!("liquid-lint: clean");
+            if json {
+                println!("{}", render_json(&findings));
+            } else {
+                println!("liquid-lint: clean");
+            }
             ExitCode::SUCCESS
         }
         Ok(findings) => {
-            for f in &findings {
-                println!("{f}");
+            if json {
+                println!("{}", render_json(&findings));
+            } else {
+                for f in &findings {
+                    println!("{f}");
+                }
+                println!("liquid-lint: {} finding(s)", findings.len());
             }
-            println!("liquid-lint: {} finding(s)", findings.len());
+            // --deny semantics are identical with and without --json.
             if deny {
                 ExitCode::FAILURE
             } else {
@@ -78,6 +91,43 @@ fn main() -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+/// `{"findings":[{"file":...,"line":N,"lint":...,"message":...}],"count":N}`.
+/// Hand-rolled (the build environment has no serde); strings are
+/// escaped per RFC 8259.
+fn render_json(findings: &[liquid_lint::Finding]) -> String {
+    let mut out = String::from("{\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"file\":\"{}\",\"line\":{},\"lint\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&f.file),
+            f.line,
+            json_escape(f.lint),
+            json_escape(&f.message)
+        ));
+    }
+    out.push_str(&format!("],\"count\":{}}}", findings.len()));
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn find_root() -> Option<PathBuf> {

@@ -36,6 +36,14 @@ pub const LOCK_FIELDS: &[(&str, &str, &str)] = &[
     ("quotas.rs", "usage", "quota.usage"),
     ("quotas.rs", "throttled_total", "quota.throttled"),
     ("job.rs", "metrics", "job.metrics"),
+    ("lib.rs", "state", "dfs.state"),
+    ("lib.rs", "stats", "dfs.stats"),
+    ("stack.rs", "feeds", "stack.feeds"),
+    ("stack.rs", "managed", "stack.managed"),
+    ("manager.rs", "state", "yarn.state"),
+    ("tree.rs", "state", "coord.tree"),
+    ("acl.rs", "grants", "acl.grants"),
+    ("log.rs", "cache", "log.pagecache"),
 ];
 
 /// Lint **unwrap**: no `.unwrap()`/`.expect()`/`panic!`/`todo!`/
@@ -188,9 +196,10 @@ pub fn raw_io(
     if !FAULT_CRATES.contains(&crate_name) || RAW_IO_ALLOWED.contains(&rel) {
         return;
     }
-    let path_sep =
-        |i: usize| tokens.get(i).is_some_and(|t: &Token| t.is_punct(':'))
-            && tokens.get(i + 1).is_some_and(|t: &Token| t.is_punct(':'));
+    let path_sep = |i: usize| {
+        tokens.get(i).is_some_and(|t: &Token| t.is_punct(':'))
+            && tokens.get(i + 1).is_some_and(|t: &Token| t.is_punct(':'))
+    };
     for (i, t) in tokens.iter().enumerate() {
         if t.kind != TokenKind::Ident || in_test(regions, t.line) {
             continue;
@@ -218,7 +227,8 @@ pub fn raw_io(
 /// reports it at analysis time, before a compile).
 pub fn forbid_unsafe(rel: &str, tokens: &[Token], out: &mut Vec<Finding>) {
     let parts: Vec<&str> = rel.split('/').collect();
-    let is_lib = parts.len() == 4 && parts[0] == "crates" && parts[2] == "src" && parts[3] == "lib.rs";
+    let is_lib =
+        parts.len() == 4 && parts[0] == "crates" && parts[2] == "src" && parts[3] == "lib.rs";
     if is_lib {
         let found = tokens.windows(8).any(|w| {
             w[0].is_punct('#')
@@ -251,6 +261,82 @@ pub fn forbid_unsafe(rel: &str, tokens: &[Token], out: &mut Vec<Finding>) {
     }
 }
 
+/// Lint **raw-thread**: outside `crates/sim`, spawning OS threads
+/// directly (`std::thread::spawn`/`scope`/`Builder`) or reaching for
+/// `parking_lot` primitives bypasses the liquid-check scheduler — the
+/// model checker cannot interpose on a thread it did not create or a
+/// lock it cannot see. Code must use `liquid_sim::thread::*` and the
+/// ranked `liquid_sim::lockdep` wrappers instead. Paths qualified with
+/// any crate other than `std` (e.g. `liquid_sim::thread::spawn`) are
+/// allowed.
+pub fn raw_thread(
+    crate_name: &str,
+    rel: &str,
+    tokens: &[Token],
+    regions: &[(u32, u32)],
+    out: &mut Vec<Finding>,
+) {
+    if crate_name == "sim" || crate_name == "analyzer" {
+        // sim implements the scheduler; the analyzer only names these
+        // tokens in its own rule tables and fixtures.
+        return;
+    }
+    let path_sep = |i: usize| {
+        tokens.get(i).is_some_and(|t: &Token| t.is_punct(':'))
+            && tokens.get(i + 1).is_some_and(|t: &Token| t.is_punct(':'))
+    };
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || in_test(regions, t.line) {
+            continue;
+        }
+        if t.text == "parking_lot" {
+            out.push(Finding {
+                file: rel.to_string(),
+                line: t.line,
+                lint: "raw-thread",
+                message: "`parking_lot` locks are invisible to liquid-check — use the ranked \
+                          wrappers in liquid_sim::lockdep instead"
+                    .to_string(),
+            });
+            continue;
+        }
+        // `thread :: spawn|scope|Builder` where the path is rooted at
+        // `std` (`std :: thread :: ...`) or is bare (`use std::thread;`
+        // followed by `thread::spawn(...)`).
+        if t.text != "thread"
+            || !path_sep(i + 1)
+            || !tokens
+                .get(i + 3)
+                .is_some_and(|t| matches!(t.text.as_str(), "spawn" | "scope" | "Builder"))
+        {
+            continue;
+        }
+        let qualifier = (i >= 3 && path_sep(i - 2)).then(|| tokens[i - 3].text.as_str());
+        let raw = match qualifier {
+            Some("std") => true,
+            Some(_) => false, // liquid_sim::thread::spawn and friends
+            None => true,     // bare thread::spawn — only std's is imported that way
+        };
+        if raw {
+            let what = &tokens[i + 3].text;
+            out.push(Finding {
+                file: rel.to_string(),
+                line: t.line,
+                lint: "raw-thread",
+                message: format!(
+                    "std::thread::{what} escapes the liquid-check scheduler — spawn through \
+                     liquid_sim::thread::{} instead",
+                    if what == "Builder" {
+                        "spawn_named"
+                    } else {
+                        what
+                    }
+                ),
+            });
+        }
+    }
+}
+
 struct ActiveGuard {
     rank: &'static str,
     order: u32,
@@ -259,35 +345,36 @@ struct ActiveGuard {
     line: u32,
 }
 
-/// Lint **lock-order**: within a file whose fields appear in
-/// [`LOCK_FIELDS`], a lock may only be acquired while every
-/// already-held ranked lock has a strictly *higher* order. Guard
-/// lifetimes are tracked token-wise: a `let`-bound guard lives until
-/// `drop(name)` or its block closes; an un-bound (temporary) guard
-/// lives until the `;` ending its statement. This intentionally
-/// over-approximates temporaries inside tail expressions — the cost is
-/// a conservative finding, never a miss.
-pub fn lock_order(ctx: &Context, rel: &str, tokens: &[Token], out: &mut Vec<Finding>) {
-    let Some(ranks) = &ctx.ranks else {
-        return;
-    };
+/// The ranked-lock fields of one file, as `(field, rank)` pairs.
+/// Empty for files with no [`LOCK_FIELDS`] entry.
+fn ranked_fields(rel: &str) -> Vec<(&'static str, &'static str)> {
     let base = rel.rsplit('/').next().unwrap_or(rel);
-    let fields: Vec<(&str, &str)> = LOCK_FIELDS
+    LOCK_FIELDS
         .iter()
         .filter(|(file, _, _)| *file == base)
         .map(|(_, field, rank)| (*field, *rank))
-        .collect();
-    if fields.is_empty() {
-        return;
-    }
-    let order_of = |rank: &str| {
-        ranks
-            .entries
-            .iter()
-            .find(|(n, _)| n == rank)
-            .map(|(_, o)| *o)
-    };
+        .collect()
+}
 
+/// Walks one file's tokens maintaining the set of live ranked-lock
+/// guards. Guard lifetimes are tracked token-wise: a `let`-bound guard
+/// lives until `drop(name)` or its block closes; an un-bound
+/// (temporary) guard lives until the `;` ending its statement. This
+/// intentionally over-approximates temporaries inside tail
+/// expressions — the cost is a conservative finding, never a miss.
+///
+/// `visit` is called for every identifier token with the guards held
+/// at that point; when the token is itself a ranked acquire,
+/// `acquiring` carries its `(rank, order)` and the guard set does not
+/// yet include it.
+type GuardVisitor<'a> = dyn FnMut(usize, &Token, &[ActiveGuard], Option<(&'static str, u32)>) + 'a;
+
+fn walk_guards(
+    fields: &[(&'static str, &'static str)],
+    order_of: &dyn Fn(&str) -> Option<u32>,
+    tokens: &[Token],
+    visit: &mut GuardVisitor<'_>,
+) {
     let mut depth = 0usize;
     let mut guards: Vec<ActiveGuard> = Vec::new();
     for (i, t) in tokens.iter().enumerate() {
@@ -321,44 +408,142 @@ pub fn lock_order(ctx: &Context, rel: &str, tokens: &[Token], out: &mut Vec<Find
         if t.kind != TokenKind::Ident {
             continue;
         }
-        let Some(&(_, rank)) = fields.iter().find(|(f, _)| *f == t.text) else {
-            continue;
-        };
         let is_acquire = tokens.get(i + 1).is_some_and(|t| t.is_punct('.'))
             && tokens.get(i + 2).is_some_and(|t| {
                 t.kind == TokenKind::Ident && matches!(t.text.as_str(), "lock" | "read" | "write")
             })
             && tokens.get(i + 3).is_some_and(|t| t.is_punct('('))
             && tokens.get(i + 4).is_some_and(|t| t.is_punct(')'));
-        if !is_acquire {
-            continue;
+        let acquiring = fields
+            .iter()
+            .find(|(f, _)| *f == t.text)
+            .filter(|_| is_acquire)
+            .and_then(|&(_, rank)| order_of(rank).map(|order| (rank, order)));
+        visit(i, t, &guards, acquiring);
+        if let Some((rank, order)) = acquiring {
+            guards.push(ActiveGuard {
+                rank,
+                order,
+                name: binding_name(tokens, i),
+                depth,
+                line: t.line,
+            });
         }
-        let Some(order) = order_of(rank) else {
-            continue; // drift is reported by the cross-tree check
-        };
-        for g in &guards {
-            if order >= g.order {
-                out.push(Finding {
-                    file: rel.to_string(),
-                    line: t.line,
-                    lint: "lock-order",
-                    message: format!(
-                        "acquires \"{rank}\" (order {order}) while holding \"{}\" (order {}, \
+    }
+}
+
+/// Lint **lock-order**: within a file whose fields appear in
+/// [`LOCK_FIELDS`], a lock may only be acquired while every
+/// already-held ranked lock has a strictly *higher* order.
+pub fn lock_order(ctx: &Context, rel: &str, tokens: &[Token], out: &mut Vec<Finding>) {
+    let Some(ranks) = &ctx.ranks else {
+        return;
+    };
+    let fields = ranked_fields(rel);
+    if fields.is_empty() {
+        return;
+    }
+    let order_of = |rank: &str| {
+        ranks
+            .entries
+            .iter()
+            .find(|(n, _)| n == rank)
+            .map(|(_, o)| *o)
+    };
+    walk_guards(
+        &fields,
+        &order_of,
+        tokens,
+        &mut |_i, t, guards, acquiring| {
+            let Some((rank, order)) = acquiring else {
+                return;
+            };
+            for g in guards {
+                if order >= g.order {
+                    out.push(Finding {
+                        file: rel.to_string(),
+                        line: t.line,
+                        lint: "lock-order",
+                        message: format!(
+                            "acquires \"{rank}\" (order {order}) while holding \"{}\" (order {}, \
                          taken on line {}) — the lock hierarchy requires strictly descending \
                          orders",
-                        g.rank, g.order, g.line
-                    ),
-                });
+                            g.rank, g.order, g.line
+                        ),
+                    });
+                }
             }
-        }
-        guards.push(ActiveGuard {
-            rank,
-            order,
-            name: binding_name(tokens, i),
-            depth,
-            line: t.line,
-        });
+        },
+    );
+}
+
+/// Lint **held-io**: a fault-injection `injector.tick(...)` or raw
+/// filesystem I/O reached while a ranked lock guard is live. Under
+/// liquid-check a tick is a schedule point — parking the thread with a
+/// lock held serializes every other thread contending for it, and
+/// under chaos injection the "crashed" component keeps the lock.
+/// Release the guard before the fallible operation, or carry a
+/// `lint:allow(held-io, reason=...)` explaining why the hold is sound.
+pub fn held_io(
+    ctx: &Context,
+    rel: &str,
+    tokens: &[Token],
+    regions: &[(u32, u32)],
+    out: &mut Vec<Finding>,
+) {
+    let Some(ranks) = &ctx.ranks else {
+        return;
+    };
+    let fields = ranked_fields(rel);
+    if fields.is_empty() {
+        return;
     }
+    let order_of = |rank: &str| {
+        ranks
+            .entries
+            .iter()
+            .find(|(n, _)| n == rank)
+            .map(|(_, o)| *o)
+    };
+    let path_sep = |i: usize| {
+        tokens.get(i).is_some_and(|t: &Token| t.is_punct(':'))
+            && tokens.get(i + 1).is_some_and(|t: &Token| t.is_punct(':'))
+    };
+    walk_guards(&fields, &order_of, tokens, &mut |i, t, guards, _| {
+        if guards.is_empty() || in_test(regions, t.line) {
+            return;
+        }
+        let is_tick = t.is_ident("tick")
+            && i >= 2
+            && tokens[i - 1].is_punct('.')
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && tokens[i - 2].kind == TokenKind::Ident
+            && (tokens[i - 2].text == "injector" || tokens[i - 2].text.ends_with("_injector"));
+        let is_io = (t.text == "std"
+            && path_sep(i + 1)
+            && tokens.get(i + 3).is_some_and(|t| t.is_ident("fs")))
+            || (matches!(t.text.as_str(), "File" | "OpenOptions") && path_sep(i + 1));
+        if is_tick || is_io {
+            let g = guards.last().expect("guards checked non-empty");
+            out.push(Finding {
+                file: rel.to_string(),
+                line: t.line,
+                lint: "held-io",
+                message: format!(
+                    "{} while holding ranked lock \"{}\" (order {}, taken on line {}) — \
+                     release the guard before the fallible operation",
+                    if is_tick {
+                        "fault-injection tick"
+                    } else {
+                        "raw filesystem I/O"
+                    },
+                    g.rank,
+                    g.order,
+                    g.line
+                ),
+            });
+        }
+    });
 }
 
 /// If the statement containing token `i` is `let [mut] <name> = ...`,

@@ -18,6 +18,11 @@ const LIB_HEADER: &str = "#![forbid(unsafe_code)]\n";
 /// finds nothing to complain about.
 const RANKS_RS: &str = r#"
 pub const RANKS: &[(&str, u32)] = &[
+    ("dfs.state", 96),
+    ("dfs.stats", 94),
+    ("stack.feeds", 80),
+    ("stack.managed", 75),
+    ("yarn.state", 70),
     ("consumer.state", 60),
     ("group.groups", 50),
     ("cluster.state", 40),
@@ -25,17 +30,18 @@ pub const RANKS: &[(&str, u32)] = &[
     ("quota.limits", 24),
     ("quota.usage", 23),
     ("quota.throttled", 21),
+    ("coord.tree", 15),
     ("job.metrics", 10),
+    ("log.pagecache", 5),
+    ("acl.grants", 3),
 ];
 "#;
 
 /// Writes `files` (workspace-relative path, contents) under a fresh
 /// temp root and returns the root.
 fn fixture(name: &str, files: &[(&str, &str)]) -> PathBuf {
-    let root = std::env::temp_dir().join(format!(
-        "liquid-lint-fixture-{}-{name}",
-        std::process::id()
-    ));
+    let root =
+        std::env::temp_dir().join(format!("liquid-lint-fixture-{}-{name}", std::process::id()));
     if root.exists() {
         fs::remove_dir_all(&root).unwrap();
     }
@@ -75,7 +81,11 @@ fn assert_hit(root: &PathBuf, lint_name: &str) {
 fn assert_clean(root: &PathBuf) {
     let out = lint(root);
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert_eq!(out.status.code(), Some(0), "expected clean; stdout:\n{stdout}");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "expected clean; stdout:\n{stdout}"
+    );
     assert!(stdout.contains("liquid-lint: clean"), "stdout:\n{stdout}");
 }
 
@@ -213,8 +223,14 @@ fn fault_site_lint_checks_registry_both_ways() {
     let out = lint(&hit);
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert_eq!(out.status.code(), Some(1), "stdout:\n{stdout}");
-    assert!(stdout.contains("\"log.bogus\" is not registered"), "stdout:\n{stdout}");
-    assert!(stdout.contains("\"log.append\" has no injector.tick"), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("\"log.bogus\" is not registered"),
+        "stdout:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("\"log.append\" has no injector.tick"),
+        "stdout:\n{stdout}"
+    );
 
     // Call the registered site and both directions are satisfied.
     let clean = fixture(
@@ -301,7 +317,10 @@ fn forbid_unsafe_lint_requires_attribute_and_bans_token() {
 
     let clean = fixture(
         "unsafe-clean",
-        &[("crates/core/src/lib.rs", "#![forbid(unsafe_code)]\npub fn f() {}\n")],
+        &[(
+            "crates/core/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub fn f() {}\n",
+        )],
     );
     assert_clean(&clean);
 }
@@ -330,6 +349,182 @@ fn lint_allow_lint_rejects_unused_and_unknown_directives() {
         )],
     );
     assert_hit(&unknown, "lint-allow");
+}
+
+#[test]
+fn raw_thread_lint_confines_spawns_to_sim() {
+    let hit = fixture(
+        "raw-thread-hit",
+        &[(
+            "crates/processing/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             pub fn f() {\n    std::thread::spawn(|| {});\n}\n",
+        )],
+    );
+    assert_hit(&hit, "raw-thread");
+
+    // `use std::thread;` then a bare `thread::spawn` is the same escape.
+    let bare = fixture(
+        "raw-thread-bare",
+        &[(
+            "crates/processing/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             use std::thread;\n\
+             pub fn f() {\n    thread::spawn(|| {});\n}\n",
+        )],
+    );
+    assert_hit(&bare, "raw-thread");
+
+    let parking = fixture(
+        "raw-thread-parking-lot",
+        &[(
+            "crates/core/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             use parking_lot::Mutex;\n\
+             pub struct S(Mutex<u32>);\n",
+        )],
+    );
+    assert_hit(&parking, "raw-thread");
+
+    // The schedulable wrappers are the sanctioned path, tests are
+    // masked, and crates/sim itself implements the raw spawning.
+    let clean = fixture(
+        "raw-thread-clean",
+        &[
+            (
+                "crates/processing/src/lib.rs",
+                "#![forbid(unsafe_code)]\n\
+                 pub fn f() {\n    liquid_sim::thread::spawn(|| {});\n}\n\
+                 #[test]\nfn t() {\n    std::thread::spawn(|| {}).join().ok();\n}\n",
+            ),
+            (
+                "crates/sim/src/lib.rs",
+                "#![forbid(unsafe_code)]\n\
+                 pub fn f() {\n    std::thread::spawn(|| {});\n}\n",
+            ),
+        ],
+    );
+    assert_clean(&clean);
+}
+
+#[test]
+fn held_io_lint_flags_ticks_under_ranked_guards() {
+    let hit = fixture(
+        "held-io-hit",
+        &[
+            ("crates/sim/src/lockdep.rs", RANKS_RS),
+            (
+                "crates/messaging/src/cluster.rs",
+                "pub fn f(state: &L, injector: &I) {\n\
+                 \x20   let st = state.lock();\n\
+                 \x20   injector.tick(\"cluster.election\");\n\
+                 }\n",
+            ),
+        ],
+    );
+    let out = lint(&hit);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{stdout}");
+    assert!(stdout.contains("[held-io]"), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("holding ranked lock \"cluster.state\""),
+        "finding must name the held lock; stdout:\n{stdout}"
+    );
+
+    // Releasing the guard before the fallible operation is the fix.
+    let clean = fixture(
+        "held-io-clean",
+        &[
+            ("crates/sim/src/lockdep.rs", RANKS_RS),
+            (
+                "crates/messaging/src/cluster.rs",
+                "pub fn f(state: &L, injector: &I) {\n\
+                 \x20   let st = state.lock();\n\
+                 \x20   drop(st);\n\
+                 \x20   injector.tick(\"cluster.election\");\n\
+                 }\n",
+            ),
+        ],
+    );
+    assert_clean(&clean);
+
+    // Raw I/O under a guard is the same hazard as a tick.
+    let io_hit = fixture(
+        "held-io-raw-io",
+        &[
+            ("crates/sim/src/lockdep.rs", RANKS_RS),
+            (
+                "crates/coord/src/tree.rs",
+                "pub fn f(state: &L) {\n\
+                 \x20   let st = state.lock();\n\
+                 \x20   let _ = std::fs::read(\"x\");\n\
+                 }\n",
+            ),
+        ],
+    );
+    assert_hit(&io_hit, "held-io");
+}
+
+#[test]
+fn json_output_reports_findings_and_keeps_deny_exit_codes() {
+    let hit = fixture(
+        "json-hit",
+        &[
+            ("crates/sim/src/lockdep.rs", RANKS_RS),
+            (
+                "crates/core/src/lib.rs",
+                "#![forbid(unsafe_code)]\npub fn f() {\n    panic!(\"boom\");\n}\n",
+            ),
+            (
+                // A lock-order inversion so one message contains quotes
+                // the JSON encoder must escape.
+                "crates/messaging/src/cluster.rs",
+                "pub fn f(state: &L) {\n\
+                 \x20   let a = state.lock();\n\
+                 \x20   let b = state.lock();\n\
+                 }\n",
+            ),
+        ],
+    );
+    let json = |extra: &[&str]| {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_liquid-lint"));
+        cmd.args(["--json", "--root"]).arg(&hit).args(extra);
+        cmd.output().unwrap()
+    };
+
+    let out = json(&[]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "--json alone stays exit 0");
+    assert!(
+        stdout.trim_start().starts_with("{\"findings\":["),
+        "stdout:\n{stdout}"
+    );
+    assert!(stdout.contains("\"lint\":\"panic\""), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("\"file\":\"crates/core/src/lib.rs\""),
+        "stdout:\n{stdout}"
+    );
+    assert!(stdout.contains("\"line\":3"), "stdout:\n{stdout}");
+    assert!(stdout.contains("\"count\":2"), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("\\\"cluster.state\\\""),
+        "quotes inside messages must be escaped; stdout:\n{stdout}"
+    );
+
+    // --deny semantics are unchanged under --json.
+    assert_eq!(json(&["--deny"]).status.code(), Some(1));
+
+    let clean = fixture("json-clean", &[("crates/core/src/lib.rs", LIB_HEADER)]);
+    let out = Command::new(env!("CARGO_BIN_EXE_liquid-lint"))
+        .args(["--json", "--deny", "--root"])
+        .arg(&clean)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout).trim(),
+        "{\"findings\":[],\"count\":0}"
+    );
 }
 
 #[test]

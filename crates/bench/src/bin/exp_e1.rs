@@ -51,14 +51,17 @@ fn liquid_pipeline_latency(stages: usize) -> u64 {
     // the simulated I/O cost accumulated by the page-cache model plus
     // nothing else — there are no per-stage task launches.
     let clock = SimClock::new(0);
-    let cache = std::sync::Arc::new(parking_lot::Mutex::new(PageCache::new(
-        PageCacheConfig {
-            capacity_pages: 1 << 16,
-            disk: DiskModel::default(),
-            ..PageCacheConfig::default()
-        },
-        clock.shared(),
-    )));
+    let cache = std::sync::Arc::new(liquid_sim::lockdep::Mutex::new(
+        "log.pagecache",
+        PageCache::new(
+            PageCacheConfig {
+                capacity_pages: 1 << 16,
+                disk: DiskModel::default(),
+                ..PageCacheConfig::default()
+            },
+            clock.shared(),
+        ),
+    ));
     // One log per stage boundary, all charged through the same cache.
     let mut logs: Vec<liquid::log::Log> = (0..=stages)
         .map(|i| {

@@ -14,8 +14,8 @@ use bytes::Bytes;
 use liquid::log::{Log, LogConfig};
 use liquid_bench::report::{fmt_ns, table_header, table_row};
 use liquid_sim::clock::SimClock;
+use liquid_sim::lockdep::Mutex;
 use liquid_sim::pagecache::{PageCache, PageCacheConfig};
-use parking_lot::Mutex;
 
 const MESSAGES: u64 = 50_000;
 const PAYLOAD: usize = 512;
@@ -25,14 +25,17 @@ fn main() {
     let clock = SimClock::new(0);
     // Cache big enough for ~1/8 of the data: the head stays resident,
     // the tail ages out — exactly the paper's deployment regime.
-    let cache = Arc::new(Mutex::new(PageCache::new(
-        PageCacheConfig {
-            capacity_pages: (MESSAGES as usize * (PAYLOAD + 24) / 4096) / 8,
-            prefetch_pages: 16,
-            ..PageCacheConfig::default()
-        },
-        clock.shared(),
-    )));
+    let cache = Arc::new(Mutex::new(
+        "log.pagecache",
+        PageCache::new(
+            PageCacheConfig {
+                capacity_pages: (MESSAGES as usize * (PAYLOAD + 24) / 4096) / 8,
+                prefetch_pages: 16,
+                ..PageCacheConfig::default()
+            },
+            clock.shared(),
+        ),
+    ));
     let mut log = Log::open(
         LogConfig {
             segment_bytes: 1 << 20,

@@ -1,11 +1,11 @@
 //! The znode tree: hierarchical namespace, versions, watches.
 
+use liquid_sim::sched::Sender;
 use std::collections::{BTreeSet, HashMap};
-use std::sync::mpsc::Sender;
 use std::sync::Arc;
 
 use liquid_sim::clock::{SharedClock, Ts};
-use parking_lot::Mutex;
+use liquid_sim::lockdep::Mutex;
 
 use crate::session::SessionId;
 
@@ -177,14 +177,17 @@ impl CoordService {
             },
         );
         CoordService {
-            state: Arc::new(Mutex::new(State {
-                nodes,
-                next_zxid: 1,
-                next_session: 1,
-                sessions: HashMap::new(),
-                data_watches: HashMap::new(),
-                child_watches: HashMap::new(),
-            })),
+            state: Arc::new(Mutex::new(
+                "coord.tree",
+                State {
+                    nodes,
+                    next_zxid: 1,
+                    next_session: 1,
+                    sessions: HashMap::new(),
+                    data_watches: HashMap::new(),
+                    child_watches: HashMap::new(),
+                },
+            )),
             clock,
         }
     }
@@ -557,7 +560,7 @@ fn join(parent: &str, name: &str) -> String {
 mod tests {
     use super::*;
     use liquid_sim::clock::SimClock;
-    use std::sync::mpsc::channel;
+    use liquid_sim::sched::chan as channel;
 
     fn svc() -> (CoordService, SimClock) {
         let clock = SimClock::new(0);
@@ -702,7 +705,7 @@ mod tests {
         assert_eq!(ev.kind, WatchKind::DataChanged);
         // One-shot: second change does not fire.
         s.set_data("/w", b"y", None).unwrap();
-        assert!(rx.try_recv().is_err());
+        assert!(rx.try_recv().is_none());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use parking_lot::RwLock;
+use liquid_sim::lockdep::RwLock;
 
 /// What a principal may do with a feed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,16 +34,23 @@ impl Access {
 }
 
 /// Per-feed access-control lists.
-#[derive(Default)]
 pub struct AclRegistry {
     /// feed → (principal → access)
     grants: RwLock<HashMap<String, HashMap<String, Access>>>,
 }
 
+impl Default for AclRegistry {
+    fn default() -> Self {
+        AclRegistry::new()
+    }
+}
+
 impl AclRegistry {
     /// Creates an empty registry (everything open).
     pub fn new() -> Self {
-        AclRegistry::default()
+        AclRegistry {
+            grants: RwLock::new("acl.grants", HashMap::new()),
+        }
     }
 
     /// Grants `principal` the given access to `feed`. The first grant

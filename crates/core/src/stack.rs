@@ -8,8 +8,8 @@ use liquid_messaging::{Cluster, ClusterConfig, Consumer, Producer, TopicConfig, 
 use liquid_processing::{Job, JobConfig, StreamTask};
 use liquid_sim::clock::SharedClock;
 use liquid_sim::failure::FailureInjector;
+use liquid_sim::lockdep::Mutex;
 use liquid_yarn::{ContainerRequest, ResourceManager};
-use parking_lot::Mutex;
 
 use crate::acl::{Access, AclRegistry};
 use crate::etl::ManagedJob;
@@ -166,8 +166,8 @@ impl Liquid {
             clock,
             lineage,
             acl: AclRegistry::new(),
-            feeds: Mutex::new(HashMap::new()),
-            managed: Mutex::new(Vec::new()),
+            feeds: Mutex::new("stack.feeds", HashMap::new()),
+            managed: Mutex::new("stack.managed", Vec::new()),
         }
     }
 

@@ -22,7 +22,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use liquid_sim::disk::DiskModel;
-use parking_lot::Mutex;
+use liquid_sim::lockdep::Mutex;
 
 /// Errors from the DFS.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -152,8 +152,8 @@ impl Dfs {
         };
         Dfs {
             config,
-            state: Arc::new(Mutex::new(state)),
-            stats: Arc::new(Mutex::new(DfsStats::default())),
+            state: Arc::new(Mutex::new("dfs.state", state)),
+            stats: Arc::new(Mutex::new("dfs.stats", DfsStats::default())),
         }
     }
 

@@ -7,8 +7,8 @@ use std::sync::Arc;
 use bytes::Bytes;
 use liquid_sim::clock::{SharedClock, Ts};
 use liquid_sim::failure::FailureInjector;
+use liquid_sim::lockdep::Mutex;
 use liquid_sim::pagecache::PageCache;
-use parking_lot::Mutex;
 
 use crate::error::LogError;
 use crate::record::Record;
@@ -676,14 +676,17 @@ mod tests {
     #[test]
     fn page_cache_charging_hot_vs_cold() {
         let clock = SimClock::new(0);
-        let cache = Arc::new(Mutex::new(PageCache::new(
-            PageCacheConfig {
-                capacity_pages: 8,
-                prefetch_pages: 0,
-                ..PageCacheConfig::default()
-            },
-            clock.shared(),
-        )));
+        let cache = Arc::new(Mutex::new(
+            "log.pagecache",
+            PageCache::new(
+                PageCacheConfig {
+                    capacity_pages: 8,
+                    prefetch_pages: 0,
+                    ..PageCacheConfig::default()
+                },
+                clock.shared(),
+            ),
+        ));
         let cfg = LogConfig {
             segment_bytes: 4096,
             ..LogConfig::default()

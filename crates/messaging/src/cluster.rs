@@ -24,6 +24,7 @@ use liquid_log::{Log, LogError};
 use liquid_sim::clock::SharedClock;
 use liquid_sim::failure::FailureInjector;
 use liquid_sim::lockdep::RwLock;
+use liquid_sim::sched::Shared;
 
 use crate::config::{AckLevel, TopicConfig};
 use crate::error::MessagingError;
@@ -127,8 +128,10 @@ struct PartitionState {
     /// fault-injector tick order) is deterministic across runs.
     replicas: BTreeMap<BrokerId, Log>,
     /// High watermark: first offset *not* known to be on every ISR
-    /// member. Consumers read strictly below this.
-    high_watermark: u64,
+    /// member. Consumers read strictly below this. A liquid-check
+    /// tracked cell: under a model run every read/write is a schedule
+    /// point and feeds the happens-before race detector.
+    high_watermark: Shared<u64>,
     /// Highest sequence number accepted per idempotent producer id
     /// (duplicate suppression; the exactly-once groundwork §4.3 calls
     /// "an ongoing effort").
@@ -209,10 +212,13 @@ impl Cluster {
                 config,
                 clock: clock.clone(),
                 coord,
-                state: RwLock::new("cluster.state", State {
-                    brokers,
-                    topics: BTreeMap::new(),
-                }),
+                state: RwLock::new(
+                    "cluster.state",
+                    State {
+                        brokers,
+                        topics: BTreeMap::new(),
+                    },
+                ),
                 stats: ClusterStats::default(),
                 offsets: OffsetManager::with_injector(clock.clone(), injector),
                 groups: crate::group::GroupRegistry::default(),
@@ -284,7 +290,7 @@ impl Cluster {
                 assignment,
                 leader,
                 replicas,
-                high_watermark: 0,
+                high_watermark: Shared::new("partition.high_watermark", 0),
                 producer_seqs: HashMap::new(),
             });
         }
@@ -402,6 +408,7 @@ impl Cluster {
                     if b == leader || !brokers_online[&b] {
                         continue;
                     }
+                    // lint:allow(held-io, reason=models a crash inside the acks=All commit path; the replica copy and the fault decision must be atomic under cluster.state or a concurrent fetch could observe a half-replicated record)
                     if self.inner.config.injector.tick("replication.fetch") {
                         // Crash mid-replication: the leader appended but
                         // not every ISR member confirmed. The high
@@ -413,14 +420,15 @@ impl Cluster {
                     synced_ends.push(ps.log_end(b));
                 }
                 let min_end = synced_ends.iter().copied().min().unwrap_or(offset + 1);
-                ps.high_watermark = ps.high_watermark.max(min_end);
+                let hw = ps.high_watermark.get();
+                ps.high_watermark.set(hw.max(min_end));
             }
             AckLevel::Leader | AckLevel::None => {
                 // Followers catch up on the next replication tick; the
                 // high watermark advances then. With a single replica the
                 // leader *is* the full ISR, so advance immediately.
                 if ps.isr == [leader] {
-                    ps.high_watermark = offset + 1;
+                    ps.high_watermark.set(offset + 1);
                 }
             }
         }
@@ -448,7 +456,8 @@ impl Cluster {
             .filter(|b| st.brokers[b].online)
             .ok_or_else(|| MessagingError::PartitionUnavailable(tp.clone()))?;
         let log = &ps.replicas[&leader];
-        if offset >= ps.high_watermark {
+        let hw = ps.high_watermark.get();
+        if offset >= hw {
             // Tail fetch — but reject offsets beyond the log end as a
             // consumer bug.
             if offset > log.next_offset() {
@@ -465,7 +474,7 @@ impl Cluster {
         let messages: Vec<Message> = out
             .records
             .into_iter()
-            .filter(|r| r.offset < ps.high_watermark)
+            .filter(|r| r.offset < hw)
             .map(|r| {
                 bytes += r.value.len() as u64;
                 Message::from(r)
@@ -495,7 +504,7 @@ impl Cluster {
     /// High watermark (first offset a consumer cannot yet read).
     pub fn latest_offset(&self, tp: &TopicPartition) -> crate::Result<u64> {
         let st = self.inner.state.read();
-        Ok(partition_ref(&st, tp)?.high_watermark)
+        Ok(partition_ref(&st, tp)?.high_watermark.get())
     }
 
     /// Leader's log-end offset (may exceed the high watermark when
@@ -560,6 +569,7 @@ impl Cluster {
                 let ps = &mut t.partitions[p];
                 let Some(leader) = ps.leader.filter(|b| online[b]) else {
                     // Try to recover leadership if a replica came back.
+                    // lint:allow(held-io, reason=models a controller crash mid-election; electing under cluster.state is what makes leadership transitions atomic to producers and fetchers)
                     if self.inner.config.injector.tick("cluster.election") {
                         // Controller crash before the election: the
                         // partition stays leaderless until the next tick.
@@ -577,6 +587,7 @@ impl Cluster {
                     .filter(|&b| b != leader && online[&b])
                     .collect();
                 for b in followers {
+                    // lint:allow(held-io, reason=models a follower crash mid-catch-up; the copy plus ISR/high-watermark bookkeeping below form one atomic transition under cluster.state)
                     if self.inner.config.injector.tick("replication.fetch") {
                         return Err(MessagingError::Injected("replication.fetch"));
                     }
@@ -595,13 +606,9 @@ impl Cluster {
                 isr.sort_unstable();
                 ps.isr = isr;
                 // High watermark: minimum log end across the ISR.
-                let min_end = ps
-                    .isr
-                    .iter()
-                    .map(|&b| ps.log_end(b))
-                    .min()
-                    .unwrap_or(ps.high_watermark);
-                ps.high_watermark = ps.high_watermark.max(min_end);
+                let hw = ps.high_watermark.get();
+                let min_end = ps.isr.iter().map(|&b| ps.log_end(b)).min().unwrap_or(hw);
+                ps.high_watermark.set(hw.max(min_end));
             }
         }
         drop(st);
@@ -643,6 +650,7 @@ impl Cluster {
                 // ISR on the next replication tick instead.
                 if ps.leader == Some(id) {
                     ps.leader = None;
+                    // lint:allow(held-io, reason=models a controller crash between deposing the dead leader and electing a successor; both steps must sit under cluster.state so no client sees two leaders)
                     if self.inner.config.injector.tick("cluster.election") {
                         // Controller crash mid-failover: the broker is
                         // already offline and its session expired, but no
@@ -720,9 +728,10 @@ impl Cluster {
                     continue;
                 }
                 let own_end = ps.log_end(id);
-                if own_end > ps.high_watermark {
+                let hw = ps.high_watermark.get();
+                if own_end > hw {
                     if let Some(log) = ps.replicas.get_mut(&id) {
-                        log.truncate_to(ps.high_watermark)?;
+                        log.truncate_to(hw)?;
                     }
                 }
             }
@@ -999,7 +1008,7 @@ fn elect_leader(ps: &mut PartitionState, online: &HashMap<BrokerId, bool>) -> bo
     // electing it would make acknowledged records unreadable and
     // truncate them from the other replicas. Such partitions stay
     // leaderless until a caught-up ISR member is back online.
-    let hw = ps.high_watermark;
+    let hw = ps.high_watermark.get();
     let candidate = ps.assignment.iter().copied().find(|&b| {
         ps.isr.contains(&b) && online.get(&b).copied().unwrap_or(false) && ps.log_end(b) >= hw
     });
@@ -1019,7 +1028,7 @@ fn elect_leader(ps: &mut PartitionState, online: &HashMap<BrokerId, bool>) -> bo
             }
             // Candidates are required to reach the high watermark, so
             // this clamp is a no-op kept as defense in depth.
-            ps.high_watermark = ps.high_watermark.min(leader_end);
+            ps.high_watermark.set(hw.min(leader_end));
             true
         }
         None => false,

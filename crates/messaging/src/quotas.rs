@@ -179,7 +179,10 @@ mod tests {
         let (q, clock) = mgr();
         q.set_limit("c", 100);
         assert_eq!(q.check("c", 100).unwrap(), QuotaDecision::Allow);
-        assert!(matches!(q.check("c", 1).unwrap(), QuotaDecision::Throttle { .. }));
+        assert!(matches!(
+            q.check("c", 1).unwrap(),
+            QuotaDecision::Throttle { .. }
+        ));
         clock.advance(1_000);
         assert_eq!(q.check("c", 100).unwrap(), QuotaDecision::Allow);
     }
@@ -189,7 +192,10 @@ mod tests {
         let (q, _) = mgr();
         q.set_limit("a", 100);
         q.set_limit("b", 100);
-        assert!(matches!(q.check("a", 200).unwrap(), QuotaDecision::Throttle { .. }));
+        assert!(matches!(
+            q.check("a", 200).unwrap(),
+            QuotaDecision::Throttle { .. }
+        ));
         assert_eq!(q.check("b", 50).unwrap(), QuotaDecision::Allow);
     }
 
@@ -197,7 +203,10 @@ mod tests {
     fn clear_limit_unthrottles() {
         let (q, _) = mgr();
         q.set_limit("c", 1);
-        assert!(matches!(q.check("c", 10).unwrap(), QuotaDecision::Throttle { .. }));
+        assert!(matches!(
+            q.check("c", 10).unwrap(),
+            QuotaDecision::Throttle { .. }
+        ));
         q.clear_limit("c");
         assert_eq!(q.check("c", 1 << 30).unwrap(), QuotaDecision::Allow);
     }

@@ -317,7 +317,7 @@ impl Job {
         let cluster = &self.cluster;
         let config = &self.config;
         let metrics = &self.metrics;
-        let results: Vec<crate::Result<u64>> = std::thread::scope(|scope| {
+        let results: Vec<crate::Result<u64>> = liquid_sim::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .tasks
                 .iter_mut()
@@ -325,9 +325,10 @@ impl Job {
                 .collect();
             handles
                 .into_iter()
-                // A panicking task is a bug in user task code; re-raise
-                // it with its original payload instead of masking it.
-                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                // A panicking task is a bug in user task code;
+                // sim::thread join re-raises it with its original
+                // payload instead of masking it.
+                .map(|h| h.join())
                 .collect()
         });
         let mut processed = 0;

@@ -106,6 +106,10 @@ impl FailureInjector {
             SITES.contains(&site),
             "fault site {site:?} is not registered in sim::failure::SITES"
         );
+        // Under liquid-check, the order fault sites fire in is the
+        // order these counters advance — a schedule point. No-op
+        // outside a model run.
+        crate::sched::tick_point(Arc::as_ptr(&self.inner) as usize, site);
         let op = self.inner.ops.fetch_add(1, Ordering::SeqCst) + 1;
         let scheduled = self.inner.schedule.lock().remove(&op);
         let fired = scheduled || {

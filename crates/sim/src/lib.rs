@@ -19,6 +19,13 @@
 //!   interleavings interpreted by the integration-level chaos harness.
 //! * [`stats`] — counters and log-bucketed latency histograms used by the
 //!   benchmark harness.
+//! * [`sched`] — liquid-check: the deterministic model-checking
+//!   scheduler (virtual threads, DFS interleaving explorer, schedule
+//!   replay) and its [`sched::Shared`] tracked cells.
+//! * [`vclock`] — the vector clocks behind the happens-before race
+//!   detector.
+//! * [`lockdep`] — rank-tracked locks; under a model run every
+//!   acquire/release is also a schedule point.
 
 #![forbid(unsafe_code)]
 
@@ -29,6 +36,16 @@ pub mod failure;
 pub mod lockdep;
 pub mod pagecache;
 pub mod rng;
+pub mod sched;
 pub mod stats;
+pub mod vclock;
+
+/// Schedulable stand-ins for `std::thread`: the only spawn primitives
+/// the `raw-thread` lint permits outside `crates/sim`.
+pub mod thread {
+    pub use crate::sched::{
+        scope, spawn, spawn_named, yield_point, JoinHandle, Scope, ScopedJoinHandle,
+    };
+}
 
 pub use clock::{Clock, SharedClock, SimClock, SystemClock, Ts};

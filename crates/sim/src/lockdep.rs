@@ -21,17 +21,27 @@
 //!
 //! The table below is the single source of truth for the hierarchy —
 //! the analyzer parses it out of this file's source, so editing it
-//! re-checks the whole tree. Orders must be acquired strictly
-//! descending, which encodes today's call graph: a consumer calls into
-//! the group registry and cluster, the group registry reads cluster
-//! metadata for assignment, the cluster commits offsets, and quota
-//! accounting / job metrics are leaves that call nothing.
+//! re-checks the whole tree, and the liquid-check model scheduler
+//! ([`crate::sched`]) labels lock schedule points with these same rank
+//! names. Orders must be acquired strictly descending, which encodes
+//! today's call graph: the DFS namespace locks state over stats; the
+//! stack holds its managed-job list across YARN resource-manager
+//! calls; a consumer calls into the group registry and cluster, the
+//! group registry reads cluster metadata for assignment, the cluster
+//! commits offsets, fires coordination-tree watches and touches log
+//! page caches; and quota accounting, job metrics and ACL grants are
+//! leaves that call nothing.
 
 use std::ops::{Deref, DerefMut};
 
 /// The lock hierarchy: `(rank name, order)`. Locks must be acquired in
 /// strictly descending order of `order`.
 pub const RANKS: &[(&str, u32)] = &[
+    ("dfs.state", 96),
+    ("dfs.stats", 94),
+    ("stack.feeds", 80),
+    ("stack.managed", 75),
+    ("yarn.state", 70),
     ("consumer.state", 60),
     ("group.groups", 50),
     ("cluster.state", 40),
@@ -39,7 +49,10 @@ pub const RANKS: &[(&str, u32)] = &[
     ("quota.limits", 24),
     ("quota.usage", 23),
     ("quota.throttled", 21),
+    ("coord.tree", 15),
     ("job.metrics", 10),
+    ("log.pagecache", 5),
+    ("acl.grants", 3),
 ];
 
 /// The order declared for `rank`, if any.
@@ -75,12 +88,20 @@ impl<T> Mutex<T> {
     }
 
     /// Acquires the mutex, enforcing the rank hierarchy in debug
-    /// builds.
+    /// builds. Under a liquid-check model run the acquisition is a
+    /// schedule point: the call parks until the model grants the lock,
+    /// which guarantees the real acquisition below cannot block.
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        let sched = crate::sched::lock_acquired(
+            &self.inner as *const parking_lot::Mutex<T> as usize,
+            crate::sched::LockKind::Exclusive,
+            self.rank,
+        );
         let token = tracking::acquire(self.rank, self.order);
         MutexGuard {
             inner: self.inner.lock(),
             _token: token,
+            _sched: sched,
         }
     }
 }
@@ -106,41 +127,64 @@ impl<T> RwLock<T> {
         }
     }
 
-    /// Acquires a shared read guard.
+    /// Acquires a shared read guard (a schedule point under
+    /// liquid-check, enabled while no writer holds the model lock).
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let sched = crate::sched::lock_acquired(
+            &self.inner as *const parking_lot::RwLock<T> as usize,
+            crate::sched::LockKind::Shared,
+            self.rank,
+        );
         let token = tracking::acquire(self.rank, self.order);
         RwLockReadGuard {
             inner: self.inner.read(),
             _token: token,
+            _sched: sched,
         }
     }
 
-    /// Acquires an exclusive write guard.
+    /// Acquires an exclusive write guard (a schedule point under
+    /// liquid-check, enabled while the model lock is free).
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let sched = crate::sched::lock_acquired(
+            &self.inner as *const parking_lot::RwLock<T> as usize,
+            crate::sched::LockKind::Exclusive,
+            self.rank,
+        );
         let token = tracking::acquire(self.rank, self.order);
         RwLockWriteGuard {
             inner: self.inner.write(),
             _token: token,
+            _sched: sched,
         }
     }
 }
+
+// Guard field order is load-bearing: fields drop in declaration
+// order, so the real `parking_lot` guard (`inner`) unlocks first and
+// the liquid-check release token (`_sched`) commits the model-level
+// release last. That ordering is what lets the model grant the lock
+// to another thread knowing the real lock is already free.
 
 /// Guard returned by [`Mutex::lock`].
 pub struct MutexGuard<'a, T> {
     inner: parking_lot::MutexGuard<'a, T>,
     _token: tracking::Token,
+    _sched: crate::sched::LockToken,
 }
 
 /// Guard returned by [`RwLock::read`].
 pub struct RwLockReadGuard<'a, T> {
     inner: parking_lot::RwLockReadGuard<'a, T>,
     _token: tracking::Token,
+    _sched: crate::sched::LockToken,
 }
 
 /// Guard returned by [`RwLock::write`].
 pub struct RwLockWriteGuard<'a, T> {
     inner: parking_lot::RwLockWriteGuard<'a, T>,
     _token: tracking::Token,
+    _sched: crate::sched::LockToken,
 }
 
 impl<T> Deref for MutexGuard<'_, T> {
@@ -343,7 +387,10 @@ mod tests {
         let gb = b.lock();
         let gc = c.lock();
         assert_eq!(*ga + *gb + *gc, 6);
-        assert_eq!(held_ranks(), vec!["group.groups", "offsets.inner", "job.metrics"]);
+        assert_eq!(
+            held_ranks(),
+            vec!["group.groups", "offsets.inner", "job.metrics"]
+        );
     }
 
     #[test]
@@ -435,8 +482,8 @@ mod tests {
 
     #[test]
     fn unknown_rank_panics_at_construction() {
-        let err = catch_unwind(|| Mutex::new("no.such.rank", ()))
-            .expect_err("unranked lock must abort");
+        let err =
+            catch_unwind(|| Mutex::new("no.such.rank", ())).expect_err("unranked lock must abort");
         let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(msg.contains("not declared"), "unexpected message: {msg}");
     }

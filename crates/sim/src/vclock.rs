@@ -1,0 +1,226 @@
+//! Vector clocks: the happens-before algebra under liquid-check's race
+//! detector.
+//!
+//! A [`VClock`] maps virtual-thread ids to logical clocks. Event `a`
+//! happens-before event `b` iff `clock(a) <= clock(b)` component-wise;
+//! two events whose clocks are incomparable are *concurrent*, and a
+//! concurrent read/write pair on the same [`Shared`] cell is a data
+//! race. The scheduler threads clocks through every synchronization
+//! edge it controls: thread fork/join, lock release → acquire (per
+//! lockdep rank instance), and channel send → receive.
+//!
+//! [`Shared`]: crate::sched::Shared
+
+use std::fmt;
+
+/// A vector clock over virtual-thread ids. Missing components are zero,
+/// so clocks for short runs stay tiny.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VClock {
+    /// `slots[tid]` = latest clock of thread `tid` known to this event.
+    slots: Vec<u32>,
+}
+
+impl VClock {
+    /// The zero clock (happens-before everything).
+    pub fn new() -> Self {
+        VClock::default()
+    }
+
+    /// The component for `tid`.
+    pub fn get(&self, tid: usize) -> u32 {
+        self.slots.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Advances `tid`'s own component by one — a new event on that
+    /// thread.
+    pub fn tick(&mut self, tid: usize) {
+        if self.slots.len() <= tid {
+            self.slots.resize(tid + 1, 0);
+        }
+        self.slots[tid] += 1;
+    }
+
+    /// Component-wise maximum: after `self.join(other)`, everything
+    /// ordered before either input is ordered before `self`.
+    pub fn join(&mut self, other: &VClock) {
+        if self.slots.len() < other.slots.len() {
+            self.slots.resize(other.slots.len(), 0);
+        }
+        for (i, &v) in other.slots.iter().enumerate() {
+            if self.slots[i] < v {
+                self.slots[i] = v;
+            }
+        }
+    }
+
+    /// `self <= other` component-wise: an event stamped `self`
+    /// happens-before (or is) one stamped `other`.
+    pub fn le(&self, other: &VClock) -> bool {
+        self.slots
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v <= other.get(i))
+    }
+
+    /// Neither clock is ordered before the other: the events are
+    /// concurrent.
+    pub fn concurrent(&self, other: &VClock) -> bool {
+        !self.le(other) && !other.le(self)
+    }
+
+    /// Fork: the clock a child thread starts with — the parent's full
+    /// knowledge, plus the child's own first event.
+    pub fn fork(&self, child: usize) -> VClock {
+        let mut c = self.clone();
+        c.tick(child);
+        c
+    }
+}
+
+impl fmt::Display for VClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.slots.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_clock_precedes_everything() {
+        let zero = VClock::new();
+        let mut c = VClock::new();
+        c.tick(3);
+        assert!(zero.le(&c));
+        assert!(zero.le(&zero));
+        assert!(!c.le(&zero));
+    }
+
+    #[test]
+    fn tick_orders_successive_events_on_one_thread() {
+        let mut a = VClock::new();
+        a.tick(0);
+        let snap = a.clone();
+        a.tick(0);
+        assert!(snap.le(&a));
+        assert!(!a.le(&snap));
+        assert!(!snap.concurrent(&a));
+    }
+
+    #[test]
+    fn independent_threads_are_concurrent() {
+        let mut a = VClock::new();
+        a.tick(0);
+        let mut b = VClock::new();
+        b.tick(1);
+        assert!(a.concurrent(&b));
+        assert!(b.concurrent(&a));
+    }
+
+    #[test]
+    fn join_is_component_wise_max_and_orders_both_inputs() {
+        let mut a = VClock::new();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VClock::new();
+        b.tick(1);
+        let mut j = a.clone();
+        j.join(&b);
+        assert_eq!(j.get(0), 2);
+        assert_eq!(j.get(1), 1);
+        assert!(a.le(&j));
+        assert!(b.le(&j));
+    }
+
+    #[test]
+    fn join_is_idempotent_commutative_associative() {
+        let mut a = VClock::new();
+        a.tick(0);
+        a.tick(2);
+        let mut b = VClock::new();
+        b.tick(1);
+        b.tick(2);
+        b.tick(2);
+
+        let mut ab = a.clone();
+        ab.join(&b);
+        let mut ba = b.clone();
+        ba.join(&a);
+        assert_eq!(ab, ba);
+
+        let mut aa = a.clone();
+        aa.join(&a);
+        assert_eq!(aa, a);
+
+        let mut c = VClock::new();
+        c.tick(4);
+        let mut ab_c = ab.clone();
+        ab_c.join(&c);
+        let mut bc = b.clone();
+        bc.join(&c);
+        let mut a_bc = a.clone();
+        a_bc.join(&bc);
+        assert_eq!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn fork_orders_parent_prefix_before_child() {
+        let mut parent = VClock::new();
+        parent.tick(0);
+        parent.tick(0);
+        let child = parent.fork(1);
+        // Everything the parent did before the fork precedes the child.
+        assert!(parent.le(&child));
+        // The child's own event does not precede the parent.
+        assert!(!child.le(&parent));
+        assert_eq!(child.get(1), 1);
+    }
+
+    #[test]
+    fn release_acquire_edge_orders_critical_sections() {
+        // Model: t0 writes, releases lock L; t1 acquires L, reads.
+        let mut t0 = VClock::new();
+        t0.tick(0); // write event
+        let mut lock_vc = VClock::new();
+        lock_vc.join(&t0); // release: lock learns t0's clock
+        t0.tick(0);
+        let mut t1 = VClock::new();
+        t1.tick(1);
+        t1.join(&lock_vc); // acquire: t1 learns the lock's clock
+        t1.tick(1); // read event
+        let write_stamp = {
+            let mut w = VClock::new();
+            w.tick(0);
+            w
+        };
+        assert!(write_stamp.le(&t1), "write must precede the read via L");
+    }
+
+    #[test]
+    fn missing_components_read_as_zero() {
+        let mut a = VClock::new();
+        a.tick(5);
+        assert_eq!(a.get(0), 0);
+        assert_eq!(a.get(5), 1);
+        assert_eq!(a.get(99), 0);
+        let b = VClock::new();
+        assert!(b.le(&a));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let mut a = VClock::new();
+        a.tick(0);
+        a.tick(2);
+        assert_eq!(a.to_string(), "[1,0,1]");
+    }
+}

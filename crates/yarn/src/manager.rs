@@ -2,7 +2,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use parking_lot::Mutex;
+use liquid_sim::lockdep::Mutex;
 
 /// Identifies a node in the cluster.
 pub type NodeId = u32;
@@ -118,14 +118,17 @@ impl ResourceManager {
             },
         );
         ResourceManager {
-            state: Mutex::new(State {
-                nodes: Vec::new(),
-                containers: HashMap::new(),
-                pending: VecDeque::new(),
-                queues,
-                next_container: 1,
-                isolation: true,
-            }),
+            state: Mutex::new(
+                "yarn.state",
+                State {
+                    nodes: Vec::new(),
+                    containers: HashMap::new(),
+                    pending: VecDeque::new(),
+                    queues,
+                    next_container: 1,
+                    isolation: true,
+                },
+            ),
         }
     }
 
