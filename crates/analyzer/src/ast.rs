@@ -1,0 +1,636 @@
+//! The analysis AST.
+//!
+//! Produced by the recursive-descent parser in [`crate::parse`] over
+//! the token stream from [`crate::lexer`]. The tree is deliberately
+//! *analysis-shaped* rather than fully faithful: types are carried as
+//! flattened token text (the rules only ever ask "does the return type
+//! name `Result`" or "what is this field called"), generics and
+//! lifetimes are skipped, and attributes are dropped (test masking
+//! uses the token-level region table, which the rules already share).
+//! Everything the flow-sensitive rules need — items, bodies,
+//! statements, expressions, patterns, call structure — is represented
+//! losslessly.
+
+/// A parsed source file: its top-level items.
+#[derive(Debug, Default)]
+pub struct File {
+    /// Items in source order.
+    pub items: Vec<Item>,
+}
+
+/// One item. Items the rules never look inside (`use`, `const`,
+/// `type`, enums) are represented by their kind and line only.
+#[derive(Debug)]
+pub enum Item {
+    /// A free function, method, or trait method.
+    Fn(Fn),
+    /// A struct definition with named fields (tuple/unit structs keep
+    /// an empty field list).
+    Struct(Struct),
+    /// An `impl` block; `self_ty` is the flattened self-type text.
+    Impl {
+        /// Flattened self-type text (e.g. `Segment`, `Cluster`).
+        self_ty: String,
+        /// The trait being implemented, if any (flattened text).
+        trait_: Option<String>,
+        /// Associated items (functions, consts, types).
+        items: Vec<Item>,
+        /// 1-based line of the `impl` keyword.
+        line: u32,
+    },
+    /// A trait definition; default method bodies are parsed.
+    Trait {
+        /// Trait name.
+        name: String,
+        /// Associated items.
+        items: Vec<Item>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// An inline module.
+    Mod {
+        /// Module name.
+        name: String,
+        /// Items inside the module.
+        items: Vec<Item>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// Anything else: `use`, `const`, `static`, `type`, `enum`,
+    /// `extern crate`, item-position macro invocations.
+    Other {
+        /// 1-based line.
+        line: u32,
+    },
+}
+
+/// A function definition (or trait-method declaration, body `None`).
+#[derive(Debug)]
+pub struct Fn {
+    /// Function name.
+    pub name: String,
+    /// Whether the function carries any `pub` visibility.
+    pub is_pub: bool,
+    /// Whether the first parameter is a `self` receiver.
+    pub has_self: bool,
+    /// Non-`self` parameters.
+    pub params: Vec<Param>,
+    /// Flattened return-type text (`Result < u64 , LogError >`), or
+    /// `None` for `()`.
+    pub ret: Option<String>,
+    /// The body; `None` for trait-method declarations.
+    pub body: Option<Block>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+}
+
+/// One non-`self` function parameter.
+#[derive(Debug)]
+pub struct Param {
+    /// The binding pattern (usually a plain identifier).
+    pub pat: Pat,
+    /// Flattened type text.
+    pub ty: String,
+}
+
+/// A struct definition.
+#[derive(Debug)]
+pub struct Struct {
+    /// Struct name.
+    pub name: String,
+    /// Named fields; empty for tuple/unit structs.
+    pub fields: Vec<Field>,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// One named struct field.
+#[derive(Debug)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Flattened type text.
+    pub ty: String,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// A `{ ... }` block.
+#[derive(Debug, Default)]
+pub struct Block {
+    /// Statements in order. A tail expression is the final
+    /// [`Stmt::Expr`] with `semi == false`.
+    pub stmts: Vec<Stmt>,
+    /// 1-based line of the opening brace.
+    pub line: u32,
+}
+
+/// One statement.
+#[derive(Debug)]
+pub enum Stmt {
+    /// `let <pat> (= <init>)? (else <block>)? ;`
+    Let {
+        /// Binding pattern.
+        pat: Pat,
+        /// Initializer, if present.
+        init: Option<Expr>,
+        /// `let ... else { ... }` diverging block.
+        else_block: Option<Block>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// An expression statement; `semi` is false for tail expressions
+    /// and block-like statements.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Whether a `;` followed.
+        semi: bool,
+    },
+    /// A nested item (fn, struct, use, ... inside a body).
+    Item(Box<Item>),
+}
+
+/// A match arm.
+#[derive(Debug)]
+pub struct Arm {
+    /// The (possibly or-) pattern.
+    pub pat: Pat,
+    /// `if` guard, when present.
+    pub guard: Option<Expr>,
+    /// Arm body.
+    pub body: Expr,
+    /// 1-based line of the pattern.
+    pub line: u32,
+}
+
+/// An expression.
+#[derive(Debug)]
+pub enum Expr {
+    /// A path: `x`, `self`, `Segment :: new`, `crate :: Result`.
+    /// Turbofish type arguments are dropped.
+    Path {
+        /// Path segments.
+        segs: Vec<String>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// Any literal (number, string, char, bool).
+    Lit {
+        /// Raw literal text (string contents for strings).
+        text: String,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `callee(args)`.
+    Call {
+        /// Callee expression (usually a path).
+        callee: Box<Expr>,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `recv.method(args)`.
+    MethodCall {
+        /// Receiver.
+        recv: Box<Expr>,
+        /// Method name.
+        method: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `base.field` (tuple indices arrive as numeric names).
+    FieldAccess {
+        /// Base expression.
+        base: Box<Expr>,
+        /// Field name.
+        name: String,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `base[index]`.
+    Index {
+        /// Base expression.
+        base: Box<Expr>,
+        /// Index expression (may be a range).
+        index: Box<Expr>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// Binary operation; `op` is the operator text (`+`, `==`, `&&`).
+    Binary {
+        /// Operator text.
+        op: String,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// Prefix unary operation (`-`, `!`, `*`).
+    Unary {
+        /// Operator character.
+        op: char,
+        /// Operand.
+        operand: Box<Expr>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `lhs = rhs` or compound `lhs op= rhs` (`op` carries `+` etc.).
+    Assign {
+        /// Assignment target.
+        lhs: Box<Expr>,
+        /// Compound operator, `None` for plain `=`.
+        op: Option<String>,
+        /// Value.
+        rhs: Box<Expr>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `&expr` / `&mut expr`.
+    Ref {
+        /// Whether `mut` follows the `&`.
+        is_mut: bool,
+        /// Referent.
+        expr: Box<Expr>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `expr?`.
+    Try {
+        /// Inner expression.
+        expr: Box<Expr>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `expr as Type` (type text dropped — taint flows through).
+    Cast {
+        /// Inner expression.
+        expr: Box<Expr>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `if` / `if let`; `else_` is another `If` or a `Block`.
+    If {
+        /// `if let` pattern, when present.
+        pat: Option<Pat>,
+        /// Condition (scrutinee for `if let`).
+        cond: Box<Expr>,
+        /// Then-block.
+        then: Block,
+        /// Else branch (`Expr::If` or `Expr::Block`).
+        else_: Option<Box<Expr>>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `match`.
+    Match {
+        /// Scrutinee.
+        scrutinee: Box<Expr>,
+        /// Arms.
+        arms: Vec<Arm>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `while` / `while let`.
+    While {
+        /// `while let` pattern, when present.
+        pat: Option<Pat>,
+        /// Condition (scrutinee for `while let`).
+        cond: Box<Expr>,
+        /// Body.
+        body: Block,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `loop`.
+    Loop {
+        /// Body.
+        body: Block,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `for <pat> in <iter>`.
+    For {
+        /// Loop pattern.
+        pat: Pat,
+        /// Iterated expression.
+        iter: Box<Expr>,
+        /// Body.
+        body: Block,
+        /// 1-based line.
+        line: u32,
+    },
+    /// A block expression.
+    Block(Block),
+    /// `return (expr)?`.
+    Return {
+        /// Returned value.
+        value: Option<Box<Expr>>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `break (expr)?` (labels dropped).
+    Break {
+        /// Break value.
+        value: Option<Box<Expr>>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `continue` (labels dropped).
+    Continue {
+        /// 1-based line.
+        line: u32,
+    },
+    /// `|params| body` / `move |params| body`.
+    Closure {
+        /// Parameter patterns (types dropped).
+        params: Vec<Pat>,
+        /// Body expression.
+        body: Box<Expr>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `name!(args)`. When the arguments parse as a comma-separated
+    /// expression list, `args` holds them and `parsed` is true;
+    /// otherwise (`matches!` patterns, custom grammar) `args` holds a
+    /// best-effort list of call-shaped sub-expressions recovered by a
+    /// token scan and `parsed` is false.
+    MacroCall {
+        /// Macro name (last path segment, no `!`).
+        name: String,
+        /// Argument expressions (see above).
+        args: Vec<Expr>,
+        /// Whether `args` is an exact parse of the argument tokens.
+        parsed: bool,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `Path { field: expr, .. }`.
+    StructLit {
+        /// Struct path segments.
+        path: Vec<String>,
+        /// `(name, value)` field initializers; shorthand fields repeat
+        /// the name as a path expression.
+        fields: Vec<(String, Expr)>,
+        /// Functional-update base (`..base`).
+        base: Option<Box<Expr>>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `(a, b, ...)` — one-element tuples only with a trailing comma.
+    Tuple {
+        /// Elements.
+        elems: Vec<Expr>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `[a, b, ...]` or `[elem; len]`.
+    Array {
+        /// Elements (for `[elem; len]`: the element then the length).
+        elems: Vec<Expr>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `lo .. hi` / `lo ..= hi`, either side optional.
+    Range {
+        /// Lower bound.
+        lo: Option<Box<Expr>>,
+        /// Upper bound.
+        hi: Option<Box<Expr>>,
+        /// 1-based line.
+        line: u32,
+    },
+}
+
+impl Expr {
+    /// The 1-based source line of the expression's first token.
+    pub fn line(&self) -> u32 {
+        match self {
+            Expr::Path { line, .. }
+            | Expr::Lit { line, .. }
+            | Expr::Call { line, .. }
+            | Expr::MethodCall { line, .. }
+            | Expr::FieldAccess { line, .. }
+            | Expr::Index { line, .. }
+            | Expr::Binary { line, .. }
+            | Expr::Unary { line, .. }
+            | Expr::Assign { line, .. }
+            | Expr::Ref { line, .. }
+            | Expr::Try { line, .. }
+            | Expr::Cast { line, .. }
+            | Expr::If { line, .. }
+            | Expr::Match { line, .. }
+            | Expr::While { line, .. }
+            | Expr::Loop { line, .. }
+            | Expr::For { line, .. }
+            | Expr::Return { line, .. }
+            | Expr::Break { line, .. }
+            | Expr::Continue { line }
+            | Expr::Closure { line, .. }
+            | Expr::MacroCall { line, .. }
+            | Expr::StructLit { line, .. }
+            | Expr::Tuple { line, .. }
+            | Expr::Array { line, .. }
+            | Expr::Range { line, .. } => *line,
+            Expr::Block(b) => b.line,
+        }
+    }
+}
+
+/// A pattern.
+#[derive(Debug)]
+pub enum Pat {
+    /// A binding: `x`, `mut x`, `ref x`, `x @ subpat`.
+    Ident {
+        /// Bound name.
+        name: String,
+        /// `@`-bound sub-pattern.
+        sub: Option<Box<Pat>>,
+    },
+    /// `_`.
+    Wild,
+    /// A literal pattern (possibly negative).
+    Lit(String),
+    /// A unit path pattern: `None`, `AckLevel :: All`.
+    Path(Vec<String>),
+    /// `Some(x)`, `Err(e)`, tuple-struct patterns.
+    TupleStruct {
+        /// Path segments.
+        path: Vec<String>,
+        /// Element patterns.
+        elems: Vec<Pat>,
+    },
+    /// `Struct { a, b: pat, .. }`.
+    Struct {
+        /// Path segments.
+        path: Vec<String>,
+        /// `(field, pattern)` pairs; shorthand repeats the name.
+        fields: Vec<(String, Pat)>,
+    },
+    /// `(a, b)`.
+    Tuple(Vec<Pat>),
+    /// `[a, b, rest @ ..]`.
+    Slice(Vec<Pat>),
+    /// `&pat` / `&mut pat`.
+    Ref(Box<Pat>),
+    /// `a | b | c`.
+    Or(Vec<Pat>),
+    /// `lo ..= hi` and friends.
+    Range,
+    /// `..` in tuple/slice/struct position.
+    Rest,
+}
+
+/// Calls `visit` on every expression in the block, pre-order,
+/// descending into nested blocks, arms, and closures — but not into
+/// nested items (those are collected as functions of their own).
+pub fn walk_block<'a>(b: &'a Block, visit: &mut dyn FnMut(&'a Expr)) {
+    for stmt in &b.stmts {
+        match stmt {
+            Stmt::Let {
+                init, else_block, ..
+            } => {
+                if let Some(init) = init {
+                    walk_expr(init, visit);
+                }
+                if let Some(else_block) = else_block {
+                    walk_block(else_block, visit);
+                }
+            }
+            Stmt::Expr { expr, .. } => walk_expr(expr, visit),
+            Stmt::Item(_) => {}
+        }
+    }
+}
+
+/// Calls `visit` on `e` and then every sub-expression, pre-order.
+pub fn walk_expr<'a>(e: &'a Expr, visit: &mut dyn FnMut(&'a Expr)) {
+    visit(e);
+    match e {
+        Expr::Path { .. } | Expr::Lit { .. } | Expr::Continue { .. } => {}
+        Expr::Call { callee, args, .. } => {
+            walk_expr(callee, visit);
+            for a in args {
+                walk_expr(a, visit);
+            }
+        }
+        Expr::MethodCall { recv, args, .. } => {
+            walk_expr(recv, visit);
+            for a in args {
+                walk_expr(a, visit);
+            }
+        }
+        Expr::FieldAccess { base, .. } => walk_expr(base, visit),
+        Expr::Index { base, index, .. } => {
+            walk_expr(base, visit);
+            walk_expr(index, visit);
+        }
+        Expr::Binary { lhs, rhs, .. } | Expr::Assign { lhs, rhs, .. } => {
+            walk_expr(lhs, visit);
+            walk_expr(rhs, visit);
+        }
+        Expr::Unary { operand, .. } => walk_expr(operand, visit),
+        Expr::Ref { expr, .. } | Expr::Try { expr, .. } | Expr::Cast { expr, .. } => {
+            walk_expr(expr, visit)
+        }
+        Expr::If {
+            cond, then, else_, ..
+        } => {
+            walk_expr(cond, visit);
+            walk_block(then, visit);
+            if let Some(e) = else_ {
+                walk_expr(e, visit);
+            }
+        }
+        Expr::Match {
+            scrutinee, arms, ..
+        } => {
+            walk_expr(scrutinee, visit);
+            for arm in arms {
+                if let Some(g) = &arm.guard {
+                    walk_expr(g, visit);
+                }
+                walk_expr(&arm.body, visit);
+            }
+        }
+        Expr::While { cond, body, .. } => {
+            walk_expr(cond, visit);
+            walk_block(body, visit);
+        }
+        Expr::Loop { body, .. } => walk_block(body, visit),
+        Expr::For { iter, body, .. } => {
+            walk_expr(iter, visit);
+            walk_block(body, visit);
+        }
+        Expr::Block(b) => walk_block(b, visit),
+        Expr::Return { value, .. } | Expr::Break { value, .. } => {
+            if let Some(v) = value {
+                walk_expr(v, visit);
+            }
+        }
+        Expr::Closure { body, .. } => walk_expr(body, visit),
+        Expr::MacroCall { args, .. } => {
+            for a in args {
+                walk_expr(a, visit);
+            }
+        }
+        Expr::StructLit { fields, base, .. } => {
+            for (_, v) in fields {
+                walk_expr(v, visit);
+            }
+            if let Some(b) = base {
+                walk_expr(b, visit);
+            }
+        }
+        Expr::Tuple { elems, .. } | Expr::Array { elems, .. } => {
+            for e in elems {
+                walk_expr(e, visit);
+            }
+        }
+        Expr::Range { lo, hi, .. } => {
+            if let Some(lo) = lo {
+                walk_expr(lo, visit);
+            }
+            if let Some(hi) = hi {
+                walk_expr(hi, visit);
+            }
+        }
+    }
+}
+
+impl Pat {
+    /// Appends every name this pattern binds to `out` (`_`-patterns
+    /// bind nothing; path patterns are matches, not bindings).
+    pub fn bound_names(&self, out: &mut Vec<String>) {
+        match self {
+            Pat::Ident { name, sub } => {
+                out.push(name.clone());
+                if let Some(s) = sub {
+                    s.bound_names(out);
+                }
+            }
+            Pat::TupleStruct { elems, .. } => {
+                for p in elems {
+                    p.bound_names(out);
+                }
+            }
+            Pat::Struct { fields, .. } => {
+                for (_, p) in fields {
+                    p.bound_names(out);
+                }
+            }
+            Pat::Tuple(ps) | Pat::Slice(ps) | Pat::Or(ps) => {
+                for p in ps {
+                    p.bound_names(out);
+                }
+            }
+            Pat::Ref(p) => p.bound_names(out),
+            Pat::Wild | Pat::Lit(_) | Pat::Path(_) | Pat::Range | Pat::Rest => {}
+        }
+    }
+}

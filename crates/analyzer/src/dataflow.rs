@@ -1,0 +1,109 @@
+//! A small generic worklist solver over [`crate::cfg::Cfg`].
+//!
+//! Analyses implement [`Analysis`]; the solver iterates to a fixpoint
+//! in either direction. Facts must form a join-semilattice with a
+//! monotone transfer function; since every fact domain here is a
+//! finite set of names/sites bounded by the function's source,
+//! termination is immediate.
+
+use crate::cfg::{Cfg, Op};
+
+/// One dataflow analysis: a fact lattice plus a per-op transfer
+/// function.
+pub trait Analysis {
+    /// The lattice element.
+    type Fact: Clone + PartialEq;
+
+    /// Direction: `false` = forward (entry → exit), `true` = backward.
+    const BACKWARD: bool;
+
+    /// Initial fact for the boundary block (the entry block for a
+    /// forward analysis, the exit block for a backward one).
+    fn boundary(&self) -> Self::Fact;
+
+    /// Initial fact for every other block before any join ("unvisited"
+    /// — for a may-analysis the empty set, for a must-analysis a top
+    /// marker such as `None`).
+    fn init(&self) -> Self::Fact;
+
+    /// Joins `other` into `fact`; returns whether `fact` changed.
+    fn join(&self, fact: &mut Self::Fact, other: &Self::Fact) -> bool;
+
+    /// Applies one op to the fact in the direction of the analysis.
+    fn transfer(&self, op: &Op, fact: &mut Self::Fact);
+}
+
+/// Runs `analysis` to fixpoint. Returns, for each block, the fact at
+/// its *input boundary*: the block start for a forward analysis, the
+/// block end for a backward one. Per-op facts inside a block are
+/// recovered by replaying [`Analysis::transfer`] from that boundary
+/// (see [`walk_ops`]).
+pub fn solve<A: Analysis>(cfg: &Cfg, analysis: &A) -> Vec<A::Fact> {
+    let n = cfg.blocks.len();
+    let mut input: Vec<A::Fact> = (0..n).map(|_| analysis.init()).collect();
+    let boundary_block = if A::BACKWARD { cfg.exit } else { cfg.entry };
+    input[boundary_block] = analysis.boundary();
+
+    // Edges in the direction of propagation: forward uses succs as-is;
+    // backward flips them.
+    let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        for &s in &blk.succs {
+            if A::BACKWARD {
+                out_edges[s].push(b);
+            } else {
+                out_edges[b].push(s);
+            }
+        }
+    }
+
+    let mut work: Vec<usize> = (0..n).collect();
+    let mut on_work = vec![true; n];
+    while let Some(b) = work.pop() {
+        on_work[b] = false;
+        // Fact after this block's ops, in propagation order.
+        let mut fact = input[b].clone();
+        if A::BACKWARD {
+            for op in cfg.blocks[b].ops.iter().rev() {
+                analysis.transfer(op, &mut fact);
+            }
+        } else {
+            for op in &cfg.blocks[b].ops {
+                analysis.transfer(op, &mut fact);
+            }
+        }
+        for &t in &out_edges[b] {
+            if analysis.join(&mut input[t], &fact) && !on_work[t] {
+                on_work[t] = true;
+                work.push(t);
+            }
+        }
+    }
+    input
+}
+
+/// Replays a solved analysis over one block's ops, calling `visit`
+/// with each op and the fact *before* it in the analysis direction
+/// (for a backward analysis, "before" means the fact that holds just
+/// after the op in execution order).
+pub fn walk_ops<A: Analysis>(
+    cfg: &Cfg,
+    analysis: &A,
+    input: &[A::Fact],
+    block: usize,
+    mut visit: impl FnMut(usize, &Op, &A::Fact),
+) {
+    let mut fact = input[block].clone();
+    let ops = &cfg.blocks[block].ops;
+    if A::BACKWARD {
+        for (i, op) in ops.iter().enumerate().rev() {
+            visit(i, op, &fact);
+            analysis.transfer(op, &mut fact);
+        }
+    } else {
+        for (i, op) in ops.iter().enumerate() {
+            visit(i, op, &fact);
+            analysis.transfer(op, &mut fact);
+        }
+    }
+}

@@ -38,6 +38,11 @@ pub struct Token {
     pub text: String,
     /// 1-based line the token starts on.
     pub line: u32,
+    /// Char offset of the token's first character in the source. The
+    /// parser uses adjacency of consecutive punctuation (`pos + 1 ==
+    /// next.pos`) to glue multi-character operators (`::`, `->`, `==`)
+    /// back together without misreading spaced-out sequences.
+    pub pos: usize,
 }
 
 impl Token {
@@ -116,7 +121,8 @@ impl Lexer {
                 }
                 c if c.is_whitespace() => self.pos += 1,
                 c => {
-                    self.push(TokenKind::Punct, c.to_string());
+                    let pos = self.pos;
+                    self.push(TokenKind::Punct, c.to_string(), pos);
                     self.pos += 1;
                 }
             }
@@ -128,11 +134,12 @@ impl Lexer {
         self.chars.get(self.pos + ahead).copied()
     }
 
-    fn push(&mut self, kind: TokenKind, text: String) {
+    fn push(&mut self, kind: TokenKind, text: String, pos: usize) {
         self.out.tokens.push(Token {
             kind,
             text,
             line: self.line,
+            pos,
         });
     }
 
@@ -218,6 +225,7 @@ impl Lexer {
 
     fn string(&mut self) {
         // Ordinary "..." with escapes. The opening quote is current.
+        let start_pos = self.pos;
         self.pos += 1;
         let start_line = self.line;
         let mut text = String::new();
@@ -244,6 +252,7 @@ impl Lexer {
             kind: TokenKind::Str,
             text,
             line: start_line,
+            pos: start_pos,
         });
     }
 
@@ -279,6 +288,7 @@ impl Lexer {
             return false; // b#… is not a literal prefix
         }
         // Raw string: skip prefix + hashes + opening quote.
+        let start_pos = self.pos;
         self.pos += ahead + hashes + 1;
         let start_line = self.line;
         let mut text = String::new();
@@ -302,6 +312,7 @@ impl Lexer {
             kind: TokenKind::Str,
             text,
             line: start_line,
+            pos: start_pos,
         });
         true
     }
@@ -333,10 +344,11 @@ impl Lexer {
                 self.pos += 1;
             }
             let text: String = self.chars[start..self.pos].iter().collect();
-            self.push(TokenKind::Lifetime, text);
+            self.push(TokenKind::Lifetime, text, start);
             return;
         }
         let start_line = self.line;
+        let start_pos = self.pos;
         self.pos += 1; // opening quote
         let mut text = String::from("'");
         while let Some(c) = self.peek(0) {
@@ -363,6 +375,7 @@ impl Lexer {
             kind: TokenKind::Char,
             text,
             line: start_line,
+            pos: start_pos,
         });
     }
 
@@ -383,7 +396,7 @@ impl Lexer {
             }
         }
         let text: String = self.chars[start..self.pos].iter().collect();
-        self.push(TokenKind::Number, text);
+        self.push(TokenKind::Number, text, start);
     }
 
     fn ident(&mut self) {
@@ -392,7 +405,7 @@ impl Lexer {
             self.pos += 1;
         }
         let text: String = self.chars[start..self.pos].iter().collect();
-        self.push(TokenKind::Ident, text);
+        self.push(TokenKind::Ident, text, start);
     }
 }
 

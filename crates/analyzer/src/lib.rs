@@ -4,18 +4,32 @@
 //!
 //! The build environment is offline (no registry), so stock clippy
 //! plugins are unavailable; the invariants that matter to this codebase
-//! are enforced by an in-repo pass instead. The analyzer lexes every
-//! `crates/*/src/**/*.rs` file with the hand-rolled lexer in
-//! [`lexer`] and runs the rules in [`rules`]:
+//! are enforced by an in-repo pass instead. The analyzer is layered as
+//! a small reusable IR — [`lexer`] → [`parse`]/[`ast`] → [`cfg`] (with
+//! the generic [`dataflow`] solver) → the whole-workspace
+//! [`callgraph`] — and the rules in [`rules`] run at whichever layer
+//! gives them the precision they need:
 //!
-//! * **unwrap** — no `.unwrap()`/`.expect()`/`panic!`/`todo!` in
-//!   non-test code of the fault-injected crates (`log`, `kv`,
-//!   `messaging`, `processing`). A fault-path panic turns an injected,
-//!   recoverable error into a process abort.
+//! * **panic-reachability** — interprocedural proof that no `panic!`
+//!   family macro, `.unwrap()`/`.expect()`, or unguarded indexing is
+//!   reachable from the public API of the fault-injected crates
+//!   (`log`, `kv`, `messaging`, `processing`). Findings carry the call
+//!   chain that reaches the site.
+//! * **dropped-result** — a call resolving to a workspace function
+//!   that returns `Result` is discarded (`expr;` or `let _ = expr;`).
+//! * **unchecked-offset-arithmetic** — raw `+`/`-`/`*` on values
+//!   flowing from offset/high-watermark/epoch fields (seeded from the
+//!   `log`/`messaging` struct declarations) must be
+//!   `checked_*`/`saturating_*`.
+//! * **guard-liveness** — a fault-injection tick or raw I/O while a
+//!   ranked lock guard is held *dead* (never used again): the guard
+//!   should be dropped first. Flow- and liveness-sensitive, so
+//!   deliberate critical sections are not flagged.
 //! * **panic** — `panic!`/`todo!`/`unimplemented!` forbidden in the
 //!   remaining library crates.
 //! * **lock-order** — nested lock acquisitions must follow the rank
-//!   table declared in `sim::lockdep::RANKS` (strictly descending).
+//!   table declared in `sim::lockdep::RANKS` (strictly descending),
+//!   checked over the CFG's may-held lock sets.
 //! * **fault-site** — every `injector.tick("site")` string must be
 //!   registered in `sim::failure::SITES`, and every registered site
 //!   must have at least one call site.
@@ -25,8 +39,6 @@
 //!   `parking_lot` primitives are confined to `crates/sim`; everything
 //!   else spawns through `liquid_sim::thread` and locks through
 //!   `liquid_sim::lockdep`, so liquid-check can schedule it.
-//! * **held-io** — no fault-injection tick or raw I/O while a ranked
-//!   lock guard is live in the same function body.
 //! * **forbid-unsafe** — every crate's `lib.rs` carries
 //!   `#![forbid(unsafe_code)]` and no `unsafe` token appears anywhere.
 //!
@@ -34,27 +46,36 @@
 //! (see [`lexer::AllowDirective`]); a directive that is malformed,
 //! names an unknown lint, or suppresses nothing is itself a finding
 //! (lint **lint-allow**), so the escape hatch cannot rot silently.
+//! Directives stack: several allows on consecutive lines all cover the
+//! first non-directive line below them.
 
+pub mod ast;
+pub mod callgraph;
+pub mod cfg;
+pub mod dataflow;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::fmt;
 use std::fs;
 use std::path::Path;
 
-use lexer::{lex, Token, TokenKind};
+use lexer::{lex, Lexed, Token, TokenKind};
 
 /// Every lint name the analyzer can emit (and that `lint:allow` may
 /// reference).
 pub const LINTS: &[&str] = &[
-    "unwrap",
+    "panic-reachability",
+    "dropped-result",
+    "unchecked-offset-arithmetic",
+    "guard-liveness",
     "panic",
     "lock-order",
     "fault-site",
     "raw-io",
     "raw-thread",
-    "held-io",
     "forbid-unsafe",
     "lint-allow",
 ];
@@ -100,24 +121,35 @@ pub struct RankTable {
     pub line: u32,
 }
 
-/// Cross-file context the rules need: the single-source-of-truth
+/// Cross-file context the rules need. The single-source-of-truth
 /// tables live in the `sim` crate's *source* and are parsed from it
 /// with the same lexer, so the analyzer can never drift from the
-/// runtime checks without a finding.
+/// runtime checks without a finding; the workspace-derived fields
+/// (offset seeds, Result signatures) are filled in by
+/// [`analyze_root`]'s context phase.
 #[derive(Debug, Clone, Default)]
 pub struct Context {
     /// `None` when `failure.rs` is absent (fixture trees); membership
     /// checks are skipped then, but sites are still collected.
     pub sites: Option<SiteRegistry>,
-    /// `None` when `lockdep.rs` is absent; the lock-order rule is
-    /// skipped then.
+    /// `None` when `lockdep.rs` is absent; the lock-order and
+    /// guard-liveness rules are skipped then.
     pub ranks: Option<RankTable>,
+    /// Offset-domain field names parsed from `log`/`messaging` struct
+    /// declarations (taint seeds for unchecked-offset-arithmetic).
+    pub offset_seeds: BTreeSet<String>,
+    /// `(name, is_method, arity)` call shapes where *every* matching
+    /// workspace function returns `Result` (dropped-result lint).
+    pub result_sigs: HashSet<(String, bool, usize)>,
+    /// Type names with a workspace `impl` block (used to decide
+    /// whether a qualified call points back into the workspace).
+    pub known_types: BTreeSet<String>,
 }
 
 impl Context {
-    /// Builds the context from a workspace root. Missing files are
-    /// tolerated (fixture trees); files that exist but cannot be
-    /// parsed produce findings.
+    /// Builds the sim-table part of the context from a workspace root.
+    /// Missing files are tolerated (fixture trees); files that exist
+    /// but cannot be parsed produce findings.
     pub fn from_root(root: &Path) -> (Context, Vec<Finding>) {
         let mut ctx = Context::default();
         let mut findings = Vec::new();
@@ -316,44 +348,90 @@ fn item_end(tokens: &[Token], start: usize) -> (usize, u32) {
     (tokens.len(), tokens.last().map_or(0, |t| t.line))
 }
 
-/// Per-file analysis output.
-#[derive(Debug, Default)]
-pub struct FileReport {
-    /// Findings after `lint:allow` suppression.
-    pub findings: Vec<Finding>,
-    /// `injector.tick("...")` sites seen, as `(site, line)`.
-    pub tick_sites: Vec<(String, u32)>,
+/// One loaded workspace file: lexed, test-masked, and (when the parser
+/// succeeds) parsed. A parse failure is tolerated — token rules still
+/// run; the `every_workspace_file_parses` test keeps the real tree at
+/// 100% parse coverage.
+pub struct SourceData {
+    /// Workspace-relative path with forward slashes.
+    pub rel: String,
+    /// Lexer output (tokens + allow directives).
+    pub lexed: Lexed,
+    /// `#[cfg(test)]`/`#[test]` line regions.
+    pub regions: Vec<(u32, u32)>,
+    /// Parsed AST, `None` when the parser rejected the file.
+    pub ast: Option<ast::File>,
 }
 
-/// Lints one file. `rel` is the workspace-relative path
-/// (`crates/<name>/src/...`), which determines which rules apply.
-pub fn analyze_file(ctx: &Context, rel: &str, src: &str) -> FileReport {
+/// Lexes and parses one file.
+pub fn load_source(rel: &str, src: &str) -> SourceData {
     let lexed = lex(src);
     let regions = test_regions(&lexed.tokens);
-    let crate_name = rel
+    let ast = parse::parse_file(&lexed.tokens).ok();
+    SourceData {
+        rel: rel.to_string(),
+        lexed,
+        regions,
+        ast,
+    }
+}
+
+/// Runs the per-file rules (everything except panic-reachability and
+/// the cross-tree checks) over one loaded file, *without* `lint:allow`
+/// suppression. Returns the raw findings plus the
+/// `injector.tick("...")` sites seen.
+pub fn analyze_file_raw(ctx: &Context, data: &SourceData) -> (Vec<Finding>, Vec<(String, u32)>) {
+    let crate_name = data
+        .rel
         .strip_prefix("crates/")
         .and_then(|r| r.split('/').next())
         .unwrap_or("");
-
     let mut raw = Vec::new();
     let mut tick_sites = Vec::new();
-    rules::unwrap_on_fault_path(crate_name, rel, &lexed.tokens, &regions, &mut raw);
-    rules::panic_free_lib(crate_name, rel, &lexed.tokens, &regions, &mut raw);
-    rules::lock_order(ctx, rel, &lexed.tokens, &mut raw);
-    rules::fault_sites(ctx, rel, &lexed.tokens, &mut raw, &mut tick_sites);
-    rules::raw_io(crate_name, rel, &lexed.tokens, &regions, &mut raw);
-    rules::raw_thread(crate_name, rel, &lexed.tokens, &regions, &mut raw);
-    rules::held_io(ctx, rel, &lexed.tokens, &regions, &mut raw);
-    rules::forbid_unsafe(rel, &lexed.tokens, &mut raw);
+    let tokens = &data.lexed.tokens;
+    rules::panic_free_lib(crate_name, &data.rel, tokens, &data.regions, &mut raw);
+    rules::fault_sites(ctx, &data.rel, tokens, &mut raw, &mut tick_sites);
+    rules::raw_io(crate_name, &data.rel, tokens, &data.regions, &mut raw);
+    rules::raw_thread(crate_name, &data.rel, tokens, &data.regions, &mut raw);
+    rules::forbid_unsafe(&data.rel, tokens, &mut raw);
+    if let Some(ast) = &data.ast {
+        rules::lock_order(ctx, &data.rel, ast, &mut raw);
+        rules::guard_liveness(ctx, &data.rel, ast, &data.regions, &mut raw);
+        rules::unchecked_offset_arithmetic(
+            ctx,
+            crate_name,
+            &data.rel,
+            ast,
+            &data.regions,
+            &mut raw,
+        );
+        rules::dropped_result(ctx, &data.rel, ast, &data.regions, &mut raw);
+    }
+    (raw, tick_sites)
+}
 
-    // `lint:allow` suppression: a directive covers its own line and
-    // the line directly below it.
-    let mut used = vec![false; lexed.allows.len()];
+/// Applies `lint:allow` suppression to one file's raw findings and
+/// appends the surviving findings (plus any directive-hygiene
+/// findings) to `out`.
+///
+/// A directive covers its own line and the first non-directive line
+/// below it, so directives for different lints can stack above a
+/// single offending line.
+pub fn apply_allows(data: &SourceData, mut raw: Vec<Finding>, out: &mut Vec<Finding>) {
+    let allows = &data.lexed.allows;
+    let directive_lines: BTreeSet<u32> = allows.iter().map(|a| a.line).collect();
+    let target = |a: u32| {
+        let mut t = a + 1;
+        while directive_lines.contains(&t) {
+            t += 1;
+        }
+        t
+    };
+    let mut used = vec![false; allows.len()];
     raw.retain(|f| {
-        let hit = lexed
-            .allows
+        let hit = allows
             .iter()
-            .position(|a| a.lint == f.lint && (a.line == f.line || a.line + 1 == f.line));
+            .position(|a| a.lint == f.lint && (a.line == f.line || target(a.line) == f.line));
         match hit {
             Some(i) => {
                 used[i] = true;
@@ -362,40 +440,37 @@ pub fn analyze_file(ctx: &Context, rel: &str, src: &str) -> FileReport {
             None => true,
         }
     });
-    for (i, a) in lexed.allows.iter().enumerate() {
+    out.extend(raw);
+    for (i, a) in allows.iter().enumerate() {
         if !LINTS.contains(&a.lint.as_str()) {
-            raw.push(Finding {
-                file: rel.to_string(),
+            out.push(Finding {
+                file: data.rel.clone(),
                 line: a.line,
                 lint: "lint-allow",
                 message: format!("lint:allow names unknown lint \"{}\"", a.lint),
             });
-        } else if !used[i] && !in_test(&regions, a.line) {
-            raw.push(Finding {
-                file: rel.to_string(),
+        } else if !used[i] && !in_test(&data.regions, a.line) {
+            out.push(Finding {
+                file: data.rel.clone(),
                 line: a.line,
                 lint: "lint-allow",
                 message: format!(
-                    "unused lint:allow({}) — it suppresses nothing on this or the next line",
+                    "unused lint:allow({}) — it suppresses nothing on this line or the line \
+                     below the directive stack",
                     a.lint
                 ),
             });
         }
     }
-    for &line in &lexed.malformed_allows {
-        raw.push(Finding {
-            file: rel.to_string(),
+    for &line in &data.lexed.malformed_allows {
+        out.push(Finding {
+            file: data.rel.clone(),
             line,
             lint: "lint-allow",
             message: "malformed lint:allow directive (expected \
                       lint:allow(<lint>, reason=<why>))"
                 .to_string(),
         });
-    }
-
-    FileReport {
-        findings: raw,
-        tick_sites,
     }
 }
 
@@ -445,20 +520,183 @@ fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), Stri
     Ok(())
 }
 
-/// Runs every rule over the whole workspace plus the cross-tree checks
-/// (unused registry entries, rank-table drift).
-pub fn analyze_root(root: &Path) -> Result<Vec<Finding>, String> {
-    let (ctx, mut findings) = Context::from_root(root);
-    let mut used_sites: BTreeMap<String, u32> = BTreeMap::new();
+/// Workspace-internal dependency edges, parsed from each crate's
+/// `Cargo.toml` `[dependencies]` section: `liquid-foo.workspace =
+/// true` → crate directory `foo` (`liquid` itself is `crates/core`).
+/// Dev-dependencies are excluded — test-only edges must not extend the
+/// panic-reachability proof. Empty when no manifests exist (fixture
+/// trees), which disables crate scoping in the call graph.
+pub fn workspace_deps(root: &Path) -> BTreeMap<String, Vec<String>> {
+    let mut deps = BTreeMap::new();
+    let Ok(entries) = fs::read_dir(root.join("crates")) else {
+        return deps;
+    };
+    for entry in entries.filter_map(|e| e.ok()) {
+        let dir = entry.path();
+        let Some(name) = dir.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+            continue;
+        };
+        let Ok(manifest) = fs::read_to_string(dir.join("Cargo.toml")) else {
+            continue;
+        };
+        let mut in_deps = false;
+        let mut edges = Vec::new();
+        for line in manifest.lines() {
+            let line = line.trim();
+            if line.starts_with('[') {
+                in_deps = line == "[dependencies]";
+                continue;
+            }
+            if !in_deps {
+                continue;
+            }
+            let Some(key) = line.split(['.', '=', ' ']).next() else {
+                continue;
+            };
+            if key == "liquid" {
+                edges.push("core".to_string());
+            } else if let Some(rest) = key.strip_prefix("liquid-") {
+                edges.push(rest.to_string());
+            }
+        }
+        deps.insert(name, edges);
+    }
+    deps
+}
+
+/// Offset-domain taint seeds: field names of structs declared in
+/// `crates/log` and `crates/messaging` whose names match the offset
+/// domain ([`rules::is_offset_name`]).
+fn offset_seeds(files: &[SourceData]) -> BTreeSet<String> {
+    let mut seeds = BTreeSet::new();
+    for f in files {
+        if !(f.rel.starts_with("crates/log/") || f.rel.starts_with("crates/messaging/")) {
+            continue;
+        }
+        let Some(ast) = &f.ast else { continue };
+        collect_struct_seeds(&ast.items, &mut seeds);
+    }
+    seeds
+}
+
+fn collect_struct_seeds(items: &[ast::Item], seeds: &mut BTreeSet<String>) {
+    for item in items {
+        match item {
+            ast::Item::Struct(s) => {
+                for field in &s.fields {
+                    if rules::is_offset_name(&field.name) {
+                        seeds.insert(field.name.clone());
+                    }
+                }
+            }
+            ast::Item::Impl { items, .. }
+            | ast::Item::Trait { items, .. }
+            | ast::Item::Mod { items, .. } => collect_struct_seeds(items, seeds),
+            _ => {}
+        }
+    }
+}
+
+/// Loads every workspace file and builds the call graph (used by both
+/// [`analyze_root`] and the `--emit-callgraph` mode).
+fn load_workspace(root: &Path) -> Result<(Vec<SourceData>, BTreeMap<String, Vec<String>>), String> {
+    let mut files = Vec::new();
     for rel in workspace_files(root)? {
         let src =
             fs::read_to_string(root.join(&rel)).map_err(|e| format!("cannot read {rel}: {e}"))?;
-        let rep = analyze_file(&ctx, &rel, &src);
-        findings.extend(rep.findings);
-        for (site, _) in rep.tick_sites {
+        files.push(load_source(&rel, &src));
+    }
+    Ok((files, workspace_deps(root)))
+}
+
+fn build_graph<'a>(
+    files: &'a [SourceData],
+    deps: BTreeMap<String, Vec<String>>,
+) -> callgraph::CallGraph {
+    let sources: Vec<callgraph::SourceFile<'a>> = files
+        .iter()
+        .filter_map(|f| {
+            f.ast.as_ref().map(|ast| callgraph::SourceFile {
+                rel: &f.rel,
+                ast,
+                test_regions: &f.regions,
+            })
+        })
+        .collect();
+    callgraph::CallGraph::build(&sources, deps)
+}
+
+/// Renders the workspace call graph as GraphViz DOT
+/// (`liquid-lint --emit-callgraph`).
+pub fn callgraph_dot(root: &Path) -> Result<String, String> {
+    let (files, deps) = load_workspace(root)?;
+    Ok(build_graph(&files, deps).to_dot())
+}
+
+/// Runs every rule over the whole workspace plus the cross-tree checks
+/// (panic reachability, unused registry entries, rank-table drift).
+pub fn analyze_root(root: &Path) -> Result<Vec<Finding>, String> {
+    // Phase A: read, lex, parse.
+    let (mut ctx, ctx_findings) = Context::from_root(root);
+    let (files, deps) = load_workspace(root)?;
+
+    // Phase B: workspace context — taint seeds, the call graph, and
+    // the Result-signature map derived from it.
+    ctx.offset_seeds = offset_seeds(&files);
+    let graph = build_graph(&files, deps);
+    let mut sig_stats: BTreeMap<(String, bool, usize), (usize, usize)> = BTreeMap::new();
+    for f in &graph.fns {
+        if f.in_test {
+            continue;
+        }
+        let entry = sig_stats
+            .entry((f.name.clone(), f.has_self, f.arity))
+            .or_insert((0, 0));
+        entry.0 += 1;
+        if f.returns_result {
+            entry.1 += 1;
+        }
+        if let Some(ty) = &f.self_ty {
+            ctx.known_types.insert(ty.clone());
+        }
+    }
+    ctx.result_sigs = sig_stats
+        .into_iter()
+        .filter(|(_, (total, result))| *total > 0 && total == result)
+        .map(|(k, _)| k)
+        .collect();
+
+    // Phase C: per-file rules, the interprocedural proof, then
+    // `lint:allow` suppression per file.
+    let mut raw_by_file: BTreeMap<&str, Vec<Finding>> = BTreeMap::new();
+    let mut used_sites: BTreeMap<String, u32> = BTreeMap::new();
+    for f in &files {
+        let (raw, ticks) = analyze_file_raw(&ctx, f);
+        raw_by_file.entry(&f.rel).or_default().extend(raw);
+        for (site, _) in ticks {
             *used_sites.entry(site).or_default() += 1;
         }
     }
+    let mut reach_findings = Vec::new();
+    rules::panic_reachability(&graph, &mut reach_findings);
+    for finding in reach_findings {
+        match files.iter().find(|f| f.rel == finding.file) {
+            Some(f) => raw_by_file.entry(&f.rel).or_default().push(finding),
+            None => raw_by_file.entry("").or_default().push(finding),
+        }
+    }
+
+    let mut findings = ctx_findings;
+    for f in &files {
+        let raw = raw_by_file.remove(f.rel.as_str()).unwrap_or_default();
+        apply_allows(f, raw, &mut findings);
+    }
+    for (_, orphans) in raw_by_file {
+        findings.extend(orphans);
+    }
+
+    // Cross-tree checks (not suppressible: they have no single line to
+    // hang an allow on).
     if let Some(reg) = &ctx.sites {
         for name in &reg.names {
             if !used_sites.contains_key(name) {

@@ -1,7 +1,8 @@
 //! CLI entry point. `cargo run -p liquid-lint` from anywhere inside
 //! the workspace lints the whole tree; `--deny` makes findings fatal
 //! (CI mode); `--root <path>` overrides workspace discovery (used by
-//! the fixture tests).
+//! the fixture tests); `--sarif` emits SARIF 2.1.0 for code-scanning
+//! upload; `--emit-callgraph` dumps the resolved call graph as DOT.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -9,12 +10,24 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut deny = false;
     let mut json = false;
+    let mut sarif = false;
+    let mut emit_callgraph = false;
+    let mut only: Option<String> = None;
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--deny" => deny = true,
             "--json" => json = true,
+            "--sarif" => sarif = true,
+            "--emit-callgraph" => emit_callgraph = true,
+            "--only" => match args.next() {
+                Some(p) => only = Some(p),
+                None => {
+                    eprintln!("liquid-lint: --only requires a path prefix (e.g. crates/analyzer)");
+                    return ExitCode::from(2);
+                }
+            },
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => {
@@ -26,20 +39,28 @@ fn main() -> ExitCode {
                 println!(
                     "liquid-lint — project-specific static analysis for the Liquid workspace\n\
                      \n\
-                     USAGE: liquid-lint [--deny] [--json] [--root <workspace>]\n\
+                     USAGE: liquid-lint [--deny] [--json | --sarif] [--only <prefix>]\n\
+                     \x20                [--emit-callgraph] [--root <workspace>]\n\
                      \n\
-                     Walks crates/*/src/**/*.rs and enforces: unwrap (no panics on fault\n\
-                     paths), panic (panic-free library crates), lock-order (rank table from\n\
-                     sim::lockdep::RANKS), fault-site (registry in sim::failure::SITES),\n\
-                     raw-io (injectable storage only), forbid-unsafe. Suppress a finding\n\
-                     with a comment directive on or above the offending line:\n\
+                     Walks crates/*/src/**/*.rs, builds the AST → CFG → call-graph analysis\n\
+                     IR, and enforces: panic-reachability (no panic/unwrap/unguarded indexing\n\
+                     reachable from fault-crate public APIs), dropped-result,\n\
+                     unchecked-offset-arithmetic, guard-liveness, panic, lock-order\n\
+                     (rank table from sim::lockdep::RANKS), fault-site (registry in\n\
+                     sim::failure::SITES), raw-io, raw-thread, forbid-unsafe. Suppress a\n\
+                     finding with a comment directive on or above the offending line:\n\
                      \n\
                      \x20   // lint:allow(<lint>, reason=<why this one is sound>)\n\
                      \n\
-                     --deny   exit 1 when there are findings (CI mode)\n\
-                     --json   machine-readable output: {{\"findings\":[...],\"count\":N}}\n\
-                     \x20        (CI turns these into GitHub error annotations)\n\
-                     --root   workspace root (default: nearest ancestor with a crates/ dir)"
+                     --deny            exit 1 when there are findings (CI mode)\n\
+                     --json            machine-readable output: {{\"findings\":[...],\"count\":N}}\n\
+                     --sarif           SARIF 2.1.0 output (GitHub code-scanning upload)\n\
+                     --only <prefix>   keep only findings under the given path prefix\n\
+                     \x20                 (e.g. --only crates/analyzer for the self-lint step)\n\
+                     --emit-callgraph  print the resolved workspace call graph as GraphViz\n\
+                     \x20                 DOT and exit (no linting)\n\
+                     --root            workspace root (default: nearest ancestor with a\n\
+                     \x20                 crates/ dir)"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -48,6 +69,10 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         }
+    }
+    if json && sarif {
+        eprintln!("liquid-lint: --json and --sarif are mutually exclusive");
+        return ExitCode::from(2);
     }
 
     let root = match root.or_else(find_root) {
@@ -61,26 +86,38 @@ fn main() -> ExitCode {
         }
     };
 
-    match liquid_lint::analyze_root(&root) {
-        Ok(findings) if findings.is_empty() => {
-            if json {
-                println!("{}", render_json(&findings));
-            } else {
-                println!("liquid-lint: clean");
+    if emit_callgraph {
+        return match liquid_lint::callgraph_dot(&root) {
+            Ok(dot) => {
+                print!("{dot}");
+                ExitCode::SUCCESS
             }
-            ExitCode::SUCCESS
-        }
-        Ok(findings) => {
-            if json {
+            Err(e) => {
+                eprintln!("liquid-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    match liquid_lint::analyze_root(&root) {
+        Ok(mut findings) => {
+            if let Some(prefix) = &only {
+                findings.retain(|f| f.file.starts_with(prefix.as_str()));
+            }
+            if sarif {
+                println!("{}", render_sarif(&findings));
+            } else if json {
                 println!("{}", render_json(&findings));
+            } else if findings.is_empty() {
+                println!("liquid-lint: clean");
             } else {
                 for f in &findings {
                     println!("{f}");
                 }
                 println!("liquid-lint: {} finding(s)", findings.len());
             }
-            // --deny semantics are identical with and without --json.
-            if deny {
+            // --deny semantics are identical across output formats.
+            if deny && !findings.is_empty() {
                 ExitCode::FAILURE
             } else {
                 ExitCode::SUCCESS
@@ -111,6 +148,48 @@ fn render_json(findings: &[liquid_lint::Finding]) -> String {
         ));
     }
     out.push_str(&format!("],\"count\":{}}}", findings.len()));
+    out
+}
+
+/// Minimal SARIF 2.1.0 document: one run, one rule per lint, one
+/// result per finding. Hand-rolled like [`render_json`]; the shape
+/// follows what GitHub code scanning requires (`tool.driver` with
+/// rules, `results` with `ruleId`/`message`/`locations`).
+fn render_sarif(findings: &[liquid_lint::Finding]) -> String {
+    let mut out = String::from(
+        "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\
+         \"name\":\"liquid-lint\",\
+         \"informationUri\":\"https://example.invalid/liquid-lint\",\
+         \"rules\":[",
+    );
+    for (i, lint) in liquid_lint::LINTS.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":\"{0}\",\"name\":\"{0}\",\"defaultConfiguration\":{{\"level\":\"error\"}}}}",
+            json_escape(lint)
+        ));
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"ruleId\":\"{}\",\"level\":\"error\",\
+             \"message\":{{\"text\":\"{}\"}},\
+             \"locations\":[{{\"physicalLocation\":{{\
+             \"artifactLocation\":{{\"uri\":\"{}\"}},\
+             \"region\":{{\"startLine\":{}}}}}}}]}}",
+            json_escape(f.lint),
+            json_escape(&f.message),
+            json_escape(&f.file),
+            f.line.max(1)
+        ));
+    }
+    out.push_str("]}]}");
     out
 }
 

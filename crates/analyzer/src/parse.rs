@@ -1,0 +1,1707 @@
+//! Recursive-descent parser: token stream → [`crate::ast`].
+//!
+//! Dependency-free (no `syn`), built directly on the lexer in
+//! [`crate::lexer`]. The grammar covered is the subset of Rust this
+//! workspace uses — which the parser-over-the-whole-tree test keeps
+//! honest: every `.rs` file under `crates/*/src` must parse without
+//! error, so any new construct added to the codebase that the parser
+//! cannot handle fails CI until the parser learns it.
+//!
+//! Simplifications (deliberate, see `ast` module docs): types are
+//! captured as flattened text, generics/lifetimes/attributes are
+//! skipped, and multi-character operators are re-glued from the
+//! lexer's single-character punctuation via source-position adjacency
+//! (`Token::pos`), so `a ==b` parses while `a = = b` would not — the
+//! latter is not valid Rust anyway.
+
+use crate::ast::{Arm, Block, Expr, Field, File, Fn, Item, Param, Pat, Stmt, Struct};
+use crate::lexer::{Token, TokenKind};
+
+/// A parse failure: the line it happened on and what was expected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+type PResult<T> = Result<T, ParseError>;
+
+/// Parses a whole file's token stream into an AST.
+pub fn parse_file(tokens: &[Token]) -> Result<File, ParseError> {
+    let mut p = Parser { toks: tokens, i: 0 };
+    let mut items = Vec::new();
+    while p.cur().is_some() {
+        match p.parse_item()? {
+            Some(item) => items.push(item),
+            None => break,
+        }
+    }
+    if let Some(t) = p.cur() {
+        return Err(p.err_at(t.line, format!("unexpected token {:?} after items", t.text)));
+    }
+    Ok(File { items })
+}
+
+/// Parses a standalone expression list (used for macro arguments and
+/// by unit tests). Requires the whole token slice to be consumed.
+pub fn parse_expr_list(tokens: &[Token]) -> PResult<Vec<Expr>> {
+    let mut p = Parser { toks: tokens, i: 0 };
+    let mut out = Vec::new();
+    while p.cur().is_some() {
+        out.push(p.expr(false)?);
+        if !p.eat_punct(',') {
+            break;
+        }
+    }
+    match p.cur() {
+        None => Ok(out),
+        Some(t) => Err(p.err_at(t.line, "trailing tokens after expression list".into())),
+    }
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    i: usize,
+}
+
+const MAX_DEPTH_ERR: &str = "nesting too deep";
+
+impl<'a> Parser<'a> {
+    // ----- cursor helpers -------------------------------------------------
+
+    fn cur(&self) -> Option<&'a Token> {
+        self.toks.get(self.i)
+    }
+
+    fn peek(&self, n: usize) -> Option<&'a Token> {
+        self.toks.get(self.i + n)
+    }
+
+    fn bump(&mut self) -> Option<&'a Token> {
+        let t = self.toks.get(self.i);
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn line(&self) -> u32 {
+        self.cur()
+            .or_else(|| self.toks.last())
+            .map_or(0, |t| t.line)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line(),
+            msg: msg.into(),
+        }
+    }
+
+    fn err_at(&self, line: u32, msg: String) -> ParseError {
+        ParseError { line, msg }
+    }
+
+    fn at_punct(&self, c: char) -> bool {
+        self.cur().is_some_and(|t| t.is_punct(c))
+    }
+
+    fn at_ident(&self, s: &str) -> bool {
+        self.cur().is_some_and(|t| t.is_ident(s))
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.at_punct(c) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_ident(&mut self, s: &str) -> bool {
+        if self.at_ident(s) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) -> PResult<&'a Token> {
+        match self.cur() {
+            Some(t) if t.is_punct(c) => {
+                self.i += 1;
+                Ok(t)
+            }
+            Some(t) => Err(self.err_at(t.line, format!("expected `{c}`, found {:?}", t.text))),
+            None => Err(self.err(format!("expected `{c}`, found end of input"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> PResult<&'a Token> {
+        match self.cur() {
+            Some(t) if t.kind == TokenKind::Ident => {
+                self.i += 1;
+                Ok(t)
+            }
+            Some(t) => Err(self.err_at(t.line, format!("expected identifier, found {:?}", t.text))),
+            None => Err(self.err("expected identifier, found end of input")),
+        }
+    }
+
+    /// Whether the punctuation sequence `s` starts at offset `n`, with
+    /// every character source-adjacent to the previous one.
+    fn glued_at(&self, n: usize, s: &str) -> bool {
+        let mut prev: Option<&Token> = None;
+        for (k, c) in s.chars().enumerate() {
+            let Some(t) = self.peek(n + k) else {
+                return false;
+            };
+            if !t.is_punct(c) {
+                return false;
+            }
+            if let Some(p) = prev {
+                if t.pos != p.pos + 1 || t.line != p.line {
+                    return false;
+                }
+            }
+            prev = Some(t);
+        }
+        true
+    }
+
+    fn glued(&self, s: &str) -> bool {
+        self.glued_at(0, s)
+    }
+
+    fn eat_glued(&mut self, s: &str) -> bool {
+        if self.glued(s) {
+            self.i += s.chars().count();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_glued(&mut self, s: &str) -> PResult<()> {
+        if self.eat_glued(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{s}`")))
+        }
+    }
+
+    // ----- attributes / generics / type text ------------------------------
+
+    /// Skips any run of `#[...]` / `#![...]` attributes.
+    fn skip_attrs(&mut self) -> PResult<()> {
+        while self.at_punct('#') {
+            let save = self.i;
+            self.i += 1;
+            self.eat_punct('!');
+            if !self.at_punct('[') {
+                // `#` not starting an attribute — back out.
+                self.i = save;
+                break;
+            }
+            self.skip_balanced('[', ']')?;
+        }
+        Ok(())
+    }
+
+    /// With the cursor on the opening delimiter, skips past its
+    /// balanced match (tracking all three delimiter kinds).
+    fn skip_balanced(&mut self, open: char, close: char) -> PResult<()> {
+        let start_line = self.line();
+        self.expect_punct(open)?;
+        let mut depth = 1usize;
+        while depth > 0 {
+            let Some(t) = self.bump() else {
+                return Err(self.err_at(start_line, format!("unclosed `{open}`")));
+            };
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth -= 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Skips a `<...>` generic parameter/argument list if the cursor
+    /// is on `<`. `->` arrows inside (`F: Fn() -> u64`) are glued so
+    /// their `>` does not close the list.
+    fn skip_generics(&mut self) -> PResult<()> {
+        if !self.at_punct('<') {
+            return Ok(());
+        }
+        let start_line = self.line();
+        self.i += 1;
+        let mut depth = 1usize;
+        while depth > 0 {
+            if self.glued("->") {
+                self.i += 2;
+                continue;
+            }
+            let Some(t) = self.bump() else {
+                return Err(self.err_at(start_line, "unclosed `<`".into()));
+            };
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') {
+                depth -= 1;
+            } else if t.is_punct('(') {
+                self.i -= 1;
+                self.skip_balanced('(', ')')?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Consumes type-position tokens as flattened text, stopping at
+    /// any of `stop_puncts` / `stop_idents` at zero delimiter depth.
+    fn type_text(&mut self, stop_puncts: &[char], stop_idents: &[&str]) -> PResult<String> {
+        let mut out = String::new();
+        let mut paren = 0i32;
+        let mut brack = 0i32;
+        let mut angle = 0i32;
+        loop {
+            if self.glued("->") {
+                out.push_str(" ->");
+                self.i += 2;
+                continue;
+            }
+            let Some(t) = self.cur() else {
+                break;
+            };
+            let at_top = paren == 0 && brack == 0 && angle == 0;
+            if at_top {
+                if t.kind == TokenKind::Punct
+                    && t.text
+                        .chars()
+                        .next()
+                        .is_some_and(|c| stop_puncts.contains(&c))
+                {
+                    break;
+                }
+                if t.kind == TokenKind::Ident && stop_idents.contains(&t.text.as_str()) {
+                    break;
+                }
+                // A brace in type position at top level always ends the
+                // type (function body, struct body).
+                if t.is_punct('{') || t.is_punct('}') {
+                    break;
+                }
+            }
+            if t.is_punct('(') {
+                paren += 1;
+            } else if t.is_punct(')') {
+                if at_top {
+                    break;
+                }
+                paren -= 1;
+            } else if t.is_punct('[') {
+                brack += 1;
+            } else if t.is_punct(']') {
+                if at_top {
+                    break;
+                }
+                brack -= 1;
+            } else if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                angle = (angle - 1).max(0);
+            }
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(&t.text);
+            self.i += 1;
+        }
+        Ok(out)
+    }
+
+    // ----- items ----------------------------------------------------------
+
+    /// Parses one item. Returns `None` when the cursor sits on a `}`
+    /// (end of the enclosing mod/impl/trait body) or at end of input.
+    fn parse_item(&mut self) -> PResult<Option<Item>> {
+        self.skip_attrs()?;
+        if self.cur().is_none() || self.at_punct('}') {
+            return Ok(None);
+        }
+        let is_pub = self.parse_visibility()?;
+        let Some(t) = self.cur() else {
+            return Err(self.err("expected item, found end of input"));
+        };
+        let line = t.line;
+        // Function qualifiers: `const fn`, `async fn`, `unsafe fn`.
+        if matches!(t.text.as_str(), "const" | "async" | "unsafe")
+            && self.peek(1).is_some_and(|n| n.is_ident("fn"))
+        {
+            self.i += 1;
+            return Ok(Some(Item::Fn(self.parse_fn(is_pub)?)));
+        }
+        match t.text.as_str() {
+            "fn" => Ok(Some(Item::Fn(self.parse_fn(is_pub)?))),
+            "struct" => Ok(Some(self.parse_struct()?)),
+            "enum" | "union" => {
+                self.i += 1;
+                self.expect_ident()?;
+                self.skip_generics()?;
+                self.type_text(&[';'], &[])?; // where clause, if any
+                if !self.eat_punct(';') {
+                    self.skip_balanced('{', '}')?;
+                }
+                Ok(Some(Item::Other { line }))
+            }
+            "impl" => Ok(Some(self.parse_impl(line)?)),
+            "trait" => Ok(Some(self.parse_trait(line)?)),
+            "mod" => {
+                self.i += 1;
+                let name = self.expect_ident()?.text.clone();
+                if self.eat_punct(';') {
+                    return Ok(Some(Item::Other { line }));
+                }
+                self.expect_punct('{')?;
+                let mut items = Vec::new();
+                while let Some(item) = self.parse_item()? {
+                    items.push(item);
+                }
+                self.expect_punct('}')?;
+                Ok(Some(Item::Mod { name, items, line }))
+            }
+            "use" | "extern" | "type" | "const" | "static" => {
+                self.skip_to_semi()?;
+                Ok(Some(Item::Other { line }))
+            }
+            "macro_rules" => {
+                self.i += 1;
+                self.expect_punct('!')?;
+                self.expect_ident()?;
+                self.skip_balanced('{', '}')?;
+                Ok(Some(Item::Other { line }))
+            }
+            _ if t.kind == TokenKind::Ident && self.glued_at(1, "!") => {
+                // Item-position macro invocation.
+                self.i += 2;
+                if self.at_punct('{') {
+                    self.skip_balanced('{', '}')?;
+                } else if self.at_punct('(') {
+                    self.skip_balanced('(', ')')?;
+                    self.expect_punct(';')?;
+                } else if self.at_punct('[') {
+                    self.skip_balanced('[', ']')?;
+                    self.expect_punct(';')?;
+                } else {
+                    return Err(self.err("expected macro delimiter"));
+                }
+                Ok(Some(Item::Other { line }))
+            }
+            other => Err(self.err_at(line, format!("expected item, found {other:?}"))),
+        }
+    }
+
+    fn parse_visibility(&mut self) -> PResult<bool> {
+        if !self.eat_ident("pub") {
+            return Ok(false);
+        }
+        if self.at_punct('(') {
+            self.skip_balanced('(', ')')?;
+        }
+        Ok(true)
+    }
+
+    /// Consumes to the `;` ending a `use`/`const`/`static`/`type`
+    /// item, balancing every delimiter on the way.
+    fn skip_to_semi(&mut self) -> PResult<()> {
+        let start_line = self.line();
+        loop {
+            let Some(t) = self.cur() else {
+                return Err(self.err_at(start_line, "unterminated item (missing `;`)".into()));
+            };
+            if t.is_punct(';') {
+                self.i += 1;
+                return Ok(());
+            }
+            if t.is_punct('{') {
+                self.skip_balanced('{', '}')?;
+            } else if t.is_punct('(') {
+                self.skip_balanced('(', ')')?;
+            } else if t.is_punct('[') {
+                self.skip_balanced('[', ']')?;
+            } else {
+                self.i += 1;
+            }
+        }
+    }
+
+    fn parse_fn(&mut self, is_pub: bool) -> PResult<Fn> {
+        let line = self.line();
+        self.i += 1; // `fn`
+        let name = self.expect_ident()?.text.clone();
+        self.skip_generics()?;
+        self.expect_punct('(')?;
+        let mut has_self = false;
+        let mut params = Vec::new();
+        while !self.at_punct(')') {
+            self.skip_attrs()?;
+            // Receiver forms: self | mut self | &self | &mut self | &'a self.
+            let save = self.i;
+            let mut is_receiver = false;
+            if self.eat_punct('&') {
+                if self.cur().is_some_and(|t| t.kind == TokenKind::Lifetime) {
+                    self.i += 1;
+                }
+                self.eat_ident("mut");
+                is_receiver = self.eat_ident("self");
+            } else {
+                self.eat_ident("mut");
+                is_receiver = is_receiver || self.eat_ident("self");
+            }
+            if is_receiver {
+                has_self = true;
+            } else {
+                self.i = save;
+                let pat = self.parse_pat()?;
+                self.expect_punct(':')?;
+                let ty = self.type_text(&[',', ')'], &[])?;
+                params.push(Param { pat, ty });
+            }
+            if !self.eat_punct(',') {
+                break;
+            }
+        }
+        self.expect_punct(')')?;
+        let ret = if self.eat_glued("->") {
+            let ty = self.type_text(&[';'], &["where"])?;
+            Some(ty)
+        } else {
+            None
+        };
+        if self.at_ident("where") {
+            self.type_text(&[';'], &[])?;
+        }
+        let body = if self.eat_punct(';') {
+            None
+        } else {
+            Some(self.parse_block(0)?)
+        };
+        Ok(Fn {
+            name,
+            is_pub,
+            has_self,
+            params,
+            ret,
+            body,
+            line,
+        })
+    }
+
+    fn parse_struct(&mut self) -> PResult<Item> {
+        let line = self.line();
+        self.i += 1; // `struct`
+        let name = self.expect_ident()?.text.clone();
+        self.skip_generics()?;
+        if self.at_ident("where") {
+            self.type_text(&[';'], &[])?;
+        }
+        let mut fields = Vec::new();
+        if self.eat_punct(';') {
+            // unit struct
+        } else if self.at_punct('(') {
+            self.skip_balanced('(', ')')?;
+            if self.at_ident("where") {
+                self.type_text(&[';'], &[])?;
+            }
+            self.expect_punct(';')?;
+        } else {
+            self.expect_punct('{')?;
+            while !self.at_punct('}') {
+                self.skip_attrs()?;
+                if self.at_punct('}') {
+                    break;
+                }
+                self.parse_visibility()?;
+                let ft = self.expect_ident()?;
+                let (fname, fline) = (ft.text.clone(), ft.line);
+                self.expect_punct(':')?;
+                let ty = self.type_text(&[','], &[])?;
+                fields.push(Field {
+                    name: fname,
+                    ty,
+                    line: fline,
+                });
+                if !self.eat_punct(',') {
+                    break;
+                }
+            }
+            self.expect_punct('}')?;
+        }
+        Ok(Item::Struct(Struct { name, fields, line }))
+    }
+
+    fn parse_impl(&mut self, line: u32) -> PResult<Item> {
+        self.i += 1; // `impl`
+        self.skip_generics()?;
+        let first = self.type_text(&[], &["for", "where"])?;
+        let (trait_, self_ty) = if self.eat_ident("for") {
+            let ty = self.type_text(&[], &["where"])?;
+            (Some(first), ty)
+        } else {
+            (None, first)
+        };
+        if self.at_ident("where") {
+            self.type_text(&[], &[])?;
+        }
+        self.expect_punct('{')?;
+        let mut items = Vec::new();
+        while let Some(item) = self.parse_item()? {
+            items.push(item);
+        }
+        self.expect_punct('}')?;
+        Ok(Item::Impl {
+            self_ty,
+            trait_,
+            items,
+            line,
+        })
+    }
+
+    fn parse_trait(&mut self, line: u32) -> PResult<Item> {
+        self.i += 1; // `trait`
+        let name = self.expect_ident()?.text.clone();
+        self.skip_generics()?;
+        // Supertrait bounds / where clause: consume to the body.
+        self.type_text(&[], &[])?;
+        self.expect_punct('{')?;
+        let mut items = Vec::new();
+        while let Some(item) = self.parse_item()? {
+            items.push(item);
+        }
+        self.expect_punct('}')?;
+        Ok(Item::Trait { name, items, line })
+    }
+
+    // ----- statements -----------------------------------------------------
+
+    fn parse_block(&mut self, depth: u32) -> PResult<Block> {
+        if depth > 200 {
+            return Err(self.err(MAX_DEPTH_ERR));
+        }
+        let line = self.line();
+        self.expect_punct('{')?;
+        let mut stmts = Vec::new();
+        loop {
+            self.skip_attrs()?;
+            if self.at_punct('}') || self.cur().is_none() {
+                break;
+            }
+            if self.eat_punct(';') {
+                continue;
+            }
+            if self.at_ident("let") {
+                stmts.push(self.parse_let(depth)?);
+                continue;
+            }
+            if self.stmt_is_item() {
+                match self.parse_item()? {
+                    Some(item) => stmts.push(Stmt::Item(Box::new(item))),
+                    None => break,
+                }
+                continue;
+            }
+            let expr = self.expr_stmt(depth)?;
+            let semi = self.eat_punct(';');
+            stmts.push(Stmt::Expr { expr, semi });
+        }
+        self.expect_punct('}')?;
+        Ok(Block { stmts, line })
+    }
+
+    /// Whether the statement starting at the cursor is an item.
+    fn stmt_is_item(&self) -> bool {
+        let Some(t) = self.cur() else {
+            return false;
+        };
+        if t.kind != TokenKind::Ident {
+            return false;
+        }
+        matches!(
+            t.text.as_str(),
+            "fn" | "struct"
+                | "enum"
+                | "impl"
+                | "trait"
+                | "mod"
+                | "use"
+                | "type"
+                | "macro_rules"
+                | "pub"
+                | "static"
+        ) || (t.text == "const"
+            // `const` item in statement position; `const` blocks/closures
+            // do not occur in this workspace.
+            && self.peek(1).is_some_and(|n| n.kind == TokenKind::Ident))
+    }
+
+    fn parse_let(&mut self, depth: u32) -> PResult<Stmt> {
+        let line = self.line();
+        self.i += 1; // `let`
+        let pat = self.parse_pat()?;
+        if self.eat_punct(':') {
+            self.type_text(&[';', '='], &[])?;
+        }
+        let mut init = None;
+        if self.at_punct('=') && !self.glued("==") {
+            self.i += 1;
+            init = Some(self.expr_depth(false, depth)?);
+        }
+        let mut else_block = None;
+        if self.eat_ident("else") {
+            else_block = Some(self.parse_block(depth + 1)?);
+        }
+        self.expect_punct(';')?;
+        Ok(Stmt::Let {
+            pat,
+            init,
+            else_block,
+            line,
+        })
+    }
+
+    /// Statement-position expression: a leading block-like expression
+    /// (`if`, `match`, `loop`, `{`...) ends the statement unless a
+    /// postfix `.`/`?` continues it.
+    fn expr_stmt(&mut self, depth: u32) -> PResult<Expr> {
+        if self.starts_block_like() {
+            let e = self.parse_block_like(depth)?;
+            if self.at_punct('.') || self.at_punct('?') {
+                let e = self.postfix(e, depth, false)?;
+                return self.binary_continue(e, 0, false, depth);
+            }
+            return Ok(e);
+        }
+        self.expr_depth(false, depth)
+    }
+
+    fn starts_block_like(&self) -> bool {
+        if self.at_punct('{') {
+            return true;
+        }
+        let Some(t) = self.cur() else {
+            return false;
+        };
+        (t.kind == TokenKind::Ident
+            && matches!(t.text.as_str(), "if" | "match" | "loop" | "while" | "for"))
+            || t.kind == TokenKind::Lifetime
+    }
+
+    // ----- expressions ----------------------------------------------------
+
+    fn expr(&mut self, no_struct: bool) -> PResult<Expr> {
+        self.expr_depth(no_struct, 0)
+    }
+
+    /// Full expression including assignment.
+    fn expr_depth(&mut self, no_struct: bool, depth: u32) -> PResult<Expr> {
+        if depth > 200 {
+            return Err(self.err(MAX_DEPTH_ERR));
+        }
+        let lhs = self.expr_bp(0, no_struct, depth)?;
+        if let Some(op) = self.peek_assign_op() {
+            let line = self.line();
+            self.i += op.len() + 1; // operator chars + `=`
+            let rhs = self.expr_depth(no_struct, depth + 1)?;
+            return Ok(Expr::Assign {
+                lhs: Box::new(lhs),
+                op: if op.is_empty() {
+                    None
+                } else {
+                    Some(op.to_string())
+                },
+                rhs: Box::new(rhs),
+                line,
+            });
+        }
+        Ok(lhs)
+    }
+
+    /// If an assignment operator starts at the cursor, returns its
+    /// compound part (`""` for plain `=`, `"+"` for `+=`, `"<<"` for
+    /// `<<=`).
+    fn peek_assign_op(&self) -> Option<&'static str> {
+        for (glue, compound) in [
+            ("<<=", "<<"),
+            (">>=", ">>"),
+            ("+=", "+"),
+            ("-=", "-"),
+            ("*=", "*"),
+            ("/=", "/"),
+            ("%=", "%"),
+            ("^=", "^"),
+            ("&=", "&"),
+            ("|=", "|"),
+        ] {
+            if self.glued(glue) {
+                return Some(compound);
+            }
+        }
+        if self.at_punct('=') && !self.glued("==") && !self.glued("=>") {
+            return Some("");
+        }
+        None
+    }
+
+    /// Binary operators and their (display text, left binding power).
+    /// Right bp is left + 1 (left-associative).
+    fn peek_binary_op(&self) -> Option<(&'static str, u8)> {
+        // Longest-match first; assignment forms were checked earlier.
+        const OPS: &[(&str, u8)] = &[
+            ("..=", 4),
+            ("..", 4),
+            ("||", 6),
+            ("&&", 8),
+            ("==", 10),
+            ("!=", 10),
+            ("<=", 10),
+            (">=", 10),
+            ("<<", 18),
+            (">>", 18),
+            ("<", 10),
+            (">", 10),
+            ("|", 12),
+            ("^", 14),
+            ("&", 16),
+            ("+", 20),
+            ("-", 20),
+            ("*", 22),
+            ("/", 22),
+            ("%", 22),
+        ];
+        for &(op, bp) in OPS {
+            if op.len() > 1 {
+                if self.glued(op) {
+                    // `<<=` / `>>=` are assignments, not shifts.
+                    if (op == "<<" || op == ">>") && self.glued(&format!("{op}=")) {
+                        continue;
+                    }
+                    return Some((op, bp));
+                }
+            } else if self.at_punct(op.as_bytes()[0] as char) {
+                let c = op.as_bytes()[0] as char;
+                // Reject when the single char starts a longer glued
+                // operator that means something else: `<=`/`>=` are
+                // handled above, and `+=`, `&=`, … are assignments.
+                if self.glued_at(0, &format!("{c}=")) {
+                    continue;
+                }
+                return Some((op, bp));
+            }
+        }
+        None
+    }
+
+    fn expr_bp(&mut self, min_bp: u8, no_struct: bool, depth: u32) -> PResult<Expr> {
+        if depth > 200 {
+            return Err(self.err(MAX_DEPTH_ERR));
+        }
+        // Block-like prefixes (`if`/`match`/`{…}`) never take a `(…)`
+        // call or `[…]` index continuation in Rust's statement-adjacent
+        // grammar; only `.`/`?` chain off them.
+        let blocklike = self.starts_block_like();
+        let lhs = self.prefix(no_struct, depth)?;
+        let lhs = self.postfix(lhs, depth, !blocklike)?;
+        self.binary_continue(lhs, min_bp, no_struct, depth)
+    }
+
+    fn binary_continue(
+        &mut self,
+        mut lhs: Expr,
+        min_bp: u8,
+        no_struct: bool,
+        depth: u32,
+    ) -> PResult<Expr> {
+        loop {
+            // `as` casts bind tighter than any binary operator.
+            if self.at_ident("as") {
+                let line = self.line();
+                self.i += 1;
+                self.cast_type()?;
+                lhs = Expr::Cast {
+                    expr: Box::new(lhs),
+                    line,
+                };
+                continue;
+            }
+            let Some((op, bp)) = self.peek_binary_op() else {
+                break;
+            };
+            if bp < min_bp {
+                break;
+            }
+            let line = self.line();
+            self.i += op.chars().count();
+            if op == ".." || op == "..=" {
+                let hi = if self.range_has_rhs(no_struct) {
+                    Some(Box::new(self.expr_bp(bp + 1, no_struct, depth + 1)?))
+                } else {
+                    None
+                };
+                lhs = Expr::Range {
+                    lo: Some(Box::new(lhs)),
+                    hi,
+                    line,
+                };
+                continue;
+            }
+            let rhs = self.expr_bp(bp + 1, no_struct, depth + 1)?;
+            lhs = Expr::Binary {
+                op: op.to_string(),
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    /// Whether a `..` range at the cursor has a right-hand bound.
+    fn range_has_rhs(&self, _no_struct: bool) -> bool {
+        let Some(t) = self.cur() else {
+            return false;
+        };
+        if t.kind == TokenKind::Punct {
+            // `{` never begins a range bound in this grammar.
+            return matches!(t.text.as_str(), "(" | "[" | "&" | "*" | "-" | "!");
+        }
+        if t.kind == TokenKind::Ident {
+            return !matches!(t.text.as_str(), "else" | "in");
+        }
+        true // literal
+    }
+
+    /// Consumes a cast target type: `&`-prefixes then a path with
+    /// optional generic arguments.
+    fn cast_type(&mut self) -> PResult<()> {
+        while self.eat_punct('&') || self.eat_punct('*') {
+            self.eat_ident("mut");
+            self.eat_ident("const");
+        }
+        self.expect_ident()?;
+        loop {
+            if self.glued("::") {
+                self.i += 2;
+                self.expect_ident()?;
+            } else if self.at_punct('<') {
+                self.skip_generics()?;
+            } else {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn prefix(&mut self, no_struct: bool, depth: u32) -> PResult<Expr> {
+        if depth > 200 {
+            return Err(self.err(MAX_DEPTH_ERR));
+        }
+        let Some(t) = self.cur() else {
+            return Err(self.err("expected expression, found end of input"));
+        };
+        let line = t.line;
+        // Reference / unary operators.
+        if self.glued("&&") {
+            self.i += 2;
+            self.eat_ident("mut");
+            let inner = self.expr_bp(26, no_struct, depth + 1)?;
+            return Ok(Expr::Ref {
+                is_mut: false,
+                expr: Box::new(Expr::Ref {
+                    is_mut: false,
+                    expr: Box::new(inner),
+                    line,
+                }),
+                line,
+            });
+        }
+        if self.eat_punct('&') {
+            let is_mut = self.eat_ident("mut");
+            let inner = self.expr_bp(26, no_struct, depth + 1)?;
+            return Ok(Expr::Ref {
+                is_mut,
+                expr: Box::new(inner),
+                line,
+            });
+        }
+        for op in ['*', '-', '!'] {
+            if self.at_punct(op) && !self.glued("!=") {
+                self.i += 1;
+                let inner = self.expr_bp(26, no_struct, depth + 1)?;
+                return Ok(Expr::Unary {
+                    op,
+                    operand: Box::new(inner),
+                    line,
+                });
+            }
+        }
+        // Leading range: `..hi`, `..=hi`, bare `..`.
+        if self.glued("..=") || self.glued("..") {
+            let inclusive = self.glued("..=");
+            self.i += if inclusive { 3 } else { 2 };
+            let hi = if self.range_has_rhs(no_struct) {
+                Some(Box::new(self.expr_bp(5, no_struct, depth + 1)?))
+            } else {
+                None
+            };
+            return Ok(Expr::Range { lo: None, hi, line });
+        }
+        // Closures.
+        if self.at_ident("move") || self.at_punct('|') || self.glued("||") {
+            return self.parse_closure(no_struct, depth);
+        }
+        if self.starts_block_like() {
+            return self.parse_block_like(depth);
+        }
+        match t.kind {
+            TokenKind::Number | TokenKind::Str | TokenKind::Char => {
+                self.i += 1;
+                Ok(Expr::Lit {
+                    text: t.text.clone(),
+                    line,
+                })
+            }
+            TokenKind::Punct => match t.text.as_str() {
+                "(" => {
+                    self.i += 1;
+                    let mut elems = Vec::new();
+                    let mut trailing_comma = false;
+                    while !self.at_punct(')') {
+                        elems.push(self.expr_depth(false, depth + 1)?);
+                        trailing_comma = self.eat_punct(',');
+                        if !trailing_comma {
+                            break;
+                        }
+                    }
+                    self.expect_punct(')')?;
+                    if elems.len() == 1 && !trailing_comma {
+                        Ok(elems.swap_remove(0))
+                    } else {
+                        Ok(Expr::Tuple { elems, line })
+                    }
+                }
+                "[" => {
+                    self.i += 1;
+                    let mut elems = Vec::new();
+                    while !self.at_punct(']') {
+                        elems.push(self.expr_depth(false, depth + 1)?);
+                        if self.eat_punct(';') {
+                            // `[elem; len]`
+                            elems.push(self.expr_depth(false, depth + 1)?);
+                            break;
+                        }
+                        if !self.eat_punct(',') {
+                            break;
+                        }
+                    }
+                    self.expect_punct(']')?;
+                    Ok(Expr::Array { elems, line })
+                }
+                "<" => {
+                    // Qualified path `<T as Trait>::assoc(...)`.
+                    self.skip_generics()?;
+                    self.expect_glued("::")?;
+                    let mut segs = vec![self.expect_ident()?.text.clone()];
+                    self.path_continue(&mut segs)?;
+                    Ok(Expr::Path { segs, line })
+                }
+                other => Err(self.err_at(line, format!("expected expression, found {other:?}"))),
+            },
+            TokenKind::Ident => {
+                if t.text == "return" {
+                    self.i += 1;
+                    let value = if self.expr_follows() {
+                        Some(Box::new(self.expr_depth(no_struct, depth + 1)?))
+                    } else {
+                        None
+                    };
+                    return Ok(Expr::Return { value, line });
+                }
+                if t.text == "break" {
+                    self.i += 1;
+                    if self.cur().is_some_and(|t| t.kind == TokenKind::Lifetime) {
+                        self.i += 1;
+                    }
+                    let value = if self.expr_follows() {
+                        Some(Box::new(self.expr_depth(no_struct, depth + 1)?))
+                    } else {
+                        None
+                    };
+                    return Ok(Expr::Break { value, line });
+                }
+                if t.text == "continue" {
+                    self.i += 1;
+                    if self.cur().is_some_and(|t| t.kind == TokenKind::Lifetime) {
+                        self.i += 1;
+                    }
+                    return Ok(Expr::Continue { line });
+                }
+                if t.text == "true" || t.text == "false" {
+                    self.i += 1;
+                    return Ok(Expr::Lit {
+                        text: t.text.clone(),
+                        line,
+                    });
+                }
+                // Path, then macro call / struct literal.
+                let mut segs = vec![t.text.clone()];
+                self.i += 1;
+                self.path_continue(&mut segs)?;
+                if self.at_punct('!') && !self.glued("!=") {
+                    return self.parse_macro_call(segs, line, depth);
+                }
+                if self.at_punct('{') && !no_struct {
+                    return self.parse_struct_lit(segs, line, depth);
+                }
+                Ok(Expr::Path { segs, line })
+            }
+            TokenKind::Lifetime => {
+                // Handled by starts_block_like above (labelled loops);
+                // anything else is unexpected.
+                Err(self.err_at(line, format!("unexpected lifetime {:?}", t.text)))
+            }
+        }
+    }
+
+    /// After the first segment: `:: seg`, `:: <turbofish>` repeats.
+    fn path_continue(&mut self, segs: &mut Vec<String>) -> PResult<()> {
+        while self.glued("::") {
+            self.i += 2;
+            if self.at_punct('<') {
+                self.skip_generics()?;
+                continue;
+            }
+            let seg = self.expect_ident()?;
+            segs.push(seg.text.clone());
+        }
+        Ok(())
+    }
+
+    /// Whether a `return`/`break` has a value expression after it.
+    fn expr_follows(&self) -> bool {
+        let Some(t) = self.cur() else {
+            return false;
+        };
+        match t.kind {
+            TokenKind::Punct => !matches!(t.text.as_str(), ";" | "}" | ")" | "]" | ","),
+            TokenKind::Ident => !matches!(t.text.as_str(), "else"),
+            _ => true,
+        }
+    }
+
+    fn parse_closure(&mut self, no_struct: bool, depth: u32) -> PResult<Expr> {
+        let line = self.line();
+        self.eat_ident("move");
+        let mut params = Vec::new();
+        if self.eat_glued("||") {
+            // no params
+        } else {
+            self.expect_punct('|')?;
+            while !self.at_punct('|') {
+                params.push(self.parse_pat()?);
+                if self.eat_punct(':') {
+                    self.type_text(&[',', '|'], &[])?;
+                }
+                if !self.eat_punct(',') {
+                    break;
+                }
+            }
+            self.expect_punct('|')?;
+        }
+        let body = if self.eat_glued("->") {
+            self.type_text(&[], &[])?;
+            Expr::Block(self.parse_block(depth + 1)?)
+        } else {
+            self.expr_depth(no_struct, depth + 1)?
+        };
+        Ok(Expr::Closure {
+            params,
+            body: Box::new(body),
+            line,
+        })
+    }
+
+    fn parse_block_like(&mut self, depth: u32) -> PResult<Expr> {
+        if depth > 200 {
+            return Err(self.err(MAX_DEPTH_ERR));
+        }
+        // Labelled loops: `'outer: loop { ... }`.
+        if self.cur().is_some_and(|t| t.kind == TokenKind::Lifetime) {
+            self.i += 1;
+            self.expect_punct(':')?;
+        }
+        let Some(t) = self.cur() else {
+            return Err(self.err("expected expression, found end of input"));
+        };
+        let line = t.line;
+        if t.is_punct('{') {
+            return Ok(Expr::Block(self.parse_block(depth + 1)?));
+        }
+        match t.text.as_str() {
+            "if" => self.parse_if(depth),
+            "match" => {
+                self.i += 1;
+                let scrutinee = self.expr_bp(0, true, depth + 1)?;
+                self.expect_punct('{')?;
+                let mut arms = Vec::new();
+                loop {
+                    self.skip_attrs()?;
+                    if self.at_punct('}') || self.cur().is_none() {
+                        break;
+                    }
+                    let arm_line = self.line();
+                    let pat = self.parse_pat_or()?;
+                    let guard = if self.eat_ident("if") {
+                        Some(self.expr_depth(true, depth + 1)?)
+                    } else {
+                        None
+                    };
+                    self.expect_glued("=>")?;
+                    // A block-like arm body ends the arm (Rust requires
+                    // parens to continue it with operators), so the next
+                    // arm's leading `(`/`&`/`-`/`|` is not misread as a
+                    // continuation.
+                    let body = if self.starts_block_like() {
+                        self.parse_block_like(depth + 1)?
+                    } else {
+                        self.expr_depth(false, depth + 1)?
+                    };
+                    self.eat_punct(',');
+                    arms.push(Arm {
+                        pat,
+                        guard,
+                        body,
+                        line: arm_line,
+                    });
+                }
+                self.expect_punct('}')?;
+                Ok(Expr::Match {
+                    scrutinee: Box::new(scrutinee),
+                    arms,
+                    line,
+                })
+            }
+            "while" => {
+                self.i += 1;
+                let (pat, cond) = if self.eat_ident("let") {
+                    let p = self.parse_pat_or()?;
+                    self.expect_punct('=')?;
+                    (Some(p), self.expr_bp(0, true, depth + 1)?)
+                } else {
+                    (None, self.expr_bp(0, true, depth + 1)?)
+                };
+                let body = self.parse_block(depth + 1)?;
+                Ok(Expr::While {
+                    pat,
+                    cond: Box::new(cond),
+                    body,
+                    line,
+                })
+            }
+            "loop" => {
+                self.i += 1;
+                let body = self.parse_block(depth + 1)?;
+                Ok(Expr::Loop { body, line })
+            }
+            "for" => {
+                self.i += 1;
+                let pat = self.parse_pat()?;
+                if !self.eat_ident("in") {
+                    return Err(self.err("expected `in` in `for` loop"));
+                }
+                let iter = self.expr_bp(0, true, depth + 1)?;
+                let body = self.parse_block(depth + 1)?;
+                Ok(Expr::For {
+                    pat,
+                    iter: Box::new(iter),
+                    body,
+                    line,
+                })
+            }
+            other => Err(self.err_at(line, format!("expected block-like, found {other:?}"))),
+        }
+    }
+
+    fn parse_if(&mut self, depth: u32) -> PResult<Expr> {
+        let line = self.line();
+        self.i += 1; // `if`
+        let (pat, cond) = if self.eat_ident("let") {
+            let p = self.parse_pat_or()?;
+            self.expect_punct('=')?;
+            (Some(p), self.expr_bp(0, true, depth + 1)?)
+        } else {
+            (None, self.expr_bp(0, true, depth + 1)?)
+        };
+        let then = self.parse_block(depth + 1)?;
+        let else_ = if self.eat_ident("else") {
+            if self.at_ident("if") {
+                Some(Box::new(self.parse_if(depth + 1)?))
+            } else {
+                Some(Box::new(Expr::Block(self.parse_block(depth + 1)?)))
+            }
+        } else {
+            None
+        };
+        Ok(Expr::If {
+            pat,
+            cond: Box::new(cond),
+            then,
+            else_,
+            line,
+        })
+    }
+
+    fn parse_struct_lit(&mut self, path: Vec<String>, line: u32, depth: u32) -> PResult<Expr> {
+        self.expect_punct('{')?;
+        let mut fields = Vec::new();
+        let mut base = None;
+        while !self.at_punct('}') {
+            self.skip_attrs()?;
+            if self.glued("..") {
+                self.i += 2;
+                base = Some(Box::new(self.expr_depth(false, depth + 1)?));
+                break;
+            }
+            let name = self.expect_ident()?.text.clone();
+            let value = if self.eat_punct(':') {
+                self.expr_depth(false, depth + 1)?
+            } else {
+                Expr::Path {
+                    segs: vec![name.clone()],
+                    line: self.line(),
+                }
+            };
+            fields.push((name, value));
+            if !self.eat_punct(',') {
+                break;
+            }
+        }
+        self.expect_punct('}')?;
+        Ok(Expr::StructLit {
+            path,
+            fields,
+            base,
+            line,
+        })
+    }
+
+    fn parse_macro_call(&mut self, segs: Vec<String>, line: u32, depth: u32) -> PResult<Expr> {
+        self.expect_punct('!')?;
+        let name = segs.last().cloned().unwrap_or_default();
+        let (open, close) = match self.cur() {
+            Some(t) if t.is_punct('(') => ('(', ')'),
+            Some(t) if t.is_punct('[') => ('[', ']'),
+            Some(t) if t.is_punct('{') => ('{', '}'),
+            _ => return Err(self.err("expected macro delimiter")),
+        };
+        // Capture the argument token slice, then try to parse it as a
+        // comma-separated expression list.
+        let body_start = self.i + 1;
+        self.skip_balanced(open, close)?;
+        let body_end = self.i - 1;
+        let slice = &self.toks[body_start..body_end];
+        match parse_expr_list(slice) {
+            Ok(args) => Ok(Expr::MacroCall {
+                name,
+                args,
+                parsed: true,
+                line,
+            }),
+            Err(_) => {
+                // Fallback: recover call-shaped sub-expressions by a
+                // token scan so panic/taint analysis still sees them.
+                let mut args = Vec::new();
+                for (k, t) in slice.iter().enumerate() {
+                    if t.kind != TokenKind::Ident {
+                        continue;
+                    }
+                    let next_paren = slice.get(k + 1).is_some_and(|n| n.is_punct('('));
+                    if !next_paren {
+                        continue;
+                    }
+                    let is_method = k > 0 && slice[k - 1].is_punct('.');
+                    let callee = Expr::Path {
+                        segs: vec![t.text.clone()],
+                        line: t.line,
+                    };
+                    args.push(if is_method {
+                        Expr::MethodCall {
+                            recv: Box::new(Expr::Path {
+                                segs: vec!["_".to_string()],
+                                line: t.line,
+                            }),
+                            method: t.text.clone(),
+                            args: Vec::new(),
+                            line: t.line,
+                        }
+                    } else {
+                        Expr::Call {
+                            callee: Box::new(callee),
+                            args: Vec::new(),
+                            line: t.line,
+                        }
+                    });
+                }
+                let _ = depth;
+                Ok(Expr::MacroCall {
+                    name,
+                    args,
+                    parsed: false,
+                    line,
+                })
+            }
+        }
+    }
+
+    fn postfix(&mut self, mut e: Expr, depth: u32, allow_call: bool) -> PResult<Expr> {
+        loop {
+            if self.at_punct('?') {
+                let line = self.line();
+                self.i += 1;
+                e = Expr::Try {
+                    expr: Box::new(e),
+                    line,
+                };
+                continue;
+            }
+            if self.at_punct('.') && !self.glued("..") {
+                let line = self.line();
+                self.i += 1;
+                let Some(t) = self.cur() else {
+                    return Err(self.err("expected field or method after `.`"));
+                };
+                if t.kind == TokenKind::Number {
+                    // Tuple field(s): `.0`, and `.0.1` which the lexer
+                    // runs together as the number `0.1`.
+                    self.i += 1;
+                    for part in t.text.split('.') {
+                        e = Expr::FieldAccess {
+                            base: Box::new(e),
+                            name: part.to_string(),
+                            line,
+                        };
+                    }
+                    continue;
+                }
+                let name = self.expect_ident()?.text.clone();
+                if self.glued("::") {
+                    // Turbofish on a method: `.collect::<Vec<_>>()`.
+                    self.i += 2;
+                    self.skip_generics()?;
+                }
+                if self.at_punct('(') {
+                    let args = self.call_args(depth)?;
+                    e = Expr::MethodCall {
+                        recv: Box::new(e),
+                        method: name,
+                        args,
+                        line,
+                    };
+                } else {
+                    e = Expr::FieldAccess {
+                        base: Box::new(e),
+                        name,
+                        line,
+                    };
+                }
+                continue;
+            }
+            if self.at_punct('(') && allow_call {
+                let line = self.line();
+                let args = self.call_args(depth)?;
+                e = Expr::Call {
+                    callee: Box::new(e),
+                    args,
+                    line,
+                };
+                continue;
+            }
+            if self.at_punct('[') && allow_call {
+                let line = self.line();
+                self.i += 1;
+                let index = self.expr_depth(false, depth + 1)?;
+                self.expect_punct(']')?;
+                e = Expr::Index {
+                    base: Box::new(e),
+                    index: Box::new(index),
+                    line,
+                };
+                continue;
+            }
+            break;
+        }
+        Ok(e)
+    }
+
+    fn call_args(&mut self, depth: u32) -> PResult<Vec<Expr>> {
+        self.expect_punct('(')?;
+        let mut args = Vec::new();
+        while !self.at_punct(')') {
+            args.push(self.expr_depth(false, depth + 1)?);
+            if !self.eat_punct(',') {
+                break;
+            }
+        }
+        self.expect_punct(')')?;
+        Ok(args)
+    }
+
+    // ----- patterns -------------------------------------------------------
+
+    /// An or-pattern: `A | B | C` (leading `|` tolerated).
+    fn parse_pat_or(&mut self) -> PResult<Pat> {
+        self.eat_punct('|');
+        let first = self.parse_pat()?;
+        if !self.at_punct('|') || self.glued("||") {
+            return Ok(first);
+        }
+        let mut pats = vec![first];
+        while self.at_punct('|') && !self.glued("||") {
+            self.i += 1;
+            pats.push(self.parse_pat()?);
+        }
+        Ok(Pat::Or(pats))
+    }
+
+    fn parse_pat(&mut self) -> PResult<Pat> {
+        let Some(t) = self.cur() else {
+            return Err(self.err("expected pattern, found end of input"));
+        };
+        // References.
+        if self.glued("&&") {
+            self.i += 2;
+            self.eat_ident("mut");
+            return Ok(Pat::Ref(Box::new(Pat::Ref(Box::new(self.parse_pat()?)))));
+        }
+        if self.eat_punct('&') {
+            self.eat_ident("mut");
+            return Ok(Pat::Ref(Box::new(self.parse_pat()?)));
+        }
+        // Rest / range-to patterns.
+        if self.glued("..=") {
+            self.i += 3;
+            self.pat_range_bound()?;
+            return Ok(Pat::Range);
+        }
+        if self.glued("..") {
+            self.i += 2;
+            return Ok(Pat::Rest);
+        }
+        // Literals (possibly negative), with range continuation.
+        if t.is_punct('-') || matches!(t.kind, TokenKind::Number | TokenKind::Str | TokenKind::Char)
+        {
+            let mut text = String::new();
+            if self.eat_punct('-') {
+                text.push('-');
+            }
+            let Some(lit) = self.cur() else {
+                return Err(self.err("expected literal pattern"));
+            };
+            text.push_str(&lit.text);
+            self.i += 1;
+            if self.glued("..=") || self.glued("..") {
+                self.i += if self.glued("..=") { 3 } else { 2 };
+                if self.pat_bound_follows() {
+                    self.pat_range_bound()?;
+                }
+                return Ok(Pat::Range);
+            }
+            return Ok(Pat::Lit(text));
+        }
+        if t.is_punct('(') {
+            self.i += 1;
+            let mut elems = Vec::new();
+            while !self.at_punct(')') {
+                elems.push(self.parse_pat_or()?);
+                if !self.eat_punct(',') {
+                    break;
+                }
+            }
+            self.expect_punct(')')?;
+            if elems.len() == 1 {
+                return Ok(elems.swap_remove(0));
+            }
+            return Ok(Pat::Tuple(elems));
+        }
+        if t.is_punct('[') {
+            self.i += 1;
+            let mut elems = Vec::new();
+            while !self.at_punct(']') {
+                elems.push(self.parse_pat_at()?);
+                if !self.eat_punct(',') {
+                    break;
+                }
+            }
+            self.expect_punct(']')?;
+            return Ok(Pat::Slice(elems));
+        }
+        if t.kind != TokenKind::Ident {
+            return Err(self.err_at(t.line, format!("expected pattern, found {:?}", t.text)));
+        }
+        match t.text.as_str() {
+            "_" => {
+                self.i += 1;
+                Ok(Pat::Wild)
+            }
+            "mut" => {
+                self.i += 1;
+                let name = self.expect_ident()?.text.clone();
+                Ok(Pat::Ident { name, sub: None })
+            }
+            "ref" => {
+                self.i += 1;
+                self.eat_ident("mut");
+                let name = self.expect_ident()?.text.clone();
+                Ok(Pat::Ident { name, sub: None })
+            }
+            "true" | "false" => {
+                self.i += 1;
+                Ok(Pat::Lit(t.text.clone()))
+            }
+            "box" => {
+                self.i += 1;
+                self.parse_pat()
+            }
+            _ => self.parse_pat_path(),
+        }
+    }
+
+    /// A slice-pattern element, which may be `name @ ..`.
+    fn parse_pat_at(&mut self) -> PResult<Pat> {
+        let p = self.parse_pat_or()?;
+        Ok(p)
+    }
+
+    fn parse_pat_path(&mut self) -> PResult<Pat> {
+        let first = self.expect_ident()?;
+        let mut segs = vec![first.text.clone()];
+        while self.glued("::") {
+            self.i += 2;
+            if self.at_punct('<') {
+                self.skip_generics()?;
+                continue;
+            }
+            segs.push(self.expect_ident()?.text.clone());
+        }
+        // `name @ subpat`
+        if segs.len() == 1 && self.at_punct('@') {
+            self.i += 1;
+            let sub = self.parse_pat()?;
+            return Ok(Pat::Ident {
+                name: segs.swap_remove(0),
+                sub: Some(Box::new(sub)),
+            });
+        }
+        if self.at_punct('(') {
+            self.i += 1;
+            let mut elems = Vec::new();
+            while !self.at_punct(')') {
+                elems.push(self.parse_pat_or()?);
+                if !self.eat_punct(',') {
+                    break;
+                }
+            }
+            self.expect_punct(')')?;
+            return Ok(Pat::TupleStruct { path: segs, elems });
+        }
+        if self.at_punct('{') {
+            self.i += 1;
+            let mut fields = Vec::new();
+            while !self.at_punct('}') {
+                self.skip_attrs()?;
+                if self.glued("..") {
+                    self.i += 2;
+                    break;
+                }
+                self.eat_ident("ref");
+                self.eat_ident("mut");
+                let name = self.expect_ident()?.text.clone();
+                let pat = if self.eat_punct(':') {
+                    self.parse_pat_or()?
+                } else {
+                    Pat::Ident {
+                        name: name.clone(),
+                        sub: None,
+                    }
+                };
+                fields.push((name, pat));
+                if !self.eat_punct(',') {
+                    break;
+                }
+            }
+            self.expect_punct('}')?;
+            return Ok(Pat::Struct { path: segs, fields });
+        }
+        if self.glued("..=") || self.glued("..") {
+            self.i += if self.glued("..=") { 3 } else { 2 };
+            if self.pat_bound_follows() {
+                self.pat_range_bound()?;
+            }
+            return Ok(Pat::Range);
+        }
+        if segs.len() == 1 {
+            let name = &segs[0];
+            let binds = name
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_lowercase() || c == '_');
+            if binds {
+                return Ok(Pat::Ident {
+                    name: segs.swap_remove(0),
+                    sub: None,
+                });
+            }
+        }
+        Ok(Pat::Path(segs))
+    }
+
+    fn pat_bound_follows(&self) -> bool {
+        self.cur().is_some_and(|t| {
+            matches!(t.kind, TokenKind::Number | TokenKind::Char)
+                || (t.kind == TokenKind::Ident && !matches!(t.text.as_str(), "if" | "=>"))
+                || t.is_punct('-')
+        })
+    }
+
+    /// Consumes one range-bound pattern atom (literal or path).
+    fn pat_range_bound(&mut self) -> PResult<()> {
+        self.eat_punct('-');
+        let Some(t) = self.cur() else {
+            return Err(self.err("expected range bound"));
+        };
+        match t.kind {
+            TokenKind::Number | TokenKind::Char | TokenKind::Str => {
+                self.i += 1;
+                Ok(())
+            }
+            TokenKind::Ident => {
+                self.i += 1;
+                while self.glued("::") {
+                    self.i += 2;
+                    self.expect_ident()?;
+                }
+                Ok(())
+            }
+            _ => Err(self.err_at(t.line, format!("expected range bound, found {:?}", t.text))),
+        }
+    }
+}

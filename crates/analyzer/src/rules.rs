@@ -1,9 +1,18 @@
 //! The lint rules.
 //!
-//! Each rule is a pure function over the token stream of one file; the
-//! framework in the crate root handles walking, test-region masking,
-//! `lint:allow` suppression, and the cross-tree checks.
+//! Token-level rules are pure functions over the token stream of one
+//! file; the flow-sensitive rules run over the analysis IR (AST →
+//! [`crate::cfg`] → [`crate::dataflow`]) and the whole-workspace
+//! [`crate::callgraph`]. The framework in the crate root handles
+//! walking, test-region masking, `lint:allow` suppression, and the
+//! cross-tree checks.
 
+use std::collections::BTreeSet;
+
+use crate::ast::{self, Block, Expr, Item, Pat, Stmt};
+use crate::callgraph::CallGraph;
+use crate::cfg::{self, AcquireSite, Cfg, Op};
+use crate::dataflow::{self, Analysis};
 use crate::lexer::{Token, TokenKind};
 use crate::{in_test, Context, Finding};
 
@@ -13,6 +22,12 @@ use crate::{in_test, Context, Finding};
 ///
 /// [`FailureInjector`]: ../../liquid_sim/failure/struct.FailureInjector.html
 pub const FAULT_CRATES: &[&str] = &["log", "kv", "messaging", "processing"];
+
+/// Crates the panic-reachability proof neither traverses through nor
+/// reports on: `sim` panics by design (lockdep violations, contract
+/// asserts are *supposed* to abort), and the analyzer never runs on a
+/// fault path.
+pub const PANIC_EXEMPT_CRATES: &[&str] = &["sim", "analyzer"];
 
 /// The storage layers allowed to touch `std::fs` directly: everything
 /// else must route I/O through them so the failure injector sees it.
@@ -46,24 +61,23 @@ pub const LOCK_FIELDS: &[(&str, &str, &str)] = &[
     ("log.rs", "cache", "log.pagecache"),
 ];
 
-/// Lint **unwrap**: no `.unwrap()`/`.expect()`/`panic!`/`todo!`/
-/// `unimplemented!` in non-test code of the fault-injected crates.
-pub fn unwrap_on_fault_path(
-    crate_name: &str,
-    rel: &str,
-    tokens: &[Token],
-    regions: &[(u32, u32)],
-    out: &mut Vec<Finding>,
-) {
-    if !FAULT_CRATES.contains(&crate_name) {
-        return;
-    }
-    panic_scan(rel, tokens, regions, "unwrap", true, out);
+/// Whether a field or binding name belongs to the offset domain
+/// (log offsets, high-watermarks, epochs) whose arithmetic must be
+/// overflow-checked.
+pub fn is_offset_name(name: &str) -> bool {
+    let n = name.to_ascii_lowercase();
+    n.contains("offset")
+        || n.contains("watermark")
+        || n.contains("high_water")
+        || n.contains("epoch")
+        || n == "hw"
+        || n.ends_with("_hw")
 }
 
-/// Lint **panic**: the remaining library crates must not contain
-/// `panic!`/`todo!`/`unimplemented!` outside tests either — they just
-/// get to keep `.unwrap()` for now.
+/// Lint **panic**: library crates outside the fault set must not
+/// contain `panic!`/`todo!`/`unimplemented!` outside tests — they just
+/// get to keep `.unwrap()` where the call graph proves it unreachable
+/// from a fault path (see [`panic_reachability`]).
 pub fn panic_free_lib(
     crate_name: &str,
     rel: &str,
@@ -72,49 +86,247 @@ pub fn panic_free_lib(
     out: &mut Vec<Finding>,
 ) {
     if FAULT_CRATES.contains(&crate_name) {
-        return; // covered by the stricter `unwrap` lint
+        return; // covered by the stricter panic-reachability lint
     }
-    panic_scan(rel, tokens, regions, "panic", false, out);
-}
-
-fn panic_scan(
-    rel: &str,
-    tokens: &[Token],
-    regions: &[(u32, u32)],
-    lint: &'static str,
-    include_unwrap: bool,
-    out: &mut Vec<Finding>,
-) {
     for (i, t) in tokens.iter().enumerate() {
         if t.kind != TokenKind::Ident || in_test(regions, t.line) {
             continue;
         }
-        let next_is = |c| tokens.get(i + 1).is_some_and(|n: &Token| n.is_punct(c));
-        if matches!(t.text.as_str(), "panic" | "todo" | "unimplemented") && next_is('!') {
-            out.push(Finding {
-                file: rel.to_string(),
-                line: t.line,
-                lint,
-                message: format!("`{}!` in non-test library code", t.text),
-            });
-        }
-        if include_unwrap
-            && matches!(t.text.as_str(), "unwrap" | "expect")
-            && i > 0
-            && tokens[i - 1].is_punct('.')
-            && next_is('(')
+        if matches!(t.text.as_str(), "panic" | "todo" | "unimplemented")
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
         {
             out.push(Finding {
                 file: rel.to_string(),
                 line: t.line,
-                lint,
-                message: format!(
-                    ".{}() on a fault-injected path — return a typed error instead",
-                    t.text
-                ),
+                lint: "panic",
+                message: format!("`{}!` in non-test library code", t.text),
             });
         }
     }
+}
+
+/// Lint **panic-reachability**: the interprocedural proof that no
+/// panic can fire on a fault-injected path.
+///
+/// Two tiers of findings:
+///
+/// * every explicit panic site (`panic!` family, `.unwrap()`,
+///   `.expect()`) in non-test code of a fault crate, regardless of
+///   reachability — defense in depth, matching what the old
+///   token-level rule enforced. When the call graph additionally
+///   proves the site reachable from a public API, the finding carries
+///   the call chain.
+/// * unguarded indexing in fault crates, and *any* panic site in the
+///   helper crates they depend on, only when reachable from a
+///   fault-crate public function — with the chain that reaches it.
+///
+/// `sim` and the analyzer are exempt ([`PANIC_EXEMPT_CRATES`]).
+pub fn panic_reachability(graph: &CallGraph, out: &mut Vec<Finding>) {
+    let reach = graph.reach_from_pubs(FAULT_CRATES, PANIC_EXEMPT_CRATES);
+    for (i, f) in graph.fns.iter().enumerate() {
+        if f.in_test || PANIC_EXEMPT_CRATES.contains(&f.crate_name.as_str()) {
+            continue;
+        }
+        let is_fault = FAULT_CRATES.contains(&f.crate_name.as_str());
+        for p in &f.panics {
+            let message = if is_fault && !p.indexing {
+                let mut m = format!("{} on a fault-injected path — return a typed error instead", p.what);
+                if reach.reachable[i] {
+                    m.push_str(&format!(
+                        " (reachable from the public API: {})",
+                        graph.chain(&reach, i)
+                    ));
+                }
+                m
+            } else if reach.reachable[i] && p.indexing {
+                format!(
+                    "{} may panic and is reachable from a fault-crate public API ({}) — \
+                     use .get() or establish bounds with a dominating len/contains check",
+                    p.what,
+                    graph.chain(&reach, i)
+                )
+            } else if reach.reachable[i] {
+                format!(
+                    "{} is reachable from a fault-crate public API ({}) — \
+                     return a typed error instead",
+                    p.what,
+                    graph.chain(&reach, i)
+                )
+            } else {
+                continue;
+            };
+            out.push(Finding {
+                file: f.file.clone(),
+                line: p.line,
+                lint: "panic-reachability",
+                message,
+            });
+        }
+    }
+}
+
+/// Lint **dropped-result**: a call that (nominally) resolves to a
+/// workspace function returning `Result` has its value discarded —
+/// either as an expression statement or bound to `_`. Resolution is
+/// by name/kind/arity against [`Context::result_sigs`], which only
+/// contains signatures where *every* workspace candidate returns
+/// `Result`, so common names shared with non-Result functions never
+/// fire.
+pub fn dropped_result(
+    ctx: &Context,
+    rel: &str,
+    file: &ast::File,
+    regions: &[(u32, u32)],
+    out: &mut Vec<Finding>,
+) {
+    if ctx.result_sigs.is_empty() {
+        return;
+    }
+    for_each_fn(&file.items, &mut |f| {
+        let Some(body) = &f.body else { return };
+        if in_test(regions, f.line) {
+            return;
+        }
+        each_block(body, &mut |b| {
+            for stmt in &b.stmts {
+                let discarded = match stmt {
+                    Stmt::Expr { expr, semi: true } => Some(expr),
+                    Stmt::Let {
+                        pat: Pat::Wild,
+                        init: Some(init),
+                        ..
+                    } => Some(init),
+                    _ => None,
+                };
+                let Some(e) = discarded else { continue };
+                let (name, is_method, arity, line, qual) = match e {
+                    Expr::MethodCall {
+                        method, args, line, ..
+                    } => (method.clone(), true, args.len(), *line, None),
+                    Expr::Call { callee, args, line } => match callee.as_ref() {
+                        Expr::Path { segs, .. } if !segs.is_empty() => (
+                            segs.last().cloned().unwrap_or_default(),
+                            false,
+                            args.len(),
+                            *line,
+                            (segs.len() > 1).then(|| segs[0].clone()),
+                        ),
+                        _ => continue,
+                    },
+                    _ => continue,
+                };
+                if in_test(regions, line) {
+                    continue;
+                }
+                // A qualified free call must point back into the
+                // workspace (a liquid crate, `Self`, or a workspace
+                // type) — `std::fs::read(..)` and friends are out of
+                // scope for this lint.
+                if let Some(q) = &qual {
+                    let workspace_qual = q == "Self"
+                        || q == "liquid"
+                        || q.starts_with("liquid_")
+                        || ctx.known_types.contains(q);
+                    if !workspace_qual {
+                        continue;
+                    }
+                }
+                if ctx
+                    .result_sigs
+                    .contains(&(name.clone(), is_method, arity))
+                {
+                    out.push(Finding {
+                        file: rel.to_string(),
+                        line,
+                        lint: "dropped-result",
+                        message: format!(
+                            "result of `{name}` is discarded but every workspace `{name}` \
+                             returns Result — handle the error or propagate it with `?`"
+                        ),
+                    });
+                }
+            }
+        });
+    });
+}
+
+/// Lint **unchecked-offset-arithmetic**: raw `+`/`-`/`*` (binary or
+/// compound) over values flowing from the offset domain — log offsets,
+/// high-watermarks, epochs — inside the fault crates. Seeds are the
+/// matching field names parsed from `log`/`messaging` structs
+/// ([`Context::offset_seeds`]) plus any binding whose own name matches
+/// [`is_offset_name`]; taint propagates through assignments
+/// ([`Op::Assign`]) to a fixpoint. Use `checked_*`/`saturating_*` so a
+/// corrupted or wrapped offset fails loudly instead of silently
+/// advancing the log.
+pub fn unchecked_offset_arithmetic(
+    ctx: &Context,
+    crate_name: &str,
+    rel: &str,
+    file: &ast::File,
+    regions: &[(u32, u32)],
+    out: &mut Vec<Finding>,
+) {
+    if !FAULT_CRATES.contains(&crate_name) {
+        return;
+    }
+    for_each_fn(&file.items, &mut |f| {
+        if f.body.is_none() || in_test(regions, f.line) {
+            return;
+        }
+        let g = cfg::lower_fn(f);
+        let mut assigns: Vec<(&String, &Vec<String>)> = Vec::new();
+        let mut ariths: Vec<(char, &Vec<String>, u32)> = Vec::new();
+        for b in &g.blocks {
+            for op in &b.ops {
+                match op {
+                    Op::Assign { to, froms, .. } => assigns.push((to, froms)),
+                    Op::Arith { op, names, line } => ariths.push((*op, names, *line)),
+                    _ => {}
+                }
+            }
+        }
+        // Flow-insensitive taint closure over assignments.
+        let mut extra: BTreeSet<&str> = BTreeSet::new();
+        let seeded = |extra: &BTreeSet<&str>, n: &str| {
+            is_offset_name(n) || ctx.offset_seeds.contains(n) || extra.contains(n)
+        };
+        loop {
+            let mut changed = false;
+            for (to, froms) in &assigns {
+                if !extra.contains(to.as_str()) && froms.iter().any(|n| seeded(&extra, n)) {
+                    extra.insert(to.as_str());
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let mut seen_lines = BTreeSet::new();
+        for (op, names, line) in ariths {
+            if in_test(regions, line) || !seen_lines.insert((line, op)) {
+                continue;
+            }
+            if let Some(name) = names.iter().find(|n| seeded(&extra, n)) {
+                let verb = match op {
+                    '-' => "sub",
+                    '*' => "mul",
+                    _ => "add",
+                };
+                out.push(Finding {
+                    file: rel.to_string(),
+                    line,
+                    lint: "unchecked-offset-arithmetic",
+                    message: format!(
+                        "raw `{op}` on offset-domain value `{name}` — use \
+                         checked_{verb}()/saturating_{verb}() so overflow cannot corrupt \
+                         offsets silently"
+                    ),
+                });
+            }
+        }
+    });
 }
 
 /// Lint **fault-site**: `injector.tick("site")` strings must be
@@ -337,14 +549,6 @@ pub fn raw_thread(
     }
 }
 
-struct ActiveGuard {
-    rank: &'static str,
-    order: u32,
-    name: Option<String>,
-    depth: usize,
-    line: u32,
-}
-
 /// The ranked-lock fields of one file, as `(field, rank)` pairs.
 /// Empty for files with no [`LOCK_FIELDS`] entry.
 fn ranked_fields(rel: &str) -> Vec<(&'static str, &'static str)> {
@@ -356,86 +560,109 @@ fn ranked_fields(rel: &str) -> Vec<(&'static str, &'static str)> {
         .collect()
 }
 
-/// Walks one file's tokens maintaining the set of live ranked-lock
-/// guards. Guard lifetimes are tracked token-wise: a `let`-bound guard
-/// lives until `drop(name)` or its block closes; an un-bound
-/// (temporary) guard lives until the `;` ending its statement. This
-/// intentionally over-approximates temporaries inside tail
-/// expressions — the cost is a conservative finding, never a miss.
-///
-/// `visit` is called for every identifier token with the guards held
-/// at that point; when the token is itself a ranked acquire,
-/// `acquiring` carries its `(rank, order)` and the guard set does not
-/// yet include it.
-type GuardVisitor<'a> = dyn FnMut(usize, &Token, &[ActiveGuard], Option<(&'static str, u32)>) + 'a;
+/// Forward may-analysis: the set of acquire sites (indices into
+/// [`Cfg::acquires`]) whose guard may still be live. Named guards die
+/// on `drop`, shadowing, or scope exit ([`Op::Kill`]); temporaries die
+/// at the end of their statement ([`Op::KillTemps`]).
+struct HeldLocks<'a> {
+    acquires: &'a [AcquireSite],
+}
 
-fn walk_guards(
-    fields: &[(&'static str, &'static str)],
-    order_of: &dyn Fn(&str) -> Option<u32>,
-    tokens: &[Token],
-    visit: &mut GuardVisitor<'_>,
-) {
-    let mut depth = 0usize;
-    let mut guards: Vec<ActiveGuard> = Vec::new();
-    for (i, t) in tokens.iter().enumerate() {
-        if t.is_punct('{') {
-            depth += 1;
-            continue;
-        }
-        if t.is_punct('}') {
-            depth = depth.saturating_sub(1);
-            guards.retain(|g| g.depth <= depth);
-            continue;
-        }
-        if t.is_punct(';') {
-            guards.retain(|g| !(g.name.is_none() && g.depth == depth));
-            continue;
-        }
-        if t.is_ident("drop")
-            && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
-            && tokens.get(i + 3).is_some_and(|t| t.is_punct(')'))
-        {
-            if let Some(name) = tokens.get(i + 2).filter(|t| t.kind == TokenKind::Ident) {
-                if let Some(pos) = guards
-                    .iter()
-                    .rposition(|g| g.name.as_deref() == Some(name.text.as_str()))
-                {
-                    guards.remove(pos);
-                }
+impl Analysis for HeldLocks<'_> {
+    type Fact = BTreeSet<usize>;
+    const BACKWARD: bool = false;
+
+    fn boundary(&self) -> Self::Fact {
+        BTreeSet::new()
+    }
+
+    fn init(&self) -> Self::Fact {
+        BTreeSet::new()
+    }
+
+    fn join(&self, fact: &mut Self::Fact, other: &Self::Fact) -> bool {
+        let before = fact.len();
+        fact.extend(other.iter().copied());
+        fact.len() != before
+    }
+
+    fn transfer(&self, op: &Op, fact: &mut Self::Fact) {
+        match op {
+            Op::Acquire(i) => {
+                fact.insert(*i);
             }
-            continue;
-        }
-        if t.kind != TokenKind::Ident {
-            continue;
-        }
-        let is_acquire = tokens.get(i + 1).is_some_and(|t| t.is_punct('.'))
-            && tokens.get(i + 2).is_some_and(|t| {
-                t.kind == TokenKind::Ident && matches!(t.text.as_str(), "lock" | "read" | "write")
-            })
-            && tokens.get(i + 3).is_some_and(|t| t.is_punct('('))
-            && tokens.get(i + 4).is_some_and(|t| t.is_punct(')'));
-        let acquiring = fields
-            .iter()
-            .find(|(f, _)| *f == t.text)
-            .filter(|_| is_acquire)
-            .and_then(|&(_, rank)| order_of(rank).map(|order| (rank, order)));
-        visit(i, t, &guards, acquiring);
-        if let Some((rank, order)) = acquiring {
-            guards.push(ActiveGuard {
-                rank,
-                order,
-                name: binding_name(tokens, i),
-                depth,
-                line: t.line,
-            });
+            Op::Kill { var } => {
+                fact.retain(|&i| self.acquires[i].var.as_deref() != Some(var.as_str()));
+            }
+            Op::KillTemps => {
+                fact.retain(|&i| self.acquires[i].var.is_some());
+            }
+            _ => {}
         }
     }
 }
 
+/// Backward may-analysis: the set of binding names read on some path
+/// after a point. `drop(x)` and scope exits are deliberately *not*
+/// uses.
+struct Liveness;
+
+impl Analysis for Liveness {
+    type Fact = BTreeSet<String>;
+    const BACKWARD: bool = true;
+
+    fn boundary(&self) -> Self::Fact {
+        BTreeSet::new()
+    }
+
+    fn init(&self) -> Self::Fact {
+        BTreeSet::new()
+    }
+
+    fn join(&self, fact: &mut Self::Fact, other: &Self::Fact) -> bool {
+        let before = fact.len();
+        fact.extend(other.iter().cloned());
+        fact.len() != before
+    }
+
+    fn transfer(&self, op: &Op, fact: &mut Self::Fact) {
+        match op {
+            Op::Mention { name } => {
+                fact.insert(name.clone());
+            }
+            Op::Assign { to, froms, .. } => {
+                fact.remove(to);
+                fact.extend(froms.iter().cloned());
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `(rank, order)` of each acquire site that maps to a ranked lock
+/// field of this file, `None` for unranked acquisitions.
+fn site_ranks(
+    g: &Cfg,
+    fields: &[(&'static str, &'static str)],
+    order_of: &dyn Fn(&str) -> Option<u32>,
+) -> Vec<Option<(&'static str, u32)>> {
+    g.acquires
+        .iter()
+        .map(|s| {
+            fields
+                .iter()
+                .find(|(fld, _)| *fld == s.field)
+                .and_then(|&(_, rank)| order_of(rank).map(|o| (rank, o)))
+        })
+        .collect()
+}
+
 /// Lint **lock-order**: within a file whose fields appear in
-/// [`LOCK_FIELDS`], a lock may only be acquired while every
-/// already-held ranked lock has a strictly *higher* order.
-pub fn lock_order(ctx: &Context, rel: &str, tokens: &[Token], out: &mut Vec<Finding>) {
+/// [`LOCK_FIELDS`], a lock may only be acquired while every ranked
+/// lock that *may* still be held (per the [`HeldLocks`] dataflow) has
+/// a strictly higher order. Runs on test code too — a rank inversion
+/// in a test deadlocks liquid-check just the same.
+pub fn lock_order(ctx: &Context, rel: &str, file: &ast::File, out: &mut Vec<Finding>) {
     let Some(ranks) = &ctx.ranks else {
         return;
     };
@@ -450,44 +677,65 @@ pub fn lock_order(ctx: &Context, rel: &str, tokens: &[Token], out: &mut Vec<Find
             .find(|(n, _)| n == rank)
             .map(|(_, o)| *o)
     };
-    walk_guards(
-        &fields,
-        &order_of,
-        tokens,
-        &mut |_i, t, guards, acquiring| {
-            let Some((rank, order)) = acquiring else {
-                return;
-            };
-            for g in guards {
-                if order >= g.order {
-                    out.push(Finding {
-                        file: rel.to_string(),
-                        line: t.line,
-                        lint: "lock-order",
-                        message: format!(
-                            "acquires \"{rank}\" (order {order}) while holding \"{}\" (order {}, \
-                         taken on line {}) — the lock hierarchy requires strictly descending \
-                         orders",
-                            g.rank, g.order, g.line
-                        ),
-                    });
+    for_each_fn(&file.items, &mut |f| {
+        let g = cfg::lower_fn(f);
+        if g.acquires.is_empty() {
+            return;
+        }
+        let site_rank = site_ranks(&g, &fields, &order_of);
+        let analysis = HeldLocks {
+            acquires: &g.acquires,
+        };
+        let held = dataflow::solve(&g, &analysis);
+        for b in 0..g.blocks.len() {
+            dataflow::walk_ops(&g, &analysis, &held, b, |_, op, fact| {
+                let Op::Acquire(i) = op else { return };
+                let Some((rank, order)) = site_rank[*i] else {
+                    return;
+                };
+                for &j in fact.iter() {
+                    if j == *i {
+                        continue;
+                    }
+                    let Some((held_rank, held_order)) = site_rank[j] else {
+                        continue;
+                    };
+                    if order >= held_order {
+                        out.push(Finding {
+                            file: rel.to_string(),
+                            line: g.acquires[*i].line,
+                            lint: "lock-order",
+                            message: format!(
+                                "acquires \"{rank}\" (order {order}) while holding \
+                                 \"{held_rank}\" (order {held_order}, taken on line {}) — the \
+                                 lock hierarchy requires strictly descending orders",
+                                g.acquires[j].line
+                            ),
+                        });
+                    }
                 }
-            }
-        },
-    );
+            });
+        }
+    });
 }
 
-/// Lint **held-io**: a fault-injection `injector.tick(...)` or raw
-/// filesystem I/O reached while a ranked lock guard is live. Under
-/// liquid-check a tick is a schedule point — parking the thread with a
-/// lock held serializes every other thread contending for it, and
-/// under chaos injection the "crashed" component keeps the lock.
-/// Release the guard before the fallible operation, or carry a
-/// `lint:allow(held-io, reason=...)` explaining why the hold is sound.
-pub fn held_io(
+/// Lint **guard-liveness**: a fault-injection tick or raw filesystem
+/// I/O executed while a ranked lock guard is held *and the guard is
+/// already dead* — never read again on any path (per the backward
+/// [`Liveness`] dataflow, closed over aliases). Under liquid-check a
+/// tick is a schedule point: parking the thread with a lock held
+/// serializes every contender, and under chaos injection the
+/// "crashed" component keeps the lock. Since the guard has no further
+/// use, the fix is mechanical: `drop(guard)` before the fallible
+/// operation. Holds whose guard *is* still used afterwards are
+/// deliberate critical sections and are not flagged — this is what
+/// retires the old token-level held-io rule and its allow churn.
+/// Guards named `_`-something (explicit scope-holds) and unnamed
+/// statement temporaries are skipped.
+pub fn guard_liveness(
     ctx: &Context,
     rel: &str,
-    tokens: &[Token],
+    file: &ast::File,
     regions: &[(u32, u32)],
     out: &mut Vec<Finding>,
 ) {
@@ -505,70 +753,151 @@ pub fn held_io(
             .find(|(n, _)| n == rank)
             .map(|(_, o)| *o)
     };
-    let path_sep = |i: usize| {
-        tokens.get(i).is_some_and(|t: &Token| t.is_punct(':'))
-            && tokens.get(i + 1).is_some_and(|t: &Token| t.is_punct(':'))
-    };
-    walk_guards(&fields, &order_of, tokens, &mut |i, t, guards, _| {
-        if guards.is_empty() || in_test(regions, t.line) {
+    for_each_fn(&file.items, &mut |f| {
+        if f.body.is_none() || in_test(regions, f.line) {
             return;
         }
-        let is_tick = t.is_ident("tick")
-            && i >= 2
-            && tokens[i - 1].is_punct('.')
-            && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
-            && tokens[i - 2].kind == TokenKind::Ident
-            && (tokens[i - 2].text == "injector" || tokens[i - 2].text.ends_with("_injector"));
-        let is_io = (t.text == "std"
-            && path_sep(i + 1)
-            && tokens.get(i + 3).is_some_and(|t| t.is_ident("fs")))
-            || (matches!(t.text.as_str(), "File" | "OpenOptions") && path_sep(i + 1));
-        if is_tick || is_io {
-            let g = guards.last().expect("guards checked non-empty");
-            out.push(Finding {
-                file: rel.to_string(),
-                line: t.line,
-                lint: "held-io",
-                message: format!(
-                    "{} while holding ranked lock \"{}\" (order {}, taken on line {}) — \
-                     release the guard before the fallible operation",
-                    if is_tick {
-                        "fault-injection tick"
-                    } else {
-                        "raw filesystem I/O"
-                    },
-                    g.rank,
-                    g.order,
-                    g.line
-                ),
+        let g = cfg::lower_fn(f);
+        if g.acquires.is_empty() {
+            return;
+        }
+        let site_rank = site_ranks(&g, &fields, &order_of);
+        let held_analysis = HeldLocks {
+            acquires: &g.acquires,
+        };
+        let held = dataflow::solve(&g, &held_analysis);
+        // (block, op index) → the fallible op and the ranked, named
+        // guards that may be held across it.
+        let mut events: Vec<(usize, usize, u32, bool, Vec<usize>)> = Vec::new();
+        for b in 0..g.blocks.len() {
+            dataflow::walk_ops(&g, &held_analysis, &held, b, |idx, op, fact| {
+                let (line, is_tick) = match op {
+                    Op::Tick { line } => (*line, true),
+                    Op::Io { line } => (*line, false),
+                    _ => return,
+                };
+                if in_test(regions, line) {
+                    return;
+                }
+                let held_sites: Vec<usize> = fact
+                    .iter()
+                    .copied()
+                    .filter(|&i| {
+                        site_rank[i].is_some()
+                            && g.acquires[i]
+                                .var
+                                .as_deref()
+                                .is_some_and(|v| !v.starts_with('_'))
+                    })
+                    .collect();
+                if !held_sites.is_empty() {
+                    events.push((b, idx, line, is_tick, held_sites));
+                }
+            });
+        }
+        if events.is_empty() {
+            return;
+        }
+        // Flow-insensitive alias pairs for the liveness closure: any
+        // binding assigned *from* a guard keeps the guard "in use".
+        let mut assigns: Vec<(String, Vec<String>)> = Vec::new();
+        for blk in &g.blocks {
+            for op in &blk.ops {
+                if let Op::Assign { to, froms, .. } = op {
+                    assigns.push((to.clone(), froms.clone()));
+                }
+            }
+        }
+        let live = dataflow::solve(&g, &Liveness);
+        for b in 0..g.blocks.len() {
+            dataflow::walk_ops(&g, &Liveness, &live, b, |idx, _, after| {
+                for (eb, eidx, line, is_tick, held_sites) in &events {
+                    if *eb != b || *eidx != idx {
+                        continue;
+                    }
+                    for &site in held_sites {
+                        let Some(var) = g.acquires[site].var.as_deref() else {
+                            continue;
+                        };
+                        let aliases = alias_closure(&assigns, var);
+                        if aliases.iter().any(|a| after.contains(a)) {
+                            continue; // guard (or an alias) still in use
+                        }
+                        let (rank, order) = site_rank[site].unwrap_or(("?", 0));
+                        out.push(Finding {
+                            file: rel.to_string(),
+                            line: *line,
+                            lint: "guard-liveness",
+                            message: format!(
+                                "{} while holding ranked lock \"{rank}\" (order {order}, taken \
+                                 on line {}) whose guard `{var}` is never used afterwards — \
+                                 drop({var}) before the fallible operation",
+                                if *is_tick {
+                                    "fault-injection tick"
+                                } else {
+                                    "raw filesystem I/O"
+                                },
+                                g.acquires[site].line
+                            ),
+                        });
+                    }
+                }
             });
         }
     });
 }
 
-/// If the statement containing token `i` is `let [mut] <name> = ...`,
-/// returns the binding name; destructuring patterns and plain
-/// expression statements yield `None` (treated as temporaries).
-fn binding_name(tokens: &[Token], i: usize) -> Option<String> {
-    let mut j = i;
-    while j > 0 {
-        let p = &tokens[j - 1];
-        if p.is_punct(';') || p.is_punct('{') || p.is_punct('}') {
-            break;
+/// Transitive closure of `var` under assignment: every binding whose
+/// initializer mentions `var` (or an alias of it) is an alias.
+fn alias_closure(assigns: &[(String, Vec<String>)], var: &str) -> BTreeSet<String> {
+    let mut set = BTreeSet::from([var.to_string()]);
+    loop {
+        let mut changed = false;
+        for (to, froms) in assigns {
+            if !set.contains(to) && froms.iter().any(|f| set.contains(f)) {
+                set.insert(to.clone());
+                changed = true;
+            }
         }
-        j -= 1;
+        if !changed {
+            return set;
+        }
     }
-    if !tokens.get(j)?.is_ident("let") {
-        return None;
+}
+
+/// Calls `f` for every function item in the tree, descending into
+/// impls, traits, modules, and function-local items.
+pub fn for_each_fn<'a>(items: &'a [Item], f: &mut dyn FnMut(&'a ast::Fn)) {
+    for item in items {
+        match item {
+            Item::Fn(func) => {
+                f(func);
+                if let Some(body) = &func.body {
+                    for stmt in &body.stmts {
+                        if let Stmt::Item(it) = stmt {
+                            if let Item::Fn(nested) = it.as_ref() {
+                                f(nested);
+                            }
+                        }
+                    }
+                }
+            }
+            Item::Impl { items, .. } | Item::Trait { items, .. } | Item::Mod { items, .. } => {
+                for_each_fn(items, f);
+            }
+            Item::Struct(_) | Item::Other { .. } => {}
+        }
     }
-    let mut k = j + 1;
-    if tokens.get(k)?.is_ident("mut") {
-        k += 1;
-    }
-    let name = tokens.get(k)?;
-    if name.kind == TokenKind::Ident && tokens.get(k + 1)?.is_punct('=') {
-        Some(name.text.clone())
-    } else {
-        None
-    }
+}
+
+/// Calls `f` on `root` and every block nested inside it (branch
+/// bodies, loop bodies, bare blocks).
+fn each_block<'a>(root: &'a Block, f: &mut dyn FnMut(&'a Block)) {
+    f(root);
+    ast::walk_block(root, &mut |e| match e {
+        Expr::Block(b) => f(b),
+        Expr::If { then, .. } => f(then),
+        Expr::While { body, .. } | Expr::Loop { body, .. } | Expr::For { body, .. } => f(body),
+        _ => {}
+    });
 }

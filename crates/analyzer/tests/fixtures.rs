@@ -90,20 +90,20 @@ fn assert_clean(root: &PathBuf) {
 }
 
 #[test]
-fn unwrap_lint_fires_on_fault_crate_and_spares_tests() {
+fn panic_reachability_fires_on_fault_crate_and_spares_tests() {
     let hit = fixture(
-        "unwrap-hit",
+        "panic-reach-hit",
         &[(
             "crates/kv/src/lib.rs",
             "#![forbid(unsafe_code)]\n\
              pub fn read(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n",
         )],
     );
-    assert_hit(&hit, "unwrap");
+    assert_hit(&hit, "panic-reachability");
 
     // Same call, but inside a #[test] — masked.
     let clean = fixture(
-        "unwrap-clean",
+        "panic-reach-clean",
         &[(
             "crates/kv/src/lib.rs",
             "#![forbid(unsafe_code)]\n\
@@ -115,18 +115,164 @@ fn unwrap_lint_fires_on_fault_crate_and_spares_tests() {
 }
 
 #[test]
-fn unwrap_lint_honors_allow_directive() {
+fn panic_reachability_proves_through_the_call_graph() {
+    // The panic is in a *private* helper; the finding must name the
+    // public entry point that reaches it.
+    let hit = fixture(
+        "panic-reach-chain",
+        &[(
+            "crates/kv/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             pub fn entry(v: Option<u32>) -> u32 {\n    helper(v)\n}\n\
+             fn helper(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n",
+        )],
+    );
+    let out = lint(&hit);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("[panic-reachability]"),
+        "stdout:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("kv::entry"),
+        "finding must carry the call chain from the public API; stdout:\n{stdout}"
+    );
+
+    // A private helper nothing public reaches is not reported.
     let clean = fixture(
-        "unwrap-allow",
+        "panic-reach-dead",
+        &[(
+            "crates/kv/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             pub fn entry() -> u32 {\n    7\n}\n\
+             #[cfg(test)]\nmod tests {\n\
+             \x20   fn helper(v: Option<u32>) -> u32 {\n        v.unwrap()\n    }\n\
+             \x20   #[test]\n    fn t() {\n        helper(Some(1));\n    }\n\
+             }\n",
+        )],
+    );
+    assert_clean(&clean);
+}
+
+#[test]
+fn panic_reachability_flags_unguarded_indexing_but_not_guarded() {
+    let hit = fixture(
+        "index-hit",
+        &[(
+            "crates/log/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             pub fn head(v: &[u32]) -> u32 {\n    v[0]\n}\n",
+        )],
+    );
+    assert_hit(&hit, "panic-reachability");
+
+    // A dominating bounds observation on the same receiver is proof.
+    let clean = fixture(
+        "index-clean",
+        &[(
+            "crates/log/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             pub fn head(v: &[u32]) -> u32 {\n\
+             \x20   if v.is_empty() {\n        return 0;\n    }\n\
+             \x20   v[0]\n}\n",
+        )],
+    );
+    assert_clean(&clean);
+}
+
+#[test]
+fn panic_reachability_honors_allow_directive() {
+    let clean = fixture(
+        "panic-reach-allow",
         &[(
             "crates/kv/src/lib.rs",
             "#![forbid(unsafe_code)]\n\
              pub fn read(v: Option<u32>) -> u32 {\n\
-             \x20   // lint:allow(unwrap, reason=fixture invariant)\n\
+             \x20   // lint:allow(panic-reachability, reason=fixture invariant)\n\
              \x20   v.unwrap()\n}\n",
         )],
     );
     assert_clean(&clean);
+}
+
+#[test]
+fn dropped_result_lint_fires_on_discarded_workspace_result() {
+    // `log_op` provably returns Result everywhere in the (fixture)
+    // workspace, so discarding it is a swallowed error.
+    let hit = fixture(
+        "dropped-hit",
+        &[(
+            "crates/core/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             pub fn log_op() -> Result<u32, String> {\n    Ok(1)\n}\n\
+             pub fn caller() {\n    log_op();\n}\n",
+        )],
+    );
+    assert_hit(&hit, "dropped-result");
+
+    // Propagating with `?` (or binding the value) is the fix.
+    let clean = fixture(
+        "dropped-clean",
+        &[(
+            "crates/core/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             pub fn log_op() -> Result<u32, String> {\n    Ok(1)\n}\n\
+             pub fn caller() -> Result<u32, String> {\n    let v = log_op()?;\n    Ok(v)\n}\n",
+        )],
+    );
+    assert_clean(&clean);
+}
+
+#[test]
+fn unchecked_offset_arithmetic_fires_in_fault_crates_only() {
+    let hit = fixture(
+        "offset-arith-hit",
+        &[(
+            "crates/log/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             pub fn advance(offset: u64) -> u64 {\n    offset + 1\n}\n",
+        )],
+    );
+    assert_hit(&hit, "unchecked-offset-arithmetic");
+
+    // checked_add is the prescribed fix.
+    let checked = fixture(
+        "offset-arith-checked",
+        &[(
+            "crates/log/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             pub fn advance(offset: u64) -> Option<u64> {\n    offset.checked_add(1)\n}\n",
+        )],
+    );
+    assert_clean(&checked);
+
+    // The same raw arithmetic outside a fault crate is not in scope.
+    let helper_crate = fixture(
+        "offset-arith-helper",
+        &[(
+            "crates/core/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             pub fn advance(offset: u64) -> u64 {\n    offset + 1\n}\n",
+        )],
+    );
+    assert_clean(&helper_crate);
+}
+
+#[test]
+fn unchecked_offset_arithmetic_follows_assignment_taint() {
+    // `x` is not offset-named, but it was assigned from one.
+    let hit = fixture(
+        "offset-taint",
+        &[(
+            "crates/messaging/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             pub fn f(high_watermark: u64) -> u64 {\n\
+             \x20   let x = high_watermark;\n\
+             \x20   x * 2\n}\n",
+        )],
+    );
+    assert_hit(&hit, "unchecked-offset-arithmetic");
 }
 
 #[test]
@@ -408,9 +554,9 @@ fn raw_thread_lint_confines_spawns_to_sim() {
 }
 
 #[test]
-fn held_io_lint_flags_ticks_under_ranked_guards() {
+fn guard_liveness_lint_flags_dead_guards_under_ticks() {
     let hit = fixture(
-        "held-io-hit",
+        "guard-live-hit",
         &[
             ("crates/sim/src/lockdep.rs", RANKS_RS),
             (
@@ -425,15 +571,19 @@ fn held_io_lint_flags_ticks_under_ranked_guards() {
     let out = lint(&hit);
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert_eq!(out.status.code(), Some(1), "stdout:\n{stdout}");
-    assert!(stdout.contains("[held-io]"), "stdout:\n{stdout}");
+    assert!(stdout.contains("[guard-liveness]"), "stdout:\n{stdout}");
     assert!(
         stdout.contains("holding ranked lock \"cluster.state\""),
         "finding must name the held lock; stdout:\n{stdout}"
     );
+    assert!(
+        stdout.contains("whose guard `st` is never used afterwards"),
+        "finding must prove the guard dead; stdout:\n{stdout}"
+    );
 
     // Releasing the guard before the fallible operation is the fix.
-    let clean = fixture(
-        "held-io-clean",
+    let dropped = fixture(
+        "guard-live-dropped",
         &[
             ("crates/sim/src/lockdep.rs", RANKS_RS),
             (
@@ -446,11 +596,30 @@ fn held_io_lint_flags_ticks_under_ranked_guards() {
             ),
         ],
     );
-    assert_clean(&clean);
+    assert_clean(&dropped);
 
-    // Raw I/O under a guard is the same hazard as a tick.
+    // A guard that is still read after the tick marks a deliberate
+    // critical section — the liveness analysis spares it. This is the
+    // precision the old token-level held-io rule lacked.
+    let live = fixture(
+        "guard-live-critical-section",
+        &[
+            ("crates/sim/src/lockdep.rs", RANKS_RS),
+            (
+                "crates/messaging/src/cluster.rs",
+                "pub fn f(state: &L, injector: &I) {\n\
+                 \x20   let mut st = state.lock();\n\
+                 \x20   injector.tick(\"cluster.election\");\n\
+                 \x20   st.touch();\n\
+                 }\n",
+            ),
+        ],
+    );
+    assert_clean(&live);
+
+    // Raw I/O under a dead guard is the same hazard as a tick.
     let io_hit = fixture(
-        "held-io-raw-io",
+        "guard-live-raw-io",
         &[
             ("crates/sim/src/lockdep.rs", RANKS_RS),
             (
@@ -462,7 +631,7 @@ fn held_io_lint_flags_ticks_under_ranked_guards() {
             ),
         ],
     );
-    assert_hit(&io_hit, "held-io");
+    assert_hit(&io_hit, "guard-liveness");
 }
 
 #[test]
@@ -524,6 +693,141 @@ fn json_output_reports_findings_and_keeps_deny_exit_codes() {
     assert_eq!(
         String::from_utf8_lossy(&out.stdout).trim(),
         "{\"findings\":[],\"count\":0}"
+    );
+}
+
+#[test]
+fn sarif_output_is_valid_2_1_0_and_keeps_deny_exit_codes() {
+    let hit = fixture(
+        "sarif-hit",
+        &[(
+            "crates/core/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub fn f() {\n    panic!(\"boom\");\n}\n",
+        )],
+    );
+    let sarif = |extra: &[&str]| {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_liquid-lint"));
+        cmd.args(["--sarif", "--root"]).arg(&hit).args(extra);
+        cmd.output().unwrap()
+    };
+
+    let out = sarif(&[]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "--sarif alone stays exit 0");
+    // The envelope GitHub code scanning requires.
+    assert!(
+        stdout.contains("\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\""),
+        "stdout:\n{stdout}"
+    );
+    assert!(stdout.contains("\"version\":\"2.1.0\""), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("\"name\":\"liquid-lint\""),
+        "tool.driver.name; stdout:\n{stdout}"
+    );
+    // Every lint is declared as a rule, findings or not.
+    assert!(
+        stdout.contains("\"id\":\"panic-reachability\""),
+        "stdout:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("\"id\":\"guard-liveness\""),
+        "stdout:\n{stdout}"
+    );
+    // The finding itself: ruleId + message.text + physical location.
+    assert!(stdout.contains("\"ruleId\":\"panic\""), "stdout:\n{stdout}");
+    assert!(stdout.contains("\"level\":\"error\""), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("\"uri\":\"crates/core/src/lib.rs\""),
+        "stdout:\n{stdout}"
+    );
+    assert!(stdout.contains("\"startLine\":3"), "stdout:\n{stdout}");
+
+    // --deny semantics are identical under --sarif.
+    assert_eq!(sarif(&["--deny"]).status.code(), Some(1));
+
+    // --json and --sarif are mutually exclusive: usage error.
+    assert_eq!(sarif(&["--json"]).status.code(), Some(2));
+
+    // A clean tree still emits a full (empty-results) SARIF document.
+    let clean = fixture("sarif-clean", &[("crates/core/src/lib.rs", LIB_HEADER)]);
+    let out = Command::new(env!("CARGO_BIN_EXE_liquid-lint"))
+        .args(["--sarif", "--deny", "--root"])
+        .arg(&clean)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(stdout.contains("\"results\":[]"), "stdout:\n{stdout}");
+}
+
+#[test]
+fn only_flag_filters_findings_by_path_prefix() {
+    // One finding per crate; --only keeps just the selected crate's.
+    let root = fixture(
+        "only-filter",
+        &[
+            (
+                "crates/core/src/lib.rs",
+                "#![forbid(unsafe_code)]\npub fn f() {\n    panic!(\"boom\");\n}\n",
+            ),
+            (
+                "crates/kv/src/lib.rs",
+                "#![forbid(unsafe_code)]\npub fn g(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n",
+            ),
+        ],
+    );
+    let run = |extra: &[&str]| {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_liquid-lint"));
+        cmd.args(["--deny", "--root"]).arg(&root).args(extra);
+        cmd.output().unwrap()
+    };
+
+    let all = run(&[]);
+    let stdout = String::from_utf8_lossy(&all.stdout);
+    assert!(stdout.contains("crates/core/src/lib.rs"), "stdout:\n{stdout}");
+    assert!(stdout.contains("crates/kv/src/lib.rs"), "stdout:\n{stdout}");
+
+    let core_only = run(&["--only", "crates/core"]);
+    let stdout = String::from_utf8_lossy(&core_only.stdout);
+    assert_eq!(core_only.status.code(), Some(1));
+    assert!(stdout.contains("crates/core/src/lib.rs"), "stdout:\n{stdout}");
+    assert!(
+        !stdout.contains("crates/kv/src/lib.rs"),
+        "--only must drop other crates' findings; stdout:\n{stdout}"
+    );
+
+    // Filtering away every finding satisfies --deny.
+    let none = run(&["--only", "crates/messaging"]);
+    assert_eq!(none.status.code(), Some(0));
+}
+
+#[test]
+fn emit_callgraph_dumps_dot() {
+    let root = fixture(
+        "callgraph-dot",
+        &[(
+            "crates/core/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             pub fn entry() -> u32 {\n    helper()\n}\n\
+             fn helper() -> u32 {\n    7\n}\n",
+        )],
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_liquid-lint"))
+        .args(["--emit-callgraph", "--root"])
+        .arg(&root)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout:\n{stdout}");
+    assert!(
+        stdout.starts_with("digraph liquid_callgraph {"),
+        "stdout:\n{stdout}"
+    );
+    assert!(stdout.contains("core::entry"), "stdout:\n{stdout}");
+    assert!(stdout.contains("core::helper"), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains(" -> "),
+        "the entry→helper edge must be present; stdout:\n{stdout}"
     );
 }
 

@@ -1,0 +1,511 @@
+//! IR-layer tests: the recursive-descent parser over real constructs
+//! and the shape of the lowered CFGs. The whole-workspace parse test
+//! at the bottom is the acceptance bar — every `.rs` file under
+//! `crates/*/src` must go through the full lexer → parser pipeline.
+
+use liquid_lint::ast::{Expr, File, Fn, Item, Pat, Stmt};
+use liquid_lint::{cfg, lexer, parse, workspace_files};
+use std::fs;
+use std::path::Path;
+
+fn parse_src(src: &str) -> File {
+    let lexed = lexer::lex(src);
+    parse::parse_file(&lexed.tokens).unwrap_or_else(|e| panic!("parse failed: {e}\nsource:\n{src}"))
+}
+
+/// The first function item in the file (descending into impls/mods).
+fn first_fn(file: &File) -> &Fn {
+    fn find(items: &[Item]) -> Option<&Fn> {
+        for item in items {
+            match item {
+                Item::Fn(f) => return Some(f),
+                Item::Impl { items, .. } | Item::Trait { items, .. } | Item::Mod { items, .. } => {
+                    if let Some(f) = find(items) {
+                        return Some(f);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+    find(&file.items).expect("no fn in file")
+}
+
+/// The statements of the first function's body.
+fn body_stmts(file: &File) -> &[Stmt] {
+    &first_fn(file)
+        .body
+        .as_ref()
+        .expect("fn has no body")
+        .stmts
+}
+
+/// The expression of the first `Stmt::Expr` in the first function.
+fn first_expr(file: &File) -> &Expr {
+    body_stmts(file)
+        .iter()
+        .find_map(|s| match s {
+            Stmt::Expr { expr, .. } => Some(expr),
+            _ => None,
+        })
+        .expect("no expression statement")
+}
+
+// ---------------------------------------------------------------------
+// Parser round-trips: one construct per test, asserting the AST shape.
+// ---------------------------------------------------------------------
+
+#[test]
+fn parses_fn_signature() {
+    let file = parse_src("pub fn advance(offset: u64, by: u64) -> Option<u64> { None }\n");
+    let f = first_fn(&file);
+    assert!(f.is_pub);
+    assert!(!f.has_self);
+    assert_eq!(f.name, "advance");
+    assert_eq!(f.params.len(), 2);
+    assert_eq!(f.params[1].ty, "u64");
+    assert!(f.ret.as_deref().unwrap_or("").contains("Option"));
+}
+
+#[test]
+fn parses_let_else_with_tuple_struct_pattern() {
+    let file = parse_src(
+        "fn f(v: Option<u32>) -> u32 {\n\
+         \x20   let Some(x) = v else { return 0; };\n\
+         \x20   x\n}\n",
+    );
+    let Stmt::Let {
+        pat, init, else_block, ..
+    } = &body_stmts(&file)[0]
+    else {
+        panic!("expected let");
+    };
+    assert!(matches!(pat, Pat::TupleStruct { path, elems } if path.ends_with(&["Some".into()]) && elems.len() == 1));
+    assert!(init.is_some());
+    assert!(else_block.is_some(), "let-else block must be captured");
+}
+
+#[test]
+fn parses_if_else_if_chain() {
+    let file = parse_src(
+        "fn f(x: u32) -> u32 {\n\
+         \x20   if x == 0 { 1 } else if x == 1 { 2 } else { 3 }\n}\n",
+    );
+    let Expr::If { pat, cond, else_, .. } = first_expr(&file) else {
+        panic!("expected if");
+    };
+    assert!(pat.is_none());
+    assert!(matches!(cond.as_ref(), Expr::Binary { op, .. } if op == "=="));
+    // `else if` parses as a nested If, whose own else is a Block.
+    let Some(else_) = else_ else { panic!("missing else") };
+    let Expr::If { else_: inner, .. } = else_.as_ref() else {
+        panic!("else-if must nest as If");
+    };
+    assert!(matches!(inner.as_deref(), Some(Expr::Block(_))));
+}
+
+#[test]
+fn parses_if_let() {
+    let file = parse_src("fn f(v: Option<u32>) {\n    if let Some(x) = v { drop(x); }\n}\n");
+    let Expr::If { pat, .. } = first_expr(&file) else {
+        panic!("expected if");
+    };
+    assert!(matches!(pat, Some(Pat::TupleStruct { .. })));
+}
+
+#[test]
+fn parses_match_with_guards_and_or_patterns() {
+    let file = parse_src(
+        "fn f(x: u32) -> u32 {\n\
+         \x20   match x {\n\
+         \x20       0 | 1 => 10,\n\
+         \x20       n if n > 5 => n,\n\
+         \x20       _ => 0,\n\
+         \x20   }\n}\n",
+    );
+    let Expr::Match { scrutinee, arms, .. } = first_expr(&file) else {
+        panic!("expected match");
+    };
+    assert!(matches!(scrutinee.as_ref(), Expr::Path { .. }));
+    assert_eq!(arms.len(), 3);
+    assert!(matches!(&arms[0].pat, Pat::Or(ps) if ps.len() == 2));
+    assert!(arms[1].guard.is_some(), "match guard must be captured");
+    assert!(matches!(&arms[2].pat, Pat::Wild));
+}
+
+#[test]
+fn parses_while_and_while_let() {
+    let file = parse_src(
+        "fn f(mut it: I) {\n\
+         \x20   while running() { step(); }\n\
+         \x20   while let Some(x) = it.next() { drop(x); }\n}\n",
+    );
+    let stmts = body_stmts(&file);
+    assert!(
+        matches!(&stmts[0], Stmt::Expr { expr: Expr::While { pat: None, .. }, .. }),
+        "plain while"
+    );
+    assert!(
+        matches!(&stmts[1], Stmt::Expr { expr: Expr::While { pat: Some(_), .. }, .. }),
+        "while let"
+    );
+}
+
+#[test]
+fn parses_for_loop() {
+    let file = parse_src("fn f(v: Vec<u32>) {\n    for (i, x) in v.iter().enumerate() { use_(i, x); }\n}\n");
+    let Expr::For { pat, iter, body, .. } = first_expr(&file) else {
+        panic!("expected for");
+    };
+    assert!(matches!(pat, Pat::Tuple(ps) if ps.len() == 2));
+    assert!(matches!(iter.as_ref(), Expr::MethodCall { method, .. } if method == "enumerate"));
+    assert_eq!(body.stmts.len(), 1);
+}
+
+#[test]
+fn parses_loop_with_break_value() {
+    let file = parse_src("fn f() -> u32 {\n    loop {\n        break 7;\n    }\n}\n");
+    let Expr::Loop { body, .. } = first_expr(&file) else {
+        panic!("expected loop");
+    };
+    assert!(matches!(
+        &body.stmts[0],
+        Stmt::Expr { expr: Expr::Break { value: Some(_), .. }, .. }
+    ));
+}
+
+#[test]
+fn parses_closures() {
+    let file = parse_src(
+        "fn f(v: Vec<u32>) -> Vec<u32> {\n\
+         \x20   v.iter().map(|x| x + 1).filter(move |x| *x > 2).collect()\n}\n",
+    );
+    let mut closures = 0;
+    liquid_lint::ast::walk_expr(first_expr(&file), &mut |e| {
+        if let Expr::Closure { params, .. } = e {
+            closures += 1;
+            assert_eq!(params.len(), 1);
+        }
+    });
+    assert_eq!(closures, 2, "both |x| and move |x| closures must parse");
+}
+
+#[test]
+fn parses_try_operator_chains() {
+    let file = parse_src("fn f(s: &S) -> crate::Result<u32> {\n    Ok(s.open()?.read()?)\n}\n");
+    // Ok( Try(MethodCall{read, recv: Try(MethodCall{open})}) )
+    let Expr::Call { args, .. } = first_expr(&file) else {
+        panic!("expected Ok(...) call");
+    };
+    let Expr::Try { expr, .. } = &args[0] else {
+        panic!("outer ? missing");
+    };
+    let Expr::MethodCall { recv, method, .. } = expr.as_ref() else {
+        panic!("expected .read()");
+    };
+    assert_eq!(method, "read");
+    assert!(matches!(recv.as_ref(), Expr::Try { .. }), "inner ? missing");
+}
+
+#[test]
+fn parses_field_access_and_indexing_and_ranges() {
+    let file = parse_src("fn f(s: &S) -> u32 {\n    s.items[1..3].len() as u32\n}\n");
+    let Expr::Cast { expr, .. } = first_expr(&file) else {
+        panic!("expected cast");
+    };
+    let Expr::MethodCall { recv, method, .. } = expr.as_ref() else {
+        panic!("expected .len()");
+    };
+    assert_eq!(method, "len");
+    let Expr::Index { base, index, .. } = recv.as_ref() else {
+        panic!("expected indexing");
+    };
+    assert!(matches!(base.as_ref(), Expr::FieldAccess { name, .. } if name == "items"));
+    assert!(matches!(index.as_ref(), Expr::Range { lo: Some(_), hi: Some(_), .. }));
+}
+
+#[test]
+fn parses_struct_literal_with_functional_update() {
+    let file = parse_src(
+        "fn f(base: Config) -> Config {\n\
+         \x20   Config { retries: 3, name: base.name.clone(), ..base }\n}\n",
+    );
+    let Expr::StructLit { path, fields, base, .. } = first_expr(&file) else {
+        panic!("expected struct literal");
+    };
+    assert_eq!(path.last().map(String::as_str), Some("Config"));
+    assert_eq!(fields.len(), 2);
+    assert_eq!(fields[0].0, "retries");
+    assert!(base.is_some(), "..base must be captured");
+}
+
+#[test]
+fn parses_macro_calls_exact_and_recovered() {
+    let file = parse_src(
+        "fn f(x: Option<u32>) -> bool {\n\
+         \x20   let v = vec![1, 2, 3];\n\
+         \x20   drop(v);\n\
+         \x20   matches!(x, Some(n) if n > 2)\n}\n",
+    );
+    let Stmt::Let { init: Some(Expr::MacroCall { name, args, parsed, .. }), .. } =
+        &body_stmts(&file)[0]
+    else {
+        panic!("expected vec![] init");
+    };
+    assert_eq!(name, "vec");
+    assert_eq!(args.len(), 3);
+    assert!(parsed, "vec! args are plain expressions — exact parse");
+
+    let Some(Stmt::Expr { expr: Expr::MacroCall { name, parsed, .. }, .. }) =
+        body_stmts(&file).last()
+    else {
+        panic!("expected matches! tail");
+    };
+    assert_eq!(name, "matches");
+    assert!(!parsed, "matches! takes a pattern — recovered, not parsed");
+}
+
+#[test]
+fn parses_binary_precedence_and_casts() {
+    let file = parse_src("fn f(a: u64, b: u64, c: u64) -> u64 {\n    a + b * c\n}\n");
+    let Expr::Binary { op, lhs, rhs, .. } = first_expr(&file) else {
+        panic!("expected binary");
+    };
+    assert_eq!(op, "+");
+    assert!(matches!(lhs.as_ref(), Expr::Path { .. }));
+    assert!(
+        matches!(rhs.as_ref(), Expr::Binary { op, .. } if op == "*"),
+        "* must bind tighter than +"
+    );
+}
+
+#[test]
+fn parses_compound_assignment() {
+    let file = parse_src("fn f(mut x: u64) {\n    x += 1;\n    x = 0;\n}\n");
+    let stmts = body_stmts(&file);
+    assert!(matches!(
+        &stmts[0],
+        Stmt::Expr { expr: Expr::Assign { op: Some(op), .. }, .. } if op == "+"
+    ));
+    assert!(matches!(
+        &stmts[1],
+        Stmt::Expr { expr: Expr::Assign { op: None, .. }, .. }
+    ));
+}
+
+#[test]
+fn parses_tuples_arrays_refs_unary() {
+    let file = parse_src(
+        "fn f(x: u32) -> (u32, bool) {\n\
+         \x20   let a = [0u8; 16];\n\
+         \x20   let r = &mut a;\n\
+         \x20   (!x, -1 < 0)\n}\n",
+    );
+    let stmts = body_stmts(&file);
+    assert!(matches!(
+        &stmts[0],
+        Stmt::Let { init: Some(Expr::Array { elems, .. }), .. } if elems.len() == 2
+    ));
+    assert!(matches!(
+        &stmts[1],
+        Stmt::Let { init: Some(Expr::Ref { is_mut: true, .. }), .. }
+    ));
+    let Some(Stmt::Expr { expr: Expr::Tuple { elems, .. }, .. }) = stmts.last() else {
+        panic!("expected tuple tail");
+    };
+    assert_eq!(elems.len(), 2);
+    assert!(matches!(&elems[0], Expr::Unary { op: '!', .. }));
+}
+
+#[test]
+fn parses_impl_blocks_and_traits() {
+    let file = parse_src(
+        "impl Iterator for Segment {\n\
+         \x20   fn next(&mut self) -> Option<u32> { None }\n\
+         }\n\
+         trait Store {\n\
+         \x20   fn get(&self, k: &[u8]) -> Option<u32>;\n\
+         \x20   fn has(&self, k: &[u8]) -> bool { self.get(k).is_some() }\n\
+         }\n",
+    );
+    let Item::Impl { self_ty, trait_, items, .. } = &file.items[0] else {
+        panic!("expected impl");
+    };
+    assert_eq!(self_ty, "Segment");
+    assert_eq!(trait_.as_deref(), Some("Iterator"));
+    assert!(matches!(&items[0], Item::Fn(f) if f.has_self && f.name == "next"));
+
+    let Item::Trait { name, items, .. } = &file.items[1] else {
+        panic!("expected trait");
+    };
+    assert_eq!(name, "Store");
+    assert!(matches!(&items[0], Item::Fn(f) if f.body.is_none()), "signature-only method");
+    assert!(matches!(&items[1], Item::Fn(f) if f.body.is_some()), "default method body parses");
+}
+
+#[test]
+fn parses_nested_modules_and_items_in_bodies() {
+    let file = parse_src(
+        "mod tests {\n\
+         \x20   pub fn outer() {\n\
+         \x20       fn inner() {}\n\
+         \x20       inner();\n\
+         \x20   }\n\
+         }\n",
+    );
+    let Item::Mod { name, items, .. } = &file.items[0] else {
+        panic!("expected mod");
+    };
+    assert_eq!(name, "tests");
+    let Item::Fn(outer) = &items[0] else { panic!("expected fn") };
+    assert!(
+        outer
+            .body
+            .as_ref()
+            .unwrap()
+            .stmts
+            .iter()
+            .any(|s| matches!(s, Stmt::Item(i) if matches!(i.as_ref(), Item::Fn(_)))),
+        "nested fn must be a body item"
+    );
+}
+
+#[test]
+fn parses_return_with_and_without_value() {
+    let file = parse_src(
+        "fn f(x: u32) -> u32 {\n\
+         \x20   if x == 0 { return 1; }\n\
+         \x20   return x;\n}\n",
+    );
+    let mut returns = Vec::new();
+    liquid_lint::ast::walk_block(first_fn(&file).body.as_ref().unwrap(), &mut |e| {
+        if let Expr::Return { value, .. } = e {
+            returns.push(value.is_some());
+        }
+    });
+    assert_eq!(returns, vec![true, true]);
+}
+
+// ---------------------------------------------------------------------
+// CFG shapes: branch, loop, early return.
+// ---------------------------------------------------------------------
+
+fn cfg_of(src: &str) -> cfg::Cfg {
+    let file = parse_src(src);
+    cfg::lower_fn(first_fn(&file))
+}
+
+/// Blocks reachable from `from`.
+fn reachable(g: &cfg::Cfg, from: usize) -> Vec<usize> {
+    let mut seen = vec![false; g.blocks.len()];
+    let mut stack = vec![from];
+    while let Some(b) = stack.pop() {
+        if std::mem::replace(&mut seen[b], true) {
+            continue;
+        }
+        stack.extend(g.blocks[b].succs.iter().copied());
+    }
+    (0..g.blocks.len()).filter(|&b| seen[b]).collect()
+}
+
+#[test]
+fn cfg_branch_forks_and_rejoins() {
+    let g = cfg_of(
+        "fn f(x: u32) -> u32 {\n\
+         \x20   if x == 0 { one() } else { two() }\n}\n",
+    );
+    // Some block forks two ways, and both sides reach the exit.
+    let fork = g
+        .blocks
+        .iter()
+        .position(|b| b.succs.len() == 2)
+        .expect("an if must produce a two-way fork");
+    for &side in &g.blocks[fork].succs {
+        assert!(
+            reachable(&g, side).contains(&g.exit),
+            "both branch sides must rejoin and reach exit"
+        );
+    }
+}
+
+#[test]
+fn cfg_loop_has_back_edge() {
+    let g = cfg_of("fn f() {\n    while running() {\n        step();\n    }\n}\n");
+    let has_back_edge = g
+        .blocks
+        .iter()
+        .enumerate()
+        .any(|(i, b)| b.succs.iter().any(|&s| s <= i && s != g.exit));
+    assert!(has_back_edge, "a while loop must lower to a cycle");
+    assert!(reachable(&g, g.entry).contains(&g.exit), "loop exit edge missing");
+}
+
+#[test]
+fn cfg_infinite_loop_without_break_cannot_reach_exit() {
+    let g = cfg_of("fn f() {\n    loop {\n        step();\n    }\n}\n");
+    assert!(
+        !reachable(&g, g.entry).contains(&g.exit),
+        "loop without break has no normal exit"
+    );
+
+    let g = cfg_of("fn f() {\n    loop {\n        if done() { break; }\n        step();\n    }\n}\n");
+    assert!(
+        reachable(&g, g.entry).contains(&g.exit),
+        "break must create the exit edge"
+    );
+}
+
+#[test]
+fn cfg_early_return_edges_to_exit() {
+    let g = cfg_of(
+        "fn f(x: u32) -> u32 {\n\
+         \x20   if x == 0 {\n        return 1;\n    }\n\
+         \x20   tail()\n}\n",
+    );
+    // The exit has (at least) two predecessors: the early return and
+    // the normal fallthrough.
+    let preds = g.preds();
+    assert!(
+        preds[g.exit].len() >= 2,
+        "early return and fallthrough must both edge to exit; preds={:?}",
+        preds[g.exit]
+    );
+}
+
+#[test]
+fn cfg_try_operator_edges_to_exit() {
+    let g = cfg_of("fn f(s: &S) -> crate::Result<u32> {\n    let v = s.read()?;\n    Ok(v)\n}\n");
+    let preds = g.preds();
+    assert!(
+        preds[g.exit].len() >= 2,
+        "? must add an error edge to exit; preds={:?}",
+        preds[g.exit]
+    );
+}
+
+#[test]
+fn cfg_bodyless_fn_is_entry_exit_only() {
+    let file = parse_src("trait T {\n    fn sig(&self) -> u32;\n}\n");
+    let g = cfg::lower_fn(first_fn(&file));
+    assert_eq!(g.blocks.len(), 2);
+    assert!(g.blocks.iter().all(|b| b.ops.is_empty()));
+}
+
+// ---------------------------------------------------------------------
+// Acceptance bar: the whole tree parses.
+// ---------------------------------------------------------------------
+
+#[test]
+fn every_workspace_file_parses() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut failures = Vec::new();
+    for rel in workspace_files(&root).expect("workspace files") {
+        let src = fs::read_to_string(root.join(&rel)).expect("read");
+        let lexed = lexer::lex(&src);
+        if let Err(e) = parse::parse_file(&lexed.tokens) {
+            failures.push(format!("{rel}: {e}"));
+        }
+    }
+    assert!(failures.is_empty(), "parse failures:\n{}", failures.join("\n"));
+}

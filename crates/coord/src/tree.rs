@@ -374,7 +374,10 @@ impl CoordService {
             }
         }
         st.next_zxid += 1;
-        let node = st.nodes.get_mut(path).expect("checked above");
+        let node = match st.nodes.get_mut(path) {
+            Some(n) => n,
+            None => return Err(CoordError::NoNode(path.into())),
+        };
         node.data = data.to_vec();
         node.version += 1;
         node.mzxid = zxid;
@@ -515,10 +518,11 @@ fn fire(watches: &mut HashMap<String, Vec<Sender<WatchEvent>>>, path: &str, kind
     if let Some(list) = watches.remove(path) {
         for w in list {
             // Receiver may be gone; that watcher simply misses the event.
-            let _ = w.send(WatchEvent {
+            w.send(WatchEvent {
                 path: path.to_string(),
                 kind,
-            });
+            })
+            .ok();
         }
     }
 }
@@ -538,9 +542,8 @@ fn validate_path(path: &str) -> crate::Result<()> {
 
 fn parent_path(path: &str) -> String {
     match path.rfind('/') {
-        Some(0) => "/".to_string(),
-        Some(i) => path[..i].to_string(),
-        None => "/".to_string(),
+        Some(0) | None => "/".to_string(),
+        Some(i) => path.get(..i).unwrap_or("/").to_string(),
     }
 }
 

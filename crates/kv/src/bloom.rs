@@ -31,7 +31,9 @@ impl Bloom {
         let (h1, h2) = hashes(key);
         for i in 0..self.k {
             let bit = self.probe(h1, h2, i);
-            self.bits[bit / 64] |= 1 << (bit % 64);
+            if let Some(word) = self.bits.get_mut(bit / 64) {
+                *word |= 1 << (bit % 64);
+            }
         }
     }
 
@@ -41,7 +43,9 @@ impl Bloom {
         let (h1, h2) = hashes(key);
         (0..self.k).all(|i| {
             let bit = self.probe(h1, h2, i);
-            self.bits[bit / 64] & (1 << (bit % 64)) != 0
+            self.bits
+                .get(bit / 64)
+                .is_some_and(|word| word & (1 << (bit % 64)) != 0)
         })
     }
 

@@ -32,7 +32,10 @@ impl SsTable {
     /// Panics (debug) if entries are not strictly sorted by key.
     pub fn build(id: u64, entries: Vec<(Bytes, Option<Bytes>)>, bits_per_key: usize) -> Self {
         debug_assert!(
-            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            entries
+                .iter()
+                .zip(entries.iter().skip(1))
+                .all(|(a, b)| a.0 < b.0),
             "SSTable entries must be strictly sorted"
         );
         let mut bloom = Bloom::new(entries.len(), bits_per_key);
@@ -88,7 +91,8 @@ impl SsTable {
         self.entries
             .binary_search_by(|(k, _)| k.as_ref().cmp(key))
             .ok()
-            .map(|i| self.entries[i].1.clone())
+            .and_then(|i| self.entries.get(i))
+            .map(|(_, v)| v.clone())
     }
 
     /// Whether the bloom filter admits this key (exposed for the bloom
@@ -112,7 +116,9 @@ impl SsTable {
             Some(s) => self.entries.partition_point(|(k, _)| k.as_ref() < s),
             None => 0,
         };
-        self.entries[lo..]
+        self.entries
+            .get(lo..)
+            .unwrap_or_default()
             .iter()
             .take_while(move |(k, _)| end.is_none_or(|e| k.as_ref() < e))
     }
@@ -168,13 +174,13 @@ impl SsTable {
         if crate::wal::crc32_public(body) != le_u32(crc_bytes)? {
             return Err(KvError::Corrupt("sstable crc mismatch".into()));
         }
-        let magic = le_u32(&body[0..4])?;
+        let magic = le_u32(field(body, 0, 4)?)?;
         if magic != MAGIC {
             return Err(KvError::Corrupt(format!("bad magic {magic:#x}")));
         }
-        let id = le_u64(&body[4..12])?;
-        let count = le_u64(&body[12..20])? as usize;
-        let bloom_len = le_u32(&body[20..24])? as usize;
+        let id = le_u64(field(body, 4, 12)?)?;
+        let count = le_u64(field(body, 12, 20)?)? as usize;
+        let bloom_len = le_u32(field(body, 20, 24)?)? as usize;
         if body.len() < 24 + bloom_len {
             return Err(KvError::Corrupt("bloom truncated".into()));
         }
@@ -231,6 +237,14 @@ impl SsTable {
         let data = std::fs::read(path)?;
         SsTable::decode(&data)
     }
+}
+
+/// Borrows `body[lo..hi]`, turning a short body into a corruption error
+/// instead of a panic — decode runs on bytes that crossed a
+/// fault-injected medium, so no slice length can be trusted.
+fn field(body: &[u8], lo: usize, hi: usize) -> crate::Result<&[u8]> {
+    body.get(lo..hi)
+        .ok_or_else(|| KvError::Corrupt(format!("truncated field at {lo}..{hi}")))
 }
 
 /// Reads a little-endian u32; a short slice is a corruption error, not

@@ -135,7 +135,7 @@ impl LsmStore {
 
     /// Fully in-memory store with default tuning.
     pub fn in_memory() -> Self {
-        // lint:allow(unwrap, reason=default config has no dir and a disabled injector, so open takes only the infallible in-memory path)
+        // lint:allow(panic-reachability, reason=default config has no dir and a disabled injector, so open takes only the infallible in-memory path)
         LsmStore::open(LsmConfig::default()).expect("in-memory open cannot fail")
     }
 
@@ -248,7 +248,10 @@ impl LsmStore {
         if let Some(dir) = &self.config.dir {
             table.write_to(&dir.join(format!("L0-{id}.sst")))?;
         }
-        self.levels[0].insert(0, Arc::new(table));
+        match self.levels.get_mut(0) {
+            Some(l0) => l0.insert(0, Arc::new(table)),
+            None => self.levels.push(vec![Arc::new(table)]),
+        }
         self.wal.truncate()?;
         self.stats.flushes += 1;
         self.maybe_compact()?;

@@ -180,14 +180,20 @@ fn decode_all(data: &[u8]) -> (Vec<WalOp>, usize) {
             break;
         }
         let body = &data[pos + 4..pos + 4 + body_len];
-        let Ok(crc_bytes) = <[u8; 4]>::try_from(&body[0..4]) else {
+        let Some(crc_slice) = body.get(0..4) else {
+            break;
+        };
+        let Ok(crc_bytes) = <[u8; 4]>::try_from(crc_slice) else {
             break;
         };
         let stored_crc = u32::from_le_bytes(crc_bytes);
-        if crc32(&body[4..]) != stored_crc {
+        let Some(payload) = body.get(4..) else {
+            break;
+        };
+        if crc32(payload) != stored_crc {
             break;
         }
-        match decode_body(&body[4..]) {
+        match decode_body(payload) {
             Some(op) => ops.push(op),
             None => break,
         }
@@ -197,8 +203,8 @@ fn decode_all(data: &[u8]) -> (Vec<WalOp>, usize) {
 }
 
 fn decode_body(body: &[u8]) -> Option<WalOp> {
-    let tag = body[0];
-    let klen = u32::from_le_bytes(body[1..5].try_into().ok()?) as usize;
+    let tag = *body.first()?;
+    let klen = u32::from_le_bytes(body.get(1..5)?.try_into().ok()?) as usize;
     if body.len() < 5 + klen + 4 {
         return None;
     }

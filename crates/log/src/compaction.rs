@@ -63,9 +63,12 @@ impl Log {
         // survived one pass are dropped entirely.
         let mut latest: HashMap<Bytes, (u64, bool)> = HashMap::new();
         for &base in &sealed {
-            let seg = &self.segments()[&base];
+            let seg = match self.segments().get(&base) {
+                Some(s) => s,
+                None => continue, // dropped by retention since we listed it
+            };
             let read = seg.read_from(seg.base_offset(), u64::MAX)?;
-            stats.records_before += read.records.len() as u64;
+            stats.records_before = stats.records_before.saturating_add(read.records.len() as u64);
             stats.bytes_before += seg.size_bytes();
             for rec in read.records {
                 if let Some(k) = rec.key.clone() {
@@ -88,7 +91,10 @@ impl Log {
             if injector.tick("log.compact") {
                 return Err(crate::LogError::Injected("log.compact"));
             }
-            let seg = &self.segments()[&base];
+            let seg = match self.segments().get(&base) {
+                Some(s) => s,
+                None => continue, // dropped by retention since we listed it
+            };
             let read = seg.read_from(seg.base_offset(), u64::MAX)?;
             let survivors: Vec<_> = read
                 .records

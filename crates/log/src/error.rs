@@ -18,6 +18,14 @@ pub enum LogError {
     },
     /// A record failed its CRC or was structurally invalid.
     Corrupt(String),
+    /// Offset-domain arithmetic overflowed; continuing would silently
+    /// corrupt offsets, so the operation is refused instead.
+    OffsetOverflow {
+        /// What the arithmetic was computing when it overflowed.
+        what: &'static str,
+        /// The operand that could not be advanced.
+        value: u64,
+    },
     /// A fault injector fired at the named operation (simulated crash).
     Injected(&'static str),
 }
@@ -32,6 +40,9 @@ impl std::fmt::Display for LogError {
                 end,
             } => write!(f, "offset {requested} out of range [{start}, {end})"),
             LogError::Corrupt(msg) => write!(f, "corrupt log data: {msg}"),
+            LogError::OffsetOverflow { what, value } => {
+                write!(f, "offset arithmetic overflow: {what} (operand {value})")
+            }
             LogError::Injected(op) => write!(f, "injected fault at {op}"),
         }
     }
@@ -67,6 +78,18 @@ mod tests {
         assert!(LogError::Corrupt("bad crc".into())
             .to_string()
             .contains("bad crc"));
+    }
+
+    #[test]
+    fn offset_overflow_names_the_computation_and_operand() {
+        let e = LogError::OffsetOverflow {
+            what: "advancing the read cursor past the last record",
+            value: u64::MAX,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("offset arithmetic overflow"), "{msg}");
+        assert!(msg.contains("read cursor"), "{msg}");
+        assert!(msg.contains(&u64::MAX.to_string()), "{msg}");
     }
 
     #[test]

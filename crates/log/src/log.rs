@@ -122,18 +122,17 @@ impl Log {
         };
         // The newest recovered segment becomes active again; if none,
         // start fresh at offset 0.
-        if let Some((&base, _)) = log.segments.iter().next_back() {
-            let next = log.segments[&base].next_offset();
-            log.roll_new_segment(next)?;
-        } else {
-            log.roll_new_segment(0)?;
+        let next = log.segments.values().next_back().map(Segment::next_offset);
+        match next {
+            Some(next) => log.roll_new_segment(next)?,
+            None => log.roll_new_segment(0)?,
         }
         Ok(log)
     }
 
     /// Convenience: in-memory log with default config.
     pub fn in_memory(clock: SharedClock) -> Self {
-        // lint:allow(unwrap, reason=default config uses in-memory storage with a disabled injector; open has no fallible step on that path)
+        // lint:allow(panic-reachability, reason=default config uses in-memory storage with a disabled injector; open has no fallible step on that path)
         Log::open(LogConfig::default(), clock).expect("memory log cannot fail")
     }
 
@@ -250,15 +249,20 @@ impl Log {
             let read = seg.read_from(from, budget)?;
             if let Some((cache, _)) = &self.cache {
                 let file_id = self.file_id(base);
-                cost += cache
-                    .lock()
-                    .read(file_id, read.start_pos, read.bytes_scanned as usize)
-                    .cost_ns;
+                cost = cost.saturating_add(
+                    cache
+                        .lock()
+                        .read(file_id, read.start_pos, read.bytes_scanned as usize)
+                        .cost_ns,
+                );
             }
             let bytes: u64 = read.records.iter().map(|r| r.wire_size() as u64).sum();
             budget = budget.saturating_sub(bytes);
             if let Some(last) = read.records.last() {
-                cursor = last.offset + 1;
+                cursor = last.offset.checked_add(1).ok_or(LogError::OffsetOverflow {
+                    what: "advancing the read cursor past the last record",
+                    value: last.offset,
+                })?;
             }
             records.extend(read.records);
         }
@@ -291,7 +295,11 @@ impl Log {
                     .sealed_bases()
                     .first()
                     .copied()
-                    .filter(|b| self.segments[b].max_timestamp() + max_age <= now);
+                    .filter(|b| {
+                        self.segments
+                            .get(b)
+                            .is_some_and(|s| s.max_timestamp() + max_age <= now)
+                    });
                 match victim {
                     Some(base) => {
                         self.drop_segment(base)?;
@@ -370,18 +378,18 @@ impl Log {
     }
 
     pub(crate) fn active(&self) -> &Segment {
-        // lint:allow(unwrap, reason=open() always rolls a segment and nothing removes the last one, so the map is never empty)
+        // lint:allow(panic-reachability, reason=open() always rolls a segment and nothing removes the last one, so the map is never empty)
         self.segments.values().next_back().expect("log non-empty")
     }
 
     pub(crate) fn active_base(&self) -> u64 {
-        // lint:allow(unwrap, reason=open() always rolls a segment and nothing removes the last one, so the map is never empty)
+        // lint:allow(panic-reachability, reason=open() always rolls a segment and nothing removes the last one, so the map is never empty)
         *self.segments.keys().next_back().expect("log non-empty")
     }
 
     fn active_mut(&mut self) -> &mut Segment {
         let base = self.active_base();
-        // lint:allow(unwrap, reason=base came from active_base on the same map under &mut self, so the entry is present)
+        // lint:allow(panic-reachability, reason=base came from active_base on the same map under &mut self, so the entry is present)
         self.segments.get_mut(&base).expect("active exists")
     }
 

@@ -92,17 +92,17 @@ impl Record {
             )));
         }
         let body = &data[4..4 + body_len];
-        let stored_crc = le_u32(&body[0..4])?;
-        let actual_crc = crc32(&body[4..]);
+        let stored_crc = le_u32(field(body, 0, 4)?)?;
+        let actual_crc = crc32(field(body, 4, body.len())?);
         if stored_crc != actual_crc {
             return Err(LogError::Corrupt(format!(
                 "crc mismatch: stored {stored_crc:#010x} actual {actual_crc:#010x}"
             )));
         }
-        let offset = le_u64(&body[4..12])?;
-        let timestamp = le_u64(&body[12..20])?;
-        let klen = le_i32(&body[20..24])?;
-        let rest = &body[24..];
+        let offset = le_u64(field(body, 4, 12)?)?;
+        let timestamp = le_u64(field(body, 12, 20)?)?;
+        let klen = le_i32(field(body, 20, 24)?)?;
+        let rest = field(body, 24, body.len())?;
         let (key, value) = if klen < 0 {
             (None, Bytes::copy_from_slice(rest))
         } else {
@@ -125,6 +125,14 @@ impl Record {
             4 + body_len,
         ))
     }
+}
+
+/// Borrows `body[lo..hi]`, turning a short body into a corruption error
+/// instead of a panic — decode runs on bytes that crossed a
+/// fault-injected medium, so no slice length can be trusted.
+fn field(body: &[u8], lo: usize, hi: usize) -> crate::Result<&[u8]> {
+    body.get(lo..hi)
+        .ok_or_else(|| LogError::Corrupt(format!("truncated field at {lo}..{hi}")))
 }
 
 /// Reads a little-endian u32; a short slice is a corruption error, not

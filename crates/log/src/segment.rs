@@ -81,12 +81,12 @@ impl Segment {
         let total = seg.storage.len();
         let mut pos = 0u64;
         while pos < total {
-            let remaining = (total - pos) as usize;
+            let remaining = total.saturating_sub(pos) as usize;
             let chunk = seg.storage.read_at(pos, remaining)?;
             match Record::decode(&chunk) {
                 Ok((rec, used)) => {
                     seg.note_appended(&rec, pos, used as u64);
-                    pos += used as u64;
+                    pos = pos.saturating_add(used as u64);
                 }
                 Err(_) => {
                     // Torn tail: discard everything from here.
@@ -175,7 +175,9 @@ impl Segment {
                 _ => self.time_index.push((record.timestamp, record.offset)),
             }
         }
-        self.next_offset = record.offset + 1;
+        // Saturate rather than wrap: a wrapped next_offset would silently
+        // re-assign offset 0 and corrupt the log's dense-offset invariant.
+        self.next_offset = record.offset.saturating_add(1);
         self.records += 1;
     }
 
@@ -183,9 +185,11 @@ impl Segment {
     /// sparse index.
     pub fn seek_position(&self, offset: u64) -> u64 {
         match self.index.binary_search_by_key(&offset, |&(o, _)| o) {
-            Ok(i) => self.index[i].1,
+            // A miss falls back to byte 0: scanning from the segment
+            // start is always correct, just slower.
+            Ok(i) => self.index.get(i).map_or(0, |&(_, p)| p),
             Err(0) => 0,
-            Err(i) => self.index[i - 1].1,
+            Err(i) => self.index.get(i.saturating_sub(1)).map_or(0, |&(_, p)| p),
         }
     }
 
@@ -205,7 +209,7 @@ impl Segment {
         let mut out = Vec::new();
         let mut returned_bytes = 0u64;
         while pos < total {
-            let remaining = (total - pos) as usize;
+            let remaining = total.saturating_sub(pos) as usize;
             let chunk = self.storage.read_at(pos, remaining.min(64 * 1024))?;
             let (rec, used) = match Record::decode(&chunk) {
                 Ok(ok) => ok,
@@ -217,19 +221,19 @@ impl Segment {
                 Err(e) => return Err(e),
             };
             if rec.offset >= offset {
-                returned_bytes += used as u64;
+                returned_bytes = returned_bytes.saturating_add(used as u64);
                 out.push(rec);
                 if returned_bytes >= max_bytes {
-                    pos += used as u64;
+                    pos = pos.saturating_add(used as u64);
                     break;
                 }
             }
-            pos += used as u64;
+            pos = pos.saturating_add(used as u64);
         }
         Ok(SegmentRead {
             records: out,
             start_pos,
-            bytes_scanned: pos - start_pos,
+            bytes_scanned: pos.saturating_sub(start_pos),
         })
     }
 
@@ -238,16 +242,24 @@ impl Segment {
         // Find the latest time-index entry strictly before ts to bound
         // the scan, then walk records.
         let start_offset = match self.time_index.binary_search_by_key(&ts, |&(t, _)| t) {
-            Ok(i) => return Ok(Some(self.time_index[i].1)),
+            Ok(i) => return Ok(self.time_index.get(i).map(|&(_, o)| o)),
             Err(0) => self.base_offset,
-            Err(i) => self.time_index[i - 1].1,
+            Err(i) => self
+                .time_index
+                .get(i - 1)
+                .map_or(self.base_offset, |&(_, o)| o),
         };
         let mut offset = start_offset;
         while offset < self.next_offset {
             let read = self.read_from(offset, 1)?;
             match read.records.first() {
                 Some(rec) if rec.timestamp >= ts => return Ok(Some(rec.offset)),
-                Some(rec) => offset = rec.offset + 1,
+                Some(rec) => {
+                    offset = rec.offset.checked_add(1).ok_or(LogError::OffsetOverflow {
+                        what: "advancing the timestamp scan past a record",
+                        value: rec.offset,
+                    })?;
+                }
                 None => break,
             }
         }
@@ -289,6 +301,35 @@ mod tests {
         assert_eq!(s.base_offset(), 100);
         assert_eq!(s.next_offset(), 110);
         assert_eq!(s.record_count(), 10);
+    }
+
+    #[test]
+    fn next_offset_saturates_instead_of_wrapping_at_max() {
+        // Regression: `next_offset = offset + 1` used to wrap to 0 for a
+        // record at u64::MAX, silently re-opening the offset space and
+        // breaking the monotonic-offset invariant.
+        let mut s = Segment::new(u64::MAX, Box::new(MemStorage::new()), 1024);
+        s.append(&rec(u64::MAX, 7, "last")).unwrap();
+        assert_eq!(s.next_offset(), u64::MAX, "must saturate, not wrap to 0");
+        assert_eq!(s.record_count(), 1);
+        // The saturated bound also keeps the timestamp scan from running
+        // off the end of the offset space.
+        assert!(s.offset_for_timestamp(100).unwrap().is_none());
+    }
+
+    #[test]
+    fn seek_position_misses_fall_back_to_safe_scan_starts() {
+        // Regression: index binary-search misses used to index with the
+        // raw Err(i) result; now every miss maps to a position that is
+        // correct to scan from (0 or the last entry at or before it).
+        let mut s = seg(1); // index every record
+        for i in 0..5 {
+            s.append(&rec(100 + i, i, "v")).unwrap();
+        }
+        assert_eq!(s.seek_position(0), 0, "before the first entry");
+        let last = s.seek_position(104);
+        // Far past the end: clamp to the last indexed position.
+        assert_eq!(s.seek_position(u64::MAX), last);
     }
 
     #[test]

@@ -148,6 +148,7 @@ impl SegmentStorage for MemStorage {
     }
 
     fn truncate(&mut self, len: u64) -> io::Result<()> {
+        // lint:allow(dropped-result, reason=this is std Vec::truncate returning unit, not the Result-returning Storage::truncate it shadows by name)
         self.data.truncate(len as usize);
         Ok(())
     }

@@ -182,9 +182,9 @@ impl Cluster {
     /// the coordination service under `/liquid/brokers/<id>`.
     pub fn new(config: ClusterConfig, clock: SharedClock) -> Self {
         let coord = CoordService::new(clock.clone());
-        // lint:allow(unwrap, reason=the coord service was created one line up, so these static paths cannot collide or have a missing parent)
+        // lint:allow(panic-reachability, reason=the coord service was created one line up, so these static paths cannot collide or have a missing parent)
         coord.ensure_path("/liquid/brokers").expect("static path");
-        // lint:allow(unwrap, reason=the coord service was created two lines up, so these static paths cannot collide or have a missing parent)
+        // lint:allow(panic-reachability, reason=the coord service was created two lines up, so these static paths cannot collide or have a missing parent)
         coord.ensure_path("/liquid/topics").expect("static path");
         let mut brokers = BTreeMap::new();
         for id in 0..config.brokers {
@@ -196,7 +196,7 @@ impl Cluster {
                     liquid_coord::CreateMode::Ephemeral,
                     Some(session.id()),
                 )
-                // lint:allow(unwrap, reason=broker ids are unique in this loop and the tree is fresh, so the ephemeral path cannot exist yet)
+                // lint:allow(panic-reachability, reason=broker ids are unique in this loop and the tree is fresh, so the ephemeral path cannot exist yet)
                 .expect("fresh broker path");
             brokers.insert(
                 id,
@@ -375,7 +375,10 @@ impl Cluster {
         let brokers_online: HashMap<BrokerId, bool> =
             st.brokers.iter().map(|(&id, b)| (id, b.online)).collect();
         let ps = partition_mut(&mut st, tp)?;
-        let leader = match ps.leader.filter(|b| brokers_online[b]) {
+        let leader = match ps
+            .leader
+            .filter(|b| brokers_online.get(b).copied().unwrap_or(false))
+        {
             Some(l) => l,
             None => {
                 self.inner
@@ -398,17 +401,22 @@ impl Cluster {
             .get_mut(&leader)
             .ok_or_else(|| MessagingError::PartitionUnavailable(tp.clone()))?;
         let offset = leader_log.append_with_timestamp(key.clone(), value.clone(), now)?;
+        // First offset past the appended record; checked because a wrapped
+        // value here would move the high watermark back to zero.
+        let next_end = offset.checked_add(1).ok_or(MessagingError::OffsetOverflow {
+            what: "advancing past the appended record",
+            value: offset,
+        })?;
         match acks {
             AckLevel::All => {
                 // Synchronously bring every live ISR follower fully up to
                 // date, then advance the high watermark.
                 let isr = ps.isr.clone();
-                let mut synced_ends = vec![offset + 1];
+                let mut synced_ends = vec![next_end];
                 for b in isr {
-                    if b == leader || !brokers_online[&b] {
+                    if b == leader || !brokers_online.get(&b).copied().unwrap_or(false) {
                         continue;
                     }
-                    // lint:allow(held-io, reason=models a crash inside the acks=All commit path; the replica copy and the fault decision must be atomic under cluster.state or a concurrent fetch could observe a half-replicated record)
                     if self.inner.config.injector.tick("replication.fetch") {
                         // Crash mid-replication: the leader appended but
                         // not every ISR member confirmed. The high
@@ -419,7 +427,7 @@ impl Cluster {
                     self.note_replicated(copied);
                     synced_ends.push(ps.log_end(b));
                 }
-                let min_end = synced_ends.iter().copied().min().unwrap_or(offset + 1);
+                let min_end = synced_ends.iter().copied().min().unwrap_or(next_end);
                 let hw = ps.high_watermark.get();
                 ps.high_watermark.set(hw.max(min_end));
             }
@@ -428,7 +436,7 @@ impl Cluster {
                 // high watermark advances then. With a single replica the
                 // leader *is* the full ISR, so advance immediately.
                 if ps.isr == [leader] {
-                    ps.high_watermark.set(offset + 1);
+                    ps.high_watermark.set(next_end);
                 }
             }
         }
@@ -453,9 +461,12 @@ impl Cluster {
         let ps = partition_ref(&st, tp)?;
         let leader = ps
             .leader
-            .filter(|b| st.brokers[b].online)
+            .filter(|b| st.brokers.get(b).is_some_and(|br| br.online))
             .ok_or_else(|| MessagingError::PartitionUnavailable(tp.clone()))?;
-        let log = &ps.replicas[&leader];
+        let log = ps
+            .replicas
+            .get(&leader)
+            .ok_or_else(|| MessagingError::PartitionUnavailable(tp.clone()))?;
         let hw = ps.high_watermark.get();
         if offset >= hw {
             // Tail fetch — but reject offsets beyond the log end as a
@@ -498,7 +509,10 @@ impl Cluster {
         let leader = ps
             .leader
             .ok_or_else(|| MessagingError::PartitionUnavailable(tp.clone()))?;
-        Ok(ps.replicas[&leader].start_offset())
+        ps.replicas
+            .get(&leader)
+            .map(|log| log.start_offset())
+            .ok_or_else(|| MessagingError::PartitionUnavailable(tp.clone()))
     }
 
     /// High watermark (first offset a consumer cannot yet read).
@@ -515,7 +529,10 @@ impl Cluster {
         let leader = ps
             .leader
             .ok_or_else(|| MessagingError::PartitionUnavailable(tp.clone()))?;
-        Ok(ps.replicas[&leader].next_offset())
+        ps.replicas
+            .get(&leader)
+            .map(|log| log.next_offset())
+            .ok_or_else(|| MessagingError::PartitionUnavailable(tp.clone()))
     }
 
     /// First offset whose record timestamp is `>= ts` (rewind by time).
@@ -529,7 +546,11 @@ impl Cluster {
         let leader = ps
             .leader
             .ok_or_else(|| MessagingError::PartitionUnavailable(tp.clone()))?;
-        Ok(ps.replicas[&leader].offset_for_timestamp(ts)?)
+        let log = ps
+            .replicas
+            .get(&leader)
+            .ok_or_else(|| MessagingError::PartitionUnavailable(tp.clone()))?;
+        Ok(log.offset_for_timestamp(ts)?)
     }
 
     /// Current leader of a partition.
@@ -561,15 +582,19 @@ impl Cluster {
         let mut total = 0u64;
         let topics: Vec<String> = st.topics.keys().cloned().collect();
         for topic in &topics {
-            let nparts = st.topics[topic].partitions.len();
+            let nparts = st.topics.get(topic).map_or(0, |t| t.partitions.len());
             for p in 0..nparts {
                 let Some(t) = st.topics.get_mut(topic) else {
                     break;
                 };
-                let ps = &mut t.partitions[p];
-                let Some(leader) = ps.leader.filter(|b| online[b]) else {
+                let Some(ps) = t.partitions.get_mut(p) else {
+                    break;
+                };
+                let Some(leader) = ps
+                    .leader
+                    .filter(|b| online.get(b).copied().unwrap_or(false))
+                else {
                     // Try to recover leadership if a replica came back.
-                    // lint:allow(held-io, reason=models a controller crash mid-election; electing under cluster.state is what makes leadership transitions atomic to producers and fetchers)
                     if self.inner.config.injector.tick("cluster.election") {
                         // Controller crash before the election: the
                         // partition stays leaderless until the next tick.
@@ -584,10 +609,9 @@ impl Cluster {
                     .assignment
                     .iter()
                     .copied()
-                    .filter(|&b| b != leader && online[&b])
+                    .filter(|&b| b != leader && online.get(&b).copied().unwrap_or(false))
                     .collect();
                 for b in followers {
-                    // lint:allow(held-io, reason=models a follower crash mid-catch-up; the copy plus ISR/high-watermark bookkeeping below form one atomic transition under cluster.state)
                     if self.inner.config.injector.tick("replication.fetch") {
                         return Err(MessagingError::Injected("replication.fetch"));
                     }
@@ -599,7 +623,10 @@ impl Cluster {
                 let leader_end = ps.log_end(leader);
                 let mut isr = vec![leader];
                 for &b in &ps.assignment {
-                    if b != leader && online[&b] && leader_end - ps.log_end(b) <= lag_max {
+                    if b != leader
+                        && online.get(&b).copied().unwrap_or(false)
+                        && leader_end - ps.log_end(b) <= lag_max
+                    {
                         isr.push(b);
                     }
                 }
@@ -650,7 +677,6 @@ impl Cluster {
                 // ISR on the next replication tick instead.
                 if ps.leader == Some(id) {
                     ps.leader = None;
-                    // lint:allow(held-io, reason=models a controller crash between deposing the dead leader and electing a successor; both steps must sit under cluster.state so no client sees two leaders)
                     if self.inner.config.injector.tick("cluster.election") {
                         // Controller crash mid-failover: the broker is
                         // already offline and its session expired, but no
@@ -947,8 +973,15 @@ fn catch_up(
     let mut from = ps.log_end(follower).min(to);
     while from > 0 {
         let off = from - 1;
-        let leader_rec = record_at(&ps.replicas[&leader], off);
-        let follower_rec = record_at(&ps.replicas[&follower], off);
+        // Replica maps never shrink, but a missing entry must not panic
+        // on a replication path; treat it like the compaction hole below.
+        let (Some(leader_log), Some(follower_log)) =
+            (ps.replicas.get(&leader), ps.replicas.get(&follower))
+        else {
+            break;
+        };
+        let leader_rec = record_at(leader_log, off);
+        let follower_rec = record_at(follower_log, off);
         match (leader_rec, follower_rec) {
             (Some(l), Some(f)) => {
                 if l.key == f.key && l.value == f.value && l.timestamp == f.timestamp {

@@ -183,10 +183,19 @@ impl Consumer {
         let mut out = Vec::new();
         let tps: Vec<TopicPartition> = st.positions.keys().cloned().collect();
         for tp in tps {
-            let pos = st.positions[&tp];
+            let Some(&pos) = st.positions.get(&tp) else {
+                continue; // assignment revoked between listing and fetch
+            };
             let msgs = self.cluster.fetch(&tp, pos, self.max_poll_bytes)?;
             if let Some(last) = msgs.last() {
-                st.positions.insert(tp.clone(), last.offset + 1);
+                let next = last
+                    .offset
+                    .checked_add(1)
+                    .ok_or(crate::MessagingError::OffsetOverflow {
+                        what: "advancing the consumer position past a message",
+                        value: last.offset,
+                    })?;
+                st.positions.insert(tp.clone(), next);
             }
             if !msgs.is_empty() {
                 out.push((tp, msgs));

@@ -37,6 +37,14 @@ pub enum MessagingError {
         /// The offending client id.
         client: String,
     },
+    /// Offset-domain arithmetic overflowed; continuing would silently
+    /// corrupt offsets or high watermarks, so the operation is refused.
+    OffsetOverflow {
+        /// What the arithmetic was computing when it overflowed.
+        what: &'static str,
+        /// The operand that could not be advanced.
+        value: u64,
+    },
     /// A fault injector fired at the named operation (simulated crash).
     Injected(&'static str),
 }
@@ -60,6 +68,9 @@ impl std::fmt::Display for MessagingError {
             } => write!(f, "client {client} throttled; retry in {retry_after_ms}ms"),
             MessagingError::QuotaOverflow { client } => {
                 write!(f, "quota usage counter overflow for client {client}")
+            }
+            MessagingError::OffsetOverflow { what, value } => {
+                write!(f, "offset arithmetic overflow: {what} (operand {value})")
             }
             MessagingError::Injected(op) => write!(f, "injected fault at {op}"),
         }
@@ -94,5 +105,17 @@ mod tests {
         assert!(MessagingError::UnknownTopic("x".into())
             .to_string()
             .contains('x'));
+    }
+
+    #[test]
+    fn offset_overflow_names_the_computation_and_operand() {
+        let e = MessagingError::OffsetOverflow {
+            what: "advancing past the appended record",
+            value: u64::MAX,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("offset arithmetic overflow"), "{msg}");
+        assert!(msg.contains("appended record"), "{msg}");
+        assert!(msg.contains(&u64::MAX.to_string()), "{msg}");
     }
 }

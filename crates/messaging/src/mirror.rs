@@ -75,10 +75,19 @@ impl MirrorMaker {
         let mut copied = 0;
         let tps: Vec<TopicPartition> = self.positions.keys().cloned().collect();
         for tp in tps {
-            let pos = self.positions[&tp];
+            let Some(&pos) = self.positions.get(&tp) else {
+                continue; // partition no longer mirrored
+            };
             let batch = self.source.fetch(&tp, pos, 1 << 20)?;
             for msg in batch {
-                self.positions.insert(tp.clone(), msg.offset + 1);
+                let next = msg
+                    .offset
+                    .checked_add(1)
+                    .ok_or(crate::MessagingError::OffsetOverflow {
+                        what: "advancing the mirror position past a message",
+                        value: msg.offset,
+                    })?;
+                self.positions.insert(tp.clone(), next);
                 // Preserve key and partition so semantic routing holds
                 // in the destination colo.
                 self.destination
@@ -105,9 +114,9 @@ impl MirrorMaker {
 
     /// Messages this mirror still has to copy.
     pub fn lag(&self) -> crate::Result<u64> {
-        let mut lag = 0;
+        let mut lag = 0u64;
         for (tp, &pos) in &self.positions {
-            lag += self.source.latest_offset(tp)?.saturating_sub(pos);
+            lag = lag.saturating_add(self.source.latest_offset(tp)?.saturating_sub(pos));
         }
         Ok(lag)
     }

@@ -71,7 +71,7 @@ impl OffsetManager {
             inner: Mutex::new(
                 "offsets.inner",
                 Inner {
-                    // lint:allow(unwrap, reason=the config above uses in-memory storage with a disabled injector; open has no fallible step on that path)
+                    // lint:allow(panic-reachability, reason=the config above uses in-memory storage with a disabled injector; open has no fallible step on that path)
                     log: Log::open(cfg, clock.clone()).expect("memory log"),
                     index: HashMap::new(),
                     history: HashMap::new(),

@@ -83,6 +83,7 @@ impl<'a> KeyedAggregate<'a> {
     pub fn top_k(&self, store: &mut StateStore, k: usize) -> Vec<(Bytes, u64)> {
         let mut all = self.scan(store);
         all.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        // lint:allow(dropped-result, reason=this is std Vec::truncate returning unit, not the Result-returning Storage::truncate it shadows by name)
         all.truncate(k);
         all
     }

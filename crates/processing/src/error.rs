@@ -11,6 +11,14 @@ pub enum ProcessingError {
     Task(String),
     /// Job configuration is invalid.
     InvalidConfig(String),
+    /// Offset-domain arithmetic overflowed while tracking positions;
+    /// continuing would silently corrupt a task's consume position.
+    OffsetOverflow {
+        /// What the arithmetic was computing when it overflowed.
+        what: &'static str,
+        /// The operand that could not be advanced.
+        value: u64,
+    },
     /// A fault injector fired at the named operation (simulated crash).
     Injected(&'static str),
 }
@@ -22,6 +30,9 @@ impl std::fmt::Display for ProcessingError {
             ProcessingError::State(e) => write!(f, "state store error: {e}"),
             ProcessingError::Task(msg) => write!(f, "task error: {msg}"),
             ProcessingError::InvalidConfig(msg) => write!(f, "invalid job config: {msg}"),
+            ProcessingError::OffsetOverflow { what, value } => {
+                write!(f, "offset arithmetic overflow: {what} (operand {value})")
+            }
             ProcessingError::Injected(op) => write!(f, "injected fault at {op}"),
         }
     }
@@ -61,5 +72,17 @@ mod tests {
         assert!(ProcessingError::InvalidConfig("x".into())
             .to_string()
             .contains("invalid"));
+    }
+
+    #[test]
+    fn offset_overflow_names_the_computation_and_operand() {
+        let e = ProcessingError::OffsetOverflow {
+            what: "advancing the task position past a message",
+            value: u64::MAX,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("offset arithmetic overflow"), "{msg}");
+        assert!(msg.contains("task position"), "{msg}");
+        assert!(msg.contains(&u64::MAX.to_string()), "{msg}");
     }
 }

@@ -387,10 +387,10 @@ impl Job {
 
     /// Total unprocessed messages across all tasks (consumer lag).
     pub fn lag(&self) -> crate::Result<u64> {
-        let mut lag = 0;
+        let mut lag = 0u64;
         for t in &self.tasks {
             for (tp, &pos) in &t.positions {
-                lag += self.cluster.latest_offset(tp)?.saturating_sub(pos);
+                lag = lag.saturating_add(self.cluster.latest_offset(tp)?.saturating_sub(pos));
             }
         }
         Ok(lag)
@@ -448,7 +448,9 @@ fn run_task_once(
         if budget == 0 {
             break;
         }
-        let pos = t.positions[&tp];
+        let Some(&pos) = t.positions.get(&tp) else {
+            continue; // partition dropped from the task's inputs
+        };
         let msgs = cluster.fetch(&tp, pos, config.fetch_bytes)?;
         for msg in msgs {
             if budget == 0 {
@@ -461,13 +463,22 @@ fn run_task_once(
                 outputs: &mut t.outputs,
             };
             t.task.process(&msg, &mut ctx)?;
-            t.positions.insert(tp.clone(), msg.offset + 1);
+            let next = msg
+                .offset
+                .checked_add(1)
+                .ok_or(crate::ProcessingError::OffsetOverflow {
+                    what: "advancing the task position past a message",
+                    value: msg.offset,
+                })?;
+            t.positions.insert(tp.clone(), next);
             t.since_checkpoint += 1;
             budget -= 1;
             processed += 1;
         }
         if is_bootstrap {
-            bootstrap_lag += cluster.latest_offset(&tp)?.saturating_sub(t.positions[&tp]);
+            let current = t.positions.get(&tp).copied().unwrap_or(pos);
+            bootstrap_lag =
+                bootstrap_lag.saturating_add(cluster.latest_offset(&tp)?.saturating_sub(current));
         }
     }
     // Leaf lock, taken last and released before returning: holding
