@@ -220,7 +220,9 @@ impl CallGraph {
         if self.deps.is_empty() || from == to {
             return true;
         }
-        self.deps.get(from).is_some_and(|ds| ds.iter().any(|d| d == to))
+        self.deps
+            .get(from)
+            .is_some_and(|ds| ds.iter().any(|d| d == to))
     }
 
     /// Breadth-first closure from every public function of the given
@@ -271,7 +273,9 @@ impl CallGraph {
 
     /// Renders the resolved graph as GraphViz DOT, clustered by crate.
     pub fn to_dot(&self) -> String {
-        let mut out = String::from("digraph liquid_callgraph {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n");
+        let mut out = String::from(
+            "digraph liquid_callgraph {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n",
+        );
         let mut crates: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
         for (i, f) in self.fns.iter().enumerate() {
             if !f.in_test {
@@ -289,10 +293,7 @@ impl CallGraph {
                 } else {
                     ", style=filled, fillcolor=\"#ffdddd\""
                 };
-                out.push_str(&format!(
-                    "    n{i} [label=\"{}\"{style}];\n",
-                    f.qualified()
-                ));
+                out.push_str(&format!("    n{i} [label=\"{}\"{style}];\n", f.qualified()));
             }
             out.push_str("  }\n");
         }
@@ -494,9 +495,7 @@ impl Analysis for MustBounds {
             // Redefinition invalidates observations made through the
             // rebound name.
             Op::Assign { to, .. } | Op::Kill { var: to } => {
-                set.retain(|r| {
-                    !r.split(['.', '[']).next().is_some_and(|head| head == to)
-                });
+                set.retain(|r| r.split(['.', '[']).next().is_none_or(|head| head != to));
             }
             _ => {}
         }

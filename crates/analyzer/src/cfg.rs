@@ -634,10 +634,7 @@ impl Builder {
                 self.edge_to(body_b);
                 self.edge_to(exit_b);
                 self.cur = body_b;
-                self.loops.push(LoopCtx {
-                    head,
-                    exit: exit_b,
-                });
+                self.loops.push(LoopCtx { head, exit: exit_b });
                 self.lower_bound_block(pat.as_ref(), Some(cond), body);
                 self.loops.pop();
                 self.edge_to(head);
@@ -648,10 +645,7 @@ impl Builder {
                 let exit_b = self.new_block();
                 self.edge_to(head);
                 self.cur = head;
-                self.loops.push(LoopCtx {
-                    head,
-                    exit: exit_b,
-                });
+                self.loops.push(LoopCtx { head, exit: exit_b });
                 self.lower_block(body);
                 self.loops.pop();
                 self.edge_to(head);
@@ -669,10 +663,7 @@ impl Builder {
                 self.edge_to(body_b);
                 self.edge_to(exit_b);
                 self.cur = body_b;
-                self.loops.push(LoopCtx {
-                    head,
-                    exit: exit_b,
-                });
+                self.loops.push(LoopCtx { head, exit: exit_b });
                 self.lower_bound_block(Some(pat), Some(iter), body);
                 self.loops.pop();
                 self.edge_to(head);
@@ -735,7 +726,6 @@ impl Builder {
             }
         }
     }
-
 }
 
 /// Whether an index expression is visibly bounded: `x & LITERAL`,

@@ -33,6 +33,12 @@
 //! * **fault-site** — every `injector.tick("site")` string must be
 //!   registered in `sim::failure::SITES`, and every registered site
 //!   must have at least one call site.
+//! * **obs-instrument** — every fault-injection site used by the tree
+//!   must have a twin metric: a registry instrument
+//!   (`counter`/`gauge`/`histogram`) registered under the same name,
+//!   so an injected failure is always visible in an [`obs
+//!   snapshot`](../liquid_obs/stats/index.html). Skipped when the
+//!   `obs` crate is absent (fixture trees).
 //! * **raw-io** — `std::fs`/`File::` I/O is confined to the storage
 //!   layers that route through the failure injector.
 //! * **raw-thread** — `std::thread::spawn`/`scope`/`Builder` and
@@ -74,6 +80,7 @@ pub const LINTS: &[&str] = &[
     "panic",
     "lock-order",
     "fault-site",
+    "obs-instrument",
     "raw-io",
     "raw-thread",
     "forbid-unsafe",
@@ -144,6 +151,10 @@ pub struct Context {
     /// Type names with a workspace `impl` block (used to decide
     /// whether a qualified call points back into the workspace).
     pub known_types: BTreeSet<String>,
+    /// Whether the tree ships the `obs` crate; the obs-instrument
+    /// twin-metric check only runs when it does, so fixture trees
+    /// exercising other lints are not forced to register metrics.
+    pub has_obs: bool,
 }
 
 impl Context {
@@ -168,6 +179,8 @@ impl Context {
                 }),
             }
         }
+
+        ctx.has_obs = root.join("crates/obs/src/registry.rs").is_file();
 
         let lockdep = root.join("crates/sim/src/lockdep.rs");
         if let Ok(src) = fs::read_to_string(&lockdep) {
@@ -597,9 +610,12 @@ fn collect_struct_seeds(items: &[ast::Item], seeds: &mut BTreeSet<String>) {
     }
 }
 
+/// Parsed workspace sources plus the inter-crate dependency map.
+type LoadedWorkspace = (Vec<SourceData>, BTreeMap<String, Vec<String>>);
+
 /// Loads every workspace file and builds the call graph (used by both
 /// [`analyze_root`] and the `--emit-callgraph` mode).
-fn load_workspace(root: &Path) -> Result<(Vec<SourceData>, BTreeMap<String, Vec<String>>), String> {
+fn load_workspace(root: &Path) -> Result<LoadedWorkspace, String> {
     let mut files = Vec::new();
     for rel in workspace_files(root)? {
         let src =
@@ -669,13 +685,24 @@ pub fn analyze_root(root: &Path) -> Result<Vec<Finding>, String> {
     // Phase C: per-file rules, the interprocedural proof, then
     // `lint:allow` suppression per file.
     let mut raw_by_file: BTreeMap<&str, Vec<Finding>> = BTreeMap::new();
-    let mut used_sites: BTreeMap<String, u32> = BTreeMap::new();
+    let mut used_sites: BTreeSet<String> = BTreeSet::new();
+    // Site name → first *non-test* `injector.tick` call site (files are
+    // visited in sorted order, so "first" is deterministic). Only these
+    // need twin metrics; a tick in a `#[test]` is not a hot path.
+    let mut lib_sites: BTreeMap<String, (String, u32)> = BTreeMap::new();
+    let mut instruments: BTreeSet<String> = BTreeSet::new();
     for f in &files {
         let (raw, ticks) = analyze_file_raw(&ctx, f);
         raw_by_file.entry(&f.rel).or_default().extend(raw);
-        for (site, _) in ticks {
-            *used_sites.entry(site).or_default() += 1;
+        for (site, line) in ticks {
+            if !in_test(&f.regions, line) {
+                lib_sites
+                    .entry(site.clone())
+                    .or_insert_with(|| (f.rel.clone(), line));
+            }
+            used_sites.insert(site);
         }
+        rules::obs_instruments(&f.lexed.tokens, &mut instruments);
     }
     let mut reach_findings = Vec::new();
     rules::panic_reachability(&graph, &mut reach_findings);
@@ -699,13 +726,29 @@ pub fn analyze_root(root: &Path) -> Result<Vec<Finding>, String> {
     // hang an allow on).
     if let Some(reg) = &ctx.sites {
         for name in &reg.names {
-            if !used_sites.contains_key(name) {
+            if !used_sites.contains(name) {
                 findings.push(Finding {
                     file: "crates/sim/src/failure.rs".to_string(),
                     line: reg.line,
                     lint: "fault-site",
                     message: format!(
                         "registered fault site \"{name}\" has no injector.tick(\"{name}\") call site"
+                    ),
+                });
+            }
+        }
+    }
+    if ctx.has_obs {
+        for (site, (file, line)) in &lib_sites {
+            if !instruments.contains(site) {
+                findings.push(Finding {
+                    file: file.clone(),
+                    line: *line,
+                    lint: "obs-instrument",
+                    message: format!(
+                        "fault site \"{site}\" has no twin obs instrument — register a \
+                         counter/gauge/histogram named \"{site}\" so injected failures at \
+                         this site stay visible in registry snapshots"
                     ),
                 });
             }

@@ -130,7 +130,10 @@ pub fn panic_reachability(graph: &CallGraph, out: &mut Vec<Finding>) {
         let is_fault = FAULT_CRATES.contains(&f.crate_name.as_str());
         for p in &f.panics {
             let message = if is_fault && !p.indexing {
-                let mut m = format!("{} on a fault-injected path — return a typed error instead", p.what);
+                let mut m = format!(
+                    "{} on a fault-injected path — return a typed error instead",
+                    p.what
+                );
                 if reach.reachable[i] {
                     m.push_str(&format!(
                         " (reachable from the public API: {})",
@@ -231,10 +234,7 @@ pub fn dropped_result(
                         continue;
                     }
                 }
-                if ctx
-                    .result_sigs
-                    .contains(&(name.clone(), is_method, arity))
-                {
+                if ctx.result_sigs.contains(&(name.clone(), is_method, arity)) {
                     out.push(Finding {
                         file: rel.to_string(),
                         line,
@@ -391,6 +391,40 @@ pub fn fault_sites(
                           stays statically checkable"
                     .to_string(),
             }),
+        }
+    }
+}
+
+/// Registry instrument constructors whose first argument is the
+/// instrument name (the `_with` variants take labels after it).
+const INSTRUMENT_CTORS: &[&str] = &[
+    "counter",
+    "gauge",
+    "histogram",
+    "counter_with",
+    "gauge_with",
+    "histogram_with",
+];
+
+/// Collects the names of obs registry instruments constructed with a
+/// string-literal name (`reg.counter("log.append")`, `.gauge_with(...)`
+/// …) into `out`. Feeds the cross-tree **obs-instrument** check: every
+/// `injector.tick("site")` name must appear here as a twin metric.
+pub fn obs_instruments(tokens: &[Token], out: &mut BTreeSet<String>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || !INSTRUMENT_CTORS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if i == 0
+            || !tokens[i - 1].is_punct('.')
+            || !tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            continue;
+        }
+        if let Some(arg) = tokens.get(i + 2) {
+            if arg.kind == TokenKind::Str {
+                out.insert(arg.text.clone());
+            }
         }
     }
 }

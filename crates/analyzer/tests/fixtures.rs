@@ -130,10 +130,7 @@ fn panic_reachability_proves_through_the_call_graph() {
     let out = lint(&hit);
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert_eq!(out.status.code(), Some(1), "stdout:\n{stdout}");
-    assert!(
-        stdout.contains("[panic-reachability]"),
-        "stdout:\n{stdout}"
-    );
+    assert!(stdout.contains("[panic-reachability]"), "stdout:\n{stdout}");
     assert!(
         stdout.contains("kv::entry"),
         "finding must carry the call chain from the public API; stdout:\n{stdout}"
@@ -415,6 +412,102 @@ fn fault_site_lint_rejects_non_literal_sites() {
         ],
     );
     assert_hit(&hit, "fault-site");
+}
+
+#[test]
+fn obs_instrument_lint_requires_twin_metrics_for_tick_sites() {
+    // The obs crate is present, a lib-code tick site exists, but no
+    // instrument is registered under the site's name.
+    let obs_registry = "pub struct Registry;\n";
+    let hit = fixture(
+        "obs-instrument-hit",
+        &[
+            (
+                "crates/sim/src/failure.rs",
+                "pub const SITES: &[&str] = &[\"log.append\"];\n",
+            ),
+            ("crates/obs/src/lib.rs", LIB_HEADER),
+            ("crates/obs/src/registry.rs", obs_registry),
+            (
+                "crates/log/src/lib.rs",
+                "#![forbid(unsafe_code)]\n\
+                 pub fn f(injector: &I) {\n    injector.tick(\"log.append\");\n}\n",
+            ),
+        ],
+    );
+    let out = lint(&hit);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("[obs-instrument]") && stdout.contains("no twin obs instrument"),
+        "stdout:\n{stdout}"
+    );
+    // The finding is attributed to the tick call site, not the registry.
+    assert!(
+        stdout.contains("crates/log/src/lib.rs:3"),
+        "stdout:\n{stdout}"
+    );
+
+    // Registering a same-named counter anywhere in the tree satisfies it.
+    let clean = fixture(
+        "obs-instrument-clean",
+        &[
+            (
+                "crates/sim/src/failure.rs",
+                "pub const SITES: &[&str] = &[\"log.append\"];\n",
+            ),
+            ("crates/obs/src/lib.rs", LIB_HEADER),
+            ("crates/obs/src/registry.rs", obs_registry),
+            (
+                "crates/log/src/lib.rs",
+                "#![forbid(unsafe_code)]\n\
+                 pub fn f(injector: &I, reg: &R) {\n\
+                 \x20   let _c = reg.counter(\"log.append\");\n\
+                 \x20   injector.tick(\"log.append\");\n}\n",
+            ),
+        ],
+    );
+    assert_clean(&clean);
+
+    // Without the obs crate the check is skipped entirely (fixture
+    // trees for the other lints stay minimal).
+    let skipped = fixture(
+        "obs-instrument-skipped",
+        &[
+            (
+                "crates/sim/src/failure.rs",
+                "pub const SITES: &[&str] = &[\"log.append\"];\n",
+            ),
+            (
+                "crates/log/src/lib.rs",
+                "#![forbid(unsafe_code)]\n\
+                 pub fn f(injector: &I) {\n    injector.tick(\"log.append\");\n}\n",
+            ),
+        ],
+    );
+    assert_clean(&skipped);
+}
+
+#[test]
+fn obs_instrument_lint_ignores_test_only_tick_sites() {
+    // A tick that only happens inside #[test] code needs no twin.
+    let clean = fixture(
+        "obs-instrument-test-tick",
+        &[
+            (
+                "crates/sim/src/failure.rs",
+                "pub const SITES: &[&str] = &[\"log.append\"];\n",
+            ),
+            ("crates/obs/src/lib.rs", LIB_HEADER),
+            ("crates/obs/src/registry.rs", "pub struct Registry;\n"),
+            (
+                "crates/log/src/lib.rs",
+                "#![forbid(unsafe_code)]\n\
+                 #[test]\nfn t() {\n    let injector = I;\n    injector.tick(\"log.append\");\n}\n",
+            ),
+        ],
+    );
+    assert_clean(&clean);
 }
 
 #[test]
@@ -719,7 +812,10 @@ fn sarif_output_is_valid_2_1_0_and_keeps_deny_exit_codes() {
         stdout.contains("\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\""),
         "stdout:\n{stdout}"
     );
-    assert!(stdout.contains("\"version\":\"2.1.0\""), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("\"version\":\"2.1.0\""),
+        "stdout:\n{stdout}"
+    );
     assert!(
         stdout.contains("\"name\":\"liquid-lint\""),
         "tool.driver.name; stdout:\n{stdout}"
@@ -784,13 +880,19 @@ fn only_flag_filters_findings_by_path_prefix() {
 
     let all = run(&[]);
     let stdout = String::from_utf8_lossy(&all.stdout);
-    assert!(stdout.contains("crates/core/src/lib.rs"), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("crates/core/src/lib.rs"),
+        "stdout:\n{stdout}"
+    );
     assert!(stdout.contains("crates/kv/src/lib.rs"), "stdout:\n{stdout}");
 
     let core_only = run(&["--only", "crates/core"]);
     let stdout = String::from_utf8_lossy(&core_only.stdout);
     assert_eq!(core_only.status.code(), Some(1));
-    assert!(stdout.contains("crates/core/src/lib.rs"), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("crates/core/src/lib.rs"),
+        "stdout:\n{stdout}"
+    );
     assert!(
         !stdout.contains("crates/kv/src/lib.rs"),
         "--only must drop other crates' findings; stdout:\n{stdout}"

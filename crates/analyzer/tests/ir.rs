@@ -34,11 +34,7 @@ fn first_fn(file: &File) -> &Fn {
 
 /// The statements of the first function's body.
 fn body_stmts(file: &File) -> &[Stmt] {
-    &first_fn(file)
-        .body
-        .as_ref()
-        .expect("fn has no body")
-        .stmts
+    &first_fn(file).body.as_ref().expect("fn has no body").stmts
 }
 
 /// The expression of the first `Stmt::Expr` in the first function.
@@ -76,12 +72,17 @@ fn parses_let_else_with_tuple_struct_pattern() {
          \x20   x\n}\n",
     );
     let Stmt::Let {
-        pat, init, else_block, ..
+        pat,
+        init,
+        else_block,
+        ..
     } = &body_stmts(&file)[0]
     else {
         panic!("expected let");
     };
-    assert!(matches!(pat, Pat::TupleStruct { path, elems } if path.ends_with(&["Some".into()]) && elems.len() == 1));
+    assert!(
+        matches!(pat, Pat::TupleStruct { path, elems } if path.ends_with(&["Some".into()]) && elems.len() == 1)
+    );
     assert!(init.is_some());
     assert!(else_block.is_some(), "let-else block must be captured");
 }
@@ -92,13 +93,18 @@ fn parses_if_else_if_chain() {
         "fn f(x: u32) -> u32 {\n\
          \x20   if x == 0 { 1 } else if x == 1 { 2 } else { 3 }\n}\n",
     );
-    let Expr::If { pat, cond, else_, .. } = first_expr(&file) else {
+    let Expr::If {
+        pat, cond, else_, ..
+    } = first_expr(&file)
+    else {
         panic!("expected if");
     };
     assert!(pat.is_none());
     assert!(matches!(cond.as_ref(), Expr::Binary { op, .. } if op == "=="));
     // `else if` parses as a nested If, whose own else is a Block.
-    let Some(else_) = else_ else { panic!("missing else") };
+    let Some(else_) = else_ else {
+        panic!("missing else")
+    };
     let Expr::If { else_: inner, .. } = else_.as_ref() else {
         panic!("else-if must nest as If");
     };
@@ -124,7 +130,10 @@ fn parses_match_with_guards_and_or_patterns() {
          \x20       _ => 0,\n\
          \x20   }\n}\n",
     );
-    let Expr::Match { scrutinee, arms, .. } = first_expr(&file) else {
+    let Expr::Match {
+        scrutinee, arms, ..
+    } = first_expr(&file)
+    else {
         panic!("expected match");
     };
     assert!(matches!(scrutinee.as_ref(), Expr::Path { .. }));
@@ -143,19 +152,36 @@ fn parses_while_and_while_let() {
     );
     let stmts = body_stmts(&file);
     assert!(
-        matches!(&stmts[0], Stmt::Expr { expr: Expr::While { pat: None, .. }, .. }),
+        matches!(
+            &stmts[0],
+            Stmt::Expr {
+                expr: Expr::While { pat: None, .. },
+                ..
+            }
+        ),
         "plain while"
     );
     assert!(
-        matches!(&stmts[1], Stmt::Expr { expr: Expr::While { pat: Some(_), .. }, .. }),
+        matches!(
+            &stmts[1],
+            Stmt::Expr {
+                expr: Expr::While { pat: Some(_), .. },
+                ..
+            }
+        ),
         "while let"
     );
 }
 
 #[test]
 fn parses_for_loop() {
-    let file = parse_src("fn f(v: Vec<u32>) {\n    for (i, x) in v.iter().enumerate() { use_(i, x); }\n}\n");
-    let Expr::For { pat, iter, body, .. } = first_expr(&file) else {
+    let file = parse_src(
+        "fn f(v: Vec<u32>) {\n    for (i, x) in v.iter().enumerate() { use_(i, x); }\n}\n",
+    );
+    let Expr::For {
+        pat, iter, body, ..
+    } = first_expr(&file)
+    else {
         panic!("expected for");
     };
     assert!(matches!(pat, Pat::Tuple(ps) if ps.len() == 2));
@@ -171,7 +197,10 @@ fn parses_loop_with_break_value() {
     };
     assert!(matches!(
         &body.stmts[0],
-        Stmt::Expr { expr: Expr::Break { value: Some(_), .. }, .. }
+        Stmt::Expr {
+            expr: Expr::Break { value: Some(_), .. },
+            ..
+        }
     ));
 }
 
@@ -222,7 +251,14 @@ fn parses_field_access_and_indexing_and_ranges() {
         panic!("expected indexing");
     };
     assert!(matches!(base.as_ref(), Expr::FieldAccess { name, .. } if name == "items"));
-    assert!(matches!(index.as_ref(), Expr::Range { lo: Some(_), hi: Some(_), .. }));
+    assert!(matches!(
+        index.as_ref(),
+        Expr::Range {
+            lo: Some(_),
+            hi: Some(_),
+            ..
+        }
+    ));
 }
 
 #[test]
@@ -231,7 +267,10 @@ fn parses_struct_literal_with_functional_update() {
         "fn f(base: Config) -> Config {\n\
          \x20   Config { retries: 3, name: base.name.clone(), ..base }\n}\n",
     );
-    let Expr::StructLit { path, fields, base, .. } = first_expr(&file) else {
+    let Expr::StructLit {
+        path, fields, base, ..
+    } = first_expr(&file)
+    else {
         panic!("expected struct literal");
     };
     assert_eq!(path.last().map(String::as_str), Some("Config"));
@@ -248,8 +287,12 @@ fn parses_macro_calls_exact_and_recovered() {
          \x20   drop(v);\n\
          \x20   matches!(x, Some(n) if n > 2)\n}\n",
     );
-    let Stmt::Let { init: Some(Expr::MacroCall { name, args, parsed, .. }), .. } =
-        &body_stmts(&file)[0]
+    let Stmt::Let {
+        init: Some(Expr::MacroCall {
+            name, args, parsed, ..
+        }),
+        ..
+    } = &body_stmts(&file)[0]
     else {
         panic!("expected vec![] init");
     };
@@ -257,8 +300,10 @@ fn parses_macro_calls_exact_and_recovered() {
     assert_eq!(args.len(), 3);
     assert!(parsed, "vec! args are plain expressions — exact parse");
 
-    let Some(Stmt::Expr { expr: Expr::MacroCall { name, parsed, .. }, .. }) =
-        body_stmts(&file).last()
+    let Some(Stmt::Expr {
+        expr: Expr::MacroCall { name, parsed, .. },
+        ..
+    }) = body_stmts(&file).last()
     else {
         panic!("expected matches! tail");
     };
@@ -290,7 +335,10 @@ fn parses_compound_assignment() {
     ));
     assert!(matches!(
         &stmts[1],
-        Stmt::Expr { expr: Expr::Assign { op: None, .. }, .. }
+        Stmt::Expr {
+            expr: Expr::Assign { op: None, .. },
+            ..
+        }
     ));
 }
 
@@ -309,9 +357,16 @@ fn parses_tuples_arrays_refs_unary() {
     ));
     assert!(matches!(
         &stmts[1],
-        Stmt::Let { init: Some(Expr::Ref { is_mut: true, .. }), .. }
+        Stmt::Let {
+            init: Some(Expr::Ref { is_mut: true, .. }),
+            ..
+        }
     ));
-    let Some(Stmt::Expr { expr: Expr::Tuple { elems, .. }, .. }) = stmts.last() else {
+    let Some(Stmt::Expr {
+        expr: Expr::Tuple { elems, .. },
+        ..
+    }) = stmts.last()
+    else {
         panic!("expected tuple tail");
     };
     assert_eq!(elems.len(), 2);
@@ -329,7 +384,13 @@ fn parses_impl_blocks_and_traits() {
          \x20   fn has(&self, k: &[u8]) -> bool { self.get(k).is_some() }\n\
          }\n",
     );
-    let Item::Impl { self_ty, trait_, items, .. } = &file.items[0] else {
+    let Item::Impl {
+        self_ty,
+        trait_,
+        items,
+        ..
+    } = &file.items[0]
+    else {
         panic!("expected impl");
     };
     assert_eq!(self_ty, "Segment");
@@ -340,8 +401,14 @@ fn parses_impl_blocks_and_traits() {
         panic!("expected trait");
     };
     assert_eq!(name, "Store");
-    assert!(matches!(&items[0], Item::Fn(f) if f.body.is_none()), "signature-only method");
-    assert!(matches!(&items[1], Item::Fn(f) if f.body.is_some()), "default method body parses");
+    assert!(
+        matches!(&items[0], Item::Fn(f) if f.body.is_none()),
+        "signature-only method"
+    );
+    assert!(
+        matches!(&items[1], Item::Fn(f) if f.body.is_some()),
+        "default method body parses"
+    );
 }
 
 #[test]
@@ -358,7 +425,9 @@ fn parses_nested_modules_and_items_in_bodies() {
         panic!("expected mod");
     };
     assert_eq!(name, "tests");
-    let Item::Fn(outer) = &items[0] else { panic!("expected fn") };
+    let Item::Fn(outer) = &items[0] else {
+        panic!("expected fn")
+    };
     assert!(
         outer
             .body
@@ -438,7 +507,10 @@ fn cfg_loop_has_back_edge() {
         .enumerate()
         .any(|(i, b)| b.succs.iter().any(|&s| s <= i && s != g.exit));
     assert!(has_back_edge, "a while loop must lower to a cycle");
-    assert!(reachable(&g, g.entry).contains(&g.exit), "loop exit edge missing");
+    assert!(
+        reachable(&g, g.entry).contains(&g.exit),
+        "loop exit edge missing"
+    );
 }
 
 #[test]
@@ -449,7 +521,8 @@ fn cfg_infinite_loop_without_break_cannot_reach_exit() {
         "loop without break has no normal exit"
     );
 
-    let g = cfg_of("fn f() {\n    loop {\n        if done() { break; }\n        step();\n    }\n}\n");
+    let g =
+        cfg_of("fn f() {\n    loop {\n        if done() { break; }\n        step();\n    }\n}\n");
     assert!(
         reachable(&g, g.entry).contains(&g.exit),
         "break must create the exit edge"
@@ -507,5 +580,9 @@ fn every_workspace_file_parses() {
             failures.push(format!("{rel}: {e}"));
         }
     }
-    assert!(failures.is_empty(), "parse failures:\n{}", failures.join("\n"));
+    assert!(
+        failures.is_empty(),
+        "parse failures:\n{}",
+        failures.join("\n")
+    );
 }

@@ -1,0 +1,32 @@
+//! Validates `BENCH_*.json` files against the shared schema: a JSON
+//! object `{"experiment": <string>, "snapshot": <registry snapshot>}`.
+//!
+//! Usage: `bench_schema FILE...` — exits nonzero naming the first file
+//! that fails. CI's bench-smoke job runs this over the artifacts the
+//! experiment binaries wrote.
+
+use liquid_bench::report::check_bench_schema;
+
+fn main() {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: bench_schema FILE...");
+        std::process::exit(2);
+    }
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{file}: unreadable: {e}");
+                std::process::exit(1);
+            }
+        };
+        match check_bench_schema(&text) {
+            Ok(experiment) => println!("{file}: ok (experiment {experiment})"),
+            Err(why) => {
+                eprintln!("{file}: schema violation: {why}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

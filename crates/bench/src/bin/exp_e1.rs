@@ -100,9 +100,15 @@ fn liquid_pipeline_latency(stages: usize) -> u64 {
 fn main() {
     println!("# E1: pipeline end-to-end latency vs stage count ({EVENTS} events)");
     table_header(&["stages", "MR/DFS", "Liquid", "MR/Liquid ratio"]);
+    let obs = liquid_obs::Obs::default();
     for stages in 1..=MAX_STAGES {
         let mr = mr_pipeline_latency(stages);
         let lq = liquid_pipeline_latency(stages);
+        let reg = obs.registry();
+        let label = [("stages", format!("{stages}"))];
+        let labels: Vec<(&str, &str)> = label.iter().map(|(k, v)| (*k, v.as_str())).collect();
+        reg.gauge_with("bench.mr_latency_ns", &labels).set(mr);
+        reg.gauge_with("bench.liquid_latency_ns", &labels).set(lq);
         table_row(&[
             stages.to_string(),
             fmt_ns(mr),
@@ -115,4 +121,5 @@ fn main() {
         "paper claim: DFS-based stacks have high per-stage overhead; Liquid keeps\n\
          latency low and roughly flat as stages are added (nearline default)."
     );
+    liquid_bench::report::write_bench("e1", &obs.snapshot());
 }

@@ -8,11 +8,12 @@
 //! partitions, ingest X MB, and measure total bytes leaving the ingest
 //! path (replication traffic + consumer deliveries).
 
-use liquid_bench::report::{fmt_bytes, table_header, table_row};
+use liquid_bench::report::{fmt_bytes, table_header, table_row, write_bench};
 use liquid_messaging::consumer::StartPosition;
 use liquid_messaging::{
     AssignmentStrategy, Cluster, ClusterConfig, Consumer, Producer, TopicConfig,
 };
+use liquid_obs::Obs;
 use liquid_sim::clock::SimClock;
 
 const TOPICS: usize = 25;
@@ -25,7 +26,13 @@ const GROUPS: usize = 4;
 
 fn main() {
     let clock = SimClock::new(0);
-    let cluster = Cluster::new(ClusterConfig::with_brokers(4), clock.shared());
+    let obs = Obs::default();
+    let config = ClusterConfig::builder()
+        .brokers(4)
+        .obs(obs.clone())
+        .build()
+        .expect("valid cluster config");
+    let cluster = Cluster::new(config, clock.shared());
     for t in 0..TOPICS {
         cluster
             .create_topic(
@@ -82,32 +89,32 @@ fn main() {
         }
     }
 
-    let stats = cluster.stats();
-    let out_total = stats.bytes_out + stats.replicated_bytes;
+    let snap = cluster.snapshot();
+    let bytes_in = snap.counter("cluster.bytes_in");
+    let bytes_out = snap.counter("cluster.bytes_out");
+    let replicated_bytes = snap.counter("cluster.replicated_bytes");
+    let out_total = bytes_out + replicated_bytes;
     println!();
     table_header(&["flow", "bytes", "vs ingest"]);
     table_row(&[
         "ingest (producers)".into(),
-        fmt_bytes(stats.bytes_in),
+        fmt_bytes(bytes_in),
         "1.0x".into(),
     ]);
     table_row(&[
         "replication traffic".into(),
-        fmt_bytes(stats.replicated_bytes),
-        format!(
-            "{:.1}x",
-            stats.replicated_bytes as f64 / stats.bytes_in as f64
-        ),
+        fmt_bytes(replicated_bytes),
+        format!("{:.1}x", replicated_bytes as f64 / bytes_in as f64),
     ]);
     table_row(&[
         "consumer deliveries".into(),
-        fmt_bytes(stats.bytes_out),
-        format!("{:.1}x", stats.bytes_out as f64 / stats.bytes_in as f64),
+        fmt_bytes(bytes_out),
+        format!("{:.1}x", bytes_out as f64 / bytes_in as f64),
     ]);
     table_row(&[
         "total out".into(),
         fmt_bytes(out_total),
-        format!("{:.1}x", out_total as f64 / stats.bytes_in as f64),
+        format!("{:.1}x", out_total as f64 / bytes_in as f64),
     ]);
     println!();
     println!(
@@ -116,4 +123,5 @@ fn main() {
          (x{GROUPS} here); the shape reproduces at any scale.",
         REPLICATION - 1
     );
+    write_bench("e10", &snap);
 }

@@ -10,7 +10,8 @@ use std::time::Instant;
 
 use bytes::Bytes;
 use liquid::log::{Log, LogConfig};
-use liquid_bench::report::{table_header, table_row};
+use liquid_bench::report::{table_header, table_row, write_bench};
+use liquid_obs::Obs;
 use liquid_sim::clock::SimClock;
 
 const BATCH: u64 = 20_000;
@@ -24,10 +25,12 @@ fn main() {
         "tail-read Kmsg/s",
         "segments",
     ]);
+    let obs = Obs::default();
     let clock = SimClock::new(0);
     let mut log = Log::open(
         LogConfig {
             segment_bytes: 4 << 20,
+            obs: obs.clone(),
             ..LogConfig::default()
         },
         clock.shared(),
@@ -68,4 +71,6 @@ fn main() {
         "paper claim: append-only design => throughput constant independent of\n\
          log size, enabling cost-effective weeks-to-months retention."
     );
+    obs.registry().gauge("bench.final_log_msgs").set(size);
+    write_bench("e2", &obs.snapshot());
 }

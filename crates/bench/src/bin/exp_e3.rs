@@ -36,9 +36,11 @@ fn main() {
             clock.shared(),
         ),
     ));
+    let obs = liquid_obs::Obs::default();
     let mut log = Log::open(
         LogConfig {
             segment_bytes: 1 << 20,
+            obs: obs.clone(),
             ..LogConfig::default()
         },
         clock.shared(),
@@ -107,4 +109,10 @@ fn main() {
         "paper claim: head-of-log reads come from RAM; rewind reads are slow at\n\
          first, then prefetching makes successive sequential reads fast."
     );
+    let reg = obs.registry();
+    reg.gauge("bench.cold_batch_ns").set(cold);
+    reg.gauge("bench.warm_batch_ns").set(warm);
+    reg.gauge("bench.cache_hits").set(stats.hits);
+    reg.gauge("bench.cache_misses").set(stats.misses);
+    liquid_bench::report::write_bench("e3", &obs.snapshot());
 }

@@ -15,9 +15,14 @@ use rand::Rng;
 
 const UPDATES: u64 = 200_000;
 
-fn run(keys: usize) -> (u64, u64, u64, u64, f64) {
+fn run(keys: usize, obs: &liquid_obs::Obs) -> (u64, u64, u64, u64, f64) {
     let clock = SimClock::new(0);
-    let cluster = Cluster::new(ClusterConfig::with_brokers(1), clock.shared());
+    let config = ClusterConfig::builder()
+        .brokers(1)
+        .obs(obs.clone())
+        .build()
+        .expect("valid cluster config");
+    let cluster = Cluster::new(config, clock.shared());
     cluster
         .create_topic(
             "changelog",
@@ -69,8 +74,16 @@ fn main() {
         "size after",
         "sealed dedup",
     ]);
+    let obs = liquid_obs::Obs::default();
     for keys in [100usize, 1_000, 10_000, 100_000] {
-        let (rb, ra, bb, ba, ratio) = run(keys);
+        let (rb, ra, bb, ba, ratio) = run(keys, &obs);
+        let keys_label = keys.to_string();
+        let labels = [("keys", keys_label.as_str())];
+        let reg = obs.registry();
+        reg.gauge_with("bench.replay_before", &labels).set(rb);
+        reg.gauge_with("bench.replay_after", &labels).set(ra);
+        reg.gauge_with("bench.bytes_before", &labels).set(bb);
+        reg.gauge_with("bench.bytes_after", &labels).set(ba);
         table_row(&[
             keys.to_string(),
             rb.to_string(),
@@ -86,4 +99,5 @@ fn main() {
          both storage and state-recovery time drop — most sharply when updates\n\
          are skewed over few keys."
     );
+    liquid_bench::report::write_bench("e4", &obs.snapshot());
 }

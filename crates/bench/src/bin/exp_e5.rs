@@ -26,9 +26,14 @@ fn counting_factory() -> impl FnMut(u32) -> Box<dyn liquid_processing::StreamTas
     }
 }
 
-fn run(history: u64) -> (u64, u64, u64, u64) {
+fn run(history: u64, obs: &liquid_obs::Obs) -> (u64, u64, u64, u64) {
     let clock = SimClock::new(0);
-    let cluster = Cluster::new(ClusterConfig::with_brokers(1), clock.shared());
+    let config = ClusterConfig::builder()
+        .brokers(1)
+        .obs(obs.clone())
+        .build()
+        .expect("valid cluster config");
+    let cluster = Cluster::new(config, clock.shared());
     cluster
         .create_topic("events", TopicConfig::with_partitions(1))
         .unwrap();
@@ -100,8 +105,14 @@ fn main() {
         "full time",
         "work ratio",
     ]);
+    let obs = liquid_obs::Obs::default();
     for history in [10_000u64, 50_000, 200_000, 500_000] {
-        let (im, it, fm, ft) = run(history);
+        let (im, it, fm, ft) = run(history, &obs);
+        let history_label = history.to_string();
+        let labels = [("history", history_label.as_str())];
+        let reg = obs.registry();
+        reg.gauge_with("bench.incremental_msgs", &labels).set(im);
+        reg.gauge_with("bench.full_msgs", &labels).set(fm);
         table_row(&[
             history.to_string(),
             im.to_string(),
@@ -117,4 +128,5 @@ fn main() {
          incremental path (checkpointed offsets + maintained state) costs only\n\
          the delta, a constant ~100x saving at 1% change rate."
     );
+    liquid_bench::report::write_bench("e5", &obs.snapshot());
 }

@@ -16,9 +16,15 @@ use liquid_sim::clock::SimClock;
 
 const MESSAGES: u64 = 30_000;
 
-fn run(acks: AckLevel, label: &str) -> Vec<String> {
+fn run(acks: AckLevel, label: &str, obs: &liquid_obs::Obs) -> Vec<String> {
     let clock = SimClock::new(0);
-    let cluster = Cluster::new(ClusterConfig::with_brokers(3), clock.shared());
+    let config = ClusterConfig::builder()
+        .brokers(3)
+        .replication(3)
+        .obs(obs.clone())
+        .build()
+        .expect("valid cluster config");
+    let cluster = Cluster::new(config, clock.shared());
     cluster
         .create_topic("t", TopicConfig::with_partitions(1).replication(3))
         .unwrap();
@@ -99,12 +105,13 @@ fn main() {
         "lost",
         "loss rate",
     ]);
+    let obs = liquid_obs::Obs::default();
     for (acks, label) in [
         (AckLevel::None, "none (fire+forget)"),
         (AckLevel::Leader, "leader"),
         (AckLevel::All, "all (ISR)"),
     ] {
-        table_row(&run(acks, label));
+        table_row(&run(acks, label, &obs));
     }
     n_minus_one();
     println!();
@@ -113,4 +120,5 @@ fn main() {
          costs throughput; minimum durability acks immediately and loses the\n\
          unreplicated suffix on leader failure. N ISRs tolerate N-1 failures."
     );
+    liquid_bench::report::write_bench("e6", &obs.snapshot());
 }

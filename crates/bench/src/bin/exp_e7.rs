@@ -87,8 +87,15 @@ fn main() {
         "polite lag p99",
         "noisy processed",
     ]);
+    let obs = liquid_obs::Obs::default();
     for (iso, label) in [(true, "on (containers)"), (false, "off (shared pool)")] {
         let (p50, p99, noisy) = run(iso);
+        let mode = if iso { "on" } else { "off" };
+        let labels = [("isolation", mode)];
+        let reg = obs.registry();
+        reg.gauge_with("bench.polite_lag_p50", &labels).set(p50);
+        reg.gauge_with("bench.polite_lag_p99", &labels).set(p99);
+        reg.gauge_with("bench.noisy_processed", &labels).set(noisy);
         table_row(&[
             label.to_string(),
             p50.to_string(),
@@ -102,4 +109,5 @@ fn main() {
          minimum service level; without it a resource-intensive job degrades\n\
          its neighbours (the polite job's lag explodes)."
     );
+    liquid_bench::report::write_bench("e7", &obs.snapshot());
 }

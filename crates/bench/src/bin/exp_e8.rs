@@ -13,7 +13,18 @@ const DELTA: u64 = 10_000;
 const KEYS: u64 = 50;
 const BATCH_CYCLES: u64 = 3;
 
-fn row(name: &str, r: ArchReport) -> Vec<String> {
+fn row(name: &str, r: ArchReport, obs: &liquid_obs::Obs) -> Vec<String> {
+    let arch = name.to_ascii_lowercase();
+    let labels = [("arch", arch.as_str())];
+    let reg = obs.registry();
+    reg.gauge_with("bench.code_paths", &labels)
+        .set(u64::from(r.code_paths));
+    reg.gauge_with("bench.steady_state_work", &labels)
+        .set(r.steady_state_work);
+    reg.gauge_with("bench.reprocess_work", &labels)
+        .set(r.reprocess_work);
+    reg.gauge_with("bench.staleness_window", &labels)
+        .set(r.staleness_window);
     vec![
         name.to_string(),
         r.code_paths.to_string(),
@@ -37,12 +48,14 @@ fn main() {
         "reprocess work",
         "staleness (msgs)",
     ]);
+    let obs = liquid_obs::Obs::default();
     table_row(&row(
         "Lambda",
         run_lambda(HISTORY, DELTA, KEYS, BATCH_CYCLES),
+        &obs,
     ));
-    table_row(&row("Kappa", run_kappa(HISTORY, DELTA, KEYS)));
-    table_row(&row("Liquid", run_liquid(HISTORY, DELTA, KEYS)));
+    table_row(&row("Kappa", run_kappa(HISTORY, DELTA, KEYS), &obs));
+    table_row(&row("Liquid", run_liquid(HISTORY, DELTA, KEYS), &obs));
     println!();
     println!(
         "paper claim: Lambda doubles code and hardware (batch recomputes all\n\
@@ -50,4 +63,5 @@ fn main() {
          replays; Liquid's steady state is incremental (delta only) with the\n\
          same single code path and source-of-truth log."
     );
+    liquid_bench::report::write_bench("e8", &obs.snapshot());
 }

@@ -19,9 +19,14 @@ use liquid_sim::clock::SimClock;
 const PARTITIONS: u32 = 8;
 const MESSAGES: u64 = 80_000;
 
-fn setup() -> Cluster {
+fn setup(obs: &liquid_obs::Obs) -> Cluster {
     let clock = SimClock::new(0);
-    let cluster = Cluster::new(ClusterConfig::with_brokers(2), clock.shared());
+    let config = ClusterConfig::builder()
+        .brokers(2)
+        .obs(obs.clone())
+        .build()
+        .expect("valid cluster config");
+    let cluster = Cluster::new(config, clock.shared());
     cluster
         .create_topic("t", TopicConfig::with_partitions(PARTITIONS).replication(2))
         .unwrap();
@@ -70,12 +75,20 @@ fn consume_with(cluster: &Cluster, group: &str, members: usize) -> (u64, f64, bo
 fn main() {
     println!("# E9: consumer groups — Figure 3 semantics + scaling ({MESSAGES} msgs, {PARTITIONS} partitions)");
 
+    let obs = liquid_obs::Obs::default();
+
     // Scaling within one group.
     println!("\nqueue semantics within a group (each message to exactly one member):");
     table_header(&["members", "consumed", "exactly-once-per-group", "Kmsg/s"]);
     for members in [1usize, 2, 4, 8] {
-        let cluster = setup();
+        let cluster = setup(&obs);
         let (total, secs, disjoint) = consume_with(&cluster, "g", members);
+        let members_label = members.to_string();
+        let labels = [("members", members_label.as_str())];
+        let reg = obs.registry();
+        reg.gauge_with("bench.group_consumed", &labels).set(total);
+        reg.gauge_with("bench.group_kmsg_per_s", &labels)
+            .set((total as f64 / secs / 1_000.0) as u64);
         table_row(&[
             members.to_string(),
             total.to_string(),
@@ -92,7 +105,7 @@ fn main() {
     // Pub/sub across groups.
     println!("\npub/sub across groups (every group sees every message):");
     table_header(&["group", "members", "consumed"]);
-    let cluster = setup();
+    let cluster = setup(&obs);
     for (group, members) in [("analytics", 2usize), ("search-index", 3), ("archive", 1)] {
         let (total, _, disjoint) = consume_with(&cluster, group, members);
         assert!(disjoint);
@@ -104,4 +117,5 @@ fn main() {
          (load-balanced, each message to one member); across groups as\n\
          publish/subscribe (every group receives everything)."
     );
+    liquid_bench::report::write_bench("e9", &obs.snapshot());
 }

@@ -1,5 +1,48 @@
 //! Shared reporting helpers for experiment binaries.
 
+use std::path::PathBuf;
+
+use liquid_obs::json::{write_str, Json};
+use liquid_obs::Snapshot;
+
+/// Renders the `BENCH_<experiment>.json` document: the experiment id
+/// plus the full registry snapshot of the run.
+pub fn bench_json(experiment: &str, snapshot: &Snapshot) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"experiment\":");
+    write_str(&mut out, experiment);
+    out.push_str(",\"snapshot\":");
+    out.push_str(&snapshot.to_json());
+    out.push('}');
+    out
+}
+
+/// Writes `BENCH_<experiment>.json` into the current directory and
+/// returns the path. Experiment binaries call this last, so a run's
+/// metrics are machine-readable next to its printed tables.
+pub fn write_bench(experiment: &str, snapshot: &Snapshot) -> PathBuf {
+    let path = PathBuf::from(format!("BENCH_{experiment}.json"));
+    let text = bench_json(experiment, snapshot);
+    std::fs::write(&path, &text).expect("write BENCH json");
+    println!("wrote {}", path.display());
+    path
+}
+
+/// Validates the `BENCH_*.json` schema: a JSON object with a string
+/// `experiment` and a `snapshot` parseable as an [`Snapshot`]. Returns
+/// the experiment id on success.
+pub fn check_bench_schema(text: &str) -> Result<String, String> {
+    let doc = Json::parse(text).ok_or("not valid JSON")?;
+    let obj = doc.as_object().ok_or("top level is not an object")?;
+    let experiment = obj
+        .get("experiment")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"experiment\"")?;
+    let snap_val = obj.get("snapshot").ok_or("missing field \"snapshot\"")?;
+    Snapshot::from_value(snap_val).ok_or("\"snapshot\" is not a registry snapshot")?;
+    Ok(experiment.to_string())
+}
+
 /// Prints a Markdown-style table header.
 pub fn table_header(cols: &[&str]) {
     println!("| {} |", cols.join(" | "));
@@ -43,6 +86,32 @@ pub fn fmt_bytes(b: u64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_json_round_trips_schema() {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("cluster.messages_in".into(), 42);
+        snap.gauges
+            .insert("partition.high_watermark{tp=t-0}".into(), 7);
+        let text = bench_json("e2", &snap);
+        assert_eq!(check_bench_schema(&text).unwrap(), "e2");
+        let doc = Json::parse(&text).unwrap();
+        let back = Snapshot::from_value(doc.as_object().unwrap().get("snapshot").unwrap()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn bench_schema_rejects_malformed_documents() {
+        assert!(check_bench_schema("not json").is_err());
+        assert!(check_bench_schema("{}").is_err());
+        assert!(check_bench_schema("{\"experiment\":7,\"snapshot\":{}}").is_err());
+        assert!(check_bench_schema("{\"experiment\":\"e1\",\"snapshot\":[]}").is_err());
+        assert!(check_bench_schema(
+            "{\"experiment\":\"e1\",\
+                 \"snapshot\":{\"counters\":{},\"gauges\":{},\"histograms\":{}}}"
+        )
+        .is_ok());
+    }
 
     #[test]
     fn formats() {

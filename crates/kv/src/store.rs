@@ -12,6 +12,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use bytes::Bytes;
+use liquid_obs::{CounterHandle, Obs};
 use liquid_sim::failure::FailureInjector;
 
 use crate::memtable::Memtable;
@@ -34,6 +35,9 @@ pub struct LsmConfig {
     pub dir: Option<PathBuf>,
     /// Fault injector for WAL / flush / compaction crash points.
     pub injector: FailureInjector,
+    /// Observability domain the store reports into. Cloned configs
+    /// share instruments; the default is a fresh private domain.
+    pub obs: Obs,
 }
 
 impl Default for LsmConfig {
@@ -45,6 +49,29 @@ impl Default for LsmConfig {
             bits_per_key: 10,
             dir: None,
             injector: FailureInjector::disabled(),
+            obs: Obs::default(),
+        }
+    }
+}
+
+/// Registry handles for the store's write paths, resolved once at
+/// open. These are the twin counters of the `kv.*` fault sites.
+#[derive(Debug, Clone)]
+struct KvMetrics {
+    wal_append: CounterHandle,
+    flush: CounterHandle,
+    sst_write: CounterHandle,
+    compact: CounterHandle,
+}
+
+impl KvMetrics {
+    fn resolve(obs: &Obs) -> Self {
+        let reg = obs.registry();
+        KvMetrics {
+            wal_append: reg.counter("kv.wal-append"),
+            flush: reg.counter("kv.flush"),
+            sst_write: reg.counter("kv.sst-write"),
+            compact: reg.counter("kv.compact"),
         }
     }
 }
@@ -74,6 +101,7 @@ pub struct LsmStore {
     levels: Vec<Vec<Arc<SsTable>>>,
     next_table_id: u64,
     stats: StoreStats,
+    metrics: KvMetrics,
 }
 
 impl LsmStore {
@@ -124,6 +152,7 @@ impl LsmStore {
             }
         }
         Ok(LsmStore {
+            metrics: KvMetrics::resolve(&config.obs),
             config,
             memtable,
             wal,
@@ -142,6 +171,7 @@ impl LsmStore {
     /// Inserts or overwrites a key.
     pub fn put(&mut self, key: impl Into<Bytes>, value: impl Into<Bytes>) -> crate::Result<()> {
         let (key, value) = (key.into(), value.into());
+        self.metrics.wal_append.inc();
         if self.config.injector.tick("kv.wal-append") {
             // Crash mid-write: half the frame reaches the medium, the
             // memtable never sees the entry. Recovery drops the torn tail.
@@ -156,6 +186,7 @@ impl LsmStore {
     /// Deletes a key (writes a tombstone).
     pub fn delete(&mut self, key: impl Into<Bytes>) -> crate::Result<()> {
         let key = key.into();
+        self.metrics.wal_append.inc();
         if self.config.injector.tick("kv.wal-append") {
             self.wal.append_torn(&WalOp::Delete(key))?;
             return Err(crate::KvError::Injected("kv.wal-append"));
@@ -225,11 +256,13 @@ impl LsmStore {
         if self.memtable.is_empty() {
             return Ok(());
         }
+        self.metrics.flush.inc();
         if self.config.injector.tick("kv.flush") {
             // Crash before any state moves: memtable and WAL intact.
             return Err(crate::KvError::Injected("kv.flush"));
         }
         let entries = std::mem::take(&mut self.memtable).into_entries();
+        self.metrics.sst_write.inc();
         if self.config.injector.tick("kv.sst-write") {
             // Crash while writing the SSTable. The WAL still holds every
             // entry, so a restart would replay them into the memtable —
@@ -291,6 +324,7 @@ impl LsmStore {
             if self.levels[level].len() <= self.config.level_limit {
                 continue;
             }
+            self.metrics.compact.inc();
             if self.config.injector.tick("kv.compact") {
                 // Crash before the merge moves anything.
                 return Err(crate::KvError::Injected("kv.compact"));

@@ -68,7 +68,9 @@ impl Log {
                 None => continue, // dropped by retention since we listed it
             };
             let read = seg.read_from(seg.base_offset(), u64::MAX)?;
-            stats.records_before = stats.records_before.saturating_add(read.records.len() as u64);
+            stats.records_before = stats
+                .records_before
+                .saturating_add(read.records.len() as u64);
             stats.bytes_before += seg.size_bytes();
             for rec in read.records {
                 if let Some(k) = rec.key.clone() {
@@ -87,7 +89,9 @@ impl Log {
         // A crash here leaves some segments rewritten and the generation
         // un-bumped — exactly the state a real mid-compaction crash leaves.
         let injector = self.config().injector.clone();
+        let compactions = self.metrics().compact.clone();
         for &base in &sealed {
+            compactions.inc();
             if injector.tick("log.compact") {
                 return Err(crate::LogError::Injected("log.compact"));
             }

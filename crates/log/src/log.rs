@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use bytes::Bytes;
+use liquid_obs::{CounterHandle, HistogramHandle, Obs};
 use liquid_sim::clock::{SharedClock, Ts};
 use liquid_sim::failure::FailureInjector;
 use liquid_sim::lockdep::Mutex;
@@ -57,6 +58,9 @@ pub struct LogConfig {
     /// Fault injector for append / roll / compaction crash points.
     /// Disabled by default; cloned logs share its schedule.
     pub injector: FailureInjector,
+    /// Observability domain the log reports into. Cloned configs share
+    /// instruments; the default is a fresh private domain.
+    pub obs: Obs,
 }
 
 impl Default for LogConfig {
@@ -68,6 +72,29 @@ impl Default for LogConfig {
             cleanup: CleanupPolicy::Delete,
             storage: StorageKind::Memory,
             injector: FailureInjector::disabled(),
+            obs: Obs::default(),
+        }
+    }
+}
+
+/// Handles into the registry for the log hot paths, resolved once at
+/// open. The counters are the twin metrics of the `log.*` fault sites.
+#[derive(Debug, Clone)]
+pub(crate) struct LogMetrics {
+    pub(crate) append: CounterHandle,
+    pub(crate) roll: CounterHandle,
+    pub(crate) compact: CounterHandle,
+    pub(crate) append_bytes: HistogramHandle,
+}
+
+impl LogMetrics {
+    fn resolve(obs: &Obs) -> Self {
+        let reg = obs.registry();
+        LogMetrics {
+            append: reg.counter("log.append"),
+            roll: reg.counter("log.roll"),
+            compact: reg.counter("log.compact"),
+            append_bytes: reg.histogram("log.append.bytes"),
         }
     }
 }
@@ -94,6 +121,8 @@ pub struct Log {
     cache: Option<(Arc<Mutex<PageCache>>, u64)>,
     /// Number of completed compaction passes (tombstone lifecycle).
     compaction_generation: u64,
+    /// Registry handles for the hot paths.
+    metrics: LogMetrics,
 }
 
 impl Log {
@@ -114,6 +143,7 @@ impl Log {
                 .next()
                 .map(|s| s.base_offset())
                 .unwrap_or(0),
+            metrics: LogMetrics::resolve(&config.obs),
             config,
             clock,
             segments,
@@ -185,6 +215,8 @@ impl Log {
         value: Bytes,
         timestamp: Ts,
     ) -> crate::Result<u64> {
+        self.metrics.append.inc();
+        self.metrics.append_bytes.record(value.len() as u64);
         if self.config.injector.tick("log.append") {
             return Err(LogError::Injected("log.append"));
         }
@@ -291,15 +323,11 @@ impl Log {
         let mut deleted = Vec::new();
         if let Some(max_age) = self.config.retention.max_age_ms {
             loop {
-                let victim = self
-                    .sealed_bases()
-                    .first()
-                    .copied()
-                    .filter(|b| {
-                        self.segments
-                            .get(b)
-                            .is_some_and(|s| s.max_timestamp() + max_age <= now)
-                    });
+                let victim = self.sealed_bases().first().copied().filter(|b| {
+                    self.segments
+                        .get(b)
+                        .is_some_and(|s| s.max_timestamp() + max_age <= now)
+                });
                 match victim {
                     Some(base) => {
                         self.drop_segment(base)?;
@@ -413,6 +441,10 @@ impl Log {
         &self.config.storage
     }
 
+    pub(crate) fn metrics(&self) -> &LogMetrics {
+        &self.metrics
+    }
+
     pub(crate) fn index_interval(&self) -> u64 {
         self.config.index_interval_bytes
     }
@@ -439,6 +471,7 @@ impl Log {
             (a.size_bytes(), a.next_offset())
         };
         if size >= self.config.segment_bytes {
+            self.metrics.roll.inc();
             if self.config.injector.tick("log.roll") {
                 return Err(LogError::Injected("log.roll"));
             }

@@ -21,6 +21,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use liquid_coord::{CoordService, Session};
 use liquid_log::{Log, LogError};
+use liquid_obs::{CounterHandle, GaugeHandle, Obs};
 use liquid_sim::clock::SharedClock;
 use liquid_sim::failure::FailureInjector;
 use liquid_sim::lockdep::RwLock;
@@ -36,6 +37,10 @@ use crate::offsets::OffsetManager;
 pub struct ClusterConfig {
     /// Number of brokers.
     pub brokers: u32,
+    /// Replication factor topics default to when built through
+    /// [`TopicConfigBuilder::build_for`](crate::config::TopicConfigBuilder::build_for)
+    /// without an explicit factor.
+    pub default_replication: u32,
     /// A follower may lag the leader by at most this many records and
     /// remain in the ISR.
     pub replica_lag_max: u64,
@@ -44,20 +49,31 @@ pub struct ClusterConfig {
     /// Fault injector for replication fetches, leader elections and
     /// offset commits. Disabled by default.
     pub injector: FailureInjector,
+    /// Observability sink: every cluster instrument registers here and
+    /// produce spans are minted from its tracer.
+    pub obs: Obs,
 }
 
 impl Default for ClusterConfig {
     fn default() -> Self {
         ClusterConfig {
             brokers: 1,
+            default_replication: 1,
             replica_lag_max: 0,
             session_timeout_ms: 10_000,
             injector: FailureInjector::disabled(),
+            obs: Obs::default(),
         }
     }
 }
 
 impl ClusterConfig {
+    /// A validating builder; prefer this over struct literals so
+    /// impossible combinations are rejected before the cluster starts.
+    pub fn builder() -> ClusterConfigBuilder {
+        ClusterConfigBuilder::default()
+    }
+
     /// A cluster with `n` brokers and default tuning.
     pub fn with_brokers(n: u32) -> Self {
         ClusterConfig {
@@ -67,31 +83,109 @@ impl ClusterConfig {
     }
 }
 
-/// Monotonic counters exposed for the deployment-profile experiment
-/// (E10) and general observability.
-#[derive(Debug, Default)]
-pub struct ClusterStats {
-    /// Messages accepted from producers.
-    pub messages_in: AtomicU64,
-    /// Producer payload bytes accepted.
-    pub bytes_in: AtomicU64,
-    /// Messages served to consumers.
-    pub messages_out: AtomicU64,
-    /// Bytes served to consumers.
-    pub bytes_out: AtomicU64,
-    /// Messages copied leader → follower.
-    pub replicated_messages: AtomicU64,
-    /// Bytes copied leader → follower.
-    pub replicated_bytes: AtomicU64,
-    /// Leader elections performed.
-    pub elections: AtomicU64,
-    /// Produce calls rejected (no leader).
-    pub produce_failures: AtomicU64,
-    /// Idempotent producer ids handed out.
-    pub producer_ids: AtomicU64,
+/// Builder for [`ClusterConfig`] with typed validation at
+/// [`build`](ClusterConfigBuilder::build) time.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterConfigBuilder {
+    config: ClusterConfig,
 }
 
-/// A plain-value snapshot of [`ClusterStats`].
+impl ClusterConfigBuilder {
+    /// Sets the broker count (must end up > 0).
+    pub fn brokers(mut self, n: u32) -> Self {
+        self.config.brokers = n;
+        self
+    }
+
+    /// Sets the default topic replication factor (must end up in
+    /// `1..=brokers`).
+    pub fn replication(mut self, replication: u32) -> Self {
+        self.config.default_replication = replication;
+        self
+    }
+
+    /// Sets the maximum follower lag tolerated inside the ISR.
+    pub fn replica_lag_max(mut self, lag: u64) -> Self {
+        self.config.replica_lag_max = lag;
+        self
+    }
+
+    /// Sets the coordination session timeout.
+    pub fn session_timeout_ms(mut self, ms: u64) -> Self {
+        self.config.session_timeout_ms = ms;
+        self
+    }
+
+    /// Installs a fault injector on replication/election/commit paths.
+    pub fn injector(mut self, injector: FailureInjector) -> Self {
+        self.config.injector = injector;
+        self
+    }
+
+    /// Installs the observability sink instruments register into.
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.config.obs = obs;
+        self
+    }
+
+    /// Validates and returns the config: rejects zero brokers and a
+    /// default replication factor outside `1..=brokers`.
+    pub fn build(self) -> crate::Result<ClusterConfig> {
+        if self.config.brokers == 0 {
+            return Err(MessagingError::ZeroBrokers);
+        }
+        if self.config.default_replication == 0
+            || self.config.default_replication > self.config.brokers
+        {
+            return Err(MessagingError::ReplicationOutOfRange {
+                replication: self.config.default_replication,
+                brokers: self.config.brokers,
+            });
+        }
+        Ok(self.config)
+    }
+}
+
+/// Pre-resolved registry handles for every cluster-path instrument, so
+/// hot paths touch an atomic instead of a name lookup. The twin
+/// counters mirror the injector tick sites by exact name — the
+/// obs-instrument lint pairs them.
+#[derive(Debug, Clone)]
+struct ClusterMetrics {
+    messages_in: CounterHandle,
+    bytes_in: CounterHandle,
+    messages_out: CounterHandle,
+    bytes_out: CounterHandle,
+    replicated_messages: CounterHandle,
+    replicated_bytes: CounterHandle,
+    elections: CounterHandle,
+    produce_failures: CounterHandle,
+    producer_ids: CounterHandle,
+    replication_fetch: CounterHandle,
+    cluster_election: CounterHandle,
+}
+
+impl ClusterMetrics {
+    fn resolve(obs: &Obs) -> Self {
+        let reg = obs.registry();
+        ClusterMetrics {
+            messages_in: reg.counter("cluster.messages_in"),
+            bytes_in: reg.counter("cluster.bytes_in"),
+            messages_out: reg.counter("cluster.messages_out"),
+            bytes_out: reg.counter("cluster.bytes_out"),
+            replicated_messages: reg.counter("cluster.replicated_messages"),
+            replicated_bytes: reg.counter("cluster.replicated_bytes"),
+            elections: reg.counter("cluster.elections"),
+            produce_failures: reg.counter("cluster.produce_failures"),
+            producer_ids: reg.counter("cluster.producer_ids"),
+            replication_fetch: reg.counter("replication.fetch"),
+            cluster_election: reg.counter("cluster.election"),
+        }
+    }
+}
+
+/// A plain-value snapshot of the cluster counters.
+#[deprecated(note = "use `Cluster::snapshot()` and look counters up by name")]
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Messages accepted from producers.
@@ -136,7 +230,27 @@ struct PartitionState {
     /// (duplicate suppression; the exactly-once groundwork §4.3 calls
     /// "an ongoing effort").
     producer_seqs: HashMap<u64, u64>,
+    /// Registry gauge mirroring `high_watermark`
+    /// (`partition.high_watermark{tp=topic-p}`).
+    hw_gauge: GaugeHandle,
+    /// Registry gauge tracking the leader's log end
+    /// (`partition.log_end{tp=topic-p}`).
+    log_end_gauge: GaugeHandle,
+    /// `topic-partition` rendered once, so per-message trace events
+    /// don't re-format it on the hot path.
+    tp_label: String,
+    /// Offset → causal span id for recently produced records, so fetch
+    /// and replication can stamp events with the originating span.
+    /// A direct-mapped ring over the last [`SPAN_CACHE_MAX`] offsets
+    /// (offsets are sequential per partition), allocated on the first
+    /// nonzero span — so `obs-off` builds never pay for it. Older
+    /// offsets simply report span 0.
+    spans: Vec<(u64, u64)>,
 }
+
+/// Per-partition cap on remembered produce spans. Old entries fall off
+/// first, so a fetch of long-retained data simply reports span 0.
+const SPAN_CACHE_MAX: usize = 1024;
 
 impl PartitionState {
     fn log_end(&self, broker: BrokerId) -> u64 {
@@ -144,6 +258,32 @@ impl PartitionState {
             .get(&broker)
             .map(|l| l.next_offset())
             .unwrap_or(0)
+    }
+
+    /// Pushes the current watermark and leader log end into the gauges.
+    fn publish_gauges(&self) {
+        self.hw_gauge.set(self.high_watermark.get());
+        if let Some(l) = self.leader {
+            self.log_end_gauge.set(self.log_end(l));
+        }
+    }
+
+    fn remember_span(&mut self, offset: u64, span: u64) {
+        if span == 0 {
+            return;
+        }
+        if self.spans.is_empty() {
+            // (u64::MAX, 0) slots never match a real offset.
+            self.spans.resize(SPAN_CACHE_MAX, (u64::MAX, 0));
+        }
+        self.spans[offset as usize % SPAN_CACHE_MAX] = (offset, span);
+    }
+
+    fn span_at(&self, offset: u64) -> u64 {
+        match self.spans.get(offset as usize % SPAN_CACHE_MAX) {
+            Some(&(o, span)) if o == offset => span,
+            _ => 0,
+        }
     }
 }
 
@@ -171,7 +311,11 @@ struct Inner {
     clock: SharedClock,
     coord: CoordService,
     state: RwLock<State>,
-    stats: ClusterStats,
+    metrics: ClusterMetrics,
+    obs: Obs,
+    /// Functional (not just observable) state: mints idempotent
+    /// producer ids, so it must keep counting even with `obs-off`.
+    producer_ids: AtomicU64,
     offsets: OffsetManager,
     groups: crate::group::GroupRegistry,
     quotas: crate::quotas::QuotaManager,
@@ -207,9 +351,9 @@ impl Cluster {
             );
         }
         let injector = config.injector.clone();
+        let obs = config.obs.clone();
         Cluster {
             inner: Arc::new(Inner {
-                config,
                 clock: clock.clone(),
                 coord,
                 state: RwLock::new(
@@ -219,10 +363,13 @@ impl Cluster {
                         topics: BTreeMap::new(),
                     },
                 ),
-                stats: ClusterStats::default(),
-                offsets: OffsetManager::with_injector(clock.clone(), injector),
+                metrics: ClusterMetrics::resolve(&obs),
+                producer_ids: AtomicU64::new(0),
+                offsets: OffsetManager::with_obs(clock.clone(), injector, &obs),
                 groups: crate::group::GroupRegistry::default(),
                 quotas: crate::quotas::QuotaManager::new(clock),
+                obs,
+                config,
             }),
         }
     }
@@ -235,6 +382,19 @@ impl Cluster {
     /// The coordination service (for observability and recipes).
     pub fn coord(&self) -> &CoordService {
         &self.inner.coord
+    }
+
+    /// The observability sink this cluster records into.
+    pub fn obs(&self) -> &Obs {
+        &self.inner.obs
+    }
+
+    /// Point-in-time view of every registered instrument. Cluster
+    /// counters live under `cluster.*`, twin fault-site counters under
+    /// their site names, and per-partition gauges under
+    /// `partition.high_watermark{tp=…}` / `partition.log_end{tp=…}`.
+    pub fn snapshot(&self) -> liquid_obs::Snapshot {
+        self.inner.obs.snapshot()
     }
 
     /// The offset manager (consumer checkpoints + metadata annotations).
@@ -257,17 +417,15 @@ impl Cluster {
     /// and replicas to the following brokers.
     pub fn create_topic(&self, name: &str, config: TopicConfig) -> crate::Result<()> {
         if config.partitions == 0 {
-            return Err(MessagingError::InvalidConfig(
-                "partitions must be > 0".into(),
-            ));
+            return Err(MessagingError::ZeroPartitions);
         }
         let mut st = self.inner.state.write();
         let broker_count = st.brokers.len() as u32;
         if config.replication == 0 || config.replication > broker_count {
-            return Err(MessagingError::InvalidConfig(format!(
-                "replication {} out of range 1..={broker_count}",
-                config.replication
-            )));
+            return Err(MessagingError::ReplicationOutOfRange {
+                replication: config.replication,
+                brokers: broker_count,
+            });
         }
         if st.topics.contains_key(name) {
             return Err(MessagingError::TopicExists(name.to_string()));
@@ -280,11 +438,13 @@ impl Cluster {
                 .collect();
             let mut replicas = BTreeMap::new();
             for &b in &assignment {
-                let log_config = per_replica_log_config(&config, name, p, b);
+                let log_config = per_replica_log_config(&config, name, p, b, &self.inner.obs);
                 let log = Log::open(log_config, self.inner.clock.clone())?;
                 replicas.insert(b, log);
             }
             let leader = assignment.iter().copied().find(|b| st.brokers[b].online);
+            let tp_label = format!("{name}-{p}");
+            let reg = self.inner.obs.registry();
             partitions.push(PartitionState {
                 isr: assignment.clone(),
                 assignment,
@@ -292,6 +452,10 @@ impl Cluster {
                 replicas,
                 high_watermark: Shared::new("partition.high_watermark", 0),
                 producer_seqs: HashMap::new(),
+                hw_gauge: reg.gauge_with("partition.high_watermark", &[("tp", &tp_label)]),
+                log_end_gauge: reg.gauge_with("partition.log_end", &[("tp", &tp_label)]),
+                tp_label,
+                spans: Vec::new(),
             });
         }
         self.inner
@@ -349,11 +513,8 @@ impl Cluster {
     /// Registers an idempotent producer session; the returned id is
     /// passed with every send so brokers can de-duplicate retries.
     pub fn register_producer(&self) -> u64 {
-        self.inner
-            .stats
-            .producer_ids
-            .fetch_add(1, Ordering::Relaxed)
-            + 1
+        self.inner.metrics.producer_ids.inc();
+        self.inner.producer_ids.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Produce with optional `(producer_id, sequence)` for duplicate
@@ -381,10 +542,7 @@ impl Cluster {
         {
             Some(l) => l,
             None => {
-                self.inner
-                    .stats
-                    .produce_failures
-                    .fetch_add(1, Ordering::Relaxed);
+                self.inner.metrics.produce_failures.inc();
                 return Err(MessagingError::PartitionUnavailable(tp.clone()));
             }
         };
@@ -401,12 +559,22 @@ impl Cluster {
             .get_mut(&leader)
             .ok_or_else(|| MessagingError::PartitionUnavailable(tp.clone()))?;
         let offset = leader_log.append_with_timestamp(key.clone(), value.clone(), now)?;
+        // Causal span: minted at the produce, stamped onto every
+        // downstream replicate/fetch/deliver event for this record.
+        let span = self.inner.obs.tracer().mint();
+        self.inner
+            .obs
+            .tracer()
+            .record(span, "produce", &ps.tp_label, offset);
+        ps.remember_span(offset, span);
         // First offset past the appended record; checked because a wrapped
         // value here would move the high watermark back to zero.
-        let next_end = offset.checked_add(1).ok_or(MessagingError::OffsetOverflow {
-            what: "advancing past the appended record",
-            value: offset,
-        })?;
+        let next_end = offset
+            .checked_add(1)
+            .ok_or(MessagingError::OffsetOverflow {
+                what: "advancing past the appended record",
+                value: offset,
+            })?;
         match acks {
             AckLevel::All => {
                 // Synchronously bring every live ISR follower fully up to
@@ -417,6 +585,7 @@ impl Cluster {
                     if b == leader || !brokers_online.get(&b).copied().unwrap_or(false) {
                         continue;
                     }
+                    self.inner.metrics.replication_fetch.inc();
                     if self.inner.config.injector.tick("replication.fetch") {
                         // Crash mid-replication: the leader appended but
                         // not every ISR member confirmed. The high
@@ -425,6 +594,12 @@ impl Cluster {
                     }
                     let copied = catch_up(ps, leader, b)?;
                     self.note_replicated(copied);
+                    if copied.0 > 0 {
+                        self.inner
+                            .obs
+                            .tracer()
+                            .record(span, "replicate", &ps.tp_label, copied.0);
+                    }
                     synced_ends.push(ps.log_end(b));
                 }
                 let min_end = synced_ends.iter().copied().min().unwrap_or(next_end);
@@ -440,11 +615,9 @@ impl Cluster {
                 }
             }
         }
-        self.inner.stats.messages_in.fetch_add(1, Ordering::Relaxed);
-        self.inner
-            .stats
-            .bytes_in
-            .fetch_add(value_len, Ordering::Relaxed);
+        ps.publish_gauges();
+        self.inner.metrics.messages_in.inc();
+        self.inner.metrics.bytes_in.add(value_len);
         Ok(offset)
     }
 
@@ -488,21 +661,27 @@ impl Cluster {
             .filter(|r| r.offset < hw)
             .map(|r| {
                 bytes += r.value.len() as u64;
-                Message::from(r)
+                let mut m = Message::from(r);
+                m.span = ps.span_at(m.offset);
+                if m.span != 0 {
+                    self.inner
+                        .obs
+                        .tracer()
+                        .record(m.span, "fetch", &ps.tp_label, m.offset);
+                }
+                m
             })
             .collect();
-        self.inner
-            .stats
-            .messages_out
-            .fetch_add(messages.len() as u64, Ordering::Relaxed);
-        self.inner
-            .stats
-            .bytes_out
-            .fetch_add(bytes, Ordering::Relaxed);
+        self.inner.metrics.messages_out.add(messages.len() as u64);
+        self.inner.metrics.bytes_out.add(bytes);
         Ok(messages)
     }
 
-    /// First retained offset.
+    /// First retained offset on the leader's log — the lowest offset a
+    /// consumer can still read; retention and compaction move it up.
+    /// Contrast with [`latest_offset`](Self::latest_offset) (high
+    /// watermark) and [`log_end_offset`](Self::log_end_offset)
+    /// (leader's append point).
     pub fn earliest_offset(&self, tp: &TopicPartition) -> crate::Result<u64> {
         let st = self.inner.state.read();
         let ps = partition_ref(&st, tp)?;
@@ -515,14 +694,21 @@ impl Cluster {
             .ok_or_else(|| MessagingError::PartitionUnavailable(tp.clone()))
     }
 
-    /// High watermark (first offset a consumer cannot yet read).
+    /// The **high watermark**: the first offset a consumer cannot yet
+    /// read, because records at or past it are not replicated to every
+    /// ISR member. Always `<=` [`log_end_offset`](Self::log_end_offset);
+    /// the gap between the two is the replication lag. A consumer whose
+    /// [`position`](crate::Consumer::position) equals this value is
+    /// fully caught up (see [`Consumer::lag`](crate::Consumer::lag)).
     pub fn latest_offset(&self, tp: &TopicPartition) -> crate::Result<u64> {
         let st = self.inner.state.read();
         Ok(partition_ref(&st, tp)?.high_watermark.get())
     }
 
-    /// Leader's log-end offset (may exceed the high watermark when
-    /// followers lag).
+    /// The leader's **log-end offset**: where the next append lands.
+    /// May exceed [`latest_offset`](Self::latest_offset) (the high
+    /// watermark) when followers lag; records in that window exist on
+    /// the leader but are not yet consumable or crash-durable.
     pub fn log_end_offset(&self, tp: &TopicPartition) -> crate::Result<u64> {
         let st = self.inner.state.read();
         let ps = partition_ref(&st, tp)?;
@@ -595,13 +781,14 @@ impl Cluster {
                     .filter(|b| online.get(b).copied().unwrap_or(false))
                 else {
                     // Try to recover leadership if a replica came back.
+                    self.inner.metrics.cluster_election.inc();
                     if self.inner.config.injector.tick("cluster.election") {
                         // Controller crash before the election: the
                         // partition stays leaderless until the next tick.
                         return Err(MessagingError::Injected("cluster.election"));
                     }
                     if elect_leader(ps, &online) {
-                        self.inner.stats.elections.fetch_add(1, Ordering::Relaxed);
+                        self.inner.metrics.elections.inc();
                     }
                     continue;
                 };
@@ -612,11 +799,25 @@ impl Cluster {
                     .filter(|&b| b != leader && online.get(&b).copied().unwrap_or(false))
                     .collect();
                 for b in followers {
+                    self.inner.metrics.replication_fetch.inc();
                     if self.inner.config.injector.tick("replication.fetch") {
                         return Err(MessagingError::Injected("replication.fetch"));
                     }
                     let copied = catch_up(ps, leader, b)?;
                     self.note_replicated(copied);
+                    if copied.0 > 0 {
+                        // Stamp the replicate event with the span of the
+                        // newest record that reached this follower.
+                        let span = ps.span_at(ps.log_end(b).saturating_sub(1));
+                        if span != 0 {
+                            self.inner.obs.tracer().record(
+                                span,
+                                "replicate",
+                                &ps.tp_label,
+                                copied.0,
+                            );
+                        }
+                    }
                     total += copied.0;
                 }
                 // Recompute ISR: leader plus followers within lag_max.
@@ -636,6 +837,7 @@ impl Cluster {
                 let hw = ps.high_watermark.get();
                 let min_end = ps.isr.iter().map(|&b| ps.log_end(b)).min().unwrap_or(hw);
                 ps.high_watermark.set(hw.max(min_end));
+                ps.publish_gauges();
             }
         }
         drop(st);
@@ -677,6 +879,7 @@ impl Cluster {
                 // ISR on the next replication tick instead.
                 if ps.leader == Some(id) {
                     ps.leader = None;
+                    self.inner.metrics.cluster_election.inc();
                     if self.inner.config.injector.tick("cluster.election") {
                         // Controller crash mid-failover: the broker is
                         // already offline and its session expired, but no
@@ -685,7 +888,7 @@ impl Cluster {
                         return Err(MessagingError::Injected("cluster.election"));
                     }
                     if elect_leader(ps, &online) {
-                        self.inner.stats.elections.fetch_add(1, Ordering::Relaxed);
+                        self.inner.metrics.elections.inc();
                     }
                 }
             }
@@ -819,10 +1022,7 @@ impl Cluster {
             self.publish_partition_states(topic);
         }
         if moved > 0 {
-            self.inner
-                .stats
-                .elections
-                .fetch_add(moved as u64, Ordering::Relaxed);
+            self.inner.metrics.elections.add(moved as u64);
         }
         Ok(moved)
     }
@@ -879,18 +1079,20 @@ impl Cluster {
             .sum())
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot, reconstructed from the registry handles.
+    #[deprecated(note = "use `Cluster::snapshot()` and look counters up by name")]
+    #[allow(deprecated)]
     pub fn stats(&self) -> StatsSnapshot {
-        let s = &self.inner.stats;
+        let m = &self.inner.metrics;
         StatsSnapshot {
-            messages_in: s.messages_in.load(Ordering::Relaxed),
-            bytes_in: s.bytes_in.load(Ordering::Relaxed),
-            messages_out: s.messages_out.load(Ordering::Relaxed),
-            bytes_out: s.bytes_out.load(Ordering::Relaxed),
-            replicated_messages: s.replicated_messages.load(Ordering::Relaxed),
-            replicated_bytes: s.replicated_bytes.load(Ordering::Relaxed),
-            elections: s.elections.load(Ordering::Relaxed),
-            produce_failures: s.produce_failures.load(Ordering::Relaxed),
+            messages_in: m.messages_in.get(),
+            bytes_in: m.bytes_in.get(),
+            messages_out: m.messages_out.get(),
+            bytes_out: m.bytes_out.get(),
+            replicated_messages: m.replicated_messages.get(),
+            replicated_bytes: m.replicated_bytes.get(),
+            elections: m.elections.get(),
+            produce_failures: m.produce_failures.get(),
         }
     }
 
@@ -899,14 +1101,8 @@ impl Cluster {
     }
 
     fn note_replicated(&self, copied: (u64, u64)) {
-        self.inner
-            .stats
-            .replicated_messages
-            .fetch_add(copied.0, Ordering::Relaxed);
-        self.inner
-            .stats
-            .replicated_bytes
-            .fetch_add(copied.1, Ordering::Relaxed);
+        self.inner.metrics.replicated_messages.add(copied.0);
+        self.inner.metrics.replicated_bytes.add(copied.1);
     }
 
     /// Records per-partition leader/ISR into the coordination service
@@ -1062,6 +1258,7 @@ fn elect_leader(ps: &mut PartitionState, online: &HashMap<BrokerId, bool>) -> bo
             // Candidates are required to reach the high watermark, so
             // this clamp is a no-op kept as defense in depth.
             ps.high_watermark.set(hw.min(leader_end));
+            ps.publish_gauges();
             true
         }
         None => false,
@@ -1073,8 +1270,12 @@ fn per_replica_log_config(
     topic: &str,
     partition: u32,
     broker: BrokerId,
+    obs: &Obs,
 ) -> liquid_log::LogConfig {
     let mut lc = config.log.clone();
+    // Replica logs record into the cluster's sink: `log.*` instruments
+    // aggregate next to `cluster.*` in one registry.
+    lc.obs = obs.clone();
     if let liquid_log::StorageKind::Files(dir) = &lc.storage {
         lc.storage = liquid_log::StorageKind::Files(
             dir.join(format!("broker-{broker}"))
@@ -1202,7 +1403,8 @@ mod tests {
         let tp = TopicPartition::new("t", 0);
         c.produce_to(&tp, None, b("x"), AckLevel::All).unwrap();
         assert_eq!(c.latest_offset(&tp).unwrap(), 1);
-        assert_eq!(c.stats().replicated_messages, 2);
+        #[cfg(not(feature = "obs-off"))]
+        assert_eq!(c.snapshot().counter("cluster.replicated_messages"), 2);
     }
 
     #[test]
@@ -1237,7 +1439,8 @@ mod tests {
         // All 10 messages survive (they were fully replicated).
         let msgs = c.fetch(&tp, 0, u64::MAX).unwrap();
         assert_eq!(msgs.len(), 10);
-        assert_eq!(c.stats().elections, 1);
+        #[cfg(not(feature = "obs-off"))]
+        assert_eq!(c.snapshot().counter("cluster.elections"), 1);
     }
 
     #[test]
@@ -1404,8 +1607,9 @@ mod tests {
         assert_eq!(c.offset_for_timestamp(&tp, 0).unwrap(), Some(0));
     }
 
+    #[cfg(not(feature = "obs-off"))]
     #[test]
-    fn stats_track_in_and_out() {
+    fn snapshot_tracks_in_and_out() {
         let (c, _) = cluster(1);
         c.create_topic("t", TopicConfig::default()).unwrap();
         let tp = TopicPartition::new("t", 0);
@@ -1413,11 +1617,106 @@ mod tests {
             .unwrap();
         c.fetch(&tp, 0, u64::MAX).unwrap();
         c.fetch(&tp, 0, u64::MAX).unwrap();
-        let s = c.stats();
-        assert_eq!(s.messages_in, 1);
-        assert_eq!(s.bytes_in, 5);
-        assert_eq!(s.messages_out, 2);
-        assert_eq!(s.bytes_out, 10);
+        let s = c.snapshot();
+        assert_eq!(s.counter("cluster.messages_in"), 1);
+        assert_eq!(s.counter("cluster.bytes_in"), 5);
+        assert_eq!(s.counter("cluster.messages_out"), 2);
+        assert_eq!(s.counter("cluster.bytes_out"), 10);
+        // The deprecated shim reads the same registry handles.
+        #[allow(deprecated)]
+        {
+            let old = c.stats();
+            assert_eq!(old.messages_in, 1);
+            assert_eq!(old.bytes_out, 10);
+        }
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn snapshot_exposes_partition_gauges() {
+        let (c, _) = cluster(1);
+        c.create_topic("t", TopicConfig::with_partitions(1))
+            .unwrap();
+        let tp = TopicPartition::new("t", 0);
+        for i in 0..3 {
+            c.produce_to(&tp, None, b(&format!("m{i}")), AckLevel::Leader)
+                .unwrap();
+        }
+        let s = c.snapshot();
+        assert_eq!(s.gauge("partition.high_watermark{tp=t-0}"), Some(3));
+        assert_eq!(s.gauge("partition.log_end{tp=t-0}"), Some(3));
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn produce_spans_propagate_to_fetch() {
+        let (c, _) = cluster(1);
+        c.create_topic("t", TopicConfig::with_partitions(1))
+            .unwrap();
+        let tp = TopicPartition::new("t", 0);
+        c.produce_to(&tp, None, b("x"), AckLevel::Leader).unwrap();
+        c.produce_to(&tp, None, b("y"), AckLevel::Leader).unwrap();
+        let msgs = c.fetch(&tp, 0, u64::MAX).unwrap();
+        assert_eq!(msgs.len(), 2);
+        assert_ne!(msgs[0].span, 0, "fetched message carries its span");
+        assert_ne!(msgs[1].span, 0);
+        assert_ne!(msgs[0].span, msgs[1].span, "one span per produce");
+        // The tracer saw the produce and the fetch under the same span.
+        let events = c.obs().tracer().tail(16);
+        let kinds_for_first: Vec<&str> = events
+            .iter()
+            .filter(|e| e.span == msgs[0].span)
+            .map(|e| e.kind)
+            .collect();
+        assert!(kinds_for_first.contains(&"produce"), "{kinds_for_first:?}");
+        assert!(kinds_for_first.contains(&"fetch"), "{kinds_for_first:?}");
+    }
+
+    #[test]
+    fn cluster_config_builder_validates() {
+        assert!(matches!(
+            ClusterConfig::builder().brokers(0).build(),
+            Err(MessagingError::ZeroBrokers)
+        ));
+        assert!(matches!(
+            ClusterConfig::builder().brokers(2).replication(3).build(),
+            Err(MessagingError::ReplicationOutOfRange {
+                replication: 3,
+                brokers: 2
+            })
+        ));
+        let cfg = ClusterConfig::builder()
+            .brokers(3)
+            .replication(2)
+            .replica_lag_max(5)
+            .session_timeout_ms(1_000)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.brokers, 3);
+        assert_eq!(cfg.default_replication, 2);
+        assert_eq!(cfg.replica_lag_max, 5);
+    }
+
+    #[test]
+    fn topic_config_builder_validates_against_cluster() {
+        let cluster_cfg = ClusterConfig::builder().brokers(2).build().unwrap();
+        assert!(matches!(
+            TopicConfig::builder().partitions(0).build(),
+            Err(MessagingError::ZeroPartitions)
+        ));
+        assert!(matches!(
+            TopicConfig::builder()
+                .partitions(1)
+                .replication(3)
+                .build_for(&cluster_cfg),
+            Err(MessagingError::ReplicationOutOfRange { .. })
+        ));
+        let tc = TopicConfig::builder()
+            .partitions(4)
+            .replication(2)
+            .build_for(&cluster_cfg)
+            .unwrap();
+        assert_eq!((tc.partitions, tc.replication), (4, 2));
     }
 
     #[test]

@@ -40,6 +40,12 @@ impl Default for TopicConfig {
 }
 
 impl TopicConfig {
+    /// A validating builder; prefer this over struct literals so
+    /// impossible combinations are rejected before the topic exists.
+    pub fn builder() -> TopicConfigBuilder {
+        TopicConfigBuilder::default()
+    }
+
     /// `partitions` partitions, replication factor 1, default log.
     pub fn with_partitions(partitions: u32) -> Self {
         TopicConfig {
@@ -82,6 +88,91 @@ impl TopicConfig {
     pub fn segment_bytes(mut self, bytes: u64) -> Self {
         self.log.segment_bytes = bytes;
         self
+    }
+}
+
+/// Builder for [`TopicConfig`] that validates at
+/// [`build`](TopicConfigBuilder::build) time with typed errors instead
+/// of letting an impossible config reach the cluster.
+#[derive(Debug, Clone, Default)]
+pub struct TopicConfigBuilder {
+    config: TopicConfig,
+}
+
+impl TopicConfigBuilder {
+    /// Sets the partition count (must end up > 0).
+    pub fn partitions(mut self, partitions: u32) -> Self {
+        self.config.partitions = partitions;
+        self
+    }
+
+    /// Sets the replication factor (must end up > 0).
+    pub fn replication(mut self, replication: u32) -> Self {
+        self.config.replication = replication;
+        self
+    }
+
+    /// Marks the topic compacted (changelog topics, §4.1).
+    pub fn compacted(mut self) -> Self {
+        self.config.log.cleanup = CleanupPolicy::Compact;
+        self
+    }
+
+    /// Sets time-based retention.
+    pub fn retention_ms(mut self, ms: u64) -> Self {
+        self.config = self.config.retention_ms(ms);
+        self
+    }
+
+    /// Sets size-based retention.
+    pub fn retention_bytes(mut self, bytes: u64) -> Self {
+        self.config = self.config.retention_bytes(bytes);
+        self
+    }
+
+    /// Sets the segment roll size.
+    pub fn segment_bytes(mut self, bytes: u64) -> Self {
+        self.config = self.config.segment_bytes(bytes);
+        self
+    }
+
+    /// Replaces the whole log config.
+    pub fn log(mut self, log: LogConfig) -> Self {
+        self.config.log = log;
+        self
+    }
+
+    fn validate(&self) -> crate::Result<()> {
+        if self.config.partitions == 0 {
+            return Err(crate::MessagingError::ZeroPartitions);
+        }
+        if self.config.replication == 0 {
+            return Err(crate::MessagingError::ReplicationOutOfRange {
+                replication: 0,
+                brokers: u32::MAX,
+            });
+        }
+        Ok(())
+    }
+
+    /// Validates partition and replication counts in isolation.
+    pub fn build(self) -> crate::Result<TopicConfig> {
+        self.validate()?;
+        Ok(self.config)
+    }
+
+    /// Validates against the cluster the topic will be created on:
+    /// additionally rejects `replication > config.brokers`, the
+    /// combination [`build`](Self::build) alone cannot see.
+    pub fn build_for(self, cluster: &crate::ClusterConfig) -> crate::Result<TopicConfig> {
+        self.validate()?;
+        if self.config.replication > cluster.brokers {
+            return Err(crate::MessagingError::ReplicationOutOfRange {
+                replication: self.config.replication,
+                brokers: cluster.brokers,
+            });
+        }
+        Ok(self.config)
     }
 }
 

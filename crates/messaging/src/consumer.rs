@@ -147,9 +147,30 @@ impl Consumer {
         v
     }
 
-    /// Current position for a partition.
+    /// Current position for a partition: the offset of the next record
+    /// this consumer will poll. Unlike the cluster-side offsets
+    /// ([`Cluster::earliest_offset`], [`Cluster::latest_offset`] — the
+    /// high watermark — and [`Cluster::log_end_offset`]), the position
+    /// is consumer-local state and moves only when this consumer polls
+    /// or seeks.
     pub fn position(&self, tp: &TopicPartition) -> Option<u64> {
         self.state.lock().positions.get(tp).copied()
+    }
+
+    /// Consumer lag for a partition: how many committed records sit
+    /// between this consumer's position and the partition's high
+    /// watermark, read from the registry's
+    /// `partition.high_watermark{tp=…}` gauge. `None` when the
+    /// partition is unassigned or the gauge is not populated (e.g. the
+    /// observability layer is compiled out with `obs-off`).
+    pub fn lag(&self, tp: &TopicPartition) -> Option<u64> {
+        let pos = self.position(tp)?;
+        let hw = self
+            .cluster
+            .obs()
+            .registry()
+            .gauge_value_with("partition.high_watermark", &[("tp", &tp.to_string())])?;
+        Some(hw.saturating_sub(pos))
     }
 
     /// Moves the position for a partition.
@@ -188,13 +209,13 @@ impl Consumer {
             };
             let msgs = self.cluster.fetch(&tp, pos, self.max_poll_bytes)?;
             if let Some(last) = msgs.last() {
-                let next = last
-                    .offset
-                    .checked_add(1)
-                    .ok_or(crate::MessagingError::OffsetOverflow {
-                        what: "advancing the consumer position past a message",
-                        value: last.offset,
-                    })?;
+                let next =
+                    last.offset
+                        .checked_add(1)
+                        .ok_or(crate::MessagingError::OffsetOverflow {
+                            what: "advancing the consumer position past a message",
+                            value: last.offset,
+                        })?;
                 st.positions.insert(tp.clone(), next);
             }
             if !msgs.is_empty() {
@@ -464,6 +485,24 @@ mod tests {
             total += got;
         }
         assert_eq!(total, 100);
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn lag_tracks_distance_to_high_watermark() {
+        let c = setup(1);
+        let tp = TopicPartition::new("t", 0);
+        fill(&c, &tp, 8);
+        let consumer = Consumer::new(&c, "c1");
+        assert_eq!(consumer.lag(&tp), None, "unassigned partition");
+        consumer
+            .assign(tp.clone(), StartPosition::Earliest)
+            .unwrap();
+        assert_eq!(consumer.lag(&tp), Some(8));
+        consumer.poll().unwrap();
+        assert_eq!(consumer.lag(&tp), Some(0));
+        fill(&c, &tp, 3);
+        assert_eq!(consumer.lag(&tp), Some(3));
     }
 
     #[test]

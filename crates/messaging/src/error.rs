@@ -22,6 +22,18 @@ pub enum MessagingError {
     Group(String),
     /// Invalid configuration.
     InvalidConfig(String),
+    /// A topic was configured with zero partitions.
+    ZeroPartitions,
+    /// A cluster was configured with zero brokers.
+    ZeroBrokers,
+    /// The replication factor is zero or exceeds the broker count, so
+    /// the assignment cannot place that many replicas.
+    ReplicationOutOfRange {
+        /// Requested replication factor.
+        replication: u32,
+        /// Brokers available to host replicas.
+        brokers: u32,
+    },
     /// A client exceeded its produce quota.
     Throttled {
         /// The offending client id.
@@ -62,6 +74,15 @@ impl std::fmt::Display for MessagingError {
             MessagingError::Log(e) => write!(f, "log error: {e}"),
             MessagingError::Group(msg) => write!(f, "consumer group error: {msg}"),
             MessagingError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            MessagingError::ZeroPartitions => write!(f, "invalid config: partitions must be > 0"),
+            MessagingError::ZeroBrokers => write!(f, "invalid config: brokers must be > 0"),
+            MessagingError::ReplicationOutOfRange {
+                replication,
+                brokers,
+            } => write!(
+                f,
+                "invalid config: replication {replication} out of range 1..={brokers}"
+            ),
             MessagingError::Throttled {
                 client,
                 retry_after_ms,

@@ -45,6 +45,9 @@ pub struct Message {
     pub key: Option<Bytes>,
     /// Payload.
     pub value: Bytes,
+    /// Causal span id minted when the record was produced (0 = none:
+    /// the span cache evicted it, or observability is compiled out).
+    pub span: u64,
 }
 
 impl From<liquid_log::Record> for Message {
@@ -54,6 +57,7 @@ impl From<liquid_log::Record> for Message {
             timestamp: r.timestamp,
             key: r.key,
             value: r.value,
+            span: 0,
         }
     }
 }

@@ -38,8 +38,8 @@ pub mod producer;
 pub mod quotas;
 
 pub use admin::{ClusterDescription, PartitionInfo, TopicInfo};
-pub use cluster::{Cluster, ClusterConfig, ClusterStats};
-pub use config::{AckLevel, TopicConfig};
+pub use cluster::{Cluster, ClusterConfig, ClusterConfigBuilder};
+pub use config::{AckLevel, TopicConfig, TopicConfigBuilder};
 pub use consumer::Consumer;
 pub use error::MessagingError;
 pub use group::{AssignmentStrategy, GroupAssignment};

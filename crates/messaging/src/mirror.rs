@@ -80,13 +80,13 @@ impl MirrorMaker {
             };
             let batch = self.source.fetch(&tp, pos, 1 << 20)?;
             for msg in batch {
-                let next = msg
-                    .offset
-                    .checked_add(1)
-                    .ok_or(crate::MessagingError::OffsetOverflow {
-                        what: "advancing the mirror position past a message",
-                        value: msg.offset,
-                    })?;
+                let next =
+                    msg.offset
+                        .checked_add(1)
+                        .ok_or(crate::MessagingError::OffsetOverflow {
+                            what: "advancing the mirror position past a message",
+                            value: msg.offset,
+                        })?;
                 self.positions.insert(tp.clone(), next);
                 // Preserve key and partition so semantic routing holds
                 // in the destination colo.

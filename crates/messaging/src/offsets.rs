@@ -17,6 +17,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use bytes::Bytes;
 use liquid_log::{CleanupPolicy, Log, LogConfig};
+use liquid_obs::{CounterHandle, Obs};
 use liquid_sim::clock::{SharedClock, Ts};
 use liquid_sim::failure::FailureInjector;
 use liquid_sim::lockdep::Mutex;
@@ -40,6 +41,8 @@ pub struct OffsetManager {
     inner: Mutex<Inner>,
     clock: SharedClock,
     injector: FailureInjector,
+    /// Twin counter for the `offsets.commit` fault site.
+    commits: CounterHandle,
 }
 
 struct Inner {
@@ -62,6 +65,12 @@ impl OffsetManager {
     /// Like [`new`](Self::new) but with a fault injector on the commit
     /// path (chaos testing).
     pub fn with_injector(clock: SharedClock, injector: FailureInjector) -> Self {
+        OffsetManager::with_obs(clock, injector, &Obs::default())
+    }
+
+    /// Full constructor: fault injector plus the observability sink the
+    /// commit counter registers into.
+    pub fn with_obs(clock: SharedClock, injector: FailureInjector, obs: &Obs) -> Self {
         let cfg = LogConfig {
             cleanup: CleanupPolicy::Compact,
             segment_bytes: 64 * 1024,
@@ -79,6 +88,7 @@ impl OffsetManager {
             ),
             clock,
             injector,
+            commits: obs.registry().counter("offsets.commit"),
         }
     }
 
@@ -90,6 +100,7 @@ impl OffsetManager {
         offset: u64,
         metadata: BTreeMap<String, String>,
     ) -> crate::Result<()> {
+        self.commits.inc();
         if self.injector.tick("offsets.commit") {
             // Crash before the commit reaches the backing log: the
             // consumer resumes from its previous checkpoint.

@@ -11,8 +11,8 @@ use std::collections::{BTreeMap, HashMap};
 
 use liquid_kv::LsmConfig;
 use liquid_messaging::{AckLevel, Cluster, TopicConfig, TopicPartition};
+use liquid_obs::{CounterHandle, GaugeHandle, Obs};
 use liquid_sim::failure::FailureInjector;
-use liquid_sim::lockdep::Mutex;
 
 use crate::error::ProcessingError;
 use crate::state::StateStore;
@@ -120,11 +120,38 @@ impl JobConfig {
     }
 }
 
-/// Execution counters shared by every task of a job. Tasks running on
-/// parallel threads update this through a lockdep-tracked mutex (rank
-/// `job.metrics` — a leaf: it is never held across a cluster or store
-/// call, so it may be taken while any other lock is held but must not
-/// wrap one).
+/// Pre-resolved registry handles for the job's execution counters.
+/// Handles are atomic, so tasks on parallel threads update them without
+/// a lock (the old lockdep-tracked `job.metrics` mutex is gone). Twin
+/// counters mirror the `task.checkpoint` / `task.restore` fault sites.
+#[derive(Debug, Clone)]
+struct JobMetrics {
+    rounds: CounterHandle,
+    parallel_rounds: CounterHandle,
+    messages: CounterHandle,
+    checkpoints: CounterHandle,
+    max_task_batch: GaugeHandle,
+    task_checkpoint: CounterHandle,
+    task_restore: CounterHandle,
+}
+
+impl JobMetrics {
+    fn resolve(obs: &Obs) -> Self {
+        let reg = obs.registry();
+        JobMetrics {
+            rounds: reg.counter("job.rounds"),
+            parallel_rounds: reg.counter("job.parallel_rounds"),
+            messages: reg.counter("job.messages"),
+            checkpoints: reg.counter("job.checkpoints"),
+            max_task_batch: reg.gauge("job.max_task_batch"),
+            task_checkpoint: reg.counter("task.checkpoint"),
+            task_restore: reg.counter("task.restore"),
+        }
+    }
+}
+
+/// A plain-value snapshot of the job's execution counters.
+#[deprecated(note = "use `Job::snapshot()` and look counters up by name")]
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RoundStats {
     /// Completed `run_once` / `run_once_limited` rounds.
@@ -146,6 +173,10 @@ struct TaskInstance {
     outputs: Outputs,
     positions: HashMap<TopicPartition, u64>,
     since_checkpoint: u64,
+    /// Span of the last message this task processed (0 = none seen);
+    /// stamped onto the task's checkpoint trace events so a checkpoint
+    /// is causally linked to the produce that triggered it.
+    last_span: u64,
 }
 
 /// A running job.
@@ -155,7 +186,7 @@ pub struct Job {
     tasks: Vec<TaskInstance>,
     processed_total: u64,
     restored_records: u64,
-    metrics: Mutex<RoundStats>,
+    metrics: JobMetrics,
 }
 
 impl Job {
@@ -189,6 +220,7 @@ impl Job {
             }
         }
         let group = config.checkpoint_group();
+        let metrics = JobMetrics::resolve(cluster.obs());
         let mut tasks = Vec::with_capacity(partitions as usize);
         let mut restored_records = 0;
         for p in 0..partitions {
@@ -198,6 +230,9 @@ impl Job {
                     TopicPartition::new(config.changelog_topic(), p),
                     LsmConfig {
                         injector: config.state_injector.clone(),
+                        // State stores record into the cluster's sink so
+                        // `kv.*` instruments land in the same registry.
+                        obs: cluster.obs().clone(),
                         ..LsmConfig::default()
                     },
                 )?
@@ -205,6 +240,7 @@ impl Job {
                 StateStore::ephemeral()
             };
             if config.stateful {
+                metrics.task_restore.inc();
                 if config.injector.tick("task.restore") {
                     // Crash before replaying the changelog: no state was
                     // restored, the job instance never came up.
@@ -235,6 +271,7 @@ impl Job {
                 outputs: Outputs::new(cluster.clone(), config.acks),
                 positions,
                 since_checkpoint: 0,
+                last_span: 0,
             };
             let mut ctx = TaskContext {
                 partition: p,
@@ -251,7 +288,7 @@ impl Job {
             tasks,
             processed_total: 0,
             restored_records,
-            metrics: Mutex::new("job.metrics", RoundStats::default()),
+            metrics,
         })
     }
 
@@ -275,9 +312,28 @@ impl Job {
         self.restored_records
     }
 
-    /// Snapshot of the job's execution counters.
+    /// Snapshot of the job's execution counters as a plain struct.
+    #[deprecated(note = "use `Job::snapshot()` and look counters up by name")]
+    #[allow(deprecated)]
     pub fn round_stats(&self) -> RoundStats {
-        *self.metrics.lock()
+        RoundStats {
+            rounds: self.metrics.rounds.get(),
+            parallel_rounds: self.metrics.parallel_rounds.get(),
+            messages: self.metrics.messages.get(),
+            checkpoints: self.metrics.checkpoints.get(),
+            max_task_batch: self.metrics.max_task_batch.get(),
+        }
+    }
+
+    /// The observability handle shared with the cluster (registry +
+    /// tracer): job counters live under `job.*` in the same registry.
+    pub fn obs(&self) -> &Obs {
+        self.cluster.obs()
+    }
+
+    /// A point-in-time snapshot of every registered instrument.
+    pub fn snapshot(&self) -> liquid_obs::Snapshot {
+        self.cluster.obs().snapshot()
     }
 
     /// Runs one round: every task fetches one batch from each of its
@@ -303,7 +359,7 @@ impl Job {
                 checkpoint_task(&self.cluster, &self.config, t, &self.metrics)?;
             }
         }
-        self.metrics.lock().rounds += 1;
+        self.metrics.rounds.inc();
         self.processed_total += processed;
         Ok(processed)
     }
@@ -343,7 +399,7 @@ impl Job {
                 }
             }
         }
-        self.metrics.lock().parallel_rounds += 1;
+        self.metrics.parallel_rounds.inc();
         self.processed_total += processed;
         Ok(processed)
     }
@@ -429,7 +485,7 @@ fn run_task_once(
     config: &JobConfig,
     t: &mut TaskInstance,
     max_messages: u64,
-    metrics: &Mutex<RoundStats>,
+    metrics: &JobMetrics,
 ) -> crate::Result<u64> {
     let bootstrap = &config.bootstrap;
     let mut processed = 0;
@@ -452,6 +508,9 @@ fn run_task_once(
             continue; // partition dropped from the task's inputs
         };
         let msgs = cluster.fetch(&tp, pos, config.fetch_bytes)?;
+        // Rendered lazily, once per partition batch, only when a traced
+        // message actually needs it.
+        let mut tp_site: Option<String> = None;
         for msg in msgs {
             if budget == 0 {
                 break;
@@ -463,6 +522,14 @@ fn run_task_once(
                 outputs: &mut t.outputs,
             };
             t.task.process(&msg, &mut ctx)?;
+            if msg.span != 0 {
+                t.last_span = msg.span;
+                let site = tp_site.get_or_insert_with(|| tp.to_string());
+                cluster
+                    .obs()
+                    .tracer()
+                    .record(msg.span, "task.deliver", site, msg.offset);
+            }
             let next = msg
                 .offset
                 .checked_add(1)
@@ -481,11 +548,8 @@ fn run_task_once(
                 bootstrap_lag.saturating_add(cluster.latest_offset(&tp)?.saturating_sub(current));
         }
     }
-    // Leaf lock, taken last and released before returning: holding
-    // `job.metrics` across a cluster call would invert the hierarchy.
-    let mut m = metrics.lock();
-    m.messages += processed;
-    m.max_task_batch = m.max_task_batch.max(processed);
+    metrics.messages.add(processed);
+    metrics.max_task_batch.set_max(processed);
     Ok(processed)
 }
 
@@ -493,8 +557,9 @@ fn checkpoint_task(
     cluster: &Cluster,
     config: &JobConfig,
     t: &mut TaskInstance,
-    metrics: &Mutex<RoundStats>,
+    metrics: &JobMetrics,
 ) -> crate::Result<()> {
+    metrics.task_checkpoint.inc();
     if config.injector.tick("task.checkpoint") {
         // Crash before any position is committed: on restart the task
         // re-reads from its previous checkpoint (at-least-once).
@@ -513,8 +578,14 @@ fn checkpoint_task(
             .offsets()
             .commit(&group, tp, offset, metadata.clone())?;
     }
+    cluster.obs().tracer().record(
+        t.last_span,
+        "task.checkpoint",
+        &config.checkpoint_group(),
+        t.since_checkpoint,
+    );
     t.since_checkpoint = 0;
-    metrics.lock().checkpoints += 1;
+    metrics.checkpoints.inc();
     Ok(())
 }
 
@@ -732,26 +803,68 @@ mod tests {
         // Outputs all forwarded, lag drained.
         assert_eq!(job.lag().unwrap(), 0);
         assert_eq!(job.run_once_parallel().unwrap(), 0);
-        // Parallel tasks updated the shared (lockdep-tracked) counters.
-        let stats = job.round_stats();
-        assert_eq!(stats.parallel_rounds, 2);
-        assert_eq!(stats.messages, 1000);
-        assert_eq!(stats.max_task_batch, 250);
+        // Parallel tasks updated the shared atomic registry handles.
+        #[cfg(not(feature = "obs-off"))]
+        {
+            let snap = job.snapshot();
+            assert_eq!(snap.counter("job.parallel_rounds"), 2);
+            assert_eq!(snap.counter("job.messages"), 1000);
+            assert_eq!(snap.gauge("job.max_task_batch"), Some(250));
+        }
     }
 
     #[test]
-    fn round_stats_track_rounds_messages_and_checkpoints() {
+    #[cfg(not(feature = "obs-off"))]
+    fn snapshot_tracks_rounds_messages_and_checkpoints() {
         let c = setup(1);
         fill(&c, "in", 0, 30);
         let mut job = counting_job(&c, "meter");
         job.run_until_idle(10).unwrap();
         job.checkpoint().unwrap();
-        let stats = job.round_stats();
-        assert_eq!(stats.messages, 30);
-        assert_eq!(stats.max_task_batch, 30);
-        assert!(stats.rounds >= 2, "processing round plus the idle round");
-        assert_eq!(stats.parallel_rounds, 0);
-        assert_eq!(stats.checkpoints, 1);
+        let snap = job.snapshot();
+        assert_eq!(snap.counter("job.messages"), 30);
+        assert_eq!(snap.gauge("job.max_task_batch"), Some(30));
+        assert!(
+            snap.counter("job.rounds") >= 2,
+            "processing round plus the idle round"
+        );
+        assert_eq!(snap.counter("job.parallel_rounds"), 0);
+        assert_eq!(snap.counter("job.checkpoints"), 1);
+        // Twin counter mirrors every pass through the fault site.
+        assert_eq!(snap.counter("task.checkpoint"), 1);
+        // Deprecated shim reads the same handles.
+        #[allow(deprecated)]
+        {
+            let stats = job.round_stats();
+            assert_eq!(stats.messages, 30);
+            assert_eq!(stats.checkpoints, 1);
+            assert_eq!(stats.max_task_batch, 30);
+        }
+    }
+
+    #[test]
+    #[cfg(not(feature = "obs-off"))]
+    fn delivered_spans_match_produced_spans() {
+        let c = setup(1);
+        fill(&c, "in", 0, 3);
+        let mut job = counting_job(&c, "traced");
+        job.run_until_idle(10).unwrap();
+        let events = job.obs().tracer().tail(256);
+        let produced: Vec<u64> = events
+            .iter()
+            .filter(|e| e.kind == "produce" && e.site == "in-0")
+            .map(|e| e.span)
+            .collect();
+        let delivered: Vec<u64> = events
+            .iter()
+            .filter(|e| e.kind == "task.deliver" && e.site == "in-0")
+            .map(|e| e.span)
+            .collect();
+        assert_eq!(produced.len(), 3);
+        assert_eq!(
+            produced, delivered,
+            "every delivered message carries the span minted at produce"
+        );
     }
 
     #[test]

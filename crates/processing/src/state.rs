@@ -67,13 +67,13 @@ impl StateStore {
                 break;
             }
             for msg in batch {
-                offset = msg
-                    .offset
-                    .checked_add(1)
-                    .ok_or(crate::ProcessingError::OffsetOverflow {
-                        what: "advancing the changelog replay position",
-                        value: msg.offset,
-                    })?;
+                offset =
+                    msg.offset
+                        .checked_add(1)
+                        .ok_or(crate::ProcessingError::OffsetOverflow {
+                            what: "advancing the changelog replay position",
+                            value: msg.offset,
+                        })?;
                 let Some(key) = msg.key else { continue };
                 if msg.value.is_empty() {
                     self.store.delete(key)?;

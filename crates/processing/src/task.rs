@@ -200,6 +200,7 @@ mod tests {
             timestamp: 0,
             key: None,
             value: b("hello"),
+            span: 0,
         };
         task.process(&msg, &mut ctx).unwrap();
         assert_eq!(ctx.store().get_counter(b"count"), 1);

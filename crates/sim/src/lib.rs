@@ -17,8 +17,8 @@
 //! * [`failure`] — deterministic and probabilistic failure injection.
 //! * [`chaos`] — seeded chaos plans: reproducible operation/fault
 //!   interleavings interpreted by the integration-level chaos harness.
-//! * [`stats`] — counters and log-bucketed latency histograms used by the
-//!   benchmark harness.
+//! * [`stats`] — re-exports the counters and log-bucketed histograms
+//!   that now live in `liquid_obs::stats`.
 //! * [`sched`] — liquid-check: the deterministic model-checking
 //!   scheduler (virtual threads, DFS interleaving explorer, schedule
 //!   replay) and its [`sched::Shared`] tracked cells.

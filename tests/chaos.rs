@@ -37,6 +37,7 @@ use std::result::Result;
 use liquid::prelude::*;
 use liquid_log::LogError;
 use liquid_messaging::{Cluster, ClusterConfig, MessagingError, TopicConfig};
+use liquid_obs::Obs;
 use liquid_processing::ProcessingError;
 use liquid_sim::chaos::{AckChoice, ChaosOp, ChaosPlan, FaultSite};
 use liquid_sim::failure::FailureInjector;
@@ -167,23 +168,33 @@ fn make_job(cluster: &Cluster, inj: &Injectors) -> Result<Job, ProcessingError> 
 }
 
 impl Harness {
-    fn new() -> Self {
+    fn new(obs: Obs) -> Self {
         let clock = SimClock::new(0);
         let inj = Injectors::new();
-        let mut cluster_config = ClusterConfig::with_brokers(BROKERS);
-        cluster_config.injector = inj.cluster.clone();
-        let cluster = Cluster::new(cluster_config, clock.shared());
-        let mut tc = TopicConfig::with_partitions(1)
+        let cluster_config = ClusterConfig::builder()
+            .brokers(BROKERS)
+            .injector(inj.cluster.clone())
+            .obs(obs)
+            .build()
+            .expect("valid cluster config");
+        let mut tc = TopicConfig::builder()
+            .partitions(1)
             .replication(3)
-            .segment_bytes(4096);
+            .segment_bytes(4096)
+            .build_for(&cluster_config)
+            .expect("valid events topic");
         tc.log.injector = inj.log.clone();
-        cluster.create_topic(EVENTS, tc).unwrap();
-        let mut tc = TopicConfig::with_partitions(1)
+        let mut kv_tc = TopicConfig::builder()
+            .partitions(1)
             .replication(3)
             .compacted()
-            .segment_bytes(2048);
-        tc.log.injector = inj.log.clone();
-        cluster.create_topic(KV, tc).unwrap();
+            .segment_bytes(2048)
+            .build_for(&cluster_config)
+            .expect("valid kv topic");
+        kv_tc.log.injector = inj.log.clone();
+        let cluster = Cluster::new(cluster_config, clock.shared());
+        cluster.create_topic(EVENTS, tc).unwrap();
+        cluster.create_topic(KV, kv_tc).unwrap();
         // No injector is armed yet, so the initial instantiation cannot
         // crash.
         let job = make_job(&cluster, &inj).expect("initial job");
@@ -623,12 +634,12 @@ impl Harness {
     }
 }
 
-fn run_seed(seed: u64) -> RunReport {
+fn run_seed(seed: u64, obs: &Obs) -> RunReport {
     // CHAOS_TRACE=1 streams the op-by-op trace to stderr while
     // replaying a seed — the first tool to reach for on a failure.
     let verbose = std::env::var("CHAOS_TRACE").is_ok();
     let plan = ChaosPlan::generate(seed, PLAN_LEN);
-    let mut h = Harness::new();
+    let mut h = Harness::new(obs.clone());
     for (i, op) in plan.ops.iter().enumerate() {
         let before = h.trace.len();
         match h.step(op) {
@@ -647,10 +658,22 @@ fn run_seed(seed: u64) -> RunReport {
     h.finish(seed)
 }
 
-/// Runs one seed, converting any invariant failure into a panic that
-/// carries the repro command line.
-fn run_seed_checked(seed: u64) -> RunReport {
-    match std::panic::catch_unwind(AssertUnwindSafe(|| run_seed(seed))) {
+/// Registry snapshot plus causal trace tail for the failing run —
+/// printed on invariant failure so the run's counters and event history
+/// survive the unwind.
+fn observability_dump(obs: &Obs) -> String {
+    format!(
+        "registry snapshot: {}\ntrace tail: {}",
+        obs.snapshot().to_json(),
+        obs.tracer().tail_json(32),
+    )
+}
+
+/// Runs `f` (a full seed run recording into `obs`), converting any
+/// invariant failure into a panic that carries the repro command line
+/// and the observability dump of the failing run.
+fn check_run(seed: u64, obs: &Obs, f: impl FnOnce() -> RunReport) -> RunReport {
+    match std::panic::catch_unwind(AssertUnwindSafe(f)) {
         Ok(report) => report,
         Err(payload) => {
             let msg = payload
@@ -660,10 +683,17 @@ fn run_seed_checked(seed: u64) -> RunReport {
                 .unwrap_or_else(|| "non-string panic".to_string());
             panic!(
                 "chaos invariant failed for seed {seed}: {msg}\n  \
-                 reproduce with: CHAOS_SEED={seed} cargo test -q --test chaos"
+                 reproduce with: CHAOS_SEED={seed} cargo test -q --test chaos\n{}",
+                observability_dump(obs)
             );
         }
     }
+}
+
+/// Runs one seed against a fresh observability sink.
+fn run_seed_checked(seed: u64) -> RunReport {
+    let obs = Obs::default();
+    check_run(seed, &obs, || run_seed(seed, &obs))
 }
 
 #[test]
@@ -727,4 +757,34 @@ fn distinct_seeds_explore_distinct_schedules() {
     let a = run_seed_checked(1);
     let b = run_seed_checked(2);
     assert_ne!(a.trace, b.trace, "seeds 1 and 2 ran identical schedules");
+}
+
+/// A forced invariant failure must surface the registry snapshot and
+/// the causal trace tail of the failing run in the panic it raises.
+#[test]
+fn invariant_failure_carries_observability_dump() {
+    let obs = Obs::default();
+    // Record some real activity into the sink first, so the dump has
+    // counters and events to show.
+    let mut h = Harness::new(obs.clone());
+    for i in 0..5 {
+        h.produce(1, i, AckChoice::All).unwrap();
+    }
+    let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        check_run(9999, &obs, || panic!("forced invariant failure"))
+    }))
+    .expect_err("check_run must re-panic");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .expect("panic payload is a formatted string");
+    assert!(msg.contains("forced invariant failure"), "{msg}");
+    assert!(msg.contains("CHAOS_SEED=9999"), "{msg}");
+    assert!(msg.contains("registry snapshot:"), "{msg}");
+    assert!(msg.contains("trace tail:"), "{msg}");
+    #[cfg(not(feature = "obs-off"))]
+    {
+        assert!(msg.contains("cluster.messages_in"), "{msg}");
+        assert!(msg.contains("\"produce\""), "{msg}");
+    }
 }

@@ -110,6 +110,63 @@ fn model_concurrent_producers_one_partition() {
 }
 
 // ---------------------------------------------------------------------------
+// Scenario 1b: concurrent instrument registration and updates
+// ---------------------------------------------------------------------------
+
+/// Two threads race to register the *same* named counter and bump it.
+/// The registry's internals are plain std atomics (invisible to the
+/// scheduler), so a lockdep-ranked turnstile mutex splits each writer
+/// into modeled segments the DFS can genuinely reorder: registration
+/// happens inside the critical section of one writer but outside the
+/// other's, covering register-then-register and register-while-updating
+/// orders. In every interleaving both writers must land on one shared
+/// cell — no lost update, no duplicate registration.
+#[cfg(not(feature = "obs-off"))]
+#[test]
+fn model_registry_concurrent_registration() {
+    use liquid_obs::Obs;
+    use liquid_sim::lockdep::Mutex;
+    let report = check("obs.registry-races", Config::default(), || {
+        let obs = Obs::default();
+        let turnstile = Arc::new(Mutex::new("job.metrics", ()));
+        let a = {
+            let o = obs.clone();
+            let t = turnstile.clone();
+            thread::spawn_named("writer-a".into(), move || {
+                let c = o.registry().counter("race.hits");
+                let _g = t.lock();
+                c.add(2);
+                o.registry().gauge("race.level").set_max(5);
+            })
+        };
+        let b = {
+            let o = obs.clone();
+            let t = turnstile.clone();
+            thread::spawn_named("writer-b".into(), move || {
+                let _g = t.lock();
+                let c = o.registry().counter("race.hits");
+                c.add(3);
+                o.registry().gauge("race.level").set_max(7);
+            })
+        };
+        a.join();
+        b.join();
+        let snap = obs.snapshot();
+        assert_eq!(
+            snap.counter("race.hits"),
+            5,
+            "concurrent adds on one named counter must not lose updates"
+        );
+        assert_eq!(
+            snap.gauge("race.level"),
+            Some(7),
+            "set_max converges to the maximum in every interleaving"
+        );
+    });
+    assert_exhaustive(&report, 2);
+}
+
+// ---------------------------------------------------------------------------
 // Scenario 2: consumer-group rebalance vs. offset commit
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,163 @@
+//! Cross-layer observability integration: one registry and one tracer
+//! span the whole stack (log segments, LSM state stores, the cluster,
+//! and jobs), so a single snapshot shows a workload's footprint at
+//! every layer and a span minted at produce is visible at fetch and at
+//! task delivery.
+#![cfg(not(feature = "obs-off"))]
+
+use liquid::prelude::*;
+use liquid_messaging::{Cluster, ClusterConfig, TopicConfig};
+use liquid_obs::{Obs, Snapshot};
+
+fn b(s: &str) -> Bytes {
+    Bytes::from(s.to_string())
+}
+
+fn stack(obs: &Obs) -> Cluster {
+    let config = ClusterConfig::builder()
+        .brokers(3)
+        .replication(2)
+        .obs(obs.clone())
+        .build()
+        .expect("valid cluster config");
+    let tc = TopicConfig::builder()
+        .partitions(2)
+        .replication(2)
+        .build_for(&config)
+        .expect("valid topic config");
+    let cluster = Cluster::new(config, SimClock::new(0).shared());
+    cluster.create_topic("in", tc).unwrap();
+    cluster
+        .create_topic("out", TopicConfig::with_partitions(2))
+        .unwrap();
+    cluster
+}
+
+fn run_counting_job(cluster: &Cluster) -> Job {
+    let mut job = Job::new(cluster, JobConfig::new("obs-e2e", &["in"]), |_| {
+        Box::new(FnTask(|m: &Message, ctx: &mut TaskContext<'_>| {
+            ctx.store().add_counter(b"seen", 1)?;
+            ctx.send("out", m.key.clone(), m.value.clone())?;
+            Ok(())
+        }))
+    })
+    .unwrap();
+    job.run_until_idle(10).unwrap();
+    job.checkpoint().unwrap();
+    job
+}
+
+/// A span minted at `produce_to` is the same id the consumer-side fetch
+/// reports and the same id the task sees at delivery.
+#[test]
+fn span_propagates_from_produce_through_fetch_to_task() {
+    let obs = Obs::default();
+    let cluster = stack(&obs);
+    let tp = TopicPartition::new("in", 0);
+    for i in 0..4 {
+        cluster
+            .produce_to(&tp, Some(b("k")), b(&format!("v{i}")), AckLevel::All)
+            .unwrap();
+    }
+    let _job = run_counting_job(&cluster);
+    let events = obs.tracer().tail(1024);
+    let spans_of = |kind: &str| -> Vec<u64> {
+        events
+            .iter()
+            .filter(|e| e.kind == kind && e.site == "in-0")
+            .map(|e| e.span)
+            .collect()
+    };
+    let produced = spans_of("produce");
+    assert_eq!(produced.len(), 4, "one produce event per record");
+    assert!(produced.iter().all(|&s| s != 0), "spans are nonzero");
+    assert_eq!(
+        produced,
+        spans_of("fetch"),
+        "fetch reports the span minted at produce"
+    );
+    assert_eq!(
+        produced,
+        spans_of("task.deliver"),
+        "the task sees the span minted at produce"
+    );
+}
+
+/// Every layer's instruments land in the one registry the cluster was
+/// built with: log appends, kv state-store writes, cluster produce
+/// counters, and job round counters are all visible in one snapshot.
+#[test]
+fn one_snapshot_spans_all_layers() {
+    let obs = Obs::default();
+    let cluster = stack(&obs);
+    let tp = TopicPartition::new("in", 0);
+    for i in 0..10 {
+        cluster
+            .produce_to(&tp, Some(b(&format!("k{i}"))), b("v"), AckLevel::All)
+            .unwrap();
+    }
+    let job = run_counting_job(&cluster);
+    let snap = job.snapshot();
+    assert!(snap.counter("log.append") > 0, "log layer instrumented");
+    assert!(
+        snap.counter("kv.wal-append") > 0,
+        "state-store layer instrumented"
+    );
+    // 10 input records + 10 task outputs + 10 changelog puts.
+    assert_eq!(snap.counter("cluster.messages_in"), 30);
+    assert!(snap.counter("job.rounds") > 0, "job layer instrumented");
+    assert_eq!(snap.counter("job.messages"), 10);
+    assert!(snap.counter("offsets.commit") > 0, "checkpoint committed");
+    assert_eq!(
+        snap.gauge("partition.high_watermark{tp=in-0}"),
+        Some(10),
+        "per-partition gauges carry labels"
+    );
+}
+
+/// The snapshot of a real workload round-trips through its JSON form
+/// without losing a counter, gauge, or histogram summary.
+#[test]
+fn workload_snapshot_round_trips_through_json() {
+    let obs = Obs::default();
+    let cluster = stack(&obs);
+    let tp = TopicPartition::new("in", 1);
+    for i in 0..25 {
+        cluster
+            .produce_to(
+                &tp,
+                Some(b("k")),
+                b(&format!("value-{i}")),
+                AckLevel::Leader,
+            )
+            .unwrap();
+    }
+    cluster.replicate_tick().unwrap();
+    let snap = cluster.snapshot();
+    assert!(!snap.counters.is_empty());
+    assert!(!snap.histograms.is_empty(), "log.append.bytes recorded");
+    let text = snap.to_json();
+    let back = Snapshot::from_json(&text).expect("snapshot JSON parses");
+    assert_eq!(snap, back, "JSON round-trip is lossless");
+}
+
+/// `Consumer::lag` is derived from the registry's per-partition
+/// high-watermark gauge and tracks the distance to it.
+#[test]
+fn consumer_lag_reads_registry_gauges() {
+    let obs = Obs::default();
+    let cluster = stack(&obs);
+    let tp = TopicPartition::new("in", 0);
+    for _ in 0..6 {
+        cluster
+            .produce_to(&tp, None, b("x"), AckLevel::All)
+            .unwrap();
+    }
+    let consumer = Consumer::new(&cluster, "c0");
+    consumer
+        .assign(tp.clone(), StartPosition::Earliest)
+        .unwrap();
+    assert_eq!(consumer.lag(&tp), Some(6), "unread backlog");
+    while !consumer.poll().unwrap().is_empty() {}
+    assert_eq!(consumer.lag(&tp), Some(0), "caught up");
+}
