@@ -170,9 +170,11 @@ pub mod prelude {
     pub use crate::stack::{FeedConfig, FeedKind, Liquid, LiquidConfig};
     pub use crate::{LiquidError, Result};
     pub use bytes::Bytes;
+    pub use liquid_log::{BatchBuilder, RecordBatch};
     pub use liquid_messaging::consumer::StartPosition;
     pub use liquid_messaging::{
-        AckLevel, AssignmentStrategy, Consumer, Message, Partitioner, Producer, TopicPartition,
+        AckLevel, AssignmentStrategy, BatchConfig, Consumer, Message, MessageBatch, Partitioner,
+        Producer, TopicPartition,
     };
     pub use liquid_processing::{
         FnTask, Job, JobConfig, JobStart, Pipeline, StateStore, StreamTask, TaskContext,

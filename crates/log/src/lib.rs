@@ -27,6 +27,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod compaction;
 pub mod error;
 pub mod log;
@@ -34,6 +35,7 @@ pub mod record;
 pub mod segment;
 pub mod storage;
 
+pub use batch::{BatchBuilder, RecordBatch};
 pub use compaction::CompactionStats;
 pub use error::LogError;
 pub use log::{CleanupPolicy, Log, LogConfig, ReadOutcome, RetentionPolicy};

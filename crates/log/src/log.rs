@@ -11,6 +11,7 @@ use liquid_sim::failure::FailureInjector;
 use liquid_sim::lockdep::Mutex;
 use liquid_sim::pagecache::PageCache;
 
+use crate::batch::RecordBatch;
 use crate::error::LogError;
 use crate::record::Record;
 use crate::segment::Segment;
@@ -82,9 +83,11 @@ impl Default for LogConfig {
 #[derive(Debug, Clone)]
 pub(crate) struct LogMetrics {
     pub(crate) append: CounterHandle,
+    pub(crate) append_batch: CounterHandle,
     pub(crate) roll: CounterHandle,
     pub(crate) compact: CounterHandle,
     pub(crate) append_bytes: HistogramHandle,
+    pub(crate) batch_records: HistogramHandle,
 }
 
 impl LogMetrics {
@@ -92,9 +95,11 @@ impl LogMetrics {
         let reg = obs.registry();
         LogMetrics {
             append: reg.counter("log.append"),
+            append_batch: reg.counter("log.append-batch"),
             roll: reg.counter("log.roll"),
             compact: reg.counter("log.compact"),
             append_bytes: reg.histogram("log.append.bytes"),
+            batch_records: reg.histogram("log.append.batch_records"),
         }
     }
 }
@@ -236,13 +241,63 @@ impl Log {
         Ok(offset)
     }
 
-    /// Appends a batch, returning the offset of the first record.
+    /// Appends a batch of `(key, value)` pairs as one group-commit,
+    /// stamping every record with the current clock time. Returns the
+    /// offset of the first record. See
+    /// [`append_record_batch`](Self::append_record_batch).
     pub fn append_batch(&mut self, batch: Vec<(Option<Bytes>, Bytes)>) -> crate::Result<u64> {
-        let first = self.next_offset();
-        for (k, v) in batch {
-            self.append(k, v)?;
+        let now = self.clock.now();
+        let base = self.next_offset();
+        self.append_record_batch(RecordBatch::from_pairs(batch, now))?;
+        Ok(base)
+    }
+
+    /// Group-commit append: the whole batch is one decision point — one
+    /// fault-injector tick (`log.append-batch`), one roll check, one
+    /// metrics record — instead of one per record, which is what makes
+    /// the batched produce path scale (ROADMAP item 1).
+    ///
+    /// Atomicity: the injector tick happens *before* the first record
+    /// is written, so an injected crash drops the batch whole — a torn
+    /// batch is never half-appended by fault injection. Offsets are
+    /// assigned sequentially from the current log end, overwriting
+    /// whatever offsets the records carried. Because the batch is
+    /// indivisible, the roll threshold is checked once up front and the
+    /// active segment may overshoot `segment_bytes` by up to one batch.
+    ///
+    /// Returns `(base_offset, records, payload_bytes)` of the appended
+    /// run; an empty batch appends nothing and ticks nothing.
+    pub fn append_record_batch(&mut self, batch: RecordBatch) -> crate::Result<(u64, u64, u64)> {
+        let records = batch.len() as u64;
+        if records == 0 {
+            return Ok((self.next_offset(), 0, 0));
         }
-        Ok(first)
+        let payload_bytes = batch.payload_bytes();
+        self.metrics.append_batch.inc();
+        self.metrics.batch_records.record(records);
+        self.metrics.append.add(records);
+        self.metrics.append_bytes.record(payload_bytes);
+        if self.config.injector.tick("log.append-batch") {
+            return Err(LogError::Injected("log.append-batch"));
+        }
+        self.maybe_roll()?;
+        let base = self.next_offset();
+        let file_id = self.file_id(self.active_base());
+        // Accumulate the page span so the cache model is charged once
+        // for the whole group-commit write.
+        let mut span: Option<(u64, u64)> = None;
+        for mut record in batch.into_records() {
+            record.offset = self.next_offset();
+            let (pos, len) = self.active_mut().append(&record)?;
+            span = Some(match span {
+                Some((start, total)) => (start, total + len),
+                None => (pos, len),
+            });
+        }
+        if let (Some((cache, _)), Some((start, total))) = (&self.cache, span) {
+            cache.lock().write(file_id, start, total as usize);
+        }
+        Ok((base, records, payload_bytes))
     }
 
     /// Reads up to `max_bytes` of records starting at `offset`,

@@ -20,8 +20,8 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use liquid_coord::{CoordService, Session};
-use liquid_log::{Log, LogError};
-use liquid_obs::{CounterHandle, GaugeHandle, Obs};
+use liquid_log::{Log, LogError, RecordBatch};
+use liquid_obs::{CounterHandle, GaugeHandle, HistogramHandle, Obs};
 use liquid_sim::clock::SharedClock;
 use liquid_sim::failure::FailureInjector;
 use liquid_sim::lockdep::RwLock;
@@ -29,7 +29,7 @@ use liquid_sim::sched::Shared;
 
 use crate::config::{AckLevel, TopicConfig};
 use crate::error::MessagingError;
-use crate::ids::{BrokerId, Message, TopicPartition};
+use crate::ids::{BrokerId, Message, MessageBatch, TopicPartition};
 use crate::offsets::OffsetManager;
 
 /// Cluster-wide configuration.
@@ -162,7 +162,12 @@ struct ClusterMetrics {
     produce_failures: CounterHandle,
     producer_ids: CounterHandle,
     replication_fetch: CounterHandle,
+    replication_fetch_batch: CounterHandle,
     cluster_election: CounterHandle,
+    /// Records per produced batch (group-commit size distribution).
+    produce_batch_records: HistogramHandle,
+    /// Records per served fetch batch.
+    fetch_batch_records: HistogramHandle,
 }
 
 impl ClusterMetrics {
@@ -179,7 +184,10 @@ impl ClusterMetrics {
             produce_failures: reg.counter("cluster.produce_failures"),
             producer_ids: reg.counter("cluster.producer_ids"),
             replication_fetch: reg.counter("replication.fetch"),
+            replication_fetch_batch: reg.counter("replication.fetch-batch"),
             cluster_election: reg.counter("cluster.election"),
+            produce_batch_records: reg.histogram("cluster.produce.batch_records"),
+            fetch_batch_records: reg.histogram("cluster.fetch.batch_records"),
         }
     }
 }
@@ -621,15 +629,159 @@ impl Cluster {
         Ok(offset)
     }
 
+    /// Produces a whole [`RecordBatch`] as one **group commit**: one
+    /// lock acquisition, one leader append
+    /// ([`Log::append_record_batch`]), and — at [`AckLevel::All`] — one
+    /// replication fetch per follower for the entire batch. Returns the
+    /// batch's base offset; records occupy `base..base + len`
+    /// contiguously.
+    ///
+    /// Semantics match `len` calls to
+    /// [`produce_idempotent`](Self::produce_idempotent) exactly, except
+    /// atomically: a fault injected at the `log.append-batch` or
+    /// `replication.fetch-batch` site drops or un-acks the batch as a
+    /// whole — the high watermark never lands inside it, so a torn
+    /// batch is never partially acknowledged. Records are re-stamped
+    /// with broker time at append, and `dedup` carries one
+    /// `(producer_id, sequence)` for the whole batch, so a retry either
+    /// re-appends everything or nothing.
+    pub fn produce_batch(
+        &self,
+        tp: &TopicPartition,
+        batch: RecordBatch,
+        acks: AckLevel,
+        dedup: Option<(u64, u64)>,
+    ) -> crate::Result<u64> {
+        let count = batch.len() as u64;
+        let payload_bytes = batch.payload_bytes();
+        let mut st = self.inner.state.write();
+        let now = self.inner.clock.now();
+        let brokers_online: HashMap<BrokerId, bool> =
+            st.brokers.iter().map(|(&id, b)| (id, b.online)).collect();
+        let ps = partition_mut(&mut st, tp)?;
+        let leader = match ps
+            .leader
+            .filter(|b| brokers_online.get(b).copied().unwrap_or(false))
+        {
+            Some(l) => l,
+            None => {
+                self.inner.metrics.produce_failures.inc();
+                return Err(MessagingError::PartitionUnavailable(tp.clone()));
+            }
+        };
+        if count == 0 {
+            return Ok(ps.log_end(leader));
+        }
+        if let Some((producer_id, sequence)) = dedup {
+            let last = ps.producer_seqs.get(&producer_id).copied();
+            if last.is_some_and(|l| sequence <= l) {
+                // Duplicate retry: the whole batch already landed.
+                return Ok(ps.log_end(leader).saturating_sub(count));
+            }
+            ps.producer_seqs.insert(producer_id, sequence);
+        }
+        let leader_log = ps
+            .replicas
+            .get_mut(&leader)
+            .ok_or_else(|| MessagingError::PartitionUnavailable(tp.clone()))?;
+        let (base, appended, _) = leader_log.append_record_batch(batch.stamped(now))?;
+        // Spans stay per-record even though the append was one group
+        // commit — every record gets its own causal identity, so
+        // downstream fetch/deliver events remain attributable.
+        let mut first_span = 0u64;
+        for i in 0..appended {
+            let offset = base.checked_add(i).ok_or(MessagingError::OffsetOverflow {
+                what: "walking the appended batch",
+                value: base,
+            })?;
+            let span = self.inner.obs.tracer().mint();
+            self.inner
+                .obs
+                .tracer()
+                .record(span, "produce", &ps.tp_label, offset);
+            ps.remember_span(offset, span);
+            if i == 0 {
+                first_span = span;
+            }
+        }
+        let next_end = base
+            .checked_add(appended)
+            .ok_or(MessagingError::OffsetOverflow {
+                what: "advancing past the appended batch",
+                value: base,
+            })?;
+        match acks {
+            AckLevel::All => {
+                let isr = ps.isr.clone();
+                let mut synced_ends = vec![next_end];
+                for b in isr {
+                    if b == leader || !brokers_online.get(&b).copied().unwrap_or(false) {
+                        continue;
+                    }
+                    self.inner.metrics.replication_fetch_batch.inc();
+                    if self.inner.config.injector.tick("replication.fetch-batch") {
+                        // Crash mid group-commit: the leader holds the
+                        // batch but not every ISR member confirmed. The
+                        // high watermark stays below the batch's base,
+                        // so the whole batch is unacked — never a
+                        // partial acknowledgement.
+                        return Err(MessagingError::Injected("replication.fetch-batch"));
+                    }
+                    let copied = catch_up(ps, leader, b)?;
+                    self.note_replicated(copied);
+                    if copied.0 > 0 {
+                        self.inner.obs.tracer().record(
+                            first_span,
+                            "replicate",
+                            &ps.tp_label,
+                            copied.0,
+                        );
+                    }
+                    synced_ends.push(ps.log_end(b));
+                }
+                let min_end = synced_ends.iter().copied().min().unwrap_or(next_end);
+                let hw = ps.high_watermark.get();
+                ps.high_watermark.set(hw.max(min_end));
+            }
+            AckLevel::Leader | AckLevel::None => {
+                if ps.isr == [leader] {
+                    ps.high_watermark.set(next_end);
+                }
+            }
+        }
+        ps.publish_gauges();
+        self.inner.metrics.messages_in.add(appended);
+        self.inner.metrics.bytes_in.add(payload_bytes);
+        self.inner.metrics.produce_batch_records.record(appended);
+        Ok(base)
+    }
+
     /// Fetches up to `max_bytes` of committed messages from `offset`.
     /// Fetching at the high watermark returns an empty batch (the
-    /// consumer is tailing).
+    /// consumer is tailing). Decomposes the underlying
+    /// [`fetch_batch`](Self::fetch_batch) — payloads are still shared,
+    /// not copied.
     pub fn fetch(
         &self,
         tp: &TopicPartition,
         offset: u64,
         max_bytes: u64,
     ) -> crate::Result<Vec<Message>> {
+        Ok(self.fetch_batch(tp, offset, max_bytes)?.into_messages())
+    }
+
+    /// Fetches up to `max_bytes` of committed records from `offset` as
+    /// one [`MessageBatch`]: the records keep sharing the log's payload
+    /// buffers, per-record spans ride alongside, and the batch carries
+    /// the exact next fetch position
+    /// ([`MessageBatch::end_offset`]) plus the high watermark observed
+    /// at fetch time. Fetching at the watermark returns an empty batch.
+    pub fn fetch_batch(
+        &self,
+        tp: &TopicPartition,
+        offset: u64,
+        max_bytes: u64,
+    ) -> crate::Result<MessageBatch> {
         let st = self.inner.state.read();
         let ps = partition_ref(&st, tp)?;
         let leader = ps
@@ -651,30 +803,44 @@ impl Cluster {
                     end: log.next_offset(),
                 }));
             }
-            return Ok(Vec::new());
+            return Ok(MessageBatch::empty(offset, hw));
         }
         let out = log.read(offset, max_bytes)?;
         let mut bytes = 0u64;
-        let messages: Vec<Message> = out
-            .records
-            .into_iter()
-            .filter(|r| r.offset < hw)
-            .map(|r| {
-                bytes += r.value.len() as u64;
-                let mut m = Message::from(r);
-                m.span = ps.span_at(m.offset);
-                if m.span != 0 {
-                    self.inner
-                        .obs
-                        .tracer()
-                        .record(m.span, "fetch", &ps.tp_label, m.offset);
-                }
-                m
-            })
-            .collect();
-        self.inner.metrics.messages_out.add(messages.len() as u64);
+        let mut records = Vec::with_capacity(out.records.len());
+        let mut spans = Vec::with_capacity(out.records.len());
+        for r in out.records {
+            if r.offset >= hw {
+                continue;
+            }
+            bytes = bytes.saturating_add(r.value.len() as u64);
+            let span = ps.span_at(r.offset);
+            if span != 0 {
+                self.inner
+                    .obs
+                    .tracer()
+                    .record(span, "fetch", &ps.tp_label, r.offset);
+            }
+            spans.push(span);
+            records.push(r);
+        }
+        let end_offset = match records.last() {
+            Some(last) => last
+                .offset
+                .checked_add(1)
+                .ok_or(MessagingError::OffsetOverflow {
+                    what: "advancing past a fetched batch",
+                    value: last.offset,
+                })?,
+            None => offset,
+        };
+        self.inner.metrics.messages_out.add(records.len() as u64);
         self.inner.metrics.bytes_out.add(bytes);
-        Ok(messages)
+        self.inner
+            .metrics
+            .fetch_batch_records
+            .record(records.len() as u64);
+        Ok(MessageBatch::new(records, spans, end_offset, hw))
     }
 
     /// First retained offset on the leader's log — the lowest offset a
@@ -1209,20 +1375,20 @@ fn catch_up(
             .read(from.max(leader_log.start_offset()), u64::MAX)?
             .records
     };
-    let mut messages = 0u64;
-    let mut bytes = 0u64;
+    // The missing suffix moves as one batch: payload `Bytes` are shared
+    // with the leader's log (no copy), and the follower appends it as a
+    // single group commit — one `log.append-batch` decision point, so an
+    // injected crash drops the whole transfer, never half of it.
+    let to_copy: Vec<liquid_log::Record> =
+        records.into_iter().filter(|r| r.offset >= from).collect();
+    if to_copy.is_empty() {
+        return Ok((0, 0));
+    }
     let flog = ps
         .replicas
         .get_mut(&follower)
         .ok_or(MessagingError::UnknownBroker(follower))?;
-    for rec in records {
-        if rec.offset < from {
-            continue;
-        }
-        bytes += rec.value.len() as u64;
-        messages += 1;
-        flog.append_with_timestamp(rec.key, rec.value, rec.timestamp)?;
-    }
+    let (_, messages, bytes) = flog.append_record_batch(RecordBatch::from_records(to_copy))?;
     Ok((messages, bytes))
 }
 

@@ -12,7 +12,7 @@ use liquid_sim::lockdep::Mutex;
 
 use crate::cluster::Cluster;
 use crate::group::AssignmentStrategy;
-use crate::ids::{Message, TopicPartition};
+use crate::ids::{Message, MessageBatch, TopicPartition};
 
 /// Where a newly assigned consumer starts reading.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -157,12 +157,20 @@ impl Consumer {
         self.state.lock().positions.get(tp).copied()
     }
 
-    /// Consumer lag for a partition: how many committed records sit
-    /// between this consumer's position and the partition's high
-    /// watermark, read from the registry's
-    /// `partition.high_watermark{tp=…}` gauge. `None` when the
-    /// partition is unassigned or the gauge is not populated (e.g. the
-    /// observability layer is compiled out with `obs-off`).
+    /// Consumer lag for a partition: the offset distance between this
+    /// consumer's position and the partition's high watermark, read
+    /// from the registry's `partition.high_watermark{tp=…}` gauge.
+    /// `None` when the partition is unassigned or the gauge is not
+    /// populated (e.g. the observability layer is compiled out with
+    /// `obs-off`).
+    ///
+    /// Exact under batch-granular delivery: [`poll_batches`]
+    /// (Self::poll_batches) advances the position to the batch's
+    /// `end_offset` (one past the last record actually read), never by
+    /// record count — counting records would over-report lag forever on
+    /// compacted partitions, where fewer records exist than offsets.
+    /// The same value is published per poll as the
+    /// `consumer.lag{tp=…}` gauge.
     pub fn lag(&self, tp: &TopicPartition) -> Option<u64> {
         let pos = self.position(tp)?;
         let hw = self
@@ -193,8 +201,24 @@ impl Consumer {
     }
 
     /// Pulls the next batch from every assigned partition, advancing
-    /// positions past what was returned.
+    /// positions past what was returned. Decomposes the batches of
+    /// [`poll_batches`](Self::poll_batches); payloads stay shared.
     pub fn poll(&self) -> crate::Result<Vec<(TopicPartition, Vec<Message>)>> {
+        Ok(self
+            .poll_batches()?
+            .into_iter()
+            .map(|(tp, batch)| (tp, batch.into_messages()))
+            .collect())
+    }
+
+    /// Pulls one [`MessageBatch`] per assigned partition, advancing each
+    /// position to the batch's [`end_offset`](MessageBatch::end_offset)
+    /// — offset-granular, **not** record-count-granular, so positions
+    /// (and therefore [`lag`](Self::lag)) stay exact even when
+    /// compaction has punched holes in the offset sequence. Empty
+    /// batches are dropped from the result but still leave the position
+    /// untouched by construction (`end_offset == requested offset`).
+    pub fn poll_batches(&self) -> crate::Result<Vec<(TopicPartition, MessageBatch)>> {
         // Polling is liveness: heartbeat the group coordinator.
         if let Some(group) = self.group.as_deref() {
             self.cluster.heartbeat_group(group, &self.member_id).ok();
@@ -207,19 +231,20 @@ impl Consumer {
             let Some(&pos) = st.positions.get(&tp) else {
                 continue; // assignment revoked between listing and fetch
             };
-            let msgs = self.cluster.fetch(&tp, pos, self.max_poll_bytes)?;
-            if let Some(last) = msgs.last() {
-                let next =
-                    last.offset
-                        .checked_add(1)
-                        .ok_or(crate::MessagingError::OffsetOverflow {
-                            what: "advancing the consumer position past a message",
-                            value: last.offset,
-                        })?;
-                st.positions.insert(tp.clone(), next);
-            }
-            if !msgs.is_empty() {
-                out.push((tp, msgs));
+            let batch = self.cluster.fetch_batch(&tp, pos, self.max_poll_bytes)?;
+            let next = batch.end_offset();
+            st.positions.insert(tp.clone(), next);
+            // Batch-aware lag gauge: distance from the *advanced*
+            // position to the watermark the fetch observed. Publishing
+            // per batch (not per record) keeps this off the per-message
+            // path.
+            self.cluster
+                .obs()
+                .registry()
+                .gauge_with("consumer.lag", &[("tp", &tp.to_string())])
+                .set(batch.high_watermark().saturating_sub(next));
+            if !batch.is_empty() {
+                out.push((tp, batch));
             }
         }
         out.sort_by(|a, b| a.0.cmp(&b.0));

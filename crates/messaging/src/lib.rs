@@ -43,10 +43,10 @@ pub use config::{AckLevel, TopicConfig, TopicConfigBuilder};
 pub use consumer::Consumer;
 pub use error::MessagingError;
 pub use group::{AssignmentStrategy, GroupAssignment};
-pub use ids::{BrokerId, Message, TopicPartition};
+pub use ids::{BrokerId, Message, MessageBatch, TopicPartition};
 pub use mirror::MirrorMaker;
 pub use offsets::{OffsetCommit, OffsetManager};
-pub use producer::{Partitioner, Producer};
+pub use producer::{BatchConfig, Partitioner, Producer};
 pub use quotas::{QuotaDecision, QuotaManager};
 
 /// Result alias for messaging operations.

@@ -4,9 +4,13 @@
 //! data in a round-robin fashion or according to a hash function for
 //! load-balancing or semantic routing."
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::Bytes;
+use liquid_log::BatchBuilder;
+use liquid_sim::clock::Ts;
+use liquid_sim::lockdep::Mutex;
 
 use crate::cluster::Cluster;
 use crate::config::AckLevel;
@@ -24,6 +28,37 @@ pub enum Partitioner {
     Manual(u32),
 }
 
+/// Thresholds for producer-side batch accumulation (§3.1 throughput:
+/// amortizing one group commit over many records is what makes the
+/// batched hot path fast).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Flush a partition's batch once it holds this many records.
+    pub max_records: usize,
+    /// Flush once the accumulated payload reaches this many bytes.
+    pub max_bytes: usize,
+    /// Flush once the batch's first record has waited this long (ms of
+    /// the cluster's clock). `0` disables the time bound.
+    pub linger_ms: u64,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_records: 256,
+            max_bytes: 1 << 20,
+            linger_ms: 5,
+        }
+    }
+}
+
+/// One partition's in-flight accumulation: the arena builder (the
+/// single copy of every payload) plus when it was opened, for linger.
+struct PendingBatch {
+    builder: BatchBuilder,
+    opened_at: Ts,
+}
+
 /// A handle publishing to one topic.
 pub struct Producer {
     cluster: Cluster,
@@ -36,6 +71,10 @@ pub struct Producer {
     idempotent: Option<(u64, AtomicU64)>,
     /// Client id for broker-side quota enforcement.
     client_id: Option<String>,
+    /// Per-partition accumulation, when batching is enabled. The lock
+    /// is never held across a cluster call: flushes take the builder
+    /// out, release, then group-commit.
+    batching: Option<(BatchConfig, Mutex<BTreeMap<u32, PendingBatch>>)>,
 }
 
 impl Producer {
@@ -53,7 +92,17 @@ impl Producer {
             rr: AtomicU64::new(0),
             idempotent: None,
             client_id: None,
+            batching: None,
         })
+    }
+
+    /// Enables producer-side batching: [`buffer`](Self::buffer)
+    /// accumulates records per partition and group-commits a batch when
+    /// `config`'s size, byte, or linger threshold trips (or on
+    /// [`flush`](Self::flush)).
+    pub fn with_batching(mut self, config: BatchConfig) -> Self {
+        self.batching = Some((config, Mutex::new("producer.batches", BTreeMap::new())));
+        self
     }
 
     /// Identifies this producer to the brokers for quota accounting
@@ -159,6 +208,118 @@ impl Producer {
     /// Publishes a keyless message (shorthand).
     pub fn send_value(&self, value: impl Into<Bytes>) -> crate::Result<(u32, u64)> {
         self.send(None, value.into())
+    }
+
+    /// Accumulates one record into its partition's pending batch
+    /// (requires [`with_batching`](Self::with_batching)). The payload
+    /// is copied exactly once — into the batch arena; every later hop
+    /// shares it. When this push trips a threshold the partition's
+    /// batch is group-committed and `Ok(Some((partition, base_offset)))`
+    /// is returned; otherwise `Ok(None)` and the record is in flight
+    /// until the next trip or [`flush`](Self::flush).
+    pub fn buffer(&self, key: Option<Bytes>, value: Bytes) -> crate::Result<Option<(u32, u64)>> {
+        let Some((config, pending)) = &self.batching else {
+            // Unbatched producers degrade to an immediate send.
+            return self.send(key, value).map(|(p, o)| Some((p, o)));
+        };
+        if let Some(client) = &self.client_id {
+            if let crate::quotas::QuotaDecision::Throttle { retry_after_ms } =
+                self.cluster.quotas().check(client, value.len() as u64)?
+            {
+                return Err(crate::MessagingError::Throttled {
+                    client: client.clone(),
+                    retry_after_ms,
+                });
+            }
+        }
+        let partition = self.pick_partition(key.as_deref());
+        let now = self.cluster.clock().now();
+        let ripe = {
+            let mut map = pending.lock();
+            let slot = map.entry(partition).or_insert_with(|| PendingBatch {
+                builder: BatchBuilder::default(),
+                opened_at: now,
+            });
+            slot.builder.push(key.as_deref(), &value, now);
+            let trip = slot.builder.len() >= config.max_records
+                || slot.builder.arena_bytes() >= config.max_bytes
+                || (config.linger_ms > 0 && now.saturating_sub(slot.opened_at) >= config.linger_ms);
+            // Take the ripe batch out *under* the lock, commit after
+            // releasing it — the accumulator lock never nests with the
+            // cluster's.
+            if trip {
+                map.remove(&partition)
+            } else {
+                None
+            }
+        };
+        match ripe {
+            Some(p) => Ok(Some((partition, self.commit_batch(partition, p.builder)?))),
+            None => Ok(None),
+        }
+    }
+
+    /// Buffers a keyed record (shorthand for [`buffer`](Self::buffer)).
+    pub fn buffer_keyed(
+        &self,
+        key: impl Into<Bytes>,
+        value: impl Into<Bytes>,
+    ) -> crate::Result<Option<(u32, u64)>> {
+        self.buffer(Some(key.into()), value.into())
+    }
+
+    /// Buffers a keyless record (shorthand for [`buffer`](Self::buffer)).
+    pub fn buffer_value(&self, value: impl Into<Bytes>) -> crate::Result<Option<(u32, u64)>> {
+        self.buffer(None, value.into())
+    }
+
+    /// Group-commits every pending batch (partition order, so injector
+    /// tick order is deterministic). Returns `(partition, base_offset,
+    /// record_count)` per flushed batch.
+    pub fn flush(&self) -> crate::Result<Vec<(u32, u64, u64)>> {
+        let Some((_, pending)) = &self.batching else {
+            return Ok(Vec::new());
+        };
+        let drained = std::mem::take(&mut *pending.lock());
+        let mut out = Vec::with_capacity(drained.len());
+        for (partition, p) in drained {
+            let count = p.builder.len() as u64;
+            let base = self.commit_batch(partition, p.builder)?;
+            out.push((partition, base, count));
+        }
+        Ok(out)
+    }
+
+    /// Records buffered but not yet committed, across all partitions.
+    pub fn pending_records(&self) -> usize {
+        self.batching
+            .as_ref()
+            .map(|(_, pending)| pending.lock().values().map(|p| p.builder.len()).sum())
+            .unwrap_or(0)
+    }
+
+    /// Commits one built batch to its partition; consumes one idempotent
+    /// sequence for the whole batch (a retry re-appends all or nothing).
+    fn commit_batch(&self, partition: u32, builder: BatchBuilder) -> crate::Result<u64> {
+        let tp = TopicPartition::new(self.topic.clone(), partition);
+        let dedup = self
+            .idempotent
+            .as_ref()
+            .map(|(id, next_seq)| (*id, next_seq.fetch_add(1, Ordering::Relaxed) + 1));
+        match self
+            .cluster
+            .produce_batch(&tp, builder.build(), self.acks, dedup)
+        {
+            Ok(base) => Ok(base),
+            Err(e) => {
+                if self.acks == AckLevel::None {
+                    // Fire-and-forget: losses are silent (paper §4.3).
+                    Ok(0)
+                } else {
+                    Err(e)
+                }
+            }
+        }
     }
 
     fn pick_partition(&self, key: Option<&[u8]>) -> u32 {
@@ -360,6 +521,128 @@ mod tests {
             free.send_value("0123456789012345678901234567890123456789")
                 .unwrap();
         }
+    }
+
+    #[test]
+    fn buffered_batch_flushes_contiguously() {
+        let c = setup(1);
+        let p = Producer::new(&c, "t").unwrap().with_batching(BatchConfig {
+            max_records: 100,
+            max_bytes: 1 << 20,
+            linger_ms: 0,
+        });
+        for i in 0..10 {
+            assert_eq!(p.buffer_value(format!("m{i}")).unwrap(), None);
+        }
+        assert_eq!(p.pending_records(), 10);
+        let flushed = p.flush().unwrap();
+        assert_eq!(flushed, vec![(0, 0, 10)]);
+        assert_eq!(p.pending_records(), 0);
+        let tp = TopicPartition::new("t", 0);
+        let msgs = c.fetch(&tp, 0, u64::MAX).unwrap();
+        assert_eq!(msgs.len(), 10);
+        let offsets: Vec<u64> = msgs.iter().map(|m| m.offset).collect();
+        assert_eq!(offsets, (0..10).collect::<Vec<u64>>(), "contiguous run");
+        assert_eq!(msgs[3].value.as_slice(), b"m3");
+    }
+
+    #[test]
+    fn record_count_threshold_trips_a_flush() {
+        let c = setup(1);
+        let p = Producer::new(&c, "t").unwrap().with_batching(BatchConfig {
+            max_records: 4,
+            max_bytes: 1 << 20,
+            linger_ms: 0,
+        });
+        let mut auto_flushed = None;
+        for i in 0..4 {
+            auto_flushed = p.buffer_value(format!("m{i}")).unwrap();
+        }
+        assert_eq!(auto_flushed, Some((0, 0)), "4th record trips the batch");
+        assert_eq!(p.pending_records(), 0);
+    }
+
+    #[test]
+    fn byte_threshold_trips_a_flush() {
+        let c = setup(1);
+        let p = Producer::new(&c, "t").unwrap().with_batching(BatchConfig {
+            max_records: 1000,
+            max_bytes: 16,
+            linger_ms: 0,
+        });
+        assert_eq!(p.buffer_value("0123456789").unwrap(), None);
+        let trip = p.buffer_value("0123456789").unwrap();
+        assert!(trip.is_some(), "20 bytes must trip a 16-byte batch");
+    }
+
+    #[test]
+    fn linger_trips_on_clock_advance() {
+        let clock = SimClock::new(0);
+        let c = Cluster::new(ClusterConfig::with_brokers(1), clock.shared());
+        c.create_topic("t", TopicConfig::with_partitions(1))
+            .unwrap();
+        let p = Producer::new(&c, "t").unwrap().with_batching(BatchConfig {
+            max_records: 1000,
+            max_bytes: 1 << 20,
+            linger_ms: 5,
+        });
+        assert_eq!(p.buffer_value("a").unwrap(), None);
+        clock.advance(10);
+        let trip = p.buffer_value("b").unwrap();
+        assert_eq!(trip, Some((0, 0)), "linger expiry flushes both records");
+        let tp = TopicPartition::new("t", 0);
+        assert_eq!(c.fetch(&tp, 0, u64::MAX).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn batches_route_per_partition_by_key() {
+        let c = setup(4);
+        let p = Producer::new(&c, "t").unwrap().with_batching(BatchConfig {
+            max_records: 1000,
+            max_bytes: 1 << 20,
+            linger_ms: 0,
+        });
+        for i in 0..40 {
+            p.buffer_keyed(format!("user-{i}"), "x").unwrap();
+        }
+        let flushed = p.flush().unwrap();
+        assert!(flushed.len() >= 2, "keys spread over partitions");
+        let total: u64 = flushed.iter().map(|(_, _, n)| n).sum();
+        assert_eq!(total, 40);
+        // Partition order is deterministic.
+        let parts: Vec<u32> = flushed.iter().map(|(p, _, _)| *p).collect();
+        let mut sorted = parts.clone();
+        sorted.sort_unstable();
+        assert_eq!(parts, sorted);
+    }
+
+    #[test]
+    fn unbatched_buffer_degrades_to_send() {
+        let c = setup(1);
+        let p = Producer::new(&c, "t").unwrap();
+        assert_eq!(p.buffer_value("x").unwrap(), Some((0, 0)));
+        assert!(p.flush().unwrap().is_empty());
+    }
+
+    #[test]
+    fn idempotent_batches_consume_one_sequence_each() {
+        let c = setup(1);
+        let p = Producer::new(&c, "t")
+            .unwrap()
+            .idempotent()
+            .with_batching(BatchConfig {
+                max_records: 1000,
+                max_bytes: 1 << 20,
+                linger_ms: 0,
+            });
+        for i in 0..6 {
+            p.buffer_value(format!("m{i}")).unwrap();
+        }
+        p.flush().unwrap();
+        let (_, seq) = p.idempotent.as_ref().unwrap();
+        assert_eq!(seq.load(Ordering::Relaxed), 1, "one sequence per batch");
+        let tp = TopicPartition::new("t", 0);
+        assert_eq!(c.fetch(&tp, 0, u64::MAX).unwrap().len(), 6);
     }
 
     #[test]

@@ -507,11 +507,14 @@ fn run_task_once(
         let Some(&pos) = t.positions.get(&tp) else {
             continue; // partition dropped from the task's inputs
         };
-        let msgs = cluster.fetch(&tp, pos, config.fetch_bytes)?;
+        // Task input arrives as one batch whose payloads still share
+        // the log's buffers; messages are materialized lazily one at a
+        // time, so a budget cut mid-batch never pays for the tail.
+        let batch = cluster.fetch_batch(&tp, pos, config.fetch_bytes)?;
         // Rendered lazily, once per partition batch, only when a traced
         // message actually needs it.
         let mut tp_site: Option<String> = None;
-        for msg in msgs {
+        for msg in batch.messages() {
             if budget == 0 {
                 break;
             }

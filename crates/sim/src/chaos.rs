@@ -55,6 +55,21 @@ pub enum ChaosOp {
         /// Acknowledgement level.
         ack: AckChoice,
     },
+    /// Produce a batch of `count` keyed records through the group-commit
+    /// path. Tags `tag..tag + count` make each value distinct; the whole
+    /// batch shares one acknowledgement, so a crash landing mid-batch
+    /// must drop or commit it atomically (never a partial ack).
+    ProduceBatch {
+        /// Key index of the first record; record `i` uses
+        /// `(key + i) % 8` so batches span the key space.
+        key: u8,
+        /// Tag of the first record; record `i` carries `tag + i`.
+        tag: u32,
+        /// Records in the batch (1..=16).
+        count: u8,
+        /// Acknowledgement level for the whole batch.
+        ack: AckChoice,
+    },
     /// Consume everything currently readable and fold it into the
     /// harness's model of delivered data.
     Consume,
@@ -133,12 +148,29 @@ impl ChaosPlan {
                         ack: AckChoice::Leader,
                     }
                 }
-                32..=39 => {
+                32..=35 => {
                     tag += 1;
                     ChaosOp::Produce {
                         key: rng.gen_range(0u8..8),
                         tag,
                         ack: AckChoice::None,
+                    }
+                }
+                // ~4%: group-commit batches, half at All so the torn-
+                // batch atomicity invariant is exercised under faults.
+                36..=39 => {
+                    let count = rng.gen_range(2u8..=16);
+                    let first = tag + 1;
+                    tag += count as u32;
+                    ChaosOp::ProduceBatch {
+                        key: rng.gen_range(0u8..8),
+                        tag: first,
+                        count,
+                        ack: if rng.gen_range(0u32..2) == 0 {
+                            AckChoice::All
+                        } else {
+                            AckChoice::Leader
+                        },
                     }
                 }
                 40..=49 => ChaosOp::Consume,
@@ -168,21 +200,24 @@ impl ChaosPlan {
         ChaosPlan { seed, ops }
     }
 
-    /// Number of produces at [`AckChoice::All`] — the records invariant
-    /// 1 guards.
+    /// Number of records produced at [`AckChoice::All`] (batch ops count
+    /// every record they carry) — the records invariant 1 guards.
     pub fn acked_all_produces(&self) -> usize {
         self.ops
             .iter()
-            .filter(|op| {
-                matches!(
-                    op,
-                    ChaosOp::Produce {
-                        ack: AckChoice::All,
-                        ..
-                    }
-                )
+            .map(|op| match op {
+                ChaosOp::Produce {
+                    ack: AckChoice::All,
+                    ..
+                } => 1,
+                ChaosOp::ProduceBatch {
+                    ack: AckChoice::All,
+                    count,
+                    ..
+                } => *count as usize,
+                _ => 0,
             })
-            .count()
+            .sum()
     }
 }
 
@@ -215,7 +250,7 @@ mod tests {
     fn plans_exercise_all_op_kinds() {
         // Over a long plan every variant should appear.
         let plan = ChaosPlan::generate(7, 2000);
-        let mut seen = [false; 10];
+        let mut seen = [false; 11];
         for op in &plan.ops {
             let idx = match op {
                 ChaosOp::Produce { .. } => 0,
@@ -228,6 +263,7 @@ mod tests {
                 ChaosOp::Checkpoint => 7,
                 ChaosOp::CrashJob => 8,
                 ChaosOp::InjectFault { .. } => 9,
+                ChaosOp::ProduceBatch { .. } => 10,
             };
             seen[idx] = true;
         }
@@ -236,19 +272,36 @@ mod tests {
 
     #[test]
     fn produce_tags_are_unique() {
+        // Every tag any record will carry — singles contribute one,
+        // batches contribute `count` consecutive tags.
         let plan = ChaosPlan::generate(13, 1000);
-        let mut tags: Vec<u32> = plan
-            .ops
-            .iter()
-            .filter_map(|op| match op {
-                ChaosOp::Produce { tag, .. } => Some(*tag),
-                _ => None,
-            })
-            .collect();
+        let mut tags: Vec<u32> = Vec::new();
+        for op in &plan.ops {
+            match op {
+                ChaosOp::Produce { tag, .. } => tags.push(*tag),
+                ChaosOp::ProduceBatch { tag, count, .. } => {
+                    tags.extend(*tag..*tag + *count as u32);
+                }
+                _ => {}
+            }
+        }
         let n = tags.len();
         tags.sort_unstable();
         tags.dedup();
         assert_eq!(tags.len(), n, "duplicate produce tags");
+    }
+
+    #[test]
+    fn batch_ops_are_bounded_and_present() {
+        let plan = ChaosPlan::generate(11, 2000);
+        let mut batches = 0;
+        for op in &plan.ops {
+            if let ChaosOp::ProduceBatch { count, .. } = op {
+                assert!((2..=16).contains(count));
+                batches += 1;
+            }
+        }
+        assert!(batches > 10, "only {batches} batch ops in 2000");
     }
 
     #[test]

@@ -26,6 +26,7 @@ use crate::rng::seeded;
 pub const SITES: &[&str] = &[
     // log crate
     "log.append",
+    "log.append-batch",
     "log.roll",
     "log.compact",
     // kv crate (task state stores)
@@ -35,6 +36,7 @@ pub const SITES: &[&str] = &[
     "kv.compact",
     // messaging crate
     "replication.fetch",
+    "replication.fetch-batch",
     "cluster.election",
     "offsets.commit",
     // processing crate

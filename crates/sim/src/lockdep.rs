@@ -42,6 +42,7 @@ pub const RANKS: &[(&str, u32)] = &[
     ("stack.feeds", 80),
     ("stack.managed", 75),
     ("yarn.state", 70),
+    ("producer.batches", 65),
     ("consumer.state", 60),
     ("group.groups", 50),
     ("cluster.state", 40),

@@ -134,6 +134,9 @@ struct RunReport {
     final_kv_fold: BTreeMap<Bytes, Bytes>,
     /// (operations, failures) per injector: log, cluster, job, state.
     injector_counts: [(u64, u64); 4],
+    /// (operations, failures) at the two batch-boundary fault sites:
+    /// `log.append-batch`, `replication.fetch-batch`.
+    batch_site_counts: [(u64, u64); 2],
 }
 
 struct Harness {
@@ -259,6 +262,12 @@ impl Harness {
     fn step(&mut self, op: &ChaosOp) -> Result<(), String> {
         match *op {
             ChaosOp::Produce { key, tag, ack } => self.produce(key, tag, ack),
+            ChaosOp::ProduceBatch {
+                key,
+                tag,
+                count,
+                ack,
+            } => self.produce_batch(key, tag, count, ack),
             ChaosOp::Consume => self.consume(),
             ChaosOp::KillBroker { broker } => {
                 let id = u32::from(broker) % BROKERS;
@@ -334,6 +343,79 @@ impl Harness {
             Err(MessagingError::PartitionUnavailable(_)) => Ok(()),
             Err(e) if messaging_injected(&e) => Err(format!("produce kv: {e}")),
             Err(e) => panic!("unexpected produce error: {e}"),
+        }
+    }
+
+    /// Produces a whole record batch through the group-commit path.
+    ///
+    /// The acknowledgement model is all-or-nothing: only when the
+    /// cluster acknowledges the *entire* batch at `AckLevel::All` are
+    /// its records added to the acked sets. A crash mid-batch (armed
+    /// injector firing at `log.append-batch` or
+    /// `replication.fetch-batch`) acknowledges nothing — the durability
+    /// invariant then proves the system never partially commits what it
+    /// partially acked, because there is no partial ack to begin with,
+    /// and anything it *did* ack must survive in full.
+    fn produce_batch(
+        &mut self,
+        key: u8,
+        tag: u32,
+        count: u8,
+        ack: AckChoice,
+    ) -> Result<(), String> {
+        let acks = match ack {
+            AckChoice::All => AckLevel::All,
+            AckChoice::Leader => AckLevel::Leader,
+            AckChoice::None => AckLevel::None,
+        };
+        // Record i of the batch carries key (key+i)%8 and tag tag+i,
+        // matching the tag-uniqueness contract of the plan generator.
+        let records: Vec<(u8, u32)> = (0..count)
+            .map(|i| ((key + i) % 8, tag + u32::from(i)))
+            .collect();
+        let build = |records: &[(u8, u32)]| {
+            let mut b = RecordBatch::builder();
+            for &(k, t) in records {
+                b.push(Some(key_bytes(k).as_ref()), tag_bytes(t).as_ref(), 0);
+            }
+            b.build()
+        };
+        match self
+            .cluster
+            .produce_batch(&tp(EVENTS), build(&records), acks, None)
+        {
+            Ok(base) => {
+                if ack == AckChoice::All {
+                    // Atomicity: an acked-All batch is committed whole —
+                    // the high watermark covers every record in it.
+                    let hw = self.cluster.latest_offset(&tp(EVENTS)).unwrap_or(0);
+                    assert!(
+                        hw >= base.saturating_add(u64::from(count)),
+                        "torn batch: acked at All but hw {hw} splits batch at base {base} (count {count})"
+                    );
+                    self.acked_events.extend(records.iter().copied());
+                }
+            }
+            Err(MessagingError::PartitionUnavailable(_)) => return Ok(()),
+            Err(e) if messaging_injected(&e) => return Err(format!("produce-batch events: {e}")),
+            Err(e) => panic!("unexpected produce_batch error: {e}"),
+        }
+        match self
+            .cluster
+            .produce_batch(&tp(KV), build(&records), acks, None)
+        {
+            Ok(_) => {
+                if ack == AckChoice::All {
+                    for &(k, t) in &records {
+                        let entry = self.kv_acked.entry(k).or_insert(t);
+                        *entry = (*entry).max(t);
+                    }
+                }
+                Ok(())
+            }
+            Err(MessagingError::PartitionUnavailable(_)) => Ok(()),
+            Err(e) if messaging_injected(&e) => Err(format!("produce-batch kv: {e}")),
+            Err(e) => panic!("unexpected produce_batch error: {e}"),
         }
     }
 
@@ -630,8 +712,21 @@ impl Harness {
                 (self.inj.job.operations(), self.inj.job.failures()),
                 (self.inj.state.operations(), self.inj.state.failures()),
             ],
+            batch_site_counts: [
+                site_count(&self.inj.log, "log.append-batch"),
+                site_count(&self.inj.cluster, "replication.fetch-batch"),
+            ],
         }
     }
+}
+
+/// (operations, failures) observed at one named fault site.
+fn site_count(inj: &FailureInjector, site: &str) -> (u64, u64) {
+    inj.site_counts()
+        .iter()
+        .find(|(name, _, _)| *name == site)
+        .map(|&(_, ops, fired)| (ops, fired))
+        .unwrap_or((0, 0))
 }
 
 fn run_seed(seed: u64, obs: &Obs) -> RunReport {
@@ -713,12 +808,17 @@ fn chaos_seeds_hold_invariants() {
     let mut crashes = 0;
     let mut acked = 0;
     let mut fired = [0u64; 4];
+    let mut batch_sites = [(0u64, 0u64); 2];
     for seed in 0..SEEDS {
         let report = run_seed_checked(seed);
         crashes += report.crashes;
         acked += report.acked_events;
         for (i, &(_, f)) in report.injector_counts.iter().enumerate() {
             fired[i] += f;
+        }
+        for (i, &(o, f)) in report.batch_site_counts.iter().enumerate() {
+            batch_sites[i].0 += o;
+            batch_sites[i].1 += f;
         }
     }
     // The harness must not be vacuous: plenty of crashes, plenty of
@@ -735,6 +835,25 @@ fn chaos_seeds_hold_invariants() {
         assert!(
             fired[i] > 0,
             "the {name} injector never fired across {SEEDS} seeds"
+        );
+    }
+    // The batch-boundary fault sites must be both exercised and
+    // actually hit by armed faults — mid-batch crashes are the point of
+    // `ChaosOp::ProduceBatch`, and a sweep where no injected failure
+    // ever lands on a group commit would test nothing new.
+    for (i, name) in ["log.append-batch", "replication.fetch-batch"]
+        .iter()
+        .enumerate()
+    {
+        let (ops, hit) = batch_sites[i];
+        assert!(
+            ops > 0,
+            "fault site {name} never reached across {SEEDS} seeds"
+        );
+        assert!(
+            hit > 0,
+            "no armed fault ever fired at {name} across {SEEDS} seeds \
+             ({ops} ops) — torn-batch crashes are untested"
         );
     }
 }

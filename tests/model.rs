@@ -20,8 +20,10 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use bytes::Bytes;
+use liquid_log::RecordBatch;
 use liquid_messaging::{
-    AckLevel, AssignmentStrategy, Cluster, ClusterConfig, Message, TopicConfig, TopicPartition,
+    AckLevel, AssignmentStrategy, Cluster, ClusterConfig, Message, MessagingError, TopicConfig,
+    TopicPartition,
 };
 use liquid_processing::{FnTask, Job, JobConfig, StreamTask, TaskContext};
 use liquid_sim::clock::SimClock;
@@ -286,6 +288,99 @@ fn model_leader_election_vs_catch_up() {
             "acks=All record survives losing the leader"
         );
     });
+    assert_exhaustive(&report, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 3b: batch group commit vs. leader kill
+// ---------------------------------------------------------------------------
+
+/// Two batch producers race their group commits against a leader kill.
+/// In every interleaving a batch is all-or-nothing: an acknowledged
+/// batch (acks=All) occupies a contiguous offset range below the high
+/// watermark and survives the failover whole; a rejected produce leaves
+/// no partial batch behind; and the two batches never interleave their
+/// records (the group commit holds the partition for the whole batch).
+/// Failures replay via the printed `CHECK_SCHEDULE=..` line, and the
+/// vector-clock detector verifies the commit path itself is race-free.
+#[test]
+fn model_batch_group_commit_vs_leader_kill() {
+    let report = check(
+        "cluster.batch-commit-vs-leader-kill",
+        Config::default(),
+        || {
+            let cluster = Cluster::new(ClusterConfig::with_brokers(2), SimClock::new(0).shared());
+            cluster
+                .create_topic("t", TopicConfig::with_partitions(1).replication(2))
+                .unwrap();
+            let cluster = Arc::new(cluster);
+            let tp = TopicPartition::new("t", 0);
+            let leader = cluster.leader(&tp).unwrap().unwrap();
+            let spawn_producer = |tag: &'static str| {
+                let c = cluster.clone();
+                thread::spawn_named(format!("batch-{tag}"), move || {
+                    let mut b = RecordBatch::builder();
+                    b.push(None, format!("{tag}0").as_bytes(), 0);
+                    b.push(None, format!("{tag}1").as_bytes(), 0);
+                    match c.produce_batch(
+                        &TopicPartition::new("t", 0),
+                        b.build(),
+                        AckLevel::All,
+                        None,
+                    ) {
+                        Ok(base) => Some(base),
+                        // Mid-failover: the batch is rejected whole.
+                        Err(MessagingError::PartitionUnavailable(_)) => None,
+                        Err(e) => panic!("unexpected produce_batch error: {e}"),
+                    }
+                })
+            };
+            let a = spawn_producer("a");
+            let b = spawn_producer("b");
+            let killer = {
+                let c = cluster.clone();
+                thread::spawn_named("kill-leader".into(), move || {
+                    c.kill_broker(leader).unwrap();
+                })
+            };
+            let acked = [("a", a.join()), ("b", b.join())];
+            killer.join();
+            let hw = cluster.latest_offset(&tp).unwrap();
+            let log: Vec<(u64, Bytes)> = cluster
+                .fetch(&tp, 0, u64::MAX)
+                .unwrap()
+                .into_iter()
+                .map(|m| (m.offset, m.value))
+                .collect();
+            for (tag, base) in acked {
+                let Some(base) = base else { continue };
+                assert!(
+                    hw >= base + 2,
+                    "acked batch {tag} torn by failover: hw {hw} splits batch at base {base}"
+                );
+                for i in 0..2u64 {
+                    let want = Bytes::from(format!("{tag}{i}"));
+                    assert!(
+                        log.contains(&(base + i, want)),
+                        "batch {tag} record {i} not at offset {} after failover",
+                        base + i
+                    );
+                }
+            }
+            // No torn batches, acked or not: each producer's records appear
+            // either in full or not at all.
+            for tag in ["a", "b"] {
+                let n = log
+                    .iter()
+                    .filter(|(_, v)| v.starts_with(tag.as_bytes()))
+                    .count();
+                assert!(
+                    n == 0 || n == 2,
+                    "batch {tag} half-committed: {n} of 2 records in the log"
+                );
+            }
+        },
+    );
     assert_exhaustive(&report, 2);
 }
 

@@ -141,6 +141,117 @@ fn workload_snapshot_round_trips_through_json() {
     assert_eq!(snap, back, "JSON round-trip is lossless");
 }
 
+/// Spans are minted per *record*, not per batch: one group-committed
+/// batch yields a distinct span id for every record it carries, and
+/// `fetch_batch` reports exactly the spans minted at produce, in order,
+/// both in the tracer and on the delivered [`MessageBatch`] itself.
+#[test]
+fn batch_produce_mints_distinct_spans_visible_at_batch_fetch() {
+    use std::collections::BTreeSet;
+
+    let obs = Obs::default();
+    let cluster = stack(&obs);
+    let tp = TopicPartition::new("in", 0);
+    let mut builder = RecordBatch::builder();
+    for i in 0..5 {
+        builder.push(Some(b"k"), format!("v{i}").as_bytes(), 0);
+    }
+    cluster
+        .produce_batch(&tp, builder.build(), AckLevel::All, None)
+        .unwrap();
+    let batch = cluster.fetch_batch(&tp, 0, u64::MAX).unwrap();
+    assert_eq!(batch.len(), 5);
+    let events = obs.tracer().tail(1024);
+    let spans_of = |kind: &str| -> Vec<u64> {
+        events
+            .iter()
+            .filter(|e| e.kind == kind && e.site == "in-0")
+            .map(|e| e.span)
+            .collect()
+    };
+    let produced = spans_of("produce");
+    assert_eq!(
+        produced.len(),
+        5,
+        "one produce event per record, not per batch"
+    );
+    let unique: BTreeSet<u64> = produced.iter().copied().collect();
+    assert_eq!(
+        unique.len(),
+        5,
+        "every record in a batch gets its own span id"
+    );
+    assert!(produced.iter().all(|&s| s != 0), "spans are nonzero");
+    assert_eq!(
+        produced,
+        spans_of("fetch"),
+        "fetch_batch reports the per-record spans minted at produce"
+    );
+    let delivered: Vec<u64> = (0..batch.len()).map(|i| batch.span_at(i)).collect();
+    assert_eq!(
+        delivered, produced,
+        "the MessageBatch carries each record's produce span"
+    );
+}
+
+/// Regression: consumer position advances by *offset*, not by record
+/// count. After compaction leaves holes in the offset space, a batch
+/// poll must still drive both `Consumer::lag` and the batch-aware
+/// `consumer.lag{tp=..}` gauge to exactly zero — the old per-record
+/// accounting over-counted lag by the width of every hole.
+#[test]
+fn batch_poll_keeps_lag_exact_across_compaction_holes() {
+    let obs = Obs::default();
+    let cluster = stack(&obs);
+    // Tiny segments so sealed segments exist for the compactor; three
+    // keys overwritten repeatedly so it actually drops records.
+    let tc = TopicConfig::with_partitions(1)
+        .compacted()
+        .segment_bytes(64);
+    cluster.create_topic("cmp", tc).unwrap();
+    let tp = TopicPartition::new("cmp", 0);
+    for i in 0..24 {
+        cluster
+            .produce_to(
+                &tp,
+                Some(b(&format!("k{}", i % 3))),
+                b(&format!("v{i}")),
+                AckLevel::All,
+            )
+            .unwrap();
+    }
+    let stats = cluster.compact_topic("cmp").unwrap();
+    assert!(
+        stats.records_after < stats.records_before,
+        "compaction must drop superseded records to create offset holes: {stats:?}"
+    );
+    let consumer = Consumer::new(&cluster, "c-batch");
+    consumer
+        .assign(tp.clone(), StartPosition::Earliest)
+        .unwrap();
+    let mut records = 0usize;
+    loop {
+        let batches = consumer.poll_batches().unwrap();
+        if batches.is_empty() {
+            break;
+        }
+        for (_, batch) in &batches {
+            records += batch.len();
+        }
+    }
+    assert!(records < 24, "the poll crossed at least one hole");
+    assert_eq!(
+        consumer.lag(&tp),
+        Some(0),
+        "offset-granular advancement keeps lag exact across holes"
+    );
+    assert_eq!(
+        obs.snapshot().gauge("consumer.lag{tp=cmp-0}"),
+        Some(0),
+        "the batch-aware lag gauge lands on zero too"
+    );
+}
+
 /// `Consumer::lag` is derived from the registry's per-partition
 /// high-watermark gauge and tracks the distance to it.
 #[test]

@@ -6,8 +6,12 @@
 
 use bytes::Bytes;
 use liquid::kv::{LsmConfig, LsmStore};
-use liquid::log::{CleanupPolicy, Log, LogConfig};
-use liquid_messaging::{AssignmentStrategy, Cluster, ClusterConfig, TopicConfig};
+use liquid::log::{CleanupPolicy, Log, LogConfig, RecordBatch};
+use liquid_messaging::consumer::StartPosition;
+use liquid_messaging::{
+    AssignmentStrategy, BatchConfig, Cluster, ClusterConfig, Consumer, Producer, TopicConfig,
+    TopicPartition,
+};
 use liquid_sim::clock::SimClock;
 use proptest::prelude::*;
 
@@ -258,6 +262,159 @@ proptest! {
             .min()
             .unwrap();
         prop_assert!(max - min <= 1, "imbalanced: max {max} min {min}");
+    }
+
+    /// Batch-semantics: for an arbitrary message stream, producing
+    /// through batch accumulation (`buffer`/`flush`, group-commit
+    /// appends) is observationally identical to the unbatched seed path
+    /// (`send`, one append per record) — per partition, the same
+    /// offsets, the same ordering, the same key and payload bytes.
+    #[test]
+    fn batched_produce_equals_unbatched_seed_path(
+        stream in prop::collection::vec(
+            // (key id, value bytes); key id 8 means keyless.
+            (0u8..9, prop::collection::vec(any::<u8>(), 0..32)),
+            1..120,
+        ),
+        max_records in 1usize..24,
+        max_bytes in 16usize..512,
+    ) {
+        let build = || {
+            let c = Cluster::new(ClusterConfig::with_brokers(1), SimClock::new(0).shared());
+            c.create_topic("t", TopicConfig::with_partitions(2)).unwrap();
+            c
+        };
+        let seed_cluster = build();
+        let batch_cluster = build();
+        let seed = Producer::new(&seed_cluster, "t").unwrap();
+        let batched = Producer::new(&batch_cluster, "t").unwrap().with_batching(BatchConfig {
+            max_records,
+            max_bytes,
+            linger_ms: 0,
+        });
+        for (key_id, value) in &stream {
+            let key = (*key_id < 8).then(|| Bytes::from(format!("k{key_id}")));
+            let value = Bytes::copy_from_slice(value);
+            seed.send(key.clone(), value.clone()).unwrap();
+            batched.buffer(key, value).unwrap();
+        }
+        batched.flush().unwrap();
+        prop_assert_eq!(batched.pending_records(), 0);
+        for p in 0..2 {
+            let tp = TopicPartition::new("t", p);
+            let a = seed_cluster.fetch(&tp, 0, u64::MAX).unwrap();
+            let b = batch_cluster.fetch(&tp, 0, u64::MAX).unwrap();
+            prop_assert_eq!(a.len(), b.len(), "partition {} length", p);
+            for (x, y) in a.iter().zip(b.iter()) {
+                prop_assert_eq!(x.offset, y.offset);
+                prop_assert_eq!(&x.key, &y.key);
+                prop_assert_eq!(&x.value, &y.value);
+                prop_assert_eq!(x.timestamp, y.timestamp);
+            }
+            prop_assert_eq!(
+                seed_cluster.latest_offset(&tp).unwrap(),
+                batch_cluster.latest_offset(&tp).unwrap(),
+                "high watermark diverged on partition {}", p
+            );
+        }
+    }
+
+    /// Splitting and merging batches at arbitrary boundaries is
+    /// observationally a no-op: a log fed the two halves, a log fed the
+    /// re-merged batch, and a log fed each record singly all end up
+    /// byte-identical (offsets, keys, values, timestamps).
+    #[test]
+    fn batch_split_and_merge_boundaries_are_invisible(
+        records in prop::collection::vec(
+            (0u8..5, prop::collection::vec(any::<u8>(), 0..24)),
+            1..80,
+        ),
+        mid_pct in 0usize..=100,
+    ) {
+        let pairs: Vec<(Option<Bytes>, Bytes)> = records
+            .iter()
+            .map(|(key_id, value)| {
+                (
+                    (*key_id < 4).then(|| Bytes::from(format!("k{key_id}"))),
+                    Bytes::copy_from_slice(value),
+                )
+            })
+            .collect();
+        let whole = RecordBatch::from_pairs(pairs.clone(), 7);
+        let mid = mid_pct * whole.len() / 100;
+        let (head, tail) = whole.clone().split_at(mid);
+        let merged = head.clone().merge(tail.clone());
+        prop_assert_eq!(&merged, &whole, "split({}) then merge is not identity", mid);
+
+        let mut via_halves = small_log(512, false);
+        via_halves.append_record_batch(head).unwrap();
+        via_halves.append_record_batch(tail).unwrap();
+        let mut via_whole = small_log(512, false);
+        via_whole.append_record_batch(whole).unwrap();
+        let mut via_singles = small_log(512, false);
+        for (key, value) in pairs {
+            via_singles.append_with_timestamp(key, value, 7).unwrap();
+        }
+        let dump = |log: &Log| {
+            log.read(0, u64::MAX)
+                .unwrap()
+                .records
+                .into_iter()
+                .map(|r| (r.offset, r.key, r.value, r.timestamp))
+                .collect::<Vec<_>>()
+        };
+        let whole_dump = dump(&via_whole);
+        prop_assert_eq!(dump(&via_halves), whole_dump.clone());
+        prop_assert_eq!(dump(&via_singles), whole_dump);
+    }
+
+    /// Full round trip — accumulate → group-commit append → batch fetch
+    /// → lazy delivery — returns exactly the input stream: dense
+    /// offsets, input order, identical bytes, and an exact end_offset
+    /// on every delivered batch.
+    #[test]
+    fn batch_round_trip_preserves_stream(
+        values in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..48), 1..150),
+        max_records in 1usize..32,
+    ) {
+        let cluster = Cluster::new(ClusterConfig::with_brokers(1), SimClock::new(0).shared());
+        cluster.create_topic("t", TopicConfig::with_partitions(1)).unwrap();
+        let producer = Producer::new(&cluster, "t").unwrap().with_batching(BatchConfig {
+            max_records,
+            max_bytes: usize::MAX,
+            linger_ms: 0,
+        });
+        for v in &values {
+            producer.buffer(None, Bytes::copy_from_slice(v)).unwrap();
+        }
+        producer.flush().unwrap();
+        let tp = TopicPartition::new("t", 0);
+        let consumer = Consumer::new(&cluster, "c");
+        consumer.assign(tp.clone(), StartPosition::Earliest).unwrap();
+        let mut delivered: Vec<(u64, Vec<u8>)> = Vec::new();
+        loop {
+            let polled = consumer.poll_batches().unwrap();
+            if polled.is_empty() {
+                break;
+            }
+            for (_, batch) in polled {
+                prop_assert_eq!(
+                    batch.end_offset(),
+                    batch.records().last().unwrap().offset + 1,
+                    "end_offset must be one past the last record"
+                );
+                for m in batch.messages() {
+                    delivered.push((m.offset, m.value.to_vec()));
+                }
+            }
+        }
+        prop_assert_eq!(delivered.len(), values.len());
+        for (i, ((offset, value), expect)) in delivered.iter().zip(values.iter()).enumerate() {
+            prop_assert_eq!(*offset, i as u64, "offsets must be dense");
+            prop_assert_eq!(value, expect, "payload {} diverged", i);
+        }
+        prop_assert_eq!(consumer.position(&tp), Some(values.len() as u64));
+        prop_assert_eq!(consumer.lag(&tp).unwrap_or(0), 0);
     }
 
     /// Offset-for-timestamp returns the first record with ts >= target
