@@ -271,6 +271,57 @@ impl CallGraph {
         names.join(" → ")
     }
 
+    /// Breadth-first closure from every non-test function whose *name*
+    /// is in `root_names` (the hot-path entry points). Unlike
+    /// [`reach_from_pubs`] the roots are named functions, not whole
+    /// crates, so the closure is the precise dynamic extent of the hot
+    /// path.
+    ///
+    /// [`reach_from_pubs`]: Self::reach_from_pubs
+    pub fn reach_from_named(&self, root_names: &[&str]) -> Reachability {
+        let n = self.fns.len();
+        let mut parent = vec![None; n];
+        let mut reachable = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        for (i, f) in self.fns.iter().enumerate() {
+            if !f.in_test && root_names.contains(&f.name.as_str()) {
+                reachable[i] = true;
+                queue.push_back(i);
+            }
+        }
+        while let Some(i) = queue.pop_front() {
+            for &t in &self.edges[i] {
+                if !reachable[t] {
+                    reachable[t] = true;
+                    parent[t] = Some(i);
+                    queue.push_back(t);
+                }
+            }
+        }
+        Reachability { parent, reachable }
+    }
+
+    /// The call chain from a root to `id` with a `file:line` witness
+    /// per hop: `a::b (crates/a/src/lib.rs:10) → c::d (…:42)`.
+    pub fn witness(&self, reach: &Reachability, id: usize) -> String {
+        let mut hops_out = Vec::new();
+        let mut cur = id;
+        let mut hops = 0;
+        loop {
+            let f = &self.fns[cur];
+            hops_out.push(format!("{} ({}:{})", f.qualified(), f.file, f.line));
+            match reach.parent[cur] {
+                Some(p) if hops <= 64 => {
+                    cur = p;
+                    hops += 1;
+                }
+                _ => break,
+            }
+        }
+        hops_out.reverse();
+        hops_out.join(" → ")
+    }
+
     /// Renders the resolved graph as GraphViz DOT, clustered by crate.
     pub fn to_dot(&self) -> String {
         let mut out = String::from(
@@ -305,6 +356,44 @@ impl CallGraph {
         out.push_str("}\n");
         out
     }
+}
+
+/// The receiver type a parameter annotation names, if it is a plain
+/// (possibly referenced) workspace-shaped type: `& mut RecordBatch` →
+/// `RecordBatch`. Std wrappers and generics yield `None` — resolving
+/// through them needs real type inference, and a wrong qualifier would
+/// *drop* edges, which is the unsafe direction.
+fn param_type_head(ty: &str) -> Option<String> {
+    let head = ty
+        .split_whitespace()
+        .find(|t| !matches!(*t, "&" | "mut") && !t.starts_with('\''))?;
+    let plain = head.chars().all(|c| c.is_alphanumeric() || c == '_');
+    let concrete = head.chars().next().is_some_and(char::is_uppercase) && head.len() > 1;
+    let wrapper = matches!(
+        head,
+        "Box"
+            | "Arc"
+            | "Rc"
+            | "Option"
+            | "Result"
+            | "Vec"
+            | "String"
+            | "HashMap"
+            | "HashSet"
+            | "BTreeMap"
+            | "BTreeSet"
+            | "VecDeque"
+            | "Mutex"
+            | "RwLock"
+            | "RefCell"
+            | "Cell"
+            | "PathBuf"
+            | "Path"
+            | "Cow"
+            | "Duration"
+            | "Instant"
+    );
+    (plain && concrete && !wrapper).then(|| head.to_string())
 }
 
 /// The crate directory behind a `liquid_*` path qualifier
@@ -355,6 +444,17 @@ fn collect_fn(
 ) {
     let mut panics = Vec::new();
     let mut calls = Vec::new();
+    // Receiver types knowable without inference: `self`, and parameters
+    // with a plain workspace-type annotation. Lets `batch.records()`
+    // resolve to `RecordBatch::records` instead of every `records`.
+    let mut var_tys: HashMap<String, String> = HashMap::new();
+    for p in &f.params {
+        let mut bound = Vec::new();
+        p.pat.bound_names(&mut bound);
+        if let ([name], Some(ty)) = (bound.as_slice(), param_type_head(&p.ty)) {
+            var_tys.insert(name.clone(), ty);
+        }
+    }
     if let Some(body) = &f.body {
         ast::walk_block(body, &mut |e| match e {
             Expr::MacroCall { name, line, .. }
@@ -370,7 +470,10 @@ fn collect_fn(
                 });
             }
             Expr::MethodCall {
-                method, args, line, ..
+                recv,
+                method,
+                args,
+                line,
             } => {
                 if matches!(method.as_str(), "unwrap" | "expect") {
                     panics.push(PanicSite {
@@ -379,11 +482,21 @@ fn collect_fn(
                         indexing: false,
                     });
                 }
+                let qual = match recv.as_ref() {
+                    Expr::Path { segs, .. } if segs.len() == 1 => {
+                        if segs[0] == "self" {
+                            self_ty.map(str::to_string)
+                        } else {
+                            var_tys.get(&segs[0]).cloned()
+                        }
+                    }
+                    _ => None,
+                };
                 calls.push(CallSite {
                     name: method.clone(),
                     arity: args.len(),
                     is_method: true,
-                    qual: None,
+                    qual,
                     line: *line,
                 });
             }

@@ -83,6 +83,48 @@ pub enum Op {
         /// 1-based source line.
         line: u32,
     },
+    /// Any function or method call, kept in evaluation order so the
+    /// interprocedural passes (hot-copy taint, lock-cost summaries)
+    /// can resolve what executes under a live guard. Special-cased
+    /// calls (`lock`/`tick`/`drop`) are emitted as their dedicated ops
+    /// instead, never as `Call`.
+    Call {
+        /// Final segment of the callee (`Vec::with_capacity` →
+        /// `with_capacity`).
+        name: String,
+        /// Argument count (`self` excluded).
+        arity: usize,
+        /// Whether the call is `recv.name(...)`.
+        is_method: bool,
+        /// Path qualifier for free calls (`Vec::with_capacity` →
+        /// `Vec`), or `None` for bare/method calls.
+        qual: Option<String>,
+        /// Names mentioned by the receiver (empty for free calls).
+        /// Kept separate from `arg_names` so taint sinks can tell a
+        /// tainted *source* from a tainted *destination*
+        /// (`buf.extend_from_slice(&value)` copies payload;
+        /// `buf.extend_from_slice(&header)` does not, even when `buf`
+        /// holds payload).
+        recv_names: Vec<String>,
+        /// Names mentioned by the arguments, in order.
+        arg_names: Vec<String>,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// A heap allocation on the hot path: `Vec::with_capacity`,
+    /// `.to_vec()`, `.collect()`, `format!`/`vec!`, `Box::new`, ….
+    Alloc {
+        /// What allocated (method or macro name), for messages.
+        what: String,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// Entry into a `for`/`while`/`loop` body — loops over partitions
+    /// or records are unbounded work when executed under a guard.
+    Loop {
+        /// 1-based source line.
+        line: u32,
+    },
 }
 
 /// One lock-shaped acquisition site.
@@ -448,6 +490,7 @@ impl Builder {
                 for a in args {
                     self.lower_expr(a);
                 }
+                let mut consumed = true;
                 match method.as_str() {
                     "lock" | "read" | "write" if args.is_empty() => {
                         if let Some(field) = last_name(recv) {
@@ -465,6 +508,8 @@ impl Builder {
                         let recv_name = last_name(recv).unwrap_or_default();
                         if recv_name == "injector" || recv_name.ends_with("_injector") {
                             self.push(Op::Tick { line: *line });
+                        } else {
+                            consumed = false;
                         }
                     }
                     "len" | "is_empty" | "get" | "get_mut" | "contains_key" | "contains"
@@ -473,12 +518,36 @@ impl Builder {
                             recv: flatten(recv),
                         });
                     }
-                    _ => {}
+                    _ => consumed = false,
+                }
+                if !consumed {
+                    if is_alloc_method(method) {
+                        self.push(Op::Alloc {
+                            what: format!(".{method}()"),
+                            line: *line,
+                        });
+                    }
+                    let mut recv_ns = Vec::new();
+                    names(recv, &mut recv_ns);
+                    let mut arg_ns = Vec::new();
+                    for a in args {
+                        names(a, &mut arg_ns);
+                    }
+                    self.push(Op::Call {
+                        name: method.clone(),
+                        arity: args.len(),
+                        is_method: true,
+                        qual: None,
+                        recv_names: recv_ns,
+                        arg_names: arg_ns,
+                        line: *line,
+                    });
                 }
             }
             Expr::Call { callee, args, line } => {
                 // `drop(g)` releases the guard without counting as a
                 // liveness use of `g`.
+                let mut call: Option<(String, Option<String>)> = None;
                 if let Expr::Path { segs, .. } = callee.as_ref() {
                     if segs.len() == 1 && segs[0] == "drop" && args.len() == 1 {
                         if let Expr::Path { segs: arg, .. } = &args[0] {
@@ -492,12 +561,38 @@ impl Builder {
                     }
                     if is_raw_io_path(segs) {
                         self.push(Op::Io { line: *line });
+                    } else if let Some(name) = segs.last() {
+                        call = Some((name.clone(), (segs.len() > 1).then(|| segs[0].clone())));
                     }
                 } else {
                     self.lower_expr(callee);
                 }
                 for a in args {
                     self.lower_expr(a);
+                }
+                if let Some((name, qual)) = call {
+                    if is_alloc_call(&name, qual.as_deref()) {
+                        self.push(Op::Alloc {
+                            what: match &qual {
+                                Some(q) => format!("{q}::{name}"),
+                                None => name.clone(),
+                            },
+                            line: *line,
+                        });
+                    }
+                    let mut arg_ns = Vec::new();
+                    for a in args {
+                        names(a, &mut arg_ns);
+                    }
+                    self.push(Op::Call {
+                        name,
+                        arity: args.len(),
+                        is_method: false,
+                        qual,
+                        recv_names: Vec::new(),
+                        arg_names: arg_ns,
+                        line: *line,
+                    });
                 }
             }
             Expr::Index { base, index, line } => {
@@ -623,8 +718,12 @@ impl Builder {
                 self.cur = join;
             }
             Expr::While {
-                pat, cond, body, ..
+                pat,
+                cond,
+                body,
+                line,
             } => {
+                self.push(Op::Loop { line: *line });
                 let head = self.new_block();
                 let exit_b = self.new_block();
                 self.edge_to(head);
@@ -640,7 +739,8 @@ impl Builder {
                 self.edge_to(head);
                 self.cur = exit_b;
             }
-            Expr::Loop { body, .. } => {
+            Expr::Loop { body, line } => {
+                self.push(Op::Loop { line: *line });
                 let head = self.new_block();
                 let exit_b = self.new_block();
                 self.edge_to(head);
@@ -652,9 +752,13 @@ impl Builder {
                 self.cur = exit_b;
             }
             Expr::For {
-                pat, iter, body, ..
+                pat,
+                iter,
+                body,
+                line,
             } => {
                 self.lower_expr(iter);
+                self.push(Op::Loop { line: *line });
                 let head = self.new_block();
                 let exit_b = self.new_block();
                 self.edge_to(head);
@@ -704,9 +808,17 @@ impl Builder {
                 self.edge_to(join);
                 self.cur = join;
             }
-            Expr::MacroCall { args, .. } => {
+            Expr::MacroCall {
+                name, args, line, ..
+            } => {
                 for a in args {
                     self.lower_expr(a);
+                }
+                if matches!(name.as_str(), "vec" | "format") {
+                    self.push(Op::Alloc {
+                        what: format!("{name}!"),
+                        line: *line,
+                    });
                 }
             }
             Expr::StructLit { fields, base, .. } => {
@@ -739,6 +851,22 @@ fn is_masked_index(e: &Expr) -> bool {
         Expr::Binary { op, .. } if op == "%" => true,
         _ => false,
     }
+}
+
+/// Method calls that allocate a fresh heap buffer (the events the
+/// lock-cost pass charges as allocations under a guard).
+fn is_alloc_method(method: &str) -> bool {
+    // `.clone()` is deliberately absent: on the hot path it is almost
+    // always a `Bytes` refcount bump, the sanctioned zero-copy share.
+    matches!(method, "to_vec" | "to_owned" | "to_string" | "collect")
+}
+
+/// Free/qualified calls that allocate: `Vec::with_capacity`,
+/// `Box::new`, `String::from`, `Bytes::copy_from_slice`, ….
+fn is_alloc_call(name: &str, qual: Option<&str>) -> bool {
+    matches!(name, "with_capacity" | "copy_from_slice")
+        || (name == "new" && matches!(qual, Some("Box")))
+        || (name == "from" && matches!(qual, Some("String" | "Vec")))
 }
 
 /// Whether a multi-segment path is raw filesystem I/O.

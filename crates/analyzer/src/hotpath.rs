@@ -1,0 +1,284 @@
+//! Lint **hot-copy**: interprocedural zero-copy taint over the
+//! batched produce/fetch hot path.
+//!
+//! The ≥5M msg/s arc (ROADMAP item 1) rests on an invariant PR 6
+//! established by construction: a message's payload bytes are copied
+//! exactly once — into the [`BatchBuilder`] arena at produce time —
+//! and every later hop (append, replicate, fetch, deliver) shares them
+//! as ref-counted `Bytes` slices. Nothing in the type system enforces
+//! that; one `to_vec()` in a produce-path callee silently multiplies
+//! per-message work. This pass proves the invariant per commit:
+//!
+//! 1. **Roots.** The hot path's dynamic extent is the call-graph
+//!    closure from the named entry points in [`HOT_ROOTS`]
+//!    (`Cluster::produce_batch`/`fetch_batch`,
+//!    `Log::append_record_batch`, replication `catch_up`,
+//!    `Consumer::poll_batches`), via
+//!    [`CallGraph::reach_from_named`].
+//! 2. **Taint.** Within each reachable function, payload carriers are
+//!    seeded *by name* ([`PAYLOAD_NAMES`]: the identifiers the
+//!    workspace reserves for payload bytes — `value`, `key`, `arena`,
+//!    `records`, `chunk`, …) and closed over assignments
+//!    ([`Op::Assign`]), so `let v = batch.records()` taints `v`
+//!    through the accessor's name. Taint crosses calls through a
+//!    fixpoint over per-function *summaries*: a call whose arguments
+//!    mention a tainted name marks the callee's parameters tainted and
+//!    re-queues it — no inlining, so the analysis is linear in the
+//!    summary lattice, not exponential in path count.
+//! 3. **Sinks.** A deep copy of a tainted carrier —
+//!    `.to_vec()`/`.to_owned()`, `extend_from_slice`,
+//!    `copy_from_slice` (method or `Bytes::`), `Vec::from` — is a
+//!    finding, carrying the full root→copy call-chain witness
+//!    (`file:line` per hop) so the reviewer can see *which* hot path
+//!    pays for the copy.
+//!
+//! `.clone()` is deliberately **not** a sink: on payload carriers it
+//! is a `Bytes` refcount bump — the sanctioned zero-copy share — and
+//! the conversions that would make it a deep copy (`to_vec` & co.)
+//! are already sinks. The sanctioned produce-time copy
+//! (`BatchBuilder::push` into the arena) sits *upstream* of every
+//! root, so it is outside the closure by construction.
+//!
+//! [`BatchBuilder`]: ../../liquid_log/batch/struct.BatchBuilder.html
+//! [`CallGraph::reach_from_named`]: crate::callgraph::CallGraph::reach_from_named
+//! [`Op::Assign`]: crate::cfg::Op::Assign
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::callgraph::{CallGraph, CallSite};
+use crate::cfg::{self, Op};
+use crate::rules::for_each_fn;
+use crate::{Finding, SourceData};
+
+/// The hot-path entry points: taint propagates through everything the
+/// call graph proves reachable from a non-test function with one of
+/// these names.
+pub const HOT_ROOTS: &[&str] = &[
+    "produce_batch",
+    "fetch_batch",
+    "append_record_batch",
+    "catch_up",
+    "poll_batches",
+];
+
+/// Identifiers the workspace reserves for payload-byte carriers:
+/// `Record` fields (`key`, `value`), the builder arena, batch/record
+/// collections, and the wire-format locals in `record.rs`/`segment.rs`
+/// (`chunk`, `body`, `rest`, `data`). Any mention of one of these
+/// names inside the hot closure is a taint seed.
+pub const PAYLOAD_NAMES: &[&str] = &[
+    "value", "key", "payload", "arena", "records", "batch", "bytes", "chunk", "body", "rest",
+    "data",
+];
+
+fn is_payload(name: &str) -> bool {
+    PAYLOAD_NAMES.contains(&name)
+}
+
+/// One call op lifted out of a function's CFG.
+struct CallOp {
+    name: String,
+    arity: usize,
+    is_method: bool,
+    qual: Option<String>,
+    recv_names: Vec<String>,
+    arg_names: Vec<String>,
+    line: u32,
+}
+
+/// Per-function summary: the raw material for the taint fixpoint.
+struct FnInfo {
+    /// Index into `graph.fns`.
+    id: usize,
+    /// Parameter binding names (taint targets when a caller passes
+    /// tainted arguments).
+    params: Vec<String>,
+    /// `(to, froms)` assignment pairs for the local closure.
+    assigns: Vec<(String, Vec<String>)>,
+    /// Every call op, in CFG order.
+    calls: Vec<CallOp>,
+}
+
+/// Whether a call op is a deep-copy sink. Returns the display name of
+/// the copy plus the names of its *source* operand: the receiver for
+/// `src.to_vec()`-shaped sinks, the arguments for
+/// `dst.extend_from_slice(&src)`-shaped ones — a tainted destination
+/// alone (header bytes appended to a payload-bearing buffer) is not a
+/// payload copy.
+fn copy_kind(c: &CallOp) -> Option<(String, &[String])> {
+    if c.is_method {
+        return match c.name.as_str() {
+            "to_vec" | "to_owned" => Some((format!(".{}()", c.name), &c.recv_names[..])),
+            "extend_from_slice" | "copy_from_slice" => {
+                Some((format!(".{}()", c.name), &c.arg_names[..]))
+            }
+            _ => None,
+        };
+    }
+    match (c.qual.as_deref(), c.name.as_str()) {
+        (Some("Bytes"), "copy_from_slice") => {
+            Some(("Bytes::copy_from_slice".to_string(), &c.arg_names[..]))
+        }
+        (Some("Vec"), "from") => Some(("Vec::from".to_string(), &c.arg_names[..])),
+        _ => None,
+    }
+}
+
+/// The flow-insensitive taint closure inside one function: seeds are
+/// the payload names (checked by predicate, so they need no set entry)
+/// plus — when the interprocedural fixpoint marked this function's
+/// parameters tainted — every parameter; the closure adds each binding
+/// whose initializer mentions a tainted name.
+fn local_taint(info: &FnInfo, params_tainted: bool) -> BTreeSet<String> {
+    let mut extra: BTreeSet<String> = BTreeSet::new();
+    if params_tainted {
+        extra.extend(info.params.iter().cloned());
+    }
+    loop {
+        let mut changed = false;
+        for (to, froms) in &info.assigns {
+            if !extra.contains(to) && froms.iter().any(|n| is_payload(n) || extra.contains(n)) {
+                extra.insert(to.clone());
+                changed = true;
+            }
+        }
+        if !changed {
+            return extra;
+        }
+    }
+}
+
+/// Runs the pass over the whole workspace; findings are appended to
+/// `out` (the framework routes them through per-file `lint:allow`
+/// suppression like any other lint).
+pub fn hot_copy(graph: &CallGraph, files: &[SourceData], out: &mut Vec<Finding>) {
+    let reach = graph.reach_from_named(HOT_ROOTS);
+    if !reach.reachable.iter().any(|&r| r) {
+        return; // no hot roots in this tree (small fixture workspaces)
+    }
+
+    // (file, decl line, name) → graph node, to pair each AST function
+    // with its call-graph identity.
+    let mut by_site: HashMap<(&str, u32, &str), usize> = HashMap::new();
+    for (i, f) in graph.fns.iter().enumerate() {
+        by_site.insert((f.file.as_str(), f.line, f.name.as_str()), i);
+    }
+
+    let mut infos: Vec<FnInfo> = Vec::new();
+    for file in files {
+        let Some(ast) = &file.ast else { continue };
+        for_each_fn(&ast.items, &mut |f| {
+            let Some(&id) = by_site.get(&(file.rel.as_str(), f.line, f.name.as_str())) else {
+                return;
+            };
+            if !reach.reachable[id] || graph.fns[id].in_test || f.body.is_none() {
+                return;
+            }
+            let mut params = Vec::new();
+            for p in &f.params {
+                p.pat.bound_names(&mut params);
+            }
+            let g = cfg::lower_fn(f);
+            let mut assigns = Vec::new();
+            let mut calls = Vec::new();
+            for blk in &g.blocks {
+                for op in &blk.ops {
+                    match op {
+                        Op::Assign { to, froms, .. } => {
+                            assigns.push((to.clone(), froms.clone()));
+                        }
+                        Op::Call {
+                            name,
+                            arity,
+                            is_method,
+                            qual,
+                            recv_names,
+                            arg_names,
+                            line,
+                        } => calls.push(CallOp {
+                            name: name.clone(),
+                            arity: *arity,
+                            is_method: *is_method,
+                            qual: qual.clone(),
+                            recv_names: recv_names.clone(),
+                            arg_names: arg_names.clone(),
+                            line: *line,
+                        }),
+                        _ => {}
+                    }
+                }
+            }
+            infos.push(FnInfo {
+                id,
+                params,
+                assigns,
+                calls,
+            });
+        });
+    }
+
+    // Interprocedural parameter-taint fixpoint over summaries: a call
+    // whose argument names mention a tainted carrier taints the
+    // callee's parameters. Monotone (flags only flip false→true), so
+    // it terminates in at most |fns| rounds.
+    let mut param_taint = vec![false; graph.fns.len()];
+    loop {
+        let mut changed = false;
+        for info in &infos {
+            let local = local_taint(info, param_taint[info.id]);
+            for call in &info.calls {
+                if !call
+                    .recv_names
+                    .iter()
+                    .chain(&call.arg_names)
+                    .any(|n| is_payload(n) || local.contains(n))
+                {
+                    continue;
+                }
+                let site = CallSite {
+                    name: call.name.clone(),
+                    arity: call.arity,
+                    is_method: call.is_method,
+                    qual: call.qual.clone(),
+                    line: call.line,
+                };
+                for t in graph.resolve(info.id, &site) {
+                    if reach.reachable[t] && graph.fns[t].arity > 0 && !param_taint[t] {
+                        param_taint[t] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Sink detection, with the root→copy witness per finding.
+    for info in &infos {
+        let local = local_taint(info, param_taint[info.id]);
+        for call in &info.calls {
+            let Some((what, sources)) = copy_kind(call) else {
+                continue;
+            };
+            let Some(carrier) = sources
+                .iter()
+                .find(|n| is_payload(n) || local.contains(n.as_str()))
+            else {
+                continue;
+            };
+            out.push(Finding {
+                file: graph.fns[info.id].file.clone(),
+                line: call.line,
+                lint: "hot-copy",
+                message: format!(
+                    "`{what}` deep-copies payload bytes flowing through `{carrier}` on the \
+                     batched hot path — share the existing buffer with Bytes::slice (refcount) \
+                     or move the copy off the hot path (reached via: {})",
+                    graph.witness(&reach, info.id)
+                ),
+            });
+        }
+    }
+}

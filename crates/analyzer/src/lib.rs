@@ -47,6 +47,17 @@
 //!   `liquid_sim::lockdep`, so liquid-check can schedule it.
 //! * **forbid-unsafe** — every crate's `lib.rs` carries
 //!   `#![forbid(unsafe_code)]` and no `unsafe` token appears anywhere.
+//! * **hot-copy** — interprocedural zero-copy taint over the batched
+//!   produce/fetch hot path: no deep copy (`to_vec`,
+//!   `extend_from_slice`, …) of payload bytes reachable from the hot
+//!   roots; findings carry the root→copy call-chain witness (see
+//!   [`hotpath`]).
+//! * **lock-cost** — interprocedural critical-section audit of every
+//!   ranked lockdep guard: hot-path guards held across injectable I/O
+//!   or a nested ranked acquisition are findings, and every guard's
+//!   static cost (I/O, allocations, loops, nested locks) lands in the
+//!   `target/analysis/lock-cost.json` contention report (see
+//!   [`lockcost`]).
 //!
 //! Findings can be suppressed with a `lint:allow` comment directive
 //! (see [`lexer::AllowDirective`]); a directive that is malformed,
@@ -59,7 +70,9 @@ pub mod ast;
 pub mod callgraph;
 pub mod cfg;
 pub mod dataflow;
+pub mod hotpath;
 pub mod lexer;
+pub mod lockcost;
 pub mod parse;
 pub mod rules;
 
@@ -84,6 +97,8 @@ pub const LINTS: &[&str] = &[
     "raw-io",
     "raw-thread",
     "forbid-unsafe",
+    "hot-copy",
+    "lock-cost",
     "lint-allow",
 ];
 
@@ -652,6 +667,14 @@ pub fn callgraph_dot(root: &Path) -> Result<String, String> {
 /// Runs every rule over the whole workspace plus the cross-tree checks
 /// (panic reachability, unused registry entries, rank-table drift).
 pub fn analyze_root(root: &Path) -> Result<Vec<Finding>, String> {
+    analyze_root_with_report(root).map(|(findings, _)| findings)
+}
+
+/// [`analyze_root`], additionally returning the lock-cost contention
+/// report (the CLI writes it to `target/analysis/lock-cost.json`).
+pub fn analyze_root_with_report(
+    root: &Path,
+) -> Result<(Vec<Finding>, lockcost::LockCostReport), String> {
     // Phase A: read, lex, parse.
     let (mut ctx, ctx_findings) = Context::from_root(root);
     let (files, deps) = load_workspace(root)?;
@@ -704,9 +727,11 @@ pub fn analyze_root(root: &Path) -> Result<Vec<Finding>, String> {
         }
         rules::obs_instruments(&f.lexed.tokens, &mut instruments);
     }
-    let mut reach_findings = Vec::new();
-    rules::panic_reachability(&graph, &mut reach_findings);
-    for finding in reach_findings {
+    let mut cross_findings = Vec::new();
+    rules::panic_reachability(&graph, &mut cross_findings);
+    hotpath::hot_copy(&graph, &files, &mut cross_findings);
+    let report = lockcost::lock_cost(&ctx, &graph, &files, &mut cross_findings);
+    for finding in cross_findings {
         match files.iter().find(|f| f.rel == finding.file) {
             Some(f) => raw_by_file.entry(&f.rel).or_default().push(finding),
             None => raw_by_file.entry("").or_default().push(finding),
@@ -768,8 +793,25 @@ pub fn analyze_root(root: &Path) -> Result<Vec<Finding>, String> {
                 });
             }
         }
+        // The reverse direction: a rank declared in the runtime table
+        // that no [`rules::LOCK_FIELDS`] entry maps to is invisible to
+        // the static checkers (lock-order, guard-liveness, lock-cost).
+        for (name, _) in &ranks.entries {
+            if !rules::LOCK_FIELDS.iter().any(|(_, _, rank)| rank == name) {
+                findings.push(Finding {
+                    file: "crates/sim/src/lockdep.rs".to_string(),
+                    line: ranks.line,
+                    lint: "lock-order",
+                    message: format!(
+                        "rank \"{name}\" is declared in sim::lockdep::RANKS but no lock field \
+                         in rules::LOCK_FIELDS maps to it — the static lock checkers cannot \
+                         see its acquisitions"
+                    ),
+                });
+            }
+        }
     }
     findings.sort();
     findings.dedup();
-    Ok(findings)
+    Ok((findings, report))
 }

@@ -47,7 +47,11 @@ fn main() -> ExitCode {
                      reachable from fault-crate public APIs), dropped-result,\n\
                      unchecked-offset-arithmetic, guard-liveness, panic, lock-order\n\
                      (rank table from sim::lockdep::RANKS), fault-site (registry in\n\
-                     sim::failure::SITES), raw-io, raw-thread, forbid-unsafe. Suppress a\n\
+                     sim::failure::SITES), raw-io, raw-thread, forbid-unsafe, hot-copy\n\
+                     (no deep copy of payload bytes reachable from the produce/fetch hot\n\
+                     path), lock-cost (no I/O or nested ranked locks inside hot-path\n\
+                     critical sections; writes the target/analysis/lock-cost.json\n\
+                     contention report). Suppress a\n\
                      finding with a comment directive on or above the offending line:\n\
                      \n\
                      \x20   // lint:allow(<lint>, reason=<why this one is sound>)\n\
@@ -99,8 +103,21 @@ fn main() -> ExitCode {
         };
     }
 
-    match liquid_lint::analyze_root(&root) {
-        Ok(mut findings) => {
+    match liquid_lint::analyze_root_with_report(&root) {
+        Ok((mut findings, report)) => {
+            // The contention report is a build artifact, not lint
+            // output: written unconditionally so CI can diff it
+            // against the checked-in baseline even on clean runs.
+            let report_dir = root.join("target/analysis");
+            let report_path = report_dir.join("lock-cost.json");
+            if let Err(e) = std::fs::create_dir_all(&report_dir)
+                .and_then(|()| std::fs::write(&report_path, report.to_json()))
+            {
+                eprintln!(
+                    "liquid-lint: warning: could not write {}: {e}",
+                    report_path.display()
+                );
+            }
             if let Some(prefix) = &only {
                 findings.retain(|f| f.file.starts_with(prefix.as_str()));
             }

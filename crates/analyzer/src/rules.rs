@@ -56,6 +56,10 @@ pub const LOCK_FIELDS: &[(&str, &str, &str)] = &[
     ("stack.rs", "feeds", "stack.feeds"),
     ("stack.rs", "managed", "stack.managed"),
     ("manager.rs", "state", "yarn.state"),
+    // The producer's pending-batch mutex lives in the `batching` tuple
+    // field and is always destructured into a local named `pending`
+    // before locking, so the acquire sites key on that name.
+    ("producer.rs", "pending", "producer.batches"),
     ("tree.rs", "state", "coord.tree"),
     ("acl.rs", "grants", "acl.grants"),
     ("log.rs", "cache", "log.pagecache"),
@@ -585,7 +589,7 @@ pub fn raw_thread(
 
 /// The ranked-lock fields of one file, as `(field, rank)` pairs.
 /// Empty for files with no [`LOCK_FIELDS`] entry.
-fn ranked_fields(rel: &str) -> Vec<(&'static str, &'static str)> {
+pub(crate) fn ranked_fields(rel: &str) -> Vec<(&'static str, &'static str)> {
     let base = rel.rsplit('/').next().unwrap_or(rel);
     LOCK_FIELDS
         .iter()
@@ -598,8 +602,8 @@ fn ranked_fields(rel: &str) -> Vec<(&'static str, &'static str)> {
 /// [`Cfg::acquires`]) whose guard may still be live. Named guards die
 /// on `drop`, shadowing, or scope exit ([`Op::Kill`]); temporaries die
 /// at the end of their statement ([`Op::KillTemps`]).
-struct HeldLocks<'a> {
-    acquires: &'a [AcquireSite],
+pub(crate) struct HeldLocks<'a> {
+    pub(crate) acquires: &'a [AcquireSite],
 }
 
 impl Analysis for HeldLocks<'_> {
@@ -675,7 +679,7 @@ impl Analysis for Liveness {
 
 /// `(rank, order)` of each acquire site that maps to a ranked lock
 /// field of this file, `None` for unranked acquisitions.
-fn site_ranks(
+pub(crate) fn site_ranks(
     g: &Cfg,
     fields: &[(&'static str, &'static str)],
     order_of: &dyn Fn(&str) -> Option<u32>,

@@ -23,6 +23,7 @@ pub const RANKS: &[(&str, u32)] = &[
     ("stack.feeds", 80),
     ("stack.managed", 75),
     ("yarn.state", 70),
+    ("producer.batches", 65),
     ("consumer.state", 60),
     ("group.groups", 50),
     ("cluster.state", 40),
@@ -930,6 +931,324 @@ fn emit_callgraph_dumps_dot() {
     assert!(
         stdout.contains(" -> "),
         "the entry→helper edge must be present; stdout:\n{stdout}"
+    );
+}
+
+#[test]
+fn hot_copy_lint_fires_on_payload_copy_in_hot_callee() {
+    // The seeded regression: the copy is NOT in the hot root itself but
+    // in a callee whose parameter is not payload-named — only the
+    // interprocedural parameter-taint fixpoint can connect
+    // `batch.records()` at the call site to `buf.to_vec()` in the
+    // callee.
+    let hit = fixture(
+        "hot-copy-hit",
+        &[(
+            "crates/messaging/src/cluster.rs",
+            "pub fn produce_batch(batch: &B) -> Vec<u8> {\n\
+             \x20   stage(batch.records())\n\
+             }\n\
+             fn stage(buf: &[u8]) -> Vec<u8> {\n\
+             \x20   buf.to_vec()\n\
+             }\n",
+        )],
+    );
+    let out = lint(&hit);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{stdout}");
+    assert!(stdout.contains("[hot-copy]"), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("`.to_vec()` deep-copies payload bytes"),
+        "stdout:\n{stdout}"
+    );
+
+    // The witness must spell out the root→copy chain with a file:line
+    // per hop.
+    assert!(
+        stdout.contains(
+            "reached via: messaging::produce_batch (crates/messaging/src/cluster.rs:1) \
+             → messaging::stage (crates/messaging/src/cluster.rs:4)"
+        ),
+        "finding must carry the full call-chain witness; stdout:\n{stdout}"
+    );
+
+    // Sharing the buffer instead of copying is the fix.
+    let clean = fixture(
+        "hot-copy-clean",
+        &[(
+            "crates/messaging/src/cluster.rs",
+            "pub fn produce_batch(batch: &B) -> B {\n\
+             \x20   stage(batch.records())\n\
+             }\n\
+             fn stage(buf: &B) -> B {\n\
+             \x20   buf.slice()\n\
+             }\n",
+        )],
+    );
+    assert_clean(&clean);
+}
+
+#[test]
+fn hot_copy_lint_spares_cold_paths_and_clones() {
+    // The same deep copy in a function the hot roots never reach is
+    // out of scope — compaction may copy all it wants.
+    let cold = fixture(
+        "hot-copy-cold",
+        &[(
+            "crates/log/src/compaction.rs",
+            "pub fn produce_batch(batch: &B) -> u64 {\n\
+             \x20   batch.len()\n\
+             }\n\
+             pub fn compact(records: &[u8]) -> Vec<u8> {\n\
+             \x20   records.to_vec()\n\
+             }\n",
+        )],
+    );
+    assert_clean(&cold);
+
+    // `.clone()` on a payload carrier is a Bytes refcount bump — the
+    // sanctioned share, never a finding.
+    let cloned = fixture(
+        "hot-copy-clone",
+        &[(
+            "crates/messaging/src/cluster.rs",
+            "pub fn produce_batch(batch: &B) -> B {\n\
+             \x20   batch.clone()\n\
+             }\n",
+        )],
+    );
+    assert_clean(&cloned);
+}
+
+#[test]
+fn hot_copy_lint_honors_allow_and_reports_unused_or_malformed() {
+    // A used directive with a reason suppresses the finding.
+    let allowed = fixture(
+        "hot-copy-allow",
+        &[(
+            "crates/messaging/src/cluster.rs",
+            "pub fn produce_batch(batch: &B) -> Vec<u8> {\n\
+             \x20   // lint:allow(hot-copy, reason=wire serialization owns this copy)\n\
+             \x20   batch.to_vec()\n\
+             }\n",
+        )],
+    );
+    assert_clean(&allowed);
+
+    // A directive that suppresses nothing is itself a finding.
+    let unused = fixture(
+        "hot-copy-allow-unused",
+        &[(
+            "crates/messaging/src/cluster.rs",
+            "pub fn produce_batch(batch: &B) -> B {\n\
+             \x20   // lint:allow(hot-copy, reason=suppresses nothing)\n\
+             \x20   batch.share()\n\
+             }\n",
+        )],
+    );
+    assert_hit(&unused, "lint-allow");
+
+    // A directive without a reason is malformed.
+    let malformed = fixture(
+        "hot-copy-allow-malformed",
+        &[(
+            "crates/messaging/src/cluster.rs",
+            "pub fn produce_batch(batch: &B) -> Vec<u8> {\n\
+             \x20   // lint:allow(hot-copy)\n\
+             \x20   batch.to_vec()\n\
+             }\n",
+        )],
+    );
+    assert_hit(&malformed, "lint-allow");
+}
+
+#[test]
+fn lock_cost_lint_fires_on_io_under_hot_guard() {
+    // produce_batch (a hot root) ticks an injectable fault site while
+    // the ranked cluster.state guard is live. The guard is read
+    // afterwards, so guard-liveness stays quiet — this is exactly the
+    // deliberate-critical-section shape only lock-cost can price.
+    let hit = fixture(
+        "lock-cost-hit",
+        &[
+            ("crates/sim/src/lockdep.rs", RANKS_RS),
+            (
+                "crates/messaging/src/cluster.rs",
+                "pub fn produce_batch(state: &L, injector: &I) {\n\
+                 \x20   let mut st = state.lock();\n\
+                 \x20   injector.tick(\"cluster.election\");\n\
+                 \x20   st.touch();\n\
+                 }\n",
+            ),
+        ],
+    );
+    let out = lint(&hit);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{stdout}");
+    assert!(stdout.contains("[lock-cost]"), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("critical section of \"cluster.state\""),
+        "finding must name the ranked guard; stdout:\n{stdout}"
+    );
+
+    // Dropping the guard before the fallible operation is the fix.
+    let clean = fixture(
+        "lock-cost-clean",
+        &[
+            ("crates/sim/src/lockdep.rs", RANKS_RS),
+            (
+                "crates/messaging/src/cluster.rs",
+                "pub fn produce_batch(state: &L, injector: &I) {\n\
+                 \x20   let st = state.lock();\n\
+                 \x20   drop(st);\n\
+                 \x20   injector.tick(\"cluster.election\");\n\
+                 }\n",
+            ),
+        ],
+    );
+    assert_clean(&clean);
+
+    // The same section in a function the hot roots never reach is
+    // priced in the report but not a lint finding.
+    let cold = fixture(
+        "lock-cost-cold",
+        &[
+            ("crates/sim/src/lockdep.rs", RANKS_RS),
+            (
+                "crates/messaging/src/cluster.rs",
+                "pub fn produce_batch(state: &L) -> u64 {\n\
+                 \x20   let st = state.lock();\n\
+                 \x20   st.len()\n\
+                 }\n\
+                 pub fn maintenance(state: &L, injector: &I) {\n\
+                 \x20   let mut st = state.lock();\n\
+                 \x20   injector.tick(\"cluster.election\");\n\
+                 \x20   st.touch();\n\
+                 }\n",
+            ),
+        ],
+    );
+    assert_clean(&cold);
+}
+
+#[test]
+fn lock_cost_lint_fires_interprocedurally_and_honors_allow() {
+    // The I/O happens in a callee — the guard's cost must include the
+    // callee's summary, not just the ops textually under the lock.
+    let hit = fixture(
+        "lock-cost-callee",
+        &[
+            ("crates/sim/src/lockdep.rs", RANKS_RS),
+            (
+                "crates/messaging/src/cluster.rs",
+                "pub fn produce_batch(state: &L, injector: &I) {\n\
+                 \x20   let mut st = state.lock();\n\
+                 \x20   append(injector);\n\
+                 \x20   st.touch();\n\
+                 }\n\
+                 fn append(injector: &I) {\n\
+                 \x20   injector.tick(\"log.append\");\n\
+                 }\n",
+            ),
+        ],
+    );
+    assert_hit(&hit, "lock-cost");
+
+    // A reasoned allow on the acquisition suppresses it.
+    let allowed = fixture(
+        "lock-cost-allowed",
+        &[
+            ("crates/sim/src/lockdep.rs", RANKS_RS),
+            (
+                "crates/messaging/src/cluster.rs",
+                "pub fn produce_batch(state: &L, injector: &I) {\n\
+                 \x20   // lint:allow(lock-cost, reason=crash atomicity requires append under the guard)\n\
+                 \x20   let mut st = state.lock();\n\
+                 \x20   injector.tick(\"cluster.election\");\n\
+                 \x20   st.touch();\n\
+                 }\n",
+            ),
+        ],
+    );
+    assert_clean(&allowed);
+}
+
+#[test]
+fn lock_cost_report_is_written_with_schema_and_ranking() {
+    let root = fixture(
+        "lock-cost-report",
+        &[
+            ("crates/sim/src/lockdep.rs", RANKS_RS),
+            (
+                "crates/messaging/src/cluster.rs",
+                "pub fn fetch_batch(state: &L) -> u64 {\n\
+                 \x20   let st = state.lock();\n\
+                 \x20   st.len()\n\
+                 }\n",
+            ),
+        ],
+    );
+    let out = lint(&root);
+    assert_eq!(out.status.code(), Some(0));
+    let report = fs::read_to_string(root.join("target/analysis/lock-cost.json")).unwrap();
+    assert!(
+        report.starts_with("{\"schema\":\"lock-cost/v1\""),
+        "report:\n{report}"
+    );
+    assert!(
+        report.contains("\"rank\":\"cluster.state\""),
+        "report:\n{report}"
+    );
+    assert!(report.contains("\"order\":40"), "report:\n{report}");
+    assert!(
+        report.contains("\"function\":\"messaging::fetch_batch\""),
+        "report:\n{report}"
+    );
+    assert!(report.contains("\"hot\":true"), "report:\n{report}");
+    assert!(report.contains("\"ranks\":["), "report:\n{report}");
+}
+
+#[test]
+fn rank_tables_and_guard_inventory_agree() {
+    // Three copies of the rank table must agree: the runtime table
+    // (sim::lockdep::RANKS, parsed from source), the analyzer's
+    // field→rank map (rules::LOCK_FIELDS), and the acquire-site
+    // inventory of the lock-cost report built from the real tree.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap();
+
+    let src = fs::read_to_string(root.join("crates/sim/src/lockdep.rs")).unwrap();
+    let table = src
+        .split_once("pub const RANKS: &[(&str, u32)] = &[")
+        .expect("RANKS table present")
+        .1
+        .split_once("];")
+        .expect("RANKS table terminated")
+        .0;
+    let declared: std::collections::BTreeSet<&str> = table.split('"').skip(1).step_by(2).collect();
+    assert!(!declared.is_empty());
+
+    let mapped: std::collections::BTreeSet<&str> = liquid_lint::rules::LOCK_FIELDS
+        .iter()
+        .map(|&(_, _, rank)| rank)
+        .collect();
+    assert_eq!(
+        declared, mapped,
+        "sim::lockdep::RANKS and rules::LOCK_FIELDS drifted apart"
+    );
+
+    let (_, report) = liquid_lint::analyze_root_with_report(&root).unwrap();
+    let inventory = report.inventory();
+    // job.metrics is declared for sim's own lockdep tests and has no
+    // production acquire site; every other rank must show up in the
+    // guard inventory.
+    let mut expected = declared.clone();
+    expected.remove("job.metrics");
+    assert_eq!(
+        inventory, expected,
+        "lock-cost guard inventory drifted from the declared ranks"
     );
 }
 

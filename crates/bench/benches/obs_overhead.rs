@@ -13,10 +13,52 @@
 
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use liquid_log::RecordBatch;
 use liquid_messaging::{AckLevel, Cluster, ClusterConfig, TopicConfig, TopicPartition};
 use liquid_sim::clock::SimClock;
 
+/// Copy-budget gate, enforced on every bench run before timing starts:
+/// the produce→fetch round trip must not deep-copy payload bytes per
+/// record. Witness: `Record::decode` hands out slices of the storage
+/// chunk, so a record's key and value are *contiguous* in one backing
+/// buffer (the wire frame packs them back to back). A regression that
+/// reintroduces per-field copies (`to_vec`, `Bytes::copy_from_slice`)
+/// lands them in separate allocations and trips this before any
+/// numbers are reported.
+fn assert_fetch_copy_budget() {
+    let cluster = Cluster::new(ClusterConfig::with_brokers(1), SimClock::new(0).shared());
+    cluster
+        .create_topic("copy-budget", TopicConfig::with_partitions(1))
+        .unwrap();
+    let tp = TopicPartition::new("copy-budget", 0);
+    let mut b = RecordBatch::builder();
+    for i in 0..64u32 {
+        b.push(
+            Some(format!("key-{i:04}").as_bytes()),
+            format!("value-{i:04}-0123456789").as_bytes(),
+            0,
+        );
+    }
+    cluster
+        .produce_batch(&tp, b.build(), AckLevel::Leader, None)
+        .unwrap();
+    let batch = cluster.fetch_batch(&tp, 0, u64::MAX).unwrap();
+    assert_eq!(batch.len(), 64, "whole batch must come back");
+    for rec in batch.records() {
+        let key = rec.key.as_ref().expect("all records are keyed");
+        let kp = key.as_slice().as_ptr() as usize;
+        let vp = rec.value.as_slice().as_ptr() as usize;
+        assert_eq!(
+            kp + key.len(),
+            vp,
+            "fetched key and value must be adjacent slices of one storage \
+             chunk — a per-record deep copy crept back into the fetch path"
+        );
+    }
+}
+
 fn produce_path(c: &mut Criterion) {
+    assert_fetch_copy_budget();
     let mode = if cfg!(feature = "obs-off") {
         "obs_off"
     } else {

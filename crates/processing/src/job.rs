@@ -150,22 +150,6 @@ impl JobMetrics {
     }
 }
 
-/// A plain-value snapshot of the job's execution counters.
-#[deprecated(note = "use `Job::snapshot()` and look counters up by name")]
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct RoundStats {
-    /// Completed `run_once` / `run_once_limited` rounds.
-    pub rounds: u64,
-    /// Completed `run_once_parallel` rounds.
-    pub parallel_rounds: u64,
-    /// Messages processed across all tasks.
-    pub messages: u64,
-    /// Checkpoints committed across all tasks.
-    pub checkpoints: u64,
-    /// Largest single task batch seen in any round.
-    pub max_task_batch: u64,
-}
-
 struct TaskInstance {
     partition: u32,
     task: Box<dyn StreamTask>,
@@ -310,19 +294,6 @@ impl Job {
     /// Changelog records replayed during construction (recovery cost).
     pub fn restored_records(&self) -> u64 {
         self.restored_records
-    }
-
-    /// Snapshot of the job's execution counters as a plain struct.
-    #[deprecated(note = "use `Job::snapshot()` and look counters up by name")]
-    #[allow(deprecated)]
-    pub fn round_stats(&self) -> RoundStats {
-        RoundStats {
-            rounds: self.metrics.rounds.get(),
-            parallel_rounds: self.metrics.parallel_rounds.get(),
-            messages: self.metrics.messages.get(),
-            checkpoints: self.metrics.checkpoints.get(),
-            max_task_batch: self.metrics.max_task_batch.get(),
-        }
     }
 
     /// The observability handle shared with the cluster (registry +
@@ -835,14 +806,6 @@ mod tests {
         assert_eq!(snap.counter("job.checkpoints"), 1);
         // Twin counter mirrors every pass through the fault site.
         assert_eq!(snap.counter("task.checkpoint"), 1);
-        // Deprecated shim reads the same handles.
-        #[allow(deprecated)]
-        {
-            let stats = job.round_stats();
-            assert_eq!(stats.messages, 30);
-            assert_eq!(stats.checkpoints, 1);
-            assert_eq!(stats.max_task_batch, 30);
-        }
     }
 
     #[test]
