@@ -58,6 +58,13 @@
 //!   static cost (I/O, allocations, loops, nested locks) lands in the
 //!   `target/analysis/lock-cost.json` contention report (see
 //!   [`lockcost`]).
+//! * **shard** — interprocedural lock-shardability classification:
+//!   every ranked guard is proven *partition-local* (all accesses
+//!   keyed by a partition identity), *cross-partition*, or *unknown*,
+//!   with witness access chains in the
+//!   `target/analysis/shardability.json` report; hot exclusive guards
+//!   proven partition-local but not yet sharded are findings (see
+//!   [`shard`]).
 //!
 //! Findings can be suppressed with a `lint:allow` comment directive
 //! (see [`lexer::AllowDirective`]); a directive that is malformed,
@@ -75,6 +82,7 @@ pub mod lexer;
 pub mod lockcost;
 pub mod parse;
 pub mod rules;
+pub mod shard;
 
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::fmt;
@@ -99,6 +107,7 @@ pub const LINTS: &[&str] = &[
     "forbid-unsafe",
     "hot-copy",
     "lock-cost",
+    "shard",
     "lint-allow",
 ];
 
@@ -670,11 +679,20 @@ pub fn analyze_root(root: &Path) -> Result<Vec<Finding>, String> {
     analyze_root_with_report(root).map(|(findings, _)| findings)
 }
 
+/// The machine-readable analysis artifacts produced alongside the
+/// findings (the CLI writes them under `target/analysis/`).
+#[derive(Debug, Default)]
+pub struct AnalysisReports {
+    /// Lock-cost contention report (`lock-cost.json`).
+    pub lock_cost: lockcost::LockCostReport,
+    /// Lock-shardability report (`shardability.json`).
+    pub shardability: shard::ShardReport,
+}
+
 /// [`analyze_root`], additionally returning the lock-cost contention
-/// report (the CLI writes it to `target/analysis/lock-cost.json`).
-pub fn analyze_root_with_report(
-    root: &Path,
-) -> Result<(Vec<Finding>, lockcost::LockCostReport), String> {
+/// and lock-shardability reports (the CLI writes them to
+/// `target/analysis/lock-cost.json` / `shardability.json`).
+pub fn analyze_root_with_report(root: &Path) -> Result<(Vec<Finding>, AnalysisReports), String> {
     // Phase A: read, lex, parse.
     let (mut ctx, ctx_findings) = Context::from_root(root);
     let (files, deps) = load_workspace(root)?;
@@ -730,7 +748,10 @@ pub fn analyze_root_with_report(
     let mut cross_findings = Vec::new();
     rules::panic_reachability(&graph, &mut cross_findings);
     hotpath::hot_copy(&graph, &files, &mut cross_findings);
-    let report = lockcost::lock_cost(&ctx, &graph, &files, &mut cross_findings);
+    let report = AnalysisReports {
+        lock_cost: lockcost::lock_cost(&ctx, &graph, &files, &mut cross_findings),
+        shardability: shard::shard(&ctx, &graph, &files, &mut cross_findings),
+    };
     for finding in cross_findings {
         match files.iter().find(|f| f.rel == finding.file) {
             Some(f) => raw_by_file.entry(&f.rel).or_default().push(finding),

@@ -136,6 +136,16 @@ impl LockCostReport {
         self.guards.iter().map(|g| g.rank).collect()
     }
 
+    /// Every acquire site as `(rank, file, line)` — the drift test
+    /// holds this against the shardability report's sites, since both
+    /// passes replay the same guard walk.
+    pub fn sites(&self) -> BTreeSet<(&'static str, &str, u32)> {
+        self.guards
+            .iter()
+            .map(|g| (g.rank, g.file.as_str(), g.line))
+            .collect()
+    }
+
     /// Renders the `lock-cost/v1` JSON document (hand-rolled — the
     /// build environment has no serde).
     pub fn to_json(&self) -> String {

@@ -24,7 +24,10 @@ fn main() -> ExitCode {
             "--only" => match args.next() {
                 Some(p) => only = Some(p),
                 None => {
-                    eprintln!("liquid-lint: --only requires a path prefix (e.g. crates/analyzer)");
+                    eprintln!(
+                        "liquid-lint: --only requires a path prefix (e.g. crates/analyzer) \
+                         or a lint name (e.g. shard)"
+                    );
                     return ExitCode::from(2);
                 }
             },
@@ -51,7 +54,10 @@ fn main() -> ExitCode {
                      (no deep copy of payload bytes reachable from the produce/fetch hot\n\
                      path), lock-cost (no I/O or nested ranked locks inside hot-path\n\
                      critical sections; writes the target/analysis/lock-cost.json\n\
-                     contention report). Suppress a\n\
+                     contention report), shard (ranked guards classified\n\
+                     partition-local / cross-partition / unknown; hot exclusive guards\n\
+                     proven partition-local but not yet split are findings; writes the\n\
+                     target/analysis/shardability.json report). Suppress a\n\
                      finding with a comment directive on or above the offending line:\n\
                      \n\
                      \x20   // lint:allow(<lint>, reason=<why this one is sound>)\n\
@@ -59,8 +65,10 @@ fn main() -> ExitCode {
                      --deny            exit 1 when there are findings (CI mode)\n\
                      --json            machine-readable output: {{\"findings\":[...],\"count\":N}}\n\
                      --sarif           SARIF 2.1.0 output (GitHub code-scanning upload)\n\
-                     --only <prefix>   keep only findings under the given path prefix\n\
+                     --only <sel>      keep only findings under the given path prefix\n\
                      \x20                 (e.g. --only crates/analyzer for the self-lint step)\n\
+                     \x20                 or of the given lint (e.g. --only shard); an\n\
+                     \x20                 unknown lint name is a usage error\n\
                      --emit-callgraph  print the resolved workspace call graph as GraphViz\n\
                      \x20                 DOT and exit (no linting)\n\
                      --root            workspace root (default: nearest ancestor with a\n\
@@ -77,6 +85,19 @@ fn main() -> ExitCode {
     if json && sarif {
         eprintln!("liquid-lint: --json and --sarif are mutually exclusive");
         return ExitCode::from(2);
+    }
+    // `--only` takes either a path prefix (anything with a `/`) or an
+    // exact lint name; an unknown bare name is a usage error, not a
+    // silent empty filter.
+    if let Some(sel) = &only {
+        if !sel.contains('/') && !liquid_lint::LINTS.contains(&sel.as_str()) {
+            eprintln!(
+                "liquid-lint: --only {sel:?} is neither a path prefix nor a known lint \
+                 (known lints: {})",
+                liquid_lint::LINTS.join(", ")
+            );
+            return ExitCode::from(2);
+        }
     }
 
     let root = match root.or_else(find_root) {
@@ -104,22 +125,31 @@ fn main() -> ExitCode {
     }
 
     match liquid_lint::analyze_root_with_report(&root) {
-        Ok((mut findings, report)) => {
-            // The contention report is a build artifact, not lint
-            // output: written unconditionally so CI can diff it
-            // against the checked-in baseline even on clean runs.
+        Ok((mut findings, reports)) => {
+            // The analysis reports are build artifacts, not lint
+            // output: written unconditionally so CI can diff them
+            // against the checked-in baselines even on clean runs.
             let report_dir = root.join("target/analysis");
-            let report_path = report_dir.join("lock-cost.json");
-            if let Err(e) = std::fs::create_dir_all(&report_dir)
-                .and_then(|()| std::fs::write(&report_path, report.to_json()))
-            {
-                eprintln!(
-                    "liquid-lint: warning: could not write {}: {e}",
-                    report_path.display()
-                );
+            for (name, json) in [
+                ("lock-cost.json", reports.lock_cost.to_json()),
+                ("shardability.json", reports.shardability.to_json()),
+            ] {
+                let report_path = report_dir.join(name);
+                if let Err(e) = std::fs::create_dir_all(&report_dir)
+                    .and_then(|()| std::fs::write(&report_path, json))
+                {
+                    eprintln!(
+                        "liquid-lint: warning: could not write {}: {e}",
+                        report_path.display()
+                    );
+                }
             }
-            if let Some(prefix) = &only {
-                findings.retain(|f| f.file.starts_with(prefix.as_str()));
+            if let Some(sel) = &only {
+                if sel.contains('/') {
+                    findings.retain(|f| f.file.starts_with(sel.as_str()));
+                } else {
+                    findings.retain(|f| f.lint == sel.as_str());
+                }
             }
             if sarif {
                 println!("{}", render_sarif(&findings));

@@ -46,6 +46,10 @@ pub const LOCK_FIELDS: &[(&str, &str, &str)] = &[
     ("consumer.rs", "state", "consumer.state"),
     ("group.rs", "groups", "group.groups"),
     ("cluster.rs", "state", "cluster.state"),
+    // Per-partition lock shards: every partition's mutable state sits
+    // behind its own mutex inside a `PartitionShard`, looked up (and
+    // its `Arc` cloned) under a brief `cluster.state` read guard.
+    ("cluster.rs", "part", "partition.state"),
     ("offsets.rs", "inner", "offsets.inner"),
     ("quotas.rs", "limits", "quota.limits"),
     ("quotas.rs", "usage", "quota.usage"),

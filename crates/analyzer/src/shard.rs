@@ -1,0 +1,715 @@
+//! Lint **shard**: interprocedural lock-shardability classification of
+//! every ranked lockdep guard, plus the machine-readable report behind
+//! `target/analysis/shardability.json`.
+//!
+//! The lock-cost pass (PR 7) prices critical sections; this pass asks
+//! the follow-up question ROADMAP items 1 and 4 hinge on: *could this
+//! guard be split into per-partition shards?* A critical section is
+//! shardable when every access it performs is keyed by a single
+//! partition identity flowing in from the guard's entry point — then
+//! one coarse lock can become N independent ones and producers on
+//! different partitions stop serializing. The pass classifies each
+//! ranked acquire site as:
+//!
+//! * **partition-local** — at least one access is provably keyed by a
+//!   partition identity ([`PARTITION_KEY_NAMES`]: `tp`, `partition`,
+//!   …; closed over assignments and propagated through calls by the
+//!   same parameter-taint fixpoint hot-copy uses for payload bytes),
+//!   and *no* access reaches a cross-partition collection.
+//! * **cross-partition** — some access (direct, or transitively
+//!   through a callee) touches a cross-partition collection
+//!   ([`CROSS_COLLECTIONS`]: the `topics`/`brokers` maps of the
+//!   cluster state) *without* a partition key in the same expression.
+//!   A keyed access into a global map (`st.topics.get_mut(&tp.topic)`)
+//!   is partition-local evidence, not cross — that is exactly the
+//!   shape a shard lookup compiles to.
+//! * **unknown** — neither kind of evidence: nothing provably keyed,
+//!   so the pass stays conservative and does not license a split.
+//!
+//! Every verdict carries **witness access chains** (`file:line` per
+//! hop, callee evidence prefixed with the call path), so the report is
+//! an auditable argument, not a score. Lint findings fire only for
+//! guards that are *shardable-but-coarse*: in the hot closure
+//! ([`HOT_ROOTS`]), exclusively acquired (`.lock()`/`.write()`),
+//! proven partition-local, and not already one of the per-partition
+//! shard ranks ([`PARTITION_SHARDED_RANKS`]) — the analyzer-approved
+//! work-list for the next lock split.
+//!
+//! [`HOT_ROOTS`]: crate::hotpath::HOT_ROOTS
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::callgraph::{CallGraph, CallSite};
+use crate::cfg::{self, Cfg, Op};
+use crate::dataflow;
+use crate::hotpath::HOT_ROOTS;
+use crate::rules;
+use crate::{Context, Finding, SourceData};
+
+/// Identifiers the workspace reserves for partition identity: the
+/// [`TopicPartition`] bindings and the partition-index locals. Any
+/// mention of one of these inside a critical section is
+/// partition-local evidence.
+///
+/// [`TopicPartition`]: ../../liquid_messaging/struct.TopicPartition.html
+pub const PARTITION_KEY_NAMES: &[&str] = &[
+    "tp",
+    "partition",
+    "partition_id",
+    "partition_index",
+    "topic_partition",
+];
+
+/// Field names of the cluster-wide collections: state that by
+/// definition spans partitions. Reaching one of these *without* a
+/// partition key in the same expression pins the guard cross-partition.
+pub const CROSS_COLLECTIONS: &[&str] = &["topics", "brokers"];
+
+/// Ranks that already are per-partition lock shards: proven
+/// partition-local by construction, so the shardable-but-coarse
+/// finding never re-fires on them. `log.pagecache` qualifies because
+/// every `Log` instance owns its cache mutex and logs are per
+/// partition *replica* — finer than a per-partition shard.
+pub const PARTITION_SHARDED_RANKS: &[&str] = &["partition.state", "log.pagecache"];
+
+fn is_partition_key(name: &str) -> bool {
+    PARTITION_KEY_NAMES.contains(&name)
+}
+
+fn is_cross_collection(name: &str) -> bool {
+    CROSS_COLLECTIONS.contains(&name)
+}
+
+/// Shardability verdict for one guard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verdict {
+    /// Every reached access keyed by one partition identity.
+    PartitionLocal,
+    /// Reaches a cross-partition collection unkeyed.
+    CrossPartition,
+    /// No evidence either way; conservative default.
+    Unknown,
+}
+
+impl Verdict {
+    /// The report/JSON spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::PartitionLocal => "partition-local",
+            Verdict::CrossPartition => "cross-partition",
+            Verdict::Unknown => "unknown",
+        }
+    }
+}
+
+/// One witness access: the evidence a verdict rests on.
+#[derive(Debug, Clone)]
+pub struct WitnessAccess {
+    /// `partition-key` or `cross-collection`.
+    pub kind: &'static str,
+    /// What was accessed (`` `tp` ``, `` `topics` ``).
+    pub access: String,
+    /// `file:line` chain from the guard-holding function to the
+    /// access, one `qualified (file:line)` hop per call.
+    pub chain: String,
+}
+
+/// One ranked-guard acquire site with its shardability verdict.
+#[derive(Debug, Clone)]
+pub struct GuardVerdict {
+    /// Rank name (`cluster.state`, …).
+    pub rank: &'static str,
+    /// Rank order from `sim::lockdep::RANKS`.
+    pub order: u32,
+    /// Workspace-relative file of the acquire site.
+    pub file: String,
+    /// 1-based line of the acquire site.
+    pub line: u32,
+    /// Qualified name of the function holding the guard.
+    pub function: String,
+    /// Acquisition method (`lock`, `read`, `write`).
+    pub method: String,
+    /// Whether the holding function is in the hot-path closure.
+    pub hot: bool,
+    /// The classification.
+    pub verdict: Verdict,
+    /// The accesses the verdict rests on (capped, deterministic).
+    pub witness: Vec<WitnessAccess>,
+}
+
+/// The shardability report: every ranked-guard acquire site in the
+/// workspace with its verdict and witnesses.
+#[derive(Debug, Default)]
+pub struct ShardReport {
+    /// Per-site verdicts, sorted partition-local first, then by rank
+    /// order (descending), file, line — fully deterministic.
+    pub guards: Vec<GuardVerdict>,
+}
+
+impl ShardReport {
+    /// The set of rank names with at least one classified acquire
+    /// site. The drift test holds this against `sim::lockdep::RANKS`,
+    /// [`rules::LOCK_FIELDS`] and the lock-cost inventory, so a lock
+    /// added without a shardability verdict fails the build.
+    pub fn inventory(&self) -> BTreeSet<&'static str> {
+        self.guards.iter().map(|g| g.rank).collect()
+    }
+
+    /// `(rank, file, line)` of every classified site — compared 1:1
+    /// with the lock-cost guard table by the drift test.
+    pub fn sites(&self) -> BTreeSet<(&'static str, &str, u32)> {
+        self.guards
+            .iter()
+            .map(|g| (g.rank, g.file.as_str(), g.line))
+            .collect()
+    }
+
+    /// Renders the `shardability/v1` JSON document (hand-rolled — the
+    /// build environment has no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"schema\":\"shardability/v1\",\"guards\":[");
+        for (i, g) in self.guards.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let witness = g
+                .witness
+                .iter()
+                .map(|w| {
+                    format!(
+                        "{{\"kind\":\"{}\",\"access\":\"{}\",\"chain\":\"{}\"}}",
+                        esc(w.kind),
+                        esc(&w.access),
+                        esc(&w.chain)
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            out.push_str(&format!(
+                "{{\"rank\":\"{}\",\"order\":{},\"file\":\"{}\",\"line\":{},\
+                 \"function\":\"{}\",\"method\":\"{}\",\"hot\":{},\
+                 \"verdict\":\"{}\",\"witness\":[{witness}]}}",
+                esc(g.rank),
+                g.order,
+                esc(&g.file),
+                g.line,
+                esc(&g.function),
+                esc(&g.method),
+                g.hot,
+                g.verdict.as_str()
+            ));
+        }
+        out.push_str("],\"ranks\":[");
+        // Per-rank aggregation: the sharding work-list at a glance. A
+        // rank is partition-local only when *every* site is.
+        let mut totals: BTreeMap<&'static str, (u32, u32, u32, u32, u32)> = BTreeMap::new();
+        for g in &self.guards {
+            let entry = totals.entry(g.rank).or_insert((g.order, 0, 0, 0, 0));
+            entry.1 += 1;
+            match g.verdict {
+                Verdict::PartitionLocal => entry.2 += 1,
+                Verdict::CrossPartition => entry.3 += 1,
+                Verdict::Unknown => entry.4 += 1,
+            }
+        }
+        let mut ranks: Vec<_> = totals.into_iter().collect();
+        ranks.sort_by(|a, b| b.1 .0.cmp(&a.1 .0).then(a.0.cmp(b.0)));
+        for (i, (rank, (order, sites, local, cross, unknown))) in ranks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let verdict = if *cross > 0 {
+                "cross-partition"
+            } else if *unknown > 0 {
+                "unknown"
+            } else {
+                "partition-local"
+            };
+            out.push_str(&format!(
+                "{{\"rank\":\"{}\",\"order\":{order},\"sites\":{sites},\"local\":{local},\
+                 \"cross\":{cross},\"unknown\":{unknown},\"verdict\":\"{verdict}\"}}",
+                esc(rank)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// RFC 8259 string escape (subset: the characters our identifiers and
+/// paths can contain).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Cap on witness entries per guard: enough to audit, small enough to
+/// keep the report and its CI diff readable.
+const WITNESS_CAP: usize = 4;
+
+/// Cap on the hops of a callee-carried witness chain.
+const CHAIN_CAP: usize = 6;
+
+/// One function body prepared for classification.
+struct FnBody {
+    /// Index into `graph.fns`.
+    id: usize,
+    /// Workspace-relative file.
+    rel: String,
+    cfg: Cfg,
+    /// `(rank, order)` per acquire site, `None` for unranked.
+    site_rank: Vec<Option<(&'static str, u32)>>,
+    /// Parameter binding names (partition-key taint targets).
+    params: Vec<String>,
+}
+
+/// The identifier-ish names an op mentions, with its source line.
+/// `Mention` has no line and [`Op::LenObserve`] is a keyed point
+/// lookup (`.get()`/`.contains_key()` &co.), so neither contributes
+/// evidence; everything interesting surfaces as the enclosing
+/// `Assign`/`Call`/`Arith`.
+fn op_names(op: &Op) -> Option<(Vec<&str>, u32)> {
+    match op {
+        Op::Assign { froms, line, .. } => Some((froms.iter().map(String::as_str).collect(), *line)),
+        Op::Call {
+            recv_names,
+            arg_names,
+            line,
+            ..
+        } => Some((
+            recv_names
+                .iter()
+                .chain(arg_names)
+                .map(String::as_str)
+                .collect(),
+            *line,
+        )),
+        Op::Arith { names, line, .. } => Some((names.iter().map(String::as_str).collect(), *line)),
+        Op::Index { recv, line, .. } => Some((recv.split('.').collect(), *line)),
+        _ => None,
+    }
+}
+
+/// The flow-insensitive partition-key closure inside one function:
+/// seeds are the key names (checked by predicate) plus — when the
+/// interprocedural fixpoint marked this function's parameters tainted
+/// — every parameter; the closure adds each binding whose initializer
+/// mentions a keyed name.
+fn local_keys(body: &FnBody, params_tainted: bool) -> BTreeSet<String> {
+    let mut extra: BTreeSet<String> = BTreeSet::new();
+    if params_tainted {
+        extra.extend(body.params.iter().cloned());
+    }
+    loop {
+        let mut changed = false;
+        for blk in &body.cfg.blocks {
+            for op in &blk.ops {
+                if let Op::Assign { to, froms, .. } = op {
+                    if !extra.contains(to)
+                        && froms
+                            .iter()
+                            .any(|n| is_partition_key(n) || extra.contains(n))
+                    {
+                        extra.insert(to.clone());
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            return extra;
+        }
+    }
+}
+
+/// A function's cross-partition evidence: the access plus the
+/// `file:line` hop chain leading to it.
+#[derive(Debug, Clone)]
+struct CrossWitness {
+    access: String,
+    chain: Vec<String>,
+}
+
+/// Runs the pass: appends lint findings to `out` and returns the full
+/// shardability report (empty when the tree has no rank table).
+pub fn shard(
+    ctx: &Context,
+    graph: &CallGraph,
+    files: &[SourceData],
+    out: &mut Vec<Finding>,
+) -> ShardReport {
+    let Some(ranks) = &ctx.ranks else {
+        return ShardReport::default();
+    };
+    let order_of = |rank: &str| {
+        ranks
+            .entries
+            .iter()
+            .find(|(n, _)| n == rank)
+            .map(|(_, o)| *o)
+    };
+
+    let mut by_site: HashMap<(&str, u32, &str), usize> = HashMap::new();
+    for (i, f) in graph.fns.iter().enumerate() {
+        by_site.insert((f.file.as_str(), f.line, f.name.as_str()), i);
+    }
+
+    // Lower every non-test function once.
+    let mut bodies: Vec<FnBody> = Vec::new();
+    for file in files {
+        let Some(ast) = &file.ast else { continue };
+        let fields = rules::ranked_fields(&file.rel);
+        rules::for_each_fn(&ast.items, &mut |f| {
+            let Some(&id) = by_site.get(&(file.rel.as_str(), f.line, f.name.as_str())) else {
+                return;
+            };
+            if graph.fns[id].in_test || f.body.is_none() {
+                return;
+            }
+            let mut params = Vec::new();
+            for p in &f.params {
+                p.pat.bound_names(&mut params);
+            }
+            let g = cfg::lower_fn(f);
+            let site_rank = rules::site_ranks(&g, &fields, &order_of);
+            bodies.push(FnBody {
+                id,
+                rel: file.rel.clone(),
+                cfg: g,
+                site_rank,
+                params,
+            });
+        });
+    }
+
+    // Phase 1: interprocedural partition-key taint — the same
+    // parameter-taint fixpoint hot-copy runs for payload bytes, here
+    // seeded by the partition identity names. Monotone (flags only
+    // flip false→true), so it terminates in at most |fns| rounds.
+    let mut key_taint = vec![false; graph.fns.len()];
+    loop {
+        let mut changed = false;
+        for body in &bodies {
+            let keys = local_keys(body, key_taint[body.id]);
+            for blk in &body.cfg.blocks {
+                for op in &blk.ops {
+                    let Op::Call {
+                        name,
+                        arity,
+                        is_method,
+                        qual,
+                        recv_names,
+                        arg_names,
+                        line,
+                    } = op
+                    else {
+                        continue;
+                    };
+                    if !recv_names
+                        .iter()
+                        .chain(arg_names)
+                        .any(|n| is_partition_key(n) || keys.contains(n))
+                    {
+                        continue;
+                    }
+                    let site = CallSite {
+                        name: name.clone(),
+                        arity: *arity,
+                        is_method: *is_method,
+                        qual: qual.clone(),
+                        line: *line,
+                    };
+                    for t in graph.resolve(body.id, &site) {
+                        if graph.fns[t].arity > 0 && !key_taint[t] {
+                            key_taint[t] = true;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Phase 2: which functions reach a cross-partition collection
+    // unkeyed? Direct evidence first, then a fixpoint that propagates
+    // a callee's witness up through call sites that pass no partition
+    // key (a keyed call site *is* the shard-lookup shape, so it does
+    // not inherit the callee's cross evidence).
+    let mut crossy: Vec<Option<CrossWitness>> = vec![None; graph.fns.len()];
+    for body in &bodies {
+        if crossy[body.id].is_some() {
+            continue;
+        }
+        let keys = local_keys(body, key_taint[body.id]);
+        'body: for blk in &body.cfg.blocks {
+            for op in &blk.ops {
+                let Some((names, line)) = op_names(op) else {
+                    continue;
+                };
+                if names
+                    .iter()
+                    .any(|n| is_partition_key(n) || keys.contains(*n))
+                {
+                    continue;
+                }
+                if let Some(hit) = names.iter().find(|n| is_cross_collection(n)) {
+                    crossy[body.id] = Some(CrossWitness {
+                        access: format!("`{hit}`"),
+                        chain: vec![hop(graph, body, line)],
+                    });
+                    break 'body;
+                }
+            }
+        }
+    }
+    loop {
+        let mut changed = false;
+        for body in &bodies {
+            if crossy[body.id].is_some() {
+                continue;
+            }
+            let keys = local_keys(body, key_taint[body.id]);
+            'calls: for blk in &body.cfg.blocks {
+                for op in &blk.ops {
+                    let Op::Call {
+                        name,
+                        arity,
+                        is_method,
+                        qual,
+                        recv_names,
+                        arg_names,
+                        line,
+                    } = op
+                    else {
+                        continue;
+                    };
+                    if recv_names
+                        .iter()
+                        .chain(arg_names)
+                        .any(|n| is_partition_key(n) || keys.contains(n))
+                    {
+                        continue;
+                    }
+                    let site = CallSite {
+                        name: name.clone(),
+                        arity: *arity,
+                        is_method: *is_method,
+                        qual: qual.clone(),
+                        line: *line,
+                    };
+                    for t in graph.resolve(body.id, &site) {
+                        let Some(w) = &crossy[t] else { continue };
+                        if w.chain.len() >= CHAIN_CAP {
+                            continue;
+                        }
+                        let mut chain = vec![hop(graph, body, *line)];
+                        chain.extend(w.chain.iter().cloned());
+                        crossy[body.id] = Some(CrossWitness {
+                            access: w.access.clone(),
+                            chain,
+                        });
+                        changed = true;
+                        break 'calls;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Phase 3: per-guard classification via the HeldLocks replay.
+    let reach = graph.reach_from_named(HOT_ROOTS);
+    let mut report = ShardReport::default();
+    for body in &bodies {
+        if !body.site_rank.iter().any(Option::is_some) {
+            continue;
+        }
+        let keys = local_keys(body, key_taint[body.id]);
+        let analysis = rules::HeldLocks {
+            acquires: &body.cfg.acquires,
+        };
+        let held = dataflow::solve(&body.cfg, &analysis);
+        let nsites = body.cfg.acquires.len();
+        let mut local_ev: Vec<Vec<WitnessAccess>> = vec![Vec::new(); nsites];
+        let mut cross_ev: Vec<Vec<WitnessAccess>> = vec![Vec::new(); nsites];
+        for blk in 0..body.cfg.blocks.len() {
+            dataflow::walk_ops(&body.cfg, &analysis, &held, blk, |_, op, live| {
+                if live.is_empty() {
+                    return;
+                }
+                let Some((names, line)) = op_names(op) else {
+                    return;
+                };
+                let keyed = names
+                    .iter()
+                    .find(|n| is_partition_key(n) || keys.contains(**n));
+                let mut evidence: Option<(bool, WitnessAccess)> = None;
+                if let Some(k) = keyed {
+                    evidence = Some((
+                        true,
+                        WitnessAccess {
+                            kind: "partition-key",
+                            access: format!("`{k}`"),
+                            chain: hop(graph, body, line),
+                        },
+                    ));
+                } else if let Some(c) = names.iter().find(|n| is_cross_collection(n)) {
+                    evidence = Some((
+                        false,
+                        WitnessAccess {
+                            kind: "cross-collection",
+                            access: format!("`{c}`"),
+                            chain: hop(graph, body, line),
+                        },
+                    ));
+                } else if let Op::Call {
+                    name,
+                    arity,
+                    is_method,
+                    qual,
+                    ..
+                } = op
+                {
+                    // Unkeyed call: inherit the callee's transitive
+                    // cross evidence, if any.
+                    let site = CallSite {
+                        name: name.clone(),
+                        arity: *arity,
+                        is_method: *is_method,
+                        qual: qual.clone(),
+                        line,
+                    };
+                    for t in graph.resolve(body.id, &site) {
+                        if let Some(w) = &crossy[t] {
+                            let mut chain = vec![hop(graph, body, line)];
+                            chain.extend(w.chain.iter().cloned());
+                            evidence = Some((
+                                false,
+                                WitnessAccess {
+                                    kind: "cross-collection",
+                                    access: w.access.clone(),
+                                    chain: chain.join(" → "),
+                                },
+                            ));
+                            break;
+                        }
+                    }
+                }
+                let Some((is_local, w)) = evidence else {
+                    return;
+                };
+                for &h in live.iter() {
+                    if body.site_rank[h].is_none() {
+                        continue;
+                    }
+                    let bucket = if is_local {
+                        &mut local_ev[h]
+                    } else {
+                        &mut cross_ev[h]
+                    };
+                    if bucket.len() < WITNESS_CAP {
+                        bucket.push(w.clone());
+                    }
+                }
+            });
+        }
+        for (i, site) in body.cfg.acquires.iter().enumerate() {
+            let Some((rank, order)) = body.site_rank[i] else {
+                continue;
+            };
+            let (verdict, witness) = if !cross_ev[i].is_empty() {
+                (Verdict::CrossPartition, cross_ev[i].clone())
+            } else if !local_ev[i].is_empty() {
+                (Verdict::PartitionLocal, local_ev[i].clone())
+            } else {
+                (Verdict::Unknown, Vec::new())
+            };
+            report.guards.push(GuardVerdict {
+                rank,
+                order,
+                file: body.rel.clone(),
+                line: site.line,
+                function: graph.fns[body.id].qualified(),
+                method: site.method.clone(),
+                hot: reach.reachable[body.id],
+                verdict,
+                witness,
+            });
+        }
+    }
+    report.guards.sort_by(|a, b| {
+        a.verdict
+            .cmp(&b.verdict)
+            .then(b.order.cmp(&a.order))
+            .then(a.file.cmp(&b.file))
+            .then(a.line.cmp(&b.line))
+    });
+
+    // Findings: shardable-but-coarse guards — hot, exclusive, proven
+    // partition-local, and not already a per-partition shard rank.
+    for g in &report.guards {
+        if !g.hot
+            || g.verdict != Verdict::PartitionLocal
+            || g.method == "read"
+            || PARTITION_SHARDED_RANKS.contains(&g.rank)
+        {
+            continue;
+        }
+        let accesses = g
+            .witness
+            .iter()
+            .map(|w| w.access.as_str())
+            .collect::<Vec<_>>()
+            .join(", ");
+        // The holding function's hot-root witness mirrors hot-copy's.
+        let via = {
+            let body = report_body_witness(graph, &reach, &g.function);
+            body.unwrap_or_else(|| g.function.clone())
+        };
+        out.push(Finding {
+            file: g.file.clone(),
+            line: g.line,
+            lint: "shard",
+            message: format!(
+                "exclusive hot-path critical section of \"{}\" (order {}, .{}()) touches only \
+                 partition-local state (keyed by {accesses}) — split this lock into \
+                 per-partition shards with a dedicated rank in sim::lockdep::RANKS (full \
+                 verdicts: target/analysis/shardability.json) (reached via: {via})",
+                g.rank, g.order, g.method,
+            ),
+        });
+    }
+    report
+}
+
+/// One witness-chain hop: `qualified (file:line)`.
+fn hop(graph: &CallGraph, body: &FnBody, line: u32) -> String {
+    format!("{} ({}:{line})", graph.fns[body.id].qualified(), body.rel)
+}
+
+/// The hot-root call-chain witness for the function with the given
+/// qualified name (there is exactly one per guard by construction).
+fn report_body_witness(
+    graph: &CallGraph,
+    reach: &crate::callgraph::Reachability,
+    qualified: &str,
+) -> Option<String> {
+    let id = graph.fns.iter().position(|f| f.qualified() == qualified)?;
+    if !reach.reachable[id] {
+        return None;
+    }
+    Some(graph.witness(reach, id))
+}

@@ -27,6 +27,7 @@ pub const RANKS: &[(&str, u32)] = &[
     ("consumer.state", 60),
     ("group.groups", 50),
     ("cluster.state", 40),
+    ("partition.state", 35),
     ("offsets.inner", 30),
     ("quota.limits", 24),
     ("quota.usage", 23),
@@ -1209,6 +1210,193 @@ fn lock_cost_report_is_written_with_schema_and_ranking() {
 }
 
 #[test]
+fn shard_lint_fires_on_partition_local_hot_guard_with_witness() {
+    // A hot root holds the coarse cluster.state lock exclusively, but
+    // every guarded access is keyed by the TopicPartition — the
+    // analyzer must prove the section partition-local and flag the
+    // guard as shardable-but-coarse.
+    let hit = fixture(
+        "shard-local-hit",
+        &[
+            ("crates/sim/src/lockdep.rs", RANKS_RS),
+            (
+                "crates/messaging/src/cluster.rs",
+                "pub fn produce_batch(state: &L, tp: &TopicPartition) -> u64 {\n\
+                 \x20   let mut st = state.lock();\n\
+                 \x20   st.append(tp)\n\
+                 }\n",
+            ),
+        ],
+    );
+    let out = lint(&hit);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{stdout}");
+    assert!(stdout.contains("[shard]"), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("critical section of \"cluster.state\""),
+        "finding must name the guard; stdout:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("partition-local state (keyed by `tp`)"),
+        "finding must carry the key evidence; stdout:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("per-partition shards"),
+        "finding must prescribe the split; stdout:\n{stdout}"
+    );
+
+    // The report carries the witness: kind, access, and a
+    // `qualified (file:line)` chain hop for the guard function.
+    let report = fs::read_to_string(hit.join("target/analysis/shardability.json")).unwrap();
+    assert!(
+        report.starts_with("{\"schema\":\"shardability/v1\""),
+        "report:\n{report}"
+    );
+    assert!(
+        report.contains("\"verdict\":\"partition-local\""),
+        "report:\n{report}"
+    );
+    assert!(
+        report.contains("\"kind\":\"partition-key\""),
+        "report:\n{report}"
+    );
+    assert!(
+        report.contains("\"chain\":\"messaging::produce_batch (crates/messaging/src/cluster.rs:"),
+        "witness chains must be qualified-name (file:line) hops; report:\n{report}"
+    );
+}
+
+#[test]
+fn shard_lint_classifies_cross_partition_access_through_callees() {
+    // The guard section reaches the topic map without a partition key
+    // — and does it inside a callee, so the cross evidence must ride
+    // the call graph back to the guard with a multi-hop witness chain.
+    let root = fixture(
+        "shard-cross",
+        &[
+            ("crates/sim/src/lockdep.rs", RANKS_RS),
+            (
+                "crates/messaging/src/cluster.rs",
+                "pub fn produce_batch(state: &L) -> u64 {\n\
+                 \x20   let st = state.lock();\n\
+                 \x20   scan(&st)\n\
+                 }\n\
+                 fn scan(st: &S) -> u64 {\n\
+                 \x20   st.topics.iter().count()\n\
+                 }\n",
+            ),
+        ],
+    );
+    // Cross-partition guards are not shardable: no finding.
+    assert_clean(&root);
+    let report = fs::read_to_string(root.join("target/analysis/shardability.json")).unwrap();
+    assert!(
+        report.contains("\"verdict\":\"cross-partition\""),
+        "report:\n{report}"
+    );
+    assert!(
+        report.contains("\"kind\":\"cross-collection\""),
+        "report:\n{report}"
+    );
+    assert!(
+        report.contains(" \u{2192} messaging::scan (crates/messaging/src/cluster.rs:"),
+        "the witness chain must walk into the callee; report:\n{report}"
+    );
+}
+
+#[test]
+fn shard_lint_is_conservative_on_unknown_keys() {
+    // The guarded access is neither provably keyed nor a known
+    // cross-partition collection: the verdict must stay `unknown` and
+    // the lint must NOT prescribe a split it cannot prove safe.
+    let root = fixture(
+        "shard-unknown",
+        &[
+            ("crates/sim/src/lockdep.rs", RANKS_RS),
+            (
+                "crates/messaging/src/cluster.rs",
+                "pub fn produce_batch(state: &L) -> u64 {\n\
+                 \x20   let mut st = state.lock();\n\
+                 \x20   st.bump()\n\
+                 }\n",
+            ),
+        ],
+    );
+    assert_clean(&root);
+    let report = fs::read_to_string(root.join("target/analysis/shardability.json")).unwrap();
+    assert!(
+        report.contains("\"verdict\":\"unknown\""),
+        "report:\n{report}"
+    );
+}
+
+#[test]
+fn shard_lint_honors_allow_directive() {
+    let allowed = fixture(
+        "shard-allowed",
+        &[
+            ("crates/sim/src/lockdep.rs", RANKS_RS),
+            (
+                "crates/messaging/src/cluster.rs",
+                "pub fn produce_batch(state: &L, tp: &TopicPartition) -> u64 {\n\
+                 \x20   // lint:allow(shard, reason=the append and the watermark update must stay one atomic section until the split lands)\n\
+                 \x20   let mut st = state.lock();\n\
+                 \x20   st.append(tp)\n\
+                 }\n",
+            ),
+        ],
+    );
+    assert_clean(&allowed);
+}
+
+#[test]
+fn only_flag_accepts_lint_names_and_rejects_unknown() {
+    // Same tree as the partition-local hit: one [shard] finding, no
+    // [lock-cost] findings.
+    let root = fixture(
+        "only-lint-name",
+        &[
+            ("crates/sim/src/lockdep.rs", RANKS_RS),
+            (
+                "crates/messaging/src/cluster.rs",
+                "pub fn produce_batch(state: &L, tp: &TopicPartition) -> u64 {\n\
+                 \x20   let mut st = state.lock();\n\
+                 \x20   st.append(tp)\n\
+                 }\n",
+            ),
+        ],
+    );
+    let run = |extra: &[&str]| {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_liquid-lint"));
+        cmd.args(["--deny", "--root"]).arg(&root).args(extra);
+        cmd.output().unwrap()
+    };
+
+    let shard_only = run(&["--only", "shard"]);
+    let stdout = String::from_utf8_lossy(&shard_only.stdout);
+    assert_eq!(shard_only.status.code(), Some(1), "stdout:\n{stdout}");
+    assert!(stdout.contains("[shard]"), "stdout:\n{stdout}");
+
+    // A known lint with no findings in this tree filters to clean.
+    let lock_cost_only = run(&["--only", "lock-cost"]);
+    assert_eq!(lock_cost_only.status.code(), Some(0));
+
+    // An unknown bare name is a usage error (exit 2), not a silent
+    // empty filter that would green-light a typo in CI.
+    let bogus = run(&["--only", "shardd"]);
+    assert_eq!(bogus.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&bogus.stderr);
+    assert!(
+        stderr.contains("neither a path prefix nor a known lint"),
+        "stderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("shard"),
+        "the error must list known lints; stderr:\n{stderr}"
+    );
+}
+
+#[test]
 fn rank_tables_and_guard_inventory_agree() {
     // Three copies of the rank table must agree: the runtime table
     // (sim::lockdep::RANKS, parsed from source), the analyzer's
@@ -1239,8 +1427,8 @@ fn rank_tables_and_guard_inventory_agree() {
         "sim::lockdep::RANKS and rules::LOCK_FIELDS drifted apart"
     );
 
-    let (_, report) = liquid_lint::analyze_root_with_report(&root).unwrap();
-    let inventory = report.inventory();
+    let (_, reports) = liquid_lint::analyze_root_with_report(&root).unwrap();
+    let inventory = reports.lock_cost.inventory();
     // job.metrics is declared for sim's own lockdep tests and has no
     // production acquire site; every other rank must show up in the
     // guard inventory.
@@ -1249,6 +1437,22 @@ fn rank_tables_and_guard_inventory_agree() {
     assert_eq!(
         inventory, expected,
         "lock-cost guard inventory drifted from the declared ranks"
+    );
+
+    // Fourth copy: the shardability report must classify every rank
+    // the lock-cost report scores — a lock added without a
+    // shardability verdict is drift, not an oversight to wave through.
+    assert_eq!(
+        reports.shardability.inventory(),
+        expected,
+        "shardability guard inventory drifted from the declared ranks"
+    );
+    // And site-for-site: both passes replay the same acquire sites, so
+    // their (rank, file, line) inventories must match exactly.
+    assert_eq!(
+        reports.shardability.sites(),
+        reports.lock_cost.sites(),
+        "shardability and lock-cost passes disagree on acquire sites"
     );
 }
 

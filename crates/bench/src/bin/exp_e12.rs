@@ -15,6 +15,13 @@
 //! ≥5× produce-throughput multiple over the unbatched baseline at
 //! batch sizes ≥256.
 //!
+//! A second, concurrent sweep runs one producer thread per partition
+//! (`Partitioner::Manual`), which is where the granularity of the
+//! cluster write lock shows up: under a single coarse `cluster.state`
+//! write lock the eight producers serialize; with the per-partition
+//! `partition.state` shards (see `target/analysis/shardability.json`)
+//! they only contend on the brief metadata read.
+//!
 //! `E12_MESSAGES` overrides the per-configuration message count (CI
 //! smoke runs use a small value).
 
@@ -22,12 +29,14 @@ use std::time::Instant;
 
 use liquid_bench::report::{table_header, table_row};
 use liquid_messaging::{
-    AckLevel, BatchConfig, Cluster, ClusterConfig, Producer, TopicConfig, TopicPartition,
+    AckLevel, BatchConfig, Cluster, ClusterConfig, Partitioner, Producer, TopicConfig,
+    TopicPartition,
 };
 use liquid_sim::clock::SimClock;
 
 const PARTITIONS: u32 = 8;
 const BATCH_SIZES: &[usize] = &[1, 64, 256, 1024];
+const CONCURRENT_BATCH_SIZES: &[usize] = &[1, 64, 256];
 
 fn messages() -> u64 {
     std::env::var("E12_MESSAGES")
@@ -74,6 +83,44 @@ fn produce(cluster: &Cluster, batch: usize, acks: AckLevel, n: u64) -> f64 {
                 .send(None, bytes::Bytes::from(format!("m{i:08}")))
                 .unwrap();
         }
+    }
+    t.elapsed().as_secs_f64()
+}
+
+/// Produces `per` messages from each of [`PARTITIONS`] producer
+/// threads, every thread pinned to its own partition; returns seconds.
+fn produce_concurrent(cluster: &Cluster, batch: usize, acks: AckLevel, per: u64) -> f64 {
+    let t = Instant::now();
+    let handles: Vec<_> = (0..PARTITIONS)
+        .map(|p| {
+            let cluster = cluster.clone();
+            liquid_sim::thread::spawn_named(format!("producer-{p}"), move || {
+                let producer = Producer::new(&cluster, "t")
+                    .unwrap()
+                    .with_acks(acks)
+                    .with_partitioner(Partitioner::Manual(p));
+                if batch > 1 {
+                    let producer = producer.with_batching(BatchConfig {
+                        max_records: batch,
+                        max_bytes: usize::MAX,
+                        linger_ms: 0,
+                    });
+                    for i in 0..per {
+                        producer.buffer_value(format!("m{p:02}-{i:08}")).unwrap();
+                    }
+                    producer.flush().unwrap();
+                } else {
+                    for i in 0..per {
+                        producer
+                            .send(None, bytes::Bytes::from(format!("m{p:02}-{i:08}")))
+                            .unwrap();
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join();
     }
     t.elapsed().as_secs_f64()
 }
@@ -126,6 +173,49 @@ fn main() {
                 batch.to_string(),
                 format!("{kmsg:.0}"),
                 format!("{:.1}x", kmsg / baseline),
+                delivered.to_string(),
+            ]);
+        }
+    }
+
+    // Concurrent sweep: one producer thread per partition. `acks=all`
+    // is excluded — its cost is replication fetches, not lock
+    // contention, and the single-threaded sweep above already covers it.
+    for acks in [AckLevel::None, AckLevel::Leader] {
+        println!(
+            "\nacks={} mode=concurrent ({PARTITIONS} producer threads):",
+            ack_label(acks)
+        );
+        table_header(&["batch", "Kmsg/s", "delivered"]);
+        for &batch in CONCURRENT_BATCH_SIZES {
+            let per = n / u64::from(PARTITIONS);
+            let total = per * u64::from(PARTITIONS);
+            let cluster = setup(&obs);
+            let secs = produce_concurrent(&cluster, batch, acks, per);
+            cluster.replicate_tick().unwrap();
+            let mut delivered = 0u64;
+            for p in 0..PARTITIONS {
+                let tp = TopicPartition::new("t", p);
+                delivered += cluster.fetch(&tp, 0, u64::MAX).unwrap().len() as u64;
+            }
+            assert_eq!(
+                delivered,
+                total,
+                "concurrent batch={batch} acks={}",
+                ack_label(acks)
+            );
+            let kmsg = total as f64 / secs / 1_000.0;
+            let batch_label = batch.to_string();
+            let labels = [
+                ("acks", ack_label(acks)),
+                ("batch", batch_label.as_str()),
+                ("mode", "concurrent"),
+            ];
+            reg.gauge_with("bench.produce_kmsg_per_s", &labels)
+                .set(kmsg as u64);
+            table_row(&[
+                batch.to_string(),
+                format!("{kmsg:.0}"),
                 delivered.to_string(),
             ]);
         }

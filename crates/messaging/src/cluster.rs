@@ -13,6 +13,21 @@
 //! Consumers only see records up to the **high watermark** — the offset
 //! replicated to every ISR member — so an elected leader never exposes
 //! records that could be lost.
+//!
+//! ## Locking model
+//!
+//! Cluster-wide metadata (broker liveness, the topic map) lives under
+//! the `cluster.state` reader–writer lock; each partition's mutable
+//! state lives behind its own `partition.state` mutex shard
+//! ([`PartitionShard`]), ranked strictly below it. Hot paths resolve
+//! the shard under a brief metadata read, drop the cluster guard, and
+//! run the whole append/fetch critical section under the shard alone —
+//! so producers on different partitions never serialize on one lock.
+//! The split is analyzer-proven: the `shard` pass in liquid-lint
+//! classifies every ranked critical section as partition-local or
+//! cross-partition (`target/analysis/shardability.json`), and the
+//! produce/fetch sections here are the partition-local ones it flagged
+//! while they still ran under the cluster-wide write lock.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -24,7 +39,7 @@ use liquid_log::{Log, LogError, RecordBatch};
 use liquid_obs::{CounterHandle, GaugeHandle, HistogramHandle, Obs};
 use liquid_sim::clock::SharedClock;
 use liquid_sim::failure::FailureInjector;
-use liquid_sim::lockdep::RwLock;
+use liquid_sim::lockdep::{Mutex, RwLock};
 use liquid_sim::sched::Shared;
 
 use crate::config::{AckLevel, TopicConfig};
@@ -273,9 +288,20 @@ impl PartitionState {
     }
 }
 
+/// One partition's mutable state behind its own lock shard
+/// (`partition.state`, ranked strictly below `cluster.state`). The
+/// `Arc` lets hot paths resolve the shard under a brief metadata read,
+/// drop the cluster-wide guard, and run the whole critical section
+/// under this mutex alone. Shards never nest each other — every path
+/// locks at most one partition at a time, which the lockdep same-rank
+/// reentrancy check enforces at runtime.
+struct PartitionShard {
+    part: Mutex<PartitionState>,
+}
+
 struct TopicState {
     config: TopicConfig,
-    partitions: Vec<PartitionState>,
+    partitions: Vec<Arc<PartitionShard>>,
 }
 
 struct State {
@@ -431,18 +457,23 @@ impl Cluster {
             let leader = assignment.iter().copied().find(|b| st.brokers[b].online);
             let tp_label = format!("{name}-{p}");
             let reg = self.inner.obs.registry();
-            partitions.push(PartitionState {
-                isr: assignment.clone(),
-                assignment,
-                leader,
-                replicas,
-                high_watermark: Shared::new("partition.high_watermark", 0),
-                producer_seqs: HashMap::new(),
-                hw_gauge: reg.gauge_with("partition.high_watermark", &[("tp", &tp_label)]),
-                log_end_gauge: reg.gauge_with("partition.log_end", &[("tp", &tp_label)]),
-                tp_label,
-                spans: Vec::new(),
-            });
+            partitions.push(Arc::new(PartitionShard {
+                part: Mutex::new(
+                    "partition.state",
+                    PartitionState {
+                        isr: assignment.clone(),
+                        assignment,
+                        leader,
+                        replicas,
+                        high_watermark: Shared::new("partition.high_watermark", 0),
+                        producer_seqs: HashMap::new(),
+                        hw_gauge: reg.gauge_with("partition.high_watermark", &[("tp", &tp_label)]),
+                        log_end_gauge: reg.gauge_with("partition.log_end", &[("tp", &tp_label)]),
+                        tp_label,
+                        spans: Vec::new(),
+                    },
+                ),
+            }));
         }
         self.inner
             .coord
@@ -516,12 +547,17 @@ impl Cluster {
         acks: AckLevel,
         dedup: Option<(u64, u64)>,
     ) -> crate::Result<u64> {
-        let mut st = self.inner.state.write();
         let now = self.inner.clock.now();
         let value_len = value.len() as u64;
+        // Metadata read only: snapshot broker liveness, resolve the
+        // partition's shard, and release the cluster-wide lock before
+        // the append critical section.
+        let st = self.inner.state.read();
         let brokers_online: HashMap<BrokerId, bool> =
             st.brokers.iter().map(|(&id, b)| (id, b.online)).collect();
-        let ps = partition_mut(&mut st, tp)?;
+        let shard = partition_shard(&st, tp)?;
+        drop(st);
+        let mut ps = shard.part.lock();
         let leader = match ps
             .leader
             .filter(|b| brokers_online.get(b).copied().unwrap_or(false))
@@ -578,7 +614,7 @@ impl Cluster {
                         // watermark stays put, so the record is unacked.
                         return Err(MessagingError::Injected("replication.fetch"));
                     }
-                    let copied = catch_up(ps, leader, b)?;
+                    let copied = catch_up(&mut ps, leader, b)?;
                     self.note_replicated(copied);
                     if copied.0 > 0 {
                         self.inner
@@ -632,12 +668,17 @@ impl Cluster {
     ) -> crate::Result<u64> {
         let count = batch.len() as u64;
         let payload_bytes = batch.payload_bytes();
-        // lint:allow(lock-cost, reason=crash atomicity: the leader append and the high-watermark update must be one critical section or a torn batch can be partially acknowledged; sharding cluster.state per partition is ROADMAP item 4)
-        let mut st = self.inner.state.write();
         let now = self.inner.clock.now();
+        // Metadata read only; the append itself runs under the
+        // partition's own shard, so producers on other partitions are
+        // never blocked by this batch.
+        let st = self.inner.state.read();
         let brokers_online: HashMap<BrokerId, bool> =
             st.brokers.iter().map(|(&id, b)| (id, b.online)).collect();
-        let ps = partition_mut(&mut st, tp)?;
+        let shard = partition_shard(&st, tp)?;
+        drop(st);
+        // lint:allow(lock-cost, reason=crash atomicity: the leader append and the high-watermark update must be one critical section or a torn batch can be partially acknowledged; the section spans one partition shard, not the cluster-wide lock)
+        let mut ps = shard.part.lock();
         let leader = match ps
             .leader
             .filter(|b| brokers_online.get(b).copied().unwrap_or(false))
@@ -706,7 +747,7 @@ impl Cluster {
                         // partial acknowledgement.
                         return Err(MessagingError::Injected("replication.fetch-batch"));
                     }
-                    let copied = catch_up(ps, leader, b)?;
+                    let copied = catch_up(&mut ps, leader, b)?;
                     self.note_replicated(copied);
                     if copied.0 > 0 {
                         self.inner.obs.tracer().record(
@@ -761,9 +802,11 @@ impl Cluster {
         offset: u64,
         max_bytes: u64,
     ) -> crate::Result<MessageBatch> {
-        // lint:allow(lock-cost, reason=read guard only; the nested log.pagecache acquisition is rank-ordered (log.pagecache 5 under cluster.state 40) and the section does no injectable I/O — the report scores it for the ranking, not for a violation)
+        // lint:allow(lock-cost, reason=read guard for broker-liveness metadata; the nested partition.state and log.pagecache acquisitions are rank-ordered below cluster.state 40 and the section does no injectable I/O — the report scores it for the ranking, not for a violation)
         let st = self.inner.state.read();
-        let ps = partition_ref(&st, tp)?;
+        let shard = partition_shard(&st, tp)?;
+        // lint:allow(lock-cost, reason=zero-copy read path: the nested log.pagecache acquisition is rank-ordered (log.pagecache 5 under partition.state 35) and the section does no injectable I/O — the report scores it for the ranking, not for a violation)
+        let ps = shard.part.lock();
         let leader = ps
             .leader
             .filter(|b| st.brokers.get(b).is_some_and(|br| br.online))
@@ -830,7 +873,9 @@ impl Cluster {
     /// (leader's append point).
     pub fn earliest_offset(&self, tp: &TopicPartition) -> crate::Result<u64> {
         let st = self.inner.state.read();
-        let ps = partition_ref(&st, tp)?;
+        let shard = partition_shard(&st, tp)?;
+        drop(st);
+        let ps = shard.part.lock();
         let leader = ps
             .leader
             .ok_or_else(|| MessagingError::PartitionUnavailable(tp.clone()))?;
@@ -848,7 +893,10 @@ impl Cluster {
     /// fully caught up (see [`Consumer::lag`](crate::Consumer::lag)).
     pub fn latest_offset(&self, tp: &TopicPartition) -> crate::Result<u64> {
         let st = self.inner.state.read();
-        Ok(partition_ref(&st, tp)?.high_watermark.get())
+        let shard = partition_shard(&st, tp)?;
+        drop(st);
+        let ps = shard.part.lock();
+        Ok(ps.high_watermark.get())
     }
 
     /// The leader's **log-end offset**: where the next append lands.
@@ -857,7 +905,9 @@ impl Cluster {
     /// the leader but are not yet consumable or crash-durable.
     pub fn log_end_offset(&self, tp: &TopicPartition) -> crate::Result<u64> {
         let st = self.inner.state.read();
-        let ps = partition_ref(&st, tp)?;
+        let shard = partition_shard(&st, tp)?;
+        drop(st);
+        let ps = shard.part.lock();
         let leader = ps
             .leader
             .ok_or_else(|| MessagingError::PartitionUnavailable(tp.clone()))?;
@@ -874,7 +924,9 @@ impl Cluster {
         ts: liquid_sim::clock::Ts,
     ) -> crate::Result<Option<u64>> {
         let st = self.inner.state.read();
-        let ps = partition_ref(&st, tp)?;
+        let shard = partition_shard(&st, tp)?;
+        drop(st);
+        let ps = shard.part.lock();
         let leader = ps
             .leader
             .ok_or_else(|| MessagingError::PartitionUnavailable(tp.clone()))?;
@@ -888,20 +940,30 @@ impl Cluster {
     /// Current leader of a partition.
     pub fn leader(&self, tp: &TopicPartition) -> crate::Result<Option<BrokerId>> {
         let st = self.inner.state.read();
-        Ok(partition_ref(&st, tp)?.leader)
+        let shard = partition_shard(&st, tp)?;
+        drop(st);
+        let ps = shard.part.lock();
+        Ok(ps.leader)
     }
 
     /// Current ISR of a partition.
     pub fn isr(&self, tp: &TopicPartition) -> crate::Result<Vec<BrokerId>> {
         let st = self.inner.state.read();
-        Ok(partition_ref(&st, tp)?.isr.clone())
+        let shard = partition_shard(&st, tp)?;
+        drop(st);
+        let ps = shard.part.lock();
+        Ok(ps.isr.clone())
     }
 
     /// Runs one replication round: every live follower copies what it is
     /// missing from its leader; ISR membership and high watermarks are
     /// recomputed; broker sessions heartbeat. Returns messages copied.
     pub fn replicate_tick(&self) -> crate::Result<u64> {
-        let mut st = self.inner.state.write();
+        // Replication holds only the metadata *read* lock: every
+        // per-partition mutation happens under that partition's shard,
+        // one shard at a time, so produces and fetches on other
+        // partitions proceed concurrently with the tick.
+        let st = self.inner.state.read();
         // Heartbeat live brokers so their coordination sessions survive.
         for b in st.brokers.values() {
             if b.online {
@@ -913,15 +975,9 @@ impl Cluster {
         let lag_max = self.inner.config.replica_lag_max;
         let mut total = 0u64;
         let topics: Vec<String> = st.topics.keys().cloned().collect();
-        for topic in &topics {
-            let nparts = st.topics.get(topic).map_or(0, |t| t.partitions.len());
-            for p in 0..nparts {
-                let Some(t) = st.topics.get_mut(topic) else {
-                    break;
-                };
-                let Some(ps) = t.partitions.get_mut(p) else {
-                    break;
-                };
+        for t in st.topics.values() {
+            for shard in &t.partitions {
+                let mut ps = shard.part.lock();
                 let Some(leader) = ps
                     .leader
                     .filter(|b| online.get(b).copied().unwrap_or(false))
@@ -933,7 +989,7 @@ impl Cluster {
                         // partition stays leaderless until the next tick.
                         return Err(MessagingError::Injected("cluster.election"));
                     }
-                    if elect_leader(ps, &online) {
+                    if elect_leader(&mut ps, &online) {
                         self.inner.metrics.elections.inc();
                     }
                     continue;
@@ -949,7 +1005,7 @@ impl Cluster {
                     if self.inner.config.injector.tick("replication.fetch") {
                         return Err(MessagingError::Injected("replication.fetch"));
                     }
-                    let copied = catch_up(ps, leader, b)?;
+                    let copied = catch_up(&mut ps, leader, b)?;
                     self.note_replicated(copied);
                     if copied.0 > 0 {
                         // Stamp the replicate event with the span of the
@@ -1012,11 +1068,9 @@ impl Cluster {
         let online: HashMap<BrokerId, bool> =
             st.brokers.iter().map(|(&bid, b)| (bid, b.online)).collect();
         let topics: Vec<String> = st.topics.keys().cloned().collect();
-        for topic in &topics {
-            let Some(t) = st.topics.get_mut(topic) else {
-                continue;
-            };
-            for ps in &mut t.partitions {
+        for t in st.topics.values() {
+            for shard in &t.partitions {
+                let mut ps = shard.part.lock();
                 // The dead broker stays in the ISR: the ISR is the set of
                 // replicas known to hold all committed data, and it is
                 // the candidate set for future elections — removing the
@@ -1033,7 +1087,7 @@ impl Cluster {
                         // finishes the election.
                         return Err(MessagingError::Injected("cluster.election"));
                     }
-                    if elect_leader(ps, &online) {
+                    if elect_leader(&mut ps, &online) {
                         self.inner.metrics.elections.inc();
                     }
                 }
@@ -1087,12 +1141,9 @@ impl Cluster {
         // permanently leaving wrong content below the fetch point.
         // Truncating to the high watermark is always safe because the
         // watermark is monotone and committed records sit below it.
-        let topics: Vec<String> = st.topics.keys().cloned().collect();
-        for topic in &topics {
-            let Some(t) = st.topics.get_mut(topic) else {
-                continue;
-            };
-            for ps in &mut t.partitions {
+        for t in st.topics.values() {
+            for shard in &t.partitions {
+                let mut ps = shard.part.lock();
                 if !ps.assignment.contains(&id) {
                     continue;
                 }
@@ -1136,16 +1187,16 @@ impl Cluster {
     /// failovers cause (load balancing across brokers, §4.4). Returns
     /// the number of partitions whose leader moved.
     pub fn rebalance_leadership(&self) -> crate::Result<usize> {
-        let mut st = self.inner.state.write();
+        // Leadership moves are per-partition state: a metadata read for
+        // the broker map, then one shard lock at a time.
+        let st = self.inner.state.read();
         let online: HashMap<BrokerId, bool> =
             st.brokers.iter().map(|(&id, b)| (id, b.online)).collect();
         let mut moved = 0;
         let topics: Vec<String> = st.topics.keys().cloned().collect();
-        for topic in &topics {
-            let Some(t) = st.topics.get_mut(topic) else {
-                continue;
-            };
-            for ps in &mut t.partitions {
+        for t in st.topics.values() {
+            for shard in &t.partitions {
+                let mut ps = shard.part.lock();
                 let preferred = ps
                     .assignment
                     .iter()
@@ -1176,10 +1227,11 @@ impl Cluster {
     /// Applies retention to every partition log; returns segments
     /// deleted.
     pub fn enforce_retention(&self) -> crate::Result<usize> {
-        let mut st = self.inner.state.write();
+        let st = self.inner.state.read();
         let mut deleted = 0;
-        for topic in st.topics.values_mut() {
-            for ps in &mut topic.partitions {
+        for topic in st.topics.values() {
+            for shard in &topic.partitions {
+                let mut ps = shard.part.lock();
                 for log in ps.replicas.values_mut() {
                     deleted += log.enforce_retention()?.len();
                 }
@@ -1191,13 +1243,14 @@ impl Cluster {
     /// Runs a compaction pass over every partition of a topic; returns
     /// the summed stats.
     pub fn compact_topic(&self, topic: &str) -> crate::Result<liquid_log::CompactionStats> {
-        let mut st = self.inner.state.write();
+        let st = self.inner.state.read();
         let t = st
             .topics
-            .get_mut(topic)
+            .get(topic)
             .ok_or_else(|| MessagingError::UnknownTopic(topic.to_string()))?;
         let mut total = liquid_log::CompactionStats::default();
-        for ps in &mut t.partitions {
+        for shard in &t.partitions {
+            let mut ps = shard.part.lock();
             for log in ps.replicas.values_mut() {
                 let s = log.compact()?;
                 total.records_before += s.records_before;
@@ -1218,11 +1271,12 @@ impl Cluster {
             .topics
             .get(topic)
             .ok_or_else(|| MessagingError::UnknownTopic(topic.to_string()))?;
-        Ok(t.partitions
-            .iter()
-            .flat_map(|ps| ps.replicas.values())
-            .map(|l| l.size_bytes())
-            .sum())
+        let mut total = 0u64;
+        for shard in &t.partitions {
+            let ps = shard.part.lock();
+            total += ps.replicas.values().map(|l| l.size_bytes()).sum::<u64>();
+        }
+        Ok(total)
     }
 
     pub(crate) fn group_registry(&self) -> &crate::group::GroupRegistry {
@@ -1245,7 +1299,8 @@ impl Cluster {
             t.partitions
                 .iter()
                 .enumerate()
-                .map(|(p, ps)| {
+                .map(|(p, shard)| {
+                    let ps = shard.part.lock();
                     let isr: Vec<String> = ps.isr.iter().map(|b| b.to_string()).collect();
                     let leader = ps
                         .leader
@@ -1414,24 +1469,17 @@ fn per_replica_log_config(
     lc
 }
 
-fn partition_ref<'a>(st: &'a State, tp: &TopicPartition) -> crate::Result<&'a PartitionState> {
+/// Resolves a partition's shard under the metadata lock. Returns an
+/// owned `Arc` so callers can drop the `cluster.state` guard before
+/// locking the shard — the hot produce path never holds the
+/// cluster-wide lock across an append.
+fn partition_shard(st: &State, tp: &TopicPartition) -> crate::Result<Arc<PartitionShard>> {
     st.topics
         .get(&tp.topic)
         .ok_or_else(|| MessagingError::UnknownTopic(tp.topic.clone()))?
         .partitions
         .get(tp.partition as usize)
-        .ok_or_else(|| MessagingError::UnknownPartition(tp.clone()))
-}
-
-fn partition_mut<'a>(
-    st: &'a mut State,
-    tp: &TopicPartition,
-) -> crate::Result<&'a mut PartitionState> {
-    st.topics
-        .get_mut(&tp.topic)
-        .ok_or_else(|| MessagingError::UnknownTopic(tp.topic.clone()))?
-        .partitions
-        .get_mut(tp.partition as usize)
+        .cloned()
         .ok_or_else(|| MessagingError::UnknownPartition(tp.clone()))
 }
 

@@ -124,6 +124,7 @@ impl Consumer {
             return Ok(false);
         };
         // lint:allow(lock-cost, reason=rebalance epoch check: position rebuild must be atomic with the generation bump or a racing poll reads positions from a stale assignment; runs once per rebalance, not per batch)
+        // lint:allow(shard, reason=consumer.state is a per-consumer instance lock, not a cluster-wide one; splitting it per partition would let a racing rebalance tear the position map mid-rebuild)
         let mut st = self.state.lock();
         if current.generation == st.generation {
             return Ok(false);
@@ -226,6 +227,7 @@ impl Consumer {
         }
         self.refresh_assignment()?;
         // lint:allow(lock-cost, reason=position tracking must be atomic with the fetch or a concurrent rebalance double-delivers; nested acquisitions are rank-ordered (cluster.state 40, log.pagecache 5 under consumer.state 60))
+        // lint:allow(shard, reason=consumer.state is a per-consumer instance lock; per-partition position shards would let a concurrent rebalance interleave with the poll loop and double-deliver)
         let mut st = self.state.lock();
         let mut out = Vec::new();
         let tps: Vec<TopicPartition> = st.positions.keys().cloned().collect();

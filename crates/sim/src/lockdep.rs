@@ -28,6 +28,11 @@
 //! stack holds its managed-job list across YARN resource-manager
 //! calls; a consumer calls into the group registry and cluster, the
 //! group registry reads cluster metadata for assignment, the cluster
+//! resolves a partition under its metadata lock and then works inside
+//! that partition's own shard lock (`partition.state` — one mutex per
+//! partition, ranked just below `cluster.state` so the
+//! metadata-read-then-shard-lock pattern is descending; shards never
+//! nest each other, which same-rank reentrancy checking enforces),
 //! commits offsets, fires coordination-tree watches and touches log
 //! page caches; and quota accounting, job metrics and ACL grants are
 //! leaves that call nothing.
@@ -46,6 +51,7 @@ pub const RANKS: &[(&str, u32)] = &[
     ("consumer.state", 60),
     ("group.groups", 50),
     ("cluster.state", 40),
+    ("partition.state", 35),
     ("offsets.inner", 30),
     ("quota.limits", 24),
     ("quota.usage", 23),
