@@ -1,0 +1,999 @@
+//! Lint **atomicity**: interprocedural lock-gap atomicity analysis of
+//! every ranked lockdep guard, plus the machine-readable report behind
+//! `target/analysis/atomicity.json`.
+//!
+//! PR 8's per-partition lock split made *drop-and-reacquire* the
+//! canonical hot-path shape: snapshot state under a brief
+//! `cluster.state` read guard, `drop(st)`, then act under a
+//! `partition.state` shard lock. Every value carried across that gap
+//! is a potential stale-snapshot/TOCTOU hazard — the guard that made
+//! it true is gone by the time it is used. This pass makes the gap
+//! auditable:
+//!
+//! * **Taint.** Inside each function, every binding whose initializer
+//!   mentions a live *ranked* guard variable (`let snap = st.brokers…`)
+//!   is tainted by that guard's acquire site, transitively through
+//!   assignments (`let leader = … snap …`).
+//! * **Gap.** The guard dies at an explicit `drop(g)`, a shadowing
+//!   `let`, or scope end ([`Op::Kill`] carries the line; `0` renders
+//!   as "scope end").
+//! * **Use.** A gap-crossing use is any consult of a tainted value
+//!   *after* its source guard died and *inside* a later ranked
+//!   critical section. Each use is classified:
+//!   - **validated** — machine-recognized benign shapes: the carried
+//!     value is itself the lock being re-acquired (`let ps =
+//!     shard.part.lock()` — the `Arc` handle resolved under the old
+//!     guard *is* the revalidation), or it flows into the new section
+//!     only in argument/key position with the live guard re-read as
+//!     the receiver (`slot.entries.insert(pos, (log_offset, c))` — the
+//!     stale value keys fresh state instead of substituting for it),
+//!     or plain arithmetic over an owned copy.
+//!   - **stale-use** — the tainted value is the *receiver* of a
+//!     consult (`brokers_online.get(b)`, indexing, a keyed lookup):
+//!     the section reads a snapshot whose guard is gone. Also fires
+//!     transitively when a stale value is passed to a workspace
+//!     function whose own body consults the parameter (witness chain
+//!     rides the call graph, ≤ [`CHAIN_CAP`] hops).
+//!   - **unknown** — a consult exists but its interprocedural witness
+//!     chain was truncated at [`CHAIN_CAP`] hops: the pass saw the
+//!     sink but cannot render the full path, so it refuses to call the
+//!     gap validated.
+//!
+//! Findings fire for stale-use and unknown gaps only; every finding
+//! carries the full witness chain — read-site → drop-site → use —
+//! with `file:line` per hop, and is suppressed by a reasoned
+//! `// lint:allow(atomicity, reason=…)` above the use. The report
+//! keeps *all* verdicts (including allowed stale uses), so the CI
+//! census diff against `ci/atomicity-baseline.json` catches new gaps
+//! even when individually allowed.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::callgraph::{CallGraph, CallSite};
+use crate::cfg::{self, AcquireSite, Cfg, Op};
+use crate::dataflow::{self, Analysis};
+use crate::hotpath::HOT_ROOTS;
+use crate::rules;
+use crate::{Context, Finding, SourceData};
+
+/// Atomicity verdict for one guard site. Ordered worst-first so the
+/// report sorts stale uses to the top.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verdict {
+    /// At least one gap-crossing use consults stale guarded state.
+    StaleUse,
+    /// A gap-crossing consult exists but its witness chain was
+    /// truncated; conservatively not validated.
+    Unknown,
+    /// Every gap-crossing use is machine-validated (or there is no
+    /// gap at all).
+    Validated,
+}
+
+impl Verdict {
+    /// The report/JSON spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::StaleUse => "stale-use",
+            Verdict::Unknown => "unknown",
+            Verdict::Validated => "validated",
+        }
+    }
+}
+
+/// One witness: a gap-crossing use of state derived from this guard.
+#[derive(Debug, Clone)]
+pub struct WitnessAccess {
+    /// `reacquire`, `carried`, `stale-read` or `opaque`.
+    pub kind: &'static str,
+    /// The tainted binding that crossed the gap (`` `brokers_online` ``).
+    pub access: String,
+    /// `read file:line → drop file:line → use hop [→ callee hops]`.
+    pub chain: String,
+}
+
+/// One ranked-guard acquire site with its gap census.
+#[derive(Debug, Clone)]
+pub struct GuardGap {
+    /// Rank name (`cluster.state`, …).
+    pub rank: &'static str,
+    /// Rank order from `sim::lockdep::RANKS`.
+    pub order: u32,
+    /// Workspace-relative file of the acquire site.
+    pub file: String,
+    /// 1-based line of the acquire site.
+    pub line: u32,
+    /// Qualified name of the function holding the guard.
+    pub function: String,
+    /// Acquisition method (`lock`, `read`, `write`).
+    pub method: String,
+    /// Whether the holding function is in the hot-path closure.
+    pub hot: bool,
+    /// Whether any value derived from this guard crosses its drop into
+    /// a later ranked critical section.
+    pub gap: bool,
+    /// Worst classification over the gap-crossing uses.
+    pub verdict: Verdict,
+    /// The uses the verdict rests on (capped, deterministic).
+    pub witness: Vec<WitnessAccess>,
+}
+
+/// The atomicity report: every ranked-guard acquire site in the
+/// workspace with its gap verdict and witnesses.
+#[derive(Debug, Default)]
+pub struct AtomicityReport {
+    /// Per-site verdicts, sorted stale-use first, then by rank order
+    /// (descending), file, line — fully deterministic.
+    pub guards: Vec<GuardGap>,
+}
+
+impl AtomicityReport {
+    /// The set of rank names with at least one analyzed acquire site.
+    /// The drift test holds this against `sim::lockdep::RANKS`,
+    /// [`rules::LOCK_FIELDS`] and the lock-cost/shardability
+    /// inventories.
+    pub fn inventory(&self) -> BTreeSet<&'static str> {
+        self.guards.iter().map(|g| g.rank).collect()
+    }
+
+    /// `(rank, file, line)` of every analyzed site — compared 1:1 with
+    /// the lock-cost guard table by the drift test.
+    pub fn sites(&self) -> BTreeSet<(&'static str, &str, u32)> {
+        self.guards
+            .iter()
+            .map(|g| (g.rank, g.file.as_str(), g.line))
+            .collect()
+    }
+
+    /// Renders the `atomicity/v1` JSON document (hand-rolled — the
+    /// build environment has no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"schema\":\"atomicity/v1\",\"guards\":[");
+        for (i, g) in self.guards.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let witness = g
+                .witness
+                .iter()
+                .map(|w| {
+                    format!(
+                        "{{\"kind\":\"{}\",\"access\":\"{}\",\"chain\":\"{}\"}}",
+                        esc(w.kind),
+                        esc(&w.access),
+                        esc(&w.chain)
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            out.push_str(&format!(
+                "{{\"rank\":\"{}\",\"order\":{},\"file\":\"{}\",\"line\":{},\
+                 \"function\":\"{}\",\"method\":\"{}\",\"hot\":{},\"gap\":{},\
+                 \"verdict\":\"{}\",\"witness\":[{witness}]}}",
+                esc(g.rank),
+                g.order,
+                esc(&g.file),
+                g.line,
+                esc(&g.function),
+                esc(&g.method),
+                g.hot,
+                g.gap,
+                g.verdict.as_str()
+            ));
+        }
+        out.push_str("],\"ranks\":[");
+        // Per-rank gap census: the audit work-list at a glance.
+        let mut totals: BTreeMap<&'static str, (u32, u32, u32, u32, u32, u32)> = BTreeMap::new();
+        for g in &self.guards {
+            let entry = totals.entry(g.rank).or_insert((g.order, 0, 0, 0, 0, 0));
+            entry.1 += 1;
+            if g.gap {
+                entry.2 += 1;
+                match g.verdict {
+                    Verdict::Validated => entry.3 += 1,
+                    Verdict::StaleUse => entry.4 += 1,
+                    Verdict::Unknown => entry.5 += 1,
+                }
+            }
+        }
+        let mut ranks: Vec<_> = totals.into_iter().collect();
+        ranks.sort_by(|a, b| b.1 .0.cmp(&a.1 .0).then(a.0.cmp(b.0)));
+        for (i, (rank, (order, sites, gaps, validated, stale, unknown))) in ranks.iter().enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
+            let verdict = if *stale > 0 {
+                "stale-use"
+            } else if *unknown > 0 {
+                "unknown"
+            } else {
+                "validated"
+            };
+            out.push_str(&format!(
+                "{{\"rank\":\"{}\",\"order\":{order},\"sites\":{sites},\"gaps\":{gaps},\
+                 \"validated\":{validated},\"stale\":{stale},\"unknown\":{unknown},\
+                 \"verdict\":\"{verdict}\"}}",
+                esc(rank)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// RFC 8259 string escape (subset: the characters our identifiers and
+/// paths can contain).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Cap on witness entries per guard.
+const WITNESS_CAP: usize = 4;
+
+/// Cap on the hops of a callee-carried witness chain. A consult deeper
+/// than this classifies the gap `unknown` rather than silently passing.
+const CHAIN_CAP: usize = 6;
+
+/// One function body prepared for analysis.
+struct FnBody {
+    /// Index into `graph.fns`.
+    id: usize,
+    /// Workspace-relative file.
+    rel: String,
+    cfg: Cfg,
+    /// `(rank, order)` per acquire site, `None` for unranked.
+    site_rank: Vec<Option<(&'static str, u32)>>,
+    /// Parameter binding names (`self` excluded).
+    params: Vec<String>,
+}
+
+/// A function's parameter-consult evidence: if a caller passes a stale
+/// value as an argument, this function reads it as state (receiver of
+/// a lookup/method call), not just as a key.
+#[derive(Debug, Clone)]
+struct Consult {
+    /// The consulted parameter-derived name, for messages.
+    access: String,
+    /// `qualified (file:line)` hops from this function to the consult.
+    chain: Vec<String>,
+    /// Whether the chain hit [`CHAIN_CAP`] and was cut.
+    truncated: bool,
+}
+
+/// The combined held-locks + guard-taint forward may-analysis.
+///
+/// `held` mirrors [`rules::HeldLocks`]; `taint` maps each binding to
+/// the ranked acquire sites its value was derived from. The binding of
+/// a *new* guard is never tainted by its own initializer (`let ps =
+/// shard.part.lock()` — `ps` is the fresh guard, not a stale value),
+/// which is exactly the reacquire-validation shape.
+#[derive(Clone, PartialEq)]
+struct GapFact {
+    held: BTreeSet<usize>,
+    taint: BTreeMap<String, BTreeSet<usize>>,
+}
+
+struct GapState<'a> {
+    acquires: &'a [AcquireSite],
+    site_rank: &'a [Option<(&'static str, u32)>],
+}
+
+impl GapState<'_> {
+    /// The ranked sites `name`'s value derives from, per `fact`:
+    /// transitive taint plus direct guard-variable mentions.
+    fn sources(&self, fact: &GapFact, name: &str) -> BTreeSet<usize> {
+        let mut out: BTreeSet<usize> = fact.taint.get(name).cloned().unwrap_or_default();
+        for &j in &fact.held {
+            if self.site_rank[j].is_some() && self.acquires[j].var.as_deref() == Some(name) {
+                out.insert(j);
+            }
+        }
+        out
+    }
+
+    /// The stale subset of [`Self::sources`]: sites whose guard is no
+    /// longer held.
+    fn stale(&self, fact: &GapFact, name: &str) -> BTreeSet<usize> {
+        self.sources(fact, name)
+            .into_iter()
+            .filter(|i| !fact.held.contains(i))
+            .collect()
+    }
+
+    /// Whether `name` is the variable of a live ranked guard.
+    fn is_live_guard(&self, fact: &GapFact, name: &str) -> bool {
+        fact.held
+            .iter()
+            .any(|&j| self.site_rank[j].is_some() && self.acquires[j].var.as_deref() == Some(name))
+    }
+}
+
+impl Analysis for GapState<'_> {
+    type Fact = GapFact;
+    const BACKWARD: bool = false;
+
+    fn boundary(&self) -> GapFact {
+        GapFact {
+            held: BTreeSet::new(),
+            taint: BTreeMap::new(),
+        }
+    }
+
+    fn init(&self) -> GapFact {
+        self.boundary()
+    }
+
+    fn join(&self, fact: &mut GapFact, other: &GapFact) -> bool {
+        let mut changed = false;
+        for &i in &other.held {
+            changed |= fact.held.insert(i);
+        }
+        for (k, v) in &other.taint {
+            let entry = fact.taint.entry(k.clone()).or_default();
+            for &i in v {
+                changed |= entry.insert(i);
+            }
+        }
+        changed
+    }
+
+    fn transfer(&self, op: &Op, fact: &mut GapFact) {
+        match op {
+            Op::Acquire(i) => {
+                fact.held.insert(*i);
+            }
+            Op::Kill { var, .. } => {
+                fact.held
+                    .retain(|&i| self.acquires[i].var.as_deref() != Some(var.as_str()));
+                fact.taint.remove(var);
+            }
+            Op::KillTemps => {
+                fact.held.retain(|&i| self.acquires[i].var.is_some());
+            }
+            Op::Assign { to, froms, .. } => {
+                // A binding that *is* a just-acquired guard is the
+                // fresh guard itself, never stale.
+                if self.is_live_guard(fact, to) {
+                    fact.taint.remove(to);
+                    return;
+                }
+                let mut srcs = BTreeSet::new();
+                for f in froms {
+                    srcs.extend(self.sources(fact, f));
+                }
+                // A binding read through a *live* guard derives from
+                // fresh state; stale names in the mix are key/predicate
+                // position (`ps.replicas.get_mut(&leader)`), flagged at
+                // their own consult sites, not here.
+                if froms.iter().any(|f| self.is_live_guard(fact, f)) {
+                    srcs.retain(|i| fact.held.contains(i));
+                }
+                if srcs.is_empty() {
+                    fact.taint.remove(to);
+                } else {
+                    fact.taint.insert(to.clone(), srcs);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// One recorded gap-crossing use of state sourced at a guard site.
+#[derive(Clone)]
+struct UseRec {
+    kind: &'static str,
+    access: String,
+    /// Use line in the guard's own file (already anchored).
+    line: u32,
+    /// Callee hops for interprocedural consults.
+    callee_chain: Vec<String>,
+    verdict: Verdict,
+    /// Rank of the live section the use executes in.
+    section: &'static str,
+    /// The use op carried no line of its own (`.get()`/`.len()` lower
+    /// to line-less observations) and `line` is the enclosing
+    /// section's acquire line. Dropped when the same access also has a
+    /// real-line record (the chained call on the same expression).
+    synthetic: bool,
+}
+
+/// Runs the pass: appends lint findings to `out` and returns the full
+/// atomicity report (empty when the tree has no rank table).
+pub fn atomicity(
+    ctx: &Context,
+    graph: &CallGraph,
+    files: &[SourceData],
+    out: &mut Vec<Finding>,
+) -> AtomicityReport {
+    let Some(ranks) = &ctx.ranks else {
+        return AtomicityReport::default();
+    };
+    let order_of = |rank: &str| {
+        ranks
+            .entries
+            .iter()
+            .find(|(n, _)| n == rank)
+            .map(|(_, o)| *o)
+    };
+
+    let mut by_site: HashMap<(&str, u32, &str), usize> = HashMap::new();
+    for (i, f) in graph.fns.iter().enumerate() {
+        by_site.insert((f.file.as_str(), f.line, f.name.as_str()), i);
+    }
+
+    // Lower every non-test function once.
+    let mut bodies: Vec<FnBody> = Vec::new();
+    for file in files {
+        let Some(ast) = &file.ast else { continue };
+        let fields = rules::ranked_fields(&file.rel);
+        rules::for_each_fn(&ast.items, &mut |f| {
+            let Some(&id) = by_site.get(&(file.rel.as_str(), f.line, f.name.as_str())) else {
+                return;
+            };
+            if graph.fns[id].in_test || f.body.is_none() {
+                return;
+            }
+            let mut params = Vec::new();
+            for p in &f.params {
+                p.pat.bound_names(&mut params);
+            }
+            params.retain(|p| p != "self");
+            let g = cfg::lower_fn(f);
+            let site_rank = rules::site_ranks(&g, &fields, &order_of);
+            bodies.push(FnBody {
+                id,
+                rel: file.rel.clone(),
+                cfg: g,
+                site_rank,
+                params,
+            });
+        });
+    }
+
+    // Phase 1: per-function parameter-consult summaries — does this
+    // function read a parameter-derived value as *state* (receiver
+    // position)? Direct evidence first, then a fixpoint propagating a
+    // callee's consult up through argument-passing call sites.
+    let mut consults: Vec<Option<Consult>> = vec![None; graph.fns.len()];
+    for body in &bodies {
+        if consults[body.id].is_some() || body.params.is_empty() {
+            continue;
+        }
+        let derived = derived_names(body);
+        let guards = guard_vars(body);
+        'body: for blk in &body.cfg.blocks {
+            for op in &blk.ops {
+                let (recv_root, line) = match op {
+                    Op::Call {
+                        recv_names, line, ..
+                    } => {
+                        // A receiver chain rooted at one of this body's
+                        // own guards is a fresh re-read, not a
+                        // parameter consult.
+                        if recv_names.iter().any(|n| guards.contains(n.as_str())) {
+                            continue;
+                        }
+                        let Some(hit) = recv_names.iter().find(|n| derived.contains(*n)) else {
+                            continue;
+                        };
+                        (hit.clone(), *line)
+                    }
+                    Op::Index { recv, line, .. } => {
+                        let root = recv.split(['.', '[']).next().unwrap_or(recv);
+                        if !derived.contains(root) {
+                            continue;
+                        }
+                        (root.to_string(), *line)
+                    }
+                    Op::LenObserve { recv } => {
+                        let root = recv.split(['.', '[']).next().unwrap_or(recv);
+                        if !derived.contains(root) {
+                            continue;
+                        }
+                        (root.to_string(), graph.fns[body.id].line)
+                    }
+                    _ => continue,
+                };
+                consults[body.id] = Some(Consult {
+                    access: recv_root,
+                    chain: vec![hop(graph, body, line)],
+                    truncated: false,
+                });
+                break 'body;
+            }
+        }
+    }
+    loop {
+        let mut changed = false;
+        for body in &bodies {
+            if consults[body.id].is_some() || body.params.is_empty() {
+                continue;
+            }
+            let derived = derived_names(body);
+            'calls: for blk in &body.cfg.blocks {
+                for op in &blk.ops {
+                    let Op::Call {
+                        name,
+                        arity,
+                        is_method,
+                        qual,
+                        arg_names,
+                        line,
+                        ..
+                    } = op
+                    else {
+                        continue;
+                    };
+                    if !arg_names.iter().any(|n| derived.contains(n)) {
+                        continue;
+                    }
+                    let site = CallSite {
+                        name: name.clone(),
+                        arity: *arity,
+                        is_method: *is_method,
+                        qual: qual.clone(),
+                        line: *line,
+                    };
+                    for t in graph.resolve(body.id, &site) {
+                        let Some(w) = &consults[t] else { continue };
+                        let mut chain = vec![hop(graph, body, *line)];
+                        let truncated = w.truncated || w.chain.len() + 1 > CHAIN_CAP;
+                        chain.extend(w.chain.iter().take(CHAIN_CAP - 1).cloned());
+                        consults[body.id] = Some(Consult {
+                            access: w.access.clone(),
+                            chain,
+                            truncated,
+                        });
+                        changed = true;
+                        break 'calls;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Phase 2: per-body gap analysis via the combined held+taint
+    // dataflow.
+    let reach = graph.reach_from_named(HOT_ROOTS);
+    let mut report = AtomicityReport::default();
+    for body in &bodies {
+        if !body.site_rank.iter().any(Option::is_some) {
+            continue;
+        }
+        let analysis = GapState {
+            acquires: &body.cfg.acquires,
+            site_rank: &body.site_rank,
+        };
+        let solved = dataflow::solve(&body.cfg, &analysis);
+        let nsites = body.cfg.acquires.len();
+        // Where each site's taint was first created, per binding.
+        let mut reads: HashMap<(usize, String), u32> = HashMap::new();
+        // Where each site's guard died.
+        let mut drops: HashMap<usize, u32> = HashMap::new();
+        let mut uses: Vec<Vec<UseRec>> = vec![Vec::new(); nsites];
+        for blk in 0..body.cfg.blocks.len() {
+            dataflow::walk_ops(&body.cfg, &analysis, &solved, blk, |_, op, fact| {
+                record_op(
+                    body, graph, &analysis, &consults, op, fact, &mut reads, &mut drops, &mut uses,
+                );
+            });
+        }
+        for (i, site) in body.cfg.acquires.iter().enumerate() {
+            let Some((rank, order)) = body.site_rank[i] else {
+                continue;
+            };
+            let mut recs = std::mem::take(&mut uses[i]);
+            recs.sort_by(|a, b| {
+                a.verdict
+                    .cmp(&b.verdict)
+                    .then(a.line.cmp(&b.line))
+                    .then(a.access.cmp(&b.access))
+            });
+            recs.dedup_by(|a, b| a.access == b.access && a.line == b.line && a.kind == b.kind);
+            // A line-less observation (`.get()`) anchored at the
+            // acquire duplicates the chained call on the same
+            // expression; keep the real-line record.
+            let real: Vec<(String, Verdict)> = recs
+                .iter()
+                .filter(|r| !r.synthetic)
+                .map(|r| (r.access.clone(), r.verdict))
+                .collect();
+            recs.retain(|r| !r.synthetic || !real.contains(&(r.access.clone(), r.verdict)));
+            let verdict = recs
+                .iter()
+                .map(|r| r.verdict)
+                .min()
+                .unwrap_or(Verdict::Validated);
+            let gap = !recs.is_empty();
+            let drop_hop = match drops.get(&i) {
+                Some(0) | None => "scope end".to_string(),
+                Some(l) => format!("drop {}:{l}", body.rel),
+            };
+            let mut witness = Vec::new();
+            for r in recs.iter().take(WITNESS_CAP) {
+                let read_hop = match reads.get(&(i, r.access.clone())) {
+                    Some(l) if *l > 0 => format!("read {}:{l}", body.rel),
+                    _ => format!("read {}:{}", body.rel, site.line),
+                };
+                let mut chain = format!(
+                    "{read_hop} → {drop_hop} → {} ({}:{})",
+                    graph.fns[body.id].qualified(),
+                    body.rel,
+                    r.line
+                );
+                for h in &r.callee_chain {
+                    chain.push_str(" → ");
+                    chain.push_str(h);
+                }
+                witness.push(WitnessAccess {
+                    kind: r.kind,
+                    access: r.access.clone(),
+                    chain,
+                });
+            }
+            // Findings: stale/unknown uses, anchored at the use line so
+            // a lint:allow sits directly above the consult.
+            for (w, r) in witness.iter().zip(recs.iter()) {
+                if r.verdict == Verdict::Validated {
+                    continue;
+                }
+                let what = if r.verdict == Verdict::Unknown {
+                    "reaches an opaque consult (witness chain truncated)"
+                } else {
+                    "is consulted as state"
+                };
+                out.push(Finding {
+                    file: body.rel.clone(),
+                    line: r.line,
+                    lint: "atomicity",
+                    message: format!(
+                        "lock-gap atomicity: `{}` was derived under \"{rank}\" ({}:{}) and {what} \
+                         inside the \"{}\" section after that guard dropped — re-validate it \
+                         under the live guard or carry lint:allow(atomicity, reason=…) \
+                         (witness: {}; full census: target/analysis/atomicity.json)",
+                        r.access, body.rel, site.line, r.section, w.chain,
+                    ),
+                });
+            }
+            report.guards.push(GuardGap {
+                rank,
+                order,
+                file: body.rel.clone(),
+                line: site.line,
+                function: graph.fns[body.id].qualified(),
+                method: site.method.clone(),
+                hot: reach.reachable[body.id],
+                gap,
+                verdict,
+                witness,
+            });
+        }
+    }
+    report.guards.sort_by(|a, b| {
+        a.verdict
+            .cmp(&b.verdict)
+            .then(b.order.cmp(&a.order))
+            .then(a.file.cmp(&b.file))
+            .then(a.line.cmp(&b.line))
+    });
+    report
+}
+
+/// Records the gap-relevant effect of one op: taint read-sites, guard
+/// drop-sites, and classified gap-crossing uses.
+#[allow(clippy::too_many_arguments)]
+fn record_op(
+    body: &FnBody,
+    graph: &CallGraph,
+    gs: &GapState<'_>,
+    consults: &[Option<Consult>],
+    op: &Op,
+    fact: &GapFact,
+    reads: &mut HashMap<(usize, String), u32>,
+    drops: &mut HashMap<usize, u32>,
+    uses: &mut Vec<Vec<UseRec>>,
+) {
+    // The innermost live ranked section, if any: the anchor for uses
+    // that carry no line of their own.
+    let section = fact
+        .held
+        .iter()
+        .rev()
+        .find(|&&j| body.site_rank[j].is_some());
+    let push_use = |uses: &mut Vec<Vec<UseRec>>,
+                    srcs: &BTreeSet<usize>,
+                    kind: &'static str,
+                    access: &str,
+                    line: u32,
+                    callee_chain: Vec<String>,
+                    verdict: Verdict,
+                    section: &'static str,
+                    synthetic: bool| {
+        for &i in srcs {
+            if uses[i].len() < WITNESS_CAP * 4 {
+                uses[i].push(UseRec {
+                    kind,
+                    access: access.to_string(),
+                    line,
+                    callee_chain: callee_chain.clone(),
+                    verdict,
+                    section,
+                    synthetic,
+                });
+            }
+        }
+    };
+    match op {
+        Op::Kill { var, line } => {
+            for &j in &fact.held {
+                if body.cfg.acquires[j].var.as_deref() == Some(var.as_str()) {
+                    let entry = drops.entry(j).or_insert(*line);
+                    if *entry == 0 {
+                        *entry = *line;
+                    }
+                }
+            }
+        }
+        Op::Assign { to, froms, line } => {
+            if gs.is_live_guard(fact, to) {
+                // Reacquire-validation: the carried handle becomes the
+                // next guard (`let ps = shard.part.lock()`).
+                let Some((section_rank, _)) = body
+                    .site_rank
+                    .iter()
+                    .zip(&body.cfg.acquires)
+                    .filter_map(|(r, s)| r.map(|(n, _)| (n, s)))
+                    .find(|(_, s)| s.var.as_deref() == Some(to.as_str()))
+                else {
+                    return;
+                };
+                for f in froms {
+                    let stale = gs.stale(fact, f);
+                    if !stale.is_empty() {
+                        push_use(
+                            uses,
+                            &stale,
+                            "reacquire",
+                            f,
+                            *line,
+                            Vec::new(),
+                            Verdict::Validated,
+                            section_rank,
+                            false,
+                        );
+                    }
+                }
+                return;
+            }
+            // Taint creation/propagation: remember the read site.
+            for f in froms {
+                for i in gs.sources(fact, f) {
+                    let entry = reads.entry((i, to.clone())).or_insert(*line);
+                    if *entry == 0 {
+                        *entry = *line;
+                    }
+                }
+            }
+        }
+        Op::Call {
+            name,
+            arity,
+            is_method,
+            qual,
+            recv_names,
+            arg_names,
+            line,
+        } => {
+            let Some(&sec) = section else { return };
+            let section_rank = body.site_rank[sec].map(|(n, _)| n).unwrap_or("?");
+            // A receiver chain rooted at a live guard is a fresh
+            // re-read, never stale (field names can shadow tainted
+            // locals: `ps.leader` mentions `leader`).
+            if recv_names.iter().any(|n| gs.is_live_guard(fact, n)) {
+                return;
+            }
+            if let Some(n) = recv_names.iter().find(|n| !gs.stale(fact, n).is_empty()) {
+                let stale = gs.stale(fact, n);
+                push_use(
+                    uses,
+                    &stale,
+                    "stale-read",
+                    n,
+                    *line,
+                    Vec::new(),
+                    Verdict::StaleUse,
+                    section_rank,
+                    false,
+                );
+                return;
+            }
+            let stale_args: Vec<&String> = arg_names
+                .iter()
+                .filter(|n| !gs.stale(fact, n).is_empty())
+                .collect();
+            if stale_args.is_empty() {
+                return;
+            }
+            // Passing the live guard alongside means the callee reads
+            // fresh state keyed by the carried value.
+            if arg_names.iter().any(|n| gs.is_live_guard(fact, n)) {
+                let stale = gs.stale(fact, stale_args[0]);
+                push_use(
+                    uses,
+                    &stale,
+                    "carried",
+                    stale_args[0],
+                    *line,
+                    Vec::new(),
+                    Verdict::Validated,
+                    section_rank,
+                    false,
+                );
+                return;
+            }
+            // A workspace callee that consults the parameter turns the
+            // carried value back into state.
+            let site = CallSite {
+                name: name.clone(),
+                arity: *arity,
+                is_method: *is_method,
+                qual: qual.clone(),
+                line: *line,
+            };
+            for t in graph.resolve(body.id, &site) {
+                if let Some(c) = &consults[t] {
+                    let stale = gs.stale(fact, stale_args[0]);
+                    let verdict = if c.truncated {
+                        Verdict::Unknown
+                    } else {
+                        Verdict::StaleUse
+                    };
+                    let kind = if c.truncated { "opaque" } else { "stale-read" };
+                    push_use(
+                        uses,
+                        &stale,
+                        kind,
+                        stale_args[0],
+                        *line,
+                        c.chain.clone(),
+                        verdict,
+                        section_rank,
+                        false,
+                    );
+                    return;
+                }
+            }
+            let stale = gs.stale(fact, stale_args[0]);
+            push_use(
+                uses,
+                &stale,
+                "carried",
+                stale_args[0],
+                *line,
+                Vec::new(),
+                Verdict::Validated,
+                section_rank,
+                false,
+            );
+        }
+        Op::Index { recv, line, .. } => {
+            let Some(&sec) = section else { return };
+            let section_rank = body.site_rank[sec].map(|(n, _)| n).unwrap_or("?");
+            let root = recv.split(['.', '[']).next().unwrap_or(recv);
+            let stale = gs.stale(fact, root);
+            if !stale.is_empty() && !gs.is_live_guard(fact, root) {
+                push_use(
+                    uses,
+                    &stale,
+                    "stale-read",
+                    root,
+                    *line,
+                    Vec::new(),
+                    Verdict::StaleUse,
+                    section_rank,
+                    false,
+                );
+            }
+        }
+        Op::LenObserve { recv } => {
+            let Some(&sec) = section else { return };
+            let section_rank = body.site_rank[sec].map(|(n, _)| n).unwrap_or("?");
+            let root = recv.split(['.', '[']).next().unwrap_or(recv);
+            let stale = gs.stale(fact, root);
+            if !stale.is_empty() && !gs.is_live_guard(fact, root) {
+                // No line of its own: anchor at the live section's
+                // acquire so an allow above the acquire covers it.
+                let line = body.cfg.acquires[sec].line;
+                push_use(
+                    uses,
+                    &stale,
+                    "stale-read",
+                    root,
+                    line,
+                    Vec::new(),
+                    Verdict::StaleUse,
+                    section_rank,
+                    true,
+                );
+            }
+        }
+        Op::Arith { names, line, .. } => {
+            let Some(&sec) = section else { return };
+            let section_rank = body.site_rank[sec].map(|(n, _)| n).unwrap_or("?");
+            if let Some(n) = names.iter().find(|n| !gs.stale(fact, n).is_empty()) {
+                let stale = gs.stale(fact, n);
+                push_use(
+                    uses,
+                    &stale,
+                    "carried",
+                    n,
+                    *line,
+                    Vec::new(),
+                    Verdict::Validated,
+                    section_rank,
+                    false,
+                );
+            }
+        }
+        _ => {}
+    }
+}
+
+/// The flow-insensitive closure of parameter-derived names inside one
+/// function (for consult summaries). A binding read through one of the
+/// function's *own* guards (`let Some(t) = st.topics.get(topic)`) is a
+/// fresh re-read keyed by the parameter — revalidation, not
+/// derivation — so guard-sourced assigns do not propagate.
+fn derived_names(body: &FnBody) -> BTreeSet<String> {
+    let guards = guard_vars(body);
+    let mut derived: BTreeSet<String> = body.params.iter().cloned().collect();
+    loop {
+        let mut changed = false;
+        for blk in &body.cfg.blocks {
+            for op in &blk.ops {
+                if let Op::Assign { to, froms, .. } = op {
+                    if !derived.contains(to)
+                        && froms.iter().any(|n| derived.contains(n))
+                        && !froms.iter().any(|n| guards.contains(n.as_str()))
+                    {
+                        derived.insert(to.clone());
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            return derived;
+        }
+    }
+}
+
+/// The variables of this body's ranked guard acquire sites.
+fn guard_vars(body: &FnBody) -> BTreeSet<&str> {
+    body.cfg
+        .acquires
+        .iter()
+        .zip(&body.site_rank)
+        .filter(|(_, r)| r.is_some())
+        .filter_map(|(s, _)| s.var.as_deref())
+        .collect()
+}
+
+/// One witness-chain hop: `qualified (file:line)`.
+fn hop(graph: &CallGraph, body: &FnBody, line: u32) -> String {
+    format!("{} ({}:{line})", graph.fns[body.id].qualified(), body.rel)
+}

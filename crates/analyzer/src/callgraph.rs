@@ -607,7 +607,7 @@ impl Analysis for MustBounds {
             }
             // Redefinition invalidates observations made through the
             // rebound name.
-            Op::Assign { to, .. } | Op::Kill { var: to } => {
+            Op::Assign { to, .. } | Op::Kill { var: to, .. } => {
                 set.retain(|r| r.split(['.', '[']).next().is_none_or(|head| head != to));
             }
             _ => {}

@@ -26,6 +26,11 @@ pub enum Op {
     Kill {
         /// The binding that dies.
         var: String,
+        /// 1-based source line of an explicit `drop(var)` or shadowing
+        /// `let`; `0` for scope-end and pattern-rebinding kills, which
+        /// have no single source line. The atomicity pass renders `0`
+        /// as "scope end" in its drop-site witness hops.
+        line: u32,
     },
     /// End of statement: temporary (unbound) guards die.
     KillTemps,
@@ -372,7 +377,10 @@ impl Builder {
                     // about to be named after the same binding, and the
                     // shadow-kill must not destroy the new guard.
                     for name in &bound {
-                        self.push(Op::Kill { var: name.clone() });
+                        self.push(Op::Kill {
+                            var: name.clone(),
+                            line: *line,
+                        });
                     }
                     let acquires_before = self.cfg.acquires.len();
                     if let Some(init) = init {
@@ -426,7 +434,10 @@ impl Builder {
             }
         }
         for var in scope.iter().rev() {
-            self.push(Op::Kill { var: var.clone() });
+            self.push(Op::Kill {
+                var: var.clone(),
+                line: 0,
+            });
         }
     }
 
@@ -434,7 +445,10 @@ impl Builder {
         let mut bound = Vec::new();
         pat.bound_names(&mut bound);
         for name in bound {
-            self.push(Op::Kill { var: name.clone() });
+            self.push(Op::Kill {
+                var: name.clone(),
+                line: 0,
+            });
             self.push(Op::Assign {
                 to: name.clone(),
                 froms: froms.to_vec(),
@@ -457,7 +471,10 @@ impl Builder {
         }
         self.lower_block(block);
         for var in scope.iter().rev() {
-            self.push(Op::Kill { var: var.clone() });
+            self.push(Op::Kill {
+                var: var.clone(),
+                line: 0,
+            });
         }
     }
 
@@ -554,6 +571,7 @@ impl Builder {
                             if arg.len() == 1 {
                                 self.push(Op::Kill {
                                     var: arg[0].clone(),
+                                    line: *line,
                                 });
                                 return;
                             }
@@ -711,7 +729,10 @@ impl Builder {
                     }
                     self.lower_expr(&arm.body);
                     for var in scope.iter().rev() {
-                        self.push(Op::Kill { var: var.clone() });
+                        self.push(Op::Kill {
+                            var: var.clone(),
+                            line: 0,
+                        });
                     }
                     self.edge_to(join);
                 }
@@ -803,7 +824,10 @@ impl Builder {
                 }
                 self.lower_expr(body);
                 for var in scope.iter().rev() {
-                    self.push(Op::Kill { var: var.clone() });
+                    self.push(Op::Kill {
+                        var: var.clone(),
+                        line: 0,
+                    });
                 }
                 self.edge_to(join);
                 self.cur = join;

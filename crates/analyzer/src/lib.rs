@@ -65,6 +65,15 @@
 //!   `target/analysis/shardability.json` report; hot exclusive guards
 //!   proven partition-local but not yet sharded are findings (see
 //!   [`shard`]).
+//! * **atomicity** — interprocedural lock-gap atomicity analysis:
+//!   every value derived from a ranked guard's deref is tainted, the
+//!   guard-drop point detected (explicit `drop` or scope end), and any
+//!   gap-crossing consult of the stale value inside a later ranked
+//!   critical section is a finding with a full
+//!   read-site → drop-site → use witness chain, unless
+//!   machine-validated (reacquire / carried-key shapes) or allowed;
+//!   per-site verdicts land in `target/analysis/atomicity.json` (see
+//!   [`atomicity`]).
 //!
 //! Findings can be suppressed with a `lint:allow` comment directive
 //! (see [`lexer::AllowDirective`]); a directive that is malformed,
@@ -74,6 +83,7 @@
 //! first non-directive line below them.
 
 pub mod ast;
+pub mod atomicity;
 pub mod callgraph;
 pub mod cfg;
 pub mod dataflow;
@@ -108,6 +118,7 @@ pub const LINTS: &[&str] = &[
     "hot-copy",
     "lock-cost",
     "shard",
+    "atomicity",
     "lint-allow",
 ];
 
@@ -687,11 +698,14 @@ pub struct AnalysisReports {
     pub lock_cost: lockcost::LockCostReport,
     /// Lock-shardability report (`shardability.json`).
     pub shardability: shard::ShardReport,
+    /// Lock-gap atomicity report (`atomicity.json`).
+    pub atomicity: atomicity::AtomicityReport,
 }
 
-/// [`analyze_root`], additionally returning the lock-cost contention
-/// and lock-shardability reports (the CLI writes them to
-/// `target/analysis/lock-cost.json` / `shardability.json`).
+/// [`analyze_root`], additionally returning the lock-cost contention,
+/// lock-shardability and lock-gap atomicity reports (the CLI writes
+/// them to `target/analysis/lock-cost.json` / `shardability.json` /
+/// `atomicity.json`).
 pub fn analyze_root_with_report(root: &Path) -> Result<(Vec<Finding>, AnalysisReports), String> {
     // Phase A: read, lex, parse.
     let (mut ctx, ctx_findings) = Context::from_root(root);
@@ -751,6 +765,7 @@ pub fn analyze_root_with_report(root: &Path) -> Result<(Vec<Finding>, AnalysisRe
     let report = AnalysisReports {
         lock_cost: lockcost::lock_cost(&ctx, &graph, &files, &mut cross_findings),
         shardability: shard::shard(&ctx, &graph, &files, &mut cross_findings),
+        atomicity: atomicity::atomicity(&ctx, &graph, &files, &mut cross_findings),
     };
     for finding in cross_findings {
         match files.iter().find(|f| f.rel == finding.file) {

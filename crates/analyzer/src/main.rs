@@ -57,13 +57,17 @@ fn main() -> ExitCode {
                      contention report), shard (ranked guards classified\n\
                      partition-local / cross-partition / unknown; hot exclusive guards\n\
                      proven partition-local but not yet split are findings; writes the\n\
-                     target/analysis/shardability.json report). Suppress a\n\
+                     target/analysis/shardability.json report), atomicity (no\n\
+                     stale use of guard-derived state across a drop/reacquire gap\n\
+                     unless machine-validated; witness chains per finding; writes the\n\
+                     target/analysis/atomicity.json report). Suppress a\n\
                      finding with a comment directive on or above the offending line:\n\
                      \n\
                      \x20   // lint:allow(<lint>, reason=<why this one is sound>)\n\
                      \n\
                      --deny            exit 1 when there are findings (CI mode)\n\
-                     --json            machine-readable output: {{\"findings\":[...],\"count\":N}}\n\
+                     --json            machine-readable output: {{\"findings\":[...],\"count\":N,\n\
+                     \x20                 \"reports\":[<analysis artifacts written>]}}\n\
                      --sarif           SARIF 2.1.0 output (GitHub code-scanning upload)\n\
                      --only <sel>      keep only findings under the given path prefix\n\
                      \x20                 (e.g. --only crates/analyzer for the self-lint step)\n\
@@ -130,18 +134,21 @@ fn main() -> ExitCode {
             // output: written unconditionally so CI can diff them
             // against the checked-in baselines even on clean runs.
             let report_dir = root.join("target/analysis");
-            for (name, json) in [
+            let mut written: Vec<String> = Vec::new();
+            for (name, body) in [
                 ("lock-cost.json", reports.lock_cost.to_json()),
                 ("shardability.json", reports.shardability.to_json()),
+                ("atomicity.json", reports.atomicity.to_json()),
             ] {
                 let report_path = report_dir.join(name);
-                if let Err(e) = std::fs::create_dir_all(&report_dir)
-                    .and_then(|()| std::fs::write(&report_path, json))
+                match std::fs::create_dir_all(&report_dir)
+                    .and_then(|()| std::fs::write(&report_path, body))
                 {
-                    eprintln!(
+                    Ok(()) => written.push(format!("target/analysis/{name}")),
+                    Err(e) => eprintln!(
                         "liquid-lint: warning: could not write {}: {e}",
                         report_path.display()
-                    );
+                    ),
                 }
             }
             if let Some(sel) = &only {
@@ -154,7 +161,7 @@ fn main() -> ExitCode {
             if sarif {
                 println!("{}", render_sarif(&findings));
             } else if json {
-                println!("{}", render_json(&findings));
+                println!("{}", render_json(&findings, &written));
             } else if findings.is_empty() {
                 println!("liquid-lint: clean");
             } else {
@@ -177,10 +184,12 @@ fn main() -> ExitCode {
     }
 }
 
-/// `{"findings":[{"file":...,"line":N,"lint":...,"message":...}],"count":N}`.
-/// Hand-rolled (the build environment has no serde); strings are
-/// escaped per RFC 8259.
-fn render_json(findings: &[liquid_lint::Finding]) -> String {
+/// `{"findings":[{"file":...,"line":N,"lint":...,"message":...}],
+/// "count":N,"reports":[...]}` — `reports` lists the workspace-relative
+/// analysis artifacts this run actually wrote, so CI jobs consume the
+/// paths from the output instead of hard-coding them. Hand-rolled (the
+/// build environment has no serde); strings are escaped per RFC 8259.
+fn render_json(findings: &[liquid_lint::Finding], reports: &[String]) -> String {
     let mut out = String::from("{\"findings\":[");
     for (i, f) in findings.iter().enumerate() {
         if i > 0 {
@@ -194,7 +203,14 @@ fn render_json(findings: &[liquid_lint::Finding]) -> String {
             json_escape(&f.message)
         ));
     }
-    out.push_str(&format!("],\"count\":{}}}", findings.len()));
+    out.push_str(&format!("],\"count\":{},\"reports\":[", findings.len()));
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\"", json_escape(r)));
+    }
+    out.push_str("]}");
     out
 }
 

@@ -51,6 +51,10 @@ pub const LOCK_FIELDS: &[(&str, &str, &str)] = &[
     // its `Arc` cloned) under a brief `cluster.state` read guard.
     ("cluster.rs", "part", "partition.state"),
     ("offsets.rs", "inner", "offsets.inner"),
+    // Per-(group, topic-partition) offset shards: each committed-offset
+    // slot sits behind its own mutex inside an `OffsetShard`, resolved
+    // (and its `Arc` cloned) under a brief `offsets.inner` guard.
+    ("offsets.rs", "slot", "offsets.shard"),
     ("quotas.rs", "limits", "quota.limits"),
     ("quotas.rs", "usage", "quota.usage"),
     ("quotas.rs", "throttled_total", "quota.throttled"),
@@ -633,7 +637,7 @@ impl Analysis for HeldLocks<'_> {
             Op::Acquire(i) => {
                 fact.insert(*i);
             }
-            Op::Kill { var } => {
+            Op::Kill { var, .. } => {
                 fact.retain(|&i| self.acquires[i].var.as_deref() != Some(var.as_str()));
             }
             Op::KillTemps => {

@@ -29,6 +29,7 @@ pub const RANKS: &[(&str, u32)] = &[
     ("cluster.state", 40),
     ("partition.state", 35),
     ("offsets.inner", 30),
+    ("offsets.shard", 28),
     ("quota.limits", 24),
     ("quota.usage", 23),
     ("quota.throttled", 21),
@@ -770,6 +771,12 @@ fn json_output_reports_findings_and_keeps_deny_exit_codes() {
     );
     assert!(stdout.contains("\"line\":3"), "stdout:\n{stdout}");
     assert!(stdout.contains("\"count\":2"), "stdout:\n{stdout}");
+    // The analysis-report paths ride the JSON output so CI consumes
+    // them instead of hard-coding.
+    assert!(
+        stdout.contains("\"reports\":[\"target/analysis/lock-cost.json\",\"target/analysis/shardability.json\",\"target/analysis/atomicity.json\"]"),
+        "stdout:\n{stdout}"
+    );
     assert!(
         stdout.contains("\\\"cluster.state\\\""),
         "quotes inside messages must be escaped; stdout:\n{stdout}"
@@ -787,7 +794,8 @@ fn json_output_reports_findings_and_keeps_deny_exit_codes() {
     assert_eq!(out.status.code(), Some(0));
     assert_eq!(
         String::from_utf8_lossy(&out.stdout).trim(),
-        "{\"findings\":[],\"count\":0}"
+        "{\"findings\":[],\"count\":0,\"reports\":[\"target/analysis/lock-cost.json\",\
+         \"target/analysis/shardability.json\",\"target/analysis/atomicity.json\"]}"
     );
 }
 
@@ -1397,11 +1405,255 @@ fn only_flag_accepts_lint_names_and_rejects_unknown() {
 }
 
 #[test]
+fn atomicity_lint_validates_reacquire_gaps() {
+    // The canonical split shape: resolve a shard handle under the
+    // metadata guard, drop it, lock the shard. The carried `Arc` *is*
+    // the revalidation — machine-validated, no finding.
+    let clean = fixture(
+        "atomicity-reacquire",
+        &[
+            ("crates/sim/src/lockdep.rs", RANKS_RS),
+            (
+                "crates/messaging/src/cluster.rs",
+                "pub fn produce(state: &L) {\n\
+                 \x20   let st = state.lock();\n\
+                 \x20   let shard = st.resolve();\n\
+                 \x20   drop(st);\n\
+                 \x20   let mut ps = shard.part.lock();\n\
+                 \x20   ps.touch();\n\
+                 }\n",
+            ),
+        ],
+    );
+    assert_clean(&clean);
+}
+
+#[test]
+fn atomicity_lint_fires_on_stale_use_across_drop() {
+    // A snapshot taken under the dropped guard is consulted as state
+    // inside the next critical section — the TOCTOU shape the pass
+    // exists for.
+    let hit = fixture(
+        "atomicity-stale",
+        &[
+            ("crates/sim/src/lockdep.rs", RANKS_RS),
+            (
+                "crates/messaging/src/cluster.rs",
+                "pub fn produce(state: &L, shard: &S) {\n\
+                 \x20   let st = state.lock();\n\
+                 \x20   let snap = st.snapshot();\n\
+                 \x20   drop(st);\n\
+                 \x20   let mut ps = shard.part.lock();\n\
+                 \x20   snap.probe();\n\
+                 \x20   ps.touch();\n\
+                 }\n",
+            ),
+        ],
+    );
+    let out = lint(&hit);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{stdout}");
+    assert!(stdout.contains("[atomicity]"), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("derived under \"cluster.state\""),
+        "finding must name the source rank; stdout:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("\"partition.state\" section"),
+        "finding must name the live section; stdout:\n{stdout}"
+    );
+}
+
+#[test]
+fn atomicity_lint_witnesses_interprocedural_consults() {
+    // The consult happens inside a helper the stale value is passed
+    // to — the witness chain must ride the call graph into the callee.
+    let hit = fixture(
+        "atomicity-interproc",
+        &[
+            ("crates/sim/src/lockdep.rs", RANKS_RS),
+            (
+                "crates/messaging/src/cluster.rs",
+                "pub fn produce(state: &L, shard: &S) {\n\
+                 \x20   let st = state.lock();\n\
+                 \x20   let snap = st.snapshot();\n\
+                 \x20   drop(st);\n\
+                 \x20   let mut ps = shard.part.lock();\n\
+                 \x20   consult(snap);\n\
+                 \x20   ps.touch();\n\
+                 }\n\
+                 fn consult(snap: &M) -> usize {\n\
+                 \x20   snap.len()\n\
+                 }\n",
+            ),
+        ],
+    );
+    let out = lint(&hit);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{stdout}");
+    assert!(stdout.contains("[atomicity]"), "stdout:\n{stdout}");
+    // Witness-chain format: read → drop → use hop(s), file:line each,
+    // ending in the callee that performs the consult.
+    assert!(
+        stdout.contains(
+            "read crates/messaging/src/cluster.rs:3 \u{2192} \
+             drop crates/messaging/src/cluster.rs:4 \u{2192} \
+             messaging::produce (crates/messaging/src/cluster.rs:6) \u{2192} \
+             messaging::consult (crates/messaging/src/cluster.rs:9)"
+        ),
+        "witness chain must carry file:line per hop; stdout:\n{stdout}"
+    );
+}
+
+#[test]
+fn atomicity_lint_detects_scope_end_drops() {
+    // No explicit drop: the guard dies at the end of its block, and
+    // the witness renders the drop hop as "scope end".
+    let hit = fixture(
+        "atomicity-scope-end",
+        &[
+            ("crates/sim/src/lockdep.rs", RANKS_RS),
+            (
+                "crates/messaging/src/cluster.rs",
+                "pub fn produce(state: &L, shard: &S) {\n\
+                 \x20   let mut snap = M::empty();\n\
+                 \x20   {\n\
+                 \x20       let st = state.lock();\n\
+                 \x20       snap = st.snapshot();\n\
+                 \x20       st.touch();\n\
+                 \x20   }\n\
+                 \x20   let mut ps = shard.part.lock();\n\
+                 \x20   snap.probe();\n\
+                 \x20   ps.touch();\n\
+                 }\n",
+            ),
+        ],
+    );
+    let out = lint(&hit);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{stdout}");
+    assert!(stdout.contains("[atomicity]"), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("scope end"),
+        "implicit drops must render as scope end; stdout:\n{stdout}"
+    );
+}
+
+#[test]
+fn atomicity_lint_honors_allow_directive() {
+    // A reasoned allow directly above the stale consult suppresses the
+    // finding (and counts as used, so lint-allow stays quiet too).
+    let allowed = fixture(
+        "atomicity-allowed",
+        &[
+            ("crates/sim/src/lockdep.rs", RANKS_RS),
+            (
+                "crates/messaging/src/cluster.rs",
+                "pub fn produce(state: &L, shard: &S) {\n\
+                 \x20   let st = state.lock();\n\
+                 \x20   let snap = st.snapshot();\n\
+                 \x20   drop(st);\n\
+                 \x20   let mut ps = shard.part.lock();\n\
+                 \x20   // lint:allow(atomicity, reason=snap is a conservative liveness hint and the section revalidates authoritative state)\n\
+                 \x20   snap.probe();\n\
+                 \x20   ps.touch();\n\
+                 }\n",
+            ),
+        ],
+    );
+    assert_clean(&allowed);
+}
+
+#[test]
+fn atomicity_lint_spares_carried_keys_and_cold_sections() {
+    // A stale value in argument/key position next to the live guard is
+    // the carried-key shape (fresh state keyed by the snapshot), and a
+    // use with no ranked guard live is not a critical-section gap:
+    // neither is a finding.
+    let clean = fixture(
+        "atomicity-carried",
+        &[
+            ("crates/sim/src/lockdep.rs", RANKS_RS),
+            (
+                "crates/messaging/src/cluster.rs",
+                "pub fn produce(state: &L, shard: &S) {\n\
+                 \x20   let st = state.lock();\n\
+                 \x20   let snap = st.snapshot();\n\
+                 \x20   drop(st);\n\
+                 \x20   let mut ps = shard.part.lock();\n\
+                 \x20   ps.apply(snap);\n\
+                 \x20   drop(ps);\n\
+                 \x20   snap.probe();\n\
+                 }\n",
+            ),
+        ],
+    );
+    assert_clean(&clean);
+}
+
+#[test]
+fn atomicity_census_of_real_tree_has_no_unknown_gaps() {
+    // Whole-tree acceptance: every ranked guard carries a verdict, no
+    // gap anywhere is unknown-classified, and the offsets split's
+    // commit path is machine-validated (the resolved shard Arc is the
+    // reacquire witness).
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap();
+    let (_, reports) = liquid_lint::analyze_root_with_report(&root).unwrap();
+    let guards = &reports.atomicity.guards;
+    assert!(!guards.is_empty());
+    assert!(
+        guards
+            .iter()
+            .all(|g| g.verdict != liquid_lint::atomicity::Verdict::Unknown),
+        "unknown-classified gaps on the real tree"
+    );
+    // The only stale-use verdicts are the two allowed broker-liveness
+    // hints on the cluster.state produce paths.
+    for g in guards {
+        if g.verdict == liquid_lint::atomicity::Verdict::StaleUse {
+            assert_eq!(g.rank, "cluster.state", "unexpected stale-use on {g:?}");
+            assert!(
+                !g.witness.is_empty(),
+                "stale verdict without witness: {g:?}"
+            );
+        }
+    }
+    let commit = guards
+        .iter()
+        .find(|g| g.rank == "offsets.inner" && g.function.ends_with("OffsetManager::commit"))
+        .expect("commit acquire site in the census");
+    assert!(commit.gap, "commit path must have a detected gap");
+    assert_eq!(
+        commit.verdict,
+        liquid_lint::atomicity::Verdict::Validated,
+        "the commit snapshot\u{2192}commit gap must be proven validated"
+    );
+    assert!(
+        commit.witness.iter().any(|w| w.kind == "reacquire"),
+        "the shard-lock reacquire must be the witness: {:?}",
+        commit.witness
+    );
+    // Every offsets.shard site is gap-free: slot sections consult only
+    // fresh slot state.
+    assert!(
+        guards
+            .iter()
+            .filter(|g| g.rank == "offsets.shard")
+            .all(|g| g.verdict == liquid_lint::atomicity::Verdict::Validated),
+        "offsets.shard sections must be validated"
+    );
+}
+
+#[test]
 fn rank_tables_and_guard_inventory_agree() {
-    // Three copies of the rank table must agree: the runtime table
+    // Five copies of the rank table must agree: the runtime table
     // (sim::lockdep::RANKS, parsed from source), the analyzer's
     // field→rank map (rules::LOCK_FIELDS), and the acquire-site
-    // inventory of the lock-cost report built from the real tree.
+    // inventories of the lock-cost, shardability, and atomicity
+    // reports built from the real tree.
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .canonicalize()
@@ -1453,6 +1705,20 @@ fn rank_tables_and_guard_inventory_agree() {
         reports.shardability.sites(),
         reports.lock_cost.sites(),
         "shardability and lock-cost passes disagree on acquire sites"
+    );
+
+    // Fifth copy: the atomicity pass audits the same guards — every
+    // rank gets a gap verdict, and its acquire sites are the exact
+    // acquire sites the other passes replay.
+    assert_eq!(
+        reports.atomicity.inventory(),
+        expected,
+        "atomicity guard inventory drifted from the declared ranks"
+    );
+    assert_eq!(
+        reports.atomicity.sites(),
+        reports.lock_cost.sites(),
+        "atomicity and lock-cost passes disagree on acquire sites"
     );
 }
 

@@ -53,6 +53,7 @@ pub const RANKS: &[(&str, u32)] = &[
     ("cluster.state", 40),
     ("partition.state", 35),
     ("offsets.inner", 30),
+    ("offsets.shard", 28),
     ("quota.limits", 24),
     ("quota.usage", 23),
     ("quota.throttled", 21),

@@ -455,6 +455,85 @@ fn model_sharded_producers_distinct_partitions() {
 }
 
 // ---------------------------------------------------------------------------
+// Scenario 3d: sharded offset store — commits on distinct keys vs. rebalance
+// ---------------------------------------------------------------------------
+
+/// Two consumers commit to *distinct* per-(group, partition) offset
+/// shards while a third member joins and forces a rebalance. This is
+/// the model-checked half of the `offsets.inner` split (the atomicity
+/// pass proves the commit path's resolve→drop→lock gap validated
+/// statically): in every interleaving the lock order
+/// `group.groups` → `offsets.inner` → `offsets.shard` holds — any rank
+/// inversion panics inside lockdep and fails the run — and neither
+/// commit is lost, duplicated, or torn by the other's shard update or
+/// the concurrent rebalance.
+#[test]
+fn model_offsets_sharded_commit_vs_rebalance() {
+    let report = check(
+        "offsets.sharded-commit-vs-rebalance",
+        Config::default(),
+        || {
+            let cluster = Cluster::new(ClusterConfig::with_brokers(1), SimClock::new(0).shared());
+            cluster
+                .create_topic("t", TopicConfig::with_partitions(2))
+                .unwrap();
+            let cluster = Arc::new(cluster);
+            cluster
+                .join_group("g", "m1", &["t"], AssignmentStrategy::Range)
+                .unwrap();
+            let gen0 = cluster.group_generation("g").unwrap();
+            let commit = |name: &'static str, p: u32, off: u64| {
+                let c = cluster.clone();
+                thread::spawn_named(format!("commit-{name}"), move || {
+                    c.offsets()
+                        .commit("g", &TopicPartition::new("t", p), off, BTreeMap::new())
+                        .unwrap();
+                })
+            };
+            let a = commit("p0", 0, 5);
+            let b = commit("p1", 1, 9);
+            let joiner = {
+                let c = cluster.clone();
+                thread::spawn_named("rebalance".into(), move || {
+                    c.join_group("g", "m2", &["t"], AssignmentStrategy::Range)
+                        .unwrap();
+                })
+            };
+            a.join();
+            b.join();
+            joiner.join();
+            // Exactly one commit per shard, at the committed offset:
+            // nothing lost, nothing duplicated, in any interleaving.
+            for (p, want) in [(0u32, 5u64), (1, 9)] {
+                let tp = TopicPartition::new("t", p);
+                assert_eq!(
+                    cluster.offsets().fetch_offset("g", &tp),
+                    Some(want),
+                    "partition {p} commit lost or clobbered"
+                );
+                assert_eq!(
+                    cluster.offsets().history("g", &tp).len(),
+                    1,
+                    "partition {p} commit duplicated"
+                );
+            }
+            assert!(
+                cluster.group_generation("g").unwrap() > gen0,
+                "joining bumps the generation"
+            );
+            let mut covered = BTreeSet::new();
+            for m in ["m1", "m2"] {
+                for tp in cluster.group_assignment("g", m).unwrap().partitions {
+                    assert!(covered.insert(tp.clone()), "{tp} assigned twice");
+                }
+            }
+            assert_eq!(covered.len(), 2, "both partitions assigned");
+        },
+    );
+    assert_exhaustive(&report, 2);
+}
+
+// ---------------------------------------------------------------------------
 // Scenario 4: checkpoint vs. restore
 // ---------------------------------------------------------------------------
 
