@@ -71,6 +71,10 @@ pub const LOCK_FIELDS: &[(&str, &str, &str)] = &[
     ("tree.rs", "state", "coord.tree"),
     ("acl.rs", "grants", "acl.grants"),
     ("log.rs", "cache", "log.pagecache"),
+    // Segment-read cache shards: each shard's entry map sits behind its
+    // own mutex inside a `ReadCacheShard`; a miss fills under the shard
+    // lock and charges the page-cache model below it (rank 8 > 5).
+    ("cache.rs", "shard", "log.readcache"),
 ];
 
 /// Whether a field or binding name belongs to the offset domain

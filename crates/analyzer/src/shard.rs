@@ -70,7 +70,14 @@ pub const CROSS_COLLECTIONS: &[&str] = &["topics", "brokers"];
 /// finding never re-fires on them. `log.pagecache` qualifies because
 /// every `Log` instance owns its cache mutex and logs are per
 /// partition *replica* — finer than a per-partition shard.
-pub const PARTITION_SHARDED_RANKS: &[&str] = &["partition.state", "log.pagecache", "offsets.shard"];
+/// `log.readcache` is the segment-read cache, sharded by segment id at
+/// construction — each shard's entry map sits behind its own mutex.
+pub const PARTITION_SHARDED_RANKS: &[&str] = &[
+    "partition.state",
+    "log.pagecache",
+    "offsets.shard",
+    "log.readcache",
+];
 
 fn is_partition_key(name: &str) -> bool {
     PARTITION_KEY_NAMES.contains(&name)

@@ -35,6 +35,7 @@ pub const RANKS: &[(&str, u32)] = &[
     ("quota.throttled", 21),
     ("coord.tree", 15),
     ("job.metrics", 10),
+    ("log.readcache", 8),
     ("log.pagecache", 5),
     ("acl.grants", 3),
 ];

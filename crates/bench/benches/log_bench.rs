@@ -86,7 +86,10 @@ fn compaction_pass(c: &mut Criterion) {
                 let mut log = Log::open(
                     LogConfig {
                         segment_bytes: 256 * 1024,
-                        cleanup: liquid_log::CleanupPolicy::Compact,
+                        retention: liquid_log::RetentionPolicy::Compact {
+                            max_age_ms: None,
+                            max_bytes: None,
+                        },
                         ..LogConfig::default()
                     },
                     SimClock::new(0).shared(),

@@ -67,7 +67,10 @@ fn fetch_batches(c: &mut Criterion) {
                 }
                 let mut offset = 0;
                 b.iter(|| {
-                    let msgs = cluster.fetch(&tp, offset, max_bytes).unwrap();
+                    let msgs = cluster
+                        .fetch_batch(&tp, offset, max_bytes)
+                        .unwrap()
+                        .into_messages();
                     offset = msgs.last().map(|m| m.offset + 1).unwrap_or(0);
                     msgs.len()
                 });
@@ -111,7 +114,7 @@ fn group_poll(c: &mut Criterion) {
                     for tp in consumer.assignment() {
                         consumer.seek(&tp, 0);
                     }
-                    consumer.poll().unwrap().len()
+                    consumer.poll_batches().unwrap().len()
                 });
             },
         );

@@ -82,7 +82,12 @@ fn main() {
             )
             .unwrap();
         loop {
-            let polled: usize = consumer.poll().unwrap().iter().map(|(_, m)| m.len()).sum();
+            let polled: usize = consumer
+                .poll_batches()
+                .unwrap()
+                .iter()
+                .map(|(_, b)| b.len())
+                .sum();
             if polled == 0 {
                 break;
             }

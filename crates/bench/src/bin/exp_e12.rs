@@ -156,7 +156,11 @@ fn main() {
             let mut delivered = 0u64;
             for p in 0..PARTITIONS {
                 let tp = TopicPartition::new("t", p);
-                delivered += cluster.fetch(&tp, 0, u64::MAX).unwrap().len() as u64;
+                delivered += cluster
+                    .fetch_batch(&tp, 0, u64::MAX)
+                    .unwrap()
+                    .into_messages()
+                    .len() as u64;
             }
             assert_eq!(delivered, n, "batch={batch} acks={}", ack_label(acks));
             let kmsg = n as f64 / secs / 1_000.0;
@@ -196,7 +200,11 @@ fn main() {
             let mut delivered = 0u64;
             for p in 0..PARTITIONS {
                 let tp = TopicPartition::new("t", p);
-                delivered += cluster.fetch(&tp, 0, u64::MAX).unwrap().len() as u64;
+                delivered += cluster
+                    .fetch_batch(&tp, 0, u64::MAX)
+                    .unwrap()
+                    .into_messages()
+                    .len() as u64;
             }
             assert_eq!(
                 delivered,

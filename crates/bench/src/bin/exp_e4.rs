@@ -52,7 +52,7 @@ fn run(keys: usize, obs: &liquid_obs::Obs) -> (u64, u64, u64, u64, f64) {
     let bytes_after = cluster.topic_size_bytes("changelog").unwrap();
     // Recovery replay = records remaining in the log.
     let records_after = cluster
-        .fetch(&tp, cluster.earliest_offset(&tp).unwrap(), u64::MAX)
+        .fetch_batch(&tp, cluster.earliest_offset(&tp).unwrap(), u64::MAX)
         .unwrap()
         .len() as u64;
     (

@@ -47,7 +47,11 @@ fn run(acks: AckLevel, label: &str, obs: &liquid_obs::Obs) -> Vec<String> {
     // Crash the leader before the next replication round.
     let leader = cluster.leader(&tp).unwrap().unwrap();
     cluster.kill_broker(leader).unwrap();
-    let survived = cluster.fetch(&tp, 0, u64::MAX).unwrap().len() as u64;
+    let survived = cluster
+        .fetch_batch(&tp, 0, u64::MAX)
+        .unwrap()
+        .into_messages()
+        .len() as u64;
     let lost = acked.saturating_sub(survived);
     vec![
         label.to_string(),
@@ -82,8 +86,8 @@ fn n_minus_one() {
             }
         }
         let readable = cluster
-            .fetch(&tp, 0, u64::MAX)
-            .map(|m| m.len().to_string())
+            .fetch_batch(&tp, 0, u64::MAX)
+            .map(|b| b.len().to_string())
             .unwrap_or_else(|_| "-".to_string());
         let available = cluster
             .leader(&tp)

@@ -55,8 +55,8 @@ fn consume_with(cluster: &Cluster, group: &str, members: usize) -> (u64, f64, bo
     loop {
         let mut progress = 0;
         for c in &consumers {
-            for (tp, msgs) in c.poll().unwrap() {
-                for m in msgs {
+            for (tp, batch) in c.poll_batches().unwrap() {
+                for m in batch.records() {
                     if !seen.insert((tp.partition, m.offset)) {
                         disjoint = false;
                     }

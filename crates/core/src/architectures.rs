@@ -100,7 +100,10 @@ pub fn run_lambda(history: u64, delta: u64, keys: u64, cycles: u64) -> ArchRepor
         datanodes: 1,
         ..DfsConfig::default()
     });
-    let all = cluster.fetch(&tp, 0, u64::MAX).unwrap();
+    let all = cluster
+        .fetch_batch(&tp, 0, u64::MAX)
+        .unwrap()
+        .into_messages();
     let mut mirror = String::new();
     for m in &all {
         mirror.push_str(&format!(

@@ -50,7 +50,7 @@
 //! // Consume the derived feed.
 //! let consumer = liquid.consumer("reader");
 //! consumer.assign(TopicPartition::new("clean", 0), StartPosition::Earliest).unwrap();
-//! let batches = consumer.poll().unwrap();
+//! let batches = consumer.poll_batches().unwrap();
 //! assert_eq!(batches[0].1.len(), 1);
 //! # let _ = handle;
 //! ```

@@ -454,9 +454,9 @@ mod tests {
         let processed = l.run_until_idle(10).unwrap();
         assert_eq!(processed, 10);
         let reader = l.reader_from_start("shouted", "check").unwrap();
-        let batches = reader.poll().unwrap();
+        let batches = reader.poll_batches().unwrap();
         assert_eq!(batches[0].1.len(), 10);
-        assert_eq!(batches[0].1[0].value, b("MSG-0"));
+        assert_eq!(batches[0].1.records()[0].value, b("MSG-0"));
     }
 
     #[test]

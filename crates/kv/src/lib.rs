@@ -11,6 +11,9 @@
 //! * immutable sorted **SSTables** ([`sstable`]) produced when the
 //!   memtable fills, each guarded by a **bloom filter** ([`bloom`]);
 //! * size-tiered **compaction** merging tables level by level;
+//! * whole-table **retention** ([`store::SstRetention`]): expired
+//!   SSTables are dropped whole from the bottom level, an O(1) unlink
+//!   per table — the same drop shape as the log's segment retention;
 //! * point reads, ordered range scans and consistent **snapshots**
 //!   ([`store`]).
 //!
@@ -28,7 +31,7 @@ pub mod store;
 pub mod wal;
 
 pub use error::KvError;
-pub use store::{LsmConfig, LsmStore, Snapshot};
+pub use store::{LsmConfig, LsmStore, Snapshot, SstRetention};
 
 /// Result alias for store operations.
 pub type Result<T> = std::result::Result<T, KvError>;

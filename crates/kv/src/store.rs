@@ -19,6 +19,23 @@ use crate::memtable::Memtable;
 use crate::sstable::SsTable;
 use crate::wal::{Wal, WalOp};
 
+/// How the store reclaims old data — the same whole-file drop shape as
+/// the log's retention policy: expired SSTables are dropped whole from
+/// the bottom level (oldest data first), an O(1) unlink per table,
+/// never a record rewrite.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SstRetention {
+    /// Never drop anything (the default).
+    #[default]
+    KeepAll,
+    /// Drop the oldest bottom-level SSTables while the store exceeds
+    /// `max_bytes`.
+    DropByBytes {
+        /// Total store size to shrink back under.
+        max_bytes: usize,
+    },
+}
+
 /// Store configuration.
 #[derive(Debug, Clone)]
 pub struct LsmConfig {
@@ -33,6 +50,8 @@ pub struct LsmConfig {
     pub bits_per_key: usize,
     /// Directory for WAL + SSTables; `None` = fully in-memory.
     pub dir: Option<PathBuf>,
+    /// Retention bound enforced by [`LsmStore::enforce_retention`].
+    pub retention: SstRetention,
     /// Fault injector for WAL / flush / compaction crash points.
     pub injector: FailureInjector,
     /// Observability domain the store reports into. Cloned configs
@@ -48,6 +67,7 @@ impl Default for LsmConfig {
             max_levels: 5,
             bits_per_key: 10,
             dir: None,
+            retention: SstRetention::KeepAll,
             injector: FailureInjector::disabled(),
             obs: Obs::default(),
         }
@@ -62,6 +82,7 @@ struct KvMetrics {
     flush: CounterHandle,
     sst_write: CounterHandle,
     compact: CounterHandle,
+    sst_drop: CounterHandle,
 }
 
 impl KvMetrics {
@@ -72,6 +93,7 @@ impl KvMetrics {
             flush: reg.counter("kv.flush"),
             sst_write: reg.counter("kv.sst-write"),
             compact: reg.counter("kv.compact"),
+            sst_drop: reg.counter("kv.sst-drop"),
         }
     }
 }
@@ -310,6 +332,42 @@ impl LsmStore {
                 .flatten()
                 .map(|t| t.size_bytes())
                 .sum::<usize>()
+    }
+
+    /// Applies the retention bound: whole SSTables are dropped from the
+    /// deepest non-empty level, oldest first, until the store fits under
+    /// the configured size — each drop is one O(1) file unlink, never a
+    /// rewrite (the same segment-drop shape as the log's retention).
+    /// Returns the ids of the dropped tables.
+    pub fn enforce_retention(&mut self) -> crate::Result<Vec<u64>> {
+        let SstRetention::DropByBytes { max_bytes } = self.config.retention else {
+            return Ok(Vec::new());
+        };
+        let mut dropped = Vec::new();
+        while self.approx_bytes() > max_bytes {
+            // Victim: the oldest table (levels are newest-first) in the
+            // deepest non-empty level — the store's oldest data.
+            let Some(level) = self.levels.iter().rposition(|l| !l.is_empty()) else {
+                break; // only the memtable is over budget; nothing to drop
+            };
+            self.metrics.sst_drop.inc();
+            if self.config.injector.tick("kv.sst-drop") {
+                // Crash before the unlink: every table still present.
+                return Err(crate::KvError::Injected("kv.sst-drop"));
+            }
+            let Some(victim) = self.levels.get_mut(level).and_then(|l| l.pop()) else {
+                break;
+            };
+            if let Some(dir) = &self.config.dir {
+                let path = dir.join(format!("L{level}-{}.sst", victim.id()));
+                if path.exists() {
+                    // lint:allow(raw-io, reason=whole-table unlink after the drop commits; the fault point is the kv.sst-drop tick above)
+                    std::fs::remove_file(path)?;
+                }
+            }
+            dropped.push(victim.id());
+        }
+        Ok(dropped)
     }
 
     fn maybe_flush(&mut self) -> crate::Result<()> {
@@ -645,6 +703,113 @@ mod tests {
         for t in bottom {
             assert_eq!(t.get(b"doomed"), None, "tombstone must be purged");
         }
+    }
+
+    #[test]
+    fn retention_drops_oldest_tables_whole() {
+        let mut s = LsmStore::open(LsmConfig {
+            memtable_bytes: 256,
+            level_limit: 100, // no compaction: tables accumulate in L0
+            max_levels: 2,
+            retention: SstRetention::DropByBytes { max_bytes: 1_024 },
+            ..LsmConfig::default()
+        })
+        .unwrap();
+        for i in 0..300 {
+            s.put(format!("key-{i:05}"), format!("value-{i:05}"))
+                .unwrap();
+        }
+        s.flush().unwrap();
+        let tables_before: usize = s.level_sizes().iter().sum();
+        assert!(tables_before > 3);
+        let dropped = s.enforce_retention().unwrap();
+        assert!(!dropped.is_empty());
+        assert!(s.approx_bytes() <= 1_024);
+        // Oldest data went first: the newest keys are still readable.
+        assert_eq!(s.get(b"key-00299"), Some(b("value-00299")));
+        assert_eq!(s.get(b"key-00000"), None, "oldest table must be gone");
+        // Ids are unique and were actually removed from the levels.
+        let remaining: usize = s.level_sizes().iter().sum();
+        assert_eq!(remaining, tables_before - dropped.len());
+    }
+
+    #[test]
+    fn retention_keepall_drops_nothing() {
+        let mut s = small_store();
+        for i in 0..200 {
+            s.put(format!("k{i}"), "v").unwrap();
+        }
+        s.flush().unwrap();
+        assert!(s.enforce_retention().unwrap().is_empty());
+        assert_eq!(s.get(b"k0"), Some(b("v")));
+    }
+
+    #[test]
+    fn retention_injected_fault_leaves_tables_intact() {
+        let inj = FailureInjector::disabled();
+        let mut s = LsmStore::open(LsmConfig {
+            memtable_bytes: 256,
+            level_limit: 100,
+            retention: SstRetention::DropByBytes { max_bytes: 512 },
+            injector: inj.clone(),
+            ..LsmConfig::default()
+        })
+        .unwrap();
+        for i in 0..200 {
+            s.put(format!("key-{i:04}"), "vvvvvvvv").unwrap();
+        }
+        s.flush().unwrap();
+        let before: usize = s.level_sizes().iter().sum();
+        inj.fail_at(1);
+        let err = s.enforce_retention();
+        assert!(matches!(err, Err(crate::KvError::Injected("kv.sst-drop"))));
+        let after: usize = s.level_sizes().iter().sum();
+        assert_eq!(before, after, "crash before the unlink drops nothing");
+        // Retrying after the crash converges.
+        let dropped = s.enforce_retention().unwrap();
+        assert!(!dropped.is_empty());
+        assert!(s.approx_bytes() <= 512);
+    }
+
+    #[test]
+    fn retention_removes_sstable_files_on_disk() {
+        let dir = std::env::temp_dir().join(format!(
+            "liquid-kv-retention-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let mut s = LsmStore::open(LsmConfig {
+            memtable_bytes: 256,
+            level_limit: 100,
+            retention: SstRetention::DropByBytes { max_bytes: 768 },
+            dir: Some(dir.clone()),
+            ..LsmConfig::default()
+        })
+        .unwrap();
+        for i in 0..200 {
+            s.put(format!("key-{i:04}"), "payload-payload").unwrap();
+        }
+        s.flush().unwrap();
+        let files = |d: &std::path::Path| {
+            std::fs::read_dir(d)
+                .unwrap()
+                .filter(|e| {
+                    e.as_ref()
+                        .unwrap()
+                        .file_name()
+                        .to_string_lossy()
+                        .ends_with(".sst")
+                })
+                .count()
+        };
+        let before = files(&dir);
+        let dropped = s.enforce_retention().unwrap();
+        assert!(!dropped.is_empty());
+        assert_eq!(files(&dir), before - dropped.len());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

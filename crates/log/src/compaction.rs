@@ -47,7 +47,12 @@ impl CompactionStats {
 }
 
 impl Log {
-    /// Runs one compaction pass over all sealed segments.
+    /// Runs one compaction pass over all sealed segments, one segment at
+    /// a time: the pass is a loop of independent
+    /// [`compact_segment`](Self::compact_segment) rewrites, so appends
+    /// (which only touch the active segment) are never blocked for
+    /// longer than one segment's rewrite, and a crash mid-pass leaves
+    /// every untouched segment exactly as it was.
     ///
     /// Records keep their original offsets, so consumer positions remain
     /// valid; compacted segments simply contain offset gaps.
@@ -57,12 +62,34 @@ impl Log {
         if sealed.is_empty() {
             return Ok(stats);
         }
+        let latest = self.latest_keyed_offsets(&sealed, &mut stats)?;
 
-        // Pass 1: newest surviving offset per key across sealed segments.
-        // Keys whose newest sealed record is a tombstone that has already
-        // survived one pass are dropped entirely.
-        let mut latest: HashMap<Bytes, (u64, bool)> = HashMap::new();
+        // A tombstone written in the most recent sealed segment is kept
+        // for this pass; older tombstones (from segments already compacted
+        // at least once) are dropped. We approximate "already survived a
+        // pass" by tracking compaction generations per log.
+        let drop_tombstones = self.compaction_generation() > 0;
+
+        // A crash between segments leaves some rewritten and the
+        // generation un-bumped — exactly the state a real mid-compaction
+        // crash leaves.
         for &base in &sealed {
+            self.compact_segment(base, &latest, drop_tombstones, &mut stats)?;
+        }
+        self.bump_compaction_generation();
+        Ok(stats)
+    }
+
+    /// Pass 1: newest surviving offset per key across the listed sealed
+    /// segments. Keys whose newest sealed record is a tombstone that has
+    /// already survived one pass are dropped entirely.
+    fn latest_keyed_offsets(
+        &self,
+        sealed: &[u64],
+        stats: &mut CompactionStats,
+    ) -> crate::Result<HashMap<Bytes, (u64, bool)>> {
+        let mut latest: HashMap<Bytes, (u64, bool)> = HashMap::new();
+        for &base in sealed {
             let seg = match self.segments().get(&base) {
                 Some(s) => s,
                 None => continue, // dropped by retention since we listed it
@@ -78,76 +105,79 @@ impl Log {
                 }
             }
         }
+        Ok(latest)
+    }
 
-        // A tombstone written in the most recent sealed segment is kept
-        // for this pass; older tombstones (from segments already compacted
-        // at least once) are dropped. We approximate "already survived a
-        // pass" by tracking compaction generations per log.
-        let drop_tombstones = self.compaction_generation() > 0;
-
-        // Pass 2: rewrite each sealed segment keeping only survivors.
-        // A crash here leaves some segments rewritten and the generation
-        // un-bumped — exactly the state a real mid-compaction crash leaves.
-        let injector = self.config().injector.clone();
-        let compactions = self.metrics().compact.clone();
-        for &base in &sealed {
-            compactions.inc();
-            if injector.tick("log.compact") {
-                return Err(crate::LogError::Injected("log.compact"));
-            }
-            let seg = match self.segments().get(&base) {
-                Some(s) => s,
-                None => continue, // dropped by retention since we listed it
-            };
-            let read = seg.read_from(seg.base_offset(), u64::MAX)?;
-            let survivors: Vec<_> = read
-                .records
-                .into_iter()
-                .filter(|rec| match &rec.key {
-                    None => true,
-                    Some(k) => match latest.get(k) {
-                        Some(&(newest, is_tomb)) => {
-                            if rec.offset != newest {
-                                return false;
-                            }
-                            if is_tomb && drop_tombstones {
-                                stats.tombstones_removed += 1;
-                                return false;
-                            }
-                            true
-                        }
-                        // Pass 1 indexed every keyed record in these same
-                        // segments; if an entry is somehow absent, keeping
-                        // the record is the safe direction.
-                        None => true,
-                    },
-                })
-                .collect();
-            let storage = self.storage_kind().create(base)?;
-            let mut rebuilt = Segment::new(base, storage, self.index_interval());
-            for rec in &survivors {
-                rebuilt.append(rec)?;
-            }
-            rebuilt.seal();
-            stats.records_after += rebuilt.record_count();
-            stats.bytes_after += rebuilt.size_bytes();
-            self.segments_mut().insert(base, rebuilt);
+    /// Rewrites the one sealed segment at `base`, keeping only the
+    /// records that survive against `latest`. The rewrite replaces the
+    /// segment in place (same base offset) and invalidates its read-
+    /// cache entry so readers never see the pre-compaction records.
+    fn compact_segment(
+        &mut self,
+        base: u64,
+        latest: &HashMap<Bytes, (u64, bool)>,
+        drop_tombstones: bool,
+        stats: &mut CompactionStats,
+    ) -> crate::Result<()> {
+        self.metrics().compact.inc();
+        if self.config().injector.tick("log.compact") {
+            return Err(crate::LogError::Injected("log.compact"));
         }
-        self.bump_compaction_generation();
-        Ok(stats)
+        let seg = match self.segments().get(&base) {
+            Some(s) => s,
+            None => return Ok(()), // dropped by retention since listed
+        };
+        let read = seg.read_from(seg.base_offset(), u64::MAX)?;
+        let survivors: Vec<_> = read
+            .records
+            .into_iter()
+            .filter(|rec| match &rec.key {
+                None => true,
+                Some(k) => match latest.get(k) {
+                    Some(&(newest, is_tomb)) => {
+                        if rec.offset != newest {
+                            return false;
+                        }
+                        if is_tomb && drop_tombstones {
+                            stats.tombstones_removed += 1;
+                            return false;
+                        }
+                        true
+                    }
+                    // Pass 1 indexed every keyed record in these same
+                    // segments; if an entry is somehow absent, keeping
+                    // the record is the safe direction.
+                    None => true,
+                },
+            })
+            .collect();
+        let storage = self.storage_kind().create(base)?;
+        let mut rebuilt = Segment::new(base, storage, self.index_interval());
+        for rec in &survivors {
+            rebuilt.append(rec)?;
+        }
+        rebuilt.seal();
+        stats.records_after += rebuilt.record_count();
+        stats.bytes_after += rebuilt.size_bytes();
+        self.segments_mut().insert(base, rebuilt);
+        self.invalidate_read_cache(base);
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use crate::log::{CleanupPolicy, Log, LogConfig};
+    use crate::log::{Log, LogConfig, RetentionPolicy};
     use bytes::Bytes;
     use liquid_sim::clock::SimClock;
 
     fn compacting_log(segment_bytes: u64) -> Log {
         let cfg = LogConfig {
             segment_bytes,
-            cleanup: CleanupPolicy::Compact,
+            retention: RetentionPolicy::Compact {
+                max_age_ms: None,
+                max_bytes: None,
+            },
             ..LogConfig::default()
         };
         Log::open(cfg, SimClock::new(0).shared()).unwrap()
@@ -261,6 +291,31 @@ mod tests {
         let stats = log.compact().unwrap();
         assert_eq!(stats.records_before, 0);
         assert_eq!(log.record_count(), 100);
+    }
+
+    #[test]
+    fn compaction_invalidates_read_cache() {
+        use crate::cache::{ReadCacheConfig, SegmentReadCache};
+        let mut log = compacting_log(256);
+        let cache = SegmentReadCache::new(ReadCacheConfig::default());
+        log.attach_read_cache(cache.clone(), 3);
+        for i in 0..100 {
+            log.append(Some(b(&format!("k{}", i % 5))), b(&format!("v{i}")))
+                .unwrap();
+        }
+        // Warm the cache with the pre-compaction segments.
+        log.read(0, u64::MAX).unwrap();
+        assert!(cache.cached_segments() > 0);
+        log.compact().unwrap();
+        // Post-compaction reads must reflect the rewrite, not the cached
+        // pre-compaction records: record 2 ("k2" -> "v2") was superseded
+        // dozens of times, so it must be gone — if the cache still held
+        // the pre-compaction segment it would resurface here.
+        let out = log.read(0, u64::MAX).unwrap();
+        assert!(
+            !out.records.iter().any(|r| r.offset == 2),
+            "cache served a stale pre-compaction record"
+        );
     }
 
     #[test]

@@ -16,11 +16,18 @@
 //!   tests, file-backed for durability, both optionally charged through
 //!   the [`liquid_sim::pagecache`] model to reproduce the anti-caching
 //!   experiments;
-//! * **retention** deletes whole sealed segments by age or total size
-//!   ([`Log::enforce_retention`]);
+//! * segments partition the stream **by time** as well as size (each
+//!   tracks the `(oldest, newest)` timestamp range it covers, and the
+//!   active segment also rolls on age via `segment_ms`), so
+//!   **retention** is an O(1) whole-segment drop by age or total size
+//!   ([`Log::enforce_retention`]) — never a record rewrite;
+//! * reads of sealed segments are served from a **sharded LRU read
+//!   cache** of decoded records as zero-copy slices ([`cache`]); only a
+//!   miss touches the storage underneath;
 //! * **compaction** de-duplicates keyed records, keeping only the most
 //!   recent value per key ([`compaction`]) — the mechanism changelogs
-//!   rely on for bounded size and fast recovery (§4.1).
+//!   rely on for bounded size and fast recovery (§4.1). It rewrites one
+//!   segment at a time, so tombstone GC never blocks appends.
 //!
 //! Records carry a wire format with a CRC so corruption is detected on
 //! read ([`record`]).
@@ -28,6 +35,7 @@
 #![forbid(unsafe_code)]
 
 pub mod batch;
+pub mod cache;
 pub mod compaction;
 pub mod error;
 pub mod log;
@@ -36,9 +44,10 @@ pub mod segment;
 pub mod storage;
 
 pub use batch::{BatchBuilder, RecordBatch};
+pub use cache::{ReadCacheConfig, SegmentReadCache};
 pub use compaction::CompactionStats;
 pub use error::LogError;
-pub use log::{CleanupPolicy, Log, LogConfig, ReadOutcome, RetentionPolicy};
+pub use log::{Log, LogConfig, ReadOutcome, RetentionPolicy};
 pub use record::Record;
 pub use storage::{FileStorage, MemStorage, SegmentStorage, StorageKind};
 

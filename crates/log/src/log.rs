@@ -12,34 +12,142 @@ use liquid_sim::lockdep::Mutex;
 use liquid_sim::pagecache::PageCache;
 
 use crate::batch::RecordBatch;
+use crate::cache::SegmentReadCache;
 use crate::error::LogError;
 use crate::record::Record;
 use crate::segment::Segment;
 use crate::storage::StorageKind;
 
-/// How old data is reclaimed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CleanupPolicy {
-    /// Delete whole segments past retention (default for event topics).
-    Delete,
-    /// Keep the latest record per key (changelog topics, §4.1).
-    Compact,
-}
-
-/// Bounds on how much data is retained (paper: "one month worth of
-/// data", or a maximum size "for operational reasons").
+/// How old data is reclaimed (paper: "one month worth of data", or a
+/// maximum size "for operational reasons"; §4.1 for compacted feeds).
+///
+/// This single typed policy replaces the old `CleanupPolicy` enum plus
+/// the ad-hoc `max_age_ms`/`max_bytes` knob pair. Every deleting
+/// variant reclaims space by dropping whole time-partitioned sealed
+/// segments from the front of the log — an O(1) unlink per segment,
+/// never a record rewrite — so retention cost is independent of how
+/// much data is retired.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct RetentionPolicy {
-    /// Delete sealed segments whose newest record is older than this.
-    pub max_age_ms: Option<u64>,
-    /// Delete oldest sealed segments while the log exceeds this size.
-    pub max_bytes: Option<u64>,
+pub enum RetentionPolicy {
+    /// Never delete anything (the default).
+    #[default]
+    KeepAll,
+    /// Drop whole sealed segments whose newest record is older than
+    /// `max_age_ms`, and optionally also bound the total size.
+    DropByAge {
+        /// A sealed segment is dropped once its newest record is at
+        /// least this old. Must be > 0.
+        max_age_ms: u64,
+        /// Additional size bound applied after the age pass, if any.
+        max_bytes: Option<u64>,
+    },
+    /// Drop the oldest sealed segments while the log exceeds
+    /// `max_bytes`.
+    DropByBytes {
+        /// Total log size to shrink back under. Must be > 0.
+        max_bytes: u64,
+    },
+    /// Keep the latest record per key (changelog topics, §4.1):
+    /// segments are compacted one at a time, and the optional age/size
+    /// bounds still drop whole expired segments from the front.
+    Compact {
+        /// Age bound applied on top of compaction, if any.
+        max_age_ms: Option<u64>,
+        /// Size bound applied on top of compaction, if any.
+        max_bytes: Option<u64>,
+    },
 }
 
 impl RetentionPolicy {
     /// Retention that never deletes anything.
     pub fn keep_forever() -> Self {
-        RetentionPolicy::default()
+        RetentionPolicy::KeepAll
+    }
+
+    /// The age bound, if this policy has one.
+    pub fn max_age_ms(&self) -> Option<u64> {
+        match *self {
+            RetentionPolicy::DropByAge { max_age_ms, .. } => Some(max_age_ms),
+            RetentionPolicy::Compact { max_age_ms, .. } => max_age_ms,
+            _ => None,
+        }
+    }
+
+    /// The size bound, if this policy has one.
+    pub fn max_bytes(&self) -> Option<u64> {
+        match *self {
+            RetentionPolicy::DropByAge { max_bytes, .. } => max_bytes,
+            RetentionPolicy::DropByBytes { max_bytes } => Some(max_bytes),
+            RetentionPolicy::Compact { max_bytes, .. } => max_bytes,
+            RetentionPolicy::KeepAll => None,
+        }
+    }
+
+    /// Whether the latest record per key is kept by compaction.
+    pub fn is_compacted(&self) -> bool {
+        matches!(self, RetentionPolicy::Compact { .. })
+    }
+
+    /// Returns the policy with an age bound of `max_age_ms`, keeping
+    /// any size bound and the compaction choice it already carries.
+    pub fn with_max_age_ms(self, max_age_ms: u64) -> Self {
+        match self {
+            RetentionPolicy::KeepAll => RetentionPolicy::DropByAge {
+                max_age_ms,
+                max_bytes: None,
+            },
+            RetentionPolicy::DropByAge { max_bytes, .. } => RetentionPolicy::DropByAge {
+                max_age_ms,
+                max_bytes,
+            },
+            RetentionPolicy::DropByBytes { max_bytes } => RetentionPolicy::DropByAge {
+                max_age_ms,
+                max_bytes: Some(max_bytes),
+            },
+            RetentionPolicy::Compact { max_bytes, .. } => RetentionPolicy::Compact {
+                max_age_ms: Some(max_age_ms),
+                max_bytes,
+            },
+        }
+    }
+
+    /// Returns the policy with a size bound of `max_bytes`, keeping any
+    /// age bound and the compaction choice it already carries.
+    pub fn with_max_bytes(self, max_bytes: u64) -> Self {
+        match self {
+            RetentionPolicy::KeepAll => RetentionPolicy::DropByBytes { max_bytes },
+            RetentionPolicy::DropByAge { max_age_ms, .. } => RetentionPolicy::DropByAge {
+                max_age_ms,
+                max_bytes: Some(max_bytes),
+            },
+            RetentionPolicy::DropByBytes { .. } => RetentionPolicy::DropByBytes { max_bytes },
+            RetentionPolicy::Compact { max_age_ms, .. } => RetentionPolicy::Compact {
+                max_age_ms,
+                max_bytes: Some(max_bytes),
+            },
+        }
+    }
+
+    /// Returns the compacted form of the policy, carrying over any
+    /// age/size bounds it already declares.
+    pub fn compacted(self) -> Self {
+        RetentionPolicy::Compact {
+            max_age_ms: self.max_age_ms(),
+            max_bytes: self.max_bytes(),
+        }
+    }
+
+    /// Rejects degenerate bounds (a zero bound would drop every sealed
+    /// segment on every pass). The error names the offending bound;
+    /// callers wrap it into their own typed error.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.max_age_ms() == Some(0) {
+            return Err("max_age_ms must be > 0");
+        }
+        if self.max_bytes() == Some(0) {
+            return Err("max_bytes must be > 0");
+        }
+        Ok(())
     }
 }
 
@@ -48,12 +156,15 @@ impl RetentionPolicy {
 pub struct LogConfig {
     /// Roll the active segment after it exceeds this many bytes.
     pub segment_bytes: u64,
+    /// Also roll once the active segment spans this much wall-clock
+    /// time (oldest record at least this old), so segments partition
+    /// the stream by time and age-based retention can drop whole
+    /// segments. `None` rolls by size only.
+    pub segment_ms: Option<u64>,
     /// Sparse-index granularity (bytes between index entries).
     pub index_interval_bytes: u64,
-    /// Retention bounds.
+    /// Retention policy (what to drop, and whether to compact).
     pub retention: RetentionPolicy,
-    /// Cleanup policy.
-    pub cleanup: CleanupPolicy,
     /// Segment storage backend.
     pub storage: StorageKind,
     /// Fault injector for append / roll / compaction crash points.
@@ -68,9 +179,9 @@ impl Default for LogConfig {
     fn default() -> Self {
         LogConfig {
             segment_bytes: 1024 * 1024,
+            segment_ms: None,
             index_interval_bytes: 4096,
             retention: RetentionPolicy::keep_forever(),
-            cleanup: CleanupPolicy::Delete,
             storage: StorageKind::Memory,
             injector: FailureInjector::disabled(),
             obs: Obs::default(),
@@ -86,6 +197,7 @@ pub(crate) struct LogMetrics {
     pub(crate) append_batch: CounterHandle,
     pub(crate) roll: CounterHandle,
     pub(crate) compact: CounterHandle,
+    pub(crate) segment_drop: CounterHandle,
     pub(crate) append_bytes: HistogramHandle,
     pub(crate) batch_records: HistogramHandle,
 }
@@ -98,6 +210,7 @@ impl LogMetrics {
             append_batch: reg.counter("log.append-batch"),
             roll: reg.counter("log.roll"),
             compact: reg.counter("log.compact"),
+            segment_drop: reg.counter("log.segment-drop"),
             append_bytes: reg.histogram("log.append.bytes"),
             batch_records: reg.histogram("log.append.batch_records"),
         }
@@ -124,6 +237,9 @@ pub struct Log {
     start_offset: u64,
     /// Optional page-cache model; `log_id` namespaces file ids.
     cache: Option<(Arc<Mutex<PageCache>>, u64)>,
+    /// Optional sharded segment-read cache; `log_id` namespaces the
+    /// cached segment ids so many logs can share one cache.
+    read_cache: Option<(Arc<SegmentReadCache>, u64)>,
     /// Number of completed compaction passes (tombstone lifecycle).
     compaction_generation: u64,
     /// Registry handles for the hot paths.
@@ -153,6 +269,7 @@ impl Log {
             clock,
             segments,
             cache: None,
+            read_cache: None,
             compaction_generation: 0,
         };
         // The newest recovered segment becomes active again; if none,
@@ -175,6 +292,14 @@ impl Log {
     /// charged through it. `log_id` must be unique per cache.
     pub fn attach_cache(&mut self, cache: Arc<Mutex<PageCache>>, log_id: u64) {
         self.cache = Some((cache, log_id));
+    }
+
+    /// Attaches a sharded segment-read cache. Reads of sealed segments
+    /// are served from it as zero-copy slices; only a miss decodes the
+    /// segment from storage (and fills the cache). `log_id` must be
+    /// unique per cache so segment ids never collide across logs.
+    pub fn attach_read_cache(&mut self, cache: Arc<SegmentReadCache>, log_id: u64) {
+        self.read_cache = Some((cache, log_id));
     }
 
     /// The configuration.
@@ -333,25 +458,54 @@ impl Log {
             if from >= seg.next_offset() {
                 continue;
             }
-            let read = seg.read_from(from, budget)?;
-            if let Some((cache, _)) = &self.cache {
+            // Hot path: sealed (immutable) segments are served from the
+            // read cache as zero-copy slices; only a miss decodes the
+            // segment from storage below and pays the page-cache cost.
+            let mut storage_read: Option<(u64, u64)> = None;
+            let cached = match (&self.read_cache, seg.is_sealed()) {
+                (Some((rc, _)), true) => {
+                    let sid = self.read_cache_id(base);
+                    match rc.get(sid, from, budget) {
+                        Some(slice) => Some(slice),
+                        None => {
+                            let read = seg.read_from(seg.base_offset(), u64::MAX)?;
+                            storage_read = Some((read.start_pos, read.bytes_scanned));
+                            let whole = rc.insert(sid, read.records, &self.config.injector)?;
+                            Some(crate::cache::slice_from(&whole, from, budget))
+                        }
+                    }
+                }
+                _ => None,
+            };
+            let segment_records = match cached {
+                Some(slice) => slice,
+                None => {
+                    let read = seg.read_from(from, budget)?;
+                    storage_read = Some((read.start_pos, read.bytes_scanned));
+                    read.records
+                }
+            };
+            // One page-cache charge per storage read, at a single lock
+            // site after all fallible work; cache hits never touch
+            // storage and skip the charge entirely.
+            if let (Some((cache, _)), Some((start_pos, scanned))) = (&self.cache, storage_read) {
                 let file_id = self.file_id(base);
                 cost = cost.saturating_add(
                     cache
                         .lock()
-                        .read(file_id, read.start_pos, read.bytes_scanned as usize)
+                        .read(file_id, start_pos, scanned as usize)
                         .cost_ns,
                 );
             }
-            let bytes: u64 = read.records.iter().map(|r| r.wire_size() as u64).sum();
+            let bytes: u64 = segment_records.iter().map(|r| r.wire_size() as u64).sum();
             budget = budget.saturating_sub(bytes);
-            if let Some(last) = read.records.last() {
+            if let Some(last) = segment_records.last() {
                 cursor = last.offset.checked_add(1).ok_or(LogError::OffsetOverflow {
                     what: "advancing the read cursor past the last record",
                     value: last.offset,
                 })?;
             }
-            records.extend(read.records);
+            records.extend(segment_records);
         }
         Ok(ReadOutcome {
             records,
@@ -371,12 +525,14 @@ impl Log {
         Ok(None)
     }
 
-    /// Applies the retention policy, deleting sealed segments by age and
-    /// size. Returns the base offsets of deleted segments.
+    /// Applies the retention policy: whole sealed segments are dropped
+    /// from the front by age and then by size — each drop is one O(1)
+    /// storage unlink, never a record rewrite. Returns the base offsets
+    /// of the dropped segments.
     pub fn enforce_retention(&mut self) -> crate::Result<Vec<u64>> {
         let now = self.clock.now();
         let mut deleted = Vec::new();
-        if let Some(max_age) = self.config.retention.max_age_ms {
+        if let Some(max_age) = self.config.retention.max_age_ms() {
             loop {
                 let victim = self.sealed_bases().first().copied().filter(|b| {
                     self.segments
@@ -392,7 +548,7 @@ impl Log {
                 }
             }
         }
-        if let Some(max_bytes) = self.config.retention.max_bytes {
+        if let Some(max_bytes) = self.config.retention.max_bytes() {
             while self.size_bytes() > max_bytes {
                 let Some(base) = self.sealed_bases().first().copied() else {
                     break;
@@ -521,11 +677,24 @@ impl Log {
     }
 
     fn maybe_roll(&mut self) -> crate::Result<()> {
-        let (size, next) = {
+        let now = self.clock.now();
+        let (size, next, opened_at) = {
             let a = self.active();
-            (a.size_bytes(), a.next_offset())
+            (
+                a.size_bytes(),
+                a.next_offset(),
+                a.time_range().map(|(min, _)| min),
+            )
         };
-        if size >= self.config.segment_bytes {
+        let size_due = size >= self.config.segment_bytes;
+        // Time-partitioning: roll a non-empty active segment once its
+        // oldest record ages past `segment_ms`, so each segment covers a
+        // bounded time range and age retention drops whole segments.
+        let time_due = match (self.config.segment_ms, opened_at) {
+            (Some(ms), Some(min)) => min.saturating_add(ms) <= now,
+            _ => false,
+        };
+        if size_due || time_due {
             self.metrics.roll.inc();
             if self.config.injector.tick("log.roll") {
                 return Err(LogError::Injected("log.roll"));
@@ -546,6 +715,10 @@ impl Log {
     }
 
     fn drop_segment(&mut self, base: u64) -> crate::Result<()> {
+        self.metrics.segment_drop.inc();
+        if self.config.injector.tick("log.segment-drop") {
+            return Err(LogError::Injected("log.segment-drop"));
+        }
         self.drop_segment_keep_start(base)?;
         // Retention advances the start offset to the oldest remaining
         // segment (deletion always removes the oldest first).
@@ -562,7 +735,25 @@ impl Log {
             let fid = self.file_id(base);
             cache.lock().evict_file(fid);
         }
+        self.invalidate_read_cache(base);
         Ok(())
+    }
+
+    /// Drops the cached copy of segment `base` from the read cache, if
+    /// any. Called whenever a segment is removed or rewritten (retention
+    /// drop, truncation, compaction) so the cache never serves a retired
+    /// segment's records.
+    pub(crate) fn invalidate_read_cache(&self, base: u64) {
+        if let Some((rc, _)) = &self.read_cache {
+            rc.invalidate(self.read_cache_id(base));
+        }
+    }
+
+    fn read_cache_id(&self, base: u64) -> u64 {
+        match &self.read_cache {
+            Some((_, log_id)) => (log_id << 40) | (base & 0xFF_FFFF_FFFF),
+            None => base,
+        }
     }
 }
 
@@ -651,8 +842,8 @@ mod tests {
         let clock = SimClock::new(0);
         let cfg = LogConfig {
             segment_bytes: 256,
-            retention: RetentionPolicy {
-                max_age_ms: Some(1_000),
+            retention: RetentionPolicy::DropByAge {
+                max_age_ms: 1_000,
                 max_bytes: None,
             },
             ..LogConfig::default()
@@ -682,10 +873,7 @@ mod tests {
         let clock = SimClock::new(0);
         let cfg = LogConfig {
             segment_bytes: 512,
-            retention: RetentionPolicy {
-                max_age_ms: None,
-                max_bytes: Some(2_048),
-            },
+            retention: RetentionPolicy::DropByBytes { max_bytes: 2_048 },
             ..LogConfig::default()
         };
         let mut log = Log::open(cfg, clock.shared()).unwrap();
@@ -706,8 +894,8 @@ mod tests {
         let clock = SimClock::new(0);
         let cfg = LogConfig {
             segment_bytes: 1 << 20, // everything fits in the active segment
-            retention: RetentionPolicy {
-                max_age_ms: Some(1),
+            retention: RetentionPolicy::DropByAge {
+                max_age_ms: 1,
                 max_bytes: Some(1),
             },
             ..LogConfig::default()
@@ -813,6 +1001,195 @@ mod tests {
             .unwrap();
         assert_eq!(first, 1);
         assert_eq!(log.next_offset(), 4);
+    }
+
+    #[test]
+    fn retention_policy_builders_compose() {
+        let p = RetentionPolicy::keep_forever();
+        assert_eq!(p, RetentionPolicy::KeepAll);
+        assert_eq!(p.max_age_ms(), None);
+        assert_eq!(p.max_bytes(), None);
+        assert!(!p.is_compacted());
+        let aged = p.with_max_age_ms(1_000);
+        assert_eq!(aged.max_age_ms(), Some(1_000));
+        let both = aged.with_max_bytes(2_048);
+        assert_eq!(
+            both,
+            RetentionPolicy::DropByAge {
+                max_age_ms: 1_000,
+                max_bytes: Some(2_048),
+            }
+        );
+        // Compacting carries the bounds along; adding bounds to a
+        // compacted policy keeps it compacted.
+        let compact = both.compacted();
+        assert!(compact.is_compacted());
+        assert_eq!(compact.max_age_ms(), Some(1_000));
+        assert_eq!(compact.max_bytes(), Some(2_048));
+        let compact2 = RetentionPolicy::KeepAll.compacted().with_max_bytes(512);
+        assert!(compact2.is_compacted());
+        assert_eq!(compact2.max_bytes(), Some(512));
+        // Switching from bytes-only to an age bound keeps the bytes.
+        let switched = RetentionPolicy::DropByBytes { max_bytes: 9 }.with_max_age_ms(7);
+        assert_eq!(
+            switched,
+            RetentionPolicy::DropByAge {
+                max_age_ms: 7,
+                max_bytes: Some(9),
+            }
+        );
+    }
+
+    #[test]
+    fn retention_policy_validation_rejects_zero_bounds() {
+        assert!(RetentionPolicy::KeepAll.validate().is_ok());
+        assert!(RetentionPolicy::DropByBytes { max_bytes: 1 }
+            .validate()
+            .is_ok());
+        assert!(RetentionPolicy::DropByBytes { max_bytes: 0 }
+            .validate()
+            .is_err());
+        assert!(RetentionPolicy::DropByAge {
+            max_age_ms: 0,
+            max_bytes: None,
+        }
+        .validate()
+        .is_err());
+        assert!(RetentionPolicy::Compact {
+            max_age_ms: None,
+            max_bytes: Some(0),
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn time_based_roll_partitions_segments_by_age() {
+        let clock = SimClock::new(0);
+        let cfg = LogConfig {
+            segment_bytes: 1 << 30, // size never triggers
+            segment_ms: Some(1_000),
+            ..LogConfig::default()
+        };
+        let mut log = Log::open(cfg, clock.shared()).unwrap();
+        for i in 0..10 {
+            clock.set(i * 400);
+            log.append(None, b(&format!("v{i}"))).unwrap();
+        }
+        assert!(
+            log.segment_count() >= 3,
+            "expected time-based rolls, got {} segments",
+            log.segment_count()
+        );
+        // Every sealed segment spans at most segment_ms plus one append
+        // interval (the roll happens on the append after expiry).
+        for seg in log.segments().values().filter(|s| s.is_sealed()) {
+            let (min, max) = seg.time_range().unwrap();
+            assert!(max - min <= 1_400, "segment spans {} ms", max - min);
+        }
+        let out = log.read(0, u64::MAX).unwrap();
+        assert_eq!(out.records.len(), 10);
+    }
+
+    #[test]
+    fn time_based_roll_never_rolls_empty_segments() {
+        let clock = SimClock::new(0);
+        let cfg = LogConfig {
+            segment_bytes: 1 << 30,
+            segment_ms: Some(10),
+            ..LogConfig::default()
+        };
+        let mut log = Log::open(cfg, clock.shared()).unwrap();
+        clock.advance(1_000_000); // long idle gap, nothing to roll
+        log.append(None, b("first")).unwrap();
+        assert_eq!(log.segment_count(), 1);
+    }
+
+    #[test]
+    fn read_cache_serves_sealed_segments() {
+        use crate::cache::{ReadCacheConfig, SegmentReadCache};
+        let obs = Obs::default();
+        let cache = SegmentReadCache::new(ReadCacheConfig {
+            capacity_bytes: 1 << 20,
+            shards: 4,
+            obs: obs.clone(),
+        });
+        let clock = SimClock::new(0);
+        let cfg = LogConfig {
+            segment_bytes: 256,
+            index_interval_bytes: 128,
+            ..LogConfig::default()
+        };
+        let mut log = Log::open(cfg, clock.shared()).unwrap();
+        log.attach_read_cache(cache, 1);
+        for i in 0..60 {
+            log.append(Some(b(&format!("k{i}"))), b(&format!("value-{i:04}")))
+                .unwrap();
+        }
+        assert!(log.segment_count() > 2);
+        let cold = log.read(0, u64::MAX).unwrap();
+        assert_eq!(cold.records.len(), 60);
+        let snapshot = obs.snapshot();
+        let misses = snapshot.counter("log.cache.miss");
+        assert!(misses > 0, "first sweep should miss");
+        let hot = log.read(0, u64::MAX).unwrap();
+        assert_eq!(hot.records.len(), 60);
+        let snapshot = obs.snapshot();
+        assert!(
+            snapshot.counter("log.cache.hit") > 0,
+            "second sweep should hit"
+        );
+        assert_eq!(
+            snapshot.counter("log.cache.miss"),
+            misses,
+            "second sweep should add no misses"
+        );
+        // Byte-for-byte identical to the uncached read.
+        for (a, c) in hot.records.iter().zip(cold.records.iter()) {
+            assert_eq!(a.offset, c.offset);
+            assert_eq!(a.key, c.key);
+            assert_eq!(a.value, c.value);
+        }
+    }
+
+    #[test]
+    fn read_cache_is_invalidated_by_retention_and_truncation() {
+        use crate::cache::{ReadCacheConfig, SegmentReadCache};
+        let obs = Obs::default();
+        let cache = SegmentReadCache::new(ReadCacheConfig {
+            capacity_bytes: 1 << 20,
+            shards: 2,
+            obs: obs.clone(),
+        });
+        let clock = SimClock::new(0);
+        let cfg = LogConfig {
+            segment_bytes: 256,
+            retention: RetentionPolicy::DropByBytes { max_bytes: 1_024 },
+            ..LogConfig::default()
+        };
+        let mut log = Log::open(cfg, clock.shared()).unwrap();
+        log.attach_read_cache(cache.clone(), 7);
+        for i in 0..200 {
+            log.append(None, b(&format!("value-{i:06}"))).unwrap();
+        }
+        log.read(0, u64::MAX).unwrap(); // warm the cache
+        let warm = cache.cached_bytes();
+        assert!(warm > 0);
+        let deleted = log.enforce_retention().unwrap();
+        assert!(!deleted.is_empty());
+        assert!(
+            cache.cached_bytes() < warm,
+            "retention must invalidate dropped segments"
+        );
+        // Reads after retention resume at the new start and never see
+        // retired records.
+        let out = log.read(log.start_offset(), u64::MAX).unwrap();
+        assert!(out.records.iter().all(|r| r.offset >= log.start_offset()));
+        // Truncation invalidates too.
+        let before = cache.cached_bytes();
+        log.read(log.start_offset(), u64::MAX).unwrap();
+        log.truncate_to(log.start_offset()).unwrap();
+        assert!(cache.cached_bytes() <= before);
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub struct Segment {
     time_index: Vec<(Ts, u64)>,
     bytes_since_index: u64,
     index_interval_bytes: u64,
+    min_timestamp: Option<Ts>,
     max_timestamp: Ts,
     records: u64,
     sealed: bool,
@@ -63,6 +64,7 @@ impl Segment {
             time_index: Vec::new(),
             bytes_since_index: 0,
             index_interval_bytes: index_interval_bytes.max(1),
+            min_timestamp: None,
             max_timestamp: 0,
             records: 0,
             sealed: false,
@@ -126,6 +128,13 @@ impl Segment {
         self.max_timestamp
     }
 
+    /// The `(oldest, newest)` record timestamps, or `None` if the
+    /// segment is empty — the time range this segment partitions.
+    /// Recovery replays appends, so reopened segments keep their range.
+    pub fn time_range(&self) -> Option<(Ts, Ts)> {
+        self.min_timestamp.map(|min| (min, self.max_timestamp))
+    }
+
     /// Whether the segment has been sealed against appends.
     pub fn is_sealed(&self) -> bool {
         self.sealed
@@ -168,6 +177,10 @@ impl Segment {
             self.bytes_since_index = 0;
         }
         self.bytes_since_index += len;
+        self.min_timestamp = Some(match self.min_timestamp {
+            Some(min) => min.min(record.timestamp),
+            None => record.timestamp,
+        });
         if record.timestamp > self.max_timestamp {
             self.max_timestamp = record.timestamp;
             match self.time_index.last() {
@@ -434,6 +447,29 @@ mod tests {
         s.append(&rec(101, 20, "v")).unwrap(); // out of order
         s.append(&rec(102, 80, "v")).unwrap();
         assert_eq!(s.max_timestamp(), 80);
+    }
+
+    #[test]
+    fn time_range_spans_oldest_to_newest() {
+        let mut s = seg(1024);
+        assert_eq!(s.time_range(), None);
+        s.append(&rec(100, 50, "v")).unwrap();
+        assert_eq!(s.time_range(), Some((50, 50)));
+        s.append(&rec(101, 20, "v")).unwrap(); // out of order
+        s.append(&rec(102, 80, "v")).unwrap();
+        assert_eq!(s.time_range(), Some((20, 80)));
+    }
+
+    #[test]
+    fn recover_restores_time_range() {
+        let mut storage = MemStorage::new();
+        let mut buf = Vec::new();
+        for i in 0..5u64 {
+            rec(200 + i, 10 + i * 7, "val").encode(&mut buf);
+        }
+        storage.append(&buf).unwrap();
+        let s = Segment::recover(200, Box::new(storage), 64).unwrap();
+        assert_eq!(s.time_range(), Some((10, 38)));
     }
 
     #[test]

@@ -35,7 +35,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use liquid_coord::{CoordService, Session};
-use liquid_log::{Log, LogError, RecordBatch};
+use liquid_log::{Log, LogError, ReadCacheConfig, RecordBatch, SegmentReadCache};
 use liquid_obs::{CounterHandle, GaugeHandle, HistogramHandle, Obs};
 use liquid_sim::clock::SharedClock;
 use liquid_sim::failure::FailureInjector;
@@ -67,6 +67,14 @@ pub struct ClusterConfig {
     /// Observability sink: every cluster instrument registers here and
     /// produce spans are minted from its tracer.
     pub obs: Obs,
+    /// Byte capacity of the cluster-wide sealed-segment read cache
+    /// shared by every replica log. Hot fetches are served from cached
+    /// decoded segments; cold fetches fall through to the log's
+    /// storage. Zero disables caching.
+    pub segment_cache_bytes: u64,
+    /// Lock shards in the segment read cache (concurrent fetches on
+    /// different segments only contend within one shard).
+    pub segment_cache_shards: usize,
 }
 
 impl Default for ClusterConfig {
@@ -78,6 +86,8 @@ impl Default for ClusterConfig {
             session_timeout_ms: 10_000,
             injector: FailureInjector::disabled(),
             obs: Obs::default(),
+            segment_cache_bytes: 64 * 1024 * 1024,
+            segment_cache_shards: 8,
         }
     }
 }
@@ -140,6 +150,19 @@ impl ClusterConfigBuilder {
     /// Installs the observability sink instruments register into.
     pub fn obs(mut self, obs: Obs) -> Self {
         self.config.obs = obs;
+        self
+    }
+
+    /// Sets the byte capacity of the shared sealed-segment read cache
+    /// (0 disables it).
+    pub fn segment_cache_bytes(mut self, bytes: u64) -> Self {
+        self.config.segment_cache_bytes = bytes;
+        self
+    }
+
+    /// Sets the shard count of the segment read cache.
+    pub fn segment_cache_shards(mut self, shards: usize) -> Self {
+        self.config.segment_cache_shards = shards;
         self
     }
 
@@ -328,6 +351,14 @@ struct Inner {
     /// Functional (not just observable) state: mints idempotent
     /// producer ids, so it must keep counting even with `obs-off`.
     producer_ids: AtomicU64,
+    /// Cluster-wide sealed-segment read cache shared by every replica
+    /// log (`None` when `segment_cache_bytes` is 0). Fetches of sealed
+    /// segments are served from here; only misses reach the log's
+    /// injectable storage.
+    read_cache: Option<Arc<SegmentReadCache>>,
+    /// Mints a unique id per replica log so cache keys from different
+    /// logs never collide.
+    log_ids: AtomicU64,
     offsets: OffsetManager,
     groups: crate::group::GroupRegistry,
     quotas: crate::quotas::QuotaManager,
@@ -364,6 +395,13 @@ impl Cluster {
         }
         let injector = config.injector.clone();
         let obs = config.obs.clone();
+        let read_cache = (config.segment_cache_bytes > 0).then(|| {
+            SegmentReadCache::new(ReadCacheConfig {
+                capacity_bytes: config.segment_cache_bytes,
+                shards: config.segment_cache_shards.max(1),
+                obs: obs.clone(),
+            })
+        });
         Cluster {
             inner: Arc::new(Inner {
                 clock: clock.clone(),
@@ -377,6 +415,8 @@ impl Cluster {
                 ),
                 metrics: ClusterMetrics::resolve(&obs),
                 producer_ids: AtomicU64::new(0),
+                read_cache,
+                log_ids: AtomicU64::new(0),
                 offsets: OffsetManager::with_obs(clock.clone(), injector, &obs),
                 groups: crate::group::GroupRegistry::default(),
                 quotas: crate::quotas::QuotaManager::new(clock),
@@ -451,7 +491,11 @@ impl Cluster {
             let mut replicas = BTreeMap::new();
             for &b in &assignment {
                 let log_config = per_replica_log_config(&config, name, p, b, &self.inner.obs);
-                let log = Log::open(log_config, self.inner.clock.clone())?;
+                let mut log = Log::open(log_config, self.inner.clock.clone())?;
+                if let Some(cache) = &self.inner.read_cache {
+                    let log_id = self.inner.log_ids.fetch_add(1, Ordering::Relaxed);
+                    log.attach_read_cache(cache.clone(), log_id);
+                }
                 replicas.insert(b, log);
             }
             let leader = assignment.iter().copied().find(|b| st.brokers[b].online);
@@ -486,13 +530,13 @@ impl Cluster {
         Ok(())
     }
 
-    /// Names of topics with the compacted cleanup policy, sorted.
+    /// Names of topics with a compacted retention policy, sorted.
     pub fn compacted_topics(&self) -> Vec<String> {
         let st = self.inner.state.read();
         let mut names: Vec<String> = st
             .topics
             .iter()
-            .filter(|(_, t)| t.config.log.cleanup == liquid_log::CleanupPolicy::Compact)
+            .filter(|(_, t)| t.config.log.retention.is_compacted())
             .map(|(n, _)| n.clone())
             .collect();
         names.sort();
@@ -785,6 +829,11 @@ impl Cluster {
     /// consumer is tailing). Decomposes the underlying
     /// [`fetch_batch`](Self::fetch_batch) — payloads are still shared,
     /// not copied.
+    #[deprecated(
+        since = "0.11.0",
+        note = "use fetch_batch, which also carries the exact next \
+                fetch position and the observed high watermark"
+    )]
     pub fn fetch(
         &self,
         tp: &TopicPartition,
@@ -820,6 +869,12 @@ impl Cluster {
             .get(&leader)
             .ok_or_else(|| MessagingError::PartitionUnavailable(tp.clone()))?;
         let hw = ps.high_watermark.get();
+        // A committed position can fall inside a segment that retention
+        // has since dropped whole. Resume at the next live segment's
+        // base instead of erroring: the batch's `end_offset` then heals
+        // the consumer's position past the retired range, keeping lag
+        // exact across the dropped-segment boundary.
+        let offset = offset.max(log.start_offset());
         if offset >= hw {
             // Tail fetch — but reject offsets beyond the log end as a
             // consumer bug.
@@ -1520,7 +1575,7 @@ mod tests {
             .produce_to(&tp, None, b("hello"), AckLevel::Leader)
             .unwrap();
         assert_eq!(off, 0);
-        let msgs = c.fetch(&tp, 0, u64::MAX).unwrap();
+        let msgs = c.fetch_batch(&tp, 0, u64::MAX).unwrap().into_messages();
         assert_eq!(msgs.len(), 1);
         assert_eq!(msgs[0].value, b("hello"));
     }
@@ -1552,11 +1607,11 @@ mod tests {
         c.create_topic("t", TopicConfig::with_partitions(1))
             .unwrap();
         assert!(matches!(
-            c.fetch(&TopicPartition::new("nope", 0), 0, 1),
+            c.fetch_batch(&TopicPartition::new("nope", 0), 0, 1),
             Err(MessagingError::UnknownTopic(_))
         ));
         assert!(matches!(
-            c.fetch(&TopicPartition::new("t", 9), 0, 1),
+            c.fetch_batch(&TopicPartition::new("t", 9), 0, 1),
             Err(MessagingError::UnknownPartition(_))
         ));
     }
@@ -1597,10 +1652,20 @@ mod tests {
         c.produce_to(&tp, None, b("x"), AckLevel::Leader).unwrap();
         // Followers lag: HW has not advanced, consumers see nothing.
         assert_eq!(c.latest_offset(&tp).unwrap(), 0);
-        assert!(c.fetch(&tp, 0, u64::MAX).unwrap().is_empty());
+        assert!(c
+            .fetch_batch(&tp, 0, u64::MAX)
+            .unwrap()
+            .into_messages()
+            .is_empty());
         c.replicate_tick().unwrap();
         assert_eq!(c.latest_offset(&tp).unwrap(), 1);
-        assert_eq!(c.fetch(&tp, 0, u64::MAX).unwrap().len(), 1);
+        assert_eq!(
+            c.fetch_batch(&tp, 0, u64::MAX)
+                .unwrap()
+                .into_messages()
+                .len(),
+            1
+        );
     }
 
     #[test]
@@ -1618,7 +1683,7 @@ mod tests {
         let new_leader = c.leader(&tp).unwrap().unwrap();
         assert_ne!(new_leader, old_leader);
         // All 10 messages survive (they were fully replicated).
-        let msgs = c.fetch(&tp, 0, u64::MAX).unwrap();
+        let msgs = c.fetch_batch(&tp, 0, u64::MAX).unwrap().into_messages();
         assert_eq!(msgs.len(), 10);
         #[cfg(not(feature = "obs-off"))]
         assert_eq!(c.snapshot().counter("cluster.elections"), 1);
@@ -1645,7 +1710,7 @@ mod tests {
         c.kill_broker(leader).unwrap();
         // The new leader only has the replicated prefix.
         assert_eq!(c.log_end_offset(&tp).unwrap(), 5);
-        let msgs = c.fetch(&tp, 0, u64::MAX).unwrap();
+        let msgs = c.fetch_batch(&tp, 0, u64::MAX).unwrap().into_messages();
         assert_eq!(msgs.len(), 5);
         assert!(msgs.iter().all(|m| m.value.starts_with(b"safe")));
     }
@@ -1663,7 +1728,7 @@ mod tests {
         let l2 = c.leader(&tp).unwrap().unwrap();
         c.kill_broker(l2).unwrap();
         // One replica left: still serving.
-        let msgs = c.fetch(&tp, 0, u64::MAX).unwrap();
+        let msgs = c.fetch_batch(&tp, 0, u64::MAX).unwrap().into_messages();
         assert_eq!(msgs.len(), 2);
         // Kill the last: unavailable.
         let l3 = c.leader(&tp).unwrap().unwrap();
@@ -1673,7 +1738,7 @@ mod tests {
             Err(MessagingError::PartitionUnavailable(_))
         ));
         assert!(matches!(
-            c.fetch(&tp, 0, 1),
+            c.fetch_batch(&tp, 0, 1),
             Err(MessagingError::PartitionUnavailable(_))
         ));
     }
@@ -1705,7 +1770,7 @@ mod tests {
         c.restart_broker(old).unwrap();
         c.replicate_tick().unwrap();
         assert!(c.isr(&tp).unwrap().contains(&old), "rejoined ISR");
-        let msgs = c.fetch(&tp, 0, u64::MAX).unwrap();
+        let msgs = c.fetch_batch(&tp, 0, u64::MAX).unwrap().into_messages();
         assert_eq!(msgs.len(), 6);
         assert!(msgs.iter().all(|m| !m.value.starts_with(b"lost")));
     }
@@ -1753,7 +1818,13 @@ mod tests {
         // Idempotent: second pass moves nothing.
         assert_eq!(c.rebalance_leadership().unwrap(), 0);
         // Data intact.
-        assert_eq!(c.fetch(&tp, 0, u64::MAX).unwrap().len(), 5);
+        assert_eq!(
+            c.fetch_batch(&tp, 0, u64::MAX)
+                .unwrap()
+                .into_messages()
+                .len(),
+            5
+        );
     }
 
     #[test]
@@ -1796,8 +1867,8 @@ mod tests {
         let tp = TopicPartition::new("t", 0);
         c.produce_to(&tp, None, b("12345"), AckLevel::Leader)
             .unwrap();
-        c.fetch(&tp, 0, u64::MAX).unwrap();
-        c.fetch(&tp, 0, u64::MAX).unwrap();
+        c.fetch_batch(&tp, 0, u64::MAX).unwrap().into_messages();
+        c.fetch_batch(&tp, 0, u64::MAX).unwrap().into_messages();
         let s = c.snapshot();
         assert_eq!(s.counter("cluster.messages_in"), 1);
         assert_eq!(s.counter("cluster.bytes_in"), 5);
@@ -1830,7 +1901,7 @@ mod tests {
         let tp = TopicPartition::new("t", 0);
         c.produce_to(&tp, None, b("x"), AckLevel::Leader).unwrap();
         c.produce_to(&tp, None, b("y"), AckLevel::Leader).unwrap();
-        let msgs = c.fetch(&tp, 0, u64::MAX).unwrap();
+        let msgs = c.fetch_batch(&tp, 0, u64::MAX).unwrap().into_messages();
         assert_eq!(msgs.len(), 2);
         assert_ne!(msgs[0].span, 0, "fetched message carries its span");
         assert_ne!(msgs[1].span, 0);
@@ -1899,8 +1970,8 @@ mod tests {
         c.create_topic("t", TopicConfig::default()).unwrap();
         let tp = TopicPartition::new("t", 0);
         c.produce_to(&tp, None, b("x"), AckLevel::Leader).unwrap();
-        assert!(c.fetch(&tp, 99, 1).is_err());
-        assert!(c.fetch(&tp, 1, 1).unwrap().is_empty());
+        assert!(c.fetch_batch(&tp, 99, 1).is_err());
+        assert!(c.fetch_batch(&tp, 1, 1).unwrap().into_messages().is_empty());
     }
 
     #[test]
@@ -1927,8 +1998,9 @@ mod tests {
         assert!(stats.dedup_ratio() > 0.8, "ratio {}", stats.dedup_ratio());
         // All messages still fetchable from the earliest retained offset.
         let msgs = c
-            .fetch(&tp, c.earliest_offset(&tp).unwrap(), u64::MAX)
-            .unwrap();
+            .fetch_batch(&tp, c.earliest_offset(&tp).unwrap(), u64::MAX)
+            .unwrap()
+            .into_messages();
         // Last value per key survives.
         assert!(msgs.iter().any(|m| m.value == b("v199")));
     }
@@ -1954,6 +2026,111 @@ mod tests {
         let deleted = c.enforce_retention().unwrap();
         assert!(deleted > 0);
         assert!(c.earliest_offset(&tp).unwrap() > 0);
+    }
+
+    /// Compat shim: the deprecated record-level `fetch` must keep
+    /// decomposing `fetch_batch` byte-for-byte.
+    #[test]
+    fn deprecated_fetch_decomposes_fetch_batch() {
+        let (c, _) = cluster(1);
+        c.create_topic("t", TopicConfig::with_partitions(1))
+            .unwrap();
+        let tp = TopicPartition::new("t", 0);
+        for i in 0..5 {
+            c.produce_to(&tp, None, b(&format!("m{i}")), AckLevel::Leader)
+                .unwrap();
+        }
+        #[allow(deprecated)]
+        let via_fetch = c.fetch(&tp, 0, u64::MAX).unwrap();
+        let via_batch = c.fetch_batch(&tp, 0, u64::MAX).unwrap().into_messages();
+        assert_eq!(via_fetch.len(), via_batch.len());
+        for (a, b) in via_fetch.iter().zip(via_batch.iter()) {
+            assert_eq!((a.offset, &a.key, &a.value), (b.offset, &b.key, &b.value));
+        }
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn sealed_segment_fetches_hit_the_shared_read_cache() {
+        let (c, _) = cluster(1);
+        c.create_topic("hot", TopicConfig::with_partitions(1).segment_bytes(256))
+            .unwrap();
+        let tp = TopicPartition::new("hot", 0);
+        for i in 0..40 {
+            c.produce_to(&tp, None, b(&format!("payload-{i:05}")), AckLevel::Leader)
+                .unwrap();
+        }
+        let cold = c.fetch_batch(&tp, 0, u64::MAX).unwrap();
+        let misses = c.snapshot().counter("log.cache.miss");
+        assert!(misses > 0, "cold sweep fills the cache");
+        let hot = c.fetch_batch(&tp, 0, u64::MAX).unwrap();
+        let snap = c.snapshot();
+        assert!(snap.counter("log.cache.hit") > 0, "warm sweep hits");
+        assert_eq!(
+            snap.counter("log.cache.miss"),
+            misses,
+            "warm sweep adds no misses"
+        );
+        // Byte equality between the cold and warm reads.
+        assert_eq!(cold.len(), hot.len());
+        for (a, b) in cold.records().iter().zip(hot.records().iter()) {
+            assert_eq!((a.offset, &a.value), (b.offset, &b.value));
+        }
+    }
+
+    /// Regression: a committed/consumer offset that falls inside a
+    /// segment retention has dropped must not error or over-count —
+    /// the fetch resumes at the next live segment's base and the
+    /// batch's `end_offset` heals the position across the gap.
+    #[test]
+    fn fetch_resumes_past_a_dropped_segment() {
+        let (c, clock) = cluster(1);
+        c.create_topic(
+            "short",
+            TopicConfig::with_partitions(1)
+                .retention_ms(1_000)
+                .segment_bytes(256),
+        )
+        .unwrap();
+        let tp = TopicPartition::new("short", 0);
+        for i in 0..50 {
+            c.produce_to(&tp, None, b(&format!("old-{i:04}")), AckLevel::Leader)
+                .unwrap();
+        }
+        clock.advance(10_000);
+        for i in 0..5 {
+            c.produce_to(&tp, None, b(&format!("fresh-{i}")), AckLevel::Leader)
+                .unwrap();
+        }
+        assert!(c.enforce_retention().unwrap() > 0);
+        let earliest = c.earliest_offset(&tp).unwrap();
+        assert!(earliest > 0, "retention retired the head segment");
+        // Offset 0 now falls inside a retired segment: the fetch heals
+        // to the first retained offset instead of erroring.
+        let batch = c.fetch_batch(&tp, 0, u64::MAX).unwrap();
+        assert_eq!(batch.base_offset(), Some(earliest));
+        assert_eq!(batch.end_offset(), c.latest_offset(&tp).unwrap());
+        // A consumer parked before the boundary heals the same way and
+        // reports exact lag (never counting retired offsets).
+        let consumer = crate::Consumer::new(&c, "c1");
+        consumer
+            .assign(tp.clone(), crate::consumer::StartPosition::Offset(0))
+            .unwrap();
+        #[cfg(not(feature = "obs-off"))]
+        {
+            let hw = c.latest_offset(&tp).unwrap();
+            assert_eq!(consumer.lag(&tp), Some(hw - earliest));
+        }
+        let batches = consumer.poll_batches().unwrap();
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].1.records()[0].offset, earliest);
+        assert_eq!(
+            consumer.position(&tp),
+            Some(c.latest_offset(&tp).unwrap()),
+            "position healed past the retired range"
+        );
+        #[cfg(not(feature = "obs-off"))]
+        assert_eq!(consumer.lag(&tp), Some(0));
     }
 
     #[test]
@@ -1987,7 +2164,10 @@ mod tests {
         let new_leader = c.leader(&tp).unwrap().expect("a caught-up replica leads");
         assert_ne!(new_leader, stale, "stale ISR member must not be elected");
         assert_eq!(
-            c.fetch(&tp, 0, u64::MAX).unwrap().len(),
+            c.fetch_batch(&tp, 0, u64::MAX)
+                .unwrap()
+                .into_messages()
+                .len(),
             10,
             "every acknowledged record still committed after failover"
         );
@@ -2037,8 +2217,9 @@ mod tests {
         c.replicate_tick().unwrap();
         assert_eq!(c.leader(&tp).unwrap(), Some(old_leader));
         let values: Vec<Bytes> = c
-            .fetch(&tp, 0, u64::MAX)
+            .fetch_batch(&tp, 0, u64::MAX)
             .unwrap()
+            .into_messages()
             .into_iter()
             .map(|m| m.value)
             .collect();

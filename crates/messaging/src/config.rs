@@ -1,6 +1,6 @@
 //! Topic and durability configuration.
 
-use liquid_log::{CleanupPolicy, LogConfig, RetentionPolicy};
+use liquid_log::{LogConfig, RetentionPolicy};
 
 /// How many acknowledgements a produce waits for (paper §4.3: the
 /// durability/latency trade-off).
@@ -25,7 +25,7 @@ pub struct TopicConfig {
     pub partitions: u32,
     /// Replication factor (1 = leader only).
     pub replication: u32,
-    /// Log tuning (segment size, retention, cleanup policy).
+    /// Log tuning (segment size, retention policy).
     pub log: LogConfig,
 }
 
@@ -60,33 +60,44 @@ impl TopicConfig {
         self
     }
 
-    /// Marks the topic compacted (changelog topics, §4.1).
+    /// Replaces the whole retention policy with a typed
+    /// [`RetentionPolicy`] value.
+    pub fn retention(mut self, policy: RetentionPolicy) -> Self {
+        self.log.retention = policy;
+        self
+    }
+
+    /// Marks the topic compacted (changelog topics, §4.1), keeping any
+    /// retention bounds already set.
     pub fn compacted(mut self) -> Self {
-        self.log.cleanup = CleanupPolicy::Compact;
+        self.log.retention = self.log.retention.compacted();
         self
     }
 
-    /// Sets time-based retention.
+    /// Sets time-based retention (sugar for
+    /// [`RetentionPolicy::with_max_age_ms`] on the current policy).
     pub fn retention_ms(mut self, ms: u64) -> Self {
-        self.log.retention = RetentionPolicy {
-            max_age_ms: Some(ms),
-            ..self.log.retention
-        };
+        self.log.retention = self.log.retention.with_max_age_ms(ms);
         self
     }
 
-    /// Sets size-based retention.
+    /// Sets size-based retention (sugar for
+    /// [`RetentionPolicy::with_max_bytes`] on the current policy).
     pub fn retention_bytes(mut self, bytes: u64) -> Self {
-        self.log.retention = RetentionPolicy {
-            max_bytes: Some(bytes),
-            ..self.log.retention
-        };
+        self.log.retention = self.log.retention.with_max_bytes(bytes);
         self
     }
 
     /// Sets the segment roll size.
     pub fn segment_bytes(mut self, bytes: u64) -> Self {
         self.log.segment_bytes = bytes;
+        self
+    }
+
+    /// Sets the segment roll age, so segments partition the stream by
+    /// time and age retention drops whole segments.
+    pub fn segment_ms(mut self, ms: u64) -> Self {
+        self.log.segment_ms = Some(ms);
         self
     }
 }
@@ -112,9 +123,15 @@ impl TopicConfigBuilder {
         self
     }
 
+    /// Replaces the whole retention policy; validated at build time.
+    pub fn retention(mut self, policy: RetentionPolicy) -> Self {
+        self.config = self.config.retention(policy);
+        self
+    }
+
     /// Marks the topic compacted (changelog topics, §4.1).
     pub fn compacted(mut self) -> Self {
-        self.config.log.cleanup = CleanupPolicy::Compact;
+        self.config = self.config.compacted();
         self
     }
 
@@ -136,6 +153,12 @@ impl TopicConfigBuilder {
         self
     }
 
+    /// Sets the segment roll age (time-partitioned segments).
+    pub fn segment_ms(mut self, ms: u64) -> Self {
+        self.config = self.config.segment_ms(ms);
+        self
+    }
+
     /// Replaces the whole log config.
     pub fn log(mut self, log: LogConfig) -> Self {
         self.config.log = log;
@@ -152,10 +175,14 @@ impl TopicConfigBuilder {
                 brokers: u32::MAX,
             });
         }
+        if let Err(reason) = self.config.log.retention.validate() {
+            return Err(crate::MessagingError::InvalidRetention { reason });
+        }
         Ok(())
     }
 
-    /// Validates partition and replication counts in isolation.
+    /// Validates partition and replication counts and the retention
+    /// policy in isolation.
     pub fn build(self) -> crate::Result<TopicConfig> {
         self.validate()?;
         Ok(self.config)
@@ -187,13 +214,72 @@ mod tests {
             .compacted()
             .retention_ms(1000)
             .retention_bytes(2048)
-            .segment_bytes(512);
+            .segment_bytes(512)
+            .segment_ms(60_000);
         assert_eq!(c.partitions, 8);
         assert_eq!(c.replication, 3);
-        assert_eq!(c.log.cleanup, CleanupPolicy::Compact);
-        assert_eq!(c.log.retention.max_age_ms, Some(1000));
-        assert_eq!(c.log.retention.max_bytes, Some(2048));
+        assert_eq!(
+            c.log.retention,
+            RetentionPolicy::Compact {
+                max_age_ms: Some(1000),
+                max_bytes: Some(2048),
+            }
+        );
+        assert!(c.log.retention.is_compacted());
         assert_eq!(c.log.segment_bytes, 512);
+        assert_eq!(c.log.segment_ms, Some(60_000));
+    }
+
+    #[test]
+    fn typed_retention_replaces_policy() {
+        let c = TopicConfig::builder()
+            .partitions(2)
+            .replication(1)
+            .retention(RetentionPolicy::DropByBytes { max_bytes: 4096 })
+            .build()
+            .unwrap();
+        assert_eq!(
+            c.log.retention,
+            RetentionPolicy::DropByBytes { max_bytes: 4096 }
+        );
+    }
+
+    #[test]
+    fn sugar_composes_into_one_policy() {
+        let c = TopicConfig::with_partitions(1)
+            .retention_ms(500)
+            .retention_bytes(9000);
+        assert_eq!(
+            c.log.retention,
+            RetentionPolicy::DropByAge {
+                max_age_ms: 500,
+                max_bytes: Some(9000),
+            }
+        );
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_retention() {
+        let err = TopicConfig::builder()
+            .partitions(1)
+            .replication(1)
+            .retention(RetentionPolicy::DropByBytes { max_bytes: 0 })
+            .build();
+        assert!(matches!(
+            err,
+            Err(crate::MessagingError::InvalidRetention { .. })
+        ));
+        let err = TopicConfig::builder()
+            .partitions(1)
+            .replication(1)
+            .retention_ms(0)
+            .build();
+        assert!(matches!(
+            err,
+            Err(crate::MessagingError::InvalidRetention {
+                reason: "max_age_ms must be > 0"
+            })
+        ));
     }
 
     #[test]
@@ -201,6 +287,7 @@ mod tests {
         let c = TopicConfig::default();
         assert_eq!(c.partitions, 1);
         assert_eq!(c.replication, 1);
-        assert_eq!(c.log.cleanup, CleanupPolicy::Delete);
+        assert_eq!(c.log.retention, RetentionPolicy::KeepAll);
+        assert!(!c.log.retention.is_compacted());
     }
 }

@@ -173,6 +173,11 @@ impl Consumer {
     /// compacted partitions, where fewer records exist than offsets.
     /// The same value is published per poll as the
     /// `consumer.lag{tp=…}` gauge.
+    ///
+    /// Also exact across a dropped-segment boundary: when the position
+    /// falls inside a segment retention has retired, the next poll will
+    /// resume at the first retained offset, so lag is measured from
+    /// there — never counting offsets that no longer exist.
     pub fn lag(&self, tp: &TopicPartition) -> Option<u64> {
         let pos = self.position(tp)?;
         let hw = self
@@ -180,7 +185,11 @@ impl Consumer {
             .obs()
             .registry()
             .gauge_value_with("partition.high_watermark", &[("tp", &tp.to_string())])?;
-        Some(hw.saturating_sub(pos))
+        let effective = match self.cluster.earliest_offset(tp) {
+            Ok(earliest) => pos.max(earliest),
+            Err(_) => pos,
+        };
+        Some(hw.saturating_sub(effective))
     }
 
     /// Moves the position for a partition.
@@ -205,6 +214,11 @@ impl Consumer {
     /// Pulls the next batch from every assigned partition, advancing
     /// positions past what was returned. Decomposes the batches of
     /// [`poll_batches`](Self::poll_batches); payloads stay shared.
+    #[deprecated(
+        since = "0.11.0",
+        note = "use poll_batches, which keeps batch boundaries, spans, \
+                the exact next position and the observed high watermark"
+    )]
     pub fn poll(&self) -> crate::Result<Vec<(TopicPartition, Vec<Message>)>> {
         Ok(self
             .poll_batches()?
@@ -338,11 +352,11 @@ mod tests {
         consumer
             .assign(tp.clone(), StartPosition::Earliest)
             .unwrap();
-        let batches = consumer.poll().unwrap();
+        let batches = consumer.poll_batches().unwrap();
         assert_eq!(batches.len(), 1);
         assert_eq!(batches[0].1.len(), 5);
         // Position advanced: next poll is empty.
-        assert!(consumer.poll().unwrap().is_empty());
+        assert!(consumer.poll_batches().unwrap().is_empty());
         assert_eq!(consumer.position(&tp), Some(5));
     }
 
@@ -353,11 +367,11 @@ mod tests {
         fill(&c, &tp, 5);
         let consumer = Consumer::new(&c, "c1");
         consumer.assign(tp.clone(), StartPosition::Latest).unwrap();
-        assert!(consumer.poll().unwrap().is_empty());
+        assert!(consumer.poll_batches().unwrap().is_empty());
         fill(&c, &tp, 2);
-        let batches = consumer.poll().unwrap();
+        let batches = consumer.poll_batches().unwrap();
         assert_eq!(batches[0].1.len(), 2);
-        assert_eq!(batches[0].1[0].offset, 5);
+        assert_eq!(batches[0].1.records()[0].offset, 5);
     }
 
     #[test]
@@ -369,11 +383,11 @@ mod tests {
         consumer
             .assign(tp.clone(), StartPosition::Earliest)
             .unwrap();
-        consumer.poll().unwrap();
+        consumer.poll_batches().unwrap();
         consumer.seek(&tp, 3);
-        let batches = consumer.poll().unwrap();
+        let batches = consumer.poll_batches().unwrap();
         assert_eq!(batches[0].1.len(), 7);
-        assert_eq!(batches[0].1[0].offset, 3);
+        assert_eq!(batches[0].1.records()[0].offset, 3);
     }
 
     #[test]
@@ -392,7 +406,7 @@ mod tests {
         consumer.assign(tp.clone(), StartPosition::Latest).unwrap();
         let sought = consumer.seek_to_timestamp(&tp, 500).unwrap();
         assert_eq!(sought, Some(5));
-        let batches = consumer.poll().unwrap();
+        let batches = consumer.poll_batches().unwrap();
         assert_eq!(batches[0].1.len(), 5);
     }
 
@@ -405,7 +419,7 @@ mod tests {
             let c1 = Consumer::in_group(&c, "g", "m1");
             c1.subscribe(&["t"], AssignmentStrategy::Range, StartPosition::Earliest)
                 .unwrap();
-            let batches = c1.poll().unwrap();
+            let batches = c1.poll_batches().unwrap();
             assert_eq!(batches[0].1.len(), 10);
             c1.commit(BTreeMap::new()).unwrap();
             c1.leave().unwrap();
@@ -415,9 +429,9 @@ mod tests {
         let c2 = Consumer::in_group(&c, "g", "m2");
         c2.subscribe(&["t"], AssignmentStrategy::Range, StartPosition::Committed)
             .unwrap();
-        let batches = c2.poll().unwrap();
+        let batches = c2.poll_batches().unwrap();
         assert_eq!(batches[0].1.len(), 3);
-        assert_eq!(batches[0].1[0].offset, 10);
+        assert_eq!(batches[0].1.records()[0].offset, 10);
     }
 
     #[test]
@@ -435,8 +449,8 @@ mod tests {
             let c1 = Consumer::in_group(&c, "g", "m1");
             c1.subscribe(&["t"], AssignmentStrategy::Range, StartPosition::Committed)
                 .unwrap();
-            let batches = c1.poll().unwrap();
-            for m in &batches[0].1 {
+            let batches = c1.poll_batches().unwrap();
+            for m in batches[0].1.records() {
                 processed.push(m.offset);
             }
             // Crash: no commit, no clean leave.
@@ -449,8 +463,8 @@ mod tests {
         let c2 = Consumer::in_group(&c, "g", "m2");
         c2.subscribe(&["t"], AssignmentStrategy::Range, StartPosition::Committed)
             .unwrap();
-        let batches = c2.poll().unwrap();
-        for m in &batches[0].1 {
+        let batches = c2.poll_batches().unwrap();
+        for m in batches[0].1.records() {
             processed.push(m.offset);
         }
         assert_eq!(processed.len(), 10, "all 5 messages seen twice");
@@ -471,8 +485,18 @@ mod tests {
             .unwrap();
         // m1's assignment shrank when m2 joined.
         c1.refresh_assignment().unwrap();
-        let got1: usize = c1.poll().unwrap().iter().map(|(_, m)| m.len()).sum();
-        let got2: usize = c2.poll().unwrap().iter().map(|(_, m)| m.len()).sum();
+        let got1: usize = c1
+            .poll_batches()
+            .unwrap()
+            .iter()
+            .map(|(_, m)| m.len())
+            .sum();
+        let got2: usize = c2
+            .poll_batches()
+            .unwrap()
+            .iter()
+            .map(|(_, m)| m.len())
+            .sum();
         assert_eq!(got1 + got2, 40, "every message to exactly one member");
         assert_eq!(got1, 20);
         assert_eq!(got2, 20);
@@ -490,8 +514,18 @@ mod tests {
             .unwrap();
         g2.subscribe(&["t"], AssignmentStrategy::Range, StartPosition::Earliest)
             .unwrap();
-        let n1: usize = g1.poll().unwrap().iter().map(|(_, m)| m.len()).sum();
-        let n2: usize = g2.poll().unwrap().iter().map(|(_, m)| m.len()).sum();
+        let n1: usize = g1
+            .poll_batches()
+            .unwrap()
+            .iter()
+            .map(|(_, m)| m.len())
+            .sum();
+        let n2: usize = g2
+            .poll_batches()
+            .unwrap()
+            .iter()
+            .map(|(_, m)| m.len())
+            .sum();
         assert_eq!((n1, n2), (10, 10));
     }
 
@@ -502,13 +536,13 @@ mod tests {
         fill(&c, &tp, 100);
         let consumer = Consumer::new(&c, "c1").with_max_poll_bytes(64);
         consumer.assign(tp, StartPosition::Earliest).unwrap();
-        let first = consumer.poll().unwrap();
+        let first = consumer.poll_batches().unwrap();
         let n: usize = first.iter().map(|(_, m)| m.len()).sum();
         assert!(n < 100, "poll should be limited, got {n}");
         // Eventually drains.
         let mut total = n;
         while total < 100 {
-            let batches = consumer.poll().unwrap();
+            let batches = consumer.poll_batches().unwrap();
             let got: usize = batches.iter().map(|(_, m)| m.len()).sum();
             assert!(got > 0, "progress stalled at {total}");
             total += got;
@@ -528,10 +562,40 @@ mod tests {
             .assign(tp.clone(), StartPosition::Earliest)
             .unwrap();
         assert_eq!(consumer.lag(&tp), Some(8));
-        consumer.poll().unwrap();
+        consumer.poll_batches().unwrap();
         assert_eq!(consumer.lag(&tp), Some(0));
         fill(&c, &tp, 3);
         assert_eq!(consumer.lag(&tp), Some(3));
+    }
+
+    /// Compat shim: the deprecated record-level `poll` must keep
+    /// decomposing `poll_batches` byte-for-byte.
+    #[test]
+    fn deprecated_poll_decomposes_poll_batches() {
+        let c = setup(1);
+        let tp = TopicPartition::new("t", 0);
+        fill(&c, &tp, 6);
+        let old = Consumer::new(&c, "old");
+        let new = Consumer::new(&c, "new");
+        old.assign(tp.clone(), StartPosition::Earliest).unwrap();
+        new.assign(tp.clone(), StartPosition::Earliest).unwrap();
+        #[allow(deprecated)]
+        let via_poll = old.poll().unwrap();
+        let via_batches: Vec<(TopicPartition, Vec<Message>)> = new
+            .poll_batches()
+            .unwrap()
+            .into_iter()
+            .map(|(tp, batch)| (tp, batch.into_messages()))
+            .collect();
+        assert_eq!(via_poll.len(), via_batches.len());
+        for ((tp_a, ms_a), (tp_b, ms_b)) in via_poll.iter().zip(via_batches.iter()) {
+            assert_eq!(tp_a, tp_b);
+            assert_eq!(ms_a.len(), ms_b.len());
+            for (a, b) in ms_a.iter().zip(ms_b.iter()) {
+                assert_eq!((a.offset, &a.value), (b.offset, &b.value));
+            }
+        }
+        assert_eq!(old.position(&tp), new.position(&tp));
     }
 
     #[test]
@@ -553,7 +617,7 @@ mod tests {
         consumer
             .subscribe(&["t"], AssignmentStrategy::Range, StartPosition::Earliest)
             .unwrap();
-        consumer.poll().unwrap();
+        consumer.poll_batches().unwrap();
         let mut meta = BTreeMap::new();
         meta.insert("sw".to_string(), "v2".to_string());
         consumer.commit(meta).unwrap();

@@ -26,6 +26,12 @@ pub enum MessagingError {
     ZeroPartitions,
     /// A cluster was configured with zero brokers.
     ZeroBrokers,
+    /// A topic's retention policy failed validation (a zero bound would
+    /// drop every sealed segment on every retention pass).
+    InvalidRetention {
+        /// Which bound was rejected, and why.
+        reason: &'static str,
+    },
     /// The replication factor is zero or exceeds the broker count, so
     /// the assignment cannot place that many replicas.
     ReplicationOutOfRange {
@@ -76,6 +82,9 @@ impl std::fmt::Display for MessagingError {
             MessagingError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
             MessagingError::ZeroPartitions => write!(f, "invalid config: partitions must be > 0"),
             MessagingError::ZeroBrokers => write!(f, "invalid config: brokers must be > 0"),
+            MessagingError::InvalidRetention { reason } => {
+                write!(f, "invalid config: retention policy: {reason}")
+            }
             MessagingError::ReplicationOutOfRange {
                 replication,
                 brokers,

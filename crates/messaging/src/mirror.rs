@@ -78,7 +78,7 @@ impl MirrorMaker {
             let Some(&pos) = self.positions.get(&tp) else {
                 continue; // partition no longer mirrored
             };
-            let batch = self.source.fetch(&tp, pos, 1 << 20)?;
+            let batch = self.source.fetch_batch(&tp, pos, 1 << 20)?.into_messages();
             for msg in batch {
                 let next =
                     msg.offset
@@ -173,7 +173,7 @@ mod tests {
         // Destination has everything, same partitions.
         let got: usize = (0..2)
             .map(|p| {
-                east.fetch(&TopicPartition::new("events", p), 0, u64::MAX)
+                east.fetch_batch(&TopicPartition::new("events", p), 0, u64::MAX)
                     .unwrap()
                     .len()
             })
@@ -192,7 +192,7 @@ mod tests {
             .unwrap();
         let mut mirror = MirrorMaker::new(&west, &east, &["t"]).unwrap();
         mirror.run_until_caught_up(5).unwrap();
-        let msgs = east.fetch(&tp, 0, u64::MAX).unwrap();
+        let msgs = east.fetch_batch(&tp, 0, u64::MAX).unwrap().into_messages();
         assert_eq!(msgs.len(), 1);
         assert_eq!(msgs[0].key.as_deref(), Some(b"user-9".as_ref()));
     }
@@ -238,7 +238,13 @@ mod tests {
             m.run_until_caught_up(5).unwrap();
         }
         for c in &colos {
-            assert_eq!(c.fetch(&tp, 0, u64::MAX).unwrap().len(), 50);
+            assert_eq!(
+                c.fetch_batch(&tp, 0, u64::MAX)
+                    .unwrap()
+                    .into_messages()
+                    .len(),
+                50
+            );
         }
     }
 }

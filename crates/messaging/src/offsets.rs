@@ -34,7 +34,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use liquid_log::{CleanupPolicy, Log, LogConfig};
+use liquid_log::{Log, LogConfig, RetentionPolicy};
 use liquid_obs::{CounterHandle, Obs};
 use liquid_sim::clock::{SharedClock, Ts};
 use liquid_sim::failure::FailureInjector;
@@ -125,7 +125,10 @@ impl OffsetManager {
     /// commit counter registers into.
     pub fn with_obs(clock: SharedClock, injector: FailureInjector, obs: &Obs) -> Self {
         let cfg = LogConfig {
-            cleanup: CleanupPolicy::Compact,
+            retention: RetentionPolicy::Compact {
+                max_age_ms: None,
+                max_bytes: None,
+            },
             segment_bytes: 64 * 1024,
             ..LogConfig::default()
         };

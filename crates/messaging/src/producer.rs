@@ -464,11 +464,17 @@ mod tests {
         let (_, off_dup) = p.send_with_sequence(None, b("m1"), 2).unwrap();
         assert_eq!(off_dup, off1);
         let tp = TopicPartition::new("t", 0);
-        let msgs = c.fetch(&tp, 0, u64::MAX).unwrap();
+        let msgs = c.fetch_batch(&tp, 0, u64::MAX).unwrap().into_messages();
         assert_eq!(msgs.len(), 2, "duplicate suppressed");
         // A genuinely new send still lands.
         p.send_value("m2").unwrap();
-        assert_eq!(c.fetch(&tp, 0, u64::MAX).unwrap().len(), 3);
+        assert_eq!(
+            c.fetch_batch(&tp, 0, u64::MAX)
+                .unwrap()
+                .into_messages()
+                .len(),
+            3
+        );
     }
 
     #[test]
@@ -480,7 +486,13 @@ mod tests {
         p2.send_value("b").unwrap();
         p1.send_value("c").unwrap();
         let tp = TopicPartition::new("t", 0);
-        assert_eq!(c.fetch(&tp, 0, u64::MAX).unwrap().len(), 3);
+        assert_eq!(
+            c.fetch_batch(&tp, 0, u64::MAX)
+                .unwrap()
+                .into_messages()
+                .len(),
+            3
+        );
     }
 
     #[test]
@@ -492,7 +504,13 @@ mod tests {
         p.send_value("m").unwrap();
         p.send_value("m").unwrap();
         let tp = TopicPartition::new("t", 0);
-        assert_eq!(c.fetch(&tp, 0, u64::MAX).unwrap().len(), 2);
+        assert_eq!(
+            c.fetch_batch(&tp, 0, u64::MAX)
+                .unwrap()
+                .into_messages()
+                .len(),
+            2
+        );
     }
 
     #[test]
@@ -539,7 +557,7 @@ mod tests {
         assert_eq!(flushed, vec![(0, 0, 10)]);
         assert_eq!(p.pending_records(), 0);
         let tp = TopicPartition::new("t", 0);
-        let msgs = c.fetch(&tp, 0, u64::MAX).unwrap();
+        let msgs = c.fetch_batch(&tp, 0, u64::MAX).unwrap().into_messages();
         assert_eq!(msgs.len(), 10);
         let offsets: Vec<u64> = msgs.iter().map(|m| m.offset).collect();
         assert_eq!(offsets, (0..10).collect::<Vec<u64>>(), "contiguous run");
@@ -591,7 +609,13 @@ mod tests {
         let trip = p.buffer_value("b").unwrap();
         assert_eq!(trip, Some((0, 0)), "linger expiry flushes both records");
         let tp = TopicPartition::new("t", 0);
-        assert_eq!(c.fetch(&tp, 0, u64::MAX).unwrap().len(), 2);
+        assert_eq!(
+            c.fetch_batch(&tp, 0, u64::MAX)
+                .unwrap()
+                .into_messages()
+                .len(),
+            2
+        );
     }
 
     #[test]
@@ -642,7 +666,13 @@ mod tests {
         let (_, seq) = p.idempotent.as_ref().unwrap();
         assert_eq!(seq.load(Ordering::Relaxed), 1, "one sequence per batch");
         let tp = TopicPartition::new("t", 0);
-        assert_eq!(c.fetch(&tp, 0, u64::MAX).unwrap().len(), 6);
+        assert_eq!(
+            c.fetch_batch(&tp, 0, u64::MAX)
+                .unwrap()
+                .into_messages()
+                .len(),
+            6
+        );
     }
 
     #[test]

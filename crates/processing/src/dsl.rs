@@ -24,7 +24,7 @@
 //!     .into_job(&cluster, "shouter")
 //!     .unwrap();
 //! job.run_until_idle(5).unwrap();
-//! let out = cluster.fetch(&TopicPartition::new("shouted", 0), 0, u64::MAX).unwrap();
+//! let out = cluster.fetch_batch(&TopicPartition::new("shouted", 0), 0, u64::MAX).unwrap().into_messages();
 //! assert_eq!(out[0].value, Bytes::from_static(b"HELLO"));
 //! ```
 //!
@@ -271,8 +271,9 @@ mod tests {
     }
 
     fn drain(c: &Cluster, topic: &str) -> Vec<(Option<Bytes>, Bytes)> {
-        c.fetch(&TopicPartition::new(topic, 0), 0, u64::MAX)
+        c.fetch_batch(&TopicPartition::new(topic, 0), 0, u64::MAX)
             .unwrap()
+            .into_messages()
             .into_iter()
             .map(|m| (m.key, m.value))
             .collect()

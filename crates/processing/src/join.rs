@@ -256,8 +256,9 @@ mod tests {
         .unwrap();
         job.run_until_idle(10).unwrap();
         let out = c
-            .fetch(&TopicPartition::new("enriched", 0), 0, u64::MAX)
-            .unwrap();
+            .fetch_batch(&TopicPartition::new("enriched", 0), 0, u64::MAX)
+            .unwrap()
+            .into_messages();
         assert_eq!(out.len(), 2);
         let values: Vec<String> = out
             .iter()
@@ -296,8 +297,9 @@ mod tests {
         .unwrap();
         job.run_until_idle(10).unwrap();
         let out = c
-            .fetch(&TopicPartition::new("enriched", 0), 0, u64::MAX)
-            .unwrap();
+            .fetch_batch(&TopicPartition::new("enriched", 0), 0, u64::MAX)
+            .unwrap()
+            .into_messages();
         assert_eq!(out[0].value, b("false"));
     }
 
@@ -327,8 +329,9 @@ mod tests {
         .unwrap();
         job.run_until_idle(10).unwrap();
         let out = c
-            .fetch(&TopicPartition::new("pairs", 0), 0, u64::MAX)
-            .unwrap();
+            .fetch_batch(&TopicPartition::new("pairs", 0), 0, u64::MAX)
+            .unwrap()
+            .into_messages();
         assert_eq!(out.len(), 1, "only the in-window pair joins");
         assert_eq!(out[0].value, b("frontend-call+backend-call"));
     }

@@ -154,7 +154,10 @@ mod tests {
         }
         let total = p.run_until_idle(10).unwrap();
         assert_eq!(total, 15, "5 messages × 3 stages");
-        let out = c.fetch(&TopicPartition::new("s3", 0), 0, u64::MAX).unwrap();
+        let out = c
+            .fetch_batch(&TopicPartition::new("s3", 0), 0, u64::MAX)
+            .unwrap()
+            .into_messages();
         assert_eq!(out.len(), 5);
         assert_eq!(out[0].value, b("m0+++"));
     }

@@ -62,7 +62,7 @@ impl StateStore {
         let mut replayed = 0;
         let mut offset = cluster.earliest_offset(&tp)?;
         loop {
-            let batch = cluster.fetch(&tp, offset, 1 << 20)?;
+            let batch = cluster.fetch_batch(&tp, offset, 1 << 20)?.into_messages();
             if batch.is_empty() {
                 break;
             }
@@ -196,7 +196,7 @@ mod tests {
         s.put("user", "profile-1").unwrap();
         s.put("user", "profile-2").unwrap();
         s.delete("user").unwrap();
-        let msgs = c.fetch(&tp, 0, u64::MAX).unwrap();
+        let msgs = c.fetch_batch(&tp, 0, u64::MAX).unwrap().into_messages();
         assert_eq!(msgs.len(), 3);
         assert!(msgs[2].value.is_empty(), "delete mirrored as tombstone");
     }

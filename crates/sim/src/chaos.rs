@@ -87,6 +87,19 @@ pub enum ChaosOp {
     ReplicateTick,
     /// Compact the feed.
     Compact,
+    /// Produce a burst to the size-retained feed, then apply its
+    /// retention policy — whole sealed segments are dropped from the
+    /// front (`log.segment-drop`), and the harness checks the surviving
+    /// suffix equals read-then-filter of everything produced.
+    EnforceRetention {
+        /// Records in the burst (1..=8); tags are assigned by the
+        /// harness's own retained-feed counter, not the produce tags.
+        count: u8,
+    },
+    /// Cold-read sweep: fetch every feed from its earliest offset,
+    /// churning the segment-read cache (fills and `log.cache-evict`
+    /// evictions under the harness's deliberately tiny capacity).
+    CacheSweep,
     /// Run the processing job until idle.
     RunJob,
     /// Checkpoint the processing job.
@@ -173,17 +186,23 @@ impl ChaosPlan {
                         },
                     }
                 }
-                40..=49 => ChaosOp::Consume,
-                50..=57 => ChaosOp::ReplicateTick,
-                58..=64 => ChaosOp::KillBroker {
+                40..=47 => ChaosOp::Consume,
+                // ~4%: cold sweeps so the read cache fills and evicts.
+                48..=51 => ChaosOp::CacheSweep,
+                52..=57 => ChaosOp::ReplicateTick,
+                58..=63 => ChaosOp::KillBroker {
                     broker: rng.gen_range(0u8..8),
                 },
-                65..=71 => ChaosOp::RestartBroker {
+                64..=69 => ChaosOp::RestartBroker {
                     broker: rng.gen_range(0u8..8),
                 },
-                72..=77 => ChaosOp::Compact,
-                78..=84 => ChaosOp::RunJob,
-                85..=88 => ChaosOp::Checkpoint,
+                70..=74 => ChaosOp::Compact,
+                // ~5%: retention bursts so whole-segment drops happen.
+                75..=79 => ChaosOp::EnforceRetention {
+                    count: rng.gen_range(1u8..=8),
+                },
+                80..=85 => ChaosOp::RunJob,
+                86..=88 => ChaosOp::Checkpoint,
                 89..=91 => ChaosOp::CrashJob,
                 _ => ChaosOp::InjectFault {
                     site: match rng.gen_range(0u32..4) {
@@ -250,7 +269,7 @@ mod tests {
     fn plans_exercise_all_op_kinds() {
         // Over a long plan every variant should appear.
         let plan = ChaosPlan::generate(7, 2000);
-        let mut seen = [false; 11];
+        let mut seen = [false; 13];
         for op in &plan.ops {
             let idx = match op {
                 ChaosOp::Produce { .. } => 0,
@@ -264,6 +283,8 @@ mod tests {
                 ChaosOp::CrashJob => 8,
                 ChaosOp::InjectFault { .. } => 9,
                 ChaosOp::ProduceBatch { .. } => 10,
+                ChaosOp::EnforceRetention { .. } => 11,
+                ChaosOp::CacheSweep => 12,
             };
             seen[idx] = true;
         }
@@ -302,6 +323,19 @@ mod tests {
             }
         }
         assert!(batches > 10, "only {batches} batch ops in 2000");
+    }
+
+    #[test]
+    fn retention_bursts_are_bounded_and_present() {
+        let plan = ChaosPlan::generate(19, 2000);
+        let mut n = 0;
+        for op in &plan.ops {
+            if let ChaosOp::EnforceRetention { count } = op {
+                assert!((1..=8).contains(count));
+                n += 1;
+            }
+        }
+        assert!(n > 10, "only {n} retention ops in 2000");
     }
 
     #[test]

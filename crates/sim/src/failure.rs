@@ -29,11 +29,14 @@ pub const SITES: &[&str] = &[
     "log.append-batch",
     "log.roll",
     "log.compact",
+    "log.segment-drop",
+    "log.cache-evict",
     // kv crate (task state stores)
     "kv.wal-append",
     "kv.flush",
     "kv.sst-write",
     "kv.compact",
+    "kv.sst-drop",
     // messaging crate
     "replication.fetch",
     "replication.fetch-batch",

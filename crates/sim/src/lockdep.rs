@@ -33,9 +33,12 @@
 //! partition, ranked just below `cluster.state` so the
 //! metadata-read-then-shard-lock pattern is descending; shards never
 //! nest each other, which same-rank reentrancy checking enforces),
-//! commits offsets, fires coordination-tree watches and touches log
-//! page caches; and quota accounting, job metrics and ACL grants are
-//! leaves that call nothing.
+//! commits offsets, fires coordination-tree watches and touches the
+//! segment-read cache shards (`log.readcache`) and log page caches —
+//! a cache miss fills under its shard lock and charges the page-cache
+//! model below it, so the read-cache rank sits above `log.pagecache`;
+//! and quota accounting, job metrics and ACL grants are leaves that
+//! call nothing.
 
 use std::ops::{Deref, DerefMut};
 
@@ -59,6 +62,7 @@ pub const RANKS: &[(&str, u32)] = &[
     ("quota.throttled", 21),
     ("coord.tree", 15),
     ("job.metrics", 10),
+    ("log.readcache", 8),
     ("log.pagecache", 5),
     ("acl.grants", 3),
 ];

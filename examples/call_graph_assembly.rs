@@ -147,9 +147,9 @@ fn main() -> liquid::Result<()> {
 
     let graphs_reader = liquid.reader_from_start("call-graphs", "dashboards")?;
     let graphs: Vec<String> = graphs_reader
-        .poll()?
+        .poll_batches()?
         .into_iter()
-        .flat_map(|(_, msgs)| msgs)
+        .flat_map(|(_, batch)| batch.into_messages())
         .map(|m| String::from_utf8_lossy(&m.value).to_string())
         .collect();
     println!("{} complete call graphs; first:", graphs.len());
@@ -158,9 +158,9 @@ fn main() -> liquid::Result<()> {
 
     let slow_reader = liquid.reader_from_start("slow-calls", "oncall")?;
     let slow: Vec<String> = slow_reader
-        .poll()?
+        .poll_batches()?
         .into_iter()
-        .flat_map(|(_, msgs)| msgs)
+        .flat_map(|(_, batch)| batch.into_messages())
         .map(|m| String::from_utf8_lossy(&m.value).to_string())
         .collect();
     println!("{} slow-call report(s):", slow.len());

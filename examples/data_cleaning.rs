@@ -111,9 +111,9 @@ fn main() -> liquid::Result<()> {
     // Compare outputs: every v2 record is normalized with the new code.
     let v2_reader = liquid.reader_from_start("profiles-clean-v2", "qa")?;
     let v2_rows: Vec<String> = v2_reader
-        .poll()?
+        .poll_batches()?
         .into_iter()
-        .flat_map(|(_, msgs)| msgs)
+        .flat_map(|(_, batch)| batch.into_messages())
         .map(|m| String::from_utf8_lossy(&m.value).to_string())
         .collect();
     assert!(v2_rows.iter().all(|r| r.starts_with("v2|")));

@@ -57,8 +57,8 @@ fn main() -> liquid::Result<()> {
         let total: usize = (0..4)
             .map(|p| {
                 cluster
-                    .fetch(&TopicPartition::new("user-activity", p), 0, u64::MAX)
-                    .map(|m| m.len())
+                    .fetch_batch(&TopicPartition::new("user-activity", p), 0, u64::MAX)
+                    .map(|b| b.len())
                     .unwrap_or(0)
             })
             .sum();

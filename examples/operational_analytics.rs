@@ -88,9 +88,9 @@ fn main() -> liquid::Result<()> {
     // Incidents flagged nearline.
     let incident_reader = liquid.reader_from_start("incidents", "oncall")?;
     let incidents: Vec<String> = incident_reader
-        .poll()?
+        .poll_batches()?
         .into_iter()
-        .flat_map(|(_, msgs)| msgs)
+        .flat_map(|(_, batch)| batch.into_messages())
         .map(|m| String::from_utf8_lossy(&m.value).to_string())
         .collect();
     println!("{} incident report(s):", incidents.len());

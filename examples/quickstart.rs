@@ -64,11 +64,11 @@ fn main() -> liquid::Result<()> {
 
     // 6. Consume the derived feed.
     let reader = liquid.reader_from_start("user-activity-clean", "quickstart-reader")?;
-    let batches = reader.poll()?;
-    let total: usize = batches.iter().map(|(_, m)| m.len()).sum();
+    let batches = reader.poll_batches()?;
+    let total: usize = batches.iter().map(|(_, b)| b.len()).sum();
     println!("consumed {total} cleaned events; first three:");
-    if let Some((_, msgs)) = batches.first() {
-        for m in msgs.iter().take(3) {
+    if let Some((_, batch)) = batches.first() {
+        for m in batch.records().iter().take(3) {
             println!(
                 "  offset={} {}",
                 m.offset,

@@ -127,9 +127,9 @@ fn main() -> liquid::Result<()> {
     // Read the alerts.
     let alerts_reader = liquid.reader_from_start("speed-alerts", "oncall")?;
     let alerts: Vec<String> = alerts_reader
-        .poll()?
+        .poll_batches()?
         .into_iter()
-        .flat_map(|(_, msgs)| msgs)
+        .flat_map(|(_, batch)| batch.into_messages())
         .map(|m| String::from_utf8_lossy(&m.value).to_string())
         .collect();
     println!("{} alert(s) raised:", alerts.len());
@@ -147,7 +147,11 @@ fn main() -> liquid::Result<()> {
 
     // And the per-window stats stream back-ends consume.
     let stats_reader = liquid.reader_from_start("cdn-stats", "dashboards")?;
-    let stats: usize = stats_reader.poll()?.iter().map(|(_, m)| m.len()).sum();
+    let stats: usize = stats_reader
+        .poll_batches()?
+        .iter()
+        .map(|(_, b)| b.len())
+        .sum();
     println!("{stats} per-window CDN stat rows published");
     println!("site_speed_monitoring OK");
     Ok(())

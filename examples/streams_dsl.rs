@@ -94,8 +94,8 @@ fn main() -> liquid::Result<()> {
         (0..2)
             .map(|p| {
                 cluster
-                    .fetch(&TopicPartition::new(topic, p), 0, u64::MAX)
-                    .map(|m| m.len())
+                    .fetch_batch(&TopicPartition::new(topic, p), 0, u64::MAX)
+                    .map(|b| b.len())
                     .unwrap_or(0)
             })
             .sum()

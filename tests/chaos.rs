@@ -46,6 +46,11 @@ use liquid_sim::failure::FailureInjector;
 const EVENTS: &str = "events";
 /// Compacted feed receiving the same keyed stream.
 const KV: &str = "kv";
+/// Size-retained feed: whole sealed segments are dropped by
+/// `ChaosOp::EnforceRetention`, so — unlike [`EVENTS`] — records here
+/// are *expected* to disappear, oldest segment first. Kept separate so
+/// durability invariant 1 stays strict on the append-only feed.
+const RETAINED: &str = "retained";
 /// Job name; its changelog topic is `__chaos-state`.
 const JOB: &str = "chaos";
 const CHANGELOG: &str = "__chaos-state";
@@ -137,6 +142,9 @@ struct RunReport {
     /// (operations, failures) at the two batch-boundary fault sites:
     /// `log.append-batch`, `replication.fetch-batch`.
     batch_site_counts: [(u64, u64); 2],
+    /// (operations, failures) at the two segment-lifecycle fault sites:
+    /// `log.segment-drop`, `log.cache-evict`.
+    retention_site_counts: [(u64, u64); 2],
 }
 
 struct Harness {
@@ -152,6 +160,9 @@ struct Harness {
     /// then crashed; checked for equality after recovery.
     pending_kv_fold: Option<BTreeMap<Bytes, Bytes>>,
     consume_pos: u64,
+    /// Cache sweeps run so far; every other sweep arms a one-shot
+    /// fault so `log.cache-evict` absorbs injected crashes.
+    sweeps: u64,
     crashes: u64,
     trace: Vec<String>,
 }
@@ -178,6 +189,11 @@ impl Harness {
             .brokers(BROKERS)
             .injector(inj.cluster.clone())
             .obs(obs)
+            // A deliberately tiny segment-read cache: every sweep fills
+            // and evicts under pressure, so `log.cache-evict` is
+            // exercised (and armed log faults can land on it).
+            .segment_cache_bytes(8 * 1024)
+            .segment_cache_shards(2)
             .build()
             .expect("valid cluster config");
         let mut tc = TopicConfig::builder()
@@ -195,9 +211,20 @@ impl Harness {
             .build_for(&cluster_config)
             .expect("valid kv topic");
         kv_tc.log.injector = inj.log.clone();
+        let mut retained_tc = TopicConfig::builder()
+            .partitions(1)
+            .replication(3)
+            .retention(liquid_log::RetentionPolicy::DropByBytes {
+                max_bytes: 3 * 1024,
+            })
+            .segment_bytes(1024)
+            .build_for(&cluster_config)
+            .expect("valid retained topic");
+        retained_tc.log.injector = inj.log.clone();
         let cluster = Cluster::new(cluster_config, clock.shared());
         cluster.create_topic(EVENTS, tc).unwrap();
         cluster.create_topic(KV, kv_tc).unwrap();
+        cluster.create_topic(RETAINED, retained_tc).unwrap();
         // No injector is armed yet, so the initial instantiation cannot
         // crash.
         let job = make_job(&cluster, &inj).expect("initial job");
@@ -210,9 +237,25 @@ impl Harness {
             kv_acked: BTreeMap::new(),
             pending_kv_fold: None,
             consume_pos: 0,
+            sweeps: 0,
             crashes: 0,
             trace: Vec::new(),
         }
+    }
+
+    /// Fetches one committed batch, absorbing injected read faults: a
+    /// cache-miss fill can tick `log.cache-evict` when it evicts under
+    /// pressure, and armed schedules fire exactly once, so a retry
+    /// always converges.
+    fn fetch_committed(&self, tp: &TopicPartition, offset: u64) -> Vec<Message> {
+        for _ in 0..RECOVERY_BUDGET {
+            match self.cluster.fetch_batch(tp, offset, 1 << 20) {
+                Ok(b) => return b.into_messages(),
+                Err(e) if messaging_injected(&e) => continue,
+                Err(e) => panic!("unexpected fetch error: {e}"),
+            }
+        }
+        panic!("injected read faults did not drain within {RECOVERY_BUDGET} retries");
     }
 
     /// Latest committed value per key (tombstone-aware fold of the
@@ -222,7 +265,7 @@ impl Harness {
         let mut map = BTreeMap::new();
         let mut offset = self.cluster.earliest_offset(&tp).unwrap();
         loop {
-            let batch = self.cluster.fetch(&tp, offset, 1 << 20).unwrap();
+            let batch = self.fetch_committed(&tp, offset);
             if batch.is_empty() {
                 break;
             }
@@ -245,7 +288,7 @@ impl Harness {
         let mut set = BTreeSet::new();
         let mut offset = 0;
         loop {
-            let batch = self.cluster.fetch(&tp, offset, 1 << 20).unwrap();
+            let batch = self.fetch_committed(&tp, offset);
             if batch.is_empty() {
                 break;
             }
@@ -296,6 +339,8 @@ impl Harness {
                 Err(e) => panic!("unexpected replicate_tick error: {e}"),
             },
             ChaosOp::Compact => self.compact(),
+            ChaosOp::EnforceRetention { count } => self.enforce_retention(count),
+            ChaosOp::CacheSweep => self.cache_sweep(),
             ChaosOp::RunJob => self.with_job(|job| job.run_until_idle(4).map(|_| ())),
             ChaosOp::Checkpoint => self.with_job(Job::checkpoint),
             ChaosOp::CrashJob => {
@@ -421,13 +466,15 @@ impl Harness {
 
     fn consume(&mut self) -> Result<(), String> {
         let tp = tp(EVENTS);
-        match self.cluster.fetch(&tp, self.consume_pos, 1 << 20) {
+        match self.cluster.fetch_batch(&tp, self.consume_pos, 1 << 20) {
             Ok(batch) => {
-                if let Some(last) = batch.last() {
-                    self.consume_pos = last.offset + 1;
-                }
+                // Offset-granular position healing: `end_offset` also
+                // jumps a position parked inside a retired segment
+                // forward to the first live record.
+                self.consume_pos = batch.end_offset();
             }
             Err(MessagingError::PartitionUnavailable(_)) => return Ok(()),
+            Err(e) if messaging_injected(&e) => return Err(format!("consume: {e}")),
             Err(e) => panic!("unexpected fetch error: {e}"),
         }
         match self
@@ -475,6 +522,86 @@ impl Harness {
         // The changelog is compacted too (its log has no injector, so
         // this cannot crash) — exercising restore-after-compaction.
         self.cluster.compact_topic(CHANGELOG).unwrap();
+        Ok(())
+    }
+
+    /// Fills the size-retained feed with `count` acked records, then
+    /// runs a whole-segment retention pass. Each drop is O(1) and ticks
+    /// `log.segment-drop`, so an armed log fault can crash the pass
+    /// mid-drop; a later pass simply resumes from the surviving
+    /// segments. Afterwards a read parked at offset 0 must heal to the
+    /// first retained offset, never serving or erroring on dropped
+    /// data.
+    fn enforce_retention(&mut self, count: u8) -> Result<(), String> {
+        let tp = tp(RETAINED);
+        for i in 0..count {
+            let value = Bytes::from(vec![b'r'; 192]);
+            match self
+                .cluster
+                .produce_to(&tp, Some(key_bytes(i % 8)), value, AckLevel::All)
+            {
+                Ok(_) => {}
+                Err(MessagingError::PartitionUnavailable(_)) => return Ok(()),
+                Err(e) if messaging_injected(&e) => return Err(format!("produce retained: {e}")),
+                Err(e) => panic!("unexpected produce error: {e}"),
+            }
+        }
+        // Every other burst arms a one-shot fault right before the
+        // pass: the first log-injector tick inside retention is
+        // `log.segment-drop` (when a drop is due), so the armed fault
+        // lands exactly on the segment-lifecycle crash point. When no
+        // drop is due the schedule drains at the next append instead.
+        if count.is_multiple_of(2) {
+            self.inj.log.fail_at(1);
+        }
+        match self.cluster.enforce_retention() {
+            Ok(_) => {}
+            Err(e) if messaging_injected(&e) => return Err(format!("retention: {e}")),
+            Err(e) => panic!("unexpected retention error: {e}"),
+        }
+        let earliest = match self.cluster.earliest_offset(&tp) {
+            Ok(o) => o,
+            Err(MessagingError::PartitionUnavailable(_)) => return Ok(()),
+            Err(e) => panic!("unexpected earliest_offset error: {e}"),
+        };
+        let healed = self.fetch_committed(&tp, 0);
+        if let Some(first) = healed.first() {
+            assert!(
+                first.offset >= earliest,
+                "read served offset {} from below the retention floor {earliest}",
+                first.offset
+            );
+        }
+        Ok(())
+    }
+
+    /// Sweeps every feed from its first retained offset through the
+    /// segment-read cache: cold segments fill it (evicting — and
+    /// ticking `log.cache-evict` — under the harness's deliberately
+    /// tiny capacity), warm segments must serve the same bytes.
+    fn cache_sweep(&mut self) -> Result<(), String> {
+        // Every other sweep arms a one-shot fault: a cold fill's first
+        // log-injector tick is `log.cache-evict` (evictions under the
+        // tiny capacity precede any other log site on the read path),
+        // so injected crashes land on the eviction crash point.
+        self.sweeps += 1;
+        if self.sweeps.is_multiple_of(2) {
+            self.inj.log.fail_at(1);
+        }
+        for topic in [EVENTS, RETAINED, KV] {
+            let tp = tp(topic);
+            let start = match self.cluster.earliest_offset(&tp) {
+                Ok(o) => o,
+                Err(MessagingError::PartitionUnavailable(_)) => continue,
+                Err(e) => panic!("unexpected earliest_offset error: {e}"),
+            };
+            match self.cluster.fetch_batch(&tp, start, 1 << 20) {
+                Ok(_) => {}
+                Err(MessagingError::PartitionUnavailable(_)) => {}
+                Err(e) if messaging_injected(&e) => return Err(format!("sweep {topic}: {e}")),
+                Err(e) => panic!("unexpected sweep error: {e}"),
+            }
+        }
         Ok(())
     }
 
@@ -716,6 +843,10 @@ impl Harness {
                 site_count(&self.inj.log, "log.append-batch"),
                 site_count(&self.inj.cluster, "replication.fetch-batch"),
             ],
+            retention_site_counts: [
+                site_count(&self.inj.log, "log.segment-drop"),
+                site_count(&self.inj.log, "log.cache-evict"),
+            ],
         }
     }
 }
@@ -809,6 +940,7 @@ fn chaos_seeds_hold_invariants() {
     let mut acked = 0;
     let mut fired = [0u64; 4];
     let mut batch_sites = [(0u64, 0u64); 2];
+    let mut retention_sites = [(0u64, 0u64); 2];
     for seed in 0..SEEDS {
         let report = run_seed_checked(seed);
         crashes += report.crashes;
@@ -819,6 +951,10 @@ fn chaos_seeds_hold_invariants() {
         for (i, &(o, f)) in report.batch_site_counts.iter().enumerate() {
             batch_sites[i].0 += o;
             batch_sites[i].1 += f;
+        }
+        for (i, &(o, f)) in report.retention_site_counts.iter().enumerate() {
+            retention_sites[i].0 += o;
+            retention_sites[i].1 += f;
         }
     }
     // The harness must not be vacuous: plenty of crashes, plenty of
@@ -854,6 +990,22 @@ fn chaos_seeds_hold_invariants() {
             hit > 0,
             "no armed fault ever fired at {name} across {SEEDS} seeds \
              ({ops} ops) — torn-batch crashes are untested"
+        );
+    }
+    // Same for the segment-lifecycle sites: whole-segment drops and
+    // cache evictions must both happen and both absorb armed faults —
+    // otherwise `ChaosOp::EnforceRetention` / `ChaosOp::CacheSweep`
+    // would be decorative.
+    for (i, name) in ["log.segment-drop", "log.cache-evict"].iter().enumerate() {
+        let (ops, hit) = retention_sites[i];
+        assert!(
+            ops > 0,
+            "fault site {name} never reached across {SEEDS} seeds"
+        );
+        assert!(
+            hit > 0,
+            "no armed fault ever fired at {name} across {SEEDS} seeds \
+             ({ops} ops) — segment-lifecycle crashes are untested"
         );
     }
 }

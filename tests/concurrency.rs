@@ -45,7 +45,10 @@ fn concurrent_producers_interleave_without_loss() {
     let mut total = 0;
     for p in 0..4 {
         let tp = TopicPartition::new("t", p);
-        let msgs = cluster.fetch(&tp, 0, u64::MAX).unwrap();
+        let msgs = cluster
+            .fetch_batch(&tp, 0, u64::MAX)
+            .unwrap()
+            .into_messages();
         for (i, m) in msgs.iter().enumerate() {
             assert_eq!(m.offset, i as u64, "offsets dense on {tp}");
             assert!(seen.insert(m.value.clone()), "duplicate {:?}", m.value);
@@ -88,8 +91,8 @@ fn producers_and_consumers_race_to_a_consistent_end() {
                 let mut idle = 0;
                 while idle < 50 {
                     let mut n = 0;
-                    for (tp, batch) in consumer.poll().unwrap() {
-                        for msg in batch {
+                    for (tp, batch) in consumer.poll_batches().unwrap() {
+                        for msg in batch.records() {
                             got.insert((tp.partition, msg.offset));
                             n += 1;
                         }
@@ -162,8 +165,9 @@ fn maintenance_runs_concurrently_with_traffic() {
     cluster.compact_topic("t").unwrap();
     let tp = TopicPartition::new("t", 0);
     let msgs = cluster
-        .fetch(&tp, cluster.earliest_offset(&tp).unwrap(), u64::MAX)
-        .unwrap();
+        .fetch_batch(&tp, cluster.earliest_offset(&tp).unwrap(), u64::MAX)
+        .unwrap()
+        .into_messages();
     let mut latest = std::collections::HashMap::new();
     for m in &msgs {
         latest.insert(m.key.clone().unwrap(), m.value.clone());
@@ -248,7 +252,10 @@ fn idempotent_producers_from_threads_never_duplicate() {
         h.join().unwrap();
     }
     let tp = TopicPartition::new("t", 0);
-    let msgs = cluster.fetch(&tp, 0, u64::MAX).unwrap();
+    let msgs = cluster
+        .fetch_batch(&tp, 0, u64::MAX)
+        .unwrap()
+        .into_messages();
     assert_eq!(msgs.len(), 4 * 500, "retries deduplicated");
     let unique: HashSet<_> = msgs.iter().map(|m| m.value.clone()).collect();
     assert_eq!(unique.len(), 4 * 500);

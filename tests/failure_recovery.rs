@@ -38,7 +38,11 @@ fn rolling_broker_restarts_lose_nothing_with_acks_all() {
     let mut got = 0;
     for p in 0..2 {
         let tp = TopicPartition::new("t", p);
-        got += cluster.fetch(&tp, 0, u64::MAX).unwrap().len();
+        got += cluster
+            .fetch_batch(&tp, 0, u64::MAX)
+            .unwrap()
+            .into_messages()
+            .len();
     }
     assert_eq!(got as u64, sent);
 }
@@ -63,7 +67,14 @@ fn double_failure_with_three_replicas_still_serves() {
         .kill_broker(cluster.leader(&tp).unwrap().unwrap())
         .unwrap();
     // Third replica serves everything: N-1 failures tolerated.
-    assert_eq!(cluster.fetch(&tp, 0, u64::MAX).unwrap().len(), 20);
+    assert_eq!(
+        cluster
+            .fetch_batch(&tp, 0, u64::MAX)
+            .unwrap()
+            .into_messages()
+            .len(),
+        20
+    );
 }
 
 #[test]
@@ -156,7 +167,10 @@ fn probabilistic_broker_chaos_keeps_committed_data() {
         cluster.restart_broker(d).unwrap();
     }
     cluster.replicate_tick().unwrap();
-    let got = cluster.fetch(&tp, 0, u64::MAX).unwrap();
+    let got = cluster
+        .fetch_batch(&tp, 0, u64::MAX)
+        .unwrap()
+        .into_messages();
     assert_eq!(got.len(), acked.len(), "every acked message survived");
     assert!(acked.len() > 250, "chaos should not block most produces");
 }

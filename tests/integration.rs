@@ -83,7 +83,12 @@ fn multi_stage_dataflow_through_the_messaging_layer() {
     assert_eq!(processed, 525 + 500);
 
     let reader = liquid.reader_from_start("counts", "check").unwrap();
-    let total: usize = reader.poll().unwrap().iter().map(|(_, m)| m.len()).sum();
+    let total: usize = reader
+        .poll_batches()
+        .unwrap()
+        .iter()
+        .map(|(_, b)| b.len())
+        .sum();
     assert_eq!(total, 500, "every clean event produced one count row");
 
     // Lineage chain resolves counts -> clean -> raw.
@@ -140,7 +145,12 @@ fn replicated_stack_survives_broker_failure_mid_pipeline() {
     let processed = liquid.run_until_idle(100).unwrap();
     assert_eq!(processed, 100, "failover is transparent to the job");
     let reader = liquid.reader_from_start("out", "check").unwrap();
-    let total: usize = reader.poll().unwrap().iter().map(|(_, m)| m.len()).sum();
+    let total: usize = reader
+        .poll_batches()
+        .unwrap()
+        .iter()
+        .map(|(_, b)| b.len())
+        .sum();
     assert_eq!(total, 100);
 }
 
@@ -222,8 +232,18 @@ fn consumer_groups_fan_out_to_nearline_and_offline() {
     )
     .unwrap();
     n1.refresh_assignment().unwrap();
-    let near1: usize = n1.poll().unwrap().iter().map(|(_, m)| m.len()).sum();
-    let near2: usize = n2.poll().unwrap().iter().map(|(_, m)| m.len()).sum();
+    let near1: usize = n1
+        .poll_batches()
+        .unwrap()
+        .iter()
+        .map(|(_, b)| b.len())
+        .sum();
+    let near2: usize = n2
+        .poll_batches()
+        .unwrap()
+        .iter()
+        .map(|(_, b)| b.len())
+        .sum();
     assert_eq!(near1 + near2, 400);
     assert_eq!(near1, 200);
 
@@ -236,7 +256,12 @@ fn consumer_groups_fan_out_to_nearline_and_offline() {
             StartPosition::Earliest,
         )
         .unwrap();
-    let offline: usize = batch.poll().unwrap().iter().map(|(_, m)| m.len()).sum();
+    let offline: usize = batch
+        .poll_batches()
+        .unwrap()
+        .iter()
+        .map(|(_, b)| b.len())
+        .sum();
     assert_eq!(offline, 400, "pub/sub across groups");
 }
 
@@ -275,7 +300,7 @@ fn retention_and_rewind_interact_correctly() {
     // …and a consumer positioned at Earliest sees only retained data.
     let c = liquid.consumer("c");
     c.assign(tp.clone(), StartPosition::Earliest).unwrap();
-    let msgs: usize = c.poll().unwrap().iter().map(|(_, m)| m.len()).sum();
+    let msgs: usize = c.poll_batches().unwrap().iter().map(|(_, b)| b.len()).sum();
     assert!(msgs < 201);
     assert!(msgs > 0);
 }

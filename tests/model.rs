@@ -20,7 +20,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use liquid_log::RecordBatch;
+use liquid_log::{RecordBatch, RetentionPolicy};
 use liquid_messaging::{
     AckLevel, AssignmentStrategy, Cluster, ClusterConfig, Message, MessagingError, TopicConfig,
     TopicPartition,
@@ -106,7 +106,14 @@ fn model_concurrent_producers_one_partition() {
             2,
             "high watermark covers both acked records"
         );
-        assert_eq!(cluster.fetch(&tp, 0, u64::MAX).unwrap().len(), 2);
+        assert_eq!(
+            cluster
+                .fetch_batch(&tp, 0, u64::MAX)
+                .unwrap()
+                .into_messages()
+                .len(),
+            2
+        );
     });
     assert_exhaustive(&report, 2);
 }
@@ -283,7 +290,11 @@ fn model_leader_election_vs_catch_up() {
             "the leader is always an ISR member"
         );
         assert_eq!(
-            cluster.fetch(&tp, 0, u64::MAX).unwrap().len(),
+            cluster
+                .fetch_batch(&tp, 0, u64::MAX)
+                .unwrap()
+                .into_messages()
+                .len(),
             1,
             "acks=All record survives losing the leader"
         );
@@ -347,8 +358,9 @@ fn model_batch_group_commit_vs_leader_kill() {
             killer.join();
             let hw = cluster.latest_offset(&tp).unwrap();
             let log: Vec<(u64, Bytes)> = cluster
-                .fetch(&tp, 0, u64::MAX)
+                .fetch_batch(&tp, 0, u64::MAX)
                 .unwrap()
+                .into_messages()
                 .into_iter()
                 .map(|m| (m.offset, m.value))
                 .collect();
@@ -434,8 +446,9 @@ fn model_sharded_producers_distinct_partitions() {
                 assert_eq!(base, 0, "partition {p} saw foreign records below its batch");
                 assert_eq!(cluster.latest_offset(&tp).unwrap(), 2);
                 let log: Vec<(u64, Bytes)> = cluster
-                    .fetch(&tp, 0, u64::MAX)
+                    .fetch_batch(&tp, 0, u64::MAX)
                     .unwrap()
+                    .into_messages()
                     .into_iter()
                     .map(|m| (m.offset, m.value))
                     .collect();
@@ -530,6 +543,89 @@ fn model_offsets_sharded_commit_vs_rebalance() {
             assert_eq!(covered.len(), 2, "both partitions assigned");
         },
     );
+    assert_exhaustive(&report, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 3e: concurrent fetch vs. whole-segment retention drop
+// ---------------------------------------------------------------------------
+
+/// One reader fetches the whole feed through the segment-read cache
+/// while retention drops retired segments concurrently. In every
+/// interleaving the read is never torn: it returns a contiguous run of
+/// records whose values match their offsets — either the pre-drop view
+/// or the healed post-drop view, nothing in between — and afterwards a
+/// fetch from the earliest offset starts exactly there, proving the
+/// cache never serves a retired segment. Lock order
+/// (`partition.state` → `log.readcache` → `log.pagecache`) is enforced
+/// by lockdep on every path the explorer visits.
+#[test]
+fn model_fetch_vs_segment_drop() {
+    let report = check("log.fetch-vs-segment-drop", Config::default(), || {
+        let config = ClusterConfig::builder()
+            .brokers(1)
+            .segment_cache_bytes(4_096)
+            .segment_cache_shards(1)
+            .build()
+            .unwrap();
+        let cluster = Cluster::new(config, SimClock::new(0).shared());
+        cluster
+            .create_topic(
+                "t",
+                TopicConfig::with_partitions(1)
+                    .retention(RetentionPolicy::DropByBytes { max_bytes: 96 })
+                    .segment_bytes(64),
+            )
+            .unwrap();
+        let cluster = Arc::new(cluster);
+        let tp = TopicPartition::new("t", 0);
+        for i in 0..6u64 {
+            cluster
+                .produce_to(&tp, None, Bytes::from(format!("v{i}")), AckLevel::Leader)
+                .unwrap();
+        }
+        // Warm the cache so the concurrent read can hit it mid-drop.
+        cluster.fetch_batch(&tp, 0, u64::MAX).unwrap();
+        let reader = {
+            let c = cluster.clone();
+            thread::spawn_named("reader".into(), move || {
+                let msgs = c.fetch_batch(&tp, 0, u64::MAX).unwrap().into_messages();
+                assert!(!msgs.is_empty(), "six records, active segment never drops");
+                for (i, m) in msgs.iter().enumerate() {
+                    assert_eq!(
+                        m.offset,
+                        msgs[0].offset + i as u64,
+                        "read tore across the drop: offsets not contiguous"
+                    );
+                    assert_eq!(
+                        m.value,
+                        Bytes::from(format!("v{}", m.offset)),
+                        "record at offset {} served foreign bytes",
+                        m.offset
+                    );
+                }
+            })
+        };
+        let dropper = {
+            let c = cluster.clone();
+            thread::spawn_named("dropper".into(), move || {
+                c.enforce_retention().unwrap();
+            })
+        };
+        reader.join();
+        dropper.join();
+        // The cache must not serve retired segments: a fetch from the
+        // retention floor starts exactly there and stays value-exact.
+        let tp = TopicPartition::new("t", 0);
+        let earliest = cluster.earliest_offset(&tp).unwrap();
+        assert!(earliest > 0, "retention must have dropped a segment");
+        let batch = cluster.fetch_batch(&tp, earliest, u64::MAX).unwrap();
+        assert_eq!(batch.base_offset(), Some(earliest));
+        for m in batch.into_messages() {
+            assert!(m.offset >= earliest, "served a record below the floor");
+            assert_eq!(m.value, Bytes::from(format!("v{}", m.offset)));
+        }
+    });
     assert_exhaustive(&report, 2);
 }
 
@@ -732,7 +828,10 @@ fn model_sampled_large_config_pinned_seed() {
         }
         assert_eq!(cluster.log_end_offset(&tp).unwrap(), 6);
         assert_eq!(cluster.latest_offset(&tp).unwrap(), 6);
-        let msgs = cluster.fetch(&tp, 0, u64::MAX).unwrap();
+        let msgs = cluster
+            .fetch_batch(&tp, 0, u64::MAX)
+            .unwrap()
+            .into_messages();
         let unique: BTreeSet<_> = msgs.iter().map(|m| m.value.clone()).collect();
         assert_eq!(unique.len(), 6, "no duplicates, nothing lost");
     });

@@ -269,6 +269,6 @@ fn consumer_lag_reads_registry_gauges() {
         .assign(tp.clone(), StartPosition::Earliest)
         .unwrap();
     assert_eq!(consumer.lag(&tp), Some(6), "unread backlog");
-    while !consumer.poll().unwrap().is_empty() {}
+    while !consumer.poll_batches().unwrap().is_empty() {}
     assert_eq!(consumer.lag(&tp), Some(0), "caught up");
 }

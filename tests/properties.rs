@@ -6,7 +6,9 @@
 
 use bytes::Bytes;
 use liquid::kv::{LsmConfig, LsmStore};
-use liquid::log::{CleanupPolicy, Log, LogConfig, RecordBatch};
+use liquid::log::{
+    Log, LogConfig, ReadCacheConfig, RecordBatch, RetentionPolicy, SegmentReadCache,
+};
 use liquid_messaging::consumer::StartPosition;
 use liquid_messaging::{
     AssignmentStrategy, BatchConfig, Cluster, ClusterConfig, Consumer, Producer, TopicConfig,
@@ -19,10 +21,13 @@ fn small_log(segment_bytes: u64, compact: bool) -> Log {
     let cfg = LogConfig {
         segment_bytes,
         index_interval_bytes: 128,
-        cleanup: if compact {
-            CleanupPolicy::Compact
+        retention: if compact {
+            RetentionPolicy::Compact {
+                max_age_ms: None,
+                max_bytes: None,
+            }
         } else {
-            CleanupPolicy::Delete
+            RetentionPolicy::KeepAll
         },
         ..LogConfig::default()
     };
@@ -302,8 +307,8 @@ proptest! {
         prop_assert_eq!(batched.pending_records(), 0);
         for p in 0..2 {
             let tp = TopicPartition::new("t", p);
-            let a = seed_cluster.fetch(&tp, 0, u64::MAX).unwrap();
-            let b = batch_cluster.fetch(&tp, 0, u64::MAX).unwrap();
+            let a = seed_cluster.fetch_batch(&tp, 0, u64::MAX).unwrap().into_messages();
+            let b = batch_cluster.fetch_batch(&tp, 0, u64::MAX).unwrap().into_messages();
             prop_assert_eq!(a.len(), b.len(), "partition {} length", p);
             for (x, y) in a.iter().zip(b.iter()) {
                 prop_assert_eq!(x.offset, y.offset);
@@ -439,6 +444,63 @@ proptest! {
         // Probing past the end yields None.
         prop_assert_eq!(log.offset_for_timestamp(ts + 1).unwrap(), None);
     }
+
+    /// Whole-segment retention commutes with reading: enforcing the
+    /// policy and then reading yields exactly the records a
+    /// pre-retention read contains once filtered to the new start
+    /// offset — drops never rewrite, reorder or truncate survivors,
+    /// with or without the segment-read cache in the path.
+    #[test]
+    fn retention_then_read_equals_read_then_filter(
+        segment_bytes in 64u64..512,
+        n in 1usize..160,
+        max_bytes in 256u64..4096,
+        by_age in any::<bool>(),
+        with_cache in any::<bool>(),
+    ) {
+        let clock = SimClock::new(0);
+        let retention = if by_age {
+            RetentionPolicy::DropByAge { max_age_ms: 5_000, max_bytes: Some(max_bytes) }
+        } else {
+            RetentionPolicy::DropByBytes { max_bytes }
+        };
+        let cfg = LogConfig {
+            segment_bytes,
+            index_interval_bytes: 128,
+            retention,
+            ..LogConfig::default()
+        };
+        let mut log = Log::open(cfg, clock.shared()).unwrap();
+        if with_cache {
+            let cache = SegmentReadCache::new(ReadCacheConfig {
+                capacity_bytes: 2_048,
+                shards: 2,
+                obs: liquid_obs::Obs::default(),
+            });
+            log.attach_read_cache(cache, 1);
+        }
+        for i in 0..n {
+            log.append(
+                Some(Bytes::from(format!("k{}", i % 7))),
+                Bytes::from(format!("value-{i:05}")),
+            )
+            .unwrap();
+            clock.advance(100);
+        }
+        clock.advance(3_000);
+        let before = log.read(0, u64::MAX).unwrap().records;
+        log.enforce_retention().unwrap();
+        let start = log.start_offset();
+        let after = log.read(start, u64::MAX).unwrap().records;
+        let filtered: Vec<_> = before.into_iter().filter(|r| r.offset >= start).collect();
+        prop_assert_eq!(after.len(), filtered.len());
+        for (a, f) in after.iter().zip(&filtered) {
+            prop_assert_eq!(a.offset, f.offset);
+            prop_assert_eq!(&a.key, &f.key);
+            prop_assert_eq!(&a.value, &f.value);
+            prop_assert_eq!(a.timestamp, f.timestamp);
+        }
+    }
 }
 
 #[test]
@@ -502,7 +564,10 @@ fn replication_invariant_followers_prefix_of_leader() {
     assert_eq!(isr.len(), 3, "all replicas back in sync: {isr:?}");
     // Committed data is readable from start to high watermark with
     // contiguous offsets.
-    let msgs = cluster.fetch(&tp, 0, u64::MAX).unwrap();
+    let msgs = cluster
+        .fetch_batch(&tp, 0, u64::MAX)
+        .unwrap()
+        .into_messages();
     for (i, m) in msgs.iter().enumerate() {
         assert_eq!(m.offset, i as u64);
     }
